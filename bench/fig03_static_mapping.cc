@@ -1,0 +1,4 @@
+/** @file Reproduces Figure 3: ARM-to-FITS static mapping coverage. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig3StaticMapping,
+               "a 96% average of static one-to-one mapping")

@@ -1,0 +1,4 @@
+/** @file Reproduces Figure 4: ARM-to-FITS dynamic mapping coverage. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig4DynamicMapping,
+               "a 98% average dynamic mapping")

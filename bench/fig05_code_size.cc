@@ -1,0 +1,4 @@
+/** @file Reproduces Figure 5: ARM vs THUMB vs FITS code footprint. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig5CodeSize,
+               "THUMB ~67% of ARM, FITS ~53% of ARM (47% eliminated)")

@@ -1,0 +1,6 @@
+/** @file Reproduces Figure 6: I-cache power breakdown per config. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig6PowerBreakdown,
+               "internal > 50% everywhere; switching share falls and "
+               "internal share rises with cache size; FITS shifts share "
+               "from switching to internal at equal size")

@@ -1,0 +1,4 @@
+/** @file Reproduces Figure 7: I-cache switching power saving. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig7SwitchingSaving,
+               "~50% for FITS16 and FITS8; ARM8 saves virtually none")

@@ -1,0 +1,5 @@
+/** @file Reproduces Figure 8: I-cache internal power saving. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig8InternalSaving,
+               "nontrivial savings for the half-sized FITS8/ARM8 "
+               "(~43%); FITS16 ~0%")

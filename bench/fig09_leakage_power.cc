@@ -1,0 +1,5 @@
+/** @file Reproduces Figure 9: I-cache leakage power saving. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig9LeakageSaving,
+               "14.9% average for FITS8; ARM8's saving eroded or wiped "
+               "out by its longer operational period")

@@ -1,0 +1,4 @@
+/** @file Reproduces Figure 10: I-cache peak power saving. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig10PeakSaving,
+               "46% FITS16, 63% FITS8, 31% ARM8 (width x size compose)")

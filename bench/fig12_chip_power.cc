@@ -1,0 +1,4 @@
+/** @file Reproduces Figure 12: total chip power saving. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig12ChipSaving,
+               "FITS8 15%; ARM8 8%; FITS16 7%")

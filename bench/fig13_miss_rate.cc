@@ -1,0 +1,5 @@
+/** @file Reproduces Figure 13: I-cache misses per million accesses. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig13MissRate,
+               "half-sized FITS8 caches have no more misses than "
+               "full-sized ARM16")

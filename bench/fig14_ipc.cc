@@ -1,0 +1,6 @@
+/** @file Reproduces Figure 14: IPC for all four configurations. */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::fig14Ipc,
+               "all IPCs satisfactory (dual-issue max 2); an 8 KB FITS "
+               "cache achieves roughly the same IPC as a 16 KB ARM "
+               "cache")

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction binaries: each bench
+ * prints the same rows/series the paper's figure plots, followed by the
+ * paper's reported values for comparison (EXPERIMENTS.md records the
+ * measured-vs-paper history).
+ */
+
+#ifndef POWERFITS_BENCH_FIG_UTIL_HH
+#define POWERFITS_BENCH_FIG_UTIL_HH
+
+#include <cstdio>
+#include <exception>
+#include <string_view>
+#include <iostream>
+
+#include "common/table.hh"
+#include "exp/figures.hh"
+
+namespace pfits::benchutil
+{
+
+/**
+ * Run one figure builder and print its table plus the paper note.
+ * With "--csv" the table is emitted as CSV (for plotting scripts) and
+ * the note is suppressed.
+ */
+inline int
+runFigure(Table (*builder)(Runner &), const char *paper_note, int argc,
+          char **argv)
+{
+    try {
+        bool csv = false;
+        for (int i = 1; i < argc; ++i)
+            if (std::string_view(argv[i]) == "--csv")
+                csv = true;
+        Runner runner;
+        Table table = builder(runner);
+        if (csv) {
+            table.printCsv(std::cout);
+        } else {
+            table.print(std::cout);
+            std::cout << "\npaper reports: " << paper_note << "\n";
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
+
+} // namespace pfits::benchutil
+
+#define PFITS_FIG_MAIN(builder, note)                                   \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        return pfits::benchutil::runFigure(builder, note, argc, argv);  \
+    }
+
+#endif // POWERFITS_BENCH_FIG_UTIL_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A4: google-benchmark microbenchmarks of the infrastructure itself —
+ * simulator throughput, programmable decode, synthesis and translation
+ * latency, and the raw cache model. Useful when extending the library;
+ * not part of the paper reproduction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "fits/fits_frontend.hh"
+#include "fits/profile.hh"
+#include "fits/synth.hh"
+#include "fits/translate.hh"
+#include "mibench/mibench.hh"
+#include "sim/machine.hh"
+
+using namespace pfits;
+
+namespace
+{
+
+const Program &
+crcProgram()
+{
+    static const Program prog = mibench::buildCrc32().program;
+    return prog;
+}
+
+void
+BM_ArmSimulate(benchmark::State &state)
+{
+    ArmFrontEnd fe(crcProgram());
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        Machine machine(fe, CoreConfig{});
+        RunResult rr = machine.run();
+        instructions += rr.instructions;
+        benchmark::DoNotOptimize(rr.cycles);
+    }
+    state.counters["Minstr/s"] = benchmark::Counter(
+        static_cast<double>(instructions) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ArmSimulate)->Unit(benchmark::kMillisecond);
+
+void
+BM_FitsSimulate(benchmark::State &state)
+{
+    ProfileInfo profile = profileProgram(crcProgram());
+    FitsIsa isa = synthesize(profile, SynthParams{}, "crc32");
+    FitsFrontEnd fe(translateProgram(crcProgram(), isa, profile));
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        Machine machine(fe, CoreConfig{});
+        RunResult rr = machine.run();
+        instructions += rr.instructions;
+    }
+    state.counters["Minstr/s"] = benchmark::Counter(
+        static_cast<double>(instructions) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FitsSimulate)->Unit(benchmark::kMillisecond);
+
+void
+BM_Profile(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ProfileInfo info = profileProgram(crcProgram());
+        benchmark::DoNotOptimize(info.totalDynamic);
+    }
+}
+BENCHMARK(BM_Profile)->Unit(benchmark::kMillisecond);
+
+void
+BM_Synthesize(benchmark::State &state)
+{
+    ProfileInfo profile = profileProgram(crcProgram());
+    for (auto _ : state) {
+        FitsIsa isa = synthesize(profile, SynthParams{}, "crc32");
+        benchmark::DoNotOptimize(isa.slots.size());
+    }
+}
+BENCHMARK(BM_Synthesize)->Unit(benchmark::kMillisecond);
+
+void
+BM_Translate(benchmark::State &state)
+{
+    ProfileInfo profile = profileProgram(crcProgram());
+    FitsIsa isa = synthesize(profile, SynthParams{}, "crc32");
+    for (auto _ : state) {
+        FitsProgram fits = translateProgram(crcProgram(), isa, profile);
+        benchmark::DoNotOptimize(fits.code.size());
+    }
+}
+BENCHMARK(BM_Translate)->Unit(benchmark::kMillisecond);
+
+void
+BM_ProgrammableDecode(benchmark::State &state)
+{
+    ProfileInfo profile = profileProgram(crcProgram());
+    FitsIsa isa = synthesize(profile, SynthParams{}, "crc32");
+    FitsProgram fits = translateProgram(crcProgram(), isa, profile);
+    size_t i = 0;
+    for (auto _ : state) {
+        MicroOp uop;
+        benchmark::DoNotOptimize(
+            isa.decode(fits.code[i % fits.code.size()], uop));
+        ++i;
+    }
+}
+BENCHMARK(BM_ProgrammableDecode);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 16 * 1024;
+    cfg.assoc = static_cast<uint32_t>(state.range(0));
+    cfg.lineBytes = 32;
+    Cache cache(cfg);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 18), false).hit);
+    }
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(8)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Bring-your-own-kernel: feed an assembly file (or a built-in demo
+ * filter kernel) through the complete FITS flow — the five stages of
+ * the paper's Figure 1: profile, synthesize, compile (translate),
+ * configure (build the decode table), execute — and print a full
+ * four-configuration power/performance report for it.
+ *
+ * Usage: custom_kernel [file.s]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "assembler/assembler.hh"
+#include "common/table.hh"
+#include "exp/experiment.hh"
+#include "fits/fits_frontend.hh"
+#include "fits/profile.hh"
+#include "fits/synth.hh"
+#include "fits/translate.hh"
+#include "power/cache_power.hh"
+#include "sim/machine.hh"
+#include "thumb/thumb.hh"
+
+using namespace pfits;
+
+namespace
+{
+
+/** A small FIR-like demo kernel used when no file is supplied. */
+const char *kDemo = R"(
+    ; 4-tap moving filter over a sample buffer.
+        la   r0, samples
+        la   r1, output
+        movw r2, #252        ; output count
+        movw r7, #0          ; checksum
+    loop:
+        ldr  r3, [r0]
+        ldr  r4, [r0, #4]
+        ldr  r5, [r0, #8]
+        ldr  r6, [r0, #12]
+        add  r3, r3, r4
+        add  r3, r3, r5
+        add  r3, r3, r6
+        asr  r3, r3, #2
+        str  r3, [r1]
+        eor  r7, r7, r3
+        add  r0, r0, #4
+        add  r1, r1, #4
+        subs r2, r2, #1
+        bne  loop
+        mov  r0, r7
+        swi  #2
+        swi  #0
+    .data samples
+        .word 10, 14, 8, 2, 250, 4, 99, 1, 7, 3, 128, 40, 2, 2, 9, 11
+        .space 960
+    .data output
+        .space 1024
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::string source;
+        std::string name = "demo-filter";
+        if (argc > 1) {
+            std::ifstream in(argv[1]);
+            if (!in)
+                fatal("cannot open '%s'", argv[1]);
+            std::stringstream buf;
+            buf << in.rdbuf();
+            source = buf.str();
+            name = argv[1];
+        } else {
+            source = kDemo;
+        }
+
+        // Stage 1-4 of the FITS flow.
+        Program prog = assemble(name, source);
+        ProfileInfo profile = profileProgram(prog);
+        FitsIsa isa = synthesize(profile, SynthParams{}, name);
+        FitsProgram fits_prog = translateProgram(prog, isa, profile);
+        ThumbStats thumb = thumbEstimate(prog);
+
+        std::printf("%-18s %8s %8s %8s\n", "code size", "ARM",
+                    "THUMB~", "FITS");
+        std::printf("%-18s %7uB %7uB %7uB\n", "", prog.codeBytes(),
+                    thumb.codeBytes(), fits_prog.codeBytes());
+        std::printf("mapping: static %.1f%%, dynamic %.1f%%, ISA %zu "
+                    "slots\n\n",
+                    100 * fits_prog.mapping.staticRate(),
+                    100 * fits_prog.mapping.dynRate(),
+                    isa.slots.size());
+
+        // Stage 5: execute on the paper's four configurations.
+        ArmFrontEnd arm(prog);
+        FitsFrontEnd fits(std::move(fits_prog));
+        Runner runner; // for the configuration definitions only
+
+        Table table("four-configuration report: " + name);
+        table.setHeader({"config", "cycles", "IPC", "mpmi",
+                         "i$ total mW", "i$ peak mW"});
+        std::vector<uint32_t> reference;
+        for (ConfigId id : kAllConfigs) {
+            bool is_fits =
+                id == ConfigId::FITS16 || id == ConfigId::FITS8;
+            const FrontEnd &fe =
+                is_fits ? static_cast<const FrontEnd &>(fits)
+                        : static_cast<const FrontEnd &>(arm);
+            CoreConfig core = runner.coreConfig(id);
+            Machine machine(fe, core);
+            RunResult rr = machine.run();
+            if (reference.empty())
+                reference = rr.io.emitted;
+            else if (rr.io.emitted != reference)
+                fatal("%s produced a different result", configName(id));
+            CachePowerModel model(core.icache, TechParams{});
+            CachePowerBreakdown power = model.evaluate(rr);
+            table.addRow(configName(id),
+                         {static_cast<double>(rr.cycles), rr.ipc(),
+                          rr.icache.missesPerMillion(),
+                          power.totalW() * 1e3, power.peakW * 1e3},
+                         2);
+        }
+        table.print(std::cout);
+        std::printf("\nresult word: 0x%08x (identical across all four "
+                    "configurations)\n",
+                    reference.empty() ? 0 : reference[0]);
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

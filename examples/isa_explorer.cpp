@@ -1,0 +1,97 @@
+/**
+ * @file
+ * ISA explorer: synthesize the FITS instruction set of any suite
+ * benchmark (or all of them) and inspect it — slot table with BIS / SIS
+ * / AIS classes, the value dictionaries, opcode-space utilization, and
+ * an annotated disassembly excerpt of the translated binary.
+ *
+ * Usage: isa_explorer [benchmark-name]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "fits/profile.hh"
+#include "fits/report.hh"
+#include "fits/synth.hh"
+#include "fits/translate.hh"
+#include "mibench/mibench.hh"
+
+using namespace pfits;
+
+namespace
+{
+
+void
+explore(const mibench::BenchInfo &info)
+{
+    mibench::Workload w = info.build();
+    ProfileInfo profile = profileProgram(w.program);
+    FitsIsa isa = synthesize(profile, SynthParams{}, info.name);
+    FitsProgram fits = translateProgram(w.program, isa, profile);
+
+    std::printf("==== %s (%s) ====\n", info.name, info.group);
+    std::printf("profile: %zu signatures, %u registers live, scratch "
+                "r%d, %llu dynamic instructions\n",
+                profile.sigs.size(), profile.numRegsUsed(),
+                isa.scratchReg,
+                static_cast<unsigned long long>(profile.totalDynamic));
+
+    size_t bis = 0, sis = 0, ais = 0;
+    for (const FitsSlot &slot : isa.slots) {
+        switch (slot.cls) {
+          case SlotClass::BIS: ++bis; break;
+          case SlotClass::SIS: ++sis; break;
+          case SlotClass::AIS: ++ais; break;
+        }
+    }
+    std::printf("slots: %zu (BIS %zu / SIS %zu / AIS %zu), opcode "
+                "space %llu/65536 (%.1f%%)\n",
+                isa.slots.size(), bis, sis, ais,
+                static_cast<unsigned long long>(isa.kraftSum()),
+                100.0 * static_cast<double>(isa.kraftSum()) / 65536.0);
+    std::printf("dictionaries: %zu operate constants, %zu "
+                "displacements, %zu register lists\n",
+                isa.opDict.size(), isa.dispDict.size(),
+                isa.listDict.size());
+    std::printf("code: ARM %u B -> FITS %u B (%.1f%%), map "
+                "static %.1f%% dynamic %.1f%%\n",
+                w.program.codeBytes(), fits.codeBytes(),
+                100.0 * fits.codeBytes() / w.program.codeBytes(),
+                100.0 * fits.mapping.staticRate(),
+                100.0 * fits.mapping.dynRate());
+
+    std::cout << isa.listing();
+
+    std::cout << "\n";
+    requirementAnalysis(profile, 12).print(std::cout);
+    std::cout << "\n";
+    synthesisSummary(profile, isa).print(std::cout);
+
+    std::printf("\nfirst 12 translated instructions:\n");
+    for (size_t i = 0; i < fits.code.size() && i < 12; ++i) {
+        std::printf("  %04zu: %04x  %s\n", i, fits.code[i],
+                    isa.disassembleWord(fits.code[i]).c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc > 1) {
+            explore(mibench::findBench(argv[1]));
+            return 0;
+        }
+        for (const auto &info : mibench::suite())
+            explore(info);
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

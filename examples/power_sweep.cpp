@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cache-size sweep: extends the paper's two-point (16 KB vs 8 KB)
+ * comparison into a full curve. For one benchmark, sweeps the I-cache
+ * from 1 KB to 64 KB for both front-ends and prints total I-cache
+ * energy, miss rate and IPC — making the crossover visible: the cache
+ * size where the ARM binary finally matches the miss rate a FITS
+ * binary reaches at half the size.
+ *
+ * Usage: power_sweep [benchmark-name]   (default: sha)
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "exp/experiment.hh"
+#include "fits/fits_frontend.hh"
+#include "fits/profile.hh"
+#include "fits/synth.hh"
+#include "fits/translate.hh"
+#include "mibench/mibench.hh"
+#include "power/cache_power.hh"
+#include "sim/machine.hh"
+
+using namespace pfits;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const char *name = argc > 1 ? argv[1] : "sha";
+        const mibench::BenchInfo &info = mibench::findBench(name);
+        mibench::Workload w = info.build();
+
+        ProfileInfo profile = profileProgram(w.program);
+        FitsIsa isa = synthesize(profile, SynthParams{}, name);
+        FitsProgram fits_prog =
+            translateProgram(w.program, isa, profile);
+        ArmFrontEnd arm(w.program);
+        FitsFrontEnd fits(std::move(fits_prog));
+
+        Table table(std::string("I-cache size sweep: ") + name);
+        table.setHeader({"size", "ARM uJ", "FITS uJ", "ARM mpmi",
+                         "FITS mpmi", "ARM IPC", "FITS IPC"});
+
+        for (uint32_t kib : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+            CoreConfig core;
+            core.icache.sizeBytes = kib * 1024;
+            // Keep the organization legal for tiny sizes.
+            core.icache.assoc =
+                std::min<uint32_t>(core.icache.assoc,
+                                   core.icache.numLines());
+            TechParams tech;
+            CachePowerModel model(core.icache, tech);
+
+            Machine arm_machine(arm, core);
+            RunResult ra = arm_machine.run();
+            Machine fits_machine(fits, core);
+            RunResult rf = fits_machine.run();
+            CachePowerBreakdown pa = model.evaluate(ra);
+            CachePowerBreakdown pf = model.evaluate(rf);
+
+            table.addRow(std::to_string(kib) + "K",
+                         {pa.totalJ() * 1e6, pf.totalJ() * 1e6,
+                          ra.icache.missesPerMillion(),
+                          rf.icache.missesPerMillion(), ra.ipc(),
+                          rf.ipc()},
+                         2);
+        }
+        table.print(std::cout);
+        std::cout << "\nreading: the FITS column reaches the ARM "
+                     "column's miss rate/energy one size class "
+                     "earlier — the paper's 'effectively twice as "
+                     "large' cache.\n";
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,684 @@
+#include "assembler/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+/** Parsing context for one source line. */
+struct Cursor
+{
+    const std::string &text;
+    size_t pos = 0;
+    int line;
+    const char *prog;
+
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        fatal("%s:%d: %s (near '%s')", prog, line, msg.c_str(),
+              text.substr(pos, 16).c_str());
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t')) {
+            ++pos;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos >= text.size();
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!consume(c))
+            error(std::string("expected '") + c + "'");
+    }
+
+    std::string
+    ident()
+    {
+        skipSpace();
+        size_t start = pos;
+        while (pos < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '_' || text[pos] == '.')) {
+            ++pos;
+        }
+        if (start == pos)
+            error("expected an identifier");
+        return text.substr(start, pos - start);
+    }
+
+    int64_t
+    number()
+    {
+        skipSpace();
+        bool neg = consume('-');
+        skipSpace();
+        size_t start = pos;
+        int base = 10;
+        if (pos + 1 < text.size() && text[pos] == '0' &&
+            (text[pos + 1] == 'x' || text[pos + 1] == 'X')) {
+            base = 16;
+            pos += 2;
+            start = pos;
+        }
+        while (pos < text.size() &&
+               std::isalnum(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+        if (start == pos)
+            error("expected a number");
+        int64_t value = 0;
+        try {
+            value = std::stoll(text.substr(start, pos - start), nullptr,
+                               base);
+        } catch (const std::exception &) {
+            error("bad number");
+        }
+        return neg ? -value : value;
+    }
+};
+
+/** Parse a register name: r0..r15, sp, lr. */
+std::optional<uint8_t>
+tryReg(const std::string &tok)
+{
+    if (tok == "sp")
+        return SP;
+    if (tok == "lr")
+        return LR;
+    if (tok.size() >= 2 && tok[0] == 'r') {
+        int v = 0;
+        for (size_t i = 1; i < tok.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+                return std::nullopt;
+            v = v * 10 + (tok[i] - '0');
+        }
+        if (v < NUM_REGS)
+            return static_cast<uint8_t>(v);
+    }
+    return std::nullopt;
+}
+
+std::optional<Cond>
+tryCond(const std::string &suffix)
+{
+    if (suffix.empty())
+        return Cond::AL;
+    for (unsigned i = 0; i < static_cast<unsigned>(Cond::AL); ++i) {
+        if (suffix == condName(static_cast<Cond>(i)))
+            return static_cast<Cond>(i);
+    }
+    if (suffix == "al")
+        return Cond::AL;
+    return std::nullopt;
+}
+
+std::optional<ShiftType>
+tryShift(const std::string &tok)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(ShiftType::NUM); ++i) {
+        if (tok == shiftName(static_cast<ShiftType>(i)))
+            return static_cast<ShiftType>(i);
+    }
+    return std::nullopt;
+}
+
+/** Decomposed mnemonic: base op + condition + s-flag. */
+struct Mnemonic
+{
+    std::string base;
+    Cond cond = Cond::AL;
+    bool setFlags = false;
+};
+
+const std::vector<std::string> &
+baseMnemonics()
+{
+    static const std::vector<std::string> bases = {
+        // sorted so longer names are tried first by the matcher
+        "ldrsb", "ldrsh", "umull", "smull",
+        "movw", "movt", "ldrb", "strb", "ldrh", "strh",
+        "push", "qadd", "qsub", "sdiv", "udiv",
+        "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+        "tst", "teq", "cmp", "cmn", "orr", "mov", "bic", "mvn",
+        "lsl", "lsr", "asr", "ror",
+        "mul", "mla", "clz", "ldr", "str", "ldm", "stm",
+        "pop", "swi", "ret", "nop", "bl", "la", "li", "b",
+    };
+    return bases;
+}
+
+bool
+allowsSetFlags(const std::string &base)
+{
+    static const char *allowed[] = {
+        "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+        "orr", "mov", "bic", "mvn", "mul", "mla",
+        "lsl", "lsr", "asr", "ror",
+    };
+    for (const char *a : allowed)
+        if (base == a)
+            return true;
+    return false;
+}
+
+std::optional<Mnemonic>
+splitMnemonic(const std::string &word)
+{
+    // Try every base that prefixes the word; accept when the remainder
+    // is {cond}{s}. Prefer the longest base ("ldrsb" over "ldr"+"sb").
+    std::optional<Mnemonic> best;
+    size_t best_len = 0;
+    for (const std::string &base : baseMnemonics()) {
+        if (word.size() < base.size() ||
+            word.compare(0, base.size(), base) != 0) {
+            continue;
+        }
+        std::string rest = word.substr(base.size());
+        bool s = false;
+        if (!rest.empty() && rest.back() == 's' &&
+            allowsSetFlags(base)) {
+            // 'cs' / 'vs' / 'ls' conditions also end in 's'; prefer the
+            // condition interpretation when it parses.
+            if (!tryCond(rest)) {
+                s = true;
+                rest.pop_back();
+            }
+        }
+        auto cond = tryCond(rest);
+        if (!cond)
+            continue;
+        if (base.size() > best_len) {
+            best_len = base.size();
+            best = Mnemonic{base, *cond, s};
+        }
+    }
+    return best;
+}
+
+std::optional<AluOp>
+tryAluOp(const std::string &base)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(AluOp::NUM); ++i) {
+        if (base == aluOpName(static_cast<AluOp>(i)))
+            return static_cast<AluOp>(i);
+    }
+    return std::nullopt;
+}
+
+/** One parsed statement (pre-layout). */
+struct Statement
+{
+    enum class Kind { INSN, LA, LI } kind = Kind::INSN;
+    MicroOp uop;               // INSN (branch target unresolved)
+    std::string branchTarget;  // INSN with B/BL
+    std::string symbol;        // LA
+    uint8_t reg = 0;           // LA / LI
+    uint32_t imm = 0;          // LI
+    int line = 0;
+
+    /** Number of uARM words this statement expands to. */
+    size_t sizeWords() const { return kind == Kind::INSN ? 1 : 2; }
+};
+
+struct PendingData
+{
+    std::string name;
+    std::vector<uint8_t> bytes;
+    int line = 0;
+};
+
+/** Parse the flexible last operand of a data-processing instruction. */
+void
+parseOperand2(Cursor &cur, MicroOp &uop)
+{
+    if (cur.consume('#')) {
+        uop.op2Kind = Operand2Kind::IMM;
+        uop.imm = static_cast<uint32_t>(cur.number());
+        return;
+    }
+    std::string tok = cur.ident();
+    auto rm = tryReg(tok);
+    if (!rm)
+        cur.error("expected a register or #immediate");
+    uop.rm = *rm;
+    uop.op2Kind = Operand2Kind::REG;
+    if (cur.consume(',')) {
+        std::string sh = cur.ident();
+        auto type = tryShift(sh);
+        if (!type)
+            cur.error("expected a shift type");
+        uop.shiftType = *type;
+        if (cur.consume('#')) {
+            int64_t amount = cur.number();
+            if (amount < 0 || amount > 31)
+                cur.error("shift amount out of range");
+            uop.shiftAmount = static_cast<uint8_t>(amount);
+            uop.op2Kind = Operand2Kind::REG_SHIFT_IMM;
+        } else {
+            auto rs = tryReg(cur.ident());
+            if (!rs)
+                cur.error("expected a shift amount or register");
+            uop.rs = *rs;
+            uop.op2Kind = Operand2Kind::REG_SHIFT_REG;
+        }
+    }
+}
+
+/** Parse "[rn]", "[rn, #d]", "[rn, rm]", "[rn, -rm]", "[rn, rm, lsl #k]". */
+void
+parseMemOperand(Cursor &cur, MicroOp &uop)
+{
+    cur.expect('[');
+    auto rn = tryReg(cur.ident());
+    if (!rn)
+        cur.error("expected a base register");
+    uop.rn = *rn;
+    uop.memKind = MemOffsetKind::IMM;
+    uop.memDisp = 0;
+    uop.memAdd = true;
+    if (cur.consume(',')) {
+        if (cur.consume('#')) {
+            int64_t disp = cur.number();
+            uop.memDisp = static_cast<int32_t>(disp);
+            uop.memAdd = disp >= 0;
+        } else {
+            bool neg = cur.consume('-');
+            auto rm = tryReg(cur.ident());
+            if (!rm)
+                cur.error("expected an offset register");
+            uop.rm = *rm;
+            uop.memAdd = !neg;
+            uop.memKind = MemOffsetKind::REG;
+            if (cur.consume(',')) {
+                auto type = tryShift(cur.ident());
+                if (!type)
+                    cur.error("expected a shift type");
+                cur.expect('#');
+                int64_t amount = cur.number();
+                if (amount < 0 || amount > 31)
+                    cur.error("shift amount out of range");
+                uop.shiftType = *type;
+                uop.shiftAmount = static_cast<uint8_t>(amount);
+                uop.memKind = MemOffsetKind::REG_SHIFT_IMM;
+            }
+        }
+    }
+    cur.expect(']');
+}
+
+uint16_t
+parseRegList(Cursor &cur)
+{
+    cur.expect('{');
+    uint16_t mask = 0;
+    do {
+        auto reg = tryReg(cur.ident());
+        if (!reg)
+            cur.error("expected a register in the list");
+        mask |= static_cast<uint16_t>(1u << *reg);
+    } while (cur.consume(','));
+    cur.expect('}');
+    return mask;
+}
+
+uint8_t
+parseReg(Cursor &cur)
+{
+    auto reg = tryReg(cur.ident());
+    if (!reg)
+        cur.error("expected a register");
+    return *reg;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &name, const std::string &source)
+{
+    // Pass 1: parse every line into statements / data, recording label
+    // positions in statement-expanded instruction indices.
+    std::vector<Statement> stmts;
+    std::map<std::string, size_t> codeLabels; // label -> instruction index
+    std::vector<PendingData> segments;
+    bool inData = false;
+    size_t insnIndex = 0;
+
+    std::istringstream stream(source);
+    std::string rawLine;
+    int lineNo = 0;
+    while (std::getline(stream, rawLine)) {
+        ++lineNo;
+        // Strip comments.
+        for (size_t i = 0; i < rawLine.size(); ++i) {
+            if (rawLine[i] == ';' || rawLine[i] == '@') {
+                rawLine.resize(i);
+                break;
+            }
+        }
+        Cursor cur{rawLine, 0, lineNo, name.c_str()};
+        if (cur.atEnd())
+            continue;
+
+        // Directives.
+        if (rawLine[cur.pos] == '.') {
+            std::string dir = cur.ident();
+            if (dir == ".text") {
+                inData = false;
+            } else if (dir == ".data") {
+                inData = true;
+                segments.push_back(
+                    PendingData{cur.ident(), {}, lineNo});
+            } else if (dir == ".word" || dir == ".half" ||
+                       dir == ".byte") {
+                if (!inData)
+                    cur.error("data directive outside .data");
+                auto &seg = segments.back();
+                do {
+                    int64_t v = cur.number();
+                    uint64_t u = static_cast<uint64_t>(v);
+                    seg.bytes.push_back(static_cast<uint8_t>(u));
+                    if (dir != ".byte")
+                        seg.bytes.push_back(static_cast<uint8_t>(u >> 8));
+                    if (dir == ".word") {
+                        seg.bytes.push_back(
+                            static_cast<uint8_t>(u >> 16));
+                        seg.bytes.push_back(
+                            static_cast<uint8_t>(u >> 24));
+                    }
+                } while (cur.consume(','));
+            } else if (dir == ".space") {
+                if (!inData)
+                    cur.error(".space outside .data");
+                int64_t n = cur.number();
+                if (n < 0)
+                    cur.error("negative .space size");
+                auto &seg = segments.back();
+                seg.bytes.insert(seg.bytes.end(),
+                                 static_cast<size_t>(n), 0);
+            } else {
+                cur.error("unknown directive '" + dir + "'");
+            }
+            if (!cur.atEnd())
+                cur.error("trailing characters");
+            continue;
+        }
+
+        // Labels (only meaningful in .text).
+        std::string first = cur.ident();
+        if (cur.consume(':')) {
+            if (inData)
+                cur.error("labels are not allowed inside .data");
+            if (codeLabels.count(first))
+                cur.error("duplicate label '" + first + "'");
+            codeLabels[first] = insnIndex;
+            if (cur.atEnd())
+                continue;
+            first = cur.ident();
+        }
+        if (inData)
+            cur.error("instructions are not allowed inside .data");
+
+        auto mnem = splitMnemonic(first);
+        if (!mnem)
+            cur.error("unknown mnemonic '" + first + "'");
+
+        Statement st;
+        st.line = lineNo;
+        MicroOp &uop = st.uop;
+        uop.cond = mnem->cond;
+        uop.setsFlags = mnem->setFlags;
+        const std::string &base = mnem->base;
+
+        if (auto alu = tryAluOp(base)) {
+            uop.op = static_cast<Op>(*alu);
+            if (isCompareOp(*alu)) {
+                uop.setsFlags = true;
+                uop.rn = parseReg(cur);
+                cur.expect(',');
+                parseOperand2(cur, uop);
+            } else if (isMoveOp(*alu)) {
+                uop.rd = parseReg(cur);
+                cur.expect(',');
+                parseOperand2(cur, uop);
+            } else {
+                uop.rd = parseReg(cur);
+                cur.expect(',');
+                uop.rn = parseReg(cur);
+                cur.expect(',');
+                parseOperand2(cur, uop);
+            }
+        } else if (base == "lsl" || base == "lsr" || base == "asr" ||
+                   base == "ror") {
+            // Shift pseudo-ops: lsl rd, rm, #k  /  lsl rd, rm, rs
+            uop.op = Op::MOV;
+            auto type = *tryShift(base);
+            uop.rd = parseReg(cur);
+            cur.expect(',');
+            uop.rm = parseReg(cur);
+            cur.expect(',');
+            uop.shiftType = type;
+            if (cur.consume('#')) {
+                int64_t amount = cur.number();
+                if (amount < 0 || amount > 31)
+                    cur.error("shift amount out of range");
+                uop.shiftAmount = static_cast<uint8_t>(amount);
+                uop.op2Kind = Operand2Kind::REG_SHIFT_IMM;
+            } else {
+                uop.rs = parseReg(cur);
+                uop.op2Kind = Operand2Kind::REG_SHIFT_REG;
+            }
+        } else if (base == "ldr" || base == "str" || base == "ldrb" ||
+                   base == "strb" || base == "ldrh" || base == "strh" ||
+                   base == "ldrsb" || base == "ldrsh") {
+            static const std::map<std::string, Op> memOps = {
+                {"ldr", Op::LDR}, {"str", Op::STR},
+                {"ldrb", Op::LDRB}, {"strb", Op::STRB},
+                {"ldrh", Op::LDRH}, {"strh", Op::STRH},
+                {"ldrsb", Op::LDRSB}, {"ldrsh", Op::LDRSH},
+            };
+            uop.op = memOps.at(base);
+            uop.rd = parseReg(cur);
+            cur.expect(',');
+            parseMemOperand(cur, uop);
+        } else if (base == "push" || base == "pop") {
+            uop.op = base == "push" ? Op::STM : Op::LDM;
+            uop.rn = SP;
+            uop.regList = parseRegList(cur);
+            uop.ldmIsPop = uop.op == Op::LDM;
+        } else if (base == "ldm" || base == "stm") {
+            uop.op = base == "ldm" ? Op::LDM : Op::STM;
+            uop.rn = parseReg(cur);
+            cur.expect('!');
+            cur.expect(',');
+            uop.regList = parseRegList(cur);
+            uop.ldmIsPop = uop.op == Op::LDM;
+        } else if (base == "b" || base == "bl") {
+            uop.op = base == "b" ? Op::B : Op::BL;
+            st.branchTarget = cur.ident();
+        } else if (base == "mul") {
+            uop.op = Op::MUL;
+            uop.rd = parseReg(cur);
+            cur.expect(',');
+            uop.rm = parseReg(cur);
+            cur.expect(',');
+            uop.rs = parseReg(cur);
+        } else if (base == "mla") {
+            uop.op = Op::MLA;
+            uop.rd = parseReg(cur);
+            cur.expect(',');
+            uop.rm = parseReg(cur);
+            cur.expect(',');
+            uop.rs = parseReg(cur);
+            cur.expect(',');
+            uop.ra = parseReg(cur);
+        } else if (base == "umull" || base == "smull") {
+            uop.op = base == "umull" ? Op::UMULL : Op::SMULL;
+            uop.ra = parseReg(cur); // lo
+            cur.expect(',');
+            uop.rd = parseReg(cur); // hi
+            cur.expect(',');
+            uop.rm = parseReg(cur);
+            cur.expect(',');
+            uop.rs = parseReg(cur);
+        } else if (base == "clz") {
+            uop.op = Op::CLZ;
+            uop.rd = parseReg(cur);
+            cur.expect(',');
+            uop.rm = parseReg(cur);
+        } else if (base == "sdiv" || base == "udiv" || base == "qadd" ||
+                   base == "qsub") {
+            static const std::map<std::string, Op> triOps = {
+                {"sdiv", Op::SDIV}, {"udiv", Op::UDIV},
+                {"qadd", Op::QADD}, {"qsub", Op::QSUB},
+            };
+            uop.op = triOps.at(base);
+            uop.rd = parseReg(cur);
+            cur.expect(',');
+            uop.rn = parseReg(cur);
+            cur.expect(',');
+            uop.rm = parseReg(cur);
+        } else if (base == "movw" || base == "movt") {
+            uop.op = base == "movw" ? Op::MOVW : Op::MOVT;
+            uop.rd = parseReg(cur);
+            cur.expect(',');
+            cur.expect('#');
+            int64_t v = cur.number();
+            if (v < 0 || v > 0xffff)
+                cur.error("movw/movt immediate out of range");
+            uop.imm = static_cast<uint32_t>(v);
+        } else if (base == "swi") {
+            uop.op = Op::SWI;
+            cur.expect('#');
+            uop.imm = static_cast<uint32_t>(cur.number());
+        } else if (base == "ret") {
+            uop.op = Op::RET;
+        } else if (base == "nop") {
+            uop.op = Op::NOP;
+        } else if (base == "la") {
+            st.kind = Statement::Kind::LA;
+            st.reg = parseReg(cur);
+            cur.expect(',');
+            st.symbol = cur.ident();
+        } else if (base == "li") {
+            st.kind = Statement::Kind::LI;
+            st.reg = parseReg(cur);
+            cur.expect(',');
+            cur.expect('#');
+            st.imm = static_cast<uint32_t>(cur.number());
+        } else {
+            cur.error("unhandled mnemonic '" + base + "'");
+        }
+
+        if (!cur.atEnd())
+            cur.error("trailing characters");
+        insnIndex += st.sizeWords();
+        stmts.push_back(std::move(st));
+    }
+
+    // Layout data segments.
+    Program prog;
+    prog.name = name;
+    uint32_t dataCursor = kDefaultDataBase;
+    for (auto &seg : segments) {
+        if (prog.symbols.count(seg.name))
+            fatal("%s:%d: duplicate data symbol '%s'", name.c_str(),
+                  seg.line, seg.name.c_str());
+        uint32_t segBase = (dataCursor + 3u) & ~3u;
+        dataCursor = segBase + static_cast<uint32_t>(seg.bytes.size());
+        prog.symbols[seg.name] = segBase;
+        prog.data.push_back(
+            DataSegment{seg.name, segBase, std::move(seg.bytes)});
+    }
+
+    // Pass 2: encode.
+    for (const Statement &st : stmts) {
+        size_t index = prog.code.size();
+        MicroOp uop = st.uop;
+        switch (st.kind) {
+          case Statement::Kind::LA:
+          case Statement::Kind::LI: {
+            uint32_t value;
+            if (st.kind == Statement::Kind::LA) {
+                auto it = prog.symbols.find(st.symbol);
+                if (it == prog.symbols.end())
+                    fatal("%s:%d: unknown data symbol '%s'",
+                          name.c_str(), st.line, st.symbol.c_str());
+                value = it->second;
+            } else {
+                value = st.imm;
+            }
+            // Always two words so pass-1 layout holds.
+            MicroOp w;
+            w.op = Op::MOVW;
+            w.rd = st.reg;
+            w.imm = value & 0xffffu;
+            uint32_t word;
+            if (!encodeArm(w, word))
+                panic("movw must encode");
+            prog.code.push_back(word);
+            w.op = Op::MOVT;
+            w.imm = value >> 16;
+            if (!encodeArm(w, word))
+                panic("movt must encode");
+            prog.code.push_back(word);
+            continue;
+          }
+          case Statement::Kind::INSN:
+            break;
+        }
+
+        if (!st.branchTarget.empty()) {
+            auto it = codeLabels.find(st.branchTarget);
+            if (it == codeLabels.end())
+                fatal("%s:%d: unknown label '%s'", name.c_str(), st.line,
+                      st.branchTarget.c_str());
+            uop.branchOffset = static_cast<int32_t>(
+                static_cast<int64_t>(it->second) -
+                static_cast<int64_t>(index));
+        }
+        uint32_t word;
+        if (!encodeArm(uop, word))
+            fatal("%s:%d: operand out of range in '%s'", name.c_str(),
+                  st.line, disassemble(uop).c_str());
+        prog.code.push_back(word);
+    }
+
+    if (prog.code.empty())
+        fatal("%s: program has no instructions", name.c_str());
+    return prog;
+}
+
+} // namespace pfits

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A two-pass text assembler for uARM.
+ *
+ * The benchmark kernels use the ProgramBuilder API directly; this text
+ * front-end exists for the examples, the tests and for users who want to
+ * feed their own assembly into the FITS toolchain.
+ *
+ * Syntax (ARM-flavoured):
+ *
+ *     ; comment                  @ also a comment
+ *     .text                      ; switch to code (default)
+ *     loop:
+ *         add   r0, r0, #1
+ *         subs  r2, r2, #1
+ *         bne   loop
+ *         ldr   r3, [r1, r0, lsl #2]
+ *         push  {r4, r5, lr}
+ *         la    r0, table        ; pseudo: movw+movt of a data symbol
+ *         li    r0, #0x12345678  ; pseudo: movw+movt of any constant
+ *         swi   #0
+ *     .data table
+ *         .word 1, 2, 3
+ *         .byte 0xff, 1
+ *         .half 7, 8
+ *         .space 64
+ */
+
+#ifndef POWERFITS_ASSEMBLER_ASSEMBLER_HH
+#define POWERFITS_ASSEMBLER_ASSEMBLER_HH
+
+#include <string>
+
+#include "assembler/program.hh"
+
+namespace pfits
+{
+
+/**
+ * Assemble uARM source text into a Program.
+ *
+ * @param name   program name (also used in error messages)
+ * @param source the assembly text
+ * @return the assembled program; fatal() on any syntax or range error,
+ *         with the offending line number in the message.
+ */
+Program assemble(const std::string &name, const std::string &source);
+
+} // namespace pfits
+
+#endif // POWERFITS_ASSEMBLER_ASSEMBLER_HH

@@ -1,0 +1,754 @@
+#include "assembler/builder.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+uint16_t
+regMask(std::initializer_list<uint8_t> regs)
+{
+    uint16_t mask = 0;
+    for (uint8_t reg : regs) {
+        if (reg >= NUM_REGS)
+            fatal("register r%u out of range", reg);
+        mask |= static_cast<uint16_t>(1u << reg);
+    }
+    return mask;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : code_(prog_.code)
+{
+    prog_.name = std::move(name);
+}
+
+Label
+ProgramBuilder::label()
+{
+    labelTargets_.push_back(-1);
+    return Label(static_cast<uint32_t>(labelTargets_.size() - 1));
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    if (!l.valid_)
+        fatal("binding a default-constructed label");
+    if (labelTargets_.at(l.id_) != -1)
+        fatal("label %u bound twice", l.id_);
+    labelTargets_[l.id_] = static_cast<int64_t>(code_.size());
+}
+
+Label
+ProgramBuilder::here()
+{
+    Label l = label();
+    bind(l);
+    return l;
+}
+
+uint32_t
+ProgramBuilder::addSegment(const std::string &sym,
+                           std::vector<uint8_t> data)
+{
+    if (prog_.symbols.count(sym))
+        fatal("duplicate data symbol '%s'", sym.c_str());
+    uint32_t base = (dataCursor_ + 3u) & ~3u;
+    dataCursor_ = base + static_cast<uint32_t>(data.size());
+    prog_.symbols[sym] = base;
+    prog_.data.push_back(DataSegment{sym, base, std::move(data)});
+    return base;
+}
+
+uint32_t
+ProgramBuilder::bytes(const std::string &sym, std::vector<uint8_t> data)
+{
+    return addSegment(sym, std::move(data));
+}
+
+uint32_t
+ProgramBuilder::words(const std::string &sym,
+                      const std::vector<uint32_t> &data)
+{
+    std::vector<uint8_t> raw;
+    raw.reserve(data.size() * 4);
+    for (uint32_t w : data) {
+        raw.push_back(static_cast<uint8_t>(w));
+        raw.push_back(static_cast<uint8_t>(w >> 8));
+        raw.push_back(static_cast<uint8_t>(w >> 16));
+        raw.push_back(static_cast<uint8_t>(w >> 24));
+    }
+    return addSegment(sym, std::move(raw));
+}
+
+uint32_t
+ProgramBuilder::halfs(const std::string &sym,
+                      const std::vector<uint16_t> &data)
+{
+    std::vector<uint8_t> raw;
+    raw.reserve(data.size() * 2);
+    for (uint16_t h : data) {
+        raw.push_back(static_cast<uint8_t>(h));
+        raw.push_back(static_cast<uint8_t>(h >> 8));
+    }
+    return addSegment(sym, std::move(raw));
+}
+
+uint32_t
+ProgramBuilder::zeros(const std::string &sym, uint32_t size)
+{
+    return addSegment(sym, std::vector<uint8_t>(size, 0));
+}
+
+void
+ProgramBuilder::emit(const MicroOp &uop)
+{
+    uint32_t word;
+    if (!encodeArm(uop, word))
+        fatal("program '%s': cannot encode '%s' at index %zu",
+              prog_.name.c_str(), disassemble(uop).c_str(), code_.size());
+    code_.push_back(word);
+}
+
+// --- data processing -------------------------------------------------------
+
+void
+ProgramBuilder::alu(AluOp op, uint8_t rd, uint8_t rn, uint8_t rm,
+                    Cond cond, bool s)
+{
+    MicroOp uop;
+    uop.op = static_cast<Op>(op);
+    uop.cond = cond;
+    uop.setsFlags = s;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    uop.op2Kind = Operand2Kind::REG;
+    emit(uop);
+}
+
+void
+ProgramBuilder::alui(AluOp op, uint8_t rd, uint8_t rn, uint32_t imm,
+                     Cond cond, bool s)
+{
+    MicroOp uop;
+    uop.op = static_cast<Op>(op);
+    uop.cond = cond;
+    uop.setsFlags = s;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.imm = imm;
+    uop.op2Kind = Operand2Kind::IMM;
+    emit(uop);
+}
+
+void
+ProgramBuilder::aluShift(AluOp op, uint8_t rd, uint8_t rn, uint8_t rm,
+                         ShiftType type, uint8_t amount, Cond cond, bool s)
+{
+    MicroOp uop;
+    uop.op = static_cast<Op>(op);
+    uop.cond = cond;
+    uop.setsFlags = s;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    uop.op2Kind = Operand2Kind::REG_SHIFT_IMM;
+    uop.shiftType = type;
+    uop.shiftAmount = amount;
+    emit(uop);
+}
+
+void
+ProgramBuilder::aluShiftReg(AluOp op, uint8_t rd, uint8_t rn, uint8_t rm,
+                            ShiftType type, uint8_t rs, Cond cond, bool s)
+{
+    MicroOp uop;
+    uop.op = static_cast<Op>(op);
+    uop.cond = cond;
+    uop.setsFlags = s;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    uop.rs = rs;
+    uop.op2Kind = Operand2Kind::REG_SHIFT_REG;
+    uop.shiftType = type;
+    emit(uop);
+}
+
+void
+ProgramBuilder::add(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond, bool s)
+{
+    alu(AluOp::ADD, rd, rn, rm, cond, s);
+}
+
+void
+ProgramBuilder::addi(uint8_t rd, uint8_t rn, uint32_t imm, Cond cond,
+                     bool s)
+{
+    alui(AluOp::ADD, rd, rn, imm, cond, s);
+}
+
+void
+ProgramBuilder::sub(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond, bool s)
+{
+    alu(AluOp::SUB, rd, rn, rm, cond, s);
+}
+
+void
+ProgramBuilder::subi(uint8_t rd, uint8_t rn, uint32_t imm, Cond cond,
+                     bool s)
+{
+    alui(AluOp::SUB, rd, rn, imm, cond, s);
+}
+
+void
+ProgramBuilder::rsbi(uint8_t rd, uint8_t rn, uint32_t imm, Cond cond,
+                     bool s)
+{
+    alui(AluOp::RSB, rd, rn, imm, cond, s);
+}
+
+void
+ProgramBuilder::and_(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond, bool s)
+{
+    alu(AluOp::AND, rd, rn, rm, cond, s);
+}
+
+void
+ProgramBuilder::andi(uint8_t rd, uint8_t rn, uint32_t imm, Cond cond,
+                     bool s)
+{
+    alui(AluOp::AND, rd, rn, imm, cond, s);
+}
+
+void
+ProgramBuilder::orr(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond)
+{
+    alu(AluOp::ORR, rd, rn, rm, cond);
+}
+
+void
+ProgramBuilder::orri(uint8_t rd, uint8_t rn, uint32_t imm, Cond cond)
+{
+    alui(AluOp::ORR, rd, rn, imm, cond);
+}
+
+void
+ProgramBuilder::eor(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond)
+{
+    alu(AluOp::EOR, rd, rn, rm, cond);
+}
+
+void
+ProgramBuilder::eori(uint8_t rd, uint8_t rn, uint32_t imm, Cond cond)
+{
+    alui(AluOp::EOR, rd, rn, imm, cond);
+}
+
+void
+ProgramBuilder::bic(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond)
+{
+    alu(AluOp::BIC, rd, rn, rm, cond);
+}
+
+void
+ProgramBuilder::bici(uint8_t rd, uint8_t rn, uint32_t imm, Cond cond)
+{
+    alui(AluOp::BIC, rd, rn, imm, cond);
+}
+
+void
+ProgramBuilder::mov(uint8_t rd, uint8_t rm, Cond cond, bool s)
+{
+    alu(AluOp::MOV, rd, 0, rm, cond, s);
+}
+
+void
+ProgramBuilder::movi(uint8_t rd, uint32_t imm)
+{
+    if (isArmImmediate(imm)) {
+        alui(AluOp::MOV, rd, 0, imm);
+        return;
+    }
+    if (isArmImmediate(~imm)) {
+        alui(AluOp::MVN, rd, 0, ~imm);
+        return;
+    }
+    MicroOp uop;
+    uop.op = Op::MOVW;
+    uop.rd = rd;
+    uop.imm = imm & 0xffffu;
+    emit(uop);
+    if (imm >> 16) {
+        uop.op = Op::MOVT;
+        uop.imm = imm >> 16;
+        emit(uop);
+    }
+}
+
+void
+ProgramBuilder::movci(uint8_t rd, uint32_t imm, Cond cond)
+{
+    if (isArmImmediate(imm)) {
+        alui(AluOp::MOV, rd, 0, imm, cond);
+    } else if (isArmImmediate(~imm)) {
+        alui(AluOp::MVN, rd, 0, ~imm, cond);
+    } else {
+        fatal("movci: %u is not a single-instruction immediate", imm);
+    }
+}
+
+void
+ProgramBuilder::mvni(uint8_t rd, uint32_t imm, Cond cond)
+{
+    alui(AluOp::MVN, rd, 0, imm, cond);
+}
+
+void
+ProgramBuilder::lsli(uint8_t rd, uint8_t rm, uint8_t amount, Cond cond,
+                     bool s)
+{
+    if (amount == 0)
+        mov(rd, rm, cond, s);
+    else
+        aluShift(AluOp::MOV, rd, 0, rm, ShiftType::LSL, amount, cond, s);
+}
+
+void
+ProgramBuilder::lsri(uint8_t rd, uint8_t rm, uint8_t amount, Cond cond,
+                     bool s)
+{
+    aluShift(AluOp::MOV, rd, 0, rm, ShiftType::LSR, amount, cond, s);
+}
+
+void
+ProgramBuilder::asri(uint8_t rd, uint8_t rm, uint8_t amount, Cond cond,
+                     bool s)
+{
+    aluShift(AluOp::MOV, rd, 0, rm, ShiftType::ASR, amount, cond, s);
+}
+
+void
+ProgramBuilder::rori(uint8_t rd, uint8_t rm, uint8_t amount, Cond cond,
+                     bool s)
+{
+    aluShift(AluOp::MOV, rd, 0, rm, ShiftType::ROR, amount, cond, s);
+}
+
+void
+ProgramBuilder::lslr(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond)
+{
+    aluShiftReg(AluOp::MOV, rd, 0, rm, ShiftType::LSL, rs, cond);
+}
+
+void
+ProgramBuilder::lsrr(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond)
+{
+    aluShiftReg(AluOp::MOV, rd, 0, rm, ShiftType::LSR, rs, cond);
+}
+
+void
+ProgramBuilder::asrr(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond)
+{
+    aluShiftReg(AluOp::MOV, rd, 0, rm, ShiftType::ASR, rs, cond);
+}
+
+void
+ProgramBuilder::cmp(uint8_t rn, uint8_t rm, Cond cond)
+{
+    alu(AluOp::CMP, 0, rn, rm, cond, true);
+}
+
+void
+ProgramBuilder::cmpi(uint8_t rn, uint32_t imm, Cond cond)
+{
+    alui(AluOp::CMP, 0, rn, imm, cond, true);
+}
+
+void
+ProgramBuilder::cmn(uint8_t rn, uint8_t rm, Cond cond)
+{
+    alu(AluOp::CMN, 0, rn, rm, cond, true);
+}
+
+void
+ProgramBuilder::tst(uint8_t rn, uint8_t rm, Cond cond)
+{
+    alu(AluOp::TST, 0, rn, rm, cond, true);
+}
+
+void
+ProgramBuilder::tsti(uint8_t rn, uint32_t imm, Cond cond)
+{
+    alui(AluOp::TST, 0, rn, imm, cond, true);
+}
+
+void
+ProgramBuilder::teq(uint8_t rn, uint8_t rm, Cond cond)
+{
+    alu(AluOp::TEQ, 0, rn, rm, cond, true);
+}
+
+// --- multiply / divide -------------------------------------------------
+
+void
+ProgramBuilder::mul(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::MUL;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rm = rm;
+    uop.rs = rs;
+    emit(uop);
+}
+
+void
+ProgramBuilder::mla(uint8_t rd, uint8_t rm, uint8_t rs, uint8_t ra,
+                    Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::MLA;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rm = rm;
+    uop.rs = rs;
+    uop.ra = ra;
+    emit(uop);
+}
+
+void
+ProgramBuilder::umull(uint8_t rd_lo, uint8_t rd_hi, uint8_t rm, uint8_t rs,
+                      Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::UMULL;
+    uop.cond = cond;
+    uop.rd = rd_hi;
+    uop.ra = rd_lo;
+    uop.rm = rm;
+    uop.rs = rs;
+    emit(uop);
+}
+
+void
+ProgramBuilder::smull(uint8_t rd_lo, uint8_t rd_hi, uint8_t rm, uint8_t rs,
+                      Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::SMULL;
+    uop.cond = cond;
+    uop.rd = rd_hi;
+    uop.ra = rd_lo;
+    uop.rm = rm;
+    uop.rs = rs;
+    emit(uop);
+}
+
+void
+ProgramBuilder::clz(uint8_t rd, uint8_t rm, Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::CLZ;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rm = rm;
+    emit(uop);
+}
+
+void
+ProgramBuilder::sdiv(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::SDIV;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    emit(uop);
+}
+
+void
+ProgramBuilder::udiv(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::UDIV;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    emit(uop);
+}
+
+void
+ProgramBuilder::qadd(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::QADD;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    emit(uop);
+}
+
+void
+ProgramBuilder::qsub(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::QSUB;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    emit(uop);
+}
+
+// --- memory -----------------------------------------------------------
+
+void
+ProgramBuilder::emitMem(Op op, uint8_t rd, uint8_t rn, int32_t disp,
+                        Cond cond)
+{
+    MicroOp uop;
+    uop.op = op;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.memKind = MemOffsetKind::IMM;
+    uop.memDisp = disp;
+    uop.memAdd = disp >= 0;
+    emit(uop);
+}
+
+void
+ProgramBuilder::ldr(uint8_t rd, uint8_t rn, int32_t disp, Cond cond)
+{
+    emitMem(Op::LDR, rd, rn, disp, cond);
+}
+
+void
+ProgramBuilder::str(uint8_t rd, uint8_t rn, int32_t disp, Cond cond)
+{
+    emitMem(Op::STR, rd, rn, disp, cond);
+}
+
+void
+ProgramBuilder::ldrb(uint8_t rd, uint8_t rn, int32_t disp, Cond cond)
+{
+    emitMem(Op::LDRB, rd, rn, disp, cond);
+}
+
+void
+ProgramBuilder::strb(uint8_t rd, uint8_t rn, int32_t disp, Cond cond)
+{
+    emitMem(Op::STRB, rd, rn, disp, cond);
+}
+
+void
+ProgramBuilder::ldrh(uint8_t rd, uint8_t rn, int32_t disp, Cond cond)
+{
+    emitMem(Op::LDRH, rd, rn, disp, cond);
+}
+
+void
+ProgramBuilder::strh(uint8_t rd, uint8_t rn, int32_t disp, Cond cond)
+{
+    emitMem(Op::STRH, rd, rn, disp, cond);
+}
+
+void
+ProgramBuilder::ldrsb(uint8_t rd, uint8_t rn, int32_t disp, Cond cond)
+{
+    emitMem(Op::LDRSB, rd, rn, disp, cond);
+}
+
+void
+ProgramBuilder::ldrsh(uint8_t rd, uint8_t rn, int32_t disp, Cond cond)
+{
+    emitMem(Op::LDRSH, rd, rn, disp, cond);
+}
+
+void
+ProgramBuilder::ldrr(uint8_t rd, uint8_t rn, uint8_t rm,
+                     uint8_t lsl_amount, Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::LDR;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    uop.memAdd = true;
+    uop.shiftType = ShiftType::LSL;
+    uop.shiftAmount = lsl_amount;
+    uop.memKind = lsl_amount ? MemOffsetKind::REG_SHIFT_IMM
+                             : MemOffsetKind::REG;
+    emit(uop);
+}
+
+void
+ProgramBuilder::strr(uint8_t rd, uint8_t rn, uint8_t rm,
+                     uint8_t lsl_amount, Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::STR;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    uop.memAdd = true;
+    uop.shiftType = ShiftType::LSL;
+    uop.shiftAmount = lsl_amount;
+    uop.memKind = lsl_amount ? MemOffsetKind::REG_SHIFT_IMM
+                             : MemOffsetKind::REG;
+    emit(uop);
+}
+
+void
+ProgramBuilder::ldrbr(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::LDRB;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    uop.memAdd = true;
+    uop.memKind = MemOffsetKind::REG;
+    emit(uop);
+}
+
+void
+ProgramBuilder::strbr(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::STRB;
+    uop.cond = cond;
+    uop.rd = rd;
+    uop.rn = rn;
+    uop.rm = rm;
+    uop.memAdd = true;
+    uop.memKind = MemOffsetKind::REG;
+    emit(uop);
+}
+
+void
+ProgramBuilder::push(std::initializer_list<uint8_t> regs)
+{
+    MicroOp uop;
+    uop.op = Op::STM;
+    uop.rn = SP;
+    uop.regList = regMask(regs);
+    uop.ldmIsPop = false;
+    emit(uop);
+}
+
+void
+ProgramBuilder::pop(std::initializer_list<uint8_t> regs)
+{
+    MicroOp uop;
+    uop.op = Op::LDM;
+    uop.rn = SP;
+    uop.regList = regMask(regs);
+    uop.ldmIsPop = true;
+    emit(uop);
+}
+
+// --- control ----------------------------------------------------------
+
+void
+ProgramBuilder::b(Label target, Cond cond)
+{
+    if (!target.valid_)
+        fatal("branch to a default-constructed label");
+    MicroOp uop;
+    uop.op = Op::B;
+    uop.cond = cond;
+    uop.branchOffset = 0;
+    fixups_.push_back(Fixup{code_.size(), target.id_});
+    emit(uop);
+}
+
+void
+ProgramBuilder::bl(Label target, Cond cond)
+{
+    if (!target.valid_)
+        fatal("call to a default-constructed label");
+    MicroOp uop;
+    uop.op = Op::BL;
+    uop.cond = cond;
+    uop.branchOffset = 0;
+    fixups_.push_back(Fixup{code_.size(), target.id_});
+    emit(uop);
+}
+
+void
+ProgramBuilder::ret(Cond cond)
+{
+    MicroOp uop;
+    uop.op = Op::RET;
+    uop.cond = cond;
+    emit(uop);
+}
+
+void
+ProgramBuilder::swi(uint32_t number)
+{
+    MicroOp uop;
+    uop.op = Op::SWI;
+    uop.imm = number;
+    emit(uop);
+}
+
+void
+ProgramBuilder::exit()
+{
+    swi(SWI_EXIT);
+}
+
+void
+ProgramBuilder::nop()
+{
+    MicroOp uop;
+    uop.op = Op::NOP;
+    emit(uop);
+}
+
+void
+ProgramBuilder::lea(uint8_t rd, const std::string &sym)
+{
+    movi(rd, prog_.symbol(sym));
+}
+
+Program
+ProgramBuilder::finish()
+{
+    if (finished_)
+        fatal("ProgramBuilder::finish() called twice");
+    finished_ = true;
+
+    for (const Fixup &fix : fixups_) {
+        int64_t target = labelTargets_.at(fix.labelId);
+        if (target < 0)
+            fatal("program '%s': label %u never bound",
+                  prog_.name.c_str(), fix.labelId);
+        MicroOp uop;
+        if (!decodeArm(code_[fix.index], uop) || !isBranchOp(uop.op))
+            panic("fixup at %zu does not point at a branch", fix.index);
+        uop.branchOffset =
+            static_cast<int32_t>(target -
+                                 static_cast<int64_t>(fix.index));
+        uint32_t word;
+        if (!encodeArm(uop, word))
+            fatal("program '%s': branch offset %d out of range",
+                  prog_.name.c_str(), uop.branchOffset);
+        code_[fix.index] = word;
+    }
+    return std::move(prog_);
+}
+
+} // namespace pfits

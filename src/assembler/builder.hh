@@ -1,0 +1,228 @@
+/**
+ * @file
+ * ProgramBuilder — a typed C++ DSL for emitting uARM programs.
+ *
+ * All 21 MiBench-style kernels in src/mibench/ are written against this
+ * API. Compared to the text assembler it gives label objects (no string
+ * typos), eager data-address assignment (so `lea` works in one pass), and
+ * automatic wide-immediate materialization via MOVW/MOVT.
+ *
+ * Register conventions used by the kernels (not enforced by the builder):
+ * r0-r3 arguments/temporaries, r4-r11 locals, r12 deliberately left free
+ * (the FITS translator may claim an unused register as expansion scratch),
+ * r13 stack pointer, r14 link register.
+ */
+
+#ifndef POWERFITS_ASSEMBLER_BUILDER_HH
+#define POWERFITS_ASSEMBLER_BUILDER_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "isa/isa.hh"
+
+namespace pfits
+{
+
+/** An opaque branch-target handle created by ProgramBuilder::label(). */
+class Label
+{
+  public:
+    Label() = default;
+
+  private:
+    friend class ProgramBuilder;
+    explicit Label(uint32_t id) : id_(id), valid_(true) {}
+    uint32_t id_ = 0;
+    bool valid_ = false;
+};
+
+/** Builds a Program instruction by instruction. Single use. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    // --- labels ---------------------------------------------------------
+    /** Create an unbound label. */
+    Label label();
+    /** Bind @p l to the next emitted instruction. */
+    void bind(Label l);
+    /** Create a label already bound to the next instruction. */
+    Label here();
+
+    // --- data -----------------------------------------------------------
+    /** Add raw bytes; @return the segment's base address. */
+    uint32_t bytes(const std::string &sym, std::vector<uint8_t> data);
+    /** Add little-endian 32-bit words. */
+    uint32_t words(const std::string &sym,
+                   const std::vector<uint32_t> &data);
+    /** Add little-endian 16-bit halfwords. */
+    uint32_t halfs(const std::string &sym,
+                   const std::vector<uint16_t> &data);
+    /** Add a zero-initialized region. */
+    uint32_t zeros(const std::string &sym, uint32_t size);
+
+    // --- generic emission -------------------------------------------------
+    /** Encode and append @p uop; fatal() when unencodable. */
+    void emit(const MicroOp &uop);
+    /** Number of instructions emitted so far. */
+    size_t size() const { return code_.size(); }
+
+    // --- data processing --------------------------------------------------
+    void alu(AluOp op, uint8_t rd, uint8_t rn, uint8_t rm,
+             Cond cond = Cond::AL, bool s = false);
+    void alui(AluOp op, uint8_t rd, uint8_t rn, uint32_t imm,
+              Cond cond = Cond::AL, bool s = false);
+    void aluShift(AluOp op, uint8_t rd, uint8_t rn, uint8_t rm,
+                  ShiftType type, uint8_t amount,
+                  Cond cond = Cond::AL, bool s = false);
+    void aluShiftReg(AluOp op, uint8_t rd, uint8_t rn, uint8_t rm,
+                     ShiftType type, uint8_t rs,
+                     Cond cond = Cond::AL, bool s = false);
+
+    void add(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond = Cond::AL,
+             bool s = false);
+    void addi(uint8_t rd, uint8_t rn, uint32_t imm,
+              Cond cond = Cond::AL, bool s = false);
+    void sub(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond = Cond::AL,
+             bool s = false);
+    void subi(uint8_t rd, uint8_t rn, uint32_t imm,
+              Cond cond = Cond::AL, bool s = false);
+    void rsbi(uint8_t rd, uint8_t rn, uint32_t imm,
+              Cond cond = Cond::AL, bool s = false);
+    void and_(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond = Cond::AL,
+              bool s = false);
+    void andi(uint8_t rd, uint8_t rn, uint32_t imm,
+              Cond cond = Cond::AL, bool s = false);
+    void orr(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+    void orri(uint8_t rd, uint8_t rn, uint32_t imm,
+              Cond cond = Cond::AL);
+    void eor(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+    void eori(uint8_t rd, uint8_t rn, uint32_t imm,
+              Cond cond = Cond::AL);
+    void bic(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+    void bici(uint8_t rd, uint8_t rn, uint32_t imm,
+              Cond cond = Cond::AL);
+
+    void mov(uint8_t rd, uint8_t rm, Cond cond = Cond::AL,
+             bool s = false);
+    /**
+     * Materialize an arbitrary 32-bit constant with the cheapest sequence:
+     * MOV #rot8, MVN #rot8, MOVW, or MOVW+MOVT (1-2 instructions).
+     * Always unconditional (the pair form cannot be safely predicated).
+     */
+    void movi(uint8_t rd, uint32_t imm);
+    /** Single-instruction conditional move-immediate; imm must encode. */
+    void movci(uint8_t rd, uint32_t imm, Cond cond);
+    void mvni(uint8_t rd, uint32_t imm, Cond cond = Cond::AL);
+
+    void lsli(uint8_t rd, uint8_t rm, uint8_t amount,
+              Cond cond = Cond::AL, bool s = false);
+    void lsri(uint8_t rd, uint8_t rm, uint8_t amount,
+              Cond cond = Cond::AL, bool s = false);
+    void asri(uint8_t rd, uint8_t rm, uint8_t amount,
+              Cond cond = Cond::AL, bool s = false);
+    void rori(uint8_t rd, uint8_t rm, uint8_t amount,
+              Cond cond = Cond::AL, bool s = false);
+    void lslr(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond = Cond::AL);
+    void lsrr(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond = Cond::AL);
+    void asrr(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond = Cond::AL);
+
+    void cmp(uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+    void cmpi(uint8_t rn, uint32_t imm, Cond cond = Cond::AL);
+    void cmn(uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+    void tst(uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+    void tsti(uint8_t rn, uint32_t imm, Cond cond = Cond::AL);
+    void teq(uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+
+    // --- multiply / divide / misc arithmetic --------------------------------
+    void mul(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond = Cond::AL);
+    void mla(uint8_t rd, uint8_t rm, uint8_t rs, uint8_t ra,
+             Cond cond = Cond::AL);
+    void umull(uint8_t rd_lo, uint8_t rd_hi, uint8_t rm, uint8_t rs,
+               Cond cond = Cond::AL);
+    void smull(uint8_t rd_lo, uint8_t rd_hi, uint8_t rm, uint8_t rs,
+               Cond cond = Cond::AL);
+    void clz(uint8_t rd, uint8_t rm, Cond cond = Cond::AL);
+    void sdiv(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+    void udiv(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+    void qadd(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+    void qsub(uint8_t rd, uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
+
+    // --- memory -----------------------------------------------------------
+    void ldr(uint8_t rd, uint8_t rn, int32_t disp = 0,
+             Cond cond = Cond::AL);
+    void str(uint8_t rd, uint8_t rn, int32_t disp = 0,
+             Cond cond = Cond::AL);
+    void ldrb(uint8_t rd, uint8_t rn, int32_t disp = 0,
+              Cond cond = Cond::AL);
+    void strb(uint8_t rd, uint8_t rn, int32_t disp = 0,
+              Cond cond = Cond::AL);
+    void ldrh(uint8_t rd, uint8_t rn, int32_t disp = 0,
+              Cond cond = Cond::AL);
+    void strh(uint8_t rd, uint8_t rn, int32_t disp = 0,
+              Cond cond = Cond::AL);
+    void ldrsb(uint8_t rd, uint8_t rn, int32_t disp = 0,
+               Cond cond = Cond::AL);
+    void ldrsh(uint8_t rd, uint8_t rn, int32_t disp = 0,
+               Cond cond = Cond::AL);
+
+    /** Register-offset forms: address = rn + (rm << amount). */
+    void ldrr(uint8_t rd, uint8_t rn, uint8_t rm, uint8_t lsl_amount = 0,
+              Cond cond = Cond::AL);
+    void strr(uint8_t rd, uint8_t rn, uint8_t rm, uint8_t lsl_amount = 0,
+              Cond cond = Cond::AL);
+    void ldrbr(uint8_t rd, uint8_t rn, uint8_t rm,
+               Cond cond = Cond::AL);
+    void strbr(uint8_t rd, uint8_t rn, uint8_t rm,
+               Cond cond = Cond::AL);
+
+    /** Push/pop on sp (STMDB sp! / LDMIA sp!). */
+    void push(std::initializer_list<uint8_t> regs);
+    void pop(std::initializer_list<uint8_t> regs);
+
+    // --- control ------------------------------------------------------------
+    void b(Label target, Cond cond = Cond::AL);
+    void bl(Label target, Cond cond = Cond::AL);
+    void ret(Cond cond = Cond::AL);
+    void swi(uint32_t number);
+    /** swi EXIT — every kernel ends with this. */
+    void exit();
+    void nop();
+
+    /** Load the address of a data symbol (declared earlier). */
+    void lea(uint8_t rd, const std::string &sym);
+
+    // --- finish ---------------------------------------------------------
+    /** Resolve label fixups and produce the Program. Single use. */
+    Program finish();
+
+  private:
+    struct Fixup
+    {
+        size_t index;
+        uint32_t labelId;
+    };
+
+    void emitMem(Op op, uint8_t rd, uint8_t rn, int32_t disp, Cond cond);
+    uint32_t addSegment(const std::string &sym,
+                        std::vector<uint8_t> data);
+
+    Program prog_;
+    std::vector<uint32_t> &code_;
+    std::vector<int64_t> labelTargets_; //!< -1 while unbound
+    std::vector<Fixup> fixups_;
+    uint32_t dataCursor_ = kDefaultDataBase;
+    bool finished_ = false;
+};
+
+/** The register-list bitmask for LDM/STM. */
+uint16_t regMask(std::initializer_list<uint8_t> regs);
+
+} // namespace pfits
+
+#endif // POWERFITS_ASSEMBLER_BUILDER_HH

@@ -1,0 +1,45 @@
+#include "assembler/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+uint32_t
+Program::symbol(const std::string &sym_name) const
+{
+    auto it = symbols.find(sym_name);
+    if (it == symbols.end())
+        fatal("program '%s': unknown symbol '%s'",
+              name.c_str(), sym_name.c_str());
+    return it->second;
+}
+
+std::vector<MicroOp>
+Program::decodeAll() const
+{
+    std::vector<MicroOp> uops(code.size());
+    for (size_t i = 0; i < code.size(); ++i) {
+        if (!decodeArm(code[i], uops[i]))
+            fatal("program '%s': undecodable word 0x%08x at index %zu",
+                  name.c_str(), code[i], i);
+    }
+    return uops;
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream os;
+    char buf[32];
+    for (size_t i = 0; i < code.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%08x:  %08x  ",
+                      addrOf(i), code[i]);
+        os << buf << disassembleArm(code[i]) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace pfits

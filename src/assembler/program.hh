@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The binary image of a uARM program: code words, initialized data
+ * segments, symbols, and the conventions (entry point, stack top) that
+ * the loader in src/sim/ consumes.
+ */
+
+#ifndef POWERFITS_ASSEMBLER_PROGRAM_HH
+#define POWERFITS_ASSEMBLER_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace pfits
+{
+
+/** Default load address of the first instruction. */
+constexpr uint32_t kDefaultCodeBase = 0x8000;
+
+/** Default base address for static data. */
+constexpr uint32_t kDefaultDataBase = 0x40000;
+
+/** Default initial stack pointer (stack grows down). */
+constexpr uint32_t kDefaultStackTop = 0x200000;
+
+/** One initialized (or zeroed) data region. */
+struct DataSegment
+{
+    std::string name;
+    uint32_t base = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/**
+ * An assembled uARM program.
+ *
+ * Code is held as 32-bit words; instruction i lives at byte address
+ * codeBase + 4*i. Branch offsets inside the words are in instructions
+ * relative to the branch itself (see isa.hh).
+ */
+struct Program
+{
+    std::string name;
+    uint32_t codeBase = kDefaultCodeBase;
+    uint32_t stackTop = kDefaultStackTop;
+    std::vector<uint32_t> code;
+    std::vector<DataSegment> data;
+    std::map<std::string, uint32_t> symbols; //!< name -> byte address
+
+    /** Byte address of instruction @p index. */
+    uint32_t addrOf(size_t index) const
+    {
+        return codeBase + static_cast<uint32_t>(index) * 4u;
+    }
+
+    /** Static code size in bytes. */
+    uint32_t codeBytes() const
+    {
+        return static_cast<uint32_t>(code.size()) * 4u;
+    }
+
+    /** Look up a data symbol; fatal() when missing. */
+    uint32_t symbol(const std::string &sym_name) const;
+
+    /** Decode every instruction once (fatal() on an undecodable word). */
+    std::vector<MicroOp> decodeAll() const;
+
+    /** Multi-line disassembly listing with addresses. */
+    std::string listing() const;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_ASSEMBLER_PROGRAM_HH

@@ -1,0 +1,191 @@
+#include "cache/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+const char *
+replPolicyName(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::LRU: return "lru";
+      case ReplPolicy::FIFO: return "fifo";
+      case ReplPolicy::RANDOM: return "random";
+      case ReplPolicy::ROUND_ROBIN: return "round-robin";
+      default: panic("bad replacement policy");
+    }
+}
+
+void
+CacheConfig::validate() const
+{
+    if (!isPow2(sizeBytes) || !isPow2(lineBytes) || !isPow2(assoc))
+        fatal("cache '%s': size, line size and associativity must be "
+              "powers of two", name.c_str());
+    if (lineBytes < 4)
+        fatal("cache '%s': line size below 4 bytes", name.c_str());
+    if (sizeBytes < lineBytes * assoc)
+        fatal("cache '%s': size %u too small for %u ways of %u-byte "
+              "lines", name.c_str(), sizeBytes, assoc, lineBytes);
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), rng_(0xcac4e5eedull)
+{
+    config_.validate();
+    lines_.assign(static_cast<size_t>(config_.numSets()) * config_.assoc,
+                  Line{});
+    nextWay_.assign(config_.numSets(), 0);
+}
+
+uint32_t
+Cache::setIndex(uint32_t addr) const
+{
+    return (addr / config_.lineBytes) & (config_.numSets() - 1);
+}
+
+uint32_t
+Cache::tagOf(uint32_t addr) const
+{
+    return addr / config_.lineBytes / config_.numSets();
+}
+
+uint32_t
+Cache::victimWay(uint32_t set)
+{
+    const uint32_t base = set * config_.assoc;
+
+    // Prefer an invalid way.
+    for (uint32_t way = 0; way < config_.assoc; ++way)
+        if (!lines_[base + way].valid)
+            return way;
+
+    switch (config_.policy) {
+      case ReplPolicy::LRU:
+      case ReplPolicy::FIFO: {
+        uint32_t victim = 0;
+        uint64_t oldest = lines_[base].stamp;
+        for (uint32_t way = 1; way < config_.assoc; ++way) {
+            if (lines_[base + way].stamp < oldest) {
+                oldest = lines_[base + way].stamp;
+                victim = way;
+            }
+        }
+        return victim;
+      }
+      case ReplPolicy::RANDOM:
+        return rng_.below(config_.assoc);
+      case ReplPolicy::ROUND_ROBIN: {
+        uint32_t way = nextWay_[set];
+        nextWay_[set] = (way + 1) % config_.assoc;
+        return way;
+      }
+      default:
+        panic("bad replacement policy");
+    }
+}
+
+CacheAccessResult
+Cache::access(uint32_t addr, bool write)
+{
+    ++tick_;
+    if (write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    const uint32_t set = setIndex(addr);
+    const uint32_t tag = tagOf(addr);
+    const uint32_t base = set * config_.assoc;
+
+    for (uint32_t way = 0; way < config_.assoc; ++way) {
+        Line &line = lines_[base + way];
+        if (line.valid && line.tag == tag) {
+            if (config_.policy == ReplPolicy::LRU)
+                line.stamp = tick_;
+            if (write) {
+                if (config_.writeBack)
+                    line.dirty = true;
+                // Write-through caches propagate immediately; the power
+                // model charges the bus write from the access counters.
+            }
+            return CacheAccessResult{true, false, 0};
+        }
+    }
+
+    // Miss: allocate (loads always; stores only when write-allocate).
+    CacheAccessResult result;
+    result.hit = false;
+    if (write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    if (write && !config_.writeBack)
+        return result; // write-around: no allocation
+
+    uint32_t way = victimWay(set);
+    Line &line = lines_[base + way];
+    if (line.valid && line.dirty) {
+        result.writeback = true;
+        result.victimAddr =
+            (line.tag * config_.numSets() + set) * config_.lineBytes;
+        ++stats_.writebacks;
+    }
+    line.valid = true;
+    line.dirty = write && config_.writeBack;
+    line.tag = tag;
+    line.stamp = tick_;
+    return result;
+}
+
+bool
+Cache::contains(uint32_t addr) const
+{
+    const uint32_t set = setIndex(addr);
+    const uint32_t tag = tagOf(addr);
+    const uint32_t base = set * config_.assoc;
+    for (uint32_t way = 0; way < config_.assoc; ++way) {
+        const Line &line = lines_[base + way];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    for (uint32_t &way : nextWay_)
+        way = 0;
+}
+
+void
+Cache::addStats(StatGroup &group) const
+{
+    const CacheStats *s = &stats_;
+    group.addFormula("reads",
+                     [s]() { return static_cast<double>(s->reads); },
+                     "read accesses");
+    group.addFormula("writes",
+                     [s]() { return static_cast<double>(s->writes); },
+                     "write accesses");
+    group.addFormula("misses",
+                     [s]() { return static_cast<double>(s->misses()); },
+                     "total misses");
+    group.addFormula("writebacks",
+                     [s]() {
+                         return static_cast<double>(s->writebacks);
+                     },
+                     "dirty evictions");
+    group.addFormula("miss_rate", [s]() { return s->missRate(); },
+                     "misses / accesses");
+    group.addFormula("mpmi", [s]() { return s->missesPerMillion(); },
+                     "misses per million accesses");
+}
+
+} // namespace pfits

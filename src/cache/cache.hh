@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A generic set-associative cache model.
+ *
+ * Tags only — data never lives here; the functional simulator reads a
+ * flat memory and this model decides hit/miss, evictions and writebacks.
+ * The SA-1100's 32-way CAM-organized caches are modelled as conventional
+ * high-associativity SRAM arrays (DESIGN.md §7); associativity, line size
+ * and replacement policy are all parameters so the ablation benches can
+ * sweep them.
+ */
+
+#ifndef POWERFITS_CACHE_CACHE_HH
+#define POWERFITS_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace pfits
+{
+
+/** Replacement policies supported by the model. */
+enum class ReplPolicy : uint8_t { LRU, FIFO, RANDOM, ROUND_ROBIN };
+
+/** @return the textual name of a replacement policy. */
+const char *replPolicyName(ReplPolicy policy);
+
+/** Static configuration of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint32_t sizeBytes = 16 * 1024;
+    uint32_t assoc = 32;
+    uint32_t lineBytes = 32;
+    ReplPolicy policy = ReplPolicy::LRU;
+    bool writeBack = true; //!< write-back/write-allocate when true
+
+    uint32_t numLines() const { return sizeBytes / lineBytes; }
+    uint32_t numSets() const { return numLines() / assoc; }
+
+    /** fatal() unless sizes are powers of two and consistent. */
+    void validate() const;
+};
+
+/** Outcome of one cache access, consumed by timing and power models. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writeback = false;    //!< a dirty victim was evicted
+    uint32_t victimAddr = 0;   //!< line address of the victim (if any)
+};
+
+/** Aggregate activity counters for one cache. */
+struct CacheStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t readMisses = 0;
+    uint64_t writeMisses = 0;
+    uint64_t writebacks = 0;
+
+    uint64_t accesses() const { return reads + writes; }
+    uint64_t misses() const { return readMisses + writeMisses; }
+
+    double
+    missRate() const
+    {
+        uint64_t a = accesses();
+        return a ? static_cast<double>(misses()) / a : 0.0;
+    }
+
+    /** Paper metric: misses per one million cache accesses. */
+    double
+    missesPerMillion() const
+    {
+        return missRate() * 1e6;
+    }
+};
+
+/** The cache model proper. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Simulate one access; updates tags, counters and replacement. */
+    CacheAccessResult access(uint32_t addr, bool write);
+
+    /** Probe without updating any state. */
+    bool contains(uint32_t addr) const;
+
+    /** Invalidate everything (counters are kept). */
+    void flush();
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    /** Register the cache's counters into @p group. */
+    void addStats(StatGroup &group) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint32_t tag = 0;
+        uint64_t stamp = 0; //!< LRU: last use; FIFO: fill time
+    };
+
+    uint32_t setIndex(uint32_t addr) const;
+    uint32_t tagOf(uint32_t addr) const;
+    uint32_t victimWay(uint32_t set);
+
+    CacheConfig config_;
+    std::vector<Line> lines_;          //!< sets * assoc, row-major
+    std::vector<uint32_t> nextWay_;    //!< round-robin pointer per set
+    uint64_t tick_ = 0;
+    Rng rng_;
+    CacheStats stats_;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_CACHE_CACHE_HH

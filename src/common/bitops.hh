@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the encoders, decoders and power
+ * models. All helpers are constexpr and operate on explicit-width types so
+ * that instruction-encoding code reads like the format diagrams.
+ */
+
+#ifndef POWERFITS_COMMON_BITOPS_HH
+#define POWERFITS_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace pfits
+{
+
+/** Extract bits [hi:lo] (inclusive, hi >= lo) of @p value. */
+constexpr uint32_t
+bits(uint32_t value, unsigned hi, unsigned lo)
+{
+    unsigned width = hi - lo + 1;
+    uint32_t mask = width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+    return (value >> lo) & mask;
+}
+
+/** Insert @p field into bits [hi:lo] of @p value and return the result. */
+constexpr uint32_t
+insertBits(uint32_t value, unsigned hi, unsigned lo, uint32_t field)
+{
+    unsigned width = hi - lo + 1;
+    uint32_t mask = width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low @p width bits of @p value to 32 bits. */
+constexpr int32_t
+sext(uint32_t value, unsigned width)
+{
+    if (width == 0 || width >= 32)
+        return static_cast<int32_t>(value);
+    uint32_t sign = 1u << (width - 1);
+    uint32_t mask = (1u << width) - 1u;
+    uint32_t v = value & mask;
+    return static_cast<int32_t>((v ^ sign) - sign);
+}
+
+/** @return true when @p value fits in an unsigned field of @p width bits. */
+constexpr bool
+fitsUnsigned(uint32_t value, unsigned width)
+{
+    if (width >= 32)
+        return true;
+    return value < (1u << width);
+}
+
+/** @return true when @p value fits in a signed field of @p width bits. */
+constexpr bool
+fitsSigned(int32_t value, unsigned width)
+{
+    if (width >= 32)
+        return true;
+    int32_t lo = -(1 << (width - 1));
+    int32_t hi = (1 << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** Rotate a 32-bit value right by @p amount (amount taken mod 32). */
+constexpr uint32_t
+rotr32(uint32_t value, unsigned amount)
+{
+    amount &= 31u;
+    if (amount == 0)
+        return value;
+    return (value >> amount) | (value << (32 - amount));
+}
+
+/** Rotate a 32-bit value left by @p amount (amount taken mod 32). */
+constexpr uint32_t
+rotl32(uint32_t value, unsigned amount)
+{
+    return rotr32(value, 32u - (amount & 31u));
+}
+
+/** Population count. */
+constexpr unsigned
+popcount32(uint32_t value)
+{
+    return static_cast<unsigned>(std::popcount(value));
+}
+
+/** Hamming distance between two 32-bit words (bit toggles on a bus). */
+constexpr unsigned
+hamming32(uint32_t a, uint32_t b)
+{
+    return popcount32(a ^ b);
+}
+
+/** ceil(log2(value)) for value >= 1; 0 maps to 0. */
+constexpr unsigned
+ceilLog2(uint64_t value)
+{
+    unsigned log = 0;
+    uint64_t v = 1;
+    while (v < value) {
+        v <<= 1;
+        ++log;
+    }
+    return log;
+}
+
+/** @return true if @p value is a power of two (and non-zero). */
+constexpr bool
+isPow2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/**
+ * Test whether a 32-bit constant is expressible as an ARM-style modified
+ * immediate: an 8-bit value rotated right by an even amount.
+ */
+constexpr bool
+isArmImmediate(uint32_t value)
+{
+    for (unsigned rot = 0; rot < 32; rot += 2) {
+        if ((rotl32(value, rot) & ~0xffu) == 0)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Encode a 32-bit constant as an ARM-style modified immediate.
+ *
+ * @param value  the constant to encode
+ * @param imm8   out: the 8-bit payload
+ * @param rot    out: the rotate-right amount (even, 0..30)
+ * @return true on success, false when the constant is not encodable.
+ */
+constexpr bool
+encodeArmImmediate(uint32_t value, uint32_t &imm8, uint32_t &rot)
+{
+    for (unsigned r = 0; r < 32; r += 2) {
+        uint32_t rotated = rotl32(value, r);
+        if ((rotated & ~0xffu) == 0) {
+            imm8 = rotated;
+            rot = r;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace pfits
+
+#endif // POWERFITS_COMMON_BITOPS_HH

@@ -1,0 +1,99 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace pfits
+{
+
+namespace
+{
+bool quietFlag = false;
+} // namespace
+
+namespace detail
+{
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string(fmt);
+
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vformat(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+} // namespace detail
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    throw FatalError(msg);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    throw PanicError(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+} // namespace pfits

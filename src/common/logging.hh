@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  — the *user* asked for something impossible (bad configuration,
+ *            malformed assembly, ...); exits with status 1.
+ * warn()   — something questionable happened but simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef POWERFITS_COMMON_LOGGING_HH
+#define POWERFITS_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pfits
+{
+
+/** Exception thrown by fatal() so that tests can intercept user errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic() so that tests can intercept internal bugs. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+std::string vformat(const char *fmt, va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user-level error.
+ *
+ * Throws FatalError; the top-level drivers catch it, print the message and
+ * exit(1). Library code must treat this as non-returning.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a violated internal invariant (a bug in the library itself).
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. Never stops the simulation. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benchmarks). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() are suppressed. */
+bool quiet();
+
+} // namespace pfits
+
+#endif // POWERFITS_COMMON_LOGGING_HH

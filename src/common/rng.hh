@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro128**).
+ *
+ * Every workload generator in the suite derives its inputs from this RNG
+ * with a fixed seed so that simulations — and therefore the reproduced
+ * figures — are bit-for-bit repeatable across runs and machines.
+ */
+
+#ifndef POWERFITS_COMMON_RNG_HH
+#define POWERFITS_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+
+namespace pfits
+{
+
+/** Small, fast, deterministic PRNG; not for cryptography. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed (splitmix64 expansion). */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ull;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = static_cast<uint32_t>((z ^ (z >> 31)) & 0xffffffffu);
+        }
+        if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+            state_[0] = 1;
+    }
+
+    /** Next 32 uniformly distributed bits. */
+    uint32_t
+    next()
+    {
+        uint32_t result = rotl32(state_[1] * 5, 7) * 9;
+        uint32_t t = state_[1] << 9;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl32(state_[3], 11);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    uint32_t
+    below(uint32_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation.
+        uint64_t product = static_cast<uint64_t>(next()) * bound;
+        uint32_t low = static_cast<uint32_t>(product & 0xffffffffu);
+        if (low < bound) {
+            uint32_t threshold = (0u - bound) % bound;
+            while (low < threshold) {
+                product = static_cast<uint64_t>(next()) * bound;
+                low = static_cast<uint32_t>(product & 0xffffffffu);
+            }
+        }
+        return static_cast<uint32_t>(product >> 32);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int32_t
+    range(int32_t lo, int32_t hi)
+    {
+        uint32_t span = static_cast<uint32_t>(hi - lo) + 1u;
+        return lo + static_cast<int32_t>(below(span));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+  private:
+    uint32_t state_[4];
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_COMMON_RNG_HH

@@ -1,0 +1,125 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace pfits
+{
+
+Distribution::Distribution(int64_t lo, int64_t hi, int64_t bucket_size)
+    : lo_(lo), hi_(hi), bucketSize_(bucket_size)
+{
+    if (bucket_size <= 0)
+        fatal("Distribution bucket size must be positive (got %lld)",
+              static_cast<long long>(bucket_size));
+    if (hi < lo)
+        fatal("Distribution range is empty (lo=%lld hi=%lld)",
+              static_cast<long long>(lo), static_cast<long long>(hi));
+    size_t nbuckets = static_cast<size_t>((hi - lo) / bucket_size + 1);
+    buckets_.assign(nbuckets, 0);
+}
+
+void
+Distribution::sample(int64_t value, uint64_t count)
+{
+    if (samples_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    samples_ += count;
+    sum_ += value * static_cast<int64_t>(count);
+
+    if (value < lo_) {
+        underflow_ += count;
+    } else if (value > hi_) {
+        overflow_ += count;
+    } else {
+        buckets_[static_cast<size_t>((value - lo_) / bucketSize_)] += count;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    if (samples_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(samples_);
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    samples_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+void
+StatGroup::addCounter(const std::string &stat_name, const Counter *counter,
+                      const std::string &desc)
+{
+    if (entries_.count(stat_name))
+        panic("duplicate statistic '%s' in group '%s'",
+              stat_name.c_str(), name_.c_str());
+    entries_[stat_name] = Entry{
+        [counter]() { return static_cast<double>(counter->value()); },
+        desc};
+}
+
+void
+StatGroup::addFormula(const std::string &stat_name,
+                      std::function<double()> formula,
+                      const std::string &desc)
+{
+    if (entries_.count(stat_name))
+        panic("duplicate statistic '%s' in group '%s'",
+              stat_name.c_str(), name_.c_str());
+    entries_[stat_name] = Entry{std::move(formula), desc};
+}
+
+double
+StatGroup::lookup(const std::string &stat_name) const
+{
+    auto it = entries_.find(stat_name);
+    if (it == entries_.end())
+        panic("unknown statistic '%s' in group '%s'",
+              stat_name.c_str(), name_.c_str());
+    return it->second.eval();
+}
+
+bool
+StatGroup::has(const std::string &stat_name) const
+{
+    return entries_.count(stat_name) != 0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, entry] : entries_) {
+        os << name_ << '.' << stat_name << ' '
+           << std::setprecision(12) << entry.eval();
+        if (!entry.desc.empty())
+            os << " # " << entry.desc;
+        os << '\n';
+    }
+}
+
+std::vector<std::string>
+StatGroup::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[stat_name, entry] : entries_)
+        out.push_back(stat_name);
+    return out;
+}
+
+} // namespace pfits

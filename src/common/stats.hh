@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Components register named scalar counters, distributions and derived
+ * formula values into a StatGroup; the experiment harness then walks the
+ * group to dump machine-readable results. Keeping statistics out of the
+ * functional code paths (plain uint64_t increments) keeps the simulator
+ * fast while still giving every module a uniform reporting surface.
+ */
+
+#ifndef POWERFITS_COMMON_STATS_HH
+#define POWERFITS_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+/** A named event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(uint64_t n) { value_ += n; return *this; }
+
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * A histogram over integer sample values with fixed-width buckets plus
+ * underflow/overflow, tracking min/max/mean for reporting.
+ */
+class Distribution
+{
+  public:
+    /**
+     * @param lo          lowest bucketed value (inclusive)
+     * @param hi          highest bucketed value (inclusive)
+     * @param bucket_size width of each bucket
+     */
+    Distribution(int64_t lo, int64_t hi, int64_t bucket_size);
+
+    /** Record one sample. */
+    void sample(int64_t value, uint64_t count = 1);
+
+    uint64_t samples() const { return samples_; }
+    int64_t minSample() const { return min_; }
+    int64_t maxSample() const { return max_; }
+    double mean() const;
+
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    int64_t bucketLow(size_t idx) const { return lo_ + idx * bucketSize_; }
+
+    void reset();
+
+  private:
+    int64_t lo_;
+    int64_t hi_;
+    int64_t bucketSize_;
+    std::vector<uint64_t> buckets_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t samples_ = 0;
+    int64_t sum_ = 0;
+    int64_t min_ = 0;
+    int64_t max_ = 0;
+};
+
+/**
+ * A named collection of statistics owned by one simulated component.
+ *
+ * Values are exposed either as live pointers to counters or as deferred
+ * formulas evaluated at dump time (e.g. miss rate = misses / accesses).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name; name must be unique. */
+    void addCounter(const std::string &stat_name, const Counter *counter,
+                    const std::string &desc = "");
+
+    /** Register a formula evaluated lazily at dump time. */
+    void addFormula(const std::string &stat_name,
+                    std::function<double()> formula,
+                    const std::string &desc = "");
+
+    const std::string &name() const { return name_; }
+
+    /** Evaluate a registered statistic by name. */
+    double lookup(const std::string &stat_name) const;
+
+    /** @return true when @p stat_name is registered. */
+    bool has(const std::string &stat_name) const;
+
+    /** Write "group.stat value # desc" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** All registered statistic names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    struct Entry
+    {
+        std::function<double()> eval;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_COMMON_STATS_HH

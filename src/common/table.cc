@@ -1,0 +1,108 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatPercent(double ratio, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+    return buf;
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    if (header.empty())
+        fatal("table '%s': header must not be empty", title_.c_str());
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        fatal("table '%s': row has %zu cells, header has %zu",
+              title_.c_str(), row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &cells,
+              int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(cells.size() + 1);
+    row.push_back(label);
+    for (double cell : cells)
+        row.push_back(formatDouble(cell, precision));
+    addRow(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c == 0) {
+                os << row[c]
+                   << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                os << "  "
+                   << std::string(widths[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << '\n';
+    };
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            if (row[c].find(',') != std::string::npos)
+                os << '"' << row[c] << '"';
+            else
+                os << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace pfits

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fixed-width text table and CSV writer used by the bench binaries to
+ * print figure data in the same rows/series the paper reports.
+ */
+
+#ifndef POWERFITS_COMMON_TABLE_HH
+#define POWERFITS_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pfits
+{
+
+/**
+ * A simple column-oriented table. The first column is the row label
+ * (benchmark name); remaining columns are series (e.g. ARM16, FITS8).
+ */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Define the column headers (including the label column). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: label + numeric cells with fixed precision. */
+    void addRow(const std::string &label, const std::vector<double> &cells,
+                int precision = 2);
+
+    /** Pretty-print with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Emit RFC-4180-ish CSV (quotes cells containing commas). */
+    void printCsv(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &body() const
+    {
+        return rows_;
+    }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p precision digits after the decimal point. */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.471 -> "47.1%". */
+std::string formatPercent(double ratio, int precision = 1);
+
+} // namespace pfits
+
+#endif // POWERFITS_COMMON_TABLE_HH

@@ -1,0 +1,109 @@
+#include "exp/experiment.hh"
+
+#include "common/logging.hh"
+#include "fits/fits_frontend.hh"
+#include "fits/profile.hh"
+#include "mibench/mibench.hh"
+
+namespace pfits
+{
+
+const char *
+configName(ConfigId id)
+{
+    switch (id) {
+      case ConfigId::ARM16: return "ARM16";
+      case ConfigId::ARM8: return "ARM8";
+      case ConfigId::FITS16: return "FITS16";
+      case ConfigId::FITS8: return "FITS8";
+      default: panic("bad ConfigId");
+    }
+}
+
+Runner::Runner(ExperimentParams params) : params_(std::move(params)) {}
+
+CoreConfig
+Runner::coreConfig(ConfigId id) const
+{
+    CoreConfig core = params_.core;
+    core.name = configName(id);
+    core.icache.sizeBytes = (id == ConfigId::ARM8 ||
+                             id == ConfigId::FITS8)
+                                ? params_.smallCacheBytes
+                                : params_.largeCacheBytes;
+    return core;
+}
+
+const BenchResult &
+Runner::get(const std::string &bench_name)
+{
+    auto it = cache_.find(bench_name);
+    if (it == cache_.end()) {
+        it = cache_
+                 .emplace(bench_name, std::make_unique<BenchResult>(
+                                          compute(bench_name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::vector<const BenchResult *>
+Runner::all()
+{
+    std::vector<const BenchResult *> out;
+    for (const auto &info : mibench::suite())
+        out.push_back(&get(info.name));
+    return out;
+}
+
+BenchResult
+Runner::compute(const std::string &bench_name)
+{
+    const mibench::BenchInfo &info = mibench::findBench(bench_name);
+    mibench::Workload workload = info.build();
+
+    BenchResult result;
+    result.name = bench_name;
+    result.armBytes = workload.program.codeBytes();
+    result.thumbBytes = thumbEstimate(workload.program).codeBytes();
+
+    ProfileInfo profile = profileProgram(workload.program);
+    FitsIsa isa = synthesize(profile, params_.synth, bench_name);
+    FitsProgram fits_prog =
+        translateProgram(workload.program, isa, profile);
+    result.fitsBytes = fits_prog.codeBytes();
+    result.mapping = fits_prog.mapping;
+    result.isaSlots = isa.slots.size();
+    result.regBits = isa.regBits;
+
+    ArmFrontEnd arm_fe(workload.program);
+    FitsFrontEnd fits_fe(std::move(fits_prog));
+    ChipPowerModel chip_model(params_.chip);
+
+    for (ConfigId id : kAllConfigs) {
+        bool is_fits = id == ConfigId::FITS16 || id == ConfigId::FITS8;
+        const FrontEnd &fe =
+            is_fits ? static_cast<const FrontEnd &>(fits_fe)
+                    : static_cast<const FrontEnd &>(arm_fe);
+        CoreConfig core = coreConfig(id);
+        Machine machine(fe, core);
+        ConfigResult &cfg = result.configs[static_cast<size_t>(id)];
+        cfg.run = machine.run();
+
+        if (!cfg.run.io.emitted.empty() &&
+            cfg.run.io.emitted[0] != workload.expected) {
+            fatal("%s/%s: checksum mismatch (got 0x%08x, want 0x%08x)",
+                  bench_name.c_str(), configName(id),
+                  cfg.run.io.emitted[0], workload.expected);
+        }
+
+        TechParams tech = params_.tech;
+        tech.clockHz = core.clockHz;
+        CachePowerModel power(core.icache, tech);
+        cfg.icache = power.evaluate(cfg.run);
+        cfg.chip = chip_model.evaluate(cfg.run, cfg.icache);
+    }
+    return result;
+}
+
+} // namespace pfits

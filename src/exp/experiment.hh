@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The experiment harness behind every figure reproduction.
+ *
+ * For each benchmark it builds the ARM workload, profiles it,
+ * synthesizes the per-application FITS ISA, translates, and simulates
+ * the paper's four configurations — ARM16, ARM8, FITS16, FITS8
+ * (Section 5) — attaching the cache and chip power models to each run.
+ * Results are computed lazily and memoized, so a bench binary touching
+ * several figures simulates each (benchmark, config) pair once.
+ */
+
+#ifndef POWERFITS_EXP_EXPERIMENT_HH
+#define POWERFITS_EXP_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fits/synth.hh"
+#include "fits/translate.hh"
+#include "power/cache_power.hh"
+#include "power/chip_power.hh"
+#include "sim/machine.hh"
+#include "thumb/thumb.hh"
+
+namespace pfits
+{
+
+/** The paper's four simulated processor configurations. */
+enum class ConfigId { ARM16, ARM8, FITS16, FITS8 };
+
+/** @return "ARM16", "ARM8", "FITS16" or "FITS8". */
+const char *configName(ConfigId id);
+
+/** All four configurations in the paper's presentation order. */
+inline constexpr ConfigId kAllConfigs[4] = {
+    ConfigId::ARM16, ConfigId::ARM8, ConfigId::FITS16, ConfigId::FITS8};
+
+/** One simulated configuration of one benchmark. */
+struct ConfigResult
+{
+    RunResult run;
+    CachePowerBreakdown icache;
+    ChipPowerBreakdown chip;
+};
+
+/** Everything measured for one benchmark. */
+struct BenchResult
+{
+    std::string name;
+
+    uint32_t armBytes = 0;
+    uint32_t thumbBytes = 0;
+    uint32_t fitsBytes = 0;
+    MappingStats mapping;
+    size_t isaSlots = 0;
+    unsigned regBits = 0;
+
+    ConfigResult configs[4]; //!< indexed by ConfigId
+
+    const ConfigResult &
+    of(ConfigId id) const
+    {
+        return configs[static_cast<size_t>(id)];
+    }
+
+    /** 1 - energy(cfg)/energy(ARM16); the paper's saving convention. */
+    double
+    saving(ConfigId id, CachePowerBreakdown::Component component) const
+    {
+        double base = of(ConfigId::ARM16).icache.energy(component);
+        double val = of(id).icache.energy(component);
+        return base != 0 ? 1.0 - val / base : 0.0;
+    }
+
+    double
+    peakSaving(ConfigId id) const
+    {
+        double base = of(ConfigId::ARM16).icache.peakW;
+        return base != 0 ? 1.0 - of(id).icache.peakW / base : 0.0;
+    }
+
+    double
+    chipSaving(ConfigId id) const
+    {
+        double base = of(ConfigId::ARM16).chip.totalJ();
+        return base != 0 ? 1.0 - of(id).chip.totalJ() / base : 0.0;
+    }
+};
+
+/** Experiment parameters (defaults replicate the paper's setup). */
+struct ExperimentParams
+{
+    SynthParams synth;
+    TechParams tech;
+    ChipEnergyParams chip;
+    CoreConfig core; //!< base core; I-cache size is overridden per config
+    uint32_t smallCacheBytes = 8 * 1024;
+    uint32_t largeCacheBytes = 16 * 1024;
+};
+
+/** Lazily computes and memoizes per-benchmark results. */
+class Runner
+{
+  public:
+    explicit Runner(ExperimentParams params = {});
+
+    /** Results for one benchmark (computed on first use). */
+    const BenchResult &get(const std::string &bench_name);
+
+    /** Results for the whole 21-benchmark suite, in suite order. */
+    std::vector<const BenchResult *> all();
+
+    /** The core configuration used for @p id. */
+    CoreConfig coreConfig(ConfigId id) const;
+
+    const ExperimentParams &params() const { return params_; }
+
+  private:
+    BenchResult compute(const std::string &bench_name);
+
+    ExperimentParams params_;
+    std::map<std::string, std::unique_ptr<BenchResult>> cache_;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_EXP_EXPERIMENT_HH

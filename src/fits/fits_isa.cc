@@ -1,0 +1,509 @@
+#include "fits/fits_isa.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+const char *
+slotClassName(SlotClass cls)
+{
+    switch (cls) {
+      case SlotClass::BIS: return "BIS";
+      case SlotClass::SIS: return "SIS";
+      case SlotClass::AIS: return "AIS";
+      default: panic("bad SlotClass");
+    }
+}
+
+unsigned
+FitsSlot::fieldBits() const
+{
+    unsigned total = 0;
+    for (const FieldSpec &spec : fields)
+        total += spec.bits;
+    return total;
+}
+
+std::string
+FitsSlot::describe() const
+{
+    std::ostringstream os;
+    os << sig.toString() << " [" << slotClassName(cls) << "] op="
+       << static_cast<unsigned>(opcodeBits) << "b fields=";
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            os << ",";
+        static const char *names[] = {
+            "rd", "rn", "rm", "rs", "ra", "imm", "dict", "mdict",
+            "disp", "amt", "list", "swi",
+        };
+        os << names[static_cast<size_t>(fields[i].kind)]
+           << static_cast<unsigned>(fields[i].bits);
+    }
+    if (twoOperand)
+        os << " 2op";
+    if (bakedAmount != 0xff)
+        os << " <<" << static_cast<unsigned>(bakedAmount);
+    return os.str();
+}
+
+int
+ValueDictionary::indexOf(int64_t value) const
+{
+    for (size_t i = 0; i < values_.size(); ++i)
+        if (values_[i] == value)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int64_t
+ValueDictionary::at(size_t index) const
+{
+    if (index >= values_.size())
+        panic("dictionary index %zu out of range (%zu entries)", index,
+              values_.size());
+    return values_[index];
+}
+
+void
+ValueDictionary::add(int64_t value)
+{
+    if (indexOf(value) < 0)
+        values_.push_back(value);
+}
+
+unsigned
+ValueDictionary::indexBits() const
+{
+    size_t n = values_.size();
+    unsigned bits = 1;
+    while ((1u << bits) < n)
+        ++bits;
+    return bits;
+}
+
+void
+FitsIsa::assignOpcodes()
+{
+    if (kraftSum() > 65536)
+        fatal("FITS synthesis for '%s': opcode space oversubscribed "
+              "(kraft sum %llu > 65536)", appName.c_str(),
+              static_cast<unsigned long long>(kraftSum()));
+
+    // Canonical prefix-code assignment: shortest opcodes first.
+    std::vector<size_t> order(slots.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [this](size_t a, size_t b) {
+                         return 16 - slots[a].fieldBits() <
+                                16 - slots[b].fieldBits();
+                     });
+
+    uint32_t code = 0;
+    unsigned prev_bits = 0;
+    for (size_t idx : order) {
+        FitsSlot &slot = slots[idx];
+        unsigned bits = 16 - slot.fieldBits();
+        if (bits == 0 || bits > 16)
+            fatal("slot '%s' has %u field bits",
+                  slot.describe().c_str(), slot.fieldBits());
+        code <<= (bits - prev_bits);
+        slot.opcode = static_cast<uint16_t>(code);
+        slot.opcodeBits = static_cast<uint8_t>(bits);
+        code += 1;
+        prev_bits = bits;
+    }
+}
+
+void
+FitsIsa::buildDecodeTable()
+{
+    decodeTable.assign(1u << 16, -1);
+    for (size_t i = 0; i < slots.size(); ++i) {
+        const FitsSlot &slot = slots[i];
+        uint32_t span = 1u << (16 - slot.opcodeBits);
+        uint32_t base = static_cast<uint32_t>(slot.opcode) << (16 -
+                                                slot.opcodeBits);
+        for (uint32_t w = base; w < base + span; ++w) {
+            if (decodeTable[w] != -1)
+                panic("opcode overlap between slots %d and %zu",
+                      decodeTable[w], i);
+            decodeTable[w] = static_cast<int16_t>(i);
+        }
+    }
+}
+
+int
+FitsIsa::slotFor(uint16_t word) const
+{
+    if (decodeTable.empty())
+        panic("decode table not built");
+    return decodeTable[word];
+}
+
+uint64_t
+FitsIsa::kraftSum() const
+{
+    uint64_t sum = 0;
+    for (const FitsSlot &slot : slots)
+        sum += 1ull << slot.fieldBits();
+    return sum;
+}
+
+namespace
+{
+
+/** Encoded-operand extraction context shared by encode/decode. */
+struct FieldPack
+{
+    int rd = -1, rn = -1, rm = -1, rs = -1, ra = -1;
+    int64_t imm = 0;
+    bool hasImm = false;
+    int dictIdx = -1, memDictIdx = -1, listIdx = -1;
+    int64_t disp = 0;
+    int amount = -1;
+    int64_t swinum = 0;
+};
+
+} // namespace
+
+bool
+FitsIsa::encode(size_t slot_index, const MicroOp &uop,
+                uint16_t &word) const
+{
+    const FitsSlot &slot = slots[slot_index];
+    const Signature sig = slot.sig;
+
+    // A slot only ever encodes instructions with its own signature.
+    if (!(signatureOf(uop) == sig))
+        return false;
+
+    // Baked constraints.
+    if (slot.bakedAmount != 0xff) {
+        uint8_t amount = uop.shiftAmount;
+        if (sig.form == SigForm::MEM_REG &&
+            uop.memKind == MemOffsetKind::REG) {
+            amount = 0;
+        }
+        if (amount != slot.bakedAmount)
+            return false;
+    }
+    if (slot.twoOperand && uop.rd != uop.rn)
+        return false;
+    if (slot.bakedRd >= 0 && uop.rd != static_cast<uint8_t>(slot.bakedRd))
+        return false;
+    if (slot.bakedRa >= 0 && uop.ra != static_cast<uint8_t>(slot.bakedRa))
+        return false;
+    if (slot.bakedRm >= 0 && uop.rm != static_cast<uint8_t>(slot.bakedRm))
+        return false;
+
+    uint32_t encoded = 0;
+    unsigned pos = 16 - slot.opcodeBits;
+    encoded |= static_cast<uint32_t>(slot.opcode) << pos;
+
+    auto mapReg = [this](uint8_t reg, int &out) {
+        int8_t code = regMap[reg];
+        if (code < 0)
+            return false;
+        out = code;
+        return true;
+    };
+
+    for (const FieldSpec &spec : slot.fields) {
+        int64_t value = 0;
+        switch (spec.kind) {
+          case Field::RD: case Field::RN: case Field::RM:
+          case Field::RS: case Field::RA: {
+            uint8_t reg;
+            switch (spec.kind) {
+              case Field::RD: reg = uop.rd; break;
+              case Field::RN: reg = uop.rn; break;
+              case Field::RM: reg = uop.rm; break;
+              case Field::RS: reg = uop.rs; break;
+              default: reg = uop.ra; break;
+            }
+            int code;
+            if (!mapReg(reg, code))
+                return false;
+            value = code;
+            break;
+          }
+          case Field::IMM: {
+            int64_t imm;
+            if (sig.form == SigForm::MEM_IMM) {
+                int64_t disp = uop.memDisp;
+                int64_t scaled = disp >> slot.dispScale;
+                if ((scaled << slot.dispScale) != disp)
+                    return false;
+                imm = scaled;
+            } else {
+                imm = static_cast<int64_t>(uop.imm);
+            }
+            if (slot.valSigned) {
+                if (!fitsSigned(static_cast<int32_t>(imm), spec.bits))
+                    return false;
+            } else {
+                if (imm < 0 ||
+                    !fitsUnsigned(static_cast<uint32_t>(imm), spec.bits))
+                    return false;
+            }
+            value = imm & ((1ll << spec.bits) - 1);
+            break;
+          }
+          case Field::DICT: {
+            int idx = opDict.indexOf(static_cast<int64_t>(uop.imm));
+            if (idx < 0 ||
+                !fitsUnsigned(static_cast<uint32_t>(idx), spec.bits))
+                return false;
+            value = idx;
+            break;
+          }
+          case Field::MEM_DICT: {
+            int idx = dispDict.indexOf(uop.memDisp);
+            if (idx < 0 ||
+                !fitsUnsigned(static_cast<uint32_t>(idx), spec.bits))
+                return false;
+            value = idx;
+            break;
+          }
+          case Field::DISP: {
+            if (!fitsSigned(uop.branchOffset, spec.bits))
+                return false;
+            value = uop.branchOffset & ((1ll << spec.bits) - 1);
+            break;
+          }
+          case Field::AMOUNT: {
+            if (!fitsUnsigned(uop.shiftAmount, spec.bits))
+                return false;
+            value = uop.shiftAmount;
+            break;
+          }
+          case Field::LIST: {
+            int idx = -1;
+            for (size_t i = 0; i < listDict.size(); ++i) {
+                if (listDict[i] == uop.regList) {
+                    idx = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (idx < 0 ||
+                !fitsUnsigned(static_cast<uint32_t>(idx), spec.bits))
+                return false;
+            value = idx;
+            break;
+          }
+          case Field::SWINUM: {
+            if (!fitsUnsigned(uop.imm, spec.bits))
+                return false;
+            value = uop.imm;
+            break;
+          }
+        }
+        pos -= spec.bits;
+        encoded |= static_cast<uint32_t>(value & ((1ll << spec.bits) - 1))
+                   << pos;
+    }
+    // Before opcode assignment (during synthesis coverage probing) the
+    // word is not meaningful, only the "does it fit" answer is.
+    if (pos != 0 && slot.opcodeBits != 0)
+        panic("slot '%s': fields do not fill the word (pos=%u)",
+              slot.describe().c_str(), pos);
+    word = static_cast<uint16_t>(encoded);
+    return true;
+}
+
+bool
+FitsIsa::decode(uint16_t word, MicroOp &uop) const
+{
+    int slot_index = slotFor(word);
+    if (slot_index < 0)
+        return false;
+    const FitsSlot &slot = slots[static_cast<size_t>(slot_index)];
+    const Signature sig = slot.sig;
+
+    FieldPack pack;
+    unsigned pos = 16 - slot.opcodeBits;
+    for (const FieldSpec &spec : slot.fields) {
+        pos -= spec.bits;
+        uint32_t raw = (word >> pos) & ((1u << spec.bits) - 1u);
+        switch (spec.kind) {
+          case Field::RD: pack.rd = static_cast<int>(raw); break;
+          case Field::RN: pack.rn = static_cast<int>(raw); break;
+          case Field::RM: pack.rm = static_cast<int>(raw); break;
+          case Field::RS: pack.rs = static_cast<int>(raw); break;
+          case Field::RA: pack.ra = static_cast<int>(raw); break;
+          case Field::IMM:
+            pack.imm = slot.valSigned ? sext(raw, spec.bits)
+                                      : static_cast<int64_t>(raw);
+            pack.hasImm = true;
+            break;
+          case Field::DICT:
+            pack.dictIdx = static_cast<int>(raw);
+            break;
+          case Field::MEM_DICT:
+            pack.memDictIdx = static_cast<int>(raw);
+            break;
+          case Field::DISP:
+            pack.disp = sext(raw, spec.bits);
+            break;
+          case Field::AMOUNT:
+            pack.amount = static_cast<int>(raw);
+            break;
+          case Field::LIST:
+            pack.listIdx = static_cast<int>(raw);
+            break;
+          case Field::SWINUM:
+            pack.swinum = static_cast<int64_t>(raw);
+            break;
+        }
+    }
+
+    auto unmap = [this](int code) -> uint8_t {
+        if (code < 0 || static_cast<size_t>(code) >= regUnmap.size())
+            panic("register field code %d out of range", code);
+        return regUnmap[static_cast<size_t>(code)];
+    };
+
+    uop = MicroOp{};
+    uop.op = sig.op;
+    uop.cond = sig.cond;
+    uop.setsFlags = sig.setsFlags;
+
+    if (pack.rd >= 0)
+        uop.rd = unmap(pack.rd);
+    if (pack.rn >= 0)
+        uop.rn = unmap(pack.rn);
+    if (pack.rm >= 0)
+        uop.rm = unmap(pack.rm);
+    if (pack.rs >= 0)
+        uop.rs = unmap(pack.rs);
+    if (pack.ra >= 0)
+        uop.ra = unmap(pack.ra);
+    if (slot.bakedRd >= 0)
+        uop.rd = static_cast<uint8_t>(slot.bakedRd);
+    if (slot.bakedRa >= 0)
+        uop.ra = static_cast<uint8_t>(slot.bakedRa);
+    if (slot.bakedRm >= 0)
+        uop.rm = static_cast<uint8_t>(slot.bakedRm);
+    if (slot.twoOperand)
+        uop.rn = uop.rd;
+
+    switch (sig.form) {
+      case SigForm::IMM:
+        uop.op2Kind = Operand2Kind::IMM;
+        if (pack.dictIdx >= 0) {
+            uop.imm = static_cast<uint32_t>(
+                opDict.at(static_cast<size_t>(pack.dictIdx)));
+        } else {
+            uop.imm = static_cast<uint32_t>(pack.imm);
+        }
+        break;
+      case SigForm::REG:
+        uop.op2Kind = Operand2Kind::REG;
+        break;
+      case SigForm::SHIFT_IMM:
+        uop.op2Kind = Operand2Kind::REG_SHIFT_IMM;
+        uop.shiftType = sig.shiftType;
+        uop.shiftAmount = slot.bakedAmount != 0xff
+                              ? slot.bakedAmount
+                              : static_cast<uint8_t>(
+                                    pack.amount < 0 ? 0 : pack.amount);
+        break;
+      case SigForm::REG4:
+        if (isAluLikeOp(sig.op)) {
+            uop.op2Kind = Operand2Kind::REG_SHIFT_REG;
+            uop.shiftType = sig.shiftType;
+        }
+        break;
+      case SigForm::MEM_IMM:
+        uop.memKind = MemOffsetKind::IMM;
+        if (pack.memDictIdx >= 0) {
+            uop.memDisp = static_cast<int32_t>(
+                dispDict.at(static_cast<size_t>(pack.memDictIdx)));
+        } else {
+            uop.memDisp = static_cast<int32_t>(pack.imm)
+                          << slot.dispScale;
+        }
+        uop.memAdd = uop.memDisp >= 0;
+        break;
+      case SigForm::MEM_REG: {
+        uint8_t amount =
+            slot.bakedAmount != 0xff ? slot.bakedAmount : 0;
+        uop.memAdd = sig.memAdd;
+        uop.shiftType = ShiftType::LSL;
+        uop.shiftAmount = amount;
+        uop.memKind = amount ? MemOffsetKind::REG_SHIFT_IMM
+                             : MemOffsetKind::REG;
+        break;
+      }
+      case SigForm::NONE:
+        break;
+    }
+
+    switch (sig.op) {
+      case Op::B: case Op::BL:
+        uop.branchOffset = static_cast<int32_t>(pack.disp);
+        break;
+      case Op::SWI:
+        uop.imm = static_cast<uint32_t>(pack.swinum);
+        break;
+      case Op::LDM: case Op::STM:
+        if (pack.listIdx < 0 ||
+            static_cast<size_t>(pack.listIdx) >= listDict.size())
+            panic("register-list index out of range");
+        uop.regList = listDict[static_cast<size_t>(pack.listIdx)];
+        uop.ldmIsPop = sig.op == Op::LDM;
+        break;
+      case Op::MOVW: case Op::MOVT:
+        // Wide moves carry their value through the operate dictionary.
+        if (pack.dictIdx >= 0) {
+            uop.imm = static_cast<uint32_t>(
+                          opDict.at(static_cast<size_t>(pack.dictIdx))) &
+                      0xffffu;
+        } else {
+            uop.imm = static_cast<uint32_t>(pack.imm);
+        }
+        uop.op2Kind = Operand2Kind::IMM;
+        break;
+      default:
+        break;
+    }
+    return true;
+}
+
+std::string
+FitsIsa::listing() const
+{
+    std::ostringstream os;
+    os << "FITS ISA for '" << appName << "': " << slots.size()
+       << " slots, " << static_cast<unsigned>(regBits)
+       << "-bit register fields, dictionaries: op=" << opDict.size()
+       << " disp=" << dispDict.size() << " lists=" << listDict.size()
+       << ", kraft=" << kraftSum() << "/65536\n";
+    for (size_t i = 0; i < slots.size(); ++i) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "  [%3zu] %u/0x%04x ", i,
+                      static_cast<unsigned>(slots[i].opcodeBits),
+                      static_cast<unsigned>(slots[i].opcode));
+        os << buf << slots[i].describe() << " dyn="
+           << slots[i].dynCount << "\n";
+    }
+    return os.str();
+}
+
+std::string
+FitsIsa::disassembleWord(uint16_t word) const
+{
+    MicroOp uop;
+    if (!decode(word, uop))
+        return "undef";
+    return disassemble(uop);
+}
+
+} // namespace pfits

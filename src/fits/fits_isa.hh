@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The synthesized 16-bit FITS instruction set and its programmable
+ * decoder.
+ *
+ * A FitsIsa is the artefact the synthesis stage produces and the
+ * processor's programmable decoder is configured with (the paper's
+ * "configure" stage). It consists of:
+ *
+ *  - instruction *slots*: each binds an operation signature to a 16-bit
+ *    format (an opcode prefix + a list of operand fields). Opcode
+ *    lengths vary per slot; the set of opcodes forms a prefix code
+ *    (Kraft-feasible), which is how three-register slots with 9 field
+ *    bits coexist with branch slots carrying 12-bit displacements.
+ *  - a register map: when the application touches <= 8 registers the
+ *    register fields narrow to 3 bits, freeing opcode/immediate space —
+ *    the paper's register-file tuning.
+ *  - value dictionaries (the paper's programmable immediate storage),
+ *    one per category: operate immediates, memory displacements, and
+ *    LDM/STM register lists.
+ *
+ * Decoding a 16-bit word is a single table lookup (64 Ki entries -> slot)
+ * followed by field extraction — a direct software model of a decode
+ * ROM/PLA programmed per application.
+ */
+
+#ifndef POWERFITS_FITS_FITS_ISA_HH
+#define POWERFITS_FITS_FITS_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fits/signature.hh"
+#include "isa/isa.hh"
+
+namespace pfits
+{
+
+/** Which of the paper's instruction-set tiers a slot belongs to. */
+enum class SlotClass : uint8_t
+{
+    BIS, //!< base: operations found across all applications
+    SIS, //!< supplemental: guarantees any instruction can be emulated
+    AIS, //!< application-specific: admitted on profile benefit
+};
+
+/** @return "BIS"/"SIS"/"AIS". */
+const char *slotClassName(SlotClass cls);
+
+/** Operand field kinds a slot's format may carry. */
+enum class Field : uint8_t
+{
+    RD, RN, RM, RS, RA, //!< register fields (via the register map)
+    IMM,                //!< inline immediate
+    DICT,               //!< index into the operate-immediate dictionary
+    MEM_DICT,           //!< index into the displacement dictionary
+    DISP,               //!< branch displacement (signed, instructions)
+    AMOUNT,             //!< shift amount
+    LIST,               //!< index into the register-list dictionary
+    SWINUM,             //!< trap number
+};
+
+/** One operand field: kind and bit width. */
+struct FieldSpec
+{
+    Field kind;
+    uint8_t bits;
+};
+
+/** One synthesized instruction slot. */
+struct FitsSlot
+{
+    Signature sig;
+    SlotClass cls = SlotClass::AIS;
+    std::vector<FieldSpec> fields; //!< packed MSB-first after the opcode
+
+    bool twoOperand = false;   //!< rd==rn implied (no RN field)
+    uint8_t bakedAmount = 0xff; //!< fused shift amount (0xff: none/field)
+    uint8_t dispScale = 0;     //!< memory displacement scaling (log2)
+    bool valSigned = false;    //!< IMM/mem-DISP field is signed
+    int8_t bakedRd = -1;       //!< application-baked destination register
+    int8_t bakedRa = -1;       //!< application-baked accumulator/lo reg
+    int8_t bakedRm = -1;       //!< application-baked operand register
+    bool essential = false;    //!< synthesis may never shed this slot
+
+    uint16_t opcode = 0;   //!< left-aligned prefix code value
+    uint8_t opcodeBits = 0;
+
+    uint64_t staticCount = 0; //!< profile hits (reports only)
+    uint64_t dynCount = 0;
+
+    /** Total operand-field width. */
+    unsigned fieldBits() const;
+    /** Slot summary for listings. */
+    std::string describe() const;
+};
+
+/** A small programmable value store (the paper's immediate storage). */
+class ValueDictionary
+{
+  public:
+    /** @return index of @p value, or -1 when absent. */
+    int indexOf(int64_t value) const;
+    int64_t at(size_t index) const;
+    size_t size() const { return values_.size(); }
+    void add(int64_t value);
+    /** Bits needed to index the dictionary (>=1). */
+    unsigned indexBits() const;
+
+  private:
+    std::vector<int64_t> values_;
+};
+
+/** The complete synthesized instruction set. */
+struct FitsIsa
+{
+    std::string appName;
+    std::vector<FitsSlot> slots;
+
+    std::array<int8_t, NUM_REGS> regMap{};  //!< arch -> field code or -1
+    std::vector<uint8_t> regUnmap;          //!< field code -> arch
+    uint8_t regBits = 4;
+    int scratchReg = -1; //!< translator scratch register, -1 when none
+
+    ValueDictionary opDict;   //!< operate/move immediates
+    ValueDictionary dispDict; //!< memory displacements
+    std::vector<uint16_t> listDict; //!< LDM/STM register lists
+
+    std::vector<int16_t> decodeTable; //!< 64Ki-entry word -> slot index
+
+    FitsIsa() { regMap.fill(-1); }
+
+    /** Assign canonical prefix opcodes; fatal() when Kraft-infeasible. */
+    void assignOpcodes();
+    /** Build the 64 Ki decode table from assigned opcodes. */
+    void buildDecodeTable();
+
+    /** @return the slot index decoding @p word, or -1. */
+    int slotFor(uint16_t word) const;
+
+    /**
+     * Try to encode @p uop into slot @p slot_index.
+     * @return true and the encoded word when every operand fits.
+     */
+    bool encode(size_t slot_index, const MicroOp &uop,
+                uint16_t &word) const;
+
+    /**
+     * Programmable decode: 16-bit word -> micro-op.
+     * @return false for a word no slot claims.
+     */
+    bool decode(uint16_t word, MicroOp &uop) const;
+
+    /** Sum of 2^fieldBits over slots (65536 = full, must be <=). */
+    uint64_t kraftSum() const;
+
+    /** Multi-line ISA listing for reports and the examples. */
+    std::string listing() const;
+
+    /** Disassemble one FITS word under this ISA. */
+    std::string disassembleWord(uint16_t word) const;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_FITS_FITS_ISA_HH

@@ -1,0 +1,105 @@
+#include "fits/report.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace pfits
+{
+
+namespace
+{
+
+std::vector<const SigStats *>
+byDynWeight(const ProfileInfo &profile)
+{
+    std::vector<const SigStats *> sigs;
+    sigs.reserve(profile.sigs.size());
+    for (const auto &[key, stats] : profile.sigs)
+        sigs.push_back(&stats);
+    std::stable_sort(sigs.begin(), sigs.end(),
+                     [](const SigStats *a, const SigStats *b) {
+                         return a->dynCount > b->dynCount;
+                     });
+    return sigs;
+}
+
+} // namespace
+
+Table
+requirementAnalysis(const ProfileInfo &profile, size_t top)
+{
+    Table table("Requirement analysis (profile stage)");
+    table.setHeader({"signature", "static", "dynamic", "dyn %",
+                     "values", "min", "max", "rd==rn %"});
+    auto sigs = byDynWeight(profile);
+    if (top && sigs.size() > top)
+        sigs.resize(top);
+    double total =
+        std::max<double>(1.0, static_cast<double>(profile.totalDynamic));
+    for (const SigStats *stats : sigs) {
+        int64_t lo = 0, hi = 0;
+        if (!stats->values.empty()) {
+            lo = stats->values.begin()->first;
+            hi = stats->values.rbegin()->first;
+        }
+        double two_op =
+            stats->dynCount
+                ? 100.0 * static_cast<double>(stats->rdEqRnCount) /
+                      static_cast<double>(stats->dynCount)
+                : 0.0;
+        table.addRow(
+            {stats->sig.toString(),
+             std::to_string(stats->staticCount),
+             std::to_string(stats->dynCount),
+             formatDouble(100.0 * static_cast<double>(stats->dynCount) /
+                              total,
+                          1),
+             std::to_string(stats->values.size()), std::to_string(lo),
+             std::to_string(hi), formatDouble(two_op, 0)});
+    }
+    return table;
+}
+
+Table
+registerPressure(const ProfileInfo &profile)
+{
+    Table table("Register pressure");
+    table.setHeader({"register", "reads", "writes", "state"});
+    for (unsigned reg = 0; reg < NUM_REGS; ++reg) {
+        bool used = (profile.regsUsed >> reg) & 1u;
+        std::string reg_name = reg == SP   ? "sp"
+                               : reg == LR ? "lr"
+                                           : "r" + std::to_string(reg);
+        table.addRow({reg_name, std::to_string(profile.regReads[reg]),
+                      std::to_string(profile.regWrites[reg]),
+                      used ? "live" : "free"});
+    }
+    return table;
+}
+
+Table
+synthesisSummary(const ProfileInfo &profile, const FitsIsa &isa)
+{
+    Table table("Synthesis summary");
+    table.setHeader({"signature", "dynamic", "slots", "class",
+                     "coverage"});
+    for (const SigStats *stats : byDynWeight(profile)) {
+        size_t count = 0;
+        const FitsSlot *best = nullptr;
+        for (const FitsSlot &slot : isa.slots) {
+            if (slot.sig == stats->sig) {
+                ++count;
+                if (!best || slot.dynCount > best->dynCount)
+                    best = &slot;
+            }
+        }
+        table.addRow({stats->sig.toString(),
+                      std::to_string(stats->dynCount),
+                      std::to_string(count),
+                      best ? slotClassName(best->cls) : "-",
+                      count ? "one-instruction" : "expansion"});
+    }
+    return table;
+}
+
+} // namespace pfits

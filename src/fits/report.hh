@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Human-readable reports over the FITS toolchain's data structures:
+ * the profiler's requirement analysis (the output of the paper's
+ * profile stage — "a list of extensive requirement analysis related to
+ * each element that makes up an instruction set") and a synthesis
+ * summary comparing what was requested with what was admitted.
+ */
+
+#ifndef POWERFITS_FITS_REPORT_HH
+#define POWERFITS_FITS_REPORT_HH
+
+#include "common/table.hh"
+#include "fits/fits_isa.hh"
+#include "fits/profile.hh"
+
+namespace pfits
+{
+
+/**
+ * The requirement analysis: one row per signature, ordered by dynamic
+ * weight, with static/dynamic counts, the number of distinct
+ * characteristic values, the value range, and the two-operand share.
+ *
+ * @param top keep the heaviest @p top rows (0 = all)
+ */
+Table requirementAnalysis(const ProfileInfo &profile, size_t top = 0);
+
+/** Register pressure: per-register read/write counts plus free set. */
+Table registerPressure(const ProfileInfo &profile);
+
+/**
+ * Synthesis summary: per signature, whether it got a one-instruction
+ * slot (and of which class) or relies on a multi-instruction expansion.
+ */
+Table synthesisSummary(const ProfileInfo &profile, const FitsIsa &isa);
+
+} // namespace pfits
+
+#endif // POWERFITS_FITS_REPORT_HH

@@ -1,0 +1,259 @@
+#include "fits/serialize.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+const char *
+fieldName(Field f)
+{
+    switch (f) {
+      case Field::RD: return "rd";
+      case Field::RN: return "rn";
+      case Field::RM: return "rm";
+      case Field::RS: return "rs";
+      case Field::RA: return "ra";
+      case Field::IMM: return "imm";
+      case Field::DICT: return "dict";
+      case Field::MEM_DICT: return "mdict";
+      case Field::DISP: return "disp";
+      case Field::AMOUNT: return "amount";
+      case Field::LIST: return "list";
+      case Field::SWINUM: return "swinum";
+      default: panic("bad Field");
+    }
+}
+
+Field
+parseField(const std::string &name, int line)
+{
+    static const std::pair<const char *, Field> table[] = {
+        {"rd", Field::RD},       {"rn", Field::RN},
+        {"rm", Field::RM},       {"rs", Field::RS},
+        {"ra", Field::RA},       {"imm", Field::IMM},
+        {"dict", Field::DICT},   {"mdict", Field::MEM_DICT},
+        {"disp", Field::DISP},   {"amount", Field::AMOUNT},
+        {"list", Field::LIST},   {"swinum", Field::SWINUM},
+    };
+    for (const auto &[n, f] : table)
+        if (name == n)
+            return f;
+    fatal("fits config line %d: unknown field kind '%s'", line,
+          name.c_str());
+}
+
+} // namespace
+
+std::string
+saveFitsIsa(const FitsIsa &isa)
+{
+    std::ostringstream os;
+    os << "fitsisa v1 app " << isa.appName << "\n";
+    os << "regbits " << static_cast<unsigned>(isa.regBits) << " scratch "
+       << isa.scratchReg << "\n";
+    os << "regunmap";
+    for (uint8_t reg : isa.regUnmap)
+        os << ' ' << static_cast<unsigned>(reg);
+    os << "\n";
+    os << "opdict";
+    for (size_t i = 0; i < isa.opDict.size(); ++i)
+        os << ' ' << isa.opDict.at(i);
+    os << "\n";
+    os << "dispdict";
+    for (size_t i = 0; i < isa.dispDict.size(); ++i)
+        os << ' ' << isa.dispDict.at(i);
+    os << "\n";
+    os << "listdict";
+    for (uint16_t list : isa.listDict)
+        os << ' ' << list;
+    os << "\n";
+
+    for (const FitsSlot &slot : isa.slots) {
+        os << "slot " << static_cast<unsigned>(slot.sig.op) << ' '
+           << static_cast<unsigned>(slot.sig.cond) << ' '
+           << (slot.sig.setsFlags ? 1 : 0) << ' '
+           << static_cast<unsigned>(slot.sig.form) << ' '
+           << static_cast<unsigned>(slot.sig.shiftType) << ' '
+           << (slot.sig.memAdd ? 1 : 0) << ' '
+           << static_cast<unsigned>(slot.cls) << ' '
+           << (slot.twoOperand ? 1 : 0) << ' '
+           << static_cast<unsigned>(slot.bakedAmount) << ' '
+           << static_cast<unsigned>(slot.dispScale) << ' '
+           << (slot.valSigned ? 1 : 0) << ' '
+           << static_cast<int>(slot.bakedRd) << ' '
+           << static_cast<int>(slot.bakedRa) << ' '
+           << static_cast<int>(slot.bakedRm) << ' '
+           << (slot.essential ? 1 : 0) << ' ' << slot.opcode << ' '
+           << static_cast<unsigned>(slot.opcodeBits) << ' '
+           << slot.staticCount << ' ' << slot.dynCount;
+        for (const FieldSpec &spec : slot.fields) {
+            os << ' ' << fieldName(spec.kind) << ':'
+               << static_cast<unsigned>(spec.bits);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+FitsIsa
+loadFitsIsa(const std::string &text)
+{
+    FitsIsa isa;
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+
+    auto nextLine = [&](const char *what) {
+        if (!std::getline(stream, line))
+            fatal("fits config: truncated before %s", what);
+        ++line_no;
+        return std::istringstream(line);
+    };
+
+    {
+        auto ls = nextLine("header");
+        std::string magic, version, key;
+        ls >> magic >> version >> key >> isa.appName;
+        if (magic != "fitsisa" || version != "v1" || key != "app")
+            fatal("fits config line 1: bad header '%s'", line.c_str());
+    }
+    {
+        auto ls = nextLine("regbits");
+        std::string k1, k2;
+        unsigned bits;
+        ls >> k1 >> bits >> k2 >> isa.scratchReg;
+        if (k1 != "regbits" || k2 != "scratch" || !ls)
+            fatal("fits config line %d: bad regbits line", line_no);
+        isa.regBits = static_cast<uint8_t>(bits);
+    }
+    {
+        auto ls = nextLine("regunmap");
+        std::string key;
+        ls >> key;
+        if (key != "regunmap")
+            fatal("fits config line %d: expected regunmap", line_no);
+        unsigned reg;
+        while (ls >> reg) {
+            if (reg >= NUM_REGS)
+                fatal("fits config line %d: register %u out of range",
+                      line_no, reg);
+            isa.regUnmap.push_back(static_cast<uint8_t>(reg));
+        }
+        isa.regMap.fill(-1);
+        for (size_t code = 0; code < isa.regUnmap.size(); ++code) {
+            uint8_t reg = isa.regUnmap[code];
+            if (isa.regMap[reg] < 0)
+                isa.regMap[reg] = static_cast<int8_t>(code);
+        }
+    }
+    auto readDict = [&](const char *name, auto add) {
+        auto ls = nextLine(name);
+        std::string key;
+        ls >> key;
+        if (key != name)
+            fatal("fits config line %d: expected %s", line_no, name);
+        int64_t value;
+        while (ls >> value)
+            add(value);
+    };
+    readDict("opdict", [&](int64_t v) { isa.opDict.add(v); });
+    readDict("dispdict", [&](int64_t v) { isa.dispDict.add(v); });
+    readDict("listdict", [&](int64_t v) {
+        isa.listDict.push_back(static_cast<uint16_t>(v));
+    });
+
+    while (std::getline(stream, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key != "slot")
+            fatal("fits config line %d: expected a slot, got '%s'",
+                  line_no, key.c_str());
+        FitsSlot slot;
+        unsigned op, cond, flags, form, shift, mem_add, cls, two_op,
+            baked_amt, disp_scale, val_signed, essential, opcode_bits;
+        int baked_rd, baked_ra, baked_rm;
+        ls >> op >> cond >> flags >> form >> shift >> mem_add >> cls >>
+            two_op >> baked_amt >> disp_scale >> val_signed >>
+            baked_rd >> baked_ra >> baked_rm >> essential >>
+            slot.opcode >> opcode_bits >> slot.staticCount >>
+            slot.dynCount;
+        if (!ls)
+            fatal("fits config line %d: malformed slot", line_no);
+        if (op >= static_cast<unsigned>(Op::NUM) ||
+            cond >= static_cast<unsigned>(Cond::NUM) ||
+            form > static_cast<unsigned>(SigForm::MEM_REG) ||
+            shift >= static_cast<unsigned>(ShiftType::NUM)) {
+            fatal("fits config line %d: enum out of range", line_no);
+        }
+        slot.sig.op = static_cast<Op>(op);
+        slot.sig.cond = static_cast<Cond>(cond);
+        slot.sig.setsFlags = flags != 0;
+        slot.sig.form = static_cast<SigForm>(form);
+        slot.sig.shiftType = static_cast<ShiftType>(shift);
+        slot.sig.memAdd = mem_add != 0;
+        slot.cls = static_cast<SlotClass>(cls);
+        slot.twoOperand = two_op != 0;
+        slot.bakedAmount = static_cast<uint8_t>(baked_amt);
+        slot.dispScale = static_cast<uint8_t>(disp_scale);
+        slot.valSigned = val_signed != 0;
+        slot.bakedRd = static_cast<int8_t>(baked_rd);
+        slot.bakedRa = static_cast<int8_t>(baked_ra);
+        slot.bakedRm = static_cast<int8_t>(baked_rm);
+        slot.essential = essential != 0;
+        slot.opcodeBits = static_cast<uint8_t>(opcode_bits);
+
+        std::string field;
+        while (ls >> field) {
+            size_t colon = field.find(':');
+            if (colon == std::string::npos)
+                fatal("fits config line %d: bad field '%s'", line_no,
+                      field.c_str());
+            Field kind = parseField(field.substr(0, colon), line_no);
+            int bits = std::stoi(field.substr(colon + 1));
+            if (bits <= 0 || bits > 16)
+                fatal("fits config line %d: field width %d", line_no,
+                      bits);
+            slot.fields.push_back(
+                FieldSpec{kind, static_cast<uint8_t>(bits)});
+        }
+        if (slot.fieldBits() + slot.opcodeBits != 16)
+            fatal("fits config line %d: slot does not fill 16 bits",
+                  line_no);
+        isa.slots.push_back(std::move(slot));
+    }
+    if (isa.slots.empty())
+        fatal("fits config: no slots");
+    isa.buildDecodeTable();
+    return isa;
+}
+
+uint64_t
+decoderConfigBits(const FitsIsa &isa)
+{
+    // Per-slot descriptor: semantic template (op 6, cond 4, flags 1,
+    // form 3, shift type 2, direction 1), modifiers (two-op 1, baked
+    // amount 6, disp scale 2, signedness 1, three baked registers 5
+    // each), field layout (up to 5 fields x (kind 4 + width 4)), and
+    // the opcode (value 16 + length 4).
+    constexpr uint64_t kPerSlot =
+        6 + 4 + 1 + 3 + 2 + 1 + 1 + 6 + 2 + 1 + 3 * 5 + 5 * 8 + 16 + 4;
+    uint64_t bits = isa.slots.size() * kPerSlot;
+    bits += isa.regUnmap.size() * 4;  // register map
+    bits += isa.opDict.size() * 32;   // operate constants
+    bits += isa.dispDict.size() * 16; // displacements
+    bits += isa.listDict.size() * 16; // register lists
+    return bits;
+}
+
+} // namespace pfits

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Decoder-configuration serialization — the paper's "configure" stage.
+ *
+ * In the FITS design flow (Figure 1), the compiler's output is
+ * "downloaded to a non-volatile state in the FITS processor": the
+ * programmable decoder's slot table, the register map, and the value
+ * dictionaries. This module gives that artefact a concrete form: a
+ * line-oriented text format that round-trips a complete FitsIsa,
+ * including the assigned prefix opcodes (a translated binary is only
+ * meaningful together with the exact configuration that encoded it).
+ *
+ * It also answers the hardware-cost question — how many configuration
+ * bits the programmable decoder needs — via decoderConfigBits().
+ */
+
+#ifndef POWERFITS_FITS_SERIALIZE_HH
+#define POWERFITS_FITS_SERIALIZE_HH
+
+#include <string>
+
+#include "fits/fits_isa.hh"
+
+namespace pfits
+{
+
+/** Serialize a synthesized ISA (with opcode assignment) to text. */
+std::string saveFitsIsa(const FitsIsa &isa);
+
+/**
+ * Parse a configuration produced by saveFitsIsa() and rebuild the
+ * decode table. fatal()s on malformed input, naming the line.
+ */
+FitsIsa loadFitsIsa(const std::string &text);
+
+/**
+ * Estimated size of the decoder's configuration state in bits: per-slot
+ * descriptors (semantic template, field layout, baked values, opcode),
+ * the register map, and the dictionary contents. This is the
+ * "programmable, non-volatile storage" the paper trades against a fixed
+ * decoder.
+ */
+uint64_t decoderConfigBits(const FitsIsa &isa);
+
+} // namespace pfits
+
+#endif // POWERFITS_FITS_SERIALIZE_HH

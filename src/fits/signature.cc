@@ -1,0 +1,101 @@
+#include "fits/signature.hh"
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+const char *
+sigFormName(SigForm form)
+{
+    switch (form) {
+      case SigForm::NONE: return "none";
+      case SigForm::REG: return "reg";
+      case SigForm::REG4: return "reg4";
+      case SigForm::SHIFT_IMM: return "shift-imm";
+      case SigForm::IMM: return "imm";
+      case SigForm::MEM_IMM: return "mem-imm";
+      case SigForm::MEM_REG: return "mem-reg";
+      default: panic("bad SigForm");
+    }
+}
+
+std::string
+Signature::toString() const
+{
+    std::string out = opName(op);
+    out += condName(cond);
+    if (setsFlags)
+        out += ".s";
+    out += " ";
+    out += sigFormName(form);
+    if (form == SigForm::SHIFT_IMM ||
+        (form == SigForm::REG4 && isAluLikeOp(op))) {
+        out += "(";
+        out += shiftName(shiftType);
+        out += ")";
+    }
+    if (form == SigForm::MEM_REG && !memAdd)
+        out += "(-)";
+    return out;
+}
+
+Signature
+signatureOf(const MicroOp &uop)
+{
+    Signature sig;
+    sig.op = uop.op;
+    sig.cond = uop.cond;
+    sig.setsFlags = uop.setsFlags;
+
+    if (isAluLikeOp(uop.op)) {
+        switch (uop.op2Kind) {
+          case Operand2Kind::IMM:
+            sig.form = SigForm::IMM;
+            break;
+          case Operand2Kind::REG:
+            sig.form = SigForm::REG;
+            break;
+          case Operand2Kind::REG_SHIFT_IMM:
+            sig.form = SigForm::SHIFT_IMM;
+            sig.shiftType = uop.shiftType;
+            break;
+          case Operand2Kind::REG_SHIFT_REG:
+            sig.form = SigForm::REG4;
+            sig.shiftType = uop.shiftType;
+            break;
+        }
+        return sig;
+    }
+
+    switch (uop.op) {
+      case Op::MOVW: case Op::MOVT:
+        sig.form = SigForm::IMM;
+        break;
+      case Op::MUL: case Op::CLZ: case Op::SDIV: case Op::UDIV:
+      case Op::QADD: case Op::QSUB:
+        sig.form = SigForm::REG;
+        break;
+      case Op::MLA: case Op::UMULL: case Op::SMULL:
+        sig.form = SigForm::REG4;
+        break;
+      case Op::LDR: case Op::STR: case Op::LDRB: case Op::STRB:
+      case Op::LDRH: case Op::STRH: case Op::LDRSB: case Op::LDRSH:
+        if (uop.memKind == MemOffsetKind::IMM) {
+            sig.form = SigForm::MEM_IMM;
+        } else {
+            sig.form = SigForm::MEM_REG;
+            sig.memAdd = uop.memAdd;
+        }
+        break;
+      case Op::LDM: case Op::STM:
+      case Op::B: case Op::BL: case Op::RET: case Op::SWI: case Op::NOP:
+        sig.form = SigForm::NONE;
+        break;
+      default:
+        panic("signatureOf: unhandled op %s", opName(uop.op));
+    }
+    return sig;
+}
+
+} // namespace pfits

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Operation signatures — the unit of FITS instruction-set synthesis.
+ *
+ * A signature identifies one "operation template" a program uses: the
+ * semantic op, its baked condition and S-flag, and the *shape* of its
+ * operands (plain registers, shifted register, immediate, memory
+ * addressing form, ...). The profiler counts signatures; the synthesizer
+ * turns the profitable ones into 16-bit instruction slots. Field values
+ * (which registers, which immediate) are NOT part of a signature — they
+ * become encoded fields of the slot.
+ */
+
+#ifndef POWERFITS_FITS_SIGNATURE_HH
+#define POWERFITS_FITS_SIGNATURE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace pfits
+{
+
+/** Operand shape of a signature. */
+enum class SigForm : uint8_t
+{
+    NONE = 0,  //!< no variable operand shape (b, bl, ret, swi, ldm, stm)
+    REG,       //!< all-register form (3-reg ALU, mul, cmp-reg, mov-reg)
+    REG4,      //!< four-register form (mla, umull/smull, shift-by-reg)
+    SHIFT_IMM, //!< rm shifted by a constant amount
+    IMM,       //!< immediate operand (ALU imm, mov imm, movw/movt)
+    MEM_IMM,   //!< address = base + signed displacement
+    MEM_REG,   //!< address = base +/- (rm << k)
+};
+
+/** @return a short name for @p form. */
+const char *sigFormName(SigForm form);
+
+/** The synthesis-time identity of one operation template. */
+struct Signature
+{
+    Op op = Op::NOP;
+    Cond cond = Cond::AL;
+    bool setsFlags = false;
+    SigForm form = SigForm::NONE;
+    ShiftType shiftType = ShiftType::LSL; //!< SHIFT_IMM / REG4-shift
+    bool memAdd = true;                   //!< MEM_REG direction
+
+    /** Stable packed key for maps. */
+    uint64_t
+    key() const
+    {
+        return (static_cast<uint64_t>(op) << 16) |
+               (static_cast<uint64_t>(cond) << 12) |
+               (static_cast<uint64_t>(setsFlags) << 11) |
+               (static_cast<uint64_t>(form) << 7) |
+               (static_cast<uint64_t>(shiftType) << 5) |
+               (static_cast<uint64_t>(memAdd) << 4);
+    }
+
+    bool operator==(const Signature &other) const
+    {
+        return key() == other.key();
+    }
+
+    bool operator<(const Signature &other) const
+    {
+        return key() < other.key();
+    }
+
+    /** Human-readable form for reports, e.g. "addeq.s r,r,imm". */
+    std::string toString() const;
+};
+
+/**
+ * Derive the signature of a decoded instruction.
+ *
+ * MOVW/MOVT are reported with SigForm::IMM; merged MOVW/MOVT pairs are
+ * handled by the profiler/translator peephole before this is called.
+ */
+Signature signatureOf(const MicroOp &uop);
+
+} // namespace pfits
+
+#endif // POWERFITS_FITS_SIGNATURE_HH

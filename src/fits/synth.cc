@@ -1,0 +1,1135 @@
+#include "fits/synth.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+/** A proposed slot plus admission metadata. */
+struct Candidate
+{
+    FitsSlot slot;
+    bool mandatory = false;
+    uint64_t benefit = 0;
+};
+
+/** Bytes moved by one memory op (for displacement scaling). */
+unsigned
+accessBytes(Op op)
+{
+    switch (op) {
+      case Op::LDR: case Op::STR: return 4;
+      case Op::LDRH: case Op::STRH: case Op::LDRSH: return 2;
+      default: return 1;
+    }
+}
+
+/** Signed width needed for value (two's complement). */
+unsigned
+signedBitsFor(int64_t value)
+{
+    unsigned bits = 1;
+    while (!fitsSigned(static_cast<int32_t>(value), bits) && bits < 32)
+        ++bits;
+    return bits;
+}
+
+/** The register fields shared by a signature's slots (operand2 extra). */
+std::vector<FieldSpec>
+baseRegFields(const Signature &sig, uint8_t reg_bits, bool two_operand)
+{
+    std::vector<FieldSpec> fields;
+    auto push = [&](Field f) { fields.push_back({f, reg_bits}); };
+
+    if (isAluLikeOp(sig.op)) {
+        AluOp alu = static_cast<AluOp>(sig.op);
+        if (isCompareOp(alu)) {
+            push(Field::RN);
+        } else if (isMoveOp(alu)) {
+            push(Field::RD);
+        } else {
+            push(Field::RD);
+            if (!two_operand)
+                push(Field::RN);
+        }
+        return fields;
+    }
+
+    switch (sig.op) {
+      case Op::MOVW: case Op::MOVT:
+        push(Field::RD);
+        break;
+      case Op::MUL:
+        push(Field::RD);
+        push(Field::RM);
+        push(Field::RS);
+        break;
+      case Op::CLZ:
+        push(Field::RD);
+        push(Field::RM);
+        break;
+      case Op::SDIV: case Op::UDIV: case Op::QADD: case Op::QSUB:
+        push(Field::RD);
+        push(Field::RN);
+        push(Field::RM);
+        break;
+      case Op::LDR: case Op::STR: case Op::LDRB: case Op::STRB:
+      case Op::LDRH: case Op::STRH: case Op::LDRSB: case Op::LDRSH:
+        push(Field::RD);
+        push(Field::RN);
+        break;
+      default:
+        break;
+    }
+    return fields;
+}
+
+/** Synthesis working state. */
+struct Synth
+{
+    const ProfileInfo &prof;
+    SynthParams params;
+    FitsIsa isa;
+    std::vector<Candidate> cands;
+
+    uint64_t
+    sigDyn(const Signature &sig) const
+    {
+        const SigStats *s = prof.find(sig);
+        return s ? s->dynCount : 0;
+    }
+
+    void
+    propose(FitsSlot slot, bool mandatory, uint64_t benefit)
+    {
+        cands.push_back(Candidate{std::move(slot), mandatory, benefit});
+    }
+};
+
+/**
+ * Choose the inline-immediate width: the narrowest width reaching the
+ * coverage target, or — when no width does (bimodal histograms with a
+ * dictionary-bound tail) — the smallest width with the best achievable
+ * coverage, so admission economics still get an inline candidate.
+ * Returns -1 only when no value is inline-encodable at all.
+ */
+int
+chooseInlineWidth(const std::map<int64_t, uint64_t> &values,
+                  double cover_target, unsigned max_bits)
+{
+    uint64_t total = 0;
+    for (const auto &[v, w] : values)
+        total += w;
+    if (total == 0)
+        return -1;
+    static const unsigned widths[] = {4, 5, 6, 8};
+    int best = -1;
+    uint64_t best_covered = 0;
+    for (unsigned w : widths) {
+        if (w > max_bits)
+            break;
+        uint64_t covered = 0;
+        for (const auto &[v, weight] : values)
+            if (v >= 0 && v < (1ll << w))
+                covered += weight;
+        if (static_cast<double>(covered) / total >= cover_target)
+            return static_cast<int>(w);
+        if (covered > best_covered) {
+            best_covered = covered;
+            best = static_cast<int>(w);
+        }
+    }
+    return best;
+}
+
+uint64_t
+coveredWeight(const std::map<int64_t, uint64_t> &values, unsigned bits,
+              bool is_signed, unsigned scale)
+{
+    uint64_t covered = 0;
+    for (const auto &[v, weight] : values) {
+        int64_t scaled = v >> scale;
+        if ((scaled << scale) != v)
+            continue;
+        bool fits = is_signed
+                        ? fitsSigned(static_cast<int32_t>(scaled), bits)
+                        : (scaled >= 0 &&
+                           fitsUnsigned(static_cast<uint32_t>(scaled),
+                                        bits));
+        if (fits)
+            covered += weight;
+    }
+    return covered;
+}
+
+// --- dictionary construction ------------------------------------------------
+
+void
+buildDictionaries(Synth &synth)
+{
+    const ProfileInfo &prof = synth.prof;
+    const SynthParams &params = synth.params;
+
+    // Operate-immediate dictionary: values unlikely to encode inline,
+    // weighted by dynamic utilization (the paper's utilization-based
+    // immediate synthesis). Lone MOVT imm16s are *forced*: they have no
+    // expansion path.
+    std::map<int64_t, uint64_t> pool;
+    std::set<int64_t> forced;
+    for (const auto &[key, stats] : prof.sigs) {
+        const Signature &sig = stats.sig;
+        if (sig.form != SigForm::IMM)
+            continue;
+        if (sig.op == Op::MOVT) {
+            for (const auto &[v, w] : stats.values) {
+                forced.insert(v);
+                pool[v] += w + 1;
+            }
+            continue;
+        }
+        // Values that at best need a wide (8-bit) inline field are
+        // dictionary candidates too: a 3-operand slot cannot afford an
+        // 8-bit inline immediate, so constants like 0xff often reach
+        // encodability only through the dictionary.
+        for (const auto &[v, w] : stats.values) {
+            if (v < 0 || v >= 16)
+                pool[v] += w;
+        }
+    }
+    std::vector<std::pair<int64_t, uint64_t>> ranked(pool.begin(),
+                                                     pool.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&](const auto &a, const auto &b) {
+                         bool fa = forced.count(a.first) != 0;
+                         bool fb = forced.count(b.first) != 0;
+                         if (fa != fb)
+                             return fa;
+                         return a.second > b.second;
+                     });
+    if (forced.size() > params.opDictCapacity)
+        fatal("synthesis for '%s': %zu forced constants exceed the "
+              "operate dictionary capacity %u",
+              synth.isa.appName.c_str(), forced.size(),
+              params.opDictCapacity);
+    for (const auto &[v, w] : ranked) {
+        if (synth.isa.opDict.size() >= params.opDictCapacity)
+            break;
+        synth.isa.opDict.add(v);
+    }
+
+    // Displacement dictionary.
+    std::map<int64_t, uint64_t> disp_pool;
+    for (const auto &[key, stats] : prof.sigs) {
+        if (stats.sig.form != SigForm::MEM_IMM)
+            continue;
+        unsigned scale = ceilLog2(accessBytes(stats.sig.op));
+        for (const auto &[v, w] : stats.values) {
+            int64_t scaled = v >> scale;
+            bool inline_likely = (scaled << scale) == v && scaled >= 0 &&
+                                 scaled < (1 << 4);
+            if (!inline_likely)
+                disp_pool[v] += w;
+        }
+    }
+    std::vector<std::pair<int64_t, uint64_t>> disp_ranked(
+        disp_pool.begin(), disp_pool.end());
+    std::stable_sort(disp_ranked.begin(), disp_ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    for (const auto &[v, w] : disp_ranked) {
+        if (synth.isa.dispDict.size() >= params.dispDictCapacity)
+            break;
+        synth.isa.dispDict.add(v);
+    }
+
+    // Register-list dictionary: every distinct list must fit.
+    if (prof.regLists.size() > params.listDictCapacity)
+        fatal("synthesis for '%s': %zu distinct LDM/STM register lists "
+              "exceed the list dictionary capacity %u",
+              synth.isa.appName.c_str(), prof.regLists.size(),
+              params.listDictCapacity);
+    for (const auto &[list, w] : prof.regLists)
+        synth.isa.listDict.push_back(list);
+}
+
+// --- candidate generation ---------------------------------------------------
+
+void
+proposeForSig(Synth &synth, const SigStats &stats)
+{
+    const Signature &sig = stats.sig;
+    const SynthParams &params = synth.params;
+    const uint8_t rb = synth.isa.regBits;
+
+    FitsSlot proto;
+    proto.sig = sig;
+    proto.staticCount = stats.staticCount;
+    proto.dynCount = stats.dynCount;
+
+    switch (sig.form) {
+      case SigForm::NONE: {
+        FitsSlot slot = proto;
+        switch (sig.op) {
+          case Op::B: case Op::BL: {
+            int64_t max_abs = 8;
+            for (const auto &[v, w] : stats.values)
+                max_abs = std::max<int64_t>(max_abs, v < 0 ? -v : v);
+            // Translation stretches offsets by the expansion factor;
+            // leave a 2x margin (worst case every instruction doubles).
+            unsigned bits = std::min(14u,
+                                     signedBitsFor(2 * max_abs + 8));
+            slot.fields = {{Field::DISP, static_cast<uint8_t>(bits)}};
+            slot.cls = SlotClass::BIS;
+            synth.propose(slot, true, stats.dynCount);
+            return;
+          }
+          case Op::RET: case Op::NOP:
+            slot.fields = {};
+            slot.cls = SlotClass::BIS;
+            synth.propose(slot, true, stats.dynCount);
+            return;
+          case Op::SWI: {
+            int64_t max_num = 1;
+            for (const auto &[v, w] : stats.values)
+                max_num = std::max(max_num, v);
+            unsigned bits = std::max(1u, ceilLog2(
+                static_cast<uint64_t>(max_num) + 1));
+            slot.fields = {{Field::SWINUM,
+                            static_cast<uint8_t>(bits)}};
+            slot.cls = SlotClass::BIS;
+            synth.propose(slot, true, stats.dynCount);
+            return;
+          }
+          case Op::LDM: case Op::STM: {
+            unsigned lw = 1;
+            while ((1u << lw) < synth.isa.listDict.size())
+                ++lw;
+            slot.fields = {{Field::RN, rb},
+                           {Field::LIST, static_cast<uint8_t>(lw)}};
+            slot.cls = SlotClass::BIS;
+            synth.propose(slot, true, stats.dynCount);
+            return;
+          }
+          default:
+            panic("unexpected NONE-form op %s", opName(sig.op));
+        }
+      }
+
+      case SigForm::REG: {
+        FitsSlot slot = proto;
+        slot.fields = baseRegFields(sig, rb, false);
+        if (isAluLikeOp(sig.op))
+            slot.fields.push_back({Field::RM, rb});
+        slot.cls = isAluLikeOp(sig.op) ? SlotClass::BIS : SlotClass::AIS;
+        // The AL form is its own (irreplaceable) fallback base; a
+        // conditional variant can be rewritten with an inverse branch,
+        // so it competes for opcode space like any AIS slot.
+        synth.propose(slot, sig.cond == Cond::AL, stats.dynCount);
+
+        // A two-operand variant costs 2^(2*regBits) instead of
+        // 2^(3*regBits) — for accumulator-style conditional ops (the
+        // predication-heavy code FITS targets) this is the cheap way
+        // into the opcode space.
+        bool plain_alu = isAluLikeOp(sig.op) &&
+                         !isCompareOp(static_cast<AluOp>(sig.op)) &&
+                         !isMoveOp(static_cast<AluOp>(sig.op));
+        if (params.enableTwoOperand && plain_alu &&
+            stats.rdEqRnCount > 0 && sig.cond != Cond::AL) {
+            FitsSlot two = proto;
+            two.twoOperand = true;
+            two.fields = baseRegFields(sig, rb, true);
+            two.fields.push_back({Field::RM, rb});
+            two.cls = SlotClass::AIS;
+            two.dynCount = stats.rdEqRnCount;
+            synth.propose(two, false, stats.rdEqRnCount);
+        }
+        return;
+      }
+
+      case SigForm::REG4: {
+        if (isAluLikeOp(sig.op)) {
+            if (isMoveOp(static_cast<AluOp>(sig.op))) {
+                FitsSlot slot = proto;
+                slot.fields = {{Field::RD, rb}, {Field::RM, rb},
+                               {Field::RS, rb}};
+                slot.cls = SlotClass::SIS;
+                synth.propose(slot, true, stats.dynCount);
+                return;
+            }
+            if (4u * rb <= 14) {
+                FitsSlot slot = proto;
+                slot.fields = {{Field::RD, rb}, {Field::RN, rb},
+                               {Field::RM, rb}, {Field::RS, rb}};
+                slot.cls = SlotClass::AIS;
+                synth.propose(slot, false, stats.dynCount);
+            }
+            return; // fallback: mov-shift + reg base
+        }
+        if (sig.op == Op::MLA) {
+            if (4u * rb <= 14) {
+                FitsSlot slot = proto;
+                slot.fields = {{Field::RD, rb}, {Field::RA, rb},
+                               {Field::RM, rb}, {Field::RS, rb}};
+                slot.cls = SlotClass::AIS;
+                synth.propose(slot, false, stats.dynCount);
+            } else {
+                // Accumulator-style MLA nearly always reuses one
+                // destination register: bake the (rd, ra) pairs the
+                // application actually uses (AIS; mul+add fallback).
+                for (const auto &[pair, w] : stats.regPairs) {
+                    FitsSlot slot = proto;
+                    slot.fields = {{Field::RM, rb}, {Field::RS, rb}};
+                    slot.bakedRd = static_cast<int8_t>(pair >> 8);
+                    slot.bakedRa = static_cast<int8_t>(pair & 0xff);
+                    slot.cls = SlotClass::AIS;
+                    slot.dynCount = w;
+                    synth.propose(slot, false, w);
+                }
+            }
+            return; // fallback: mul + add
+        }
+        // UMULL/SMULL: no expansion path.
+        if (4u * rb <= 14) {
+            FitsSlot slot = proto;
+            slot.fields = {{Field::RD, rb}, {Field::RA, rb},
+                           {Field::RM, rb}, {Field::RS, rb}};
+            slot.cls = SlotClass::AIS;
+            synth.propose(slot, true, stats.dynCount);
+        } else {
+            // Bake the destination pair per application usage.
+            for (const auto &[pair, w] : stats.regPairs) {
+                FitsSlot slot = proto;
+                slot.fields = {{Field::RM, rb}, {Field::RS, rb}};
+                slot.bakedRd = static_cast<int8_t>(pair >> 8);
+                slot.bakedRa = static_cast<int8_t>(pair & 0xff);
+                slot.cls = SlotClass::AIS;
+                slot.dynCount = w;
+                synth.propose(slot, true, w);
+            }
+        }
+        return;
+      }
+
+      case SigForm::SHIFT_IMM: {
+        uint64_t total = std::max<uint64_t>(1, stats.dynCount);
+        int64_t max_amount = 0;
+        for (const auto &[v, w] : stats.values)
+            max_amount = std::max(max_amount, v);
+
+        // Fused variants for dominant amounts; accumulator-style users
+        // (rd==rn) additionally get a half-cost two-operand fusion.
+        bool plain_alu = isAluLikeOp(sig.op) &&
+                         !isCompareOp(static_cast<AluOp>(sig.op)) &&
+                         !isMoveOp(static_cast<AluOp>(sig.op));
+        if (params.enableFusedShifts) {
+            unsigned fused = 0;
+            for (const auto &[amount, w] : stats.values) {
+                if (fused >= 3)
+                    break;
+                if (static_cast<double>(w) / total < params.fuseShare)
+                    continue;
+                FitsSlot slot = proto;
+                slot.fields = baseRegFields(sig, rb, false);
+                slot.fields.push_back({Field::RM, rb});
+                slot.bakedAmount = static_cast<uint8_t>(amount);
+                slot.cls = SlotClass::AIS;
+                slot.dynCount = w;
+                synth.propose(slot, false, w);
+                ++fused;
+
+                if (params.enableTwoOperand && plain_alu &&
+                    stats.rdEqRnCount > 0) {
+                    FitsSlot two = proto;
+                    two.twoOperand = true;
+                    two.fields = baseRegFields(sig, rb, true);
+                    two.fields.push_back({Field::RM, rb});
+                    two.bakedAmount = static_cast<uint8_t>(amount);
+                    two.cls = SlotClass::AIS;
+                    uint64_t ben =
+                        static_cast<uint64_t>(
+                            static_cast<double>(w) *
+                            static_cast<double>(stats.rdEqRnCount) /
+                            static_cast<double>(total));
+                    two.dynCount = ben;
+                    synth.propose(two, false, ben);
+                }
+            }
+        }
+
+        // Generic slot with an amount field.
+        FitsSlot slot = proto;
+        slot.fields = baseRegFields(sig, rb, false);
+        slot.fields.push_back({Field::RM, rb});
+        slot.fields.push_back(
+            {Field::AMOUNT, static_cast<uint8_t>(max_amount < 16 ? 4
+                                                                 : 5)});
+        slot.cls = SlotClass::AIS;
+        synth.propose(slot, false, stats.dynCount);
+        return;
+      }
+
+      case SigForm::IMM: {
+        if (sig.op == Op::MOVW || sig.op == Op::MOVT) {
+            FitsSlot slot = proto;
+            slot.fields = baseRegFields(sig, rb, false);
+            slot.fields.push_back(
+                {Field::DICT,
+                 static_cast<uint8_t>(synth.isa.opDict.indexBits())});
+            slot.cls = SlotClass::AIS;
+            // Lone MOVT has no expansion path; lone MOVW can fall back
+            // to the byte-builder (it is an ordinary move).
+            synth.propose(slot, sig.op == Op::MOVT, stats.dynCount);
+            return;
+        }
+
+        uint64_t total = std::max<uint64_t>(1, stats.dynCount);
+
+        // Inline-immediate variant.
+        int w = chooseInlineWidth(stats.values, params.inlineCover,
+                                  params.maxInlineImmBits);
+        if (w > 0) {
+            FitsSlot slot = proto;
+            slot.fields = baseRegFields(sig, rb, false);
+            slot.fields.push_back({Field::IMM,
+                                   static_cast<uint8_t>(w)});
+            slot.cls = SlotClass::AIS;
+            uint64_t benefit = coveredWeight(stats.values,
+                                             static_cast<unsigned>(w),
+                                             false, 0);
+            slot.dynCount = benefit;
+            synth.propose(slot, false, benefit);
+        }
+
+        // Two-operand 8-bit-immediate variant (the paper's 2-op form).
+        bool is_plain_alu =
+            isAluLikeOp(sig.op) &&
+            !isCompareOp(static_cast<AluOp>(sig.op)) &&
+            !isMoveOp(static_cast<AluOp>(sig.op));
+        if (params.enableTwoOperand && is_plain_alu &&
+            static_cast<double>(stats.rdEqRnCount) / total >=
+                params.twoOpShare) {
+            FitsSlot slot = proto;
+            slot.twoOperand = true;
+            slot.fields = baseRegFields(sig, rb, true);
+            slot.fields.push_back({Field::IMM, 8});
+            slot.cls = SlotClass::AIS;
+            slot.dynCount = stats.rdEqRnCount;
+            synth.propose(slot, false, stats.rdEqRnCount);
+        }
+
+        // Dictionary variant for the values inline cannot reach.
+        uint64_t dict_benefit = 0;
+        for (const auto &[v, weight] : stats.values) {
+            bool inline_ok = w > 0 && v >= 0 && v < (1ll << w);
+            if (!inline_ok && synth.isa.opDict.indexOf(v) >= 0)
+                dict_benefit += weight;
+        }
+        if (dict_benefit > 0 || isMoveOp(static_cast<AluOp>(sig.op))) {
+            FitsSlot slot = proto;
+            slot.fields = baseRegFields(sig, rb, false);
+            slot.fields.push_back(
+                {Field::DICT,
+                 static_cast<uint8_t>(synth.isa.opDict.indexBits())});
+            slot.cls = SlotClass::AIS;
+            slot.dynCount = dict_benefit;
+            synth.propose(slot, false, dict_benefit);
+        }
+        return;
+      }
+
+      case SigForm::MEM_IMM: {
+        unsigned access_scale = ceilLog2(accessBytes(sig.op));
+        bool all_scaled = true;
+        bool any_negative = false;
+        for (const auto &[v, weight] : stats.values) {
+            if ((v >> access_scale) << access_scale != v)
+                all_scaled = false;
+            if (v < 0)
+                any_negative = true;
+        }
+        unsigned scale = all_scaled ? access_scale : 0;
+
+        // Displacement field width tuned from the profile histogram
+        // (the paper's "dynamically reconfigure the immediate field
+        // width"): smallest width reaching the coverage target, else
+        // the widest the format allows.
+        uint64_t total = 0;
+        for (const auto &[v, weight] : stats.values)
+            total += weight;
+        unsigned w = 6;
+        for (unsigned cand : {3u, 4u, 5u, 6u}) {
+            uint64_t covered = coveredWeight(stats.values, cand,
+                                             any_negative, scale);
+            if (total &&
+                static_cast<double>(covered) /
+                        static_cast<double>(total) >=
+                    params.inlineCover) {
+                w = cand;
+                break;
+            }
+        }
+        FitsSlot slot = proto;
+        slot.fields = baseRegFields(sig, rb, false);
+        slot.dispScale = static_cast<uint8_t>(scale);
+        slot.valSigned = any_negative;
+        slot.fields.push_back({Field::IMM, static_cast<uint8_t>(w)});
+        slot.cls = SlotClass::AIS;
+        uint64_t benefit = coveredWeight(stats.values, w, any_negative,
+                                         scale);
+        slot.dynCount = benefit;
+        synth.propose(slot, false, benefit);
+
+        uint64_t dict_benefit = 0;
+        for (const auto &[v, weight] : stats.values) {
+            if (synth.isa.dispDict.indexOf(v) >= 0)
+                dict_benefit += weight;
+        }
+        if (dict_benefit > 0) {
+            FitsSlot dict_slot = proto;
+            dict_slot.fields = baseRegFields(sig, rb, false);
+            dict_slot.fields.push_back(
+                {Field::MEM_DICT,
+                 static_cast<uint8_t>(synth.isa.dispDict.indexBits())});
+            dict_slot.cls = SlotClass::AIS;
+            dict_slot.dynCount = dict_benefit;
+            synth.propose(dict_slot, false, dict_benefit);
+        }
+        return;
+      }
+
+      case SigForm::MEM_REG: {
+        // One slot per used shift amount, the scaling baked in.
+        for (const auto &[amount, w] : stats.values) {
+            FitsSlot slot = proto;
+            slot.fields = baseRegFields(sig, rb, false);
+            slot.fields.push_back({Field::RM, rb});
+            slot.bakedAmount = static_cast<uint8_t>(amount);
+            slot.cls = amount == 0 ? SlotClass::SIS : SlotClass::AIS;
+            slot.dynCount = w;
+            // amount-0 is the universal memory fallback; negative-offset
+            // forms have no expansion path at all.
+            bool mandatory = amount == 0 || !sig.memAdd;
+            synth.propose(slot, mandatory, w);
+        }
+        return;
+      }
+    }
+}
+
+// --- support closure ---------------------------------------------------------
+
+/** Key helpers for looking up admitted slots. */
+struct Admitted
+{
+    std::map<uint64_t, std::vector<size_t>> bySig;
+
+    void
+    rebuild(const std::vector<FitsSlot> &slots)
+    {
+        bySig.clear();
+        for (size_t i = 0; i < slots.size(); ++i)
+            bySig[slots[i].sig.key()].push_back(i);
+    }
+
+    bool has(const Signature &sig) const
+    {
+        return bySig.count(sig.key()) != 0;
+    }
+};
+
+Signature
+makeSig(Op op, Cond cond, bool s, SigForm form,
+        ShiftType type = ShiftType::LSL, bool mem_add = true)
+{
+    Signature sig;
+    sig.op = op;
+    sig.cond = cond;
+    sig.setsFlags = s;
+    sig.form = form;
+    sig.shiftType = type;
+    sig.memAdd = mem_add;
+    return sig;
+}
+
+} // namespace
+
+FitsIsa
+synthesize(const ProfileInfo &profile, const SynthParams &params,
+           const std::string &app_name)
+{
+    Synth synth{profile, params, FitsIsa{}, {}};
+    FitsIsa &isa = synth.isa;
+    isa.appName = app_name;
+
+    // --- register file tuning -------------------------------------------
+    int scratch = profile.pickScratchReg();
+    isa.scratchReg = scratch;
+    uint16_t mapped = profile.regsUsed;
+    if (scratch >= 0)
+        mapped |= static_cast<uint16_t>(1u << scratch);
+    unsigned mapped_count = popcount32(mapped);
+    if (mapped_count <= 8 && !params.forceWideRegFields) {
+        isa.regBits = 3;
+        for (unsigned reg = 0; reg < NUM_REGS; ++reg) {
+            if ((mapped >> reg) & 1u) {
+                isa.regMap[reg] =
+                    static_cast<int8_t>(isa.regUnmap.size());
+                isa.regUnmap.push_back(static_cast<uint8_t>(reg));
+            }
+        }
+        // Pad the unmap table so any 3-bit code is safe to decode.
+        while (isa.regUnmap.size() < 8)
+            isa.regUnmap.push_back(0);
+    } else {
+        isa.regBits = 4;
+        isa.regUnmap.resize(NUM_REGS);
+        for (unsigned reg = 0; reg < NUM_REGS; ++reg) {
+            isa.regMap[reg] = static_cast<int8_t>(reg);
+            isa.regUnmap[reg] = static_cast<uint8_t>(reg);
+        }
+    }
+
+    // --- dictionaries ------------------------------------------------------
+    buildDictionaries(synth);
+
+    // --- candidates ---------------------------------------------------------
+    for (const auto &[key, stats] : profile.sigs)
+        proposeForSig(synth, stats);
+
+    // --- admission -----------------------------------------------------------
+    std::stable_sort(synth.cands.begin(), synth.cands.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         if (a.mandatory != b.mandatory)
+                             return a.mandatory;
+                         // Optionals compete on benefit per opcode-space
+                         // cost (the Kraft weight of the slot).
+                         double ra = static_cast<double>(a.benefit) /
+                                     static_cast<double>(
+                                         1ull << a.slot.fieldBits());
+                         double rb = static_cast<double>(b.benefit) /
+                                     static_cast<double>(
+                                         1ull << b.slot.fieldBits());
+                         return ra > rb;
+                     });
+
+    uint64_t kraft = 0;
+    size_t optional_admitted_from = 0;
+    for (const Candidate &cand : synth.cands) {
+        uint64_t cost = 1ull << cand.slot.fieldBits();
+        if (cand.mandatory) {
+            isa.slots.push_back(cand.slot);
+            isa.slots.back().essential = true;
+            kraft += cost;
+            continue;
+        }
+        if (isa.slots.size() >= params.maxSlots)
+            continue;
+        // Reserve ~3% of the opcode space for support slots added by
+        // the closure below (the closure/shed fixpoint cleans up any
+        // overshoot).
+        if (kraft + cost > 63488)
+            continue;
+        if (optional_admitted_from == 0)
+            optional_admitted_from = isa.slots.size();
+        isa.slots.push_back(cand.slot);
+        kraft += cost;
+    }
+    if (kraft > 65536)
+        fatal("synthesis for '%s': mandatory slots alone oversubscribe "
+              "the opcode space (kraft=%llu)", app_name.c_str(),
+              static_cast<unsigned long long>(kraft));
+
+    // --- support closure ---------------------------------------------------
+    Admitted admitted;
+    admitted.rebuild(isa.slots);
+
+    auto addSupport = [&](const Signature &sig,
+                          std::vector<FieldSpec> fields,
+                          uint8_t baked_amount = 0xff,
+                          bool two_operand = false, int baked_rd = -1,
+                          int baked_rm = -1) {
+        if (admitted.has(sig)) {
+            // A slot with this signature already exists; for fallback
+            // purposes any variant will do only if it matches shape
+            // (same field kinds at >= width, same baked constraints or
+            // strictly more general register fields).
+            for (size_t i : admitted.bySig[sig.key()]) {
+                const FitsSlot &slot = isa.slots[i];
+                bool rd_ok = slot.bakedRd < 0 ||
+                             slot.bakedRd == baked_rd;
+                bool rm_ok = slot.bakedRm < 0 ||
+                             slot.bakedRm == baked_rm;
+                if (slot.bakedAmount == baked_amount &&
+                    slot.twoOperand == two_operand && rd_ok && rm_ok) {
+                    if (slot.fields.size() != fields.size())
+                        continue;
+                    bool subsumes = true;
+                    for (size_t f = 0; f < fields.size(); ++f) {
+                        if (slot.fields[f].kind != fields[f].kind ||
+                            slot.fields[f].bits < fields[f].bits) {
+                            subsumes = false;
+                        }
+                    }
+                    if (subsumes)
+                        return;
+                }
+            }
+        }
+        FitsSlot slot;
+        slot.sig = sig;
+        slot.cls = SlotClass::SIS;
+        slot.fields = std::move(fields);
+        slot.bakedAmount = baked_amount;
+        slot.twoOperand = two_operand;
+        slot.bakedRd = static_cast<int8_t>(baked_rd);
+        slot.bakedRm = static_cast<int8_t>(baked_rm);
+        slot.essential = true;
+        isa.slots.push_back(slot);
+        admitted.rebuild(isa.slots);
+    };
+
+    const uint8_t rb = isa.regBits;
+
+    // Probe whether one profiled use of @p sig encodes in a single
+    // admitted instruction. The probe uses distinct rd/rn registers so
+    // two-operand slots never hide a missing general form.
+    auto probeUop = [&](const Signature &sig, int64_t value) {
+        MicroOp probe;
+        probe.op = sig.op;
+        probe.cond = sig.cond;
+        probe.setsFlags = sig.setsFlags;
+        probe.rd = isa.regUnmap[0];
+        probe.rn = isa.regUnmap[1 % isa.regUnmap.size()];
+        probe.rm = isa.regUnmap[0];
+        probe.rs = isa.regUnmap[0];
+        probe.ra = isa.regUnmap[0];
+        switch (sig.form) {
+          case SigForm::IMM:
+            probe.op2Kind = Operand2Kind::IMM;
+            probe.imm = static_cast<uint32_t>(value);
+            break;
+          case SigForm::REG:
+            probe.op2Kind = Operand2Kind::REG;
+            break;
+          case SigForm::SHIFT_IMM:
+            probe.op2Kind = Operand2Kind::REG_SHIFT_IMM;
+            probe.shiftType = sig.shiftType;
+            probe.shiftAmount = static_cast<uint8_t>(value);
+            break;
+          case SigForm::REG4:
+            probe.op2Kind = Operand2Kind::REG_SHIFT_REG;
+            probe.shiftType = sig.shiftType;
+            break;
+          case SigForm::MEM_IMM:
+            probe.memKind = MemOffsetKind::IMM;
+            probe.memDisp = static_cast<int32_t>(value);
+            probe.memAdd = value >= 0;
+            break;
+          case SigForm::MEM_REG:
+            probe.memKind = value ? MemOffsetKind::REG_SHIFT_IMM
+                                  : MemOffsetKind::REG;
+            probe.shiftType = ShiftType::LSL;
+            probe.shiftAmount = static_cast<uint8_t>(value);
+            probe.memAdd = sig.memAdd;
+            break;
+          default:
+            break;
+        }
+        return probe;
+    };
+
+    auto sigValueCovered = [&](const Signature &sig, int64_t value) {
+        auto it = admitted.bySig.find(sig.key());
+        if (it == admitted.bySig.end())
+            return false;
+        MicroOp probe = probeUop(sig, value);
+        uint16_t word;
+        for (size_t i : it->second)
+            if (isa.encode(i, probe, word))
+                return true;
+        return false;
+    };
+
+    // Does a constant have a single-instruction MOV path?
+    auto constantCovered = [&](int64_t value) {
+        return sigValueCovered(makeSig(Op::MOV, Cond::AL, false,
+                                       SigForm::IMM),
+                               value);
+    };
+
+    // One pass per signature: find the *uncovered* uses, and only then
+    // add the expansion-support slots they need. Fully-covered
+    // signatures cost nothing extra — this keeps the mandatory set lean
+    // enough for 4-bit-register applications. The pass is idempotent
+    // (addSupport dedups), so it is re-run after any opcode-budget
+    // shedding until coverage and the budget agree.
+    auto coverageClosure = [&]() {
+    bool need_byte_builder = false;
+    for (const auto &[key, stats] : profile.sigs) {
+        const Signature &sig = stats.sig;
+        if (sig.op == Op::B || sig.op == Op::BL || sig.op == Op::RET ||
+            sig.op == Op::SWI || sig.op == Op::NOP ||
+            sig.op == Op::LDM || sig.op == Op::STM ||
+            sig.op == Op::MOVT) {
+            continue; // mandatory slots handle these outright
+        }
+
+        std::vector<int64_t> uncovered;
+        if (stats.values.empty()) {
+            if (!sigValueCovered(sig, 0))
+                uncovered.push_back(0);
+        } else {
+            for (const auto &[v, w] : stats.values)
+                if (!sigValueCovered(sig, v))
+                    uncovered.push_back(v);
+        }
+        if (uncovered.empty())
+            continue;
+
+        // Conditional rewriting needs the inverse branch, and the AL
+        // form of the operation becomes the new coverage obligation.
+        Signature body = sig;
+        if (sig.cond != Cond::AL) {
+            Signature binv = makeSig(Op::B, invertCond(sig.cond), false,
+                                     SigForm::NONE);
+            addSupport(binv, {{Field::DISP, 5}});
+            body.cond = Cond::AL;
+        }
+
+        // Fallback register-form bases. Plain three-operand ALU bases
+        // would cost 2^(3*regBits) of opcode space each; instead the
+        // translator rewrites  op rd,rn,x  as  mov rd,rn ; op rd,rd,x
+        // so the base only needs a *two-operand* form (plus one shared
+        // MOV-register slot) — an order of magnitude cheaper.
+        auto addMovBase = [&]() {
+            Signature mov = makeSig(Op::MOV, Cond::AL, false,
+                                    SigForm::REG);
+            addSupport(mov, {{Field::RD, rb}, {Field::RM, rb}});
+        };
+        auto addRegBase = [&]() {
+            Signature base = makeSig(body.op, Cond::AL, body.setsFlags,
+                                     SigForm::REG);
+            if (!isAluLikeOp(base.op)) {
+                addSupport(base, baseRegFields(base, rb, false));
+                return;
+            }
+            AluOp alu = static_cast<AluOp>(base.op);
+            if (isCompareOp(alu)) {
+                addSupport(base, {{Field::RN, rb}, {Field::RM, rb}});
+                return;
+            }
+            if (isMoveOp(alu)) {
+                addSupport(base, {{Field::RD, rb}, {Field::RM, rb}});
+                return;
+            }
+            addSupport(base, {{Field::RD, rb}, {Field::RM, rb}}, 0xff,
+                       true);
+            addMovBase();
+        };
+        const int scratch_reg = isa.scratchReg;
+
+        switch (body.form) {
+          case SigForm::IMM: {
+            if (body.op != Op::MOV && body.op != Op::MOVW)
+                addRegBase();
+            for (int64_t v : uncovered)
+                if (!constantCovered(body.op == Op::MOVW
+                                         ? (v & 0xffff)
+                                         : v))
+                    need_byte_builder = true;
+            break;
+          }
+          case SigForm::SHIFT_IMM: {
+            addRegBase(); // for MOV this provides the mov-reg slot
+            int64_t max_amount = 0;
+            for (int64_t v : uncovered)
+                max_amount = std::max(max_amount, v);
+            // A flag-setting mov-shift keeps its S bit on the scratch
+            // shift (the value equals the final rd, so N/Z agree).
+            Signature mov_sh = makeSig(Op::MOV, Cond::AL,
+                                       body.op == Op::MOV &&
+                                           body.setsFlags,
+                                       SigForm::SHIFT_IMM,
+                                       body.shiftType);
+            FieldSpec amount{Field::AMOUNT,
+                             static_cast<uint8_t>(max_amount < 16 ? 4
+                                                                  : 5)};
+            if (scratch_reg >= 0) {
+                // Expansion shifts always target the scratch register.
+                addSupport(mov_sh, {{Field::RM, rb}, amount}, 0xff,
+                           false, scratch_reg);
+            } else {
+                addSupport(mov_sh,
+                           {{Field::RD, rb}, {Field::RM, rb}, amount});
+            }
+            break;
+          }
+          case SigForm::REG: {
+            // The REG form is its own mandatory base; a conditional
+            // variant only needs the AL base.
+            if (sig.cond != Cond::AL)
+                addRegBase();
+            break;
+          }
+          case SigForm::REG4: {
+            if (isAluLikeOp(body.op)) {
+                addRegBase(); // for MOV: the mov-reg slot itself
+                Signature mov_shr = makeSig(Op::MOV, Cond::AL, false,
+                                            SigForm::REG4,
+                                            body.shiftType);
+                if (scratch_reg >= 0) {
+                    addSupport(mov_shr,
+                               {{Field::RM, rb}, {Field::RS, rb}},
+                               0xff, false, scratch_reg);
+                } else {
+                    addSupport(mov_shr, {{Field::RD, rb},
+                                         {Field::RM, rb},
+                                         {Field::RS, rb}});
+                }
+            } else if (body.op == Op::MLA) {
+                Signature mul = makeSig(Op::MUL, Cond::AL, false,
+                                        SigForm::REG);
+                if (scratch_reg >= 0) {
+                    addSupport(mul, {{Field::RM, rb}, {Field::RS, rb}},
+                               0xff, false, scratch_reg);
+                } else {
+                    addSupport(mul, {{Field::RD, rb}, {Field::RM, rb},
+                                     {Field::RS, rb}});
+                }
+                Signature add = makeSig(Op::ADD, Cond::AL, false,
+                                        SigForm::REG);
+                addSupport(add, {{Field::RD, rb}, {Field::RM, rb}},
+                           0xff, true);
+                addMovBase();
+            }
+            break;
+          }
+          case SigForm::MEM_IMM: {
+            // Fallback: materialize the displacement into scratch and
+            // use a register-offset form whose index register is baked.
+            Signature mem_reg = makeSig(body.op, Cond::AL, false,
+                                        SigForm::MEM_REG);
+            std::vector<FieldSpec> fields =
+                baseRegFields(mem_reg, rb, false);
+            if (scratch_reg >= 0) {
+                addSupport(mem_reg, fields, 0, false, -1, scratch_reg);
+            } else {
+                fields.push_back({Field::RM, rb});
+                addSupport(mem_reg, fields, 0);
+            }
+            for (int64_t v : uncovered)
+                if (!constantCovered(v))
+                    need_byte_builder = true;
+            break;
+          }
+          case SigForm::MEM_REG: {
+            Signature mem0 = makeSig(body.op, Cond::AL, false,
+                                     SigForm::MEM_REG, ShiftType::LSL,
+                                     body.memAdd);
+            std::vector<FieldSpec> fields =
+                baseRegFields(mem0, rb, false);
+            if (scratch_reg >= 0) {
+                addSupport(mem0, fields, 0, false, -1, scratch_reg);
+            } else {
+                fields.push_back({Field::RM, rb});
+                addSupport(mem0, fields, 0);
+            }
+            Signature mov_sh = makeSig(Op::MOV, Cond::AL, false,
+                                       SigForm::SHIFT_IMM,
+                                       ShiftType::LSL);
+            if (scratch_reg >= 0) {
+                addSupport(mov_sh, {{Field::RM, rb}, {Field::AMOUNT, 5}},
+                           0xff, false, scratch_reg);
+            } else {
+                addSupport(mov_sh, {{Field::RD, rb}, {Field::RM, rb},
+                                    {Field::AMOUNT, 5}});
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    if (need_byte_builder) {
+        // SIS byte-builder: mov s,#imm8 / lsl s,s,#8 / orr s,s,#imm8
+        // materializes any 32-bit constant into the scratch register in
+        // at most 7 instructions (plus one mov to the real target).
+        int s = isa.scratchReg;
+        if (s >= 0) {
+            addSupport(makeSig(Op::MOV, Cond::AL, false, SigForm::IMM),
+                       {{Field::IMM, 8}}, 0xff, false, s);
+            addSupport(makeSig(Op::MOV, Cond::AL, false,
+                               SigForm::SHIFT_IMM, ShiftType::LSL),
+                       {{Field::AMOUNT, 4}}, 0xff, false, s, s);
+            addSupport(makeSig(Op::ORR, Cond::AL, false, SigForm::IMM),
+                       {{Field::IMM, 8}}, 0xff, true, s);
+            Signature mov = makeSig(Op::MOV, Cond::AL, false,
+                                    SigForm::REG);
+            addSupport(mov, {{Field::RD, rb}, {Field::RM, rb}});
+        } else {
+            addSupport(makeSig(Op::MOV, Cond::AL, false, SigForm::IMM),
+                       {{Field::RD, rb}, {Field::IMM, 8}});
+            addSupport(makeSig(Op::MOV, Cond::AL, false,
+                               SigForm::SHIFT_IMM, ShiftType::LSL),
+                       {{Field::RD, rb}, {Field::RM, rb},
+                        {Field::AMOUNT, 4}});
+            addSupport(makeSig(Op::ORR, Cond::AL, false, SigForm::IMM),
+                       {{Field::RD, rb}, {Field::IMM, 8}}, 0xff, true);
+        }
+    }
+    }; // coverageClosure
+
+    // --- opcode budgeting --------------------------------------------------
+    // Alternate coverage closure and shedding to a fixpoint: shedding an
+    // optional slot can strip a signature's only encoding, in which case
+    // the next closure pass restores a (cheaper, essential) SIS path.
+    for (int pass = 0; pass < 16; ++pass) {
+        admitted.rebuild(isa.slots);
+        coverageClosure();
+        if (isa.kraftSum() <= 65536)
+            break;
+        while (isa.kraftSum() > 65536) {
+            // Shed the slot with the worst dynamic benefit per unit of
+            // opcode space.
+            size_t worst = SIZE_MAX;
+            double worst_ratio = 0;
+            for (size_t i = 0; i < isa.slots.size(); ++i) {
+                const FitsSlot &slot = isa.slots[i];
+                if (slot.essential || slot.cls != SlotClass::AIS)
+                    continue;
+                double ratio =
+                    static_cast<double>(slot.dynCount) /
+                    static_cast<double>(1ull << slot.fieldBits());
+                if (worst == SIZE_MAX || ratio < worst_ratio) {
+                    worst_ratio = ratio;
+                    worst = i;
+                }
+            }
+            if (worst == SIZE_MAX)
+                fatal("synthesis for '%s': opcode space oversubscribed "
+                      "and no optional slots left to shed",
+                      app_name.c_str());
+            isa.slots.erase(isa.slots.begin() +
+                            static_cast<std::ptrdiff_t>(worst));
+        }
+    }
+    if (isa.kraftSum() > 65536)
+        fatal("synthesis for '%s': opcode budgeting did not converge",
+              app_name.c_str());
+
+    isa.assignOpcodes();
+    isa.buildDecodeTable();
+    return isa;
+}
+
+} // namespace pfits

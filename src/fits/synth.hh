@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The FITS instruction-set synthesizer — stage 2 of the paper's design
+ * flow (Figure 1) and the heart of this library.
+ *
+ * Given a program's requirement analysis (ProfileInfo), synthesis:
+ *
+ *  1. tunes the register file view (3-bit fields when <= 8 registers are
+ *     live, 4-bit otherwise) and reserves an unused architectural
+ *     register as the translator's expansion scratch;
+ *  2. builds the programmable value dictionaries (operate immediates,
+ *     memory displacements, LDM/STM register lists) by utilization, the
+ *     paper's category-based immediate synthesis (Section 3.3);
+ *  3. proposes instruction slots per observed signature — fused-shift
+ *     and two-operand AIS variants, inline-immediate widths chosen from
+ *     the value histograms, dictionary-indexed variants, and the
+ *     irreplaceable BIS slots (branch/call/trap/ldm/stm/mul/...);
+ *  4. admits slots greedily by dynamic benefit under two budgets: the
+ *     decoder's slot capacity (maxSlots) and the 16-bit opcode space,
+ *     which must stay prefix-codable (Kraft sum <= 2^16);
+ *  5. closes the set under *expansion support*: any signature or value
+ *     the admitted set cannot express in one instruction gets a
+ *     guaranteed multi-instruction path (SIS) — inverse branches for
+ *     predication rewriting, plain-register op bases, generic shift
+ *     movers, register-offset memory forms, and a byte-builder sequence
+ *     when the constant dictionary overflows.
+ *
+ * The result is a FitsIsa under which the translator can rewrite every
+ * instruction of the profiled program, mapping the hot ones 1-to-1.
+ */
+
+#ifndef POWERFITS_FITS_SYNTH_HH
+#define POWERFITS_FITS_SYNTH_HH
+
+#include "fits/fits_isa.hh"
+#include "fits/profile.hh"
+
+namespace pfits
+{
+
+/** Tunables of the synthesis heuristic (ablation bench A1/A2 sweeps). */
+struct SynthParams
+{
+    unsigned maxSlots = 64;        //!< decoder slot capacity
+    unsigned opDictCapacity = 64;  //!< operate-immediate dictionary
+    unsigned dispDictCapacity = 16; //!< displacement dictionary
+    unsigned listDictCapacity = 16; //!< register-list dictionary
+    double fuseShare = 0.30;   //!< dyn share for a fused-shift variant
+    double twoOpShare = 0.40;  //!< rd==rn share to add a 2-operand form
+    double inlineCover = 0.90; //!< dyn coverage target of inline widths
+    unsigned maxInlineImmBits = 8;
+    bool enableFusedShifts = true;
+    bool enableTwoOperand = true;
+    /** Force 4-bit register fields even for small register sets. */
+    bool forceWideRegFields = false;
+};
+
+/**
+ * Synthesize a 16-bit instruction set for the profiled application.
+ * fatal()s when the requirements cannot fit (e.g. register-list
+ * dictionary overflow), with a message naming the resource.
+ */
+FitsIsa synthesize(const ProfileInfo &profile, const SynthParams &params,
+                   const std::string &app_name);
+
+} // namespace pfits
+
+#endif // POWERFITS_FITS_SYNTH_HH

@@ -1,0 +1,539 @@
+#include "fits/translate.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+/** One FITS instruction awaiting encoding/fixup. */
+struct Pending
+{
+    MicroOp uop;
+    int64_t armTarget = -1; //!< branch target in ARM index space
+    size_t slotHint = SIZE_MAX;
+};
+
+/** Slot candidates for one signature, ordered by preference. */
+struct SlotIndexer
+{
+    const FitsIsa &isa;
+    std::map<uint64_t, std::vector<size_t>> bySig;
+
+    explicit SlotIndexer(const FitsIsa &isa_in) : isa(isa_in)
+    {
+        for (size_t i = 0; i < isa.slots.size(); ++i)
+            bySig[isa.slots[i].sig.key()].push_back(i);
+        // Prefer the most specific slots: baked shifts and baked
+        // registers first, then two-operand/inline, dictionaries last.
+        for (auto &[key, vec] : bySig) {
+            std::stable_sort(vec.begin(), vec.end(),
+                             [this](size_t a, size_t b) {
+                                 return rank(a) < rank(b);
+                             });
+        }
+    }
+
+    int
+    rank(size_t index) const
+    {
+        const FitsSlot &slot = isa.slots[index];
+        if (slot.bakedAmount != 0xff || slot.bakedRd >= 0)
+            return 0;
+        bool has_dict = false;
+        bool has_imm = false;
+        for (const FieldSpec &spec : slot.fields) {
+            if (spec.kind == Field::DICT ||
+                spec.kind == Field::MEM_DICT) {
+                has_dict = true;
+            }
+            if (spec.kind == Field::IMM)
+                has_imm = true;
+        }
+        if (slot.twoOperand)
+            return 2;
+        if (has_imm)
+            return 1;
+        if (has_dict)
+            return 3;
+        return 2;
+    }
+
+    /** Find a slot that encodes @p uop; SIZE_MAX when none. */
+    size_t
+    match(const MicroOp &uop, uint16_t &word) const
+    {
+        Signature sig = signatureOf(uop);
+        auto it = bySig.find(sig.key());
+        if (it == bySig.end())
+            return SIZE_MAX;
+        for (size_t index : it->second)
+            if (isa.encode(index, uop, word))
+                return index;
+        return SIZE_MAX;
+    }
+
+    /** Like match() but ignores branch-displacement range (fixup later). */
+    size_t
+    matchBranch(const MicroOp &uop) const
+    {
+        Signature sig = signatureOf(uop);
+        auto it = bySig.find(sig.key());
+        if (it == bySig.end())
+            return SIZE_MAX;
+        return it->second.front();
+    }
+};
+
+/** Translation context for one program. */
+struct Translator
+{
+    const Program &prog;
+    const FitsIsa &isa;
+    const ProfileInfo &profile;
+    SlotIndexer slots;
+    std::vector<MicroOp> armUops;
+    std::set<uint32_t> pairLo;
+
+    Translator(const Program &prog_in, const FitsIsa &isa_in,
+               const ProfileInfo &profile_in)
+        : prog(prog_in), isa(isa_in), profile(profile_in),
+          slots(isa_in), armUops(prog_in.decodeAll()),
+          pairLo(profile_in.mergeablePairs.begin(),
+                 profile_in.mergeablePairs.end())
+    {
+    }
+
+    [[noreturn]] void
+    fail(size_t arm_index, const char *why) const
+    {
+        fatal("translate '%s': %s at ARM index %zu: %s",
+              prog.name.c_str(), why, arm_index,
+              disassemble(armUops[arm_index]).c_str());
+    }
+
+    uint8_t
+    scratch(size_t arm_index) const
+    {
+        if (isa.scratchReg < 0)
+            fail(arm_index, "expansion needs a scratch register but "
+                            "synthesis found none free");
+        return static_cast<uint8_t>(isa.scratchReg);
+    }
+
+    /** Emit @p uop if any slot encodes it; false otherwise. */
+    bool
+    tryDirect(const MicroOp &uop, std::vector<Pending> &out) const
+    {
+        if (isBranchOp(uop.op) && uop.op != Op::RET)
+            panic("tryDirect must not see relocatable branches");
+        uint16_t word;
+        if (slots.match(uop, word) == SIZE_MAX)
+            return false;
+        out.push_back(Pending{uop, -1, SIZE_MAX});
+        return true;
+    }
+
+    /** Emit `mov rd, rm` through the shared mov-register base slot. */
+    void
+    emitMovReg(uint8_t rd, uint8_t rm, size_t arm_index,
+               std::vector<Pending> &out) const
+    {
+        MicroOp mov;
+        mov.op = Op::MOV;
+        mov.op2Kind = Operand2Kind::REG;
+        mov.rd = rd;
+        mov.rm = rm;
+        if (!tryDirect(mov, out))
+            fail(arm_index, "no mov-register base slot");
+    }
+
+    /** Materialize a 32-bit constant into @p rd (1..8 instructions). */
+    void
+    emitConstant(uint8_t rd, uint32_t value, size_t arm_index,
+                 std::vector<Pending> &out) const
+    {
+        MicroOp mov;
+        mov.op = Op::MOV;
+        mov.op2Kind = Operand2Kind::IMM;
+        mov.imm = value;
+        mov.rd = rd;
+        if (tryDirect(mov, out))
+            return;
+
+        // Byte-builder into the scratch register (the synthesized
+        // builder slots bake it), then move to the real target.
+        uint8_t build = scratch(arm_index);
+        bool started = false;
+        for (int byte = 3; byte >= 0; --byte) {
+            uint32_t b = (value >> (8 * byte)) & 0xffu;
+            if (!started) {
+                if (b == 0 && byte > 0)
+                    continue;
+                MicroOp first;
+                first.op = Op::MOV;
+                first.op2Kind = Operand2Kind::IMM;
+                first.imm = b;
+                first.rd = build;
+                if (!tryDirect(first, out))
+                    fail(arm_index, "no byte-builder MOV slot");
+                started = true;
+                continue;
+            }
+            MicroOp lsl;
+            lsl.op = Op::MOV;
+            lsl.op2Kind = Operand2Kind::REG_SHIFT_IMM;
+            lsl.shiftType = ShiftType::LSL;
+            lsl.shiftAmount = 8;
+            lsl.rd = build;
+            lsl.rm = build;
+            if (!tryDirect(lsl, out))
+                fail(arm_index, "no byte-builder LSL slot");
+            if (b != 0) {
+                MicroOp orr;
+                orr.op = Op::ORR;
+                orr.op2Kind = Operand2Kind::IMM;
+                orr.imm = b;
+                orr.rd = build;
+                orr.rn = build;
+                if (!tryDirect(orr, out))
+                    fail(arm_index, "no byte-builder ORR slot");
+            }
+        }
+        if (rd != build)
+            emitMovReg(rd, build, arm_index, out);
+    }
+
+    /**
+     * Emit a three-operand register-form ALU op through whatever the
+     * ISA offers: a full three-register slot, a two-operand slot
+     * (rd==rn), or the  mov rd,rn ; op rd,rd,rm  rewrite. The shift
+     * state of @p uop must already be cleared (plain REG operand2).
+     */
+    void
+    emitRegForm(MicroOp uop, size_t arm_index,
+                std::vector<Pending> &out) const
+    {
+        if (tryDirect(uop, out))
+            return;
+        if (!isAluLikeOp(uop.op))
+            fail(arm_index, "no register-form base slot");
+        AluOp alu = static_cast<AluOp>(uop.op);
+        if (isCompareOp(alu) || isMoveOp(alu))
+            fail(arm_index, "no register-form base slot");
+        if (uop.rd == uop.rm && uop.rd != uop.rn) {
+            // mov rd,rn would clobber the second operand: stage it in
+            // scratch first.
+            uint8_t tmp = scratch(arm_index);
+            if (uop.rm != tmp)
+                emitMovReg(tmp, uop.rm, arm_index, out);
+            uop.rm = tmp;
+        }
+        if (uop.rd != uop.rn) {
+            emitMovReg(uop.rd, uop.rn, arm_index, out);
+            uop.rn = uop.rd;
+        }
+        if (!tryDirect(uop, out))
+            fail(arm_index, "no two-operand base slot");
+    }
+
+    /** Translate one (possibly conditional) ARM instruction. */
+    void
+    translateOne(size_t arm_index, std::vector<Pending> &out) const
+    {
+        MicroOp uop = armUops[arm_index];
+
+        // Merged MOVW/MOVT pair -> one wide move.
+        if (pairLo.count(static_cast<uint32_t>(arm_index))) {
+            uint32_t value = (uop.imm & 0xffffu) |
+                             (armUops[arm_index + 1].imm << 16);
+            emitConstant(uop.rd, value, arm_index, out);
+            return;
+        }
+
+        // Control flow: pick the slot now, encode after layout.
+        if (uop.op == Op::B || uop.op == Op::BL) {
+            size_t slot = slots.matchBranch(uop);
+            if (slot == SIZE_MAX)
+                fail(arm_index, "no branch slot");
+            int64_t target = static_cast<int64_t>(arm_index) +
+                             uop.branchOffset;
+            out.push_back(Pending{uop, target, slot});
+            return;
+        }
+
+        if (tryDirect(uop, out))
+            return;
+
+        // Conditional rewrite: inverse branch over the body.
+        if (uop.cond != Cond::AL) {
+            std::vector<Pending> body;
+            MicroOp uncond = uop;
+            uncond.cond = Cond::AL;
+            translateUnconditional(arm_index, uncond, body);
+
+            MicroOp skip;
+            skip.op = Op::B;
+            skip.cond = invertCond(uop.cond);
+            skip.branchOffset =
+                static_cast<int32_t>(body.size()) + 1;
+            uint16_t word;
+            if (slots.match(skip, word) == SIZE_MAX)
+                fail(arm_index, "no inverse-condition branch slot");
+            out.push_back(Pending{skip, -1, SIZE_MAX});
+            for (Pending &p : body)
+                out.push_back(std::move(p));
+            return;
+        }
+
+        translateUnconditional(arm_index, uop, out);
+    }
+
+    /** Expansion paths for an unconditional instruction. */
+    void
+    translateUnconditional(size_t arm_index, const MicroOp &uop,
+                           std::vector<Pending> &out) const
+    {
+        if (tryDirect(uop, out))
+            return;
+
+        switch (signatureOf(uop).form) {
+          case SigForm::IMM: {
+            if (uop.op == Op::MOV) {
+                emitConstant(uop.rd, uop.imm, arm_index, out);
+                return;
+            }
+            if (uop.op == Op::MOVW) {
+                emitConstant(uop.rd, uop.imm & 0xffffu, arm_index, out);
+                return;
+            }
+            uint8_t tmp = scratch(arm_index);
+            emitConstant(tmp, uop.imm, arm_index, out);
+            MicroOp reg_form = uop;
+            reg_form.op2Kind = Operand2Kind::REG;
+            reg_form.rm = tmp;
+            reg_form.imm = 0;
+            emitRegForm(reg_form, arm_index, out);
+            return;
+          }
+          case SigForm::REG:
+            emitRegForm(uop, arm_index, out);
+            return;
+          case SigForm::SHIFT_IMM: {
+            if (uop.op == Op::MOV) {
+                // mov rd, rm shifted: shift into scratch, move over.
+                uint8_t tmp = scratch(arm_index);
+                MicroOp shift = uop;
+                shift.rd = tmp;
+                if (!tryDirect(shift, out))
+                    fail(arm_index, "no generic shift slot");
+                if (uop.rd != tmp)
+                    emitMovReg(uop.rd, tmp, arm_index, out);
+                return;
+            }
+            uint8_t tmp = scratch(arm_index);
+            MicroOp shift;
+            shift.op = Op::MOV;
+            shift.op2Kind = Operand2Kind::REG_SHIFT_IMM;
+            shift.shiftType = uop.shiftType;
+            shift.shiftAmount = uop.shiftAmount;
+            shift.rd = tmp;
+            shift.rm = uop.rm;
+            if (!tryDirect(shift, out))
+                fail(arm_index, "no generic shift slot");
+            MicroOp reg_form = uop;
+            reg_form.op2Kind = Operand2Kind::REG;
+            reg_form.rm = tmp;
+            reg_form.shiftAmount = 0;
+            reg_form.shiftType = ShiftType::LSL;
+            emitRegForm(reg_form, arm_index, out);
+            return;
+          }
+          case SigForm::REG4: {
+            if (isAluLikeOp(uop.op)) {
+                uint8_t tmp = scratch(arm_index);
+                MicroOp shift;
+                shift.op = Op::MOV;
+                shift.op2Kind = Operand2Kind::REG_SHIFT_REG;
+                shift.shiftType = uop.shiftType;
+                shift.rd = tmp;
+                shift.rm = uop.rm;
+                shift.rs = uop.rs;
+                if (!tryDirect(shift, out))
+                    fail(arm_index, "no register-shift mover slot");
+                if (uop.op == Op::MOV) {
+                    if (uop.rd != tmp)
+                        emitMovReg(uop.rd, tmp, arm_index, out);
+                    return;
+                }
+                MicroOp reg_form = uop;
+                reg_form.op2Kind = Operand2Kind::REG;
+                reg_form.rm = tmp;
+                emitRegForm(reg_form, arm_index, out);
+                return;
+            }
+            if (uop.op == Op::MLA) {
+                uint8_t tmp = scratch(arm_index);
+                MicroOp mul;
+                mul.op = Op::MUL;
+                mul.rd = tmp;
+                mul.rm = uop.rm;
+                mul.rs = uop.rs;
+                if (!tryDirect(mul, out))
+                    fail(arm_index, "no MUL slot for MLA expansion");
+                MicroOp add;
+                add.op = Op::ADD;
+                add.op2Kind = Operand2Kind::REG;
+                add.rd = uop.rd;
+                add.rn = uop.ra;
+                add.rm = tmp;
+                emitRegForm(add, arm_index, out);
+                return;
+            }
+            fail(arm_index, "unencodable long-multiply form");
+          }
+          case SigForm::MEM_IMM: {
+            uint8_t tmp = scratch(arm_index);
+            emitConstant(tmp, static_cast<uint32_t>(uop.memDisp),
+                         arm_index, out);
+            MicroOp reg_form = uop;
+            reg_form.memKind = MemOffsetKind::REG;
+            reg_form.memAdd = true;
+            reg_form.rm = tmp;
+            reg_form.memDisp = 0;
+            reg_form.shiftAmount = 0;
+            if (!tryDirect(reg_form, out))
+                fail(arm_index, "no register-offset memory slot");
+            return;
+          }
+          case SigForm::MEM_REG: {
+            uint8_t tmp = scratch(arm_index);
+            MicroOp shift;
+            shift.op = Op::MOV;
+            shift.op2Kind = Operand2Kind::REG_SHIFT_IMM;
+            shift.shiftType = ShiftType::LSL;
+            shift.shiftAmount = uop.shiftAmount;
+            shift.rd = tmp;
+            shift.rm = uop.rm;
+            if (!tryDirect(shift, out))
+                fail(arm_index, "no shift slot for memory expansion");
+            MicroOp reg_form = uop;
+            reg_form.memKind = MemOffsetKind::REG;
+            reg_form.rm = tmp;
+            reg_form.shiftAmount = 0;
+            if (!tryDirect(reg_form, out))
+                fail(arm_index, "no register-offset memory slot");
+            return;
+          }
+          default:
+            fail(arm_index, "no slot and no expansion rule");
+        }
+    }
+};
+
+} // namespace
+
+std::string
+FitsProgram::listing() const
+{
+    std::ostringstream os;
+    char buf[32];
+    for (size_t i = 0; i < code.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%08x:  %04x  ",
+                      codeBase + static_cast<uint32_t>(i) * 2, code[i]);
+        os << buf << isa.disassembleWord(code[i]) << '\n';
+    }
+    return os.str();
+}
+
+FitsProgram
+translateProgram(const Program &prog, const FitsIsa &isa,
+                 const ProfileInfo &profile)
+{
+    Translator tr(prog, isa, profile);
+
+    // Pass 1: expand every ARM instruction, recording layout.
+    std::vector<Pending> pending;
+    std::vector<int64_t> armToFits(tr.armUops.size() + 1, -1);
+    std::vector<uint32_t> perArmCount(tr.armUops.size(), 0);
+
+    for (size_t i = 0; i < tr.armUops.size(); ++i) {
+        armToFits[i] = static_cast<int64_t>(pending.size());
+        if (i > 0 && tr.pairLo.count(static_cast<uint32_t>(i - 1))) {
+            perArmCount[i] = 0; // MOVT half of a merged pair
+            continue;
+        }
+        std::vector<Pending> seq;
+        tr.translateOne(i, seq);
+        perArmCount[i] = static_cast<uint32_t>(seq.size());
+        for (Pending &p : seq)
+            pending.push_back(std::move(p));
+    }
+    armToFits[tr.armUops.size()] = static_cast<int64_t>(pending.size());
+
+    // Pass 2: re-target relocatable branches and encode everything.
+    FitsProgram out;
+    out.name = prog.name;
+    out.codeBase = prog.codeBase;
+    out.stackTop = prog.stackTop;
+    out.data = prog.data;
+    out.isa = isa;
+    out.code.reserve(pending.size());
+
+    for (size_t i = 0; i < pending.size(); ++i) {
+        Pending &p = pending[i];
+        if (p.armTarget >= 0) {
+            if (p.armTarget >
+                static_cast<int64_t>(tr.armUops.size()) ||
+                p.armTarget < 0 ||
+                armToFits[static_cast<size_t>(p.armTarget)] < 0) {
+                fatal("translate '%s': branch to unmapped ARM index %lld",
+                      prog.name.c_str(),
+                      static_cast<long long>(p.armTarget));
+            }
+            p.uop.branchOffset = static_cast<int32_t>(
+                armToFits[static_cast<size_t>(p.armTarget)] -
+                static_cast<int64_t>(i));
+            uint16_t word;
+            if (!isa.encode(p.slotHint, p.uop, word))
+                fatal("translate '%s': branch displacement %d exceeds "
+                      "the synthesized field",
+                      prog.name.c_str(), p.uop.branchOffset);
+            out.code.push_back(word);
+            continue;
+        }
+        uint16_t word;
+        if (tr.slots.match(p.uop, word) == SIZE_MAX)
+            panic("translated micro-op no longer encodes: %s",
+                  disassemble(p.uop).c_str());
+        out.code.push_back(word);
+    }
+
+    // Mapping statistics (paper Figs. 3/4). A merged MOVW (1 FITS instr
+    // for 2 ARM instrs) counts both halves as mapped.
+    MappingStats &m = out.mapping;
+    m.staticTotal = tr.armUops.size();
+    m.fitsInstructions = out.code.size();
+    m.perArm = perArmCount;
+    for (size_t i = 0; i < tr.armUops.size(); ++i) {
+        uint64_t dyn = i < profile.dynCounts.size()
+                           ? profile.dynCounts[i]
+                           : 0;
+        m.dynTotal += dyn;
+        if (perArmCount[i] <= 1) {
+            ++m.staticMapped;
+            m.dynMapped += dyn;
+        }
+    }
+    return out;
+}
+
+} // namespace pfits

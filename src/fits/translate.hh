@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The ARM -> FITS binary translator (the paper's "compile" stage, as a
+ * post-link rewriter) plus the resulting FitsProgram.
+ *
+ * Every ARM instruction is rewritten into one or more FITS instructions:
+ *
+ *  - 1-to-1 when an admitted slot encodes it directly (the common case —
+ *    the paper reports ~96% static / ~98% dynamic coverage);
+ *  - a MOVW/MOVT pair collapses 2-to-1 through the constant dictionary;
+ *  - otherwise a short expansion (1-to-n, n almost always 2): inverse
+ *    branch over the unconditional form, constant materialization into
+ *    the synthesis-reserved scratch register, shift-into-scratch, or a
+ *    register-offset memory form.
+ *
+ * Branch displacements are re-targeted after layout, since expansions
+ * change instruction indices.
+ */
+
+#ifndef POWERFITS_FITS_TRANSLATE_HH
+#define POWERFITS_FITS_TRANSLATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "fits/fits_isa.hh"
+#include "fits/profile.hh"
+
+namespace pfits
+{
+
+/** Per-program ARM->FITS mapping statistics (paper Figs. 3 and 4). */
+struct MappingStats
+{
+    uint64_t staticTotal = 0;   //!< ARM instructions
+    uint64_t staticMapped = 0;  //!< ARM instructions with <=1 FITS instr
+    uint64_t dynTotal = 0;      //!< dynamic (profile-weighted)
+    uint64_t dynMapped = 0;
+    uint64_t fitsInstructions = 0;
+    /** FITS instructions emitted per ARM instruction (0 for the MOVT
+     *  half of a merged pair) — the per-site diagnostic behind the
+     *  aggregate rates. */
+    std::vector<uint32_t> perArm;
+
+    double
+    staticRate() const
+    {
+        return staticTotal ? static_cast<double>(staticMapped) /
+                                 static_cast<double>(staticTotal)
+                           : 0.0;
+    }
+
+    double
+    dynRate() const
+    {
+        return dynTotal ? static_cast<double>(dynMapped) /
+                              static_cast<double>(dynTotal)
+                        : 0.0;
+    }
+
+    /** FITS instructions emitted per ARM instruction. */
+    double
+    expansionFactor() const
+    {
+        return staticTotal ? static_cast<double>(fitsInstructions) /
+                                 static_cast<double>(staticTotal)
+                           : 0.0;
+    }
+};
+
+/** A translated 16-bit binary plus the ISA that decodes it. */
+struct FitsProgram
+{
+    std::string name;
+    uint32_t codeBase = kDefaultCodeBase;
+    uint32_t stackTop = kDefaultStackTop;
+    std::vector<uint16_t> code;
+    FitsIsa isa;
+    std::vector<DataSegment> data;
+    MappingStats mapping;
+
+    /** Static code size in bytes (2 per instruction). */
+    uint32_t codeBytes() const
+    {
+        return static_cast<uint32_t>(code.size()) * 2u;
+    }
+
+    /** Disassembly listing under the synthesized ISA. */
+    std::string listing() const;
+};
+
+/**
+ * Translate @p prog under @p isa.
+ *
+ * @param prog    the ARM program
+ * @param isa     the synthesized instruction set (from synthesize())
+ * @param profile the same profile used for synthesis (supplies dynamic
+ *                weights for the mapping statistics)
+ *
+ * fatal()s when the program cannot be expressed — e.g. a branch target
+ * outside the synthesized displacement range — naming the instruction.
+ */
+FitsProgram translateProgram(const Program &prog, const FitsIsa &isa,
+                             const ProfileInfo &profile);
+
+} // namespace pfits
+
+#endif // POWERFITS_FITS_TRANSLATE_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The uARM instruction set.
+ *
+ * uARM is an ARM-flavoured 32-bit RISC ISA defined from scratch for this
+ * reproduction (the paper's toolchain targeted real ARM; see DESIGN.md §2
+ * for why this substitution is sound). It keeps the ARM features that the
+ * FITS synthesis exploits:
+ *
+ *  - 16 general-purpose registers (r13=sp, r14=lr by convention);
+ *  - a 4-bit condition field on (almost) every instruction;
+ *  - a flexible second operand: register, register-with-shift, or an
+ *    8-bit immediate rotated right by an even amount;
+ *  - load/store with immediate and (shifted-)register offsets;
+ *  - load/store-multiple with a 16-bit register list;
+ *  - MOVW/MOVT wide-immediate pairs standing in for GCC literal pools.
+ *
+ * Encoding summary (bit 31..28 is always `cond`):
+ *
+ *   class [27:25] = 000  data-processing, register operand2
+ *                   001  data-processing, rotated-imm8 operand2
+ *                   010  load/store word/byte, imm12 offset
+ *                   011  load/store word/byte, (shifted) register offset
+ *                   100  load/store multiple (reglist16)
+ *                   101  branch / branch-and-link (signed imm24 words)
+ *                   110  extended ops (mul/mla/div/clz/movw/movt/ldrh/...)
+ *                   111  system (swi, nop, ret)
+ */
+
+#ifndef POWERFITS_ISA_ISA_HH
+#define POWERFITS_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pfits
+{
+
+/** Architectural register indices. */
+enum Reg : uint8_t
+{
+    R0, R1, R2, R3, R4, R5, R6, R7,
+    R8, R9, R10, R11, R12,
+    SP = 13,  //!< stack pointer by convention
+    LR = 14,  //!< link register by convention
+    R15 = 15, //!< valid GPR; never the program counter in uARM
+    NUM_REGS = 16,
+};
+
+/** Condition codes, ARM numbering. AL executes unconditionally. */
+enum class Cond : uint8_t
+{
+    EQ = 0, NE, CS, CC, MI, PL, VS, VC,
+    HI, LS, GE, LT, GT, LE, AL,
+    NUM,
+};
+
+/** @return the textual name ("eq", "al", ...) of a condition. */
+const char *condName(Cond cond);
+
+/** @return the condition with inverted sense (EQ <-> NE, ...). */
+Cond invertCond(Cond cond);
+
+/** Data-processing opcodes (field [24:21] of classes 000/001). */
+enum class AluOp : uint8_t
+{
+    AND = 0, EOR, SUB, RSB, ADD, ADC, SBC, RSC,
+    TST, TEQ, CMP, CMN, ORR, MOV, BIC, MVN,
+    NUM,
+};
+
+/** @return the mnemonic for a data-processing opcode. */
+const char *aluOpName(AluOp op);
+
+/** @return true when @p op compares only (TST/TEQ/CMP/CMN: no rd). */
+bool isCompareOp(AluOp op);
+
+/** @return true when @p op ignores rn (MOV/MVN). */
+bool isMoveOp(AluOp op);
+
+/** Barrel-shifter operation applied to the register second operand. */
+enum class ShiftType : uint8_t { LSL = 0, LSR, ASR, ROR, NUM };
+
+/** @return the mnemonic for a shift type. */
+const char *shiftName(ShiftType type);
+
+/** Extended opcodes (field [24:21] of class 110). */
+enum class ExtOp : uint8_t
+{
+    MUL = 0, MLA,
+    LDRH, STRH, LDRSB, LDRSH,
+    MOVW, MOVT,
+    CLZ, SDIV, UDIV,
+    QADD, QSUB,
+    UMULL, SMULL,
+    NUM,
+};
+
+/** Semantic operation kinds carried by the micro-op IR. */
+enum class Op : uint8_t
+{
+    // Data processing (flexible operand2).
+    AND, EOR, SUB, RSB, ADD, ADC, SBC, RSC,
+    TST, TEQ, CMP, CMN, ORR, MOV, BIC, MVN,
+    // Extended arithmetic.
+    MUL, MLA, UMULL, SMULL, CLZ, SDIV, UDIV, QADD, QSUB,
+    MOVW, MOVT,
+    // Memory.
+    LDR, STR, LDRB, STRB, LDRH, STRH, LDRSB, LDRSH,
+    LDM, STM,
+    // Control.
+    B, BL, RET, SWI, NOP,
+    NUM,
+};
+
+/** @return the mnemonic of a micro-op kind. */
+const char *opName(Op op);
+
+/** Classification helpers used by the timing model and the profiler. */
+bool isLoad(Op op);
+bool isStore(Op op);
+bool isMemOp(Op op);
+bool isBranchOp(Op op);   //!< B/BL/RET
+bool isAluLikeOp(Op op);  //!< data-processing incl. compares and moves
+bool isMulDivOp(Op op);
+
+/** How the second operand of a data-processing micro-op is formed. */
+enum class Operand2Kind : uint8_t
+{
+    IMM,           //!< 32-bit immediate (already rotated/assembled)
+    REG,           //!< plain register
+    REG_SHIFT_IMM, //!< register shifted by a constant amount
+    REG_SHIFT_REG, //!< register shifted by a register
+};
+
+/** How a load/store forms its address offset. */
+enum class MemOffsetKind : uint8_t
+{
+    IMM,           //!< signed immediate displacement
+    REG,           //!< +/- register
+    REG_SHIFT_IMM, //!< +/- register shifted by a constant
+};
+
+/** Well-known software-interrupt numbers. */
+enum SwiNum : uint32_t
+{
+    SWI_EXIT = 0,      //!< terminate the program
+    SWI_PUTC = 1,      //!< write low byte of r0 to the console stream
+    SWI_EMIT_WORD = 2, //!< append r0 to the machine's output buffer
+};
+
+/**
+ * The decoded, ISA-neutral form of one instruction.
+ *
+ * Both the fixed uARM decoder and the programmable FITS decoder produce
+ * MicroOps; the execution engine in src/sim/ only ever sees this struct,
+ * which is what makes the "same datapath, different front-end" design of
+ * the paper directly executable.
+ */
+struct MicroOp
+{
+    Op op = Op::NOP;
+    Cond cond = Cond::AL;
+    bool setsFlags = false;
+
+    uint8_t rd = 0; //!< destination (or transfer register for mem ops)
+    uint8_t rn = 0; //!< first source / base register
+    uint8_t rm = 0; //!< register second operand / offset register
+    uint8_t rs = 0; //!< shift-amount register / multiplier
+    uint8_t ra = 0; //!< accumulator (MLA) / rdLo (long multiplies)
+
+    Operand2Kind op2Kind = Operand2Kind::IMM;
+    ShiftType shiftType = ShiftType::LSL;
+    uint8_t shiftAmount = 0;
+    uint32_t imm = 0; //!< operand2 immediate / MOVW-MOVT imm16 / SWI number
+
+    MemOffsetKind memKind = MemOffsetKind::IMM;
+    bool memAdd = true;    //!< U bit: add (true) or subtract the offset
+    int32_t memDisp = 0;   //!< immediate displacement (bytes)
+
+    uint16_t regList = 0;  //!< LDM/STM register list
+    bool ldmIsPop = true;  //!< LDM: increment-after; STM: decrement-before
+
+    int32_t branchOffset = 0; //!< branch displacement in *instructions*
+
+    /** @return true when this op writes @p reg. */
+    bool writesReg(uint8_t reg) const;
+    /** @return true when this op reads @p reg. */
+    bool readsReg(uint8_t reg) const;
+};
+
+/** Condition evaluation against the NZCV flags. */
+struct Flags
+{
+    bool n = false;
+    bool z = false;
+    bool c = false;
+    bool v = false;
+};
+
+/** @return true when @p cond passes under @p flags. */
+bool condPasses(Cond cond, const Flags &flags);
+
+// --- 32-bit uARM encoding ------------------------------------------------
+
+/** Instruction classes (bits [27:25]). */
+enum class InsnClass : uint8_t
+{
+    DP_REG = 0, DP_IMM, MEM_IMM, MEM_REG, LDM_STM, BRANCH, EXT, SYS,
+};
+
+/**
+ * Decode a 32-bit uARM word into a micro-op.
+ *
+ * @param word the instruction word
+ * @param uop  out: the decoded micro-op
+ * @return true on success; false for an undefined encoding.
+ */
+bool decodeArm(uint32_t word, MicroOp &uop);
+
+/**
+ * Encode a micro-op into a 32-bit uARM word.
+ *
+ * Fails (returns false) when a field does not fit its encoding slot, e.g.
+ * an operand2 immediate that is not an ARM-style rotated imm8.
+ */
+bool encodeArm(const MicroOp &uop, uint32_t &word);
+
+/** Disassemble one uARM word into assembler-like text. */
+std::string disassembleArm(uint32_t word);
+
+/** Disassemble a micro-op (used for both front-ends). */
+std::string disassemble(const MicroOp &uop);
+
+} // namespace pfits
+
+#endif // POWERFITS_ISA_ISA_HH

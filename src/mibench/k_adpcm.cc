@@ -1,0 +1,327 @@
+/**
+ * @file
+ * telecomm/adpcm.encode + adpcm.decode — IMA ADPCM, the same coder as
+ * MiBench's rawcaudio/rawdaudio. The quantizer and predictor update are
+ * branchy, predicated code — exactly the conditional-execution pattern
+ * the FITS synthesis turns into application-specific predicated slots.
+ * Decode consumes the nibble stream the golden encoder produced.
+ */
+
+#include "mibench/mibench.hh"
+
+#include "assembler/builder.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kSamples = 16384;
+
+const int kStepTab[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34,
+    37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143,
+    157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494,
+    544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552,
+    1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428,
+    4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487,
+    12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086,
+    29794, 32767,
+};
+
+const int kIndexAdj[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+/** Synthetic 16-bit "speech": band-limited random walk. */
+std::vector<int16_t>
+samples()
+{
+    Rng rng(0xadc0dec5ull);
+    std::vector<int16_t> out(kSamples);
+    int value = 0;
+    int vel = 0;
+    for (auto &s : out) {
+        vel += rng.range(-900, 900);
+        vel = std::max(-4000, std::min(4000, vel));
+        value += vel;
+        if (value > 28000 || value < -28000)
+            vel = -vel / 2;
+        value = std::max(-30000, std::min(30000, value));
+        s = static_cast<int16_t>(value);
+    }
+    return out;
+}
+
+struct CodecState
+{
+    int pred = 0;
+    int index = 0;
+};
+
+uint8_t
+encodeSample(CodecState &st, int sample)
+{
+    int step = kStepTab[st.index];
+    int diff = sample - st.pred;
+    int code = 0;
+    if (diff < 0) {
+        code = 8;
+        diff = -diff;
+    }
+    int tmp = step;
+    if (diff >= tmp) {
+        code |= 4;
+        diff -= tmp;
+    }
+    tmp >>= 1;
+    if (diff >= tmp) {
+        code |= 2;
+        diff -= tmp;
+    }
+    tmp >>= 1;
+    if (diff >= tmp)
+        code |= 1;
+
+    // Predictor update (shared with the decoder).
+    int diffq = step >> 3;
+    if (code & 4)
+        diffq += step;
+    if (code & 2)
+        diffq += step >> 1;
+    if (code & 1)
+        diffq += step >> 2;
+    if (code & 8)
+        st.pred -= diffq;
+    else
+        st.pred += diffq;
+    st.pred = std::max(-32768, std::min(32767, st.pred));
+    st.index += kIndexAdj[code & 7];
+    st.index = std::max(0, std::min(88, st.index));
+    return static_cast<uint8_t>(code);
+}
+
+int
+decodeSample(CodecState &st, uint8_t code)
+{
+    int step = kStepTab[st.index];
+    int diffq = step >> 3;
+    if (code & 4)
+        diffq += step;
+    if (code & 2)
+        diffq += step >> 1;
+    if (code & 1)
+        diffq += step >> 2;
+    if (code & 8)
+        st.pred -= diffq;
+    else
+        st.pred += diffq;
+    st.pred = std::max(-32768, std::min(32767, st.pred));
+    st.index += kIndexAdj[code & 7];
+    st.index = std::max(0, std::min(88, st.index));
+    return st.pred;
+}
+
+std::vector<uint8_t>
+encodedStream()
+{
+    CodecState st;
+    std::vector<uint8_t> codes(kSamples);
+    auto in = samples();
+    for (uint32_t i = 0; i < kSamples; ++i)
+        codes[i] = encodeSample(st, in[i]);
+    return codes;
+}
+
+uint32_t
+goldenEncode()
+{
+    uint32_t chk = 0;
+    for (uint8_t code : encodedStream())
+        chk = chk * 5 + code;
+    return chk;
+}
+
+uint32_t
+goldenDecode()
+{
+    CodecState st;
+    uint32_t chk = 0;
+    for (uint8_t code : encodedStream())
+        chk += static_cast<uint32_t>(decodeSample(st, code)) & 0xffffu;
+    return chk;
+}
+
+std::vector<uint32_t>
+stepTabWords()
+{
+    std::vector<uint32_t> out(89);
+    for (int i = 0; i < 89; ++i)
+        out[i] = static_cast<uint32_t>(kStepTab[i]);
+    return out;
+}
+
+std::vector<uint32_t>
+indexAdjWords()
+{
+    std::vector<uint32_t> out(8);
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<uint32_t>(kIndexAdj[i]);
+    return out;
+}
+
+/**
+ * Predictor update shared by both directions.
+ * In: r3 code, r4 step; state: r5 pred, r6 index.
+ * Clobbers r7. r9 = steptab base, r10 = indexadj base.
+ */
+void
+emitUpdate(ProgramBuilder &b)
+{
+    b.asri(R7, R4, 3); // diffq = step>>3
+    b.tsti(R3, 4);
+    b.add(R7, R7, R4, Cond::NE);
+    b.tsti(R3, 2);
+    b.aluShift(AluOp::ADD, R7, R7, R4, ShiftType::ASR, 1, Cond::NE);
+    b.tsti(R3, 1);
+    b.aluShift(AluOp::ADD, R7, R7, R4, ShiftType::ASR, 2, Cond::NE);
+    b.tsti(R3, 8);
+    b.add(R5, R5, R7, Cond::EQ);
+    b.sub(R5, R5, R7, Cond::NE);
+    // clamp pred to [-32768, 32767]
+    b.movi(R7, 32767);
+    b.cmp(R5, R7);
+    b.mov(R5, R7, Cond::GT);
+    b.alu(AluOp::MVN, R7, 0, R7); // -32768
+    b.cmp(R5, R7);
+    b.mov(R5, R7, Cond::LT);
+    // index += adj[code & 7], clamped to [0, 88]
+    b.andi(R7, R3, 7);
+    b.ldrr(R7, R10, R7, 2);
+    b.add(R6, R6, R7);
+    b.cmpi(R6, 0);
+    b.movi(R7, 0);
+    b.mov(R6, R7, Cond::LT);
+    b.cmpi(R6, 88);
+    b.movi(R7, 88);
+    b.mov(R6, R7, Cond::GT);
+    // step = steptab[index]
+    b.ldrr(R4, R9, R6, 2);
+}
+
+} // namespace
+
+Workload
+buildAdpcmEncode()
+{
+    ProgramBuilder b("adpcm.encode");
+    {
+        auto in = samples();
+        std::vector<uint16_t> halves(in.size());
+        for (size_t i = 0; i < in.size(); ++i)
+            halves[i] = static_cast<uint16_t>(in[i]);
+        b.halfs("input", halves);
+    }
+    b.words("steptab", stepTabWords());
+    b.words("idxadj", indexAdjWords());
+    b.zeros("codes", kSamples);
+    b.zeros("result", 4);
+
+    // r0 in ptr, r1 remaining, r2 sample/diff, r3 code, r4 step,
+    // r5 pred, r6 index, r7 tmp, r8 out ptr, r9 steptab, r10 idxadj,
+    // r11 checksum.
+    b.lea(R0, "input");
+    b.movi(R1, kSamples);
+    b.lea(R8, "codes");
+    b.lea(R9, "steptab");
+    b.lea(R10, "idxadj");
+    b.movi(R5, 0);
+    b.movi(R6, 0);
+    b.ldr(R4, R9, 0);
+    b.movi(R11, 0);
+
+    Label loop = b.here();
+    b.ldrsh(R2, R0, 0);
+    b.addi(R0, R0, 2);
+    b.sub(R2, R2, R5); // diff = sample - pred
+    b.movi(R3, 0);
+    b.cmpi(R2, 0);
+    b.movci(R3, 8, Cond::LT);
+    b.rsbi(R2, R2, 0, Cond::LT); // diff = -diff
+    // quantize against step, step/2, step/4
+    b.cmp(R2, R4);
+    b.orri(R3, R3, 4, Cond::GE);
+    b.sub(R2, R2, R4, Cond::GE);
+    b.asri(R7, R4, 1);
+    b.cmp(R2, R7);
+    b.orri(R3, R3, 2, Cond::GE);
+    b.sub(R2, R2, R7, Cond::GE);
+    b.asri(R7, R4, 2);
+    b.cmp(R2, R7);
+    b.orri(R3, R3, 1, Cond::GE);
+
+    emitUpdate(b);
+
+    b.strb(R3, R8, 0);
+    b.addi(R8, R8, 1);
+    // chk = chk*5 + code = chk + (chk<<2) + code
+    b.aluShift(AluOp::ADD, R11, R11, R11, ShiftType::LSL, 2);
+    b.add(R11, R11, R3);
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+
+    b.mov(R0, R11);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), goldenEncode()};
+}
+
+Workload
+buildAdpcmDecode()
+{
+    ProgramBuilder b("adpcm.decode");
+    b.bytes("codes", encodedStream());
+    b.words("steptab", stepTabWords());
+    b.words("idxadj", indexAdjWords());
+    b.zeros("pcm", kSamples * 2);
+    b.zeros("result", 4);
+
+    // Same register roles as encode; r2 becomes scratch.
+    b.lea(R0, "codes");
+    b.movi(R1, kSamples);
+    b.lea(R8, "pcm");
+    b.lea(R9, "steptab");
+    b.lea(R10, "idxadj");
+    b.movi(R5, 0);
+    b.movi(R6, 0);
+    b.ldr(R4, R9, 0);
+    b.movi(R11, 0);
+
+    Label loop = b.here();
+    b.ldrb(R3, R0, 0);
+    b.addi(R0, R0, 1);
+
+    emitUpdate(b);
+
+    b.strh(R5, R8, 0);
+    b.addi(R8, R8, 2);
+    // chk += pred & 0xffff
+    b.movi(R2, 0xffff);
+    b.and_(R2, R5, R2);
+    b.add(R11, R11, R2);
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+
+    b.mov(R0, R11);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), goldenDecode()};
+}
+
+} // namespace pfits::mibench

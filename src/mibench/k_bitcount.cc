@@ -1,0 +1,160 @@
+/**
+ * @file
+ * auto/bitcount — counts bits in a word stream with four methods, like
+ * the MiBench original: Kernighan's loop, a 4-bit LUT, an 8-bit LUT and
+ * the SWAR parallel reduction. The per-word checksum packs the four
+ * counts so a bug in any single method is caught.
+ */
+
+#include "mibench/mibench.hh"
+
+#include "assembler/builder.hh"
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kWords = 4096;
+
+std::vector<uint32_t>
+inputWords()
+{
+    Rng rng(0xb17c0047ull);
+    std::vector<uint32_t> words(kWords);
+    for (auto &w : words)
+        w = rng.next();
+    return words;
+}
+
+std::vector<uint8_t>
+nibbleLut()
+{
+    std::vector<uint8_t> lut(16);
+    for (uint32_t i = 0; i < 16; ++i)
+        lut[i] = static_cast<uint8_t>(popcount32(i));
+    return lut;
+}
+
+std::vector<uint8_t>
+byteLut()
+{
+    std::vector<uint8_t> lut(256);
+    for (uint32_t i = 0; i < 256; ++i)
+        lut[i] = static_cast<uint8_t>(popcount32(i));
+    return lut;
+}
+
+uint32_t
+golden()
+{
+    uint32_t chk = 0;
+    for (uint32_t w : inputWords()) {
+        uint32_t c = popcount32(w);
+        chk += c + (c << 8) + (c << 16) + (c << 24);
+    }
+    return chk;
+}
+
+} // namespace
+
+Workload
+buildBitcount()
+{
+    ProgramBuilder b("bitcount");
+    b.words("input", inputWords());
+    b.bytes("lut4", nibbleLut());
+    b.bytes("lut8", byteLut());
+    b.zeros("result", 4);
+
+    // r0 ptr, r1 remaining, r2 word, r3 c1, r4 tmp, r5 c2, r6 c3,
+    // r7 c4/tmp, r8 lut4, r9 lut8, r10 checksum, r11 tmp.
+    b.lea(R0, "input");
+    b.movi(R1, kWords);
+    b.movi(R10, 0);
+    b.lea(R8, "lut4");
+    b.lea(R9, "lut8");
+
+    Label loop = b.here();
+    b.ldr(R2, R0, 0);
+    b.addi(R0, R0, 4);
+
+    // Method 1: Kernighan (data-dependent loop).
+    b.mov(R4, R2);
+    b.movi(R3, 0);
+    Label m1_done = b.label();
+    Label m1_loop = b.here();
+    b.cmpi(R4, 0);
+    b.b(m1_done, Cond::EQ);
+    b.subi(R5, R4, 1);
+    b.and_(R4, R4, R5);
+    b.addi(R3, R3, 1);
+    b.b(m1_loop);
+    b.bind(m1_done);
+
+    // Method 2: nibble LUT, 8 lookups unrolled.
+    b.movi(R5, 0);
+    for (unsigned k = 0; k < 8; ++k) {
+        if (k == 0)
+            b.andi(R4, R2, 15);
+        else {
+            b.lsri(R4, R2, static_cast<uint8_t>(4 * k));
+            b.andi(R4, R4, 15);
+        }
+        b.ldrbr(R7, R8, R4);
+        b.add(R5, R5, R7);
+    }
+
+    // Method 3: byte LUT, 4 lookups unrolled.
+    b.movi(R6, 0);
+    for (unsigned k = 0; k < 4; ++k) {
+        if (k == 0)
+            b.andi(R4, R2, 255);
+        else {
+            b.lsri(R4, R2, static_cast<uint8_t>(8 * k));
+            b.andi(R4, R4, 255);
+        }
+        b.ldrbr(R7, R9, R4);
+        b.add(R6, R6, R7);
+    }
+
+    // Method 4: SWAR reduction.
+    b.lsri(R11, R2, 1);
+    b.movi(R4, 0x55555555u);
+    b.and_(R11, R11, R4);
+    b.sub(R7, R2, R11);
+    b.lsri(R11, R7, 2);
+    b.movi(R4, 0x33333333u);
+    b.and_(R11, R11, R4);
+    b.and_(R7, R7, R4);
+    b.add(R7, R7, R11);
+    b.lsri(R11, R7, 4);
+    b.add(R7, R7, R11);
+    b.movi(R4, 0x0f0f0f0fu);
+    b.and_(R7, R7, R4);
+    b.movi(R4, 0x01010101u);
+    b.mul(R7, R7, R4);
+    b.lsri(R7, R7, 24);
+
+    // checksum += c1 + (c2<<8) + (c3<<16) + (c4<<24)
+    b.add(R10, R10, R3);
+    b.aluShift(AluOp::ADD, R10, R10, R5, ShiftType::LSL, 8);
+    b.aluShift(AluOp::ADD, R10, R10, R6, ShiftType::LSL, 16);
+    b.aluShift(AluOp::ADD, R10, R10, R7, ShiftType::LSL, 24);
+
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+
+    b.mov(R0, R10);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), golden()};
+}
+
+} // namespace pfits::mibench

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * security/blowfish.encode + blowfish.decode — Blowfish ECB over a
+ * 16 KB stream with all 16 Feistel rounds unrolled and the P-array
+ * folded into the instruction stream as wide immediates (what an
+ * optimizing compiler does with a fixed key schedule — and exactly the
+ * kind of immediate traffic FITS's constant dictionary targets).
+ *
+ * The P/S arrays come from a deterministic generator rather than the
+ * digits of pi (we model a pre-computed key schedule; the datapath work
+ * is identical). Decode runs on the ciphertext produced by the golden
+ * encoder, so encode/decode are genuinely inverse workloads.
+ */
+
+#include "mibench/mibench.hh"
+
+#include "assembler/builder.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kBlocks = 2048; // 16 KB
+
+struct Schedule
+{
+    uint32_t p[18];
+    std::vector<uint32_t> s; // 4 x 256
+};
+
+const Schedule &
+schedule()
+{
+    static const Schedule sched = [] {
+        Schedule out;
+        Rng rng(0xb10f154ull);
+        for (auto &v : out.p)
+            v = rng.next();
+        out.s.resize(1024);
+        for (auto &v : out.s)
+            v = rng.next();
+        return out;
+    }();
+    return sched;
+}
+
+uint32_t
+feistel(uint32_t x)
+{
+    const Schedule &k = schedule();
+    uint32_t a = x >> 24;
+    uint32_t bb = (x >> 16) & 0xffu;
+    uint32_t c = (x >> 8) & 0xffu;
+    uint32_t d = x & 0xffu;
+    return ((k.s[a] + k.s[256 + bb]) ^ k.s[512 + c]) + k.s[768 + d];
+}
+
+void
+encryptBlock(uint32_t &xl, uint32_t &xr)
+{
+    const Schedule &k = schedule();
+    for (int i = 0; i < 16; ++i) {
+        xl ^= k.p[i];
+        xr ^= feistel(xl);
+        std::swap(xl, xr);
+    }
+    std::swap(xl, xr);
+    xr ^= k.p[16];
+    xl ^= k.p[17];
+}
+
+void
+decryptBlock(uint32_t &xl, uint32_t &xr)
+{
+    const Schedule &k = schedule();
+    for (int i = 17; i > 1; --i) {
+        xl ^= k.p[i];
+        xr ^= feistel(xl);
+        std::swap(xl, xr);
+    }
+    std::swap(xl, xr);
+    xr ^= k.p[1];
+    xl ^= k.p[0];
+}
+
+std::vector<uint32_t>
+plaintext()
+{
+    Rng rng(0x91a17e77ull);
+    std::vector<uint32_t> words(kBlocks * 2);
+    for (auto &w : words)
+        w = rng.next();
+    return words;
+}
+
+std::vector<uint32_t>
+ciphertext()
+{
+    auto words = plaintext();
+    for (uint32_t blk = 0; blk < kBlocks; ++blk)
+        encryptBlock(words[blk * 2], words[blk * 2 + 1]);
+    return words;
+}
+
+uint32_t
+xorAll(const std::vector<uint32_t> &words)
+{
+    uint32_t chk = 0;
+    for (uint32_t w : words)
+        chk ^= w;
+    return chk;
+}
+
+/** Build either direction; they differ only in the P-array order. */
+Workload
+buildDirection(bool encrypt)
+{
+    const Schedule &k = schedule();
+    ProgramBuilder b(encrypt ? "blowfish.encode" : "blowfish.decode");
+    b.words("data", encrypt ? plaintext() : ciphertext());
+    b.words("sbox", k.s);
+    b.zeros("result", 4);
+
+    // r0 data ptr, r1 block count, r2/r3 xl/xr (role-swapped), r4-r6
+    // temps, r7 checksum, r8-r11 S-box bases.
+    b.lea(R0, "data");
+    b.movi(R1, kBlocks);
+    b.movi(R7, 0);
+    b.lea(R8, "sbox");
+    b.addi(R9, R8, 1024);
+    b.addi(R10, R8, 2048);
+    b.addi(R11, R8, 3072);
+
+    Label loop = b.here();
+    b.ldr(R2, R0, 0);
+    b.ldr(R3, R0, 4);
+
+    uint8_t xl = R2, xr = R3;
+    for (int round = 0; round < 16; ++round) {
+        uint32_t pv = encrypt ? k.p[round] : k.p[17 - round];
+        b.movi(R4, pv);
+        b.eor(xl, xl, R4);
+        // Feistel F(xl) -> r5
+        b.lsri(R5, xl, 24);
+        b.ldrr(R5, R8, R5, 2);
+        b.lsri(R6, xl, 16);
+        b.andi(R6, R6, 255);
+        b.ldrr(R6, R9, R6, 2);
+        b.add(R5, R5, R6);
+        b.lsri(R6, xl, 8);
+        b.andi(R6, R6, 255);
+        b.ldrr(R6, R10, R6, 2);
+        b.eor(R5, R5, R6);
+        b.andi(R6, xl, 255);
+        b.ldrr(R6, R11, R6, 2);
+        b.add(R5, R5, R6);
+        b.eor(xr, xr, R5);
+        std::swap(xl, xr);
+    }
+    std::swap(xl, xr); // undo the final swap
+    b.movi(R4, encrypt ? k.p[16] : k.p[1]);
+    b.eor(xr, xr, R4);
+    b.movi(R4, encrypt ? k.p[17] : k.p[0]);
+    b.eor(xl, xl, R4);
+
+    b.str(xl, R0, 0);
+    b.str(xr, R0, 4);
+    b.eor(R7, R7, xl);
+    b.eor(R7, R7, xr);
+    b.addi(R0, R0, 8);
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+
+    b.mov(R0, R7);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    uint32_t expected;
+    if (encrypt) {
+        expected = xorAll(ciphertext());
+    } else {
+        // Sanity: the reference decryptor must invert the encryptor.
+        auto ct = ciphertext();
+        auto pt = plaintext();
+        uint32_t xl = ct[0], xr = ct[1];
+        decryptBlock(xl, xr);
+        if (xl != pt[0] || xr != pt[1])
+            fatal("blowfish reference decrypt does not invert encrypt");
+        expected = xorAll(pt);
+    }
+    return Workload{b.finish(), expected};
+}
+
+} // namespace
+
+Workload
+buildBlowfishEncode()
+{
+    return buildDirection(true);
+}
+
+Workload
+buildBlowfishDecode()
+{
+    return buildDirection(false);
+}
+
+} // namespace pfits::mibench

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * network/dijkstra — single-source shortest paths over a dense random
+ * adjacency matrix (the MiBench version also uses an adjacency-matrix
+ * O(V^2) Dijkstra), repeated from several sources. Checksum sums all
+ * final distances.
+ */
+
+#include "mibench/mibench.hh"
+
+#include "assembler/builder.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kNodes = 80;
+constexpr uint32_t kSources = 6;
+constexpr uint32_t kInf = 0x3fffffffu;
+
+std::vector<uint32_t>
+adjacency()
+{
+    Rng rng(0xd1785712ull);
+    std::vector<uint32_t> adj(kNodes * kNodes);
+    for (uint32_t i = 0; i < kNodes; ++i) {
+        for (uint32_t j = 0; j < kNodes; ++j) {
+            // Sparse-ish dense matrix: most edges heavy, some light.
+            uint32_t w = 1 + rng.below(255);
+            if (rng.below(4) == 0)
+                w = 1 + rng.below(15);
+            adj[i * kNodes + j] = i == j ? 0 : w;
+        }
+    }
+    return adj;
+}
+
+uint32_t
+golden()
+{
+    const auto adj = adjacency();
+    uint32_t chk = 0;
+    for (uint32_t src = 0; src < kSources; ++src) {
+        std::vector<uint32_t> dist(kNodes, kInf);
+        std::vector<uint32_t> visited(kNodes, 0);
+        dist[src] = 0;
+        for (uint32_t iter = 0; iter < kNodes; ++iter) {
+            uint32_t best = kInf + 1;
+            uint32_t u = 0;
+            for (uint32_t v = 0; v < kNodes; ++v) {
+                if (!visited[v] && dist[v] < best) {
+                    best = dist[v];
+                    u = v;
+                }
+            }
+            visited[u] = 1;
+            for (uint32_t v = 0; v < kNodes; ++v) {
+                uint32_t alt = dist[u] + adj[u * kNodes + v];
+                if (!visited[v] && alt < dist[v])
+                    dist[v] = alt;
+            }
+        }
+        for (uint32_t v = 0; v < kNodes; ++v)
+            chk += dist[v];
+    }
+    return chk;
+}
+
+} // namespace
+
+Workload
+buildDijkstra()
+{
+    ProgramBuilder b("dijkstra");
+    b.words("adj", adjacency());
+    b.zeros("dist", kNodes * 4);
+    b.zeros("visited", kNodes * 4);
+    b.zeros("result", 4);
+
+    // r0 adj, r1 dist, r2 visited, r3 u, r4 v, r5 best, r6 tmp,
+    // r7 tmp2, r8 iter, r9 dist[u]/row ptr, r10 chk, r11 src.
+    b.lea(R0, "adj");
+    b.lea(R1, "dist");
+    b.lea(R2, "visited");
+    b.movi(R10, 0);
+    b.movi(R11, 0);
+
+    Label src_loop = b.here();
+
+    // init dist = INF, visited = 0, dist[src] = 0
+    b.movi(R4, 0);
+    b.movi(R5, kInf);
+    b.movi(R6, 0);
+    Label init = b.here();
+    b.strr(R5, R1, R4, 2);
+    b.strr(R6, R2, R4, 2);
+    b.addi(R4, R4, 1);
+    b.cmpi(R4, kNodes);
+    b.b(init, Cond::NE);
+    b.movi(R6, 0);
+    b.strr(R6, R1, R11, 2);
+
+    b.movi(R8, 0);
+    Label iter_loop = b.here();
+
+    // argmin over unvisited
+    b.movi(R5, kInf);
+    b.addi(R5, R5, 1);
+    b.movi(R3, 0);
+    b.movi(R4, 0);
+    Label amin = b.label();
+    Label amin_next = b.label();
+    b.bind(amin);
+    b.ldrr(R6, R2, R4, 2);
+    b.cmpi(R6, 0);
+    b.b(amin_next, Cond::NE);
+    b.ldrr(R6, R1, R4, 2);
+    b.cmp(R6, R5);
+    b.mov(R5, R6, Cond::CC);
+    b.mov(R3, R4, Cond::CC);
+    b.bind(amin_next);
+    b.addi(R4, R4, 1);
+    b.cmpi(R4, kNodes);
+    b.b(amin, Cond::NE);
+
+    // visited[u] = 1
+    b.movi(R6, 1);
+    b.strr(R6, R2, R3, 2);
+
+    // relax: row ptr = adj + u*kNodes*4, du = dist[u]
+    b.movi(R6, kNodes * 4);
+    b.mla(R9, R3, R6, R0);
+    b.ldrr(R5, R1, R3, 2); // du
+    b.movi(R4, 0);
+    Label relax = b.label();
+    Label relax_next = b.label();
+    b.bind(relax);
+    b.ldrr(R6, R2, R4, 2);
+    b.cmpi(R6, 0);
+    b.b(relax_next, Cond::NE);
+    b.ldrr(R6, R9, R4, 2);  // weight
+    b.add(R6, R5, R6);      // alt
+    b.ldrr(R7, R1, R4, 2);  // dist[v]
+    b.cmp(R6, R7);
+    b.strr(R6, R1, R4, 2, Cond::CC);
+    b.bind(relax_next);
+    b.addi(R4, R4, 1);
+    b.cmpi(R4, kNodes);
+    b.b(relax, Cond::NE);
+
+    b.addi(R8, R8, 1);
+    b.cmpi(R8, kNodes);
+    b.b(iter_loop, Cond::NE);
+
+    // chk += sum dist
+    b.movi(R4, 0);
+    Label acc = b.here();
+    b.ldrr(R6, R1, R4, 2);
+    b.add(R10, R10, R6);
+    b.addi(R4, R4, 1);
+    b.cmpi(R4, kNodes);
+    b.b(acc, Cond::NE);
+
+    b.addi(R11, R11, 1);
+    b.cmpi(R11, kSources);
+    b.b(src_loop, Cond::NE);
+
+    b.mov(R0, R10);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), golden()};
+}
+
+} // namespace pfits::mibench

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * telecomm/fft + fft.inverse — 1024-point radix-2 decimation-in-time
+ * FFT in Q15 fixed point with per-stage 1/2 scaling (the standard
+ * embedded formulation). Each of the ten stages is emitted as its own
+ * specialized loop with the stage constants baked in (what a compiler
+ * does after fully unrolling the stage loop), and three independent
+ * input frames are transformed.
+ *
+ * The inverse variant uses the conjugate twiddle table; both directions
+ * apply the same scaling, so "inverse" means the inverse transform up
+ * to the standard 1/N factor, like MiBench's -i flag path.
+ */
+
+#include "mibench/mibench.hh"
+
+#include <cmath>
+
+#include "assembler/builder.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kN = 1024;
+constexpr uint32_t kLogN = 10;
+constexpr uint32_t kFrames = 3;
+
+std::vector<int32_t>
+twiddleCos()
+{
+    std::vector<int32_t> w(kN / 2);
+    for (uint32_t k = 0; k < kN / 2; ++k)
+        w[k] = static_cast<int32_t>(
+            std::lround(32767.0 * std::cos(2.0 * M_PI * k / kN)));
+    return w;
+}
+
+std::vector<int32_t>
+twiddleSin(bool inverse)
+{
+    std::vector<int32_t> w(kN / 2);
+    for (uint32_t k = 0; k < kN / 2; ++k) {
+        double s = std::sin(2.0 * M_PI * k / kN);
+        w[k] = static_cast<int32_t>(
+            std::lround((inverse ? 32767.0 : -32767.0) * s));
+    }
+    return w;
+}
+
+std::vector<uint16_t>
+bitrevTable()
+{
+    std::vector<uint16_t> t(kN);
+    for (uint32_t i = 0; i < kN; ++i) {
+        uint32_t r = 0;
+        for (uint32_t bit = 0; bit < kLogN; ++bit)
+            if (i & (1u << bit))
+                r |= 1u << (kLogN - 1 - bit);
+        t[i] = static_cast<uint16_t>(r);
+    }
+    return t;
+}
+
+std::vector<int32_t>
+inputRe()
+{
+    Rng rng(0xff7a3e11ull);
+    std::vector<int32_t> v(kN * kFrames);
+    for (auto &x : v)
+        x = rng.range(-18000, 18000);
+    return v;
+}
+
+std::vector<int32_t>
+inputIm()
+{
+    Rng rng(0xff7b3e22ull);
+    std::vector<int32_t> v(kN * kFrames);
+    for (auto &x : v)
+        x = rng.range(-18000, 18000);
+    return v;
+}
+
+uint32_t
+golden(bool inverse)
+{
+    auto re_all = inputRe();
+    auto im_all = inputIm();
+    const auto wr = twiddleCos();
+    const auto wi = twiddleSin(inverse);
+    const auto rev = bitrevTable();
+
+    uint32_t chk = 0;
+    for (uint32_t frame = 0; frame < kFrames; ++frame) {
+        int32_t *re = &re_all[frame * kN];
+        int32_t *im = &im_all[frame * kN];
+        for (uint32_t i = 0; i < kN; ++i) {
+            uint32_t j = rev[i];
+            if (i < j) {
+                std::swap(re[i], re[j]);
+                std::swap(im[i], im[j]);
+            }
+        }
+        for (uint32_t s = 0; s < kLogN; ++s) {
+            uint32_t half = 1u << s;
+            uint32_t span = half << 1;
+            uint32_t stride = (kN / 2) >> s;
+            for (uint32_t k = 0; k < half; ++k) {
+                int32_t c = wr[k * stride];
+                int32_t sn = wi[k * stride];
+                for (uint32_t i = k; i < kN; i += span) {
+                    uint32_t j = i + half;
+                    int32_t tr = (c * re[j] - sn * im[j]) >> 15;
+                    int32_t ti = (c * im[j] + sn * re[j]) >> 15;
+                    int32_t ar = re[i];
+                    int32_t ai = im[i];
+                    re[i] = (ar + tr) >> 1;
+                    re[j] = (ar - tr) >> 1;
+                    im[i] = (ai + ti) >> 1;
+                    im[j] = (ai - ti) >> 1;
+                }
+            }
+        }
+        for (uint32_t i = 0; i < kN; ++i)
+            chk += static_cast<uint32_t>(re[i]) ^
+                   static_cast<uint32_t>(im[i]) ^ i;
+    }
+    return chk;
+}
+
+std::vector<uint32_t>
+asWords(const std::vector<int32_t> &v)
+{
+    std::vector<uint32_t> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = static_cast<uint32_t>(v[i]);
+    return out;
+}
+
+Workload
+buildDirection(bool inverse)
+{
+    ProgramBuilder b(inverse ? "fft.inverse" : "fft");
+    b.words("re", asWords(inputRe()));
+    b.words("im", asWords(inputIm()));
+    b.words("wr", asWords(twiddleCos()));
+    b.words("wi", asWords(twiddleSin(inverse)));
+    b.halfs("rev", bitrevTable());
+    b.zeros("chkw", 4);
+    b.zeros("result", 4);
+
+    // r0/r1 current frame's re/im bases, r11 frames remaining.
+    b.lea(R0, "re");
+    b.lea(R1, "im");
+    b.movi(R11, kFrames);
+
+    Label frame_loop = b.here();
+
+    // --- bit reversal (r2 i, r3 j, r4 table, r5/r6 temps) -------------
+    b.lea(R4, "rev");
+    b.movi(R2, 0);
+    Label rev_loop = b.label();
+    Label rev_next = b.label();
+    b.bind(rev_loop);
+    b.aluShift(AluOp::ADD, R5, R4, R2, ShiftType::LSL, 1);
+    b.ldrh(R3, R5, 0);
+    b.cmp(R2, R3);
+    b.b(rev_next, Cond::CS); // swap only when i < j
+    b.ldrr(R5, R0, R2, 2);
+    b.ldrr(R6, R0, R3, 2);
+    b.strr(R6, R0, R2, 2);
+    b.strr(R5, R0, R3, 2);
+    b.ldrr(R5, R1, R2, 2);
+    b.ldrr(R6, R1, R3, 2);
+    b.strr(R6, R1, R2, 2);
+    b.strr(R5, R1, R3, 2);
+    b.bind(rev_next);
+    b.addi(R2, R2, 1);
+    b.cmpi(R2, kN);
+    b.b(rev_loop, Cond::NE);
+
+    // --- ten specialized stages ------------------------------------------
+    // In a stage: r2 k, r3 i, r4 wr[k*stride], r5 wi[k*stride],
+    // r6-r9 temps, r10 j / twiddle address.
+    for (uint32_t s = 0; s < kLogN; ++s) {
+        const uint32_t half = 1u << s;
+        const uint32_t span = half << 1;
+        const uint8_t tw_shift = static_cast<uint8_t>(kLogN - 1 - s + 2);
+
+        b.movi(R2, 0);
+        Label k_loop = b.here();
+
+        b.lea(R10, "wr");
+        b.aluShift(AluOp::ADD, R10, R10, R2, ShiftType::LSL, tw_shift);
+        b.ldr(R4, R10, 0);
+        b.lea(R10, "wi");
+        b.aluShift(AluOp::ADD, R10, R10, R2, ShiftType::LSL, tw_shift);
+        b.ldr(R5, R10, 0);
+
+        b.mov(R3, R2);
+        Label i_loop = b.here();
+
+        b.addi(R10, R3, half);  // j
+        b.ldrr(R6, R0, R10, 2); // br
+        b.ldrr(R7, R1, R10, 2); // bi
+        // tr = (c*br - s*bi) >> 15
+        b.mul(R8, R4, R6);
+        b.mul(R9, R5, R7);
+        b.sub(R8, R8, R9);
+        b.asri(R8, R8, 15);
+        // ti = (c*bi + s*br) >> 15 (br dies into the product)
+        b.mul(R9, R4, R7);
+        b.mul(R6, R5, R6);
+        b.add(R9, R9, R6);
+        b.asri(R9, R9, 15);
+        // real part: ar in r6, results via r7
+        b.ldrr(R6, R0, R3, 2);
+        b.add(R7, R6, R8);
+        b.asri(R7, R7, 1);
+        b.strr(R7, R0, R3, 2);
+        b.sub(R7, R6, R8);
+        b.asri(R7, R7, 1);
+        b.strr(R7, R0, R10, 2);
+        // imaginary part: ai in r6, ti in r9
+        b.ldrr(R6, R1, R3, 2);
+        b.add(R7, R6, R9);
+        b.asri(R7, R7, 1);
+        b.strr(R7, R1, R3, 2);
+        b.sub(R7, R6, R9);
+        b.asri(R7, R7, 1);
+        b.strr(R7, R1, R10, 2);
+
+        b.addi(R3, R3, span);
+        b.cmpi(R3, kN);
+        b.b(i_loop, Cond::CC);
+
+        b.addi(R2, R2, 1);
+        b.cmpi(R2, half);
+        b.b(k_loop, Cond::CC);
+    }
+
+    // --- per-frame checksum -----------------------------------------------
+    b.lea(R4, "chkw");
+    b.ldr(R5, R4, 0);
+    b.movi(R2, 0);
+    Label chk_loop = b.here();
+    b.ldrr(R6, R0, R2, 2);
+    b.ldrr(R7, R1, R2, 2);
+    b.eor(R6, R6, R7);
+    b.eor(R6, R6, R2);
+    b.add(R5, R5, R6);
+    b.addi(R2, R2, 1);
+    b.cmpi(R2, kN);
+    b.b(chk_loop, Cond::NE);
+    b.str(R5, R4, 0);
+
+    b.addi(R0, R0, kN * 4);
+    b.addi(R1, R1, kN * 4);
+    b.subi(R11, R11, 1, Cond::AL, true);
+    b.b(frame_loop, Cond::NE);
+
+    b.lea(R4, "chkw");
+    b.ldr(R0, R4, 0);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), golden(inverse)};
+}
+
+} // namespace
+
+Workload
+buildFft()
+{
+    return buildDirection(false);
+}
+
+Workload
+buildFftInverse()
+{
+    return buildDirection(true);
+}
+
+} // namespace pfits::mibench

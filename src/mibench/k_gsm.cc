@@ -1,0 +1,162 @@
+/**
+ * @file
+ * telecomm/gsm — the GSM 06.10 decoder's dominant kernel: the
+ * short-term synthesis lattice filter (Q15 reflection coefficients,
+ * eight stages, fully unrolled) driven by a per-frame coefficient
+ * reload, run over a synthetic excitation stream. This is the loop that
+ * dominates MiBench's gsm.decode ("gsm" in the paper after the rename).
+ */
+
+#include "mibench/mibench.hh"
+
+#include "assembler/builder.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kFrameLen = 160;
+constexpr uint32_t kFrames = 40;
+constexpr uint32_t kSamples = kFrames * kFrameLen;
+constexpr int kOrder = 8;
+
+std::vector<int32_t>
+excitation()
+{
+    Rng rng(0x65a0decull);
+    std::vector<int32_t> e(kSamples);
+    for (auto &x : e)
+        x = rng.range(-12000, 12000);
+    return e;
+}
+
+/** Per-frame Q15 reflection coefficients, |r| < 0.93. */
+std::vector<int32_t>
+coefficients()
+{
+    Rng rng(0x6c0eff5ull);
+    std::vector<int32_t> r(kFrames * kOrder);
+    for (auto &c : r)
+        c = rng.range(-30000, 30000);
+    return r;
+}
+
+/** Wrapping 32-bit multiply followed by an arithmetic >>15, exactly
+ *  what the MUL+ASR instruction pair computes. */
+int32_t
+q15mul(int32_t a, int32_t bb)
+{
+    int32_t prod = static_cast<int32_t>(static_cast<uint32_t>(a) *
+                                        static_cast<uint32_t>(bb));
+    return prod >> 15;
+}
+
+int32_t
+wadd(int32_t a, int32_t bb)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) +
+                                static_cast<uint32_t>(bb));
+}
+
+uint32_t
+golden()
+{
+    const auto e = excitation();
+    const auto rc = coefficients();
+    int32_t u[kOrder] = {};
+    uint32_t chk = 0;
+    for (uint32_t frame = 0; frame < kFrames; ++frame) {
+        const int32_t *r = &rc[frame * kOrder];
+        for (uint32_t n = 0; n < kFrameLen; ++n) {
+            int32_t s = e[frame * kFrameLen + n];
+            for (int k = kOrder - 1; k >= 0; --k)
+                s = wadd(s, -q15mul(r[k], u[k]));
+            for (int k = kOrder - 1; k >= 1; --k)
+                u[k] = wadd(u[k - 1], q15mul(r[k - 1], s));
+            u[0] = s;
+            chk += static_cast<uint32_t>(s) & 0xffffu;
+        }
+    }
+    return chk;
+}
+
+std::vector<uint32_t>
+asWords(const std::vector<int32_t> &v)
+{
+    std::vector<uint32_t> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = static_cast<uint32_t>(v[i]);
+    return out;
+}
+
+} // namespace
+
+Workload
+buildGsm()
+{
+    ProgramBuilder b("gsm");
+    b.words("exc", asWords(excitation()));
+    b.words("coef", asWords(coefficients()));
+    b.zeros("ubuf", kOrder * 4);
+    b.zeros("result", 4);
+
+    // r0 excitation ptr, r1 sample counter (within frame), r2 s,
+    // r3 ubuf, r4 coef ptr (current frame), r5-r7 temps, r8 mask,
+    // r9 frame counter, r10 chk, r11 unused spare.
+    b.lea(R0, "exc");
+    b.lea(R3, "ubuf");
+    b.lea(R4, "coef");
+    b.movi(R8, 0xffff);
+    b.movi(R9, kFrames);
+    b.movi(R10, 0);
+
+    Label frame_loop = b.here();
+    b.movi(R1, kFrameLen);
+
+    Label sample_loop = b.here();
+    b.ldr(R2, R0, 0);
+    b.addi(R0, R0, 4);
+
+    // Analysis pass: s -= (r[k]*u[k]) >> 15, k = 7..0 (unrolled).
+    for (int k = kOrder - 1; k >= 0; --k) {
+        b.ldr(R5, R4, k * 4);
+        b.ldr(R6, R3, k * 4);
+        b.mul(R5, R5, R6);
+        b.asri(R5, R5, 15);
+        b.sub(R2, R2, R5);
+    }
+    // Update pass: u[k] = u[k-1] + (r[k-1]*s)>>15, k = 7..1; u[0]=s.
+    for (int k = kOrder - 1; k >= 1; --k) {
+        b.ldr(R5, R4, (k - 1) * 4);
+        b.mul(R5, R5, R2);
+        b.asri(R5, R5, 15);
+        b.ldr(R6, R3, (k - 1) * 4);
+        b.add(R5, R5, R6);
+        b.str(R5, R3, k * 4);
+    }
+    b.str(R2, R3, 0);
+
+    // chk += s & 0xffff
+    b.and_(R5, R2, R8);
+    b.add(R10, R10, R5);
+
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.b(sample_loop, Cond::NE);
+
+    b.addi(R4, R4, kOrder * 4);
+    b.subi(R9, R9, 1, Cond::AL, true);
+    b.b(frame_loop, Cond::NE);
+
+    b.mov(R0, R10);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), golden()};
+}
+
+} // namespace pfits::mibench

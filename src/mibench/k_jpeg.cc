@@ -1,0 +1,384 @@
+/**
+ * @file
+ * consumer/jpeg.encode + jpeg.decode — the compute core of MiBench's
+ * cjpeg/djpeg: 8x8 separable integer DCT/IDCT with quantization over a
+ * 96x96 grayscale image. The 1-D transforms are emitted fully unrolled
+ * with the cosine coefficients folded into the instruction stream as
+ * immediates (a common embedded JPEG layout), which makes these the
+ * biggest code footprints in the suite (~12 KB ARM) — even the 16 KB
+ * I-cache starts to feel them, like the paper's heaviest benchmarks.
+ *
+ * The entropy-coding stage is replaced by checksum accumulation over
+ * the quantized coefficients (documented in DESIGN.md); decode runs on
+ * the quantized coefficients the golden encoder produced.
+ */
+
+#include "mibench/mibench.hh"
+
+#include <cmath>
+
+#include "assembler/builder.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr int kW = 96;
+constexpr int kH = 96;
+constexpr int kBlocksX = kW / 8;
+constexpr int kBlocks = (kW / 8) * (kH / 8);
+constexpr int kShift = 11; // DCT coefficients are scaled by 2^11
+
+/** Orthonormal DCT-II coefficients scaled by 2^11. */
+const std::vector<int32_t> &
+dctCoef()
+{
+    static const std::vector<int32_t> coef = [] {
+        std::vector<int32_t> c(64);
+        for (int k = 0; k < 8; ++k) {
+            double s = k == 0 ? std::sqrt(1.0 / 8.0)
+                              : std::sqrt(2.0 / 8.0);
+            for (int n = 0; n < 8; ++n) {
+                c[k * 8 + n] = static_cast<int32_t>(std::lround(
+                    2048.0 * s *
+                    std::cos((2 * n + 1) * k * M_PI / 16.0)));
+            }
+        }
+        return c;
+    }();
+    return coef;
+}
+
+const int kQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,
+    55, 14, 13, 16, 24,  40,  57,  69,  56, 14, 17, 22, 29,  51,  87,
+    80, 62, 18, 22, 37,  56,  68,  109, 103, 77, 24, 35, 55,  64,  81,
+    104, 113, 92, 49, 64, 78,  87,  103, 121, 120, 101, 72, 92, 95, 98,
+    112, 100, 103, 99,
+};
+
+std::vector<uint8_t>
+image()
+{
+    Rng rng(0x04e64123ull);
+    std::vector<uint8_t> img(static_cast<size_t>(kW) * kH);
+    int v = 120;
+    for (int y = 0; y < kH; ++y) {
+        for (int x = 0; x < kW; ++x) {
+            v += rng.range(-9, 9);
+            if (y > 0) {
+                int above = img[static_cast<size_t>((y - 1) * kW + x)];
+                v = (2 * v + above) / 3;
+            }
+            v = std::max(0, std::min(255, v));
+            img[static_cast<size_t>(y * kW + x)] =
+                static_cast<uint8_t>(v);
+        }
+    }
+    return img;
+}
+
+/** 1-D DCT along one lane, matching the emitted code exactly. */
+void
+refDct1d(const int32_t *in, int32_t *out, int stride)
+{
+    const auto &c = dctCoef();
+    for (int k = 0; k < 8; ++k) {
+        int32_t acc = 0;
+        for (int n = 0; n < 8; ++n)
+            acc += c[k * 8 + n] * in[n * stride];
+        out[k * stride] = acc >> kShift;
+    }
+}
+
+/** 1-D IDCT (transposed matrix). */
+void
+refIdct1d(const int32_t *in, int32_t *out, int stride)
+{
+    const auto &c = dctCoef();
+    for (int n = 0; n < 8; ++n) {
+        int32_t acc = 0;
+        for (int k = 0; k < 8; ++k)
+            acc += c[k * 8 + n] * in[k * stride];
+        out[n * stride] = acc >> kShift;
+    }
+}
+
+/** Quantized coefficients of every block (the decoder's input). */
+std::vector<int32_t>
+quantizedBlocks()
+{
+    const auto img = image();
+    std::vector<int32_t> all(static_cast<size_t>(kBlocks) * 64);
+    for (int blk = 0; blk < kBlocks; ++blk) {
+        int bx = blk % kBlocksX;
+        int by = blk / kBlocksX;
+        int32_t a[64], t[64];
+        for (int r = 0; r < 8; ++r)
+            for (int cc = 0; cc < 8; ++cc)
+                a[r * 8 + cc] =
+                    img[static_cast<size_t>((by * 8 + r) * kW +
+                                            bx * 8 + cc)] -
+                    128;
+        for (int r = 0; r < 8; ++r)
+            refDct1d(&a[r * 8], &t[r * 8], 1);
+        for (int cc = 0; cc < 8; ++cc)
+            refDct1d(&t[cc], &a[cc], 8);
+        for (int i = 0; i < 64; ++i)
+            all[static_cast<size_t>(blk) * 64 + i] = a[i] / kQuant[i];
+    }
+    return all;
+}
+
+uint32_t
+goldenEncode()
+{
+    const auto q = quantizedBlocks();
+    uint32_t chk = 0;
+    for (int32_t v : q)
+        chk = chk * 31 + static_cast<uint32_t>(v);
+    return chk;
+}
+
+uint32_t
+goldenDecode()
+{
+    const auto q = quantizedBlocks();
+    uint32_t chk = 0;
+    for (int blk = 0; blk < kBlocks; ++blk) {
+        int32_t a[64], t[64];
+        for (int i = 0; i < 64; ++i)
+            a[i] = q[static_cast<size_t>(blk) * 64 + i] * kQuant[i];
+        for (int cc = 0; cc < 8; ++cc)
+            refIdct1d(&a[cc], &t[cc], 8);
+        for (int r = 0; r < 8; ++r)
+            refIdct1d(&t[r * 8], &a[r * 8], 1);
+        for (int i = 0; i < 64; ++i) {
+            int32_t p = a[i] + 128;
+            p = std::max(0, std::min(255, p));
+            chk += static_cast<uint32_t>(p);
+        }
+    }
+    return chk;
+}
+
+std::vector<uint32_t>
+asWords(const std::vector<int32_t> &v)
+{
+    std::vector<uint32_t> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = static_cast<uint32_t>(v[i]);
+    return out;
+}
+
+/**
+ * Emit one fully unrolled 1-D transform pass over the 8 lanes of a
+ * block. Reads from the buffer in r2+`in_off`, writes r3+`out_off`
+ * (offsets in bytes, both buffers hold 64 words).
+ *
+ * r4-r11 hold the lane inputs; r0 carries each coefficient immediate;
+ * r1 accumulates.
+ *
+ * @param transpose false: out[k] = sum_n c[k][n]*in[n] (DCT);
+ *                  true:  out[n] = sum_k c[k][n]*in[k] (IDCT).
+ */
+void
+emitPass(ProgramBuilder &b, bool rows, bool transpose)
+{
+    const auto &c = dctCoef();
+    for (int lane = 0; lane < 8; ++lane) {
+        // element i of this lane lives at byte offset:
+        auto at = [&](int i) {
+            return rows ? 4 * (lane * 8 + i) : 4 * (i * 8 + lane);
+        };
+        for (int i = 0; i < 8; ++i)
+            b.ldr(static_cast<uint8_t>(R4 + i), R2, at(i));
+        for (int o = 0; o < 8; ++o) {
+            for (int i = 0; i < 8; ++i) {
+                int32_t coef = transpose ? c[i * 8 + o] : c[o * 8 + i];
+                b.movi(R0, static_cast<uint32_t>(coef));
+                if (i == 0)
+                    b.mul(R1, R0, static_cast<uint8_t>(R4 + i));
+                else
+                    b.mla(R1, R0, static_cast<uint8_t>(R4 + i), R1);
+            }
+            b.asri(R1, R1, kShift);
+            b.str(R1, R3, at(o));
+        }
+    }
+}
+
+} // namespace
+
+Workload
+buildJpegEncode()
+{
+    ProgramBuilder b("jpeg.encode");
+    b.bytes("img", image());
+    std::vector<uint32_t> qwords(64);
+    for (int i = 0; i < 64; ++i)
+        qwords[static_cast<size_t>(i)] = static_cast<uint32_t>(kQuant[i]);
+    b.words("qtab", qwords);
+    b.zeros("blk", 256);
+    b.zeros("tmp", 256);
+    // locals: [0] blocks left, [1] cols left in row, [2] image offset,
+    // [3] checksum
+    b.zeros("locals", 16);
+    b.zeros("result", 4);
+
+    b.lea(R0, "locals");
+    b.movi(R1, kBlocks);
+    b.str(R1, R0, 0);
+    b.movi(R1, kBlocksX);
+    b.str(R1, R0, 4);
+    b.movi(R1, 0);
+    b.str(R1, R0, 8);
+    b.str(R1, R0, 12);
+
+    Label block_loop = b.here();
+
+    // --- load + level shift -------------------------------------------
+    b.lea(R0, "locals");
+    b.ldr(R1, R0, 8);
+    b.lea(R0, "img");
+    b.add(R0, R0, R1); // top-left of the block
+    b.lea(R2, "blk");
+    for (int r = 0; r < 8; ++r) {
+        for (int cc = 0; cc < 8; ++cc) {
+            b.ldrb(R1, R0, cc);
+            b.subi(R1, R1, 128);
+            b.str(R1, R2, 4 * (r * 8 + cc));
+        }
+        if (r != 7)
+            b.addi(R0, R0, kW);
+    }
+
+    // --- row pass: blk -> tmp; column pass: tmp -> blk -----------------
+    b.lea(R2, "blk");
+    b.lea(R3, "tmp");
+    emitPass(b, true, false);
+    b.lea(R2, "tmp");
+    b.lea(R3, "blk");
+    emitPass(b, false, false);
+
+    // --- quantize + checksum -------------------------------------------
+    b.lea(R0, "qtab");
+    b.lea(R2, "blk");
+    b.lea(R3, "locals");
+    b.ldr(R6, R3, 12); // chk
+    for (int i = 0; i < 64; ++i) {
+        b.ldr(R4, R2, 4 * i);
+        b.ldr(R5, R0, 4 * i);
+        b.sdiv(R4, R4, R5);
+        // chk = chk*31 + q
+        b.aluShift(AluOp::RSB, R6, R6, R6, ShiftType::LSL, 5);
+        b.add(R6, R6, R4);
+    }
+    b.str(R6, R3, 12);
+
+    // --- advance block cursor -------------------------------------------
+    b.ldr(R1, R3, 8);
+    b.addi(R1, R1, 8);
+    b.ldr(R2, R3, 4);
+    b.subi(R2, R2, 1, Cond::AL, true);
+    b.movci(R2, kBlocksX, Cond::EQ);
+    b.addi(R1, R1, 7 * kW, Cond::EQ);
+    b.str(R1, R3, 8);
+    b.str(R2, R3, 4);
+    b.ldr(R1, R3, 0);
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.str(R1, R3, 0);
+    b.b(block_loop, Cond::NE);
+
+    b.ldr(R0, R3, 12);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), goldenEncode()};
+}
+
+Workload
+buildJpegDecode()
+{
+    ProgramBuilder b("jpeg.decode");
+    b.words("coeffs", asWords(quantizedBlocks()));
+    std::vector<uint32_t> qwords(64);
+    for (int i = 0; i < 64; ++i)
+        qwords[static_cast<size_t>(i)] = static_cast<uint32_t>(kQuant[i]);
+    b.words("qtab", qwords);
+    b.zeros("blk", 256);
+    b.zeros("tmp", 256);
+    // locals: [0] blocks left, [1] input offset, [2] checksum
+    b.zeros("locals", 16);
+    b.zeros("result", 4);
+
+    b.lea(R0, "locals");
+    b.movi(R1, kBlocks);
+    b.str(R1, R0, 0);
+    b.movi(R1, 0);
+    b.str(R1, R0, 4);
+    b.str(R1, R0, 8);
+
+    Label block_loop = b.here();
+
+    // --- dequantize into blk ---------------------------------------------
+    b.lea(R0, "locals");
+    b.ldr(R1, R0, 4);
+    b.lea(R0, "coeffs");
+    b.add(R0, R0, R1);
+    b.lea(R1, "qtab");
+    b.lea(R2, "blk");
+    for (int i = 0; i < 64; ++i) {
+        b.ldr(R4, R0, 4 * i);
+        b.ldr(R5, R1, 4 * i);
+        b.mul(R4, R4, R5);
+        b.str(R4, R2, 4 * i);
+    }
+
+    // --- column pass then row pass (inverse order of the encoder) -------
+    b.lea(R2, "blk");
+    b.lea(R3, "tmp");
+    emitPass(b, false, true);
+    b.lea(R2, "tmp");
+    b.lea(R3, "blk");
+    emitPass(b, true, true);
+
+    // --- clamp to [0,255] after +128, accumulate checksum ----------------
+    b.lea(R2, "blk");
+    b.lea(R3, "locals");
+    b.ldr(R6, R3, 8);
+    for (int i = 0; i < 64; ++i) {
+        b.ldr(R4, R2, 4 * i);
+        b.addi(R4, R4, 128);
+        b.cmpi(R4, 0);
+        b.movci(R4, 0, Cond::LT);
+        b.cmpi(R4, 255);
+        b.movci(R4, 255, Cond::GT);
+        b.add(R6, R6, R4);
+    }
+    b.str(R6, R3, 8);
+
+    // --- advance ------------------------------------------------------------
+    b.ldr(R1, R3, 4);
+    b.addi(R1, R1, 256);
+    b.str(R1, R3, 4);
+    b.ldr(R1, R3, 0);
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.str(R1, R3, 0);
+    b.b(block_loop, Cond::NE);
+
+    b.ldr(R0, R3, 8);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), goldenDecode()};
+}
+
+} // namespace pfits::mibench

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * network/patricia — radix bit-trie insertion and lookup over 32-bit
+ * keys (MiBench's patricia exercises the same pointer-chasing pattern on
+ * routing-table prefixes). Inserts a key set, then performs a larger
+ * mixed hit/miss lookup stream through call/return subroutines.
+ * Checksum mixes hit count, traversal depths and the allocated node
+ * count.
+ */
+
+#include "mibench/mibench.hh"
+
+#include "assembler/builder.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kInserts = 1200;
+constexpr uint32_t kLookups = 4800;
+
+// Node record: {key, left, right}, 12 bytes; index 0 is "null", the
+// pool starts at byte offset 12.
+
+std::vector<uint32_t>
+insertKeys()
+{
+    Rng rng(0x9a791c1aull);
+    std::vector<uint32_t> keys(kInserts);
+    for (auto &k : keys)
+        k = rng.next();
+    return keys;
+}
+
+std::vector<uint32_t>
+lookupKeys()
+{
+    Rng rng(0x100c0695ull);
+    auto inserted = insertKeys();
+    std::vector<uint32_t> keys(kLookups);
+    for (size_t i = 0; i < keys.size(); ++i) {
+        if (i % 2 == 0)
+            keys[i] = inserted[rng.below(kInserts)];
+        else
+            keys[i] = rng.next();
+    }
+    return keys;
+}
+
+struct RefTrie
+{
+    struct Node
+    {
+        uint32_t key = 0;
+        uint32_t left = 0;
+        uint32_t right = 0;
+    };
+    std::vector<Node> pool{1}; // slot 0 is null
+
+    // @return allocated node offset count behaviourally matching asm.
+    void
+    insert(uint32_t key)
+    {
+        if (pool.size() == 1) {
+            pool.push_back(Node{key, 0, 0});
+            return;
+        }
+        uint32_t node = 1;
+        uint32_t depth = 0;
+        while (true) {
+            if (pool[node].key == key)
+                return;
+            uint32_t bit = (key >> (31 - depth)) & 1u;
+            uint32_t &child = bit ? pool[node].right : pool[node].left;
+            if (child == 0) {
+                child = static_cast<uint32_t>(pool.size());
+                pool.push_back(Node{key, 0, 0});
+                return;
+            }
+            node = child;
+            ++depth;
+        }
+    }
+
+    /** @return depth*2 + hit. */
+    uint32_t
+    search(uint32_t key) const
+    {
+        uint32_t node = 1;
+        uint32_t depth = 0;
+        while (node != 0) {
+            if (pool[node].key == key)
+                return depth * 2 + 1;
+            uint32_t bit = (key >> (31 - depth)) & 1u;
+            node = bit ? pool[node].right : pool[node].left;
+            ++depth;
+        }
+        return depth * 2;
+    }
+};
+
+uint32_t
+golden()
+{
+    RefTrie trie;
+    for (uint32_t key : insertKeys())
+        trie.insert(key);
+    uint32_t chk = static_cast<uint32_t>(trie.pool.size() - 1);
+    for (uint32_t key : lookupKeys())
+        chk += trie.search(key);
+    return chk;
+}
+
+} // namespace
+
+Workload
+buildPatricia()
+{
+    ProgramBuilder b("patricia");
+    b.words("ins", insertKeys());
+    b.words("qry", lookupKeys());
+    // Pool: 12 bytes per node, slot 0 reserved as null.
+    b.zeros("pool", (kInserts + 2) * 12);
+    b.zeros("result", 4);
+    b.zeros("stack", 256);
+
+    // Globals: r9 pool base, r10 next free byte offset, r11 checksum.
+    // insert(r0=key): uses r1 node offset, r2 depth, r3 tmp, r4 addr.
+    // search(r0=key) -> r0 = depth*2+hit: same temps.
+
+    Label insert_fn = b.label();
+    Label search_fn = b.label();
+    Label start = b.label();
+    b.b(start);
+
+    // --- insert ---------------------------------------------------------
+    b.bind(insert_fn);
+    {
+        Label walk = b.label();
+        Label grow = b.label();
+        Label out = b.label();
+        Label first = b.label();
+
+        b.cmpi(R10, 12);
+        b.b(first, Cond::EQ);
+
+        b.movi(R1, 12); // root offset
+        b.movi(R2, 0);  // depth
+        b.bind(walk);
+        b.add(R4, R9, R1);
+        b.ldr(R3, R4, 0);
+        b.cmp(R3, R0);
+        b.b(out, Cond::EQ);
+        // bit = (key >> (31-depth)) & 1 -> child slot 4 or 8
+        b.rsbi(R3, R2, 31);
+        b.lsrr(R3, R0, R3);
+        b.andi(R3, R3, 1);
+        b.addi(R3, R3, 1);
+        b.aluShift(AluOp::ADD, R4, R4, R3, ShiftType::LSL, 2);
+        b.ldr(R5, R4, 0);
+        b.cmpi(R5, 0);
+        b.b(grow, Cond::EQ);
+        b.mov(R1, R5);
+        b.addi(R2, R2, 1);
+        b.b(walk);
+
+        b.bind(grow);
+        b.str(R10, R4, 0); // link new node
+        b.add(R4, R9, R10);
+        b.str(R0, R4, 0);
+        b.movi(R5, 0);
+        b.str(R5, R4, 4);
+        b.str(R5, R4, 8);
+        b.addi(R10, R10, 12);
+        b.ret();
+
+        b.bind(first);
+        b.add(R4, R9, R10);
+        b.str(R0, R4, 0);
+        b.movi(R5, 0);
+        b.str(R5, R4, 4);
+        b.str(R5, R4, 8);
+        b.addi(R10, R10, 12);
+        b.bind(out);
+        b.ret();
+    }
+
+    // --- search ---------------------------------------------------------
+    b.bind(search_fn);
+    {
+        Label walk = b.label();
+        Label hit = b.label();
+        Label miss = b.label();
+
+        b.movi(R1, 12); // root
+        b.movi(R2, 0);  // depth
+        b.bind(walk);
+        b.cmpi(R1, 0);
+        b.b(miss, Cond::EQ);
+        b.add(R4, R9, R1);
+        b.ldr(R3, R4, 0);
+        b.cmp(R3, R0);
+        b.b(hit, Cond::EQ);
+        b.rsbi(R3, R2, 31);
+        b.lsrr(R3, R0, R3);
+        b.andi(R3, R3, 1);
+        b.addi(R3, R3, 1);
+        b.aluShift(AluOp::ADD, R4, R4, R3, ShiftType::LSL, 2);
+        b.ldr(R1, R4, 0);
+        b.addi(R2, R2, 1);
+        b.b(walk);
+
+        b.bind(hit);
+        b.lsli(R0, R2, 1);
+        b.addi(R0, R0, 1);
+        b.ret();
+        b.bind(miss);
+        b.lsli(R0, R2, 1);
+        b.ret();
+    }
+
+    // --- main ------------------------------------------------------------
+    b.bind(start);
+    b.lea(R9, "pool");
+    b.movi(R10, 12);
+    b.movi(R11, 0);
+
+    // insert phase: r7 key ptr, r8 remaining
+    b.lea(R7, "ins");
+    b.movi(R8, kInserts);
+    Label ins_loop = b.here();
+    b.ldr(R0, R7, 0);
+    b.addi(R7, R7, 4);
+    b.bl(insert_fn);
+    b.subi(R8, R8, 1, Cond::AL, true);
+    b.b(ins_loop, Cond::NE);
+
+    // chk = nodes allocated
+    b.subi(R11, R10, 12);
+    b.movi(R0, 12);
+    b.udiv(R11, R11, R0);
+
+    // lookup phase
+    b.lea(R7, "qry");
+    b.movi(R8, kLookups);
+    Label qry_loop = b.here();
+    b.ldr(R0, R7, 0);
+    b.addi(R7, R7, 4);
+    b.bl(search_fn);
+    b.add(R11, R11, R0);
+    b.subi(R8, R8, 1, Cond::AL, true);
+    b.b(qry_loop, Cond::NE);
+
+    b.mov(R0, R11);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), golden()};
+}
+
+} // namespace pfits::mibench

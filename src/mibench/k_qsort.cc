@@ -1,0 +1,143 @@
+/**
+ * @file
+ * auto/qsort — iterative quicksort (Lomuto partition, explicit segment
+ * stack) over a random word array, mirroring MiBench's qsort workload.
+ * The checksum is position-weighted, so it validates the full sorted
+ * order, and the golden value comes from std::sort — an independent
+ * implementation, not a re-run of the same algorithm.
+ */
+
+#include "mibench/mibench.hh"
+
+#include <algorithm>
+
+#include "assembler/builder.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kElems = 4096;
+
+std::vector<uint32_t>
+inputArray()
+{
+    Rng rng(0x45047123ull);
+    std::vector<uint32_t> a(kElems);
+    for (auto &v : a)
+        v = rng.next() & 0xffffffu;
+    return a;
+}
+
+uint32_t
+golden()
+{
+    auto a = inputArray();
+    std::sort(a.begin(), a.end());
+    uint32_t chk = 0;
+    for (uint32_t i = 0; i < a.size(); ++i)
+        chk += a[i] * (i + 1);
+    return chk;
+}
+
+} // namespace
+
+Workload
+buildQsort()
+{
+    ProgramBuilder b("qsort");
+    b.words("array", inputArray());
+    b.zeros("stk", kElems * 8 + 16);
+    b.zeros("result", 4);
+
+    // r0 array, r1 lo, r2 hi, r3 i, r4 j, r5 pivot, r6/r7 tmps,
+    // r8 stack byte offset, r9 addr tmp, r10 stack base, r11 checksum.
+    b.lea(R0, "array");
+    b.lea(R10, "stk");
+
+    // push (0, kElems-1)
+    b.movi(R6, 0);
+    b.str(R6, R10, 0);
+    b.movi(R6, kElems - 1);
+    b.str(R6, R10, 4);
+    b.movi(R8, 8);
+
+    Label main = b.label();
+    Label done = b.label();
+    Label inner = b.label();
+    Label ploop = b.label();
+    Label pdone = b.label();
+    Label noswap = b.label();
+
+    b.bind(main);
+    b.cmpi(R8, 0);
+    b.b(done, Cond::EQ);
+    b.subi(R8, R8, 8);
+    b.add(R9, R10, R8);
+    b.ldr(R1, R9, 0);
+    b.ldr(R2, R9, 4);
+
+    b.bind(inner);
+    b.cmp(R1, R2);
+    b.b(main, Cond::GE);
+
+    // Lomuto partition with pivot = a[hi].
+    b.ldrr(R5, R0, R2, 2);
+    b.mov(R3, R1);
+    b.mov(R4, R1);
+
+    b.bind(ploop);
+    b.cmp(R4, R2);
+    b.b(pdone, Cond::GE);
+    b.ldrr(R6, R0, R4, 2);
+    b.cmp(R6, R5);
+    b.b(noswap, Cond::CS); // unsigned >= pivot
+    b.ldrr(R7, R0, R3, 2);
+    b.strr(R6, R0, R3, 2);
+    b.strr(R7, R0, R4, 2);
+    b.addi(R3, R3, 1);
+    b.bind(noswap);
+    b.addi(R4, R4, 1);
+    b.b(ploop);
+
+    b.bind(pdone);
+    // swap a[i] <-> a[hi]
+    b.ldrr(R6, R0, R3, 2);
+    b.ldrr(R7, R0, R2, 2);
+    b.strr(R7, R0, R3, 2);
+    b.strr(R6, R0, R2, 2);
+
+    // push (i+1, hi); hi = i-1; continue partitioning the left side
+    b.add(R9, R10, R8);
+    b.addi(R6, R3, 1);
+    b.str(R6, R9, 0);
+    b.str(R2, R9, 4);
+    b.addi(R8, R8, 8);
+    b.subi(R2, R3, 1);
+    b.b(inner);
+
+    b.bind(done);
+    // checksum = sum a[i]*(i+1)
+    b.movi(R11, 0);
+    b.movi(R3, 0);
+    Label chkloop = b.here();
+    b.ldrr(R6, R0, R3, 2);
+    b.addi(R7, R3, 1);
+    b.mla(R11, R6, R7, R11);
+    b.addi(R3, R3, 1);
+    b.cmpi(R3, kElems);
+    b.b(chkloop, Cond::NE);
+
+    b.mov(R0, R11);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), golden()};
+}
+
+} // namespace pfits::mibench

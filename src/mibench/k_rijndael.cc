@@ -1,0 +1,472 @@
+/**
+ * @file
+ * security/rijndael.encode + rijndael.decode — AES-128 ECB with every
+ * round fully unrolled and all byte transforms done through lookup
+ * tables (S-box, xtime, and the 9/11/13/14 GF multiplication tables for
+ * the inverse MixColumns), the classic table-driven embedded layout.
+ * These are the largest code footprints in the suite (~7-10 KB ARM),
+ * so the 8 KB I-cache configurations genuinely thrash on them.
+ *
+ * The key schedule is precomputed (as rijndael implementations do for a
+ * fixed key) and shipped as data. Decode decrypts the ciphertext the
+ * golden encoder produced, so the checksum is the plaintext XOR.
+ */
+
+#include "mibench/mibench.hh"
+
+#include "assembler/builder.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kBlocks = 128; // 2 KB
+constexpr int kRounds = 10;
+
+// --- GF(2^8) tables ------------------------------------------------------
+
+uint8_t
+gfMul(uint8_t a, uint8_t bb)
+{
+    uint8_t out = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+        if (bb & 1)
+            out ^= a;
+        bool hi = a & 0x80;
+        a = static_cast<uint8_t>(a << 1);
+        if (hi)
+            a ^= 0x1b;
+        bb >>= 1;
+    }
+    return out;
+}
+
+struct Tables
+{
+    uint8_t sbox[256];
+    uint8_t isbox[256];
+    uint8_t xtime[256];
+    std::vector<uint8_t> imul; // m14 | m11 | m13 | m9 concatenated
+};
+
+const Tables &
+tables()
+{
+    static const Tables tabs = [] {
+        Tables t;
+        // Build the AES S-box from the multiplicative inverse plus the
+        // affine transform.
+        uint8_t inv[256] = {};
+        for (unsigned a = 1; a < 256; ++a) {
+            for (unsigned bb = 1; bb < 256; ++bb) {
+                if (gfMul(static_cast<uint8_t>(a),
+                          static_cast<uint8_t>(bb)) == 1) {
+                    inv[a] = static_cast<uint8_t>(bb);
+                    break;
+                }
+            }
+        }
+        for (unsigned a = 0; a < 256; ++a) {
+            uint8_t x = inv[a];
+            uint8_t y = x;
+            for (int i = 0; i < 4; ++i) {
+                y = static_cast<uint8_t>((y << 1) | (y >> 7));
+                x ^= y;
+            }
+            x ^= 0x63;
+            t.sbox[a] = x;
+        }
+        for (unsigned a = 0; a < 256; ++a)
+            t.isbox[t.sbox[a]] = static_cast<uint8_t>(a);
+        for (unsigned a = 0; a < 256; ++a)
+            t.xtime[a] = gfMul(static_cast<uint8_t>(a), 2);
+        t.imul.resize(1024);
+        for (unsigned a = 0; a < 256; ++a) {
+            t.imul[a] = gfMul(static_cast<uint8_t>(a), 14);
+            t.imul[256 + a] = gfMul(static_cast<uint8_t>(a), 11);
+            t.imul[512 + a] = gfMul(static_cast<uint8_t>(a), 13);
+            t.imul[768 + a] = gfMul(static_cast<uint8_t>(a), 9);
+        }
+        return t;
+    }();
+    return tabs;
+}
+
+/** 176 round-key bytes; rk[16r + 4c + row] XORs state[row + 4c]. */
+std::vector<uint8_t>
+roundKeys()
+{
+    const Tables &t = tables();
+    Rng rng(0xae5ae5ull);
+    std::vector<uint8_t> rk(176);
+    for (int i = 0; i < 16; ++i)
+        rk[static_cast<size_t>(i)] = static_cast<uint8_t>(rng.next());
+    uint8_t rcon = 1;
+    for (int w = 4; w < 44; ++w) {
+        uint8_t temp[4];
+        for (int j = 0; j < 4; ++j)
+            temp[j] = rk[static_cast<size_t>((w - 1) * 4 + j)];
+        if (w % 4 == 0) {
+            uint8_t t0 = temp[0];
+            temp[0] = static_cast<uint8_t>(t.sbox[temp[1]] ^ rcon);
+            temp[1] = t.sbox[temp[2]];
+            temp[2] = t.sbox[temp[3]];
+            temp[3] = t.sbox[t0];
+            rcon = t.xtime[rcon];
+        }
+        for (int j = 0; j < 4; ++j)
+            rk[static_cast<size_t>(w * 4 + j)] =
+                rk[static_cast<size_t>((w - 4) * 4 + j)] ^ temp[j];
+    }
+    return rk;
+}
+
+// --- reference cipher (byte-wise, mirrors the assembly structure) -------
+
+/** ShiftRows source index: out[r+4c] = in[r + 4*((c+r)%4)]. */
+int
+shiftSrc(int i)
+{
+    int r = i & 3;
+    int c = i >> 2;
+    return r + 4 * ((c + r) & 3);
+}
+
+/** InvShiftRows source index: out[r+4c] = in[r + 4*((c-r)&3)]. */
+int
+ishiftSrc(int i)
+{
+    int r = i & 3;
+    int c = i >> 2;
+    return r + 4 * ((c - r) & 3);
+}
+
+void
+encryptBlock(uint8_t st[16])
+{
+    const Tables &t = tables();
+    const auto rk = roundKeys();
+    auto ark = [&](int round) {
+        for (int i = 0; i < 16; ++i)
+            st[i] ^= rk[static_cast<size_t>(16 * round + i)];
+    };
+    ark(0);
+    uint8_t tmp[16];
+    for (int round = 1; round <= kRounds; ++round) {
+        for (int i = 0; i < 16; ++i)
+            tmp[i] = t.sbox[st[shiftSrc(i)]];
+        if (round < kRounds) {
+            for (int c = 0; c < 4; ++c) {
+                uint8_t a[4];
+                for (int r = 0; r < 4; ++r)
+                    a[r] = tmp[4 * c + r];
+                for (int r = 0; r < 4; ++r) {
+                    uint8_t x = t.xtime[a[r] ^ a[(r + 1) & 3]];
+                    st[4 * c + r] = static_cast<uint8_t>(
+                        x ^ a[(r + 1) & 3] ^ a[(r + 2) & 3] ^
+                        a[(r + 3) & 3]);
+                }
+            }
+        } else {
+            for (int i = 0; i < 16; ++i)
+                st[i] = tmp[i];
+        }
+        ark(round);
+    }
+}
+
+void
+decryptBlock(uint8_t st[16])
+{
+    const Tables &t = tables();
+    const auto rk = roundKeys();
+    auto ark = [&](int round) {
+        for (int i = 0; i < 16; ++i)
+            st[i] ^= rk[static_cast<size_t>(16 * round + i)];
+    };
+    ark(kRounds);
+    uint8_t tmp[16];
+    for (int round = kRounds - 1; round >= 0; --round) {
+        for (int i = 0; i < 16; ++i)
+            tmp[i] = t.isbox[st[ishiftSrc(i)]];
+        for (int i = 0; i < 16; ++i)
+            st[i] = static_cast<uint8_t>(
+                tmp[i] ^ rk[static_cast<size_t>(16 * round + i)]);
+        if (round > 0) {
+            for (int c = 0; c < 4; ++c) {
+                uint8_t a[4];
+                for (int r = 0; r < 4; ++r)
+                    a[r] = st[4 * c + r];
+                for (int r = 0; r < 4; ++r) {
+                    st[4 * c + r] = static_cast<uint8_t>(
+                        t.imul[a[r]] ^
+                        t.imul[256 + a[(r + 1) & 3]] ^
+                        t.imul[512 + a[(r + 2) & 3]] ^
+                        t.imul[768 + a[(r + 3) & 3]]);
+                }
+            }
+        }
+    }
+}
+
+std::vector<uint8_t>
+plaintext()
+{
+    Rng rng(0x41e5d474ull);
+    std::vector<uint8_t> data(kBlocks * 16);
+    for (auto &byte : data)
+        byte = static_cast<uint8_t>(rng.next());
+    return data;
+}
+
+std::vector<uint8_t>
+ciphertext()
+{
+    auto data = plaintext();
+    for (uint32_t blk = 0; blk < kBlocks; ++blk)
+        encryptBlock(&data[blk * 16]);
+    return data;
+}
+
+uint32_t
+xorWords(const std::vector<uint8_t> &bytes)
+{
+    uint32_t chk = 0;
+    for (size_t i = 0; i + 3 < bytes.size(); i += 4) {
+        chk ^= static_cast<uint32_t>(bytes[i]) |
+               (static_cast<uint32_t>(bytes[i + 1]) << 8) |
+               (static_cast<uint32_t>(bytes[i + 2]) << 16) |
+               (static_cast<uint32_t>(bytes[i + 3]) << 24);
+    }
+    return chk;
+}
+
+// --- assembly emitters ----------------------------------------------------
+
+/** AddRoundKey: state words ^= rk words. r2=state, r6=rk base. */
+void
+emitArk(ProgramBuilder &b, int round)
+{
+    for (int c = 0; c < 4; ++c) {
+        b.ldr(R7, R2, 4 * c);
+        b.ldr(R8, R6, 16 * round + 4 * c);
+        b.eor(R7, R7, R8);
+        b.str(R7, R2, 4 * c);
+    }
+}
+
+} // namespace
+
+Workload
+buildRijndaelEncode()
+{
+    const Tables &t = tables();
+    ProgramBuilder b("rijndael.encode");
+    b.bytes("data", plaintext());
+    b.bytes("sbox", std::vector<uint8_t>(t.sbox, t.sbox + 256));
+    b.bytes("xtime", std::vector<uint8_t>(t.xtime, t.xtime + 256));
+    b.bytes("rk", roundKeys());
+    b.zeros("state", 32);
+    b.zeros("chkw", 4);
+    b.zeros("result", 4);
+
+    // r0 data ptr, r1 blocks left, r2 state, r3 tmpb, r4 sbox,
+    // r5 xtime, r6 rk, r7-r11 temps.
+    b.lea(R0, "data");
+    b.movi(R1, kBlocks);
+    b.lea(R2, "state");
+    b.addi(R3, R2, 16);
+    b.lea(R4, "sbox");
+    b.lea(R5, "xtime");
+    b.lea(R6, "rk");
+
+    Label loop = b.here();
+    // load block
+    for (int c = 0; c < 4; ++c) {
+        b.ldr(R7, R0, 4 * c);
+        b.str(R7, R2, 4 * c);
+    }
+    emitArk(b, 0);
+
+    for (int round = 1; round <= kRounds; ++round) {
+        // SubBytes + ShiftRows into tmpb
+        for (int i = 0; i < 16; ++i) {
+            b.ldrb(R7, R2, shiftSrc(i));
+            b.ldrbr(R7, R4, R7);
+            b.strb(R7, R3, i);
+        }
+        if (round < kRounds) {
+            // MixColumns: out_r = xtime[a_r^a_{r+1}] ^ a_{r+1} ^
+            //                      a_{r+2} ^ a_{r+3}
+            for (int c = 0; c < 4; ++c) {
+                for (int r = 0; r < 4; ++r)
+                    b.ldrb(static_cast<uint8_t>(R7 + r), R3,
+                           4 * c + r);
+                for (int r = 0; r < 4; ++r) {
+                    uint8_t a0 = static_cast<uint8_t>(R7 + r);
+                    uint8_t a1 = static_cast<uint8_t>(R7 + ((r + 1) & 3));
+                    uint8_t a2 = static_cast<uint8_t>(R7 + ((r + 2) & 3));
+                    uint8_t a3 = static_cast<uint8_t>(R7 + ((r + 3) & 3));
+                    b.eor(R11, a0, a1);
+                    b.ldrbr(R11, R5, R11);
+                    b.eor(R11, R11, a1);
+                    b.eor(R11, R11, a2);
+                    b.eor(R11, R11, a3);
+                    b.strb(R11, R2, 4 * c + r);
+                }
+            }
+        } else {
+            for (int c = 0; c < 4; ++c) {
+                b.ldr(R7, R3, 4 * c);
+                b.str(R7, R2, 4 * c);
+            }
+        }
+        emitArk(b, round);
+    }
+
+    // chk ^= ciphertext words; write block back
+    b.lea(R9, "chkw");
+    b.ldr(R10, R9, 0);
+    for (int c = 0; c < 4; ++c) {
+        b.ldr(R7, R2, 4 * c);
+        b.str(R7, R0, 4 * c);
+        b.eor(R10, R10, R7);
+    }
+    b.str(R10, R9, 0);
+
+    b.addi(R0, R0, 16);
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+
+    b.lea(R9, "chkw");
+    b.ldr(R0, R9, 0);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), xorWords(ciphertext())};
+}
+
+Workload
+buildRijndaelDecode()
+{
+    const Tables &t = tables();
+    // Sanity: the reference decryptor must invert the encryptor.
+    {
+        auto ct = ciphertext();
+        auto pt = plaintext();
+        uint8_t block[16];
+        for (int i = 0; i < 16; ++i)
+            block[i] = ct[static_cast<size_t>(i)];
+        decryptBlock(block);
+        for (int i = 0; i < 16; ++i)
+            if (block[i] != pt[static_cast<size_t>(i)])
+                fatal("rijndael reference decrypt does not invert "
+                      "encrypt");
+    }
+
+    ProgramBuilder b("rijndael.decode");
+    b.bytes("data", ciphertext());
+    b.bytes("isbox", std::vector<uint8_t>(t.isbox, t.isbox + 256));
+    b.bytes("imul", t.imul);
+    b.bytes("rk", roundKeys());
+    b.zeros("state", 32);
+    b.zeros("chkw", 4);
+    b.zeros("locals", 8);
+    b.zeros("result", 4);
+
+    // r0 data ptr, r1 imul, r2 state, r3 tmpb, r4 isbox, r5 scratch,
+    // r6 rk, r7-r10 a0..a3, r11 accumulator. Block count in "locals".
+    b.lea(R0, "data");
+    b.lea(R1, "imul");
+    b.lea(R2, "state");
+    b.addi(R3, R2, 16);
+    b.lea(R4, "isbox");
+    b.lea(R6, "rk");
+
+    // locals[0] = block count
+    b.lea(R5, "locals");
+    b.movi(R7, kBlocks);
+    b.str(R7, R5, 0);
+
+    Label loop = b.here();
+    for (int c = 0; c < 4; ++c) {
+        b.ldr(R7, R0, 4 * c);
+        b.str(R7, R2, 4 * c);
+    }
+    emitArk(b, kRounds);
+
+    for (int round = kRounds - 1; round >= 0; --round) {
+        // InvShiftRows + InvSubBytes into tmpb
+        for (int i = 0; i < 16; ++i) {
+            b.ldrb(R7, R2, ishiftSrc(i));
+            b.ldrbr(R7, R4, R7);
+            b.strb(R7, R3, i);
+        }
+        // tmpb ^ rk -> state
+        for (int c = 0; c < 4; ++c) {
+            b.ldr(R7, R3, 4 * c);
+            b.ldr(R8, R6, 16 * round + 4 * c);
+            b.eor(R7, R7, R8);
+            b.str(R7, R2, 4 * c);
+        }
+        if (round > 0) {
+            // InvMixColumns via the concatenated 14/11/13/9 tables.
+            for (int c = 0; c < 4; ++c) {
+                for (int r = 0; r < 4; ++r)
+                    b.ldrb(static_cast<uint8_t>(R7 + r), R2,
+                           4 * c + r);
+                for (int r = 0; r < 4; ++r) {
+                    uint8_t a0 = static_cast<uint8_t>(R7 + r);
+                    uint8_t a1 = static_cast<uint8_t>(R7 + ((r + 1) & 3));
+                    uint8_t a2 = static_cast<uint8_t>(R7 + ((r + 2) & 3));
+                    uint8_t a3 = static_cast<uint8_t>(R7 + ((r + 3) & 3));
+                    b.ldrbr(R11, R1, a0); // m14
+                    b.addi(R5, a1, 256);
+                    b.ldrbr(R5, R1, R5);  // m11
+                    b.eor(R11, R11, R5);
+                    b.addi(R5, a2, 512);
+                    b.ldrbr(R5, R1, R5);  // m13
+                    b.eor(R11, R11, R5);
+                    b.addi(R5, a3, 768);
+                    b.ldrbr(R5, R1, R5);  // m9
+                    b.eor(R11, R11, R5);
+                    b.strb(R11, R2, 4 * c + r);
+                }
+            }
+        }
+    }
+
+    // chk ^= plaintext words; write back; decrement block count
+    b.lea(R5, "chkw");
+    b.ldr(R11, R5, 0);
+    for (int c = 0; c < 4; ++c) {
+        b.ldr(R7, R2, 4 * c);
+        b.str(R7, R0, 4 * c);
+        b.eor(R11, R11, R7);
+    }
+    b.str(R11, R5, 0);
+    b.addi(R0, R0, 16);
+
+    b.lea(R5, "locals");
+    b.ldr(R7, R5, 0);
+    b.subi(R7, R7, 1, Cond::AL, true);
+    b.str(R7, R5, 0);
+    b.b(loop, Cond::NE);
+
+    b.lea(R5, "chkw");
+    b.ldr(R0, R5, 0);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), xorWords(plaintext())};
+}
+
+} // namespace pfits::mibench

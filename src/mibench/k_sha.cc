@@ -1,0 +1,209 @@
+/**
+ * @file
+ * security/sha — SHA-1 over a 24 KB stream, with the message schedule
+ * and all 80 rounds fully unrolled (register-role rotation instead of
+ * move chains), the way optimized embedded SHA implementations are
+ * written. This gives one of the suite's largest code footprints
+ * (~6-7 KB of ARM code), putting real pressure on the 8 KB cache.
+ *
+ * Simplifications vs. a file-hashing tool (documented in DESIGN.md):
+ * the stream is a whole number of 64-byte blocks (no length padding)
+ * and words are taken in native little-endian order. The golden
+ * reference mirrors both.
+ */
+
+#include "mibench/mibench.hh"
+
+#include "assembler/builder.hh"
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kBlocks = 376; // even: the hot loop does two blocks
+constexpr uint32_t kBytes = kBlocks * 64;
+
+std::vector<uint8_t>
+inputData()
+{
+    Rng rng(0x54a15a15ull);
+    std::vector<uint8_t> data(kBytes);
+    for (auto &byte : data)
+        byte = static_cast<uint8_t>(rng.next());
+    return data;
+}
+
+const uint32_t kIv[5] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                         0x10325476u, 0xc3d2e1f0u};
+const uint32_t kK[4] = {0x5a827999u, 0x6ed9eba1u, 0x8f1bbcdcu,
+                        0xca62c1d6u};
+
+uint32_t
+golden()
+{
+    const auto data = inputData();
+    uint32_t h[5];
+    for (int i = 0; i < 5; ++i)
+        h[i] = kIv[i];
+
+    for (uint32_t blk = 0; blk < kBlocks; ++blk) {
+        uint32_t w[80];
+        for (int i = 0; i < 16; ++i) {
+            size_t off = blk * 64 + static_cast<size_t>(i) * 4;
+            w[i] = static_cast<uint32_t>(data[off]) |
+                   (static_cast<uint32_t>(data[off + 1]) << 8) |
+                   (static_cast<uint32_t>(data[off + 2]) << 16) |
+                   (static_cast<uint32_t>(data[off + 3]) << 24);
+        }
+        for (int i = 16; i < 80; ++i)
+            w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16],
+                          1);
+        uint32_t a = h[0], bb = h[1], c = h[2], d = h[3], e = h[4];
+        for (int t = 0; t < 80; ++t) {
+            uint32_t f;
+            if (t < 20)
+                f = (bb & c) | (~bb & d);
+            else if (t < 40)
+                f = bb ^ c ^ d;
+            else if (t < 60)
+                f = (bb & c) | (bb & d) | (c & d);
+            else
+                f = bb ^ c ^ d;
+            uint32_t temp = rotl32(a, 5) + f + e + kK[t / 20] + w[t];
+            e = d;
+            d = c;
+            c = rotl32(bb, 30);
+            bb = a;
+            a = temp;
+        }
+        h[0] += a;
+        h[1] += bb;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+    }
+    return h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4];
+}
+
+} // namespace
+
+Workload
+buildSha()
+{
+    ProgramBuilder b("sha");
+    uint32_t input_base = b.bytes("input", inputData());
+    b.zeros("wbuf", 80 * 4);
+    b.words("hstate", {kIv[0], kIv[1], kIv[2], kIv[3], kIv[4]});
+    b.zeros("result", 4);
+
+    // Roles: a..e live in R0..R4 with rotating assignment.
+    // R5/R6 temps, R7 schedule pointer, R8 wbuf, R9 input pointer,
+    // R10 hstate, R11 round constant.
+    b.lea(R8, "wbuf");
+    b.lea(R9, "input");
+    b.lea(R10, "hstate");
+
+    // One fully unrolled SHA-1 block; emitted twice per loop iteration
+    // the way multi-buffer implementations unroll, which is also what
+    // puts this kernel's ARM footprint above the 8 KB cache.
+    auto emitBlock = [&b]() {
+        // Copy the 16 message words into w[0..15] (unrolled).
+        for (int i = 0; i < 16; ++i) {
+            b.ldr(R5, R9, i * 4);
+            b.str(R5, R8, i * 4);
+        }
+        b.addi(R9, R9, 64);
+
+        // Message schedule, fully unrolled with a walking pointer.
+        b.addi(R7, R8, 64);
+        for (int i = 16; i < 80; ++i) {
+            b.ldr(R5, R7, -12);
+            b.ldr(R6, R7, -32);
+            b.eor(R5, R5, R6);
+            b.ldr(R6, R7, -56);
+            b.eor(R5, R5, R6);
+            b.ldr(R6, R7, -64);
+            b.eor(R5, R5, R6);
+            b.rori(R5, R5, 31); // rotate left 1
+            b.str(R5, R7, 0);
+            b.addi(R7, R7, 4);
+        }
+
+        // Load the working variables.
+        for (int i = 0; i < 5; ++i)
+            b.ldr(static_cast<uint8_t>(R0 + i), R10, i * 4);
+
+        // 80 rounds, fully unrolled with register-role rotation:
+        // roles[] holds which register is currently a,b,c,d,e.
+        uint8_t roles[5] = {R0, R1, R2, R3, R4};
+        for (int t = 0; t < 80; ++t) {
+            if (t % 20 == 0)
+                b.movi(R11, kK[t / 20]);
+            uint8_t a = roles[0], bb = roles[1], c = roles[2],
+                    d = roles[3], e = roles[4];
+            // f -> R6
+            if (t < 20) {
+                b.and_(R6, bb, c);
+                b.bic(R5, d, bb);
+                b.orr(R6, R6, R5);
+            } else if (t < 40 || t >= 60) {
+                b.eor(R6, bb, c);
+                b.eor(R6, R6, d);
+            } else {
+                b.orr(R6, bb, c);
+                b.and_(R6, R6, d);
+                b.and_(R5, bb, c);
+                b.orr(R6, R6, R5);
+            }
+            // e += f + k + w[t] + rol5(a); b = rol30(b)
+            b.add(e, e, R6);
+            b.add(e, e, R11);
+            b.ldr(R5, R8, t * 4);
+            b.add(e, e, R5);
+            b.aluShift(AluOp::ADD, e, e, a, ShiftType::ROR, 27);
+            b.rori(bb, bb, 2);
+            // rotate roles: new a = old e (now temp), rest shift down
+            roles[0] = e;
+            roles[4] = d;
+            roles[3] = c;
+            roles[2] = bb;
+            roles[1] = a;
+        }
+
+        // h[i] += working[i] (80 % 5 == 0: roles are R0..R4 again)
+        for (int i = 0; i < 5; ++i) {
+            b.ldr(R5, R10, i * 4);
+            b.add(static_cast<uint8_t>(R0 + i),
+                  static_cast<uint8_t>(R0 + i), R5);
+            b.str(static_cast<uint8_t>(R0 + i), R10, i * 4);
+        }
+    };
+
+    Label block_loop = b.here();
+    emitBlock();
+    emitBlock();
+
+    // Loop until the input pointer reaches the end.
+    b.movi(R5, input_base + kBytes);
+    b.cmp(R9, R5);
+    b.b(block_loop, Cond::NE);
+
+    // checksum = h0^h1^h2^h3^h4
+    b.ldr(R0, R10, 0);
+    for (int i = 1; i < 5; ++i) {
+        b.ldr(R5, R10, i * 4);
+        b.eor(R0, R0, R5);
+    }
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), golden()};
+}
+
+} // namespace pfits::mibench

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * office/stringsearch — Boyer-Moore-Horspool search of multiple patterns
+ * over a generated text, the algorithm MiBench's stringsearch uses.
+ * Half of the patterns are planted in the text (guaranteed hits), half
+ * are random (almost-certain misses). The checksum mixes match count
+ * and match positions.
+ */
+
+#include "mibench/mibench.hh"
+
+#include "assembler/builder.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr uint32_t kTextLen = 32 * 1024;
+constexpr uint32_t kPatterns = 12;
+constexpr uint32_t kPatLen = 8;
+
+std::vector<uint8_t>
+text()
+{
+    Rng rng(0x57265a6cull);
+    std::vector<uint8_t> t(kTextLen);
+    for (auto &c : t)
+        c = static_cast<uint8_t>('a' + rng.below(16));
+    return t;
+}
+
+std::vector<uint8_t>
+patterns()
+{
+    Rng rng(0x9a77e265ull);
+    auto t = text();
+    std::vector<uint8_t> pats(kPatterns * kPatLen);
+    for (uint32_t p = 0; p < kPatterns; ++p) {
+        if (p % 2 == 0) {
+            uint32_t pos = rng.below(kTextLen - kPatLen);
+            for (uint32_t i = 0; i < kPatLen; ++i)
+                pats[p * kPatLen + i] = t[pos + i];
+        } else {
+            for (uint32_t i = 0; i < kPatLen; ++i)
+                pats[p * kPatLen + i] =
+                    static_cast<uint8_t>('a' + rng.below(16));
+        }
+    }
+    return pats;
+}
+
+uint32_t
+golden()
+{
+    const auto t = text();
+    const auto pats = patterns();
+    uint32_t chk = 0;
+    for (uint32_t p = 0; p < kPatterns; ++p) {
+        const uint8_t *pat = &pats[p * kPatLen];
+        uint32_t shift[256];
+        for (uint32_t c = 0; c < 256; ++c)
+            shift[c] = kPatLen;
+        for (uint32_t i = 0; i + 1 < kPatLen; ++i)
+            shift[pat[i]] = kPatLen - 1 - i;
+
+        uint32_t pos = 0;
+        while (pos + kPatLen <= kTextLen) {
+            uint8_t last = t[pos + kPatLen - 1];
+            if (last == pat[kPatLen - 1]) {
+                bool match = true;
+                for (uint32_t i = 0; i < kPatLen - 1; ++i) {
+                    if (t[pos + i] != pat[i]) {
+                        match = false;
+                        break;
+                    }
+                }
+                if (match)
+                    chk += pos + 17;
+            }
+            pos += shift[last];
+        }
+    }
+    return chk;
+}
+
+} // namespace
+
+Workload
+buildStringsearch()
+{
+    ProgramBuilder b("stringsearch");
+    b.bytes("text", text());
+    b.bytes("pats", patterns());
+    b.zeros("shift", 256 * 4);
+    b.zeros("result", 4);
+
+    // r0 text, r1 pat, r2 shift table, r3 pos, r4 tmp, r5 tmp,
+    // r6 last-char of pattern, r7 i, r8 pattern counter, r11 chk.
+    b.lea(R0, "text");
+    b.lea(R2, "shift");
+    b.movi(R8, 0);
+    b.movi(R11, 0);
+
+    Label pat_loop = b.here();
+    // r1 = pats + p*kPatLen
+    b.lea(R1, "pats");
+    b.aluShift(AluOp::ADD, R1, R1, R8, ShiftType::LSL, 3);
+
+    // shift[c] = kPatLen for all c
+    b.movi(R3, 0);
+    b.movi(R4, kPatLen);
+    Label fill = b.here();
+    b.strr(R4, R2, R3, 2);
+    b.addi(R3, R3, 1);
+    b.cmpi(R3, 256);
+    b.b(fill, Cond::NE);
+
+    // shift[pat[i]] = kPatLen-1-i for i in 0..kPatLen-2 (unrolled)
+    for (uint32_t i = 0; i + 1 < kPatLen; ++i) {
+        b.ldrb(R4, R1, static_cast<int32_t>(i));
+        b.movi(R5, kPatLen - 1 - i);
+        b.strr(R5, R2, R4, 2);
+    }
+    b.ldrb(R6, R1, kPatLen - 1);
+
+    // scan
+    b.movi(R3, 0);
+    Label scan = b.label();
+    Label advance = b.label();
+    Label done_pat = b.label();
+    Label matched = b.label();
+    b.bind(scan);
+    b.movi(R4, kTextLen - kPatLen);
+    b.cmp(R3, R4);
+    b.b(done_pat, Cond::HI);
+
+    b.add(R5, R0, R3);
+    b.ldrb(R4, R5, kPatLen - 1); // last char of window
+    b.cmp(R4, R6);
+    b.b(advance, Cond::NE);
+    // verify remaining kPatLen-1 chars, unrolled
+    for (uint32_t i = 0; i + 1 < kPatLen; ++i) {
+        b.ldrb(R7, R5, static_cast<int32_t>(i));
+        b.ldrb(R9, R1, static_cast<int32_t>(i));
+        b.cmp(R7, R9);
+        b.b(advance, Cond::NE);
+    }
+    b.bind(matched);
+    b.add(R11, R11, R3);
+    b.addi(R11, R11, 17);
+
+    b.bind(advance);
+    b.ldrr(R5, R2, R4, 2); // shift[last]
+    b.add(R3, R3, R5);
+    b.b(scan);
+
+    b.bind(done_pat);
+    b.addi(R8, R8, 1);
+    b.cmpi(R8, kPatterns);
+    b.b(pat_loop, Cond::NE);
+
+    b.mov(R0, R11);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), golden()};
+}
+
+} // namespace pfits::mibench

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * auto/susan.smoothing, susan.edges, susan.corners — the three modes of
+ * the SUSAN image kernel, as in MiBench. All three walk a grayscale
+ * image with a brightness-similarity LUT:
+ *
+ *  - smoothing: 5x5 window, similarity-weighted average with an integer
+ *    divide per pixel (fully unrolled 25-tap window);
+ *  - edges: the 37-pixel circular USAN mask, response = g - n when the
+ *    USAN area n is below the geometric threshold (unrolled mask);
+ *  - corners: the same mask with a lower threshold plus the USAN
+ *    centroid accumulation used for corner validation.
+ *
+ * The conditional |difference| and thresholding code is predication-
+ * heavy, which is exactly what feeds the FITS conditional-slot AIS.
+ */
+
+#include "mibench/mibench.hh"
+
+#include "assembler/builder.hh"
+#include "common/rng.hh"
+
+namespace pfits::mibench
+{
+
+namespace
+{
+
+constexpr int kW = 56;
+constexpr int kH = 56;
+
+/** Smoothly varying synthetic image (so the similarity LUT matters). */
+std::vector<uint8_t>
+image()
+{
+    Rng rng(0x5a5a9123ull);
+    std::vector<uint8_t> img(static_cast<size_t>(kW) * kH);
+    int v = 128;
+    for (int y = 0; y < kH; ++y) {
+        for (int x = 0; x < kW; ++x) {
+            v += rng.range(-14, 14);
+            if (y > 0 && x > 0) {
+                int above = img[static_cast<size_t>((y - 1) * kW + x)];
+                v = (v + above) / 2;
+            }
+            v = std::max(10, std::min(245, v));
+            img[static_cast<size_t>(y * kW + x)] =
+                static_cast<uint8_t>(v);
+        }
+    }
+    return img;
+}
+
+/** Brightness-similarity LUT: ~100 * exp(-(d/t)^2), integerized. */
+std::vector<uint8_t>
+similarityLut(int t)
+{
+    std::vector<uint8_t> lut(256);
+    for (int d = 0; d < 256; ++d) {
+        // Integer-only approximation so the table is fully portable:
+        // s = 100 * t^2 / (t^2 + d^2), a smooth falloff in [0,100].
+        int num = 100 * t * t;
+        int den = t * t + d * d;
+        lut[static_cast<size_t>(d)] = static_cast<uint8_t>(num / den);
+    }
+    return lut;
+}
+
+/** The 37-pixel circular USAN mask offsets (dx, dy). */
+std::vector<std::pair<int, int>>
+usanMask()
+{
+    static const int spans[7] = {3, 5, 7, 7, 7, 5, 3};
+    std::vector<std::pair<int, int>> mask;
+    for (int dy = -3; dy <= 3; ++dy) {
+        int span = spans[dy + 3];
+        for (int dx = -span / 2; dx <= span / 2; ++dx)
+            mask.emplace_back(dx, dy);
+    }
+    return mask;
+}
+
+// --- golden references ---------------------------------------------------
+
+uint32_t
+goldenSmoothing()
+{
+    const auto img = image();
+    const auto lut = similarityLut(27);
+    uint32_t chk = 0;
+    for (int y = 2; y < kH - 2; ++y) {
+        for (int x = 2; x < kW - 2; ++x) {
+            uint32_t center = img[static_cast<size_t>(y * kW + x)];
+            uint32_t num = 0;
+            uint32_t den = 0;
+            for (int dy = -2; dy <= 2; ++dy) {
+                for (int dx = -2; dx <= 2; ++dx) {
+                    uint32_t p = img[static_cast<size_t>(
+                        (y + dy) * kW + (x + dx))];
+                    uint32_t d = p > center ? p - center : center - p;
+                    uint32_t w = lut[d];
+                    num += w * p;
+                    den += w;
+                }
+            }
+            chk += num / den;
+        }
+    }
+    return chk;
+}
+
+uint32_t
+goldenUsan(int t, uint32_t g, bool corners)
+{
+    const auto img = image();
+    const auto lut = similarityLut(t);
+    const auto mask = usanMask();
+    uint32_t chk = 0;
+    for (int y = 3; y < kH - 3; ++y) {
+        for (int x = 3; x < kW - 3; ++x) {
+            uint32_t center = img[static_cast<size_t>(y * kW + x)];
+            uint32_t n = 0;
+            int32_t cx = 0;
+            int32_t cy = 0;
+            for (auto [dx, dy] : mask) {
+                uint32_t p = img[static_cast<size_t>(
+                    (y + dy) * kW + (x + dx))];
+                uint32_t d = p > center ? p - center : center - p;
+                uint32_t w = lut[d];
+                n += w;
+                if (corners) {
+                    cx += static_cast<int32_t>(w) * dx;
+                    cy += static_cast<int32_t>(w) * dy;
+                }
+            }
+            if (n < g) {
+                uint32_t r = g - n;
+                chk += r;
+                if (corners) {
+                    chk += (static_cast<uint32_t>(cx) & 0xffu) ^
+                           (static_cast<uint32_t>(cy) & 0xffu);
+                }
+            }
+        }
+    }
+    return chk;
+}
+
+// --- shared assembly pieces -------------------------------------------------
+
+/**
+ * Emit |img[center + off] - center_value| -> @p dst via the LUT.
+ * r0 image row ptr (at the center pixel), r2 center value, r9 lut.
+ */
+void
+emitSimilarity(ProgramBuilder &b, int off, uint8_t dst, uint8_t tmp)
+{
+    b.ldrb(tmp, R0, off);
+    b.sub(dst, tmp, R2, Cond::AL, true);
+    b.rsbi(dst, dst, 0, Cond::MI);
+    b.ldrbr(dst, R9, dst);
+}
+
+} // namespace
+
+Workload
+buildSusanSmoothing()
+{
+    ProgramBuilder b("susan.smoothing");
+    b.bytes("img", image());
+    b.bytes("lut", similarityLut(27));
+    b.zeros("result", 4);
+
+    // r0 center ptr, r1 x counter, r2 center, r3 num, r4 den,
+    // r5/r6 temps, r7 weight, r8 y counter, r9 lut, r10 chk.
+    b.lea(R9, "lut");
+    b.movi(R10, 0);
+    b.lea(R0, "img");
+    b.addi(R0, R0, 2 * kW + 2); // first center pixel
+    b.movi(R8, kH - 4);
+
+    Label y_loop = b.here();
+    b.movi(R1, kW - 4);
+
+    Label x_loop = b.here();
+    b.ldrb(R2, R0, 0);
+    b.movi(R3, 0);
+    b.movi(R4, 0);
+    for (int dy = -2; dy <= 2; ++dy) {
+        for (int dx = -2; dx <= 2; ++dx) {
+            int off = dy * kW + dx;
+            emitSimilarity(b, off, R7, R5);
+            // num += w * p (p reloaded), den += w
+            b.ldrb(R5, R0, off);
+            b.mla(R3, R7, R5, R3);
+            b.add(R4, R4, R7);
+        }
+    }
+    b.udiv(R5, R3, R4);
+    b.add(R10, R10, R5);
+
+    b.addi(R0, R0, 1);
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.b(x_loop, Cond::NE);
+
+    b.addi(R0, R0, 4); // skip the 2+2 border columns
+    b.subi(R8, R8, 1, Cond::AL, true);
+    b.b(y_loop, Cond::NE);
+
+    b.mov(R0, R10);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), goldenSmoothing()};
+}
+
+namespace
+{
+
+Workload
+buildUsan(bool corners)
+{
+    const int t = corners ? 20 : 27;
+    const uint32_t g = corners ? 1850 : 2775;
+    ProgramBuilder b(corners ? "susan.corners" : "susan.edges");
+    b.bytes("img", image());
+    b.bytes("lut", similarityLut(t));
+    b.zeros("result", 4);
+
+    // r0 center ptr, r1 x counter, r2 center, r3 n, r4 cx, r5 tmp,
+    // r6 cy, r7 weight, r8 y counter, r9 lut, r10 chk, r11 tmp.
+    b.lea(R9, "lut");
+    b.movi(R10, 0);
+    b.lea(R0, "img");
+    b.addi(R0, R0, 3 * kW + 3);
+    b.movi(R8, kH - 6);
+
+    const auto mask = usanMask();
+
+    Label y_loop = b.here();
+    b.movi(R1, kW - 6);
+
+    Label x_loop = b.here();
+    b.ldrb(R2, R0, 0);
+    b.movi(R3, 0);
+    if (corners) {
+        b.movi(R4, 0);
+        b.movi(R6, 0);
+    }
+    for (auto [dx, dy] : mask) {
+        int off = dy * kW + dx;
+        emitSimilarity(b, off, R7, R5);
+        b.add(R3, R3, R7);
+        if (corners) {
+            if (dx != 0) {
+                b.movi(R5, static_cast<uint32_t>(dx < 0 ? -dx : dx));
+                b.mul(R5, R7, R5);
+                if (dx > 0)
+                    b.add(R4, R4, R5);
+                else
+                    b.sub(R4, R4, R5);
+            }
+            if (dy != 0) {
+                b.movi(R5, static_cast<uint32_t>(dy < 0 ? -dy : dy));
+                b.mul(R5, R7, R5);
+                if (dy > 0)
+                    b.add(R6, R6, R5);
+                else
+                    b.sub(R6, R6, R5);
+            }
+        }
+    }
+    // if (n < g) chk += g - n  [+ centroid mix for corners]
+    Label no_resp = b.label();
+    b.movi(R5, g);
+    b.cmp(R3, R5);
+    b.b(no_resp, Cond::CS);
+    b.sub(R5, R5, R3);
+    b.add(R10, R10, R5);
+    if (corners) {
+        b.andi(R5, R4, 0xff);
+        b.andi(R11, R6, 0xff);
+        b.eor(R5, R5, R11);
+        b.add(R10, R10, R5);
+    }
+    b.bind(no_resp);
+
+    b.addi(R0, R0, 1);
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.b(x_loop, Cond::NE);
+
+    b.addi(R0, R0, 6);
+    b.subi(R8, R8, 1, Cond::AL, true);
+    b.b(y_loop, Cond::NE);
+
+    b.mov(R0, R10);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+
+    return Workload{b.finish(), goldenUsan(t, g, corners)};
+}
+
+} // namespace
+
+Workload
+buildSusanEdges()
+{
+    return buildUsan(false);
+}
+
+Workload
+buildSusanCorners()
+{
+    return buildUsan(true);
+}
+
+} // namespace pfits::mibench

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The MiBench-style workload suite.
+ *
+ * The paper evaluates 21 MiBench benchmarks (basicmath and gsm.encode
+ * excluded, gsm.decode renamed gsm — its Section 5). Real MiBench is C
+ * compiled by GCC for ARM; here each benchmark is the same *algorithm*
+ * re-implemented in uARM assembly through the ProgramBuilder DSL, with
+ * deterministic generated inputs and a golden C++ reference computing
+ * the expected checksum (see DESIGN.md §2 for why this substitution
+ * preserves what FITS consumes: realistic embedded instruction streams).
+ *
+ * Conventions every kernel follows:
+ *  - inputs live in named data segments generated from a fixed seed;
+ *  - loop bodies are unrolled the way an optimizing embedded compiler
+ *    would, giving static code footprints from ~1 KB to ~20 KB so the
+ *    16 KB vs 8 KB I-cache experiment has teeth;
+ *  - the kernel finishes by storing a 32-bit checksum to the "result"
+ *    word, emitting it via SWI_EMIT_WORD, and exiting;
+ *  - r12 is never touched (free for the FITS expansion scratch).
+ */
+
+#ifndef POWERFITS_MIBENCH_MIBENCH_HH
+#define POWERFITS_MIBENCH_MIBENCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+
+namespace pfits::mibench
+{
+
+/** One ready-to-run benchmark: the binary plus its golden result. */
+struct Workload
+{
+    Program program;
+    uint32_t expected = 0; //!< golden checksum (C++ reference)
+};
+
+/** Builder function type. */
+using BuildFn = Workload (*)();
+
+/** Registry entry. */
+struct BenchInfo
+{
+    const char *name;   //!< paper's benchmark name, e.g. "susan.edges"
+    const char *group;  //!< MiBench category
+    BuildFn build;
+};
+
+/** The 21 benchmarks, in the paper's order of presentation. */
+const std::vector<BenchInfo> &suite();
+
+/** Look up one benchmark by name; fatal() when unknown. */
+const BenchInfo &findBench(const std::string &name);
+
+// --- individual kernels (auto/industrial) -------------------------------
+Workload buildBitcount();
+Workload buildQsort();
+Workload buildSusanSmoothing();
+Workload buildSusanEdges();
+Workload buildSusanCorners();
+// --- consumer -------------------------------------------------------------
+Workload buildJpegEncode();
+Workload buildJpegDecode();
+// --- network -------------------------------------------------------------
+Workload buildDijkstra();
+Workload buildPatricia();
+// --- office --------------------------------------------------------------
+Workload buildStringsearch();
+// --- security ------------------------------------------------------------
+Workload buildBlowfishEncode();
+Workload buildBlowfishDecode();
+Workload buildRijndaelEncode();
+Workload buildRijndaelDecode();
+Workload buildSha();
+// --- telecomm -------------------------------------------------------------
+Workload buildAdpcmEncode();
+Workload buildAdpcmDecode();
+Workload buildCrc32();
+Workload buildFft();
+Workload buildFftInverse();
+Workload buildGsm();
+
+} // namespace pfits::mibench
+
+#endif // POWERFITS_MIBENCH_MIBENCH_HH

@@ -1,0 +1,46 @@
+#include "mibench/mibench.hh"
+
+#include "common/logging.hh"
+
+namespace pfits::mibench
+{
+
+const std::vector<BenchInfo> &
+suite()
+{
+    static const std::vector<BenchInfo> benches = {
+        {"bitcount", "auto", buildBitcount},
+        {"qsort", "auto", buildQsort},
+        {"susan.smoothing", "auto", buildSusanSmoothing},
+        {"susan.edges", "auto", buildSusanEdges},
+        {"susan.corners", "auto", buildSusanCorners},
+        {"jpeg.encode", "consumer", buildJpegEncode},
+        {"jpeg.decode", "consumer", buildJpegDecode},
+        {"dijkstra", "network", buildDijkstra},
+        {"patricia", "network", buildPatricia},
+        {"stringsearch", "office", buildStringsearch},
+        {"blowfish.encode", "security", buildBlowfishEncode},
+        {"blowfish.decode", "security", buildBlowfishDecode},
+        {"rijndael.encode", "security", buildRijndaelEncode},
+        {"rijndael.decode", "security", buildRijndaelDecode},
+        {"sha", "security", buildSha},
+        {"adpcm.encode", "telecomm", buildAdpcmEncode},
+        {"adpcm.decode", "telecomm", buildAdpcmDecode},
+        {"crc32", "telecomm", buildCrc32},
+        {"fft", "telecomm", buildFft},
+        {"fft.inverse", "telecomm", buildFftInverse},
+        {"gsm", "telecomm", buildGsm},
+    };
+    return benches;
+}
+
+const BenchInfo &
+findBench(const std::string &name)
+{
+    for (const BenchInfo &info : suite())
+        if (name == info.name)
+            return info;
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace pfits::mibench

@@ -1,0 +1,35 @@
+#include "power/chip_power.hh"
+
+namespace pfits
+{
+
+ChipPowerBreakdown
+ChipPowerModel::evaluate(const RunResult &run,
+                         const CachePowerBreakdown &icache) const
+{
+    ChipPowerBreakdown out;
+    out.seconds = run.seconds();
+    out.icacheJ = icache.totalJ();
+
+    const double instrs = static_cast<double>(run.instructions);
+    const double executed =
+        static_cast<double>(run.instructions - run.annulled);
+    const double fetches = static_cast<double>(run.icache.accesses());
+    const double daccesses = static_cast<double>(run.dmemAccesses);
+    const double cycles = static_cast<double>(run.cycles);
+    const double miss_bytes =
+        static_cast<double>(run.icacheRefillWords) * 4.0 +
+        static_cast<double>(run.dcache.misses()) * 32.0;
+
+    out.iboxJ = instrs * params_.eIboxPerInstr;
+    out.eboxJ = executed * params_.eEboxPerExecuted;
+    out.dcacheJ = daccesses * params_.eDcachePerAccess;
+    out.immuJ = fetches * params_.eImmuPerFetch;
+    out.dmmuJ = daccesses * params_.eDmmuPerAccess;
+    out.clockJ = cycles * params_.eClockPerCycle;
+    out.otherJ = cycles * params_.eOtherPerCycle +
+                 miss_bytes * params_.eBusPerMissByte;
+    return out;
+}
+
+} // namespace pfits

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Chip-level power model based on the fabricated StrongARM's measured
+ * breakdown (Montanaro et al. [2], the paper's reference [2]): I-cache
+ * 27%, IBox 18%, D-cache 16%, clock 10%, IMMU 9%, EBox/DMMU 8% each.
+ *
+ * Each non-I-cache component is charged a fixed per-event energy chosen
+ * so that the ARM16 calibration point reproduces that breakdown (see
+ * tech.hh for the calibration philosophy); the I-cache component is the
+ * detailed CachePowerModel result. This maps I-cache savings into total
+ * chip savings the way the paper's Figure 12 does.
+ */
+
+#ifndef POWERFITS_POWER_CHIP_POWER_HH
+#define POWERFITS_POWER_CHIP_POWER_HH
+
+#include "power/cache_power.hh"
+#include "sim/machine.hh"
+
+namespace pfits
+{
+
+/** Chip-level energy for one run. */
+struct ChipPowerBreakdown
+{
+    double icacheJ = 0;
+    double iboxJ = 0;   //!< fetch/decode/issue datapath
+    double eboxJ = 0;   //!< execution units
+    double dcacheJ = 0;
+    double immuJ = 0;
+    double dmmuJ = 0;
+    double clockJ = 0;
+    double otherJ = 0;  //!< write buffer, bus unit, pads
+    double seconds = 0;
+
+    double
+    totalJ() const
+    {
+        return icacheJ + iboxJ + eboxJ + dcacheJ + immuJ + dmmuJ +
+               clockJ + otherJ;
+    }
+
+    double totalW() const { return seconds ? totalJ() / seconds : 0; }
+    double icacheShare() const { return icacheJ / totalJ(); }
+};
+
+/** Per-event energies for the non-I-cache components. */
+struct ChipEnergyParams
+{
+    // Calibrated at the ARM16 point (~1.3 instructions and ~0.35 data
+    // accesses per cycle) against the Montanaro shares.
+    double eIboxPerInstr = 213e-12;
+    double eEboxPerExecuted = 95e-12;
+    double eDcachePerAccess = 703e-12;
+    double eImmuPerFetch = 107e-12;
+    double eDmmuPerAccess = 352e-12;
+    double eClockPerCycle = 154e-12;
+    double eOtherPerCycle = 62e-12;
+    /**
+     * External bus energy per refill byte. Defaults to zero: the
+     * paper's chip power (like the fabricated StrongARM breakdown it
+     * is calibrated to) measures on-chip power only. Set non-zero to
+     * study system-level energy in the ablation benches.
+     */
+    double eBusPerMissByte = 0;
+};
+
+/** Maps one run + its detailed I-cache energy to chip energy. */
+class ChipPowerModel
+{
+  public:
+    explicit ChipPowerModel(const ChipEnergyParams &params = {})
+        : params_(params)
+    {
+    }
+
+    ChipPowerBreakdown evaluate(const RunResult &run,
+                                const CachePowerBreakdown &icache) const;
+
+    const ChipEnergyParams &params() const { return params_; }
+
+  private:
+    ChipEnergyParams params_;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_POWER_CHIP_POWER_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The micro-op execution engine — the shared "datapath".
+ *
+ * Both front-ends (the fixed ARM decoder and the programmable FITS
+ * decoder) feed MicroOps into this engine, mirroring the paper's design
+ * where instruction synthesis changes the decode, never the functional
+ * units. Instruction addresses are abstracted behind instruction
+ * *indices*; an AddrCodec translates between indices and byte addresses
+ * so the same engine runs 4-byte ARM and 2-byte FITS streams.
+ */
+
+#ifndef POWERFITS_SIM_EXECUTOR_HH
+#define POWERFITS_SIM_EXECUTOR_HH
+
+#include <cstdint>
+
+#include "isa/isa.hh"
+#include "sim/memory.hh"
+
+namespace pfits
+{
+
+/** Architectural state of the core. */
+struct CpuState
+{
+    uint32_t regs[NUM_REGS] = {};
+    Flags flags;
+    bool halted = false;
+};
+
+/** Index <-> byte-address mapping for one instruction stream. */
+struct AddrCodec
+{
+    uint32_t base = 0;
+    uint32_t shift = 2; //!< log2(bytes per instruction): 2=ARM, 1=FITS
+
+    uint32_t addrOf(uint64_t index) const
+    {
+        return base + (static_cast<uint32_t>(index) << shift);
+    }
+
+    uint64_t indexOf(uint32_t addr) const
+    {
+        return static_cast<uint64_t>(addr - base) >> shift;
+    }
+};
+
+/** Everything the timing/power layers need to know about one exec. */
+struct ExecInfo
+{
+    bool executed = false;     //!< condition passed
+    bool branch = false;       //!< is a control instruction
+    bool branchTaken = false;  //!< redirected the front-end
+    uint64_t nextIndex = 0;    //!< instruction index to run next
+
+    //! Data-memory accesses performed (LDM/STM make several).
+    struct MemAccess
+    {
+        uint32_t addr;
+        bool write;
+    };
+    static constexpr unsigned kMaxMem = 17;
+    MemAccess mem[kMaxMem];
+    unsigned numMem = 0;
+
+    bool isLoad = false;
+    bool isStore = false;
+    bool isMulDiv = false;
+    uint8_t destReg = 0xff;    //!< 0xff when no register result
+    uint32_t extraLatency = 0; //!< functional-unit latency beyond 1 cycle
+};
+
+/** Console/result sinks filled in by SWI instructions. */
+struct IoSinks
+{
+    std::string console;
+    std::vector<uint32_t> emitted;
+};
+
+/**
+ * Execute one micro-op.
+ *
+ * @param uop   the decoded instruction
+ * @param index its instruction index
+ * @param codec index/address mapping of the running stream
+ * @param state architectural state (updated in place)
+ * @param mem   data memory
+ * @param io    SWI output sinks
+ * @param info  out: effects for the timing model
+ */
+void execute(const MicroOp &uop, uint64_t index, const AddrCodec &codec,
+             CpuState &state, Memory &mem, IoSinks &io, ExecInfo &info);
+
+} // namespace pfits
+
+#endif // POWERFITS_SIM_EXECUTOR_HH

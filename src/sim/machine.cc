@@ -1,0 +1,222 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+void
+RunResult::addStats(StatGroup &group) const
+{
+    auto add = [&](const char *stat_name, double value,
+                   const char *desc) {
+        group.addFormula(stat_name, [value]() { return value; }, desc);
+    };
+    add("instructions", static_cast<double>(instructions),
+        "dynamic instructions (incl. annulled)");
+    add("annulled", static_cast<double>(annulled),
+        "condition-failed instructions");
+    add("cycles", static_cast<double>(cycles), "total cycles");
+    add("ipc", ipc(), "instructions per cycle");
+    add("seconds", seconds(), "simulated wall-clock time");
+    add("taken_branches", static_cast<double>(takenBranches),
+        "taken control transfers");
+    add("fetch_bits", static_cast<double>(fetchBitsTotal),
+        "bits delivered by the I-cache");
+    add("fetch_toggle_bits", static_cast<double>(fetchToggleBits),
+        "Hamming toggles on the fetch bus");
+    add("icache.accesses", static_cast<double>(icache.accesses()),
+        "I-cache accesses");
+    add("icache.misses", static_cast<double>(icache.misses()),
+        "I-cache misses");
+    add("icache.mpmi", icache.missesPerMillion(),
+        "I-cache misses per million accesses");
+    add("icache.refill_words", static_cast<double>(icacheRefillWords),
+        "words written by line refills");
+    add("dcache.accesses", static_cast<double>(dcache.accesses()),
+        "D-cache accesses");
+    add("dcache.misses", static_cast<double>(dcache.misses()),
+        "D-cache misses");
+    add("dcache.writebacks", static_cast<double>(dcache.writebacks),
+        "dirty lines written back");
+}
+
+Machine::Machine(const FrontEnd &fe, const CoreConfig &config)
+    : fe_(fe), config_(config)
+{
+    config_.icache.validate();
+    config_.dcache.validate();
+    for (const DataSegment &seg : fe_.dataSegments())
+        mem_.writeBytes(seg.base, seg.bytes);
+}
+
+RunResult
+Machine::run()
+{
+    RunResult result;
+    result.benchmark = fe_.name();
+    result.config = config_.name;
+    result.clockHz = config_.clockHz;
+
+    Cache icache(config_.icache);
+    Cache dcache(config_.dcache);
+
+    CpuState state;
+    state.regs[SP] = fe_.stackTop();
+
+    const AddrCodec codec = fe_.codec();
+    const unsigned fetch_bits = fe_.instrBits();
+    const uint32_t fetch_mask =
+        fetch_bits >= 32 ? 0xffffffffu : ((1u << fetch_bits) - 1u);
+    const uint32_t line_words = config_.icache.lineBytes / 4;
+
+    // Scoreboard state. Index 16 tracks the NZCV flags.
+    uint64_t reg_ready[NUM_REGS + 1] = {};
+    uint64_t issue_cycle = 0;      // cycle of the most recent issue group
+    unsigned slots_used = 0;       // instructions issued in that cycle
+    bool mem_port_used = false;
+    bool mul_unit_used = false;
+    uint64_t front_ready = 0;      // earliest issue for the next instr
+    uint64_t last_issue = 0;
+
+    uint32_t prev_fetch_word = 0;
+    uint64_t prev_word_addr = 0xffffffffu; // packed-fetch buffer tag
+    uint64_t index = 0;
+    const size_t num_insns = fe_.numInstructions();
+
+    ExecInfo info;
+    while (!state.halted) {
+        if (index >= num_insns)
+            fatal("%s/%s: fell off the end of the program at index %llu",
+                  result.benchmark.c_str(), result.config.c_str(),
+                  static_cast<unsigned long long>(index));
+        if (result.instructions >= config_.maxInstructions)
+            fatal("%s/%s: exceeded the %llu-instruction cap",
+                  result.benchmark.c_str(), result.config.c_str(),
+                  static_cast<unsigned long long>(
+                      config_.maxInstructions));
+
+        const MicroOp &uop = fe_.uopAt(static_cast<size_t>(index));
+        const uint32_t addr = codec.addrOf(index);
+
+        // --- fetch ---------------------------------------------------
+        bool new_word = !config_.packedFetch ||
+                        (addr >> 2) != prev_word_addr;
+        prev_word_addr = addr >> 2;
+        if (new_word) {
+            CacheAccessResult fetch = icache.access(addr, false);
+            if (!fetch.hit) {
+                front_ready =
+                    std::max(front_ready, last_issue) +
+                    config_.icacheMissPenalty;
+                result.icacheRefillWords += line_words;
+            }
+        }
+        const uint32_t word = fe_.encodingAt(static_cast<size_t>(index));
+        result.fetchToggleBits +=
+            popcount32((word ^ prev_fetch_word) & fetch_mask);
+        prev_fetch_word = word;
+        result.fetchBitsTotal += fetch_bits;
+
+        // --- execute (functional) -------------------------------------
+        execute(uop, index, codec, state, mem_, result.io, info);
+
+        // --- issue timing ------------------------------------------------
+        uint64_t earliest = std::max(front_ready, last_issue);
+
+        // Source operands (conservatively via readsReg over all regs a
+        // micro-op might read; cheap because reads are register-indexed).
+        for (unsigned reg = 0; reg < NUM_REGS; ++reg) {
+            if (reg_ready[reg] > earliest && uop.readsReg(
+                    static_cast<uint8_t>(reg))) {
+                earliest = std::max(earliest, reg_ready[reg]);
+            }
+        }
+        if (uop.cond != Cond::AL)
+            earliest = std::max(earliest, reg_ready[NUM_REGS]);
+
+        // Structural constraints within an issue group.
+        bool wants_mem = info.executed && (info.isLoad || info.isStore);
+        bool wants_mul = info.executed && info.isMulDiv;
+        if (earliest == issue_cycle) {
+            if (slots_used >= config_.issueWidth ||
+                (wants_mem && mem_port_used) ||
+                (wants_mul && mul_unit_used)) {
+                earliest += 1;
+            }
+        }
+        if (earliest != issue_cycle) {
+            issue_cycle = earliest;
+            slots_used = 0;
+            mem_port_used = false;
+            mul_unit_used = false;
+        }
+        ++slots_used;
+        mem_port_used = mem_port_used || wants_mem;
+        mul_unit_used = mul_unit_used || wants_mul;
+        last_issue = issue_cycle;
+
+        // --- data memory timing ---------------------------------------
+        uint64_t result_ready = issue_cycle + 1 + info.extraLatency;
+        for (unsigned m = 0; m < info.numMem; ++m) {
+            ++result.dmemAccesses;
+            CacheAccessResult dres =
+                dcache.access(info.mem[m].addr, info.mem[m].write);
+            if (!dres.hit) {
+                // Blocking cache: the whole pipeline waits.
+                result_ready += config_.dcacheMissPenalty;
+                front_ready = std::max(
+                    front_ready,
+                    issue_cycle + config_.dcacheMissPenalty);
+            }
+        }
+        if (info.isLoad)
+            result_ready += 1; // load-use bubble
+
+        // --- writeback scoreboard ---------------------------------------
+        if (info.executed) {
+            if (uop.op == Op::LDM) {
+                for (unsigned reg = 0; reg < NUM_REGS; ++reg)
+                    if ((uop.regList >> reg) & 1u)
+                        reg_ready[reg] = result_ready;
+                reg_ready[uop.rn] =
+                    std::max(reg_ready[uop.rn], issue_cycle + 1);
+            } else if (uop.op == Op::UMULL || uop.op == Op::SMULL) {
+                reg_ready[uop.rd] = result_ready;
+                reg_ready[uop.ra] = result_ready;
+            } else if (info.destReg != 0xff) {
+                reg_ready[info.destReg] = result_ready;
+            }
+            if (uop.op == Op::STM)
+                reg_ready[uop.rn] =
+                    std::max(reg_ready[uop.rn], issue_cycle + 1);
+            if (uop.setsFlags)
+                reg_ready[NUM_REGS] = issue_cycle + 1;
+        }
+
+        // --- control flow ------------------------------------------------
+        ++result.instructions;
+        if (!info.executed && uop.cond != Cond::AL)
+            ++result.annulled;
+        if (info.executed && info.branchTaken) {
+            ++result.takenBranches;
+            front_ready = std::max(front_ready,
+                                   issue_cycle + 1 +
+                                       config_.branchPenalty);
+        }
+        index = info.nextIndex;
+    }
+
+    // Drain the pipeline (fetch/decode/execute/mem/writeback).
+    result.cycles = last_issue + 4;
+    result.icache = icache.stats();
+    result.dcache = dcache.stats();
+    result.finalState = state;
+    result.exitedCleanly = true;
+    return result;
+}
+
+} // namespace pfits

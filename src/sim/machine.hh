@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The Machine: an SA-1100-flavoured dual-issue in-order core with split
+ * I/D caches, run execution-driven over a FrontEnd.
+ *
+ * Timing is an analytic in-order scoreboard (earliest-issue computation
+ * per instruction) rather than a cycle loop, which keeps full-program
+ * simulation fast while modelling the effects the paper's evaluation
+ * depends on: dual-issue pairing rules, load-use and multiply latencies,
+ * taken-branch bubbles, and blocking I/D-cache misses.
+ *
+ * Alongside timing, the Machine gathers the *activity counts* the power
+ * models consume: I-cache accesses/misses/refill words, fetch-bus toggle
+ * bits (true Hamming distance between successively fetched encodings —
+ * this is where a 16-bit FITS stream halves switching activity), and
+ * D-cache traffic.
+ */
+
+#ifndef POWERFITS_SIM_MACHINE_HH
+#define POWERFITS_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/cache.hh"
+#include "sim/executor.hh"
+#include "sim/frontend.hh"
+#include "sim/memory.hh"
+
+namespace pfits
+{
+
+/** Core configuration (defaults model the Intel SA-1100). */
+struct CoreConfig
+{
+    std::string name = "sa1100";
+    unsigned issueWidth = 2;       //!< paper: dual-issue, IPC max 2
+    unsigned branchPenalty = 2;    //!< bubbles after a taken branch
+    unsigned icacheMissPenalty = 24; //!< cycles to refill a line
+    unsigned dcacheMissPenalty = 24;
+    CacheConfig icache{"icache", 16 * 1024, 32, 32, ReplPolicy::LRU,
+                       true};
+    CacheConfig dcache{"dcache", 8 * 1024, 32, 32, ReplPolicy::LRU,
+                       true};
+    uint64_t maxInstructions = 400'000'000; //!< runaway guard
+    double clockHz = 200e6;        //!< paper: fixed 200 MHz
+
+    /**
+     * Model a fetch buffer: the I-cache is only accessed when the fetch
+     * crosses into a new 32-bit word, so a 16-bit stream makes ~half the
+     * array accesses. Off by default — the paper's (sim-panalyzer)
+     * average-power model charges one access per instruction, which its
+     * Figure 8 (FITS16 internal ~ ARM16) pins down; this switch exists
+     * for the fetch-packing ablation (bench/ext_fetch_packing).
+     */
+    bool packedFetch = false;
+};
+
+/** Everything a run produces, for the metrics and power layers. */
+struct RunResult
+{
+    std::string benchmark;
+    std::string config;
+
+    uint64_t instructions = 0; //!< dynamic instructions (incl. annulled)
+    uint64_t annulled = 0;     //!< condition-failed instructions
+    uint64_t cycles = 0;
+    double clockHz = 200e6;
+
+    CacheStats icache;
+    CacheStats dcache;
+
+    uint64_t fetchToggleBits = 0; //!< output-bus Hamming toggles
+    uint64_t fetchBitsTotal = 0;  //!< bits delivered by the I-cache
+    uint64_t icacheRefillWords = 0;
+    uint64_t dmemAccesses = 0;
+    uint64_t takenBranches = 0;
+
+    IoSinks io;
+    CpuState finalState;
+    bool exitedCleanly = false;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+
+    double seconds() const { return cycles / clockHz; }
+
+    /**
+     * Register this run's metrics into @p group (gem5-style stats
+     * surface: "<group>.instructions", "<group>.icache.mpmi", ...).
+     * The RunResult must outlive the group.
+     */
+    void addStats(StatGroup &group) const;
+};
+
+/** An execution-driven simulated machine. */
+class Machine
+{
+  public:
+    /**
+     * @param fe     the instruction stream (not owned; must outlive us)
+     * @param config core parameters
+     */
+    Machine(const FrontEnd &fe, const CoreConfig &config);
+
+    /** Run from instruction 0 until SWI_EXIT or the instruction cap. */
+    RunResult run();
+
+    Memory &mem() { return mem_; }
+    const Memory &mem() const { return mem_; }
+    const CoreConfig &config() const { return config_; }
+
+  private:
+    const FrontEnd &fe_;
+    CoreConfig config_;
+    Memory mem_;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_SIM_MACHINE_HH

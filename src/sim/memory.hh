@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Flat little-endian memory with on-demand 64 KiB pages.
+ *
+ * Word and halfword accesses must be naturally aligned — the kernels are
+ * all hand-written, so a misaligned access is a kernel bug and fatal()s
+ * loudly instead of silently rotating data the way some ARM cores did.
+ */
+
+#ifndef POWERFITS_SIM_MEMORY_HH
+#define POWERFITS_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace pfits
+{
+
+/** Sparse byte-addressable memory. */
+class Memory
+{
+  public:
+    uint8_t read8(uint32_t addr) const;
+    uint16_t read16(uint32_t addr) const;
+    uint32_t read32(uint32_t addr) const;
+
+    void write8(uint32_t addr, uint8_t value);
+    void write16(uint32_t addr, uint16_t value);
+    void write32(uint32_t addr, uint32_t value);
+
+    /** Bulk initialization used by the loader. */
+    void writeBytes(uint32_t addr, const std::vector<uint8_t> &bytes);
+
+    /** Drop all pages. */
+    void clear() { pages_.clear(); }
+
+  private:
+    static constexpr uint32_t kPageShift = 16;
+    static constexpr uint32_t kPageSize = 1u << kPageShift;
+
+    using Page = std::vector<uint8_t>;
+
+    Page &page(uint32_t addr);
+    const Page *pageIfPresent(uint32_t addr) const;
+
+    std::unordered_map<uint32_t, Page> pages_;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_SIM_MEMORY_HH

@@ -1,0 +1,90 @@
+#include "thumb/codepack.hh"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace pfits
+{
+
+namespace
+{
+
+/**
+ * Code length for dictionary rank @p rank (0-based), CodePack-style
+ * ladder: tiny codes for the hottest entries, medium codes for the
+ * bulk, and a tagged 16-bit raw escape beyond the dictionary.
+ */
+unsigned
+codeBitsForRank(unsigned rank, unsigned dict_entries)
+{
+    if (rank < 16)
+        return 6; // 2-bit tag + 4-bit index
+    if (rank < 64)
+        return 9; // 3-bit tag + 6-bit index
+    if (rank < 256 && rank < dict_entries)
+        return 11; // 3-bit tag + 8-bit index
+    if (rank < dict_entries)
+        return 13; // 3-bit tag + 10-bit index
+    return 19; // 3-bit escape tag + 16 raw bits
+}
+
+} // namespace
+
+CodepackStats
+codepackEstimate(const Program &prog, unsigned dict_entries)
+{
+    CodepackStats stats;
+    stats.armInstructions = prog.code.size();
+
+    // Frequency-rank the high and low halves separately.
+    std::map<uint16_t, uint64_t> hi_freq, lo_freq;
+    for (uint32_t word : prog.code) {
+        ++hi_freq[static_cast<uint16_t>(word >> 16)];
+        ++lo_freq[static_cast<uint16_t>(word & 0xffffu)];
+    }
+
+    auto rankOf = [dict_entries](const std::map<uint16_t, uint64_t> &freq) {
+        std::vector<std::pair<uint16_t, uint64_t>> ranked(freq.begin(),
+                                                          freq.end());
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.second > b.second;
+                         });
+        std::map<uint16_t, unsigned> ranks;
+        for (unsigned i = 0;
+             i < ranked.size() && i < dict_entries; ++i) {
+            ranks[ranked[i].first] = i;
+        }
+        return ranks;
+    };
+    std::map<uint16_t, unsigned> hi_rank = rankOf(hi_freq);
+    std::map<uint16_t, unsigned> lo_rank = rankOf(lo_freq);
+
+    stats.dictionaryBits =
+        16ull * (std::min<size_t>(hi_rank.size(), dict_entries) +
+                 std::min<size_t>(lo_rank.size(), dict_entries));
+
+    for (uint32_t word : prog.code) {
+        uint16_t hi = static_cast<uint16_t>(word >> 16);
+        uint16_t lo = static_cast<uint16_t>(word & 0xffffu);
+        auto hi_it = hi_rank.find(hi);
+        auto lo_it = lo_rank.find(lo);
+        unsigned hi_bits =
+            hi_it != hi_rank.end()
+                ? codeBitsForRank(hi_it->second, dict_entries)
+                : codeBitsForRank(dict_entries, dict_entries);
+        unsigned lo_bits =
+            lo_it != lo_rank.end()
+                ? codeBitsForRank(lo_it->second, dict_entries)
+                : codeBitsForRank(dict_entries, dict_entries);
+        if (hi_it == hi_rank.end())
+            ++stats.escapes;
+        if (lo_it == lo_rank.end())
+            ++stats.escapes;
+        stats.compressedBits += hi_bits + lo_bits;
+    }
+    return stats;
+}
+
+} // namespace pfits

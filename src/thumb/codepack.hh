@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A CodePack-like compressed-code size estimator — the related-work
+ * baseline of the paper's Section 2 (IBM CodePack [11], evaluated for
+ * power by Kadri et al. [10]).
+ *
+ * CodePack compresses PowerPC code by splitting each 32-bit instruction
+ * into two 16-bit halves and encoding each half with a variable-length
+ * code indexing frequency-ranked dictionaries. We model that scheme
+ * directly: separate high-half and low-half dictionaries ranked by
+ * static frequency, with a bucketed code-length ladder (the real format
+ * uses tag+index groups of similar sizes) and a raw-escape for halves
+ * outside the dictionaries.
+ *
+ * Unlike FITS, compressed code must be *decompressed* before execution
+ * (CodePack decompresses on I-cache refill), so its size win does not
+ * halve per-fetch switching the way a genuine 16-bit ISA does — which
+ * is the paper's argument for synthesis over compression.
+ */
+
+#ifndef POWERFITS_THUMB_CODEPACK_HH
+#define POWERFITS_THUMB_CODEPACK_HH
+
+#include <cstdint>
+
+#include "assembler/program.hh"
+
+namespace pfits
+{
+
+/** Result of a CodePack-like compression estimate. */
+struct CodepackStats
+{
+    uint64_t armInstructions = 0;
+    uint64_t compressedBits = 0;  //!< total encoded length
+    uint64_t dictionaryBits = 0;  //!< dictionary storage (16b/entry)
+    uint64_t escapes = 0;         //!< halves encoded raw
+
+    /** Compressed code bytes, excluding dictionary storage. */
+    uint32_t
+    codeBytes() const
+    {
+        return static_cast<uint32_t>((compressedBits + 7) / 8);
+    }
+
+    /** Compression ratio vs the 32-bit original (code only). */
+    double
+    ratio() const
+    {
+        return armInstructions
+                   ? static_cast<double>(compressedBits) /
+                         (32.0 * static_cast<double>(armInstructions))
+                   : 0.0;
+    }
+};
+
+/**
+ * Estimate the CodePack-compressed size of @p prog.
+ *
+ * @param dict_entries per-half dictionary capacity (CodePack-scale
+ *        defaults; the escape path covers the tail)
+ */
+CodepackStats codepackEstimate(const Program &prog,
+                               unsigned dict_entries = 512);
+
+} // namespace pfits
+
+#endif // POWERFITS_THUMB_CODEPACK_HH

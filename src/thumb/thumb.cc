@@ -1,0 +1,165 @@
+#include "thumb/thumb.hh"
+
+#include <set>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "fits/profile.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+} // namespace
+
+unsigned
+thumbUnitsFor(const MicroOp &uop)
+{
+    unsigned units = 1;
+
+    // No general predication: conditional non-branch instructions become
+    // an inverse branch over the body.
+    if (uop.cond != Cond::AL && !isBranchOp(uop.op))
+        units += 1;
+
+    // High-register moves are NOT charged: a Thumb compiler would
+    // re-allocate hot values into r0-r7, so charging them would model a
+    // naive translator rather than the compiled-Thumb baseline of the
+    // paper's Figure 5.
+
+    if (isAluLikeOp(uop.op)) {
+        AluOp alu = static_cast<AluOp>(uop.op);
+
+        switch (uop.op2Kind) {
+          case Operand2Kind::IMM: {
+            bool has_imm8_form = alu == AluOp::MOV || alu == AluOp::CMP ||
+                                 alu == AluOp::ADD || alu == AluOp::SUB;
+            if (has_imm8_form) {
+                if (uop.imm > 0xff) {
+                    // Literal-pool load: one extra instruction plus the
+                    // pool word, amortized over reuse.
+                    units += 2;
+                } else if ((alu == AluOp::ADD || alu == AluOp::SUB) &&
+                           uop.rd != uop.rn && uop.imm > 7) {
+                    units += 1; // only imm3 in the 3-address form
+                }
+            } else {
+                // No immediate form at all: materialize into a temp.
+                units += uop.imm > 0xff ? 3 : 1;
+            }
+            break;
+          }
+          case Operand2Kind::REG:
+            // Two-address ALU: rd must equal rn (ADD/SUB have 3-address
+            // low-register forms).
+            if (alu != AluOp::ADD && alu != AluOp::SUB &&
+                !isMoveOp(alu) && !isCompareOp(alu) && uop.rd != uop.rn)
+                units += 1;
+            break;
+          case Operand2Kind::REG_SHIFT_IMM:
+          case Operand2Kind::REG_SHIFT_REG:
+            // Separate shift instruction (Thumb shifts are standalone).
+            if (isMoveOp(alu) && uop.rd == uop.rm &&
+                uop.op2Kind == Operand2Kind::REG_SHIFT_IMM) {
+                // lsl rd, rd, #n is native.
+            } else {
+                units += 1;
+                if (!isMoveOp(alu) && !isCompareOp(alu) &&
+                    uop.rd != uop.rn)
+                    units += 1;
+            }
+            break;
+        }
+        return units;
+    }
+
+    switch (uop.op) {
+      case Op::MOVW:
+        // mov of a 16-bit constant: literal pool when it exceeds imm8.
+        units += uop.imm > 0xff ? 2 : 0;
+        return units;
+      case Op::MOVT:
+        return units + 2;
+      case Op::LDR: case Op::STR: {
+        if (uop.memKind == MemOffsetKind::IMM) {
+            bool sp_rel = uop.rn == SP;
+            int32_t max_disp = sp_rel ? 1020 : 124;
+            if (uop.memDisp < 0 || uop.memDisp > max_disp ||
+                (uop.memDisp & 3))
+                units += 1;
+        } else if (uop.memKind == MemOffsetKind::REG_SHIFT_IMM) {
+            units += 1; // no shifted index in Thumb
+        }
+        return units;
+      }
+      case Op::LDRB: case Op::STRB: {
+        if (uop.memKind == MemOffsetKind::IMM) {
+            if (uop.memDisp < 0 || uop.memDisp > 31)
+                units += 1;
+        }
+        return units;
+      }
+      case Op::LDRH: case Op::STRH: {
+        if (uop.memKind == MemOffsetKind::IMM) {
+            if (uop.memDisp < 0 || uop.memDisp > 62 || (uop.memDisp & 1))
+                units += 1;
+        }
+        return units;
+      }
+      case Op::LDRSB: case Op::LDRSH:
+        // Register-offset only in Thumb.
+        if (uop.memKind == MemOffsetKind::IMM)
+            units += 1;
+        return units;
+      case Op::LDM: case Op::STM:
+        return units;
+      case Op::B: case Op::RET: case Op::SWI: case Op::NOP:
+        return units;
+      case Op::BL:
+        return units + 1; // Thumb BL is a two-halfword sequence
+      case Op::MUL:
+        if (uop.rd != uop.rm && uop.rd != uop.rs)
+            units += 1; // two-address multiply
+        return units;
+      case Op::MLA:
+        return units + 1; // mul + add
+      case Op::UMULL: case Op::SMULL:
+      case Op::CLZ: case Op::SDIV: case Op::UDIV:
+      case Op::QADD: case Op::QSUB:
+        return units + 1; // not in Thumb-1: helper sequence/call
+      default:
+        return units;
+    }
+}
+
+ThumbStats
+thumbEstimate(const Program &prog)
+{
+    ThumbStats stats;
+    std::vector<MicroOp> uops(prog.code.size());
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        if (!decodeArm(prog.code[i], uops[i]))
+            uops[i] = MicroOp{};
+    }
+    // A MOVW/MOVT constant pair compiles to one literal-pool load in
+    // Thumb: one instruction plus a shared 32-bit pool word.
+    std::set<uint32_t> pair_lo;
+    for (uint32_t idx : findMovPairs(prog, uops))
+        pair_lo.insert(idx);
+
+    for (size_t i = 0; i < uops.size(); ++i) {
+        ++stats.armInstructions;
+        if (pair_lo.count(static_cast<uint32_t>(i))) {
+            stats.thumbUnits += 3;
+            ++stats.armInstructions;
+            ++i;
+            continue;
+        }
+        stats.thumbUnits += thumbUnitsFor(uops[i]);
+    }
+    return stats;
+}
+
+} // namespace pfits

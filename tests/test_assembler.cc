@@ -1,0 +1,256 @@
+/** @file Tests for the text assembler and the ProgramBuilder DSL. */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "assembler/builder.hh"
+#include "common/logging.hh"
+
+namespace pfits
+{
+namespace
+{
+
+MicroOp
+first(const Program &prog, size_t index = 0)
+{
+    MicroOp uop;
+    EXPECT_TRUE(decodeArm(prog.code.at(index), uop));
+    return uop;
+}
+
+TEST(Assembler, BasicInstructions)
+{
+    Program prog = assemble("t", R"(
+        mov r0, #1
+        add r1, r0, r2
+        subs r2, r2, #1
+        cmp r1, r2
+        ret
+    )");
+    ASSERT_EQ(prog.code.size(), 5u);
+    EXPECT_EQ(disassembleArm(prog.code[0]), "mov r0, #1");
+    EXPECT_EQ(disassembleArm(prog.code[1]), "add r1, r0, r2");
+    EXPECT_EQ(disassembleArm(prog.code[2]), "subs r2, r2, #1");
+    EXPECT_EQ(disassembleArm(prog.code[3]), "cmp r1, r2");
+    EXPECT_EQ(disassembleArm(prog.code[4]), "ret");
+}
+
+TEST(Assembler, ConditionAndFlagSuffixes)
+{
+    Program prog = assemble("t", R"(
+        addeq r0, r0, #1
+        movne r1, r2
+        bls out
+        ands r3, r3, r4
+    out:
+        swi #0
+    )");
+    EXPECT_EQ(first(prog, 0).cond, Cond::EQ);
+    EXPECT_EQ(first(prog, 1).cond, Cond::NE);
+    MicroOp b = first(prog, 2);
+    EXPECT_EQ(b.op, Op::B);
+    EXPECT_EQ(b.cond, Cond::LS);
+    EXPECT_EQ(b.branchOffset, 2);
+    EXPECT_TRUE(first(prog, 3).setsFlags);
+}
+
+TEST(Assembler, BranchAndCallResolution)
+{
+    Program prog = assemble("t", R"(
+    top:
+        bl func
+        b top
+    func:
+        ret
+    )");
+    EXPECT_EQ(first(prog, 0).op, Op::BL);
+    EXPECT_EQ(first(prog, 0).branchOffset, 2);
+    EXPECT_EQ(first(prog, 1).branchOffset, -1);
+}
+
+TEST(Assembler, MemoryOperandForms)
+{
+    Program prog = assemble("t", R"(
+        ldr r0, [r1]
+        ldr r0, [r1, #8]
+        str r0, [r1, #-8]
+        ldrb r2, [r3, r4]
+        ldr r2, [r3, r4, lsl #2]
+        ldrsh r5, [r6, #-2]
+    )");
+    EXPECT_EQ(first(prog, 0).memDisp, 0);
+    EXPECT_EQ(first(prog, 1).memDisp, 8);
+    EXPECT_EQ(first(prog, 2).memDisp, -8);
+    EXPECT_EQ(first(prog, 3).memKind, MemOffsetKind::REG);
+    EXPECT_EQ(first(prog, 4).memKind, MemOffsetKind::REG_SHIFT_IMM);
+    EXPECT_EQ(first(prog, 4).shiftAmount, 2);
+    EXPECT_EQ(first(prog, 5).op, Op::LDRSH);
+}
+
+TEST(Assembler, PushPopAndLdmStm)
+{
+    Program prog = assemble("t", R"(
+        push {r4, r5, lr}
+        pop {r4, r5, lr}
+        ldm r0!, {r1, r2}
+        stm sp!, {r6}
+    )");
+    MicroOp push = first(prog, 0);
+    EXPECT_EQ(push.op, Op::STM);
+    EXPECT_EQ(push.rn, SP);
+    EXPECT_EQ(push.regList, (1u << R4) | (1u << R5) | (1u << LR));
+    EXPECT_EQ(first(prog, 2).rn, R0);
+}
+
+TEST(Assembler, ShiftPseudoOps)
+{
+    Program prog = assemble("t", R"(
+        lsl r0, r1, #4
+        lsr r2, r3, r4
+        asr r5, r6, #31
+        ror r7, r8, #1
+    )");
+    EXPECT_EQ(first(prog, 0).shiftType, ShiftType::LSL);
+    EXPECT_EQ(first(prog, 1).op2Kind, Operand2Kind::REG_SHIFT_REG);
+    EXPECT_EQ(first(prog, 2).shiftAmount, 31);
+    EXPECT_EQ(first(prog, 3).shiftType, ShiftType::ROR);
+}
+
+TEST(Assembler, DataSectionsAndLa)
+{
+    Program prog = assemble("t", R"(
+        la r0, table
+        ldr r1, [r0]
+        swi #0
+    .data table
+        .word 0x11223344, 5
+        .byte 1, 2
+        .half 0x8000
+        .space 8
+    )");
+    uint32_t base = prog.symbol("table");
+    ASSERT_EQ(prog.data.size(), 1u);
+    EXPECT_EQ(prog.data[0].base, base);
+    ASSERT_EQ(prog.data[0].bytes.size(), 4u + 4 + 2 + 2 + 8);
+    EXPECT_EQ(prog.data[0].bytes[0], 0x44);
+    EXPECT_EQ(prog.data[0].bytes[3], 0x11);
+    // la is always movw+movt
+    EXPECT_EQ(first(prog, 0).op, Op::MOVW);
+    EXPECT_EQ(first(prog, 1).op, Op::MOVT);
+}
+
+TEST(Assembler, LiPseudo)
+{
+    Program prog = assemble("t", R"(
+        li r0, #0x12345678
+        swi #0
+    )");
+    EXPECT_EQ(first(prog, 0).op, Op::MOVW);
+    EXPECT_EQ(first(prog, 0).imm, 0x5678u);
+    EXPECT_EQ(first(prog, 1).op, Op::MOVT);
+    EXPECT_EQ(first(prog, 1).imm, 0x1234u);
+}
+
+TEST(Assembler, CommentsAndErrors)
+{
+    EXPECT_NO_THROW(assemble("t", "; just a comment\nnop @ trailing\n"));
+    EXPECT_THROW(assemble("t", "frobnicate r0\n"), FatalError);
+    EXPECT_THROW(assemble("t", "b nowhere\n"), FatalError);
+    EXPECT_THROW(assemble("t", "mov r0\n"), FatalError);
+    EXPECT_THROW(assemble("t", "mov r0, #0x12345\n"), FatalError);
+    EXPECT_THROW(assemble("t", "add r16, r0, r1\n"), FatalError);
+    EXPECT_THROW(assemble("t", ""), FatalError);
+    EXPECT_THROW(assemble("t", "dup:\ndup:\nnop\n"), FatalError);
+}
+
+// --- ProgramBuilder -------------------------------------------------------
+
+TEST(Builder, EmitsAndResolvesLabels)
+{
+    ProgramBuilder b("t");
+    Label loop = b.label();
+    b.movi(R0, 10);
+    b.bind(loop);
+    b.subi(R0, R0, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+    b.exit();
+    Program prog = b.finish();
+    ASSERT_EQ(prog.code.size(), 4u);
+    MicroOp branch;
+    ASSERT_TRUE(decodeArm(prog.code[2], branch));
+    EXPECT_EQ(branch.branchOffset, -1);
+}
+
+TEST(Builder, MoviPicksCheapestSequence)
+{
+    ProgramBuilder b("t");
+    b.movi(R0, 0xff);        // mov
+    b.movi(R1, 0xffffffff);  // mvn
+    b.movi(R2, 0xbeef);      // movw
+    b.movi(R3, 0x12345678);  // movw+movt
+    b.exit();
+    Program prog = b.finish();
+    ASSERT_EQ(prog.code.size(), 6u);
+    EXPECT_EQ(disassembleArm(prog.code[0]), "mov r0, #255");
+    EXPECT_EQ(disassembleArm(prog.code[1]), "mvn r1, #0");
+    EXPECT_EQ(disassembleArm(prog.code[2]), "movw r2, #48879");
+}
+
+TEST(Builder, DataSegmentsGetDistinctAddresses)
+{
+    ProgramBuilder b("t");
+    uint32_t a = b.words("a", {1, 2, 3});
+    uint32_t c = b.bytes("c", {9});
+    uint32_t d = b.zeros("d", 64);
+    b.exit();
+    EXPECT_LT(a, c);
+    EXPECT_LT(c, d);
+    EXPECT_EQ(a % 4, 0u);
+    EXPECT_EQ(d % 4, 0u);
+    Program prog = b.finish();
+    EXPECT_EQ(prog.symbol("a"), a);
+    EXPECT_THROW(prog.symbol("nope"), FatalError);
+}
+
+TEST(Builder, RejectsMisuse)
+{
+    ProgramBuilder b("t");
+    Label l = b.label();
+    b.bind(l);
+    EXPECT_THROW(b.bind(l), FatalError);
+    EXPECT_THROW(b.b(Label{}), FatalError);
+    EXPECT_THROW(b.cmpi(R0, 0x12345), FatalError); // unencodable imm
+    ProgramBuilder dup("t");
+    dup.words("x", {1});
+    EXPECT_THROW(dup.words("x", {2}), FatalError);
+}
+
+TEST(Builder, UnboundLabelFailsAtFinish)
+{
+    ProgramBuilder b("t");
+    Label never = b.label();
+    b.b(never);
+    EXPECT_THROW(b.finish(), FatalError);
+}
+
+TEST(Builder, RegMaskHelper)
+{
+    EXPECT_EQ(regMask({R0, R4, LR}),
+              (1u << R0) | (1u << R4) | (1u << LR));
+    EXPECT_THROW(regMask({16}), FatalError);
+}
+
+TEST(Builder, ListingContainsAddresses)
+{
+    ProgramBuilder b("t");
+    b.nop();
+    b.exit();
+    Program prog = b.finish();
+    std::string listing = prog.listing();
+    EXPECT_NE(listing.find("00008000"), std::string::npos);
+    EXPECT_NE(listing.find("swi"), std::string::npos);
+}
+
+} // namespace
+} // namespace pfits

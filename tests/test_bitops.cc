@@ -1,0 +1,130 @@
+/** @file Unit tests for the bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace pfits
+{
+namespace
+{
+
+TEST(Bitops, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xdeadbeefu, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeefu, 7, 0), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeefu, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(bits(0xffffffffu, 0, 0), 1u);
+}
+
+TEST(Bitops, InsertBitsRoundTrips)
+{
+    uint32_t word = 0;
+    word = insertBits(word, 31, 28, 0xe);
+    word = insertBits(word, 27, 25, 0x5);
+    EXPECT_EQ(bits(word, 31, 28), 0xeu);
+    EXPECT_EQ(bits(word, 27, 25), 0x5u);
+    // Overwriting a field must not disturb neighbours.
+    word = insertBits(word, 27, 25, 0x2);
+    EXPECT_EQ(bits(word, 31, 28), 0xeu);
+    EXPECT_EQ(bits(word, 27, 25), 0x2u);
+}
+
+TEST(Bitops, InsertBitsMasksOversizedField)
+{
+    uint32_t word = insertBits(0, 3, 0, 0xffu);
+    EXPECT_EQ(word, 0xfu);
+}
+
+TEST(Bitops, SextSignExtends)
+{
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x800000, 24), -8388608);
+    EXPECT_EQ(sext(0x0, 8), 0);
+    EXPECT_EQ(sext(0xdeadbeef, 32),
+              static_cast<int32_t>(0xdeadbeefu));
+}
+
+TEST(Bitops, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(15, 4));
+    EXPECT_FALSE(fitsUnsigned(16, 4));
+    EXPECT_TRUE(fitsUnsigned(0, 1));
+    EXPECT_TRUE(fitsUnsigned(0xffffffffu, 32));
+}
+
+TEST(Bitops, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(-8, 4));
+    EXPECT_TRUE(fitsSigned(7, 4));
+    EXPECT_FALSE(fitsSigned(8, 4));
+    EXPECT_FALSE(fitsSigned(-9, 4));
+    EXPECT_TRUE(fitsSigned(-2048, 12));
+}
+
+TEST(Bitops, Rotates)
+{
+    EXPECT_EQ(rotr32(0x1u, 1), 0x80000000u);
+    EXPECT_EQ(rotl32(0x80000000u, 1), 0x1u);
+    EXPECT_EQ(rotr32(0xdeadbeefu, 0), 0xdeadbeefu);
+    for (unsigned amount = 0; amount < 32; ++amount) {
+        EXPECT_EQ(rotl32(rotr32(0xcafef00du, amount), amount),
+                  0xcafef00du);
+    }
+}
+
+TEST(Bitops, PopcountAndHamming)
+{
+    EXPECT_EQ(popcount32(0), 0u);
+    EXPECT_EQ(popcount32(0xffffffffu), 32u);
+    EXPECT_EQ(popcount32(0xa5a5a5a5u), 16u);
+    EXPECT_EQ(hamming32(0, 0xffffffffu), 32u);
+    EXPECT_EQ(hamming32(0x1234u, 0x1234u), 0u);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(16384));
+    EXPECT_FALSE(isPow2(24));
+}
+
+TEST(Bitops, ArmImmediateRecognizesRotatedBytes)
+{
+    EXPECT_TRUE(isArmImmediate(0xff));
+    EXPECT_TRUE(isArmImmediate(0xff000000u));
+    EXPECT_TRUE(isArmImmediate(0x3fc));     // 0xff << 2
+    EXPECT_TRUE(isArmImmediate(0x40000));   // 1 << 18
+    EXPECT_FALSE(isArmImmediate(0x101));
+    EXPECT_FALSE(isArmImmediate(0xffff));
+    EXPECT_TRUE(isArmImmediate(0));
+}
+
+TEST(Bitops, EncodeArmImmediateRoundTrips)
+{
+    for (uint32_t base : {0x1u, 0xffu, 0x80u, 0x55u}) {
+        for (unsigned rot = 0; rot < 32; rot += 2) {
+            uint32_t value = rotr32(base, rot);
+            uint32_t imm8, out_rot;
+            ASSERT_TRUE(encodeArmImmediate(value, imm8, out_rot))
+                << value;
+            EXPECT_EQ(rotr32(imm8, out_rot), value);
+        }
+    }
+    uint32_t imm8, rot;
+    EXPECT_FALSE(encodeArmImmediate(0x12345678u, imm8, rot));
+}
+
+} // namespace
+} // namespace pfits

@@ -1,0 +1,196 @@
+/** @file Unit and property tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pfits
+{
+namespace
+{
+
+CacheConfig
+smallCache(ReplPolicy policy = ReplPolicy::LRU)
+{
+    CacheConfig cfg;
+    cfg.name = "test";
+    cfg.sizeBytes = 256;
+    cfg.assoc = 2;
+    cfg.lineBytes = 16;
+    cfg.policy = policy;
+    return cfg;
+}
+
+TEST(CacheConfig, GeometryAndValidation)
+{
+    CacheConfig cfg = smallCache();
+    EXPECT_EQ(cfg.numLines(), 16u);
+    EXPECT_EQ(cfg.numSets(), 8u);
+    cfg.sizeBytes = 100;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = smallCache();
+    cfg.lineBytes = 2;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = smallCache();
+    cfg.assoc = 64; // bigger than line count
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(smallCache());
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x100c, false).hit); // same line
+    EXPECT_FALSE(cache.access(0x1010, false).hit); // next line
+    EXPECT_EQ(cache.stats().reads, 4u);
+    EXPECT_EQ(cache.stats().readMisses, 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache cache(smallCache());
+    // Three lines mapping to set 0: addresses differing in tag bits.
+    uint32_t a = 0x0000, b = 0x0080, c = 0x0100;
+    cache.access(a, false);
+    cache.access(b, false);
+    cache.access(a, false); // a most recent
+    cache.access(c, false); // evicts b
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(Cache, FifoIgnoresRecency)
+{
+    Cache cache(smallCache(ReplPolicy::FIFO));
+    uint32_t a = 0x0000, b = 0x0080, c = 0x0100;
+    cache.access(a, false);
+    cache.access(b, false);
+    cache.access(a, false); // does not refresh a under FIFO
+    cache.access(c, false); // evicts a (oldest fill)
+    EXPECT_FALSE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(Cache, WritebackTracksDirtyVictims)
+{
+    Cache cache(smallCache());
+    cache.access(0x0000, true); // dirty
+    cache.access(0x0080, false);
+    CacheAccessResult res = cache.access(0x0100, false); // evicts dirty
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.victimAddr, 0x0000u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteThroughDoesNotAllocateOnWriteMiss)
+{
+    CacheConfig cfg = smallCache();
+    cfg.writeBack = false;
+    Cache cache(cfg);
+    EXPECT_FALSE(cache.access(0x2000, true).hit);
+    EXPECT_FALSE(cache.contains(0x2000));
+    // Reads still allocate.
+    cache.access(0x2000, false);
+    EXPECT_TRUE(cache.contains(0x2000));
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache cache(smallCache());
+    cache.access(0x0, false);
+    cache.access(0x100, false);
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x0));
+    EXPECT_FALSE(cache.contains(0x100));
+}
+
+TEST(Cache, StatsRegistration)
+{
+    Cache cache(smallCache());
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    StatGroup group("c");
+    cache.addStats(group);
+    EXPECT_DOUBLE_EQ(group.lookup("reads"), 2.0);
+    EXPECT_DOUBLE_EQ(group.lookup("misses"), 1.0);
+    EXPECT_DOUBLE_EQ(group.lookup("miss_rate"), 0.5);
+    EXPECT_DOUBLE_EQ(group.lookup("mpmi"), 500000.0);
+}
+
+/** Property: a fully-associative cache with LRU over a working set no
+ *  larger than the cache never misses after the cold pass. */
+TEST(Cache, LruFitsWorkingSetProperty)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 512;
+    cfg.assoc = 16; // fully associative (32-byte lines, 16 lines)
+    cfg.lineBytes = 32;
+    Cache cache(cfg);
+    for (int pass = 0; pass < 4; ++pass)
+        for (uint32_t line = 0; line < 16; ++line)
+            cache.access(0x4000 + line * 32, false);
+    EXPECT_EQ(cache.stats().misses(), 16u);
+}
+
+/** Property: a bigger cache never has more misses than a smaller one
+ *  with the same line size under LRU (inclusion property across sizes
+ *  holds for fully-associative LRU). */
+TEST(Cache, LruInclusionAcrossSizes)
+{
+    CacheConfig small;
+    small.sizeBytes = 1024;
+    small.assoc = 32;
+    small.lineBytes = 32;
+    CacheConfig big = small;
+    big.sizeBytes = 2048;
+    big.assoc = 64;
+
+    Cache small_cache(small), big_cache(big);
+    Rng rng(0x10c41ull);
+    for (int i = 0; i < 50000; ++i) {
+        uint32_t addr = (rng.below(128)) * 32; // 4 KiB footprint
+        small_cache.access(addr, false);
+        big_cache.access(addr, false);
+    }
+    EXPECT_LE(big_cache.stats().misses(),
+              small_cache.stats().misses());
+}
+
+/** Property: miss count is invariant to request order permutations
+ *  within a single-set round-robin stream of exactly `assoc` lines. */
+TEST(Cache, RoundRobinSteadyState)
+{
+    CacheConfig cfg = smallCache(ReplPolicy::ROUND_ROBIN);
+    Cache cache(cfg);
+    // Exactly `assoc` lines in one set: steady state must not miss.
+    for (int pass = 0; pass < 3; ++pass) {
+        cache.access(0x0000, false);
+        cache.access(0x0080, false);
+    }
+    EXPECT_EQ(cache.stats().misses(), 2u);
+}
+
+/** Random replacement must still bound misses by the compulsory+capacity
+ *  behaviour: hits happen when the set has spare ways. */
+TEST(Cache, RandomReplacementStillCaches)
+{
+    Cache cache(smallCache(ReplPolicy::RANDOM));
+    for (int pass = 0; pass < 10; ++pass)
+        cache.access(0x0, false);
+    EXPECT_EQ(cache.stats().misses(), 1u);
+}
+
+TEST(Cache, PolicyNames)
+{
+    EXPECT_STREQ(replPolicyName(ReplPolicy::LRU), "lru");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::ROUND_ROBIN),
+                 "round-robin");
+}
+
+} // namespace
+} // namespace pfits

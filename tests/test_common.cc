@@ -1,0 +1,190 @@
+/** @file Unit tests for logging, RNG, statistics and table output. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace pfits
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad user input %d", 42), FatalError);
+    try {
+        fatal("value=%d", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant"), PanicError);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        uint32_t v = rng.below(17);
+        ASSERT_LT(v, 17u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 17u); // every bucket hit
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        int32_t v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        hit_lo = hit_lo || v == -3;
+        hit_hi = hit_hi || v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Stats, CounterIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    Distribution dist(0, 9, 2); // buckets [0,1],[2,3],...,[8,9]
+    dist.sample(0);
+    dist.sample(1);
+    dist.sample(9);
+    dist.sample(-5);
+    dist.sample(100, 3);
+    EXPECT_EQ(dist.samples(), 7u);
+    EXPECT_EQ(dist.buckets()[0], 2u);
+    EXPECT_EQ(dist.buckets()[4], 1u);
+    EXPECT_EQ(dist.underflow(), 1u);
+    EXPECT_EQ(dist.overflow(), 3u);
+    EXPECT_EQ(dist.minSample(), -5);
+    EXPECT_EQ(dist.maxSample(), 100);
+}
+
+TEST(Stats, DistributionMean)
+{
+    Distribution dist(0, 100, 10);
+    dist.sample(10);
+    dist.sample(30);
+    EXPECT_DOUBLE_EQ(dist.mean(), 20.0);
+}
+
+TEST(Stats, DistributionRejectsBadConfig)
+{
+    EXPECT_THROW(Distribution(0, 10, 0), FatalError);
+    EXPECT_THROW(Distribution(10, 0, 1), FatalError);
+}
+
+TEST(Stats, GroupLookupAndDump)
+{
+    Counter hits;
+    hits += 10;
+    StatGroup group("icache");
+    group.addCounter("hits", &hits, "cache hits");
+    group.addFormula("double_hits",
+                     [&]() { return 2.0 * hits.value(); });
+    EXPECT_DOUBLE_EQ(group.lookup("hits"), 10.0);
+    EXPECT_DOUBLE_EQ(group.lookup("double_hits"), 20.0);
+    EXPECT_TRUE(group.has("hits"));
+    EXPECT_FALSE(group.has("misses"));
+    EXPECT_THROW(group.lookup("nope"), PanicError);
+
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("icache.hits 10"), std::string::npos);
+}
+
+TEST(Stats, GroupRejectsDuplicates)
+{
+    Counter c;
+    StatGroup group("g");
+    group.addCounter("x", &c);
+    EXPECT_THROW(group.addCounter("x", &c), PanicError);
+}
+
+TEST(Table, PrintAlignsAndCsvEscapes)
+{
+    Table table("demo");
+    table.setHeader({"name", "v"});
+    table.addRow({"a,b", "1"});
+    table.addRow("plain", {2.5}, 1);
+
+    std::ostringstream text;
+    table.print(text);
+    EXPECT_NE(text.str().find("demo"), std::string::npos);
+    EXPECT_NE(text.str().find("2.5"), std::string::npos);
+
+    std::ostringstream csv;
+    table.printCsv(csv);
+    EXPECT_NE(csv.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, RowWidthChecked)
+{
+    Table table("demo");
+    table.setHeader({"a", "b"});
+    EXPECT_THROW(table.addRow({"only one"}), FatalError);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(0.4713, 1), "47.1%");
+}
+
+} // namespace
+} // namespace pfits

@@ -1,0 +1,202 @@
+/** @file Edge-case and failure-injection tests across the toolchain:
+ *  synthesis resource exhaustion, unusual translation shapes, and
+ *  figure-table consistency against raw results. */
+
+#include <gtest/gtest.h>
+
+#include "assembler/builder.hh"
+#include "common/logging.hh"
+#include "exp/figures.hh"
+#include "fits/fits_frontend.hh"
+#include "fits/profile.hh"
+#include "fits/synth.hh"
+#include "fits/translate.hh"
+#include "sim/machine.hh"
+
+namespace pfits
+{
+namespace
+{
+
+RunResult
+runArmAndFits(const Program &prog, const SynthParams &sp,
+              RunResult *fits_out)
+{
+    ProfileInfo profile = profileProgram(prog);
+    FitsIsa isa = synthesize(profile, sp, prog.name);
+    FitsProgram fits = translateProgram(prog, isa, profile);
+    ArmFrontEnd arm(prog);
+    FitsFrontEnd fe(std::move(fits));
+    RunResult ra = Machine(arm, CoreConfig{}).run();
+    *fits_out = Machine(fe, CoreConfig{}).run();
+    return ra;
+}
+
+TEST(SynthEdge, RegisterListDictionaryOverflowIsFatal)
+{
+    ProgramBuilder b("lists");
+    // 17 distinct register lists overflow the 16-entry dictionary.
+    for (unsigned i = 1; i <= 17; ++i) {
+        MicroOp push;
+        push.op = Op::STM;
+        push.rn = SP;
+        push.regList = static_cast<uint16_t>(i);
+        push.ldmIsPop = false;
+        b.emit(push);
+    }
+    b.exit();
+    Program prog = b.finish();
+    ProfileInfo profile = profileProgram(prog, false);
+    EXPECT_THROW(synthesize(profile, SynthParams{}, "lists"),
+                 FatalError);
+    // A larger dictionary resolves it.
+    SynthParams roomy;
+    roomy.listDictCapacity = 32;
+    EXPECT_NO_THROW(synthesize(profile, roomy, "lists"));
+}
+
+TEST(SynthEdge, ConditionalMemoryAndReturn)
+{
+    ProgramBuilder b("condmem");
+    Label fn = b.label();
+    Label start = b.label();
+    b.b(start);
+    b.bind(fn);
+    b.cmpi(R0, 5);
+    b.ret(Cond::GT);         // conditional return (saturates at 6)
+    b.addi(R0, R0, 1);
+    b.ret();
+    b.bind(start);
+    b.zeros("buf", 64);
+    b.lea(R1, "buf");
+    b.movi(R0, 0);
+    Label loop = b.here();
+    b.bl(fn);
+    b.cmpi(R0, 3);
+    b.str(R0, R1, 4, Cond::EQ);  // conditional store
+    b.ldr(R2, R1, 4, Cond::GE);  // conditional load
+    b.cmpi(R0, 6);
+    b.b(loop, Cond::LT);
+    b.add(R0, R0, R2);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+    Program prog = b.finish();
+
+    RunResult fits_rr;
+    RunResult arm_rr = runArmAndFits(prog, SynthParams{}, &fits_rr);
+    EXPECT_EQ(arm_rr.io.emitted, fits_rr.io.emitted);
+}
+
+TEST(SynthEdge, NegativeRegisterOffsetsSurvive)
+{
+    ProgramBuilder b("negoff");
+    b.words("tab", {10, 20, 30, 40, 50});
+    b.lea(R1, "tab");
+    b.addi(R1, R1, 16); // point at tab[4]
+    b.movi(R2, 2);
+    // address = r1 - r2*... : uARM negative register offset
+    MicroOp ldr;
+    ldr.op = Op::LDR;
+    ldr.rd = R0;
+    ldr.rn = R1;
+    ldr.rm = R2;
+    ldr.memKind = MemOffsetKind::REG_SHIFT_IMM;
+    ldr.shiftType = ShiftType::LSL;
+    ldr.shiftAmount = 2;
+    ldr.memAdd = false;
+    b.emit(ldr); // loads tab[2] == 30
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+    Program prog = b.finish();
+
+    RunResult fits_rr;
+    RunResult arm_rr = runArmAndFits(prog, SynthParams{}, &fits_rr);
+    EXPECT_EQ(arm_rr.io.emitted.at(0), 30u);
+    EXPECT_EQ(fits_rr.io.emitted.at(0), 30u);
+}
+
+TEST(SynthEdge, ShiftByRegisterForms)
+{
+    ProgramBuilder b("shiftreg");
+    b.movi(R0, 0x1234);
+    b.movi(R1, 4);
+    b.lslr(R2, R0, R1);             // mov-class shift by register
+    b.aluShiftReg(AluOp::ADD, R3, R2, R0, ShiftType::LSR, R1);
+    b.eor(R0, R2, R3);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+    Program prog = b.finish();
+
+    RunResult fits_rr;
+    RunResult arm_rr = runArmAndFits(prog, SynthParams{}, &fits_rr);
+    EXPECT_EQ(arm_rr.io.emitted, fits_rr.io.emitted);
+}
+
+TEST(SynthEdge, LongMultipliesViaBakedPairs)
+{
+    ProgramBuilder b("longmul");
+    // Use >8 registers so 4-bit fields force destination baking.
+    for (uint8_t reg = R0; reg <= R9; ++reg)
+        b.movi(reg, 0x1000u + reg);
+    b.umull(R4, R5, R6, R7);
+    b.smull(R8, R9, R6, R7);
+    b.eor(R0, R4, R5);
+    b.eor(R0, R0, R8);
+    b.eor(R0, R0, R9);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+    Program prog = b.finish();
+
+    RunResult fits_rr;
+    RunResult arm_rr = runArmAndFits(prog, SynthParams{}, &fits_rr);
+    EXPECT_EQ(arm_rr.io.emitted, fits_rr.io.emitted);
+}
+
+TEST(FigureConsistency, TablesAgreeWithRawResults)
+{
+    Runner runner;
+    const BenchResult &crc = runner.get("crc32");
+
+    Table t3 = fig3StaticMapping(runner);
+    // Find crc32's row and compare against the raw mapping stat.
+    bool found = false;
+    for (const auto &row : t3.body()) {
+        if (row[0] == "crc32") {
+            EXPECT_NEAR(std::stod(row[1]),
+                        100.0 * crc.mapping.staticRate(), 0.05);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+
+    Table t13 = fig13MissRate(runner);
+    for (const auto &row : t13.body()) {
+        if (row[0] == "crc32") {
+            EXPECT_NEAR(
+                std::stod(row[1]),
+                crc.of(ConfigId::ARM16).run.icache.missesPerMillion(),
+                0.1);
+        }
+    }
+}
+
+TEST(FigureConsistency, RunnerMemoizes)
+{
+    Runner runner;
+    const BenchResult &a = runner.get("gsm");
+    const BenchResult &b = runner.get("gsm");
+    EXPECT_EQ(&a, &b); // same object, not a re-simulation
+}
+
+TEST(FigureConsistency, SavingsAreEnergyRatios)
+{
+    Runner runner;
+    const BenchResult &bench = runner.get("qsort");
+    using C = CachePowerBreakdown::Component;
+    double manual = 1.0 - bench.of(ConfigId::FITS8).icache.totalJ() /
+                              bench.of(ConfigId::ARM16).icache.totalJ();
+    EXPECT_DOUBLE_EQ(bench.saving(ConfigId::FITS8, C::TOTAL), manual);
+}
+
+} // namespace
+} // namespace pfits

@@ -1,0 +1,256 @@
+/** @file Integration tests asserting the paper's qualitative result
+ *  shapes over the full four-configuration experiment. These are the
+ *  claims DESIGN.md §4 commits to reproducing; EXPERIMENTS.md records
+ *  the measured numbers. A shared Runner memoizes the simulations. */
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hh"
+#include "exp/figures.hh"
+
+namespace pfits
+{
+namespace
+{
+
+Runner &
+runner()
+{
+    static Runner shared;
+    return shared;
+}
+
+double
+suiteAvg(double (*fn)(const BenchResult &))
+{
+    double sum = 0;
+    auto results = runner().all();
+    for (const BenchResult *b : results)
+        sum += fn(*b);
+    return sum / static_cast<double>(results.size());
+}
+
+using C = CachePowerBreakdown::Component;
+
+TEST(Experiment, ConfigNamesAndCaches)
+{
+    EXPECT_STREQ(configName(ConfigId::ARM16), "ARM16");
+    EXPECT_STREQ(configName(ConfigId::FITS8), "FITS8");
+    EXPECT_EQ(runner().coreConfig(ConfigId::ARM16).icache.sizeBytes,
+              16u * 1024);
+    EXPECT_EQ(runner().coreConfig(ConfigId::FITS8).icache.sizeBytes,
+              8u * 1024);
+}
+
+TEST(Experiment, Fig3StaticMappingHigh)
+{
+    double avg = suiteAvg([](const BenchResult &b) {
+        return b.mapping.staticRate();
+    });
+    EXPECT_GT(avg, 0.92); // paper: ~96%
+    EXPECT_LE(avg, 1.0);
+}
+
+TEST(Experiment, Fig4DynamicMappingHigherThanStatic)
+{
+    double stat = suiteAvg([](const BenchResult &b) {
+        return b.mapping.staticRate();
+    });
+    double dyn = suiteAvg([](const BenchResult &b) {
+        return b.mapping.dynRate();
+    });
+    EXPECT_GT(dyn, 0.94); // paper: ~98%
+    EXPECT_GT(dyn, stat); // hot code maps better than cold code
+}
+
+TEST(Experiment, Fig5CodeSizeOrdering)
+{
+    // FITS ~53% of ARM, THUMB in between (paper: 67%).
+    double fits = suiteAvg([](const BenchResult &b) {
+        return static_cast<double>(b.fitsBytes) / b.armBytes;
+    });
+    double thumb = suiteAvg([](const BenchResult &b) {
+        return static_cast<double>(b.thumbBytes) / b.armBytes;
+    });
+    EXPECT_GT(fits, 0.45);
+    EXPECT_LT(fits, 0.60);
+    EXPECT_GT(thumb, fits + 0.10);
+    EXPECT_LT(thumb, 0.90);
+}
+
+TEST(Experiment, Fig6BreakdownShape)
+{
+    // Internal dominates; switching substantial; leakage small.
+    for (const BenchResult *b : runner().all()) {
+        const CachePowerBreakdown &p = b->of(ConfigId::ARM16).icache;
+        EXPECT_GT(p.internalShare(), 0.45) << b->name;
+        EXPECT_GT(p.switchingShare(), 0.15) << b->name;
+        EXPECT_LT(p.leakageShare(), 0.15) << b->name;
+    }
+    // Same-size FITS shifts share from switching toward internal.
+    for (const BenchResult *b : runner().all()) {
+        EXPECT_LT(b->of(ConfigId::FITS16).icache.switchingShare(),
+                  b->of(ConfigId::ARM16).icache.switchingShare())
+            << b->name;
+    }
+}
+
+TEST(Experiment, Fig7SwitchingSavings)
+{
+    double fits16 = suiteAvg([](const BenchResult &b) {
+        return b.saving(ConfigId::FITS16, C::SWITCHING);
+    });
+    double arm8 = suiteAvg([](const BenchResult &b) {
+        return b.saving(ConfigId::ARM8, C::SWITCHING);
+    });
+    EXPECT_GT(fits16, 0.40); // paper: ~50%
+    EXPECT_LT(fits16, 0.55);
+    EXPECT_LT(arm8, 0.10); // paper: "virtually none"
+    EXPECT_GT(arm8, -0.25);
+}
+
+TEST(Experiment, Fig8InternalSavings)
+{
+    double fits16 = suiteAvg([](const BenchResult &b) {
+        return b.saving(ConfigId::FITS16, C::INTERNAL);
+    });
+    double fits8 = suiteAvg([](const BenchResult &b) {
+        return b.saving(ConfigId::FITS8, C::INTERNAL);
+    });
+    EXPECT_NEAR(fits16, 0.0, 0.10); // paper: same-size cache ~0
+    EXPECT_GT(fits8, 0.35);         // paper: ~44%
+    EXPECT_LT(fits8, 0.50);
+}
+
+TEST(Experiment, Fig9LeakageSavings)
+{
+    double fits8 = suiteAvg([](const BenchResult &b) {
+        return b.saving(ConfigId::FITS8, C::LEAKAGE);
+    });
+    double arm8 = suiteAvg([](const BenchResult &b) {
+        return b.saving(ConfigId::ARM8, C::LEAKAGE);
+    });
+    EXPECT_GT(fits8, 0.05); // paper: ~15%
+    EXPECT_LT(fits8, 0.20);
+    // ARM8's saving is eroded (or reversed) by its longer runtime.
+    EXPECT_LT(arm8, fits8);
+}
+
+TEST(Experiment, Fig10PeakSavingsMultiplicative)
+{
+    double fits16 = suiteAvg([](const BenchResult &b) {
+        return b.peakSaving(ConfigId::FITS16);
+    });
+    double fits8 = suiteAvg([](const BenchResult &b) {
+        return b.peakSaving(ConfigId::FITS8);
+    });
+    double arm8 = suiteAvg([](const BenchResult &b) {
+        return b.peakSaving(ConfigId::ARM8);
+    });
+    EXPECT_GT(fits16, 0.30); // paper: 46%
+    EXPECT_GT(arm8, 0.15);   // paper: 31%
+    EXPECT_GT(fits8, fits16);
+    EXPECT_GT(fits8, arm8);
+    // Width and size effects compose multiplicatively.
+    EXPECT_NEAR(fits8, 1 - (1 - fits16) * (1 - arm8), 0.05);
+}
+
+TEST(Experiment, Fig11TotalCacheOrdering)
+{
+    double fits16 = suiteAvg([](const BenchResult &b) {
+        return b.saving(ConfigId::FITS16, C::TOTAL);
+    });
+    double fits8 = suiteAvg([](const BenchResult &b) {
+        return b.saving(ConfigId::FITS8, C::TOTAL);
+    });
+    double arm8 = suiteAvg([](const BenchResult &b) {
+        return b.saving(ConfigId::ARM8, C::TOTAL);
+    });
+    // Paper: FITS8 (47%) > ARM8 (27%) > FITS16 (18%).
+    EXPECT_GT(fits8, arm8);
+    EXPECT_GT(arm8, fits16);
+    EXPECT_GT(fits8, 0.35);
+    EXPECT_GT(fits16, 0.10);
+}
+
+TEST(Experiment, Fig12ChipOrdering)
+{
+    double fits8 = suiteAvg([](const BenchResult &b) {
+        return b.chipSaving(ConfigId::FITS8);
+    });
+    double fits16 = suiteAvg([](const BenchResult &b) {
+        return b.chipSaving(ConfigId::FITS16);
+    });
+    // Paper: FITS8 ~15% clearly ahead; FITS16/ARM8 small.
+    EXPECT_GT(fits8, 0.08);
+    EXPECT_GT(fits8, fits16 + 0.05);
+    EXPECT_GT(fits16, 0.0);
+}
+
+TEST(Experiment, Fig13MissRates)
+{
+    // The paper's headline: half-sized FITS caches miss no more than
+    // the full-sized ARM cache; ARM8 pays heavily.
+    double arm16 = 0, arm8 = 0, fits8 = 0;
+    auto results = runner().all();
+    for (const BenchResult *b : results) {
+        arm16 += b->of(ConfigId::ARM16).run.icache.missesPerMillion();
+        arm8 += b->of(ConfigId::ARM8).run.icache.missesPerMillion();
+        fits8 += b->of(ConfigId::FITS8).run.icache.missesPerMillion();
+    }
+    EXPECT_LE(fits8, arm16 * 1.05);
+    EXPECT_GT(arm8, arm16 * 3);
+    // Per-benchmark, FITS16 never misses more than ARM16.
+    for (const BenchResult *b : results) {
+        EXPECT_LE(b->of(ConfigId::FITS16).run.icache.missesPerMillion(),
+                  b->of(ConfigId::ARM16)
+                          .run.icache.missesPerMillion() +
+                      1.0)
+            << b->name;
+    }
+}
+
+TEST(Experiment, Fig14IpcShape)
+{
+    auto results = runner().all();
+    for (const BenchResult *b : results) {
+        for (ConfigId id : kAllConfigs) {
+            EXPECT_LE(b->of(id).run.ipc(), 2.0) << b->name;
+            EXPECT_GT(b->of(id).run.ipc(), 0.2) << b->name;
+        }
+    }
+    double arm16 = suiteAvg([](const BenchResult &b) {
+        return b.of(ConfigId::ARM16).run.ipc();
+    });
+    double arm8 = suiteAvg([](const BenchResult &b) {
+        return b.of(ConfigId::ARM8).run.ipc();
+    });
+    double fits8 = suiteAvg([](const BenchResult &b) {
+        return b.of(ConfigId::FITS8).run.ipc();
+    });
+    EXPECT_LT(arm8, arm16);          // shrinking the ARM cache hurts
+    EXPECT_GT(fits8, arm16 * 0.95);  // FITS8 keeps up with ARM16
+}
+
+TEST(Experiment, FigureTablesHaveSuiteRowsPlusAverage)
+{
+    Table t3 = fig3StaticMapping(runner());
+    EXPECT_EQ(t3.rows(), 22u);
+    Table t5 = fig5CodeSize(runner());
+    EXPECT_EQ(t5.header().size(), 4u);
+    Table t6 = fig6PowerBreakdown(runner());
+    EXPECT_EQ(t6.header().size(), 13u);
+    Table t13 = fig13MissRate(runner());
+    EXPECT_EQ(t13.body().back().front(), "average");
+}
+
+TEST(Experiment, ChecksumValidatedInEveryConfig)
+{
+    // compute() fatals on checksum mismatch, so simply touching a
+    // benchmark validates all four configurations.
+    EXPECT_NO_THROW(runner().get("crc32"));
+    EXPECT_NO_THROW(runner().get("sha"));
+}
+
+} // namespace
+} // namespace pfits

@@ -1,0 +1,510 @@
+/** @file Tests for the FITS toolchain: signatures, profiler, synthesis,
+ *  the programmable decoder, and the translator. */
+
+#include <gtest/gtest.h>
+
+#include "assembler/builder.hh"
+#include "common/logging.hh"
+#include "fits/fits_frontend.hh"
+#include "fits/profile.hh"
+#include "fits/synth.hh"
+#include "fits/translate.hh"
+#include "sim/machine.hh"
+
+namespace pfits
+{
+namespace
+{
+
+/** A small but representative program exercising many signatures. */
+Program
+sampleProgram()
+{
+    ProgramBuilder b("sample");
+    b.words("tab", {1, 2, 3, 4, 5, 6, 7, 8});
+    b.zeros("out", 64);
+    b.zeros("result", 4);
+
+    b.lea(R0, "tab");
+    b.lea(R1, "out");
+    b.movi(R2, 8);
+    b.movi(R3, 0);
+    Label loop = b.here();
+    b.ldrr(R4, R0, R3, 2);
+    b.aluShift(AluOp::ADD, R5, R4, R4, ShiftType::LSL, 3);
+    b.addi(R5, R5, 17);
+    b.mla(R6, R4, R5, R6);
+    b.strr(R5, R1, R3, 2);
+    b.addi(R3, R3, 1);
+    b.cmp(R3, R2);
+    b.b(loop, Cond::NE);
+
+    b.movi(R7, 0x12345678); // forces the dictionary / byte path
+    b.eor(R6, R6, R7);
+    b.mov(R0, R6);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+    return b.finish();
+}
+
+struct Pipeline
+{
+    Program prog;
+    ProfileInfo profile;
+    FitsIsa isa;
+    FitsProgram fits;
+
+    explicit Pipeline(Program p, SynthParams sp = {})
+        : prog(std::move(p)),
+          profile(profileProgram(prog)),
+          isa(synthesize(profile, sp, prog.name)),
+          fits(translateProgram(prog, isa, profile))
+    {
+    }
+};
+
+TEST(Signature, DerivedFromMicroOps)
+{
+    MicroOp uop;
+    uop.op = Op::ADD;
+    uop.cond = Cond::EQ;
+    uop.setsFlags = true;
+    uop.op2Kind = Operand2Kind::IMM;
+    Signature sig = signatureOf(uop);
+    EXPECT_EQ(sig.op, Op::ADD);
+    EXPECT_EQ(sig.cond, Cond::EQ);
+    EXPECT_TRUE(sig.setsFlags);
+    EXPECT_EQ(sig.form, SigForm::IMM);
+
+    uop.op2Kind = Operand2Kind::REG_SHIFT_IMM;
+    uop.shiftType = ShiftType::ASR;
+    sig = signatureOf(uop);
+    EXPECT_EQ(sig.form, SigForm::SHIFT_IMM);
+    EXPECT_EQ(sig.shiftType, ShiftType::ASR);
+
+    MicroOp mem;
+    mem.op = Op::LDR;
+    mem.memKind = MemOffsetKind::REG;
+    mem.memAdd = false;
+    sig = signatureOf(mem);
+    EXPECT_EQ(sig.form, SigForm::MEM_REG);
+    EXPECT_FALSE(sig.memAdd);
+}
+
+TEST(Signature, KeysAreDistinct)
+{
+    Signature a = signatureOf([] {
+        MicroOp u;
+        u.op = Op::ADD;
+        u.op2Kind = Operand2Kind::REG;
+        return u;
+    }());
+    Signature b = a;
+    b.setsFlags = true;
+    Signature c = a;
+    c.cond = Cond::NE;
+    EXPECT_NE(a.key(), b.key());
+    EXPECT_NE(a.key(), c.key());
+    EXPECT_NE(b.key(), c.key());
+    EXPECT_FALSE(a.toString().empty());
+}
+
+TEST(Profile, CountsStaticAndDynamic)
+{
+    Program prog = sampleProgram();
+    ProfileInfo info = profileProgram(prog);
+    EXPECT_EQ(info.totalStatic, prog.code.size());
+    EXPECT_GT(info.totalDynamic, info.totalStatic); // loop executed
+    EXPECT_EQ(info.dynCounts.size(), prog.code.size());
+
+    // The loop body executes 8 times.
+    Signature mla = signatureOf([] {
+        MicroOp u;
+        u.op = Op::MLA;
+        return u;
+    }());
+    const SigStats *stats = info.find(mla);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->dynCount, 8u);
+    EXPECT_EQ(stats->staticCount, 1u);
+}
+
+TEST(Profile, TracksRegistersAndScratch)
+{
+    ProfileInfo info = profileProgram(sampleProgram());
+    EXPECT_GT(info.numRegsUsed(), 6u);
+    int scratch = info.pickScratchReg();
+    ASSERT_GE(scratch, 0);
+    EXPECT_FALSE((info.regsUsed >> scratch) & 1u);
+    EXPECT_EQ(scratch, R12); // kernels leave r12 free by convention
+}
+
+TEST(Profile, StaticOnlyModeUsesUnitWeights)
+{
+    ProfileInfo info = profileProgram(sampleProgram(), false);
+    EXPECT_EQ(info.totalDynamic, info.totalStatic);
+}
+
+TEST(Profile, MergesMovwMovtPairs)
+{
+    ProfileInfo info = profileProgram(sampleProgram());
+    ASSERT_FALSE(info.mergeablePairs.empty());
+    ASSERT_TRUE(info.pairConstants.count(0x12345678u));
+    // The pair registers as a synthetic MOV #imm32.
+    Signature mov_imm;
+    mov_imm.op = Op::MOV;
+    mov_imm.form = SigForm::IMM;
+    const SigStats *stats = info.find(mov_imm);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_TRUE(stats->values.count(0x12345678));
+}
+
+TEST(Profile, PairNotMergedAcrossBranchTarget)
+{
+    ProgramBuilder b("t");
+    Label target = b.label();
+    b.movi(R0, 0x12345678); // movw + movt
+    // Jump into the middle of the pair: merging would be unsound.
+    b.bind(target);
+    // (the label binds to the movt? no: bind binds the *next* emitted)
+    b.nop();
+    b.b(target, Cond::EQ);
+    b.exit();
+    Program prog = b.finish();
+    auto pairs = findMovPairs(prog, prog.decodeAll());
+    EXPECT_EQ(pairs.size(), 1u); // target is after the pair: still ok
+}
+
+TEST(Synth, ProducesPrefixFreeOpcodes)
+{
+    Pipeline p(sampleProgram());
+    EXPECT_LE(p.isa.kraftSum(), 65536u);
+    // The decode table must cover every word claimed by some slot and
+    // map it back to that slot.
+    for (size_t i = 0; i < p.isa.slots.size(); ++i) {
+        const FitsSlot &slot = p.isa.slots[i];
+        uint32_t base = static_cast<uint32_t>(slot.opcode)
+                        << (16 - slot.opcodeBits);
+        EXPECT_EQ(p.isa.slotFor(static_cast<uint16_t>(base)),
+                  static_cast<int>(i));
+    }
+}
+
+TEST(Synth, SmallRegisterSetsGetNarrowFields)
+{
+    ProgramBuilder b("tiny");
+    b.movi(R0, 10);
+    Label l = b.here();
+    b.subi(R0, R0, 1, Cond::AL, true);
+    b.b(l, Cond::NE);
+    b.exit();
+    Pipeline p(b.finish());
+    EXPECT_EQ(p.isa.regBits, 3u);
+    // All touched registers must be mapped.
+    EXPECT_GE(p.isa.regMap[R0], 0);
+}
+
+TEST(Synth, WideRegisterSetsUseFourBits)
+{
+    Pipeline p(sampleProgram());
+    EXPECT_EQ(p.isa.regBits, 4u);
+}
+
+TEST(Synth, ForceWideRegFieldsParam)
+{
+    ProgramBuilder b("tiny");
+    b.movi(R0, 1);
+    b.exit();
+    SynthParams sp;
+    sp.forceWideRegFields = true;
+    Pipeline p(b.finish(), sp);
+    EXPECT_EQ(p.isa.regBits, 4u);
+}
+
+TEST(Synth, DictionaryHoldsHotWideConstant)
+{
+    Pipeline p(sampleProgram());
+    EXPECT_GE(p.isa.opDict.indexOf(0x12345678), 0);
+}
+
+TEST(Synth, MandatorySlotsPresent)
+{
+    Pipeline p(sampleProgram());
+    bool has_branch = false, has_swi = false, has_mla_path = false;
+    for (const FitsSlot &slot : p.isa.slots) {
+        if (slot.sig.op == Op::B)
+            has_branch = true;
+        if (slot.sig.op == Op::SWI)
+            has_swi = true;
+        if (slot.sig.op == Op::MLA || slot.sig.op == Op::MUL)
+            has_mla_path = true;
+    }
+    EXPECT_TRUE(has_branch);
+    EXPECT_TRUE(has_swi);
+    EXPECT_TRUE(has_mla_path);
+}
+
+TEST(FitsIsaTest, EncodeDecodeRoundTripAllSlots)
+{
+    Pipeline p(sampleProgram());
+    // For every ARM instruction that maps 1:1, encoding then decoding
+    // must reproduce identical semantics text.
+    for (uint16_t word : p.fits.code) {
+        MicroOp uop;
+        ASSERT_TRUE(p.isa.decode(word, uop));
+        int slot = p.isa.slotFor(word);
+        ASSERT_GE(slot, 0);
+        uint16_t again;
+        ASSERT_TRUE(p.isa.encode(static_cast<size_t>(slot), uop, again))
+            << p.isa.disassembleWord(word);
+        EXPECT_EQ(again, word);
+    }
+}
+
+TEST(FitsIsaTest, EncodeRejectsWrongSignature)
+{
+    Pipeline p(sampleProgram());
+    MicroOp swi;
+    swi.op = Op::SWI;
+    swi.imm = 0;
+    for (size_t i = 0; i < p.isa.slots.size(); ++i) {
+        if (p.isa.slots[i].sig.op == Op::SWI)
+            continue;
+        uint16_t word;
+        EXPECT_FALSE(p.isa.encode(i, swi, word));
+    }
+}
+
+TEST(FitsIsaTest, ListingMentionsDictionaries)
+{
+    Pipeline p(sampleProgram());
+    std::string listing = p.isa.listing();
+    EXPECT_NE(listing.find("dictionaries"), std::string::npos);
+    EXPECT_NE(listing.find("kraft"), std::string::npos);
+}
+
+TEST(ValueDictionaryTest, IndexBitsAndLookup)
+{
+    ValueDictionary dict;
+    EXPECT_EQ(dict.indexOf(5), -1);
+    dict.add(5);
+    dict.add(5); // dedup
+    dict.add(-7);
+    EXPECT_EQ(dict.size(), 2u);
+    EXPECT_EQ(dict.indexOf(5), 0);
+    EXPECT_EQ(dict.indexOf(-7), 1);
+    EXPECT_EQ(dict.at(1), -7);
+    EXPECT_THROW(dict.at(9), PanicError);
+    EXPECT_EQ(dict.indexBits(), 1u);
+    dict.add(1);
+    dict.add(2);
+    dict.add(3);
+    EXPECT_EQ(dict.indexBits(), 3u);
+}
+
+TEST(Translate, CodeSizeRoughlyHalves)
+{
+    Pipeline p(sampleProgram());
+    double ratio = static_cast<double>(p.fits.codeBytes()) /
+                   p.prog.codeBytes();
+    EXPECT_LT(ratio, 0.70);
+    EXPECT_GT(ratio, 0.40);
+}
+
+TEST(Translate, MappingStatsConsistent)
+{
+    Pipeline p(sampleProgram());
+    const MappingStats &m = p.fits.mapping;
+    EXPECT_EQ(m.staticTotal, p.prog.code.size());
+    EXPECT_LE(m.staticMapped, m.staticTotal);
+    EXPECT_LE(m.dynMapped, m.dynTotal);
+    EXPECT_GT(m.staticRate(), 0.5);
+    EXPECT_GE(m.dynRate(), m.staticRate() * 0.8);
+    EXPECT_GT(m.expansionFactor(), 0.4);
+    EXPECT_LT(m.expansionFactor(), 2.0);
+}
+
+TEST(Translate, SemanticsPreserved)
+{
+    Program prog = sampleProgram();
+    Pipeline p(prog);
+    ArmFrontEnd arm(prog);
+    FitsFrontEnd fits(p.fits);
+    RunResult ra = Machine(arm, CoreConfig{}).run();
+    RunResult rf = Machine(fits, CoreConfig{}).run();
+    EXPECT_EQ(ra.io.emitted, rf.io.emitted);
+    for (unsigned reg = 0; reg < NUM_REGS; ++reg) {
+        if (reg == R12 || reg == LR)
+            continue; // scratch / return-address differ by design
+        EXPECT_EQ(ra.finalState.regs[reg], rf.finalState.regs[reg])
+            << "r" << reg;
+    }
+}
+
+TEST(Translate, ConditionalRewritePreservesSemantics)
+{
+    // Force expansion of conditional ops by zeroing the slot budget so
+    // only essential slots survive.
+    ProgramBuilder b("cond");
+    b.zeros("result", 4);
+    b.movi(R0, 50);
+    b.movi(R1, 0);
+    Label loop = b.here();
+    b.tsti(R0, 1);
+    b.addi(R1, R1, 3, Cond::NE);
+    b.subi(R1, R1, 1, Cond::EQ);
+    b.subi(R0, R0, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+    b.mov(R0, R1);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+    Program prog = b.finish();
+
+    SynthParams sp;
+    sp.maxSlots = 0; // admit no optional slots at all
+    Pipeline p(prog, sp);
+    ArmFrontEnd arm(prog);
+    FitsFrontEnd fits(p.fits);
+    RunResult ra = Machine(arm, CoreConfig{}).run();
+    RunResult rf = Machine(fits, CoreConfig{}).run();
+    EXPECT_EQ(ra.io.emitted, rf.io.emitted);
+    // With no AIS, mapping must be poor but correctness intact.
+    EXPECT_LT(p.fits.mapping.staticRate(), 1.0);
+}
+
+TEST(Translate, BranchRetargetingAcrossExpansions)
+{
+    // A branch over an expanding region must still land correctly.
+    ProgramBuilder b("branches");
+    b.movi(R0, 0);
+    b.movi(R1, 3);
+    Label head = b.here();
+    b.movi(R2, 0x0badf00d); // expands (pair -> dictionary or bytes)
+    b.eor(R0, R0, R2);
+    b.subi(R1, R1, 1, Cond::AL, true);
+    b.b(head, Cond::NE);
+    b.mov(R0, R0);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+    Program prog = b.finish();
+    Pipeline p(prog);
+    ArmFrontEnd arm(prog);
+    FitsFrontEnd fits(p.fits);
+    EXPECT_EQ(Machine(arm, CoreConfig{}).run().io.emitted,
+              Machine(fits, CoreConfig{}).run().io.emitted);
+}
+
+TEST(Translate, CallsAndReturnsWork)
+{
+    ProgramBuilder b("calls");
+    Label fn = b.label();
+    Label start = b.label();
+    b.b(start);
+    b.bind(fn);
+    b.addi(R0, R0, 7);
+    b.ret();
+    b.bind(start);
+    b.movi(R0, 0);
+    b.bl(fn);
+    b.bl(fn);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+    Program prog = b.finish();
+    Pipeline p(prog);
+    ArmFrontEnd arm(prog);
+    FitsFrontEnd fits(p.fits);
+    RunResult ra = Machine(arm, CoreConfig{}).run();
+    RunResult rf = Machine(fits, CoreConfig{}).run();
+    EXPECT_EQ(ra.io.emitted, rf.io.emitted);
+    EXPECT_EQ(ra.io.emitted.at(0), 14u);
+}
+
+TEST(Translate, PushPopThroughListDictionary)
+{
+    ProgramBuilder b("stack");
+    Label fn = b.label();
+    Label start = b.label();
+    b.b(start);
+    b.bind(fn);
+    b.push({R4, R5, LR});
+    b.movi(R4, 9);
+    b.add(R0, R0, R4);
+    b.pop({R4, R5, LR});
+    b.ret();
+    b.bind(start);
+    b.movi(R0, 1);
+    b.movi(R4, 111); // must survive the call
+    b.bl(fn);
+    b.add(R0, R0, R4);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+    Program prog = b.finish();
+    Pipeline p(prog);
+    EXPECT_FALSE(p.isa.listDict.empty());
+    ArmFrontEnd arm(prog);
+    FitsFrontEnd fits(p.fits);
+    EXPECT_EQ(Machine(fits, CoreConfig{}).run().io.emitted.at(0), 121u);
+}
+
+TEST(Synth, BimodalImmediatesStillGetInlineSlots)
+{
+    // Regression: when immediate histograms are bimodal (hot #0/#1 plus
+    // dictionary-bound wide constants), no width reaches the coverage
+    // target — the synthesizer must still propose the best inline width
+    // rather than forcing every small constant through an expansion.
+    ProgramBuilder b("bimodal");
+    b.movi(R0, 100);
+    Label loop = b.here();
+    b.movi(R1, 0);               // hot small constant
+    b.movi(R2, 1);               // hot small constant
+    b.movi(R3, 0x12345678);      // wide (dictionary) constant
+    b.eor(R4, R1, R2);
+    b.eor(R4, R4, R3);
+    b.subi(R0, R0, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+    b.swi(SWI_EMIT_WORD);
+    b.exit();
+    Pipeline p(b.finish());
+    // mov #0 / mov #1 must map one-to-one.
+    MicroOp probe;
+    probe.op = Op::MOV;
+    probe.op2Kind = Operand2Kind::IMM;
+    probe.rd = R1;
+    probe.imm = 0;
+    bool covered = false;
+    uint16_t word;
+    for (size_t i = 0; i < p.isa.slots.size(); ++i)
+        covered = covered || p.isa.encode(i, probe, word);
+    EXPECT_TRUE(covered);
+    EXPECT_GT(p.fits.mapping.dynRate(), 0.97);
+}
+
+TEST(Translate, PerArmCountsConsistentWithAggregates)
+{
+    Pipeline p(sampleProgram());
+    const MappingStats &m = p.fits.mapping;
+    ASSERT_EQ(m.perArm.size(), m.staticTotal);
+    uint64_t mapped = 0, emitted = 0;
+    for (uint32_t n : m.perArm) {
+        if (n <= 1)
+            ++mapped;
+        emitted += n;
+    }
+    EXPECT_EQ(mapped, m.staticMapped);
+    EXPECT_EQ(emitted, m.fitsInstructions);
+}
+
+TEST(Translate, FitsBinaryDecodesEverywhere)
+{
+    Pipeline p(sampleProgram());
+    for (size_t i = 0; i < p.fits.code.size(); ++i) {
+        MicroOp uop;
+        EXPECT_TRUE(p.isa.decode(p.fits.code[i], uop)) << i;
+    }
+    EXPECT_NE(p.fits.listing().find(":"), std::string::npos);
+}
+
+} // namespace
+} // namespace pfits

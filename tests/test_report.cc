@@ -1,0 +1,88 @@
+/** @file Tests for the requirement-analysis and synthesis reports. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "assembler/builder.hh"
+#include "fits/profile.hh"
+#include "fits/report.hh"
+#include "fits/synth.hh"
+
+namespace pfits
+{
+namespace
+{
+
+Program
+tinyProgram()
+{
+    ProgramBuilder b("tiny");
+    b.movi(R0, 20);
+    Label loop = b.here();
+    b.addi(R1, R1, 3);
+    b.subi(R0, R0, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+    b.exit();
+    return b.finish();
+}
+
+TEST(Report, RequirementAnalysisOrderedByDynWeight)
+{
+    ProfileInfo profile = profileProgram(tinyProgram());
+    Table table = requirementAnalysis(profile);
+    ASSERT_GT(table.rows(), 3u);
+    // Rows are ordered by dynamic count, descending.
+    uint64_t prev = UINT64_MAX;
+    for (const auto &row : table.body()) {
+        uint64_t dyn = std::stoull(row.at(2));
+        EXPECT_LE(dyn, prev);
+        prev = dyn;
+    }
+}
+
+TEST(Report, RequirementAnalysisTopN)
+{
+    ProfileInfo profile = profileProgram(tinyProgram());
+    Table full = requirementAnalysis(profile);
+    Table top = requirementAnalysis(profile, 2);
+    EXPECT_EQ(top.rows(), 2u);
+    EXPECT_GE(full.rows(), top.rows());
+}
+
+TEST(Report, RegisterPressureMarksFreeRegisters)
+{
+    ProfileInfo profile = profileProgram(tinyProgram());
+    Table table = registerPressure(profile);
+    ASSERT_EQ(table.rows(), NUM_REGS);
+    size_t free_count = 0;
+    for (const auto &row : table.body()) {
+        if (row.back() == "free")
+            ++free_count;
+    }
+    EXPECT_GT(free_count, 8u); // the tiny loop touches r0, r1 only
+    EXPECT_EQ(table.body()[R0].back(), "live");
+    EXPECT_EQ(table.body()[R5].back(), "free");
+}
+
+TEST(Report, SynthesisSummaryShowsCoverage)
+{
+    ProfileInfo profile = profileProgram(tinyProgram());
+    FitsIsa isa = synthesize(profile, SynthParams{}, "tiny");
+    Table table = synthesisSummary(profile, isa);
+    ASSERT_EQ(table.rows(), profile.sigs.size());
+    // Every signature row reports either a slot class or "expansion".
+    for (const auto &row : table.body()) {
+        if (row.back() == "one-instruction") {
+            EXPECT_NE(row[3], "-");
+        } else {
+            EXPECT_EQ(row.back(), "expansion");
+        }
+    }
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("Synthesis summary"), std::string::npos);
+}
+
+} // namespace
+} // namespace pfits

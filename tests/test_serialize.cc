@@ -1,0 +1,107 @@
+/** @file Round-trip tests for decoder-configuration serialization. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fits/fits_frontend.hh"
+#include "fits/profile.hh"
+#include "fits/serialize.hh"
+#include "fits/synth.hh"
+#include "fits/translate.hh"
+#include "mibench/mibench.hh"
+#include "sim/machine.hh"
+
+namespace pfits
+{
+namespace
+{
+
+FitsIsa
+isaFor(const char *bench)
+{
+    mibench::Workload w = mibench::findBench(bench).build();
+    ProfileInfo profile = profileProgram(w.program);
+    return synthesize(profile, SynthParams{}, bench);
+}
+
+TEST(Serialize, RoundTripPreservesStructure)
+{
+    FitsIsa isa = isaFor("crc32");
+    std::string text = saveFitsIsa(isa);
+    FitsIsa back = loadFitsIsa(text);
+
+    EXPECT_EQ(back.appName, isa.appName);
+    EXPECT_EQ(back.regBits, isa.regBits);
+    EXPECT_EQ(back.scratchReg, isa.scratchReg);
+    EXPECT_EQ(back.regUnmap, isa.regUnmap);
+    ASSERT_EQ(back.slots.size(), isa.slots.size());
+    for (size_t i = 0; i < isa.slots.size(); ++i) {
+        EXPECT_EQ(back.slots[i].describe(), isa.slots[i].describe())
+            << i;
+        EXPECT_EQ(back.slots[i].opcode, isa.slots[i].opcode);
+        EXPECT_EQ(back.slots[i].opcodeBits, isa.slots[i].opcodeBits);
+    }
+    EXPECT_EQ(back.opDict.size(), isa.opDict.size());
+    EXPECT_EQ(back.listDict, isa.listDict);
+    // And serializing again is a fixed point.
+    EXPECT_EQ(saveFitsIsa(back), text);
+}
+
+TEST(Serialize, ReloadedConfigDecodesTheBinary)
+{
+    // The real contract: a FITS binary must execute identically under
+    // a decoder configured from the serialized text.
+    mibench::Workload w = mibench::findBench("crc32").build();
+    ProfileInfo profile = profileProgram(w.program);
+    FitsIsa isa = synthesize(profile, SynthParams{}, "crc32");
+    FitsProgram prog = translateProgram(w.program, isa, profile);
+
+    FitsProgram reloaded = prog;
+    reloaded.isa = loadFitsIsa(saveFitsIsa(isa));
+
+    FitsFrontEnd fe(std::move(reloaded));
+    Machine machine(fe, CoreConfig{});
+    RunResult rr = machine.run();
+    ASSERT_FALSE(rr.io.emitted.empty());
+    EXPECT_EQ(rr.io.emitted[0], w.expected);
+}
+
+TEST(Serialize, RoundTripsEverySuiteBenchmark)
+{
+    for (const auto &info : mibench::suite()) {
+        FitsIsa isa = isaFor(info.name);
+        FitsIsa back = loadFitsIsa(saveFitsIsa(isa));
+        ASSERT_EQ(back.slots.size(), isa.slots.size()) << info.name;
+        EXPECT_EQ(back.kraftSum(), isa.kraftSum()) << info.name;
+        // The rebuilt decode table must agree everywhere.
+        for (uint32_t w = 0; w < (1u << 16); w += 97)
+            EXPECT_EQ(back.slotFor(static_cast<uint16_t>(w)),
+                      isa.slotFor(static_cast<uint16_t>(w)))
+                << info.name;
+    }
+}
+
+TEST(Serialize, RejectsMalformedInput)
+{
+    EXPECT_THROW(loadFitsIsa(""), FatalError);
+    EXPECT_THROW(loadFitsIsa("garbage v1 app x\n"), FatalError);
+    FitsIsa isa = isaFor("gsm");
+    std::string text = saveFitsIsa(isa);
+    EXPECT_THROW(loadFitsIsa(text + "slot bogus\n"), FatalError);
+    EXPECT_THROW(loadFitsIsa(text.substr(0, text.size() / 2)),
+                 FatalError);
+}
+
+TEST(Serialize, ConfigBitsAreReported)
+{
+    FitsIsa small = isaFor("crc32");
+    FitsIsa big = isaFor("jpeg.encode");
+    uint64_t small_bits = decoderConfigBits(small);
+    uint64_t big_bits = decoderConfigBits(big);
+    EXPECT_GT(small_bits, 1000u);   // a real config, not a register
+    EXPECT_LT(small_bits, 100000u); // but far below a cache's size
+    EXPECT_GT(big_bits, small_bits * 0.5); // scales with slots/dicts
+}
+
+} // namespace
+} // namespace pfits

@@ -1,0 +1,144 @@
+/** @file Tests for the THUMB-like code-size estimator. */
+
+#include <gtest/gtest.h>
+
+#include "assembler/builder.hh"
+#include "thumb/thumb.hh"
+
+namespace pfits
+{
+namespace
+{
+
+MicroOp
+decodeOne(const Program &prog, size_t index)
+{
+    MicroOp uop;
+    EXPECT_TRUE(decodeArm(prog.code.at(index), uop));
+    return uop;
+}
+
+TEST(Thumb, SimpleOpsCostOneUnit)
+{
+    ProgramBuilder b("t");
+    b.movi(R0, 5);          // mov imm8 form exists
+    b.add(R0, R0, R1);      // 3-address add exists in Thumb
+    b.cmp(R0, R1);
+    b.nop();
+    b.ret();
+    Program prog = b.finish();
+    for (size_t i = 0; i < prog.code.size(); ++i)
+        EXPECT_EQ(thumbUnitsFor(decodeOne(prog, i)), 1u) << i;
+}
+
+TEST(Thumb, PredicationCostsABranch)
+{
+    ProgramBuilder b("t");
+    b.addi(R0, R0, 1, Cond::EQ);
+    b.exit();
+    EXPECT_EQ(thumbUnitsFor(decodeOne(b.finish(), 0)), 2u);
+}
+
+TEST(Thumb, ThreeAddressLogicalNeedsAMove)
+{
+    ProgramBuilder b("t");
+    b.eor(R0, R1, R2); // rd != rn: Thumb EOR is two-address
+    b.eor(R0, R0, R2); // rd == rn: native
+    b.exit();
+    Program prog = b.finish();
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 0)), 2u);
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 1)), 1u);
+}
+
+TEST(Thumb, WideImmediatesUseLiteralPool)
+{
+    ProgramBuilder b("t");
+    b.alui(AluOp::MOV, R0, 0, 0x3f000000u); // rotated imm > 255
+    b.andi(R1, R1, 0xff00);                 // no AND-imm form in Thumb
+    b.exit();
+    Program prog = b.finish();
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 0)), 3u);
+    EXPECT_GE(thumbUnitsFor(decodeOne(prog, 1)), 3u);
+}
+
+TEST(Thumb, ShiftedOperandCostsExtra)
+{
+    ProgramBuilder b("t");
+    b.aluShift(AluOp::ADD, R0, R1, R2, ShiftType::LSL, 4);
+    b.lsli(R0, R0, 4); // native two-address shift
+    b.exit();
+    Program prog = b.finish();
+    EXPECT_GE(thumbUnitsFor(decodeOne(prog, 0)), 2u);
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 1)), 1u);
+}
+
+TEST(Thumb, BlAndLongOps)
+{
+    ProgramBuilder b("t");
+    Label fn = b.here();
+    b.bl(fn);
+    b.umull(R0, R1, R2, R3);
+    b.mla(R0, R1, R2, R3);
+    b.exit();
+    Program prog = b.finish();
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 0)), 2u); // 32-bit BL
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 1)), 2u);
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 2)), 2u);
+}
+
+TEST(Thumb, MemoryOffsetsOutOfThumbRange)
+{
+    ProgramBuilder b("t");
+    b.ldr(R0, R1, 64);    // imm5*4 reachable
+    b.ldr(R0, R1, 256);   // beyond word imm5 range
+    b.ldr(R0, SP, 512);   // sp-relative reach is larger
+    b.ldrb(R0, R1, 31);   // reachable
+    b.ldrb(R0, R1, 32);   // not
+    b.ldrsh(R0, R1, 4);   // imm form absent in Thumb
+    b.exit();
+    Program prog = b.finish();
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 0)), 1u);
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 1)), 2u);
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 2)), 1u);
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 3)), 1u);
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 4)), 2u);
+    EXPECT_EQ(thumbUnitsFor(decodeOne(prog, 5)), 2u);
+}
+
+TEST(Thumb, MovPairBecomesOneLiteralLoad)
+{
+    ProgramBuilder b("t");
+    b.movi(R0, 0x12345678); // movw + movt
+    b.nop();
+    b.exit();
+    ThumbStats stats = thumbEstimate(b.finish());
+    EXPECT_EQ(stats.armInstructions, 4u);
+    // pair -> 3 units (ldr + pool word), nop 1, swi 1.
+    EXPECT_EQ(stats.thumbUnits, 5u);
+}
+
+TEST(Thumb, EstimateLandsBetweenFitsAndArm)
+{
+    // A mixed program: the THUMB estimate must be larger than 16-bit
+    // minimum (i.e. > 1 unit per instr) but below 2x.
+    ProgramBuilder b("mix");
+    b.zeros("buf", 256);
+    b.lea(R1, "buf");
+    b.movi(R2, 32);
+    Label loop = b.here();
+    b.ldr(R3, R1, 0);
+    b.aluShift(AluOp::ADD, R3, R3, R3, ShiftType::LSL, 1);
+    b.str(R3, R1, 0);
+    b.addi(R1, R1, 4);
+    b.subi(R2, R2, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+    b.exit();
+    ThumbStats stats = thumbEstimate(b.finish());
+    double factor = stats.expansionFactor();
+    EXPECT_GT(factor, 1.0);
+    EXPECT_LT(factor, 2.0);
+    EXPECT_EQ(stats.codeBytes(), stats.thumbUnits * 2);
+}
+
+} // namespace
+} // namespace pfits
