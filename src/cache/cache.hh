@@ -39,6 +39,13 @@ struct CacheConfig
     ReplPolicy policy = ReplPolicy::LRU;
     bool writeBack = true; //!< write-back/write-allocate when true
 
+    /**
+     * One parity bit per line: a corrupt line is caught at its next
+     * access (and refetched) instead of feeding the core. Costs one
+     * extra storage column per way in the power model.
+     */
+    bool parity = false;
+
     uint32_t numLines() const { return sizeBytes / lineBytes; }
     uint32_t numSets() const { return numLines() / assoc; }
 
@@ -52,6 +59,8 @@ struct CacheAccessResult
     bool hit = false;
     bool writeback = false;    //!< a dirty victim was evicted
     uint32_t victimAddr = 0;   //!< line address of the victim (if any)
+    bool parityError = false;  //!< corrupt line caught by parity check
+    bool corruptDelivered = false; //!< corrupt data consumed unchecked
 };
 
 /** Aggregate activity counters for one cache. */
@@ -62,6 +71,9 @@ struct CacheStats
     uint64_t readMisses = 0;
     uint64_t writeMisses = 0;
     uint64_t writebacks = 0;
+    uint64_t faultsInjected = 0;    //!< soft errors landed in a line
+    uint64_t parityDetections = 0;  //!< corrupt lines caught by parity
+    uint64_t corruptDeliveries = 0; //!< corrupt lines consumed silently
 
     uint64_t accesses() const { return reads + writes; }
     uint64_t misses() const { return readMisses + writeMisses; }
@@ -93,6 +105,16 @@ class Cache
     /** Probe without updating any state. */
     bool contains(uint32_t addr) const;
 
+    /**
+     * Soft error: mark one uniformly chosen resident line corrupt
+     * (victim picked with @p rng for deterministic replay).
+     * @return true when a valid line existed to strike.
+     */
+    bool injectBitFlip(Rng &rng);
+
+    /** @return number of currently valid lines. */
+    uint32_t residentLines() const;
+
     /** Invalidate everything (counters are kept). */
     void flush();
 
@@ -108,6 +130,7 @@ class Cache
     {
         bool valid = false;
         bool dirty = false;
+        bool corrupt = false; //!< carries an undelivered soft error
         uint32_t tag = 0;
         uint64_t stamp = 0; //!< LRU: last use; FIFO: fill time
     };
@@ -115,6 +138,7 @@ class Cache
     uint32_t setIndex(uint32_t addr) const;
     uint32_t tagOf(uint32_t addr) const;
     uint32_t victimWay(uint32_t set);
+    CacheAccessResult handleMiss(uint32_t addr, bool write);
 
     CacheConfig config_;
     std::vector<Line> lines_;          //!< sets * assoc, row-major

@@ -8,6 +8,7 @@ namespace pfits
 namespace
 {
 bool quietFlag = false;
+uint64_t warnsPrinted = 0;
 } // namespace
 
 namespace detail
@@ -70,6 +71,7 @@ warn(const char *fmt, ...)
     std::string msg = detail::vformat(fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    ++warnsPrinted;
 }
 
 void
@@ -94,6 +96,12 @@ bool
 quiet()
 {
     return quietFlag;
+}
+
+uint64_t
+warnCount()
+{
+    return warnsPrinted;
 }
 
 } // namespace pfits

@@ -14,6 +14,7 @@
 #define POWERFITS_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -75,6 +76,33 @@ void setQuiet(bool quiet);
 /** @return true when warn()/inform() are suppressed. */
 bool quiet();
 
+/** Total warn() messages actually printed (suppressed ones excluded). */
+uint64_t warnCount();
+
 } // namespace pfits
+
+/**
+ * warn() at most once per call site. Fault sweeps inject thousands of
+ * identical events; the first occurrence is informative, the rest are
+ * noise. Call-site state is a function-local static, so the limit is
+ * per textual occurrence, not per message (single-threaded, like the
+ * rest of the simulator).
+ */
+#define warn_once(...)                                                  \
+    do {                                                                \
+        static bool _pfits_warned_once = false;                         \
+        if (!_pfits_warned_once) {                                      \
+            _pfits_warned_once = true;                                  \
+            ::pfits::warn(__VA_ARGS__);                                 \
+        }                                                               \
+    } while (0)
+
+/** warn() on the 1st, (n+1)th, (2n+1)th, ... execution of this site. */
+#define warn_every_n(n, ...)                                            \
+    do {                                                                \
+        static uint64_t _pfits_warn_tick = 0;                           \
+        if (_pfits_warn_tick++ % static_cast<uint64_t>(n) == 0)         \
+            ::pfits::warn(__VA_ARGS__);                                 \
+    } while (0)
 
 #endif // POWERFITS_COMMON_LOGGING_HH

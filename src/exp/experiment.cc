@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "fits/fits_frontend.hh"
 #include "fits/profile.hh"
+#include "fits/serialize.hh"
 #include "mibench/mibench.hh"
 
 namespace pfits
@@ -86,15 +87,54 @@ Runner::compute(const std::string &bench_name)
             is_fits ? static_cast<const FrontEnd &>(fits_fe)
                     : static_cast<const FrontEnd &>(arm_fe);
         CoreConfig core = coreConfig(id);
-        Machine machine(fe, core);
         ConfigResult &cfg = result.configs[static_cast<size_t>(id)];
-        cfg.run = machine.run();
 
+        const bool faulty = params_.faults.enabled();
+        std::unique_ptr<FaultPlan> plan;
+        if (faulty) {
+            // Derive a per-(benchmark, config) seed so every run in a
+            // sweep sees an independent but reproducible schedule.
+            FaultParams fp = params_.faults;
+            fp.seed = fp.seed ^ configChecksum(bench_name) ^
+                      (static_cast<uint64_t>(id) << 56);
+            plan = std::make_unique<FaultPlan>(fp);
+        }
+
+        // Retry-with-reload: a parity machine-check means the stored
+        // program image is still good — a fresh Machine reloads it and
+        // the run is retried a bounded number of times.
+        cfg.run = Machine(fe, core).run(plan.get());
+        while (cfg.run.outcome == RunOutcome::FaultDetected &&
+               cfg.faultRetries < params_.faultRetries) {
+            ++cfg.faultRetries;
+            warn_every_n(64, "%s/%s: parity machine-check, reloading "
+                         "(retry %u)", bench_name.c_str(),
+                         configName(id), cfg.faultRetries);
+            cfg.run = Machine(fe, core).run(plan.get());
+        }
+
+        if (cfg.run.outcome != RunOutcome::Completed && !faulty) {
+            // Without injected faults these outcomes are toolchain or
+            // kernel bugs and must keep failing loudly.
+            fatal("%s/%s: run ended %s: %s", bench_name.c_str(),
+                  configName(id), runOutcomeName(cfg.run.outcome),
+                  cfg.run.trapReason.c_str());
+        }
+
+        cfg.checksumOk = cfg.run.outcome == RunOutcome::Completed &&
+                         !cfg.run.io.emitted.empty() &&
+                         cfg.run.io.emitted[0] == workload.expected;
         if (!cfg.run.io.emitted.empty() &&
             cfg.run.io.emitted[0] != workload.expected) {
-            fatal("%s/%s: checksum mismatch (got 0x%08x, want 0x%08x)",
-                  bench_name.c_str(), configName(id),
-                  cfg.run.io.emitted[0], workload.expected);
+            if (!faulty) {
+                fatal("%s/%s: checksum mismatch (got 0x%08x, want "
+                      "0x%08x)", bench_name.c_str(), configName(id),
+                      cfg.run.io.emitted[0], workload.expected);
+            }
+            warn_every_n(64, "%s/%s: silent data corruption (got "
+                         "0x%08x, want 0x%08x)", bench_name.c_str(),
+                         configName(id), cfg.run.io.emitted[0],
+                         workload.expected);
         }
 
         TechParams tech = params_.tech;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hh"
 #include "fits/synth.hh"
 #include "fits/translate.hh"
 #include "power/cache_power.hh"
@@ -44,6 +45,8 @@ struct ConfigResult
     RunResult run;
     CachePowerBreakdown icache;
     ChipPowerBreakdown chip;
+    bool checksumOk = true;  //!< golden output matched (SDC when false)
+    unsigned faultRetries = 0; //!< reload-and-retry attempts consumed
 };
 
 /** Everything measured for one benchmark. */
@@ -99,6 +102,16 @@ struct ExperimentParams
     CoreConfig core; //!< base core; I-cache size is overridden per config
     uint32_t smallCacheBytes = 8 * 1024;
     uint32_t largeCacheBytes = 16 * 1024;
+
+    /**
+     * Soft-error injection (disabled by default). When armed, each
+     * (benchmark, config) run gets its own FaultPlan seeded from
+     * faults.seed so sweeps replay deterministically, and a run ended
+     * by a parity machine-check is reloaded and retried up to
+     * faultRetries times before being reported as lost.
+     */
+    FaultParams faults;
+    unsigned faultRetries = 3;
 };
 
 /** Lazily computes and memoizes per-benchmark results. */

@@ -1,5 +1,6 @@
 #include "fits/serialize.hh"
 
+#include <cctype>
 #include <sstream>
 #include <vector>
 
@@ -10,6 +11,20 @@ namespace pfits
 
 namespace
 {
+
+/** Raise a recoverable configuration error (throws ConfigError). */
+[[noreturn]] void
+configError(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void
+configError(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    throw ConfigError(msg);
+}
 
 const char *
 fieldName(Field f)
@@ -45,11 +60,56 @@ parseField(const std::string &name, int line)
     for (const auto &[n, f] : table)
         if (name == n)
             return f;
-    fatal("fits config line %d: unknown field kind '%s'", line,
-          name.c_str());
+    configError("fits config line %d: unknown field kind '%s'", line,
+                name.c_str());
+}
+
+/**
+ * Parse an unsigned decimal, rejecting anything that is not purely
+ * digits (std::stoi both accepts trailing junk and throws on overflow,
+ * neither of which a fuzz-proof loader can afford).
+ */
+bool
+parseUint(const std::string &digits, unsigned &out, unsigned max)
+{
+    if (digits.empty() || digits.size() > 9)
+        return false;
+    unsigned value = 0;
+    for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value > max)
+        return false;
+    out = value;
+    return true;
+}
+
+std::string
+checksumLine(const std::string &body)
+{
+    return detail::format("checksum %016llx\n",
+                          static_cast<unsigned long long>(
+                              configChecksum(body)));
 }
 
 } // namespace
+
+uint64_t
+configChecksum(const std::string &text)
+{
+    // FNV-1a 64. Every step is a bijection of the running state for a
+    // fixed input byte, so two texts differing in any single byte can
+    // never collide — which is exactly the guarantee the single-bit
+    // corruption contract needs.
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
 
 std::string
 saveFitsIsa(const FitsIsa &isa)
@@ -99,20 +159,59 @@ saveFitsIsa(const FitsIsa &isa)
         }
         os << "\n";
     }
-    return os.str();
+    std::string body = os.str();
+    return body + checksumLine(body);
 }
 
 FitsIsa
 loadFitsIsa(const std::string &text)
 {
+    // --- integrity first ------------------------------------------------
+    // The final line must be "checksum <16 hex>" over everything before
+    // it. Verifying before parsing means a corrupted config is rejected
+    // in O(n) with no risk of the parser mis-reading flipped bytes.
+    if (text.empty() || text.back() != '\n')
+        configError("fits config: missing trailing checksum line");
+    size_t prev_nl = text.rfind('\n', text.size() - 2);
+    size_t last_start = prev_nl == std::string::npos ? 0 : prev_nl + 1;
+    const std::string last =
+        text.substr(last_start, text.size() - 1 - last_start);
+    constexpr const char *kPrefix = "checksum ";
+    constexpr size_t kPrefixLen = 9;
+    if (last.size() != kPrefixLen + 16 ||
+        last.compare(0, kPrefixLen, kPrefix) != 0)
+        configError("fits config: malformed checksum line '%s'",
+                    last.c_str());
+    uint64_t expected = 0;
+    for (size_t i = kPrefixLen; i < last.size(); ++i) {
+        char c = last[i];
+        unsigned digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<unsigned>(c - 'a') + 10;
+        else
+            configError("fits config: bad checksum digit '%c'", c);
+        expected = (expected << 4) | digit;
+    }
+    const std::string body = text.substr(0, last_start);
+    if (configChecksum(body) != expected)
+        configError("fits config: checksum mismatch (stored %016llx, "
+                    "computed %016llx) — stored configuration is "
+                    "corrupt",
+                    static_cast<unsigned long long>(expected),
+                    static_cast<unsigned long long>(
+                        configChecksum(body)));
+
+    // --- parse ----------------------------------------------------------
     FitsIsa isa;
-    std::istringstream stream(text);
+    std::istringstream stream(body);
     std::string line;
     int line_no = 0;
 
     auto nextLine = [&](const char *what) {
         if (!std::getline(stream, line))
-            fatal("fits config: truncated before %s", what);
+            configError("fits config: truncated before %s", what);
         ++line_no;
         return std::istringstream(line);
     };
@@ -122,7 +221,8 @@ loadFitsIsa(const std::string &text)
         std::string magic, version, key;
         ls >> magic >> version >> key >> isa.appName;
         if (magic != "fitsisa" || version != "v1" || key != "app")
-            fatal("fits config line 1: bad header '%s'", line.c_str());
+            configError("fits config line 1: bad header '%s'",
+                        line.c_str());
     }
     {
         auto ls = nextLine("regbits");
@@ -130,7 +230,15 @@ loadFitsIsa(const std::string &text)
         unsigned bits;
         ls >> k1 >> bits >> k2 >> isa.scratchReg;
         if (k1 != "regbits" || k2 != "scratch" || !ls)
-            fatal("fits config line %d: bad regbits line", line_no);
+            configError("fits config line %d: bad regbits line",
+                        line_no);
+        if (bits < 1 || bits > 4)
+            configError("fits config line %d: regbits %u out of range",
+                        line_no, bits);
+        if (isa.scratchReg < -1 ||
+            isa.scratchReg >= static_cast<int>(NUM_REGS))
+            configError("fits config line %d: scratch register %d out "
+                        "of range", line_no, isa.scratchReg);
         isa.regBits = static_cast<uint8_t>(bits);
     }
     {
@@ -138,34 +246,55 @@ loadFitsIsa(const std::string &text)
         std::string key;
         ls >> key;
         if (key != "regunmap")
-            fatal("fits config line %d: expected regunmap", line_no);
+            configError("fits config line %d: expected regunmap",
+                        line_no);
         unsigned reg;
         while (ls >> reg) {
             if (reg >= NUM_REGS)
-                fatal("fits config line %d: register %u out of range",
-                      line_no, reg);
+                configError("fits config line %d: register %u out of "
+                            "range", line_no, reg);
+            if (isa.regUnmap.size() >= NUM_REGS)
+                configError("fits config line %d: more than %u mapped "
+                            "registers", line_no, NUM_REGS);
             isa.regUnmap.push_back(static_cast<uint8_t>(reg));
         }
         isa.regMap.fill(-1);
+        // First mapping wins: the synthesizer pads short unmap tables
+        // with register 0 so every field code decodes safely.
         for (size_t code = 0; code < isa.regUnmap.size(); ++code) {
             uint8_t reg = isa.regUnmap[code];
             if (isa.regMap[reg] < 0)
                 isa.regMap[reg] = static_cast<int8_t>(code);
         }
     }
-    auto readDict = [&](const char *name, auto add) {
+    auto readDict = [&](const char *name, size_t max_entries,
+                        auto add) {
         auto ls = nextLine(name);
         std::string key;
         ls >> key;
         if (key != name)
-            fatal("fits config line %d: expected %s", line_no, name);
+            configError("fits config line %d: expected %s", line_no,
+                        name);
         int64_t value;
-        while (ls >> value)
+        size_t entries = 0;
+        while (ls >> value) {
+            if (++entries > max_entries)
+                configError("fits config line %d: %s overflows %zu "
+                            "entries", line_no, name, max_entries);
             add(value);
+        }
     };
-    readDict("opdict", [&](int64_t v) { isa.opDict.add(v); });
-    readDict("dispdict", [&](int64_t v) { isa.dispDict.add(v); });
-    readDict("listdict", [&](int64_t v) {
+    // Dictionary indices are <= 16-bit fields, so 64 Ki entries bounds
+    // any loadable dictionary; a corrupted line cannot balloon memory.
+    constexpr size_t kMaxDict = 1u << 16;
+    readDict("opdict", kMaxDict, [&](int64_t v) { isa.opDict.add(v); });
+    readDict("dispdict", kMaxDict,
+             [&](int64_t v) { isa.dispDict.add(v); });
+    readDict("listdict", kMaxDict, [&](int64_t v) {
+        if (v < 0 || v > 0xffff)
+            configError("fits config line %d: register list %lld out "
+                        "of range", line_no,
+                        static_cast<long long>(v));
         isa.listDict.push_back(static_cast<uint16_t>(v));
     });
 
@@ -177,8 +306,8 @@ loadFitsIsa(const std::string &text)
         std::string key;
         ls >> key;
         if (key != "slot")
-            fatal("fits config line %d: expected a slot, got '%s'",
-                  line_no, key.c_str());
+            configError("fits config line %d: expected a slot, got "
+                        "'%s'", line_no, key.c_str());
         FitsSlot slot;
         unsigned op, cond, flags, form, shift, mem_add, cls, two_op,
             baked_amt, disp_scale, val_signed, essential, opcode_bits;
@@ -189,13 +318,29 @@ loadFitsIsa(const std::string &text)
             slot.opcode >> opcode_bits >> slot.staticCount >>
             slot.dynCount;
         if (!ls)
-            fatal("fits config line %d: malformed slot", line_no);
+            configError("fits config line %d: malformed slot", line_no);
         if (op >= static_cast<unsigned>(Op::NUM) ||
             cond >= static_cast<unsigned>(Cond::NUM) ||
             form > static_cast<unsigned>(SigForm::MEM_REG) ||
-            shift >= static_cast<unsigned>(ShiftType::NUM)) {
-            fatal("fits config line %d: enum out of range", line_no);
+            shift >= static_cast<unsigned>(ShiftType::NUM) ||
+            cls > static_cast<unsigned>(SlotClass::AIS)) {
+            configError("fits config line %d: enum out of range",
+                        line_no);
         }
+        auto checkReg = [&](int reg, const char *what) {
+            if (reg < -1 || reg >= static_cast<int>(NUM_REGS))
+                configError("fits config line %d: baked %s register "
+                            "%d out of range", line_no, what, reg);
+        };
+        checkReg(baked_rd, "rd");
+        checkReg(baked_ra, "ra");
+        checkReg(baked_rm, "rm");
+        if (opcode_bits > 16)
+            configError("fits config line %d: opcode length %u",
+                        line_no, opcode_bits);
+        if (opcode_bits < 16 && slot.opcode >= (1u << opcode_bits))
+            configError("fits config line %d: opcode 0x%x does not fit "
+                        "%u bits", line_no, slot.opcode, opcode_bits);
         slot.sig.op = static_cast<Op>(op);
         slot.sig.cond = static_cast<Cond>(cond);
         slot.sig.setsFlags = flags != 0;
@@ -217,24 +362,35 @@ loadFitsIsa(const std::string &text)
         while (ls >> field) {
             size_t colon = field.find(':');
             if (colon == std::string::npos)
-                fatal("fits config line %d: bad field '%s'", line_no,
-                      field.c_str());
+                configError("fits config line %d: bad field '%s'",
+                            line_no, field.c_str());
             Field kind = parseField(field.substr(0, colon), line_no);
-            int bits = std::stoi(field.substr(colon + 1));
-            if (bits <= 0 || bits > 16)
-                fatal("fits config line %d: field width %d", line_no,
-                      bits);
+            unsigned bits;
+            if (!parseUint(field.substr(colon + 1), bits, 16) ||
+                bits == 0)
+                configError("fits config line %d: bad field width in "
+                            "'%s'", line_no, field.c_str());
             slot.fields.push_back(
                 FieldSpec{kind, static_cast<uint8_t>(bits)});
         }
         if (slot.fieldBits() + slot.opcodeBits != 16)
-            fatal("fits config line %d: slot does not fill 16 bits",
-                  line_no);
+            configError("fits config line %d: slot does not fill 16 "
+                        "bits", line_no);
         isa.slots.push_back(std::move(slot));
     }
     if (isa.slots.empty())
-        fatal("fits config: no slots");
-    isa.buildDecodeTable();
+        configError("fits config: no slots");
+    if (isa.kraftSum() > 65536)
+        configError("fits config: opcode space oversubscribed (kraft "
+                    "sum %llu > 65536)",
+                    static_cast<unsigned long long>(isa.kraftSum()));
+    try {
+        isa.buildDecodeTable();
+    } catch (const std::exception &e) {
+        // Overlapping opcodes in an otherwise well-formed file: the
+        // decode table would be ambiguous, so the config is unusable.
+        configError("fits config: %s", e.what());
+    }
     return isa;
 }
 

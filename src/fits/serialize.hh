@@ -19,19 +19,44 @@
 
 #include <string>
 
+#include "common/logging.hh"
 #include "fits/fits_isa.hh"
 
 namespace pfits
 {
 
-/** Serialize a synthesized ISA (with opcode assignment) to text. */
+/**
+ * A recoverable decoder-configuration error: the saved config is
+ * corrupt, truncated, or semantically invalid. Derives from FatalError
+ * so legacy callers still see a user-level failure, but harnesses that
+ * treat a damaged config as a hardware event (the stored config lives
+ * in non-volatile state on the FITS processor) can catch this type and
+ * re-download instead of dying.
+ */
+class ConfigError : public FatalError
+{
+  public:
+    explicit ConfigError(const std::string &msg) : FatalError(msg) {}
+};
+
+/**
+ * Serialize a synthesized ISA (with opcode assignment) to text. The
+ * last line is a checksum over everything before it; loadFitsIsa()
+ * refuses input whose checksum does not match, which guarantees any
+ * single-bit corruption of a saved config is detected.
+ */
 std::string saveFitsIsa(const FitsIsa &isa);
 
 /**
  * Parse a configuration produced by saveFitsIsa() and rebuild the
- * decode table. fatal()s on malformed input, naming the line.
+ * decode table. Throws ConfigError — never crashes, hangs, or returns
+ * a wrong table — on any malformed, truncated or corrupted input,
+ * naming the offending line. The checksum is verified before parsing.
  */
 FitsIsa loadFitsIsa(const std::string &text);
+
+/** FNV-1a 64-bit hash of @p text (the config checksum function). */
+uint64_t configChecksum(const std::string &text);
 
 /**
  * Estimated size of the decoder's configuration state in bits: per-slot

@@ -27,12 +27,15 @@ CachePowerModel::internalEnergyPerAccess() const
 {
     // Bitlines: every cell hanging off the accessed columns contributes
     // capacitance; with the column count fixed by (assoc x line), this
-    // term is linear in cache size.
-    double bitline = static_cast<double>(cellBits()) *
+    // term is linear in cache size. Parity adds one cell per line.
+    double bitline = static_cast<double>(cellBits() + parityBits()) *
                      tech_.eBitlinePerCell;
-    // Wordline drive + sense amplifiers: one per column.
-    double word_sense = static_cast<double>(cols()) *
-                        tech_.eWordSensePerCol;
+    // Wordline drive + sense amplifiers: one per column (parity adds
+    // one read-and-checked column per way).
+    double word_sense =
+        static_cast<double>(cols() +
+                            (config_.parity ? config_.assoc : 0)) *
+        tech_.eWordSensePerCol;
     // Row decoder: grows with the number of decoded address bits.
     double decode = ceilLog2(rows() ? rows() : 1) *
                     tech_.eDecodePerRowBit;
@@ -53,8 +56,12 @@ CachePowerModel::refillInternalEnergy() const
 double
 CachePowerModel::leakagePower() const
 {
-    double cells = static_cast<double>(cellBits()) * tech_.pLeakPerBit;
-    double periphery = static_cast<double>(cols()) * tech_.pLeakPerCol;
+    double cells = static_cast<double>(cellBits() + parityBits()) *
+                   tech_.pLeakPerBit;
+    double periphery =
+        static_cast<double>(cols() +
+                            (config_.parity ? config_.assoc : 0)) *
+        tech_.pLeakPerCol;
     return cells + periphery;
 }
 

@@ -93,6 +93,11 @@ class CachePowerModel
     {
         return static_cast<uint64_t>(config_.sizeBytes) * 8;
     }
+    /** Extra storage for per-line parity (one bit per line, or 0). */
+    uint64_t parityBits() const
+    {
+        return config_.parity ? config_.numLines() : 0;
+    }
 
     // --- per-event energies (J) -----------------------------------------
     /** One array read: decoder + wordline + bitlines + sense + tag. */

@@ -356,8 +356,8 @@ execute(const MicroOp &uop, uint64_t index, const AddrCodec &codec,
         uint32_t target = state.regs[LR];
         if (target < codec.base || ((target - codec.base) &
                                     ((1u << codec.shift) - 1u)) != 0) {
-            fatal("ret to unaligned or out-of-range address 0x%08x",
-                  target);
+            trap("ret to unaligned or out-of-range address 0x%08x",
+                 target);
         }
         info.nextIndex = codec.indexOf(target);
         break;
@@ -375,7 +375,7 @@ execute(const MicroOp &uop, uint64_t index, const AddrCodec &codec,
             io.emitted.push_back(state.regs[R0]);
             break;
           default:
-            fatal("unknown swi #%u", uop.imm);
+            trap("unknown swi #%u", uop.imm);
         }
         break;
       case Op::NOP:

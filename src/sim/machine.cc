@@ -8,6 +8,18 @@
 namespace pfits
 {
 
+const char *
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Completed: return "completed";
+      case RunOutcome::Trapped: return "trapped";
+      case RunOutcome::WatchdogExpired: return "watchdog-expired";
+      case RunOutcome::FaultDetected: return "fault-detected";
+      default: panic("bad RunOutcome");
+    }
+}
+
 void
 RunResult::addStats(StatGroup &group) const
 {
@@ -42,6 +54,17 @@ RunResult::addStats(StatGroup &group) const
         "D-cache misses");
     add("dcache.writebacks", static_cast<double>(dcache.writebacks),
         "dirty lines written back");
+    add("outcome", static_cast<double>(outcome),
+        "0=completed 1=trapped 2=watchdog 3=fault-detected");
+    add("icache.faults_injected",
+        static_cast<double>(icache.faultsInjected),
+        "soft errors landed in I-cache lines");
+    add("icache.parity_detections",
+        static_cast<double>(icache.parityDetections),
+        "corrupt I-cache lines caught by parity");
+    add("icache.corrupt_deliveries",
+        static_cast<double>(icache.corruptDeliveries),
+        "corrupt I-cache lines consumed silently");
 }
 
 Machine::Machine(const FrontEnd &fe, const CoreConfig &config)
@@ -54,7 +77,7 @@ Machine::Machine(const FrontEnd &fe, const CoreConfig &config)
 }
 
 RunResult
-Machine::run()
+Machine::run(FaultPlan *faults)
 {
     RunResult result;
     result.benchmark = fe_.name();
@@ -88,16 +111,36 @@ Machine::run()
     const size_t num_insns = fe_.numInstructions();
 
     ExecInfo info;
+    result.outcome = RunOutcome::Completed;
+    try {
     while (!state.halted) {
         if (index >= num_insns)
-            fatal("%s/%s: fell off the end of the program at index %llu",
-                  result.benchmark.c_str(), result.config.c_str(),
-                  static_cast<unsigned long long>(index));
-        if (result.instructions >= config_.maxInstructions)
-            fatal("%s/%s: exceeded the %llu-instruction cap",
-                  result.benchmark.c_str(), result.config.c_str(),
-                  static_cast<unsigned long long>(
-                      config_.maxInstructions));
+            trap("%s/%s: fell off the end of the program at index %llu",
+                 result.benchmark.c_str(), result.config.c_str(),
+                 static_cast<unsigned long long>(index));
+        if (result.instructions >= config_.maxInstructions) {
+            // Runaway guard: report the expiry with partial statistics
+            // instead of tearing the whole sweep down.
+            result.outcome = RunOutcome::WatchdogExpired;
+            result.trapReason = detail::format(
+                "%s/%s: exceeded the %llu-instruction cap",
+                result.benchmark.c_str(), result.config.c_str(),
+                static_cast<unsigned long long>(
+                    config_.maxInstructions));
+            break;
+        }
+
+        // --- soft-error injection -------------------------------------
+        if (faults) {
+            if (faults->due(FaultTarget::ICACHE, result.instructions) &&
+                icache.injectBitFlip(faults->rng())) {
+                faults->recordInjected(FaultTarget::ICACHE);
+            }
+            if (faults->due(FaultTarget::MEMORY, result.instructions) &&
+                mem_.injectBitFlip(faults->rng())) {
+                faults->recordInjected(FaultTarget::MEMORY);
+            }
+        }
 
         const MicroOp &uop = fe_.uopAt(static_cast<size_t>(index));
         const uint32_t addr = codec.addrOf(index);
@@ -108,6 +151,26 @@ Machine::run()
         prev_word_addr = addr >> 2;
         if (new_word) {
             CacheAccessResult fetch = icache.access(addr, false);
+            if (fetch.parityError) {
+                // Machine-check: parity caught a corrupt line on
+                // consumption. The run is not trustworthy past this
+                // point; the harness reloads and retries.
+                if (faults)
+                    faults->recordDetected(FaultTarget::ICACHE);
+                result.outcome = RunOutcome::FaultDetected;
+                result.trapReason = detail::format(
+                    "%s/%s: I-cache parity error at 0x%08x",
+                    result.benchmark.c_str(), result.config.c_str(),
+                    addr);
+                break;
+            }
+            if (fetch.corruptDelivered && faults) {
+                // No checker: the flipped bits reach the decoder. The
+                // tag-only cache model cannot alter the functional
+                // stream, so the escape is counted rather than acted
+                // out (see docs/RESILIENCE.md).
+                faults->recordEscaped(FaultTarget::ICACHE);
+            }
             if (!fetch.hit) {
                 front_ready =
                     std::max(front_ready, last_issue) +
@@ -209,13 +272,21 @@ Machine::run()
         }
         index = info.nextIndex;
     }
+    } catch (const TrapError &e) {
+        // Architectural trap raised by the executor or memory system:
+        // a measured outcome with partial statistics, not an abort.
+        result.outcome = RunOutcome::Trapped;
+        result.trapReason = e.what();
+    }
 
-    // Drain the pipeline (fetch/decode/execute/mem/writeback).
+    // Drain the pipeline (fetch/decode/execute/mem/writeback). All
+    // outcomes finalize: a trapped or watchdog-expired run still
+    // reports the activity it accumulated.
     result.cycles = last_issue + 4;
     result.icache = icache.stats();
     result.dcache = dcache.stats();
     result.finalState = state;
-    result.exitedCleanly = true;
+    result.exitedCleanly = result.outcome == RunOutcome::Completed;
     return result;
 }
 

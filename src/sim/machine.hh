@@ -24,12 +24,29 @@
 #include <string>
 
 #include "cache/cache.hh"
+#include "common/fault.hh"
 #include "sim/executor.hh"
 #include "sim/frontend.hh"
 #include "sim/memory.hh"
 
 namespace pfits
 {
+
+/**
+ * How a simulated run ended. Everything except Completed used to abort
+ * the toolchain via fatal(); under fault injection they are expected,
+ * countable outcomes, and the harness decides what is retryable.
+ */
+enum class RunOutcome : uint8_t
+{
+    Completed,       //!< SWI_EXIT reached; results are architectural
+    Trapped,         //!< architectural trap (misalignment, wild ret, ...)
+    WatchdogExpired, //!< hit the maxInstructions runaway guard
+    FaultDetected,   //!< a hardware checker (parity) raised machine-check
+};
+
+/** @return "completed"/"trapped"/"watchdog-expired"/"fault-detected". */
+const char *runOutcomeName(RunOutcome outcome);
 
 /** Core configuration (defaults model the Intel SA-1100). */
 struct CoreConfig
@@ -79,7 +96,9 @@ struct RunResult
 
     IoSinks io;
     CpuState finalState;
-    bool exitedCleanly = false;
+    RunOutcome outcome = RunOutcome::Trapped;
+    std::string trapReason;    //!< diagnostic for non-Completed outcomes
+    bool exitedCleanly = false; //!< outcome == Completed (legacy alias)
 
     double
     ipc() const
@@ -107,8 +126,14 @@ class Machine
      */
     Machine(const FrontEnd &fe, const CoreConfig &config);
 
-    /** Run from instruction 0 until SWI_EXIT or the instruction cap. */
-    RunResult run();
+    /**
+     * Run from instruction 0 until SWI_EXIT, an architectural trap, a
+     * parity machine-check, or the instruction cap — all reported as
+     * the RunResult's outcome (with partial statistics), never by
+     * aborting. An optional @p faults plan injects scheduled soft
+     * errors into the I-cache and data memory while running.
+     */
+    RunResult run(FaultPlan *faults = nullptr);
 
     Memory &mem() { return mem_; }
     const Memory &mem() const { return mem_; }

@@ -1,9 +1,21 @@
 #include "sim/memory.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pfits
 {
+
+void
+trap(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    throw TrapError(msg);
+}
 
 Memory::Page &
 Memory::page(uint32_t addr)
@@ -33,7 +45,7 @@ uint16_t
 Memory::read16(uint32_t addr) const
 {
     if (addr & 1u)
-        fatal("misaligned halfword read at 0x%08x", addr);
+        trap("misaligned halfword read at 0x%08x", addr);
     return static_cast<uint16_t>(read8(addr) |
                                  (read8(addr + 1) << 8));
 }
@@ -42,7 +54,7 @@ uint32_t
 Memory::read32(uint32_t addr) const
 {
     if (addr & 3u)
-        fatal("misaligned word read at 0x%08x", addr);
+        trap("misaligned word read at 0x%08x", addr);
     const Page *p = pageIfPresent(addr);
     if (!p)
         return 0;
@@ -63,7 +75,7 @@ void
 Memory::write16(uint32_t addr, uint16_t value)
 {
     if (addr & 1u)
-        fatal("misaligned halfword write at 0x%08x", addr);
+        trap("misaligned halfword write at 0x%08x", addr);
     Page &p = page(addr);
     uint32_t off = addr & (kPageSize - 1);
     p[off] = static_cast<uint8_t>(value);
@@ -74,7 +86,7 @@ void
 Memory::write32(uint32_t addr, uint32_t value)
 {
     if (addr & 3u)
-        fatal("misaligned word write at 0x%08x", addr);
+        trap("misaligned word write at 0x%08x", addr);
     Page &p = page(addr);
     uint32_t off = addr & (kPageSize - 1);
     p[off] = static_cast<uint8_t>(value);
@@ -88,6 +100,25 @@ Memory::writeBytes(uint32_t addr, const std::vector<uint8_t> &bytes)
 {
     for (size_t i = 0; i < bytes.size(); ++i)
         write8(addr + static_cast<uint32_t>(i), bytes[i]);
+}
+
+std::optional<uint32_t>
+Memory::injectBitFlip(Rng &rng)
+{
+    if (pages_.empty())
+        return std::nullopt;
+    // unordered_map iteration order is not deterministic across
+    // implementations; pick the victim page from sorted keys so a
+    // seeded fault plan replays identically everywhere.
+    std::vector<uint32_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &[key, page] : pages_)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    uint32_t key = keys[rng.below(static_cast<uint32_t>(keys.size()))];
+    uint32_t bit = rng.below(kPageSize * 8);
+    pages_[key][bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    return (key << kPageShift) | (bit / 8);
 }
 
 } // namespace pfits

@@ -12,11 +12,33 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
+#include "common/rng.hh"
+
 namespace pfits
 {
+
+/**
+ * An architectural trap: the *simulated program* did something the
+ * architecture forbids (misaligned access, wild return, unknown SWI).
+ * Derives from FatalError so standalone users still see a user-level
+ * error, but the Machine catches it and records a Trapped RunOutcome
+ * with partial statistics instead of aborting the sweep — under fault
+ * injection a trap is a measured outcome, not a tooling failure.
+ */
+class TrapError : public FatalError
+{
+  public:
+    explicit TrapError(const std::string &msg) : FatalError(msg) {}
+};
+
+/** Raise an architectural trap (throws TrapError). */
+[[noreturn]] void trap(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 /** Sparse byte-addressable memory. */
 class Memory
@@ -32,6 +54,14 @@ class Memory
 
     /** Bulk initialization used by the loader. */
     void writeBytes(uint32_t addr, const std::vector<uint8_t> &bytes);
+
+    /**
+     * Soft error: flip one uniformly chosen bit among the allocated
+     * pages (deterministic given @p rng — pages are picked in sorted
+     * key order, never hash order).
+     * @return the byte address struck, or nullopt when no page exists.
+     */
+    std::optional<uint32_t> injectBitFlip(Rng &rng);
 
     /** Drop all pages. */
     void clear() { pages_.clear(); }

@@ -192,5 +192,92 @@ TEST(Cache, PolicyNames)
                  "round-robin");
 }
 
+TEST(CacheConfig, MisconfigurationIsFatalNotUB)
+{
+    // Every degenerate geometry must be rejected by validate() before
+    // any division or table sizing can go wrong.
+    CacheConfig cfg = smallCache();
+    cfg.sizeBytes = 3000; // non-power-of-two size
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = smallCache();
+    cfg.assoc = 0; // zero associativity would divide by zero
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = smallCache();
+    cfg.sizeBytes = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = smallCache();
+    cfg.lineBytes = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = smallCache();
+    cfg.lineBytes = 2; // below the 4-byte minimum
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = smallCache();
+    cfg.assoc = 3; // non-power-of-two associativity
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    // The Cache constructor itself must enforce the same contract.
+    cfg = smallCache();
+    cfg.assoc = 0;
+    EXPECT_THROW(Cache{cfg}, FatalError);
+}
+
+TEST(Cache, InjectedFaultEscapesWithoutParity)
+{
+    Cache cache(smallCache());
+    cache.access(0x1000, false);
+    Rng rng(42);
+    ASSERT_TRUE(cache.injectBitFlip(rng));
+    EXPECT_EQ(cache.stats().faultsInjected, 1u);
+
+    CacheAccessResult res = cache.access(0x1000, false);
+    EXPECT_TRUE(res.hit);
+    EXPECT_TRUE(res.corruptDelivered);
+    EXPECT_FALSE(res.parityError);
+    EXPECT_EQ(cache.stats().corruptDeliveries, 1u);
+
+    // The corruption is consumed once; the line then reads clean.
+    res = cache.access(0x1000, false);
+    EXPECT_TRUE(res.hit);
+    EXPECT_FALSE(res.corruptDelivered);
+}
+
+TEST(Cache, ParityDetectsInjectedFaultAndRefetches)
+{
+    CacheConfig cfg = smallCache();
+    cfg.parity = true;
+    Cache cache(cfg);
+    cache.access(0x1000, false);
+    Rng rng(42);
+    ASSERT_TRUE(cache.injectBitFlip(rng));
+
+    CacheAccessResult res = cache.access(0x1000, false);
+    EXPECT_TRUE(res.parityError);
+    EXPECT_FALSE(res.hit); // detected flips force a refetch (miss)
+    EXPECT_FALSE(res.corruptDelivered);
+    EXPECT_EQ(cache.stats().parityDetections, 1u);
+    EXPECT_EQ(cache.stats().corruptDeliveries, 0u);
+
+    // The refetched line is clean again.
+    res = cache.access(0x1000, false);
+    EXPECT_TRUE(res.hit);
+    EXPECT_FALSE(res.parityError);
+}
+
+TEST(Cache, InjectIntoEmptyCacheDoesNothing)
+{
+    Cache cache(smallCache());
+    Rng rng(7);
+    EXPECT_FALSE(cache.injectBitFlip(rng));
+    EXPECT_EQ(cache.stats().faultsInjected, 0u);
+    EXPECT_EQ(cache.residentLines(), 0u);
+    cache.access(0x0, false);
+    EXPECT_EQ(cache.residentLines(), 1u);
+}
+
 } // namespace
 } // namespace pfits

@@ -30,6 +30,31 @@ TEST(Logging, PanicThrowsPanicError)
     EXPECT_THROW(panic("invariant"), PanicError);
 }
 
+TEST(Logging, WarnOnceEmitsExactlyOnce)
+{
+    setQuiet(false);
+    uint64_t before = warnCount();
+    for (int i = 0; i < 100; ++i)
+        warn_once("only once please (%d)", i);
+    EXPECT_EQ(warnCount(), before + 1);
+}
+
+TEST(Logging, WarnEveryNRateLimits)
+{
+    setQuiet(false);
+    uint64_t before = warnCount();
+    for (int i = 0; i < 100; ++i)
+        warn_every_n(10, "every tenth (%d)", i);
+    // Fires on iterations 0, 10, 20, ... 90.
+    EXPECT_EQ(warnCount(), before + 10);
+
+    // A different call site keeps its own counter.
+    before = warnCount();
+    for (int i = 0; i < 5; ++i)
+        warn_every_n(10, "first of five");
+    EXPECT_EQ(warnCount(), before + 1);
+}
+
 TEST(Rng, DeterministicAcrossInstances)
 {
     Rng a(123), b(123);

@@ -177,8 +177,10 @@ TEST(Machine, FetchActivityTracked)
     EXPECT_EQ(rr.icache.accesses(), rr.instructions);
 }
 
-TEST(Machine, RunawayProgramHitsInstructionCap)
+TEST(Machine, RunawayProgramReportsWatchdogExpired)
 {
+    // A deliberately infinite loop: the watchdog must end the run with
+    // a structured outcome and partial statistics, not an exception.
     ProgramBuilder b("forever");
     Label spin = b.here();
     b.b(spin);
@@ -186,16 +188,54 @@ TEST(Machine, RunawayProgramHitsInstructionCap)
     CoreConfig cfg;
     cfg.maxInstructions = 1000;
     Machine m(fe, cfg);
-    EXPECT_THROW(m.run(), FatalError);
+    RunResult rr = m.run();
+    EXPECT_EQ(rr.outcome, RunOutcome::WatchdogExpired);
+    EXPECT_FALSE(rr.exitedCleanly);
+    EXPECT_EQ(rr.instructions, 1000u);          // partial stats kept
+    EXPECT_GT(rr.cycles, rr.instructions / 2);  // timing too
+    EXPECT_GT(rr.icache.accesses(), 0u);
+    EXPECT_NE(rr.trapReason.find("instruction cap"),
+              std::string::npos);
 }
 
-TEST(Machine, FallingOffTheEndFaults)
+TEST(Machine, FallingOffTheEndTraps)
 {
     ProgramBuilder b("noexit");
     b.nop();
     ArmFrontEnd fe(b.finish());
     Machine m(fe, CoreConfig{});
-    EXPECT_THROW(m.run(), FatalError);
+    RunResult rr = m.run();
+    EXPECT_EQ(rr.outcome, RunOutcome::Trapped);
+    EXPECT_FALSE(rr.exitedCleanly);
+    EXPECT_NE(rr.trapReason.find("fell off the end"),
+              std::string::npos);
+}
+
+TEST(Machine, MisalignedAccessTrapsWithPartialStats)
+{
+    // A misaligned load is an architectural trap, recorded on the
+    // result instead of thrown at the caller.
+    ProgramBuilder b("misalign");
+    b.movi(R1, 0x101);
+    b.ldr(R0, R1, 0); // word load at a non-word address
+    b.exit();
+    ArmFrontEnd fe(b.finish());
+    Machine m(fe, CoreConfig{});
+    RunResult rr = m.run();
+    EXPECT_EQ(rr.outcome, RunOutcome::Trapped);
+    EXPECT_NE(rr.trapReason.find("misaligned"), std::string::npos);
+    EXPECT_GE(rr.instructions, 1u);
+}
+
+TEST(Machine, CompletedRunReportsOutcome)
+{
+    ArmFrontEnd fe(countdownProgram(10));
+    Machine m(fe, CoreConfig{});
+    RunResult rr = m.run();
+    EXPECT_EQ(rr.outcome, RunOutcome::Completed);
+    EXPECT_TRUE(rr.exitedCleanly);
+    EXPECT_TRUE(rr.trapReason.empty());
+    EXPECT_STREQ(runOutcomeName(rr.outcome), "completed");
 }
 
 TEST(Machine, DataSegmentsLoaded)

@@ -61,6 +61,32 @@ TEST(CachePower, InternalEnergyScalesWithSize)
     EXPECT_LT(ratio, 0.65);
 }
 
+TEST(CachePower, ParityColumnCostsEnergy)
+{
+    TechParams tech;
+    CacheConfig plain = cacheOf(16 * 1024);
+    CacheConfig protectedCfg = plain;
+    protectedCfg.parity = true;
+    CachePowerModel unguarded(plain, tech);
+    CachePowerModel guarded(protectedCfg, tech);
+
+    // One parity bit per line: 512 extra cells, one extra sense column
+    // per way — strictly more energy everywhere, but only slightly
+    // (the array is 128 Kibit, parity adds 512 bits).
+    EXPECT_EQ(guarded.parityBits(), plain.numLines());
+    EXPECT_EQ(unguarded.parityBits(), 0u);
+    EXPECT_GT(guarded.internalEnergyPerAccess(),
+              unguarded.internalEnergyPerAccess());
+    EXPECT_LT(guarded.internalEnergyPerAccess(),
+              unguarded.internalEnergyPerAccess() * 1.05);
+
+    RunResult rr = syntheticRun(1000000, 32, 500);
+    double with = guarded.evaluate(rr).totalJ();
+    double without = unguarded.evaluate(rr).totalJ();
+    EXPECT_GT(with, without);
+    EXPECT_LT(with, without * 1.05);
+}
+
 TEST(CachePower, LeakageScalesWeakly)
 {
     TechParams tech;

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Corruption fuzzing for decoder-configuration loading.
+ *
+ * The stored configuration lives in non-volatile state on the FITS
+ * processor, so the loader's contract is absolute: any damaged input
+ * throws a typed, recoverable error — it never crashes, hangs, or
+ * silently builds a wrong decode table. These tests attack one real
+ * synthesized configuration with truncation, line reordering, seeded
+ * random bit flips, and finally an exhaustive single-bit-flip sweep
+ * over the whole text, which proves the checksum's single-bit
+ * detection guarantee rather than sampling it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fits/profile.hh"
+#include "fits/serialize.hh"
+#include "fits/synth.hh"
+#include "mibench/mibench.hh"
+
+namespace pfits
+{
+namespace
+{
+
+std::string
+configFor(const char *bench)
+{
+    mibench::Workload w = mibench::findBench(bench).build();
+    ProfileInfo profile = profileProgram(w.program);
+    return saveFitsIsa(synthesize(profile, SynthParams{}, bench));
+}
+
+/** The one accepted-input contract: a clean load re-saves byte-identically. */
+void
+expectRejectedOrUntouched(const std::string &mutated,
+                          const std::string &original)
+{
+    try {
+        FitsIsa isa = loadFitsIsa(mutated);
+        // Load succeeded: the mutation must have been the identity
+        // (the checksum rejects every real change), and re-saving must
+        // reproduce the input bit-for-bit.
+        EXPECT_EQ(mutated, original);
+        EXPECT_EQ(saveFitsIsa(isa), mutated);
+    } catch (const FatalError &) {
+        // Rejected with the typed error: the contract holds.
+    }
+}
+
+TEST(SerializeFuzz, EveryTruncationIsRejected)
+{
+    std::string text = configFor("crc32");
+    ASSERT_GT(text.size(), 100u);
+    for (size_t len = 0; len < text.size(); ++len)
+        EXPECT_THROW(loadFitsIsa(text.substr(0, len)), FatalError)
+            << "prefix of " << len << " bytes accepted";
+}
+
+TEST(SerializeFuzz, LineShufflesAreRejectedOrIdentity)
+{
+    std::string text = configFor("crc32");
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        lines.push_back(text.substr(pos, nl - pos + 1));
+        pos = nl + 1;
+    }
+    ASSERT_GT(lines.size(), 4u);
+
+    Rng rng(0xf0221e);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::string> shuffled = lines;
+        for (size_t i = shuffled.size() - 1; i > 0; --i)
+            std::swap(shuffled[i],
+                      shuffled[rng.below(static_cast<uint32_t>(i + 1))]);
+        std::string mutated;
+        for (const std::string &line : shuffled)
+            mutated += line;
+        expectRejectedOrUntouched(mutated, text);
+    }
+}
+
+TEST(SerializeFuzz, SeededRandomBitFlipsAreRejected)
+{
+    std::string text = configFor("crc32");
+    FaultPlan plan(FaultParams{});
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string mutated = text;
+        int64_t bit = plan.corruptTextBit(mutated);
+        ASSERT_GE(bit, 0);
+        ASSERT_NE(mutated, text);
+        EXPECT_THROW(loadFitsIsa(mutated), FatalError)
+            << "flipped bit " << bit;
+    }
+    EXPECT_EQ(plan.injected(FaultTarget::CONFIG), 500u);
+}
+
+TEST(SerializeFuzz, MultiBitBurstsAreRejectedOrUntouched)
+{
+    // Multi-bit bursts can in principle cancel in a checksum; FNV-1a
+    // makes that astronomically unlikely but not impossible, so the
+    // contract here is reject-or-identity, not reject-always.
+    std::string text = configFor("gsm");
+    FaultPlan plan(FaultParams{});
+    Rng rng(0xbeef5);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string mutated = text;
+        uint32_t flips = 2 + rng.below(7);
+        for (uint32_t i = 0; i < flips; ++i)
+            plan.corruptTextBit(mutated);
+        expectRejectedOrUntouched(mutated, text);
+    }
+}
+
+/**
+ * The acceptance criterion: every single-bit corruption of a saved
+ * configuration is detected. FNV-1a's per-byte update is a bijection of
+ * the running hash, so two equal-length texts differing in one byte
+ * never collide; the checksum line itself is covered by its strict
+ * "checksum " + 16-hex-digit syntax; the final newline is covered by
+ * the must-end-in-newline rule. Exhaustive, not sampled.
+ */
+TEST(SerializeFuzz, ExhaustiveSingleBitFlipAlwaysDetected)
+{
+    std::string text = configFor("crc32");
+    const size_t bits = text.size() * 8;
+    for (size_t bit = 0; bit < bits; ++bit) {
+        std::string mutated = text;
+        mutated[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(mutated[bit / 8]) ^
+            (1u << (bit % 8)));
+        EXPECT_THROW(loadFitsIsa(mutated), FatalError)
+            << "single-bit flip at bit " << bit << " accepted";
+    }
+}
+
+TEST(SerializeFuzz, CorruptionThrowsTypedConfigError)
+{
+    std::string text = configFor("crc32");
+    std::string mutated = text;
+    mutated[text.size() / 3] ^= 0x10;
+    // Catchable as the recoverable type, and as the legacy base type.
+    EXPECT_THROW(loadFitsIsa(mutated), ConfigError);
+    EXPECT_THROW(loadFitsIsa(mutated), FatalError);
+    try {
+        loadFitsIsa(mutated);
+        FAIL() << "corrupt config accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos);
+    }
+}
+
+TEST(SerializeFuzz, ChecksumLineTamperingIsRejected)
+{
+    std::string text = configFor("crc32");
+    size_t line_start = text.rfind("checksum ");
+    ASSERT_NE(line_start, std::string::npos);
+
+    // A well-formed but wrong checksum value.
+    std::string wrong = text.substr(0, line_start) +
+                        "checksum 0123456789abcdef\n";
+    EXPECT_THROW(loadFitsIsa(wrong), ConfigError);
+
+    // A malformed checksum line (wrong digit count / bad hex).
+    std::string short_hex = text.substr(0, line_start) +
+                            "checksum 0123456789abcde\n";
+    EXPECT_THROW(loadFitsIsa(short_hex), ConfigError);
+    std::string bad_hex = text.substr(0, line_start) +
+                          "checksum 0123456789abcdeg\n";
+    EXPECT_THROW(loadFitsIsa(bad_hex), ConfigError);
+
+    // Missing trailing newline.
+    std::string clipped = text.substr(0, text.size() - 1);
+    EXPECT_THROW(loadFitsIsa(clipped), ConfigError);
+}
+
+TEST(SerializeFuzz, ChecksumFunctionIsFnv1a64)
+{
+    // Pin the function so saved configs stay loadable across builds.
+    EXPECT_EQ(configChecksum(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(configChecksum("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_NE(configChecksum("ab"), configChecksum("ba"));
+}
+
+} // namespace
+} // namespace pfits
