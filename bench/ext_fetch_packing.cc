@@ -15,16 +15,19 @@
 
 #include "common/table.hh"
 #include "exp/experiment.hh"
+#include "exp/parallel.hh"
 #include "power/cache_power.hh"
 
 using namespace pfits;
 
 int
-main()
+main(int argc, char **argv)
 {
     try {
         ExperimentParams plain_params;
         ExperimentParams packed_params;
+        plain_params.jobs = parseJobsFlag(argc, argv);
+        packed_params.jobs = plain_params.jobs;
         packed_params.core.packedFetch = true;
         Runner plain(plain_params);
         Runner packed(packed_params);

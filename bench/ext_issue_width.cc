@@ -13,19 +13,22 @@
 
 #include "common/table.hh"
 #include "exp/experiment.hh"
+#include "exp/parallel.hh"
 #include "power/cache_power.hh"
 
 using namespace pfits;
 
 int
-main()
+main(int argc, char **argv)
 {
     try {
+        const unsigned jobs = parseJobsFlag(argc, argv);
         Table table("Extension E3: issue-width sweep (suite averages)");
         table.setHeader({"issue width", "ARM16 IPC", "FITS8 IPC",
                          "FITS8 total saving %", "ARM8 total saving %"});
         for (unsigned width : {1u, 2u, 4u}) {
             ExperimentParams params;
+            params.jobs = jobs;
             params.core.issueWidth = width;
             Runner runner(params);
             double a16 = 0, f8 = 0, fs = 0, as = 0;

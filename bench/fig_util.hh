@@ -23,7 +23,8 @@ namespace pfits::benchutil
 /**
  * Run one figure builder and print its table plus the paper note.
  * With "--csv" the table is emitted as CSV (for plotting scripts) and
- * the note is suppressed.
+ * the note is suppressed. "--jobs N" (or PFITS_JOBS) sets the engine's
+ * worker count; the table is byte-identical at any value.
  */
 inline int
 runFigure(Table (*builder)(Runner &), const char *paper_note, int argc,
@@ -34,7 +35,9 @@ runFigure(Table (*builder)(Runner &), const char *paper_note, int argc,
         for (int i = 1; i < argc; ++i)
             if (std::string_view(argv[i]) == "--csv")
                 csv = true;
-        Runner runner;
+        ExperimentParams params;
+        params.jobs = parseJobsFlag(argc, argv);
+        Runner runner(params);
         Table table = builder(runner);
         if (csv) {
             table.printCsv(std::cout);

@@ -10,6 +10,8 @@
 
 #include "cache/cache.hh"
 #include "common/rng.hh"
+#include "exp/figures.hh"
+#include "exp/simcache.hh"
 #include "fits/fits_frontend.hh"
 #include "fits/profile.hh"
 #include "fits/synth.hh"
@@ -57,12 +59,53 @@ BM_FitsSimulate(benchmark::State &state)
         Machine machine(fe, CoreConfig{});
         RunResult rr = machine.run();
         instructions += rr.instructions;
+        // Matches BM_ArmSimulate: without this the compiler may elide
+        // the run and skew the ARM-vs-FITS throughput comparison.
+        benchmark::DoNotOptimize(rr.cycles);
     }
     state.counters["Minstr/s"] = benchmark::Counter(
         static_cast<double>(instructions) / 1e6,
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FitsSimulate)->Unit(benchmark::kMillisecond);
+
+/**
+ * End-to-end figure sweep through the parallel experiment engine: all
+ * 12 paper figures over the 21-kernel × 4-config suite. Arg(0) clears
+ * the process-wide SimCache each iteration (cold: every simulation
+ * runs); Arg(1) keeps it warm (steady-state of a bench binary touching
+ * several figures: pure table assembly, zero fresh simulations).
+ */
+void
+BM_SuiteSweep(benchmark::State &state)
+{
+    const bool warm = state.range(0) != 0;
+    Table (*const builders[])(Runner &) = {
+        fig3StaticMapping,  fig4DynamicMapping, fig5CodeSize,
+        fig6PowerBreakdown, fig7SwitchingSaving, fig8InternalSaving,
+        fig9LeakageSaving,  fig10PeakSaving,     fig11TotalCacheSaving,
+        fig12ChipSaving,    fig13MissRate,       fig14Ipc};
+    uint64_t tables = 0;
+    for (auto _ : state) {
+        if (!warm)
+            SimCache::instance().clear();
+        Runner runner;
+        for (auto *builder : builders) {
+            Table table = builder(runner);
+            benchmark::DoNotOptimize(table.rows());
+            ++tables;
+        }
+    }
+    state.counters["tables/s"] = benchmark::Counter(
+        static_cast<double>(tables), benchmark::Counter::kIsRate);
+    state.counters["jobs"] =
+        static_cast<double>(ThreadPool::shared().jobs());
+}
+BENCHMARK(BM_SuiteSweep)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void
 BM_Profile(benchmark::State &state)

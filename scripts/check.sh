@@ -17,6 +17,9 @@ run_suite() {
 }
 
 run_suite "$repo/build" -DASAN=OFF
-run_suite "$repo/build-asan" -DASAN=ON
+# The sanitized pass pins PFITS_JOBS=4 so the experiment engine's
+# thread pool, SimCache and Runner run genuinely concurrent even on
+# small CI hosts — races surface under TSan-less ASan as heap errors.
+PFITS_JOBS=4 run_suite "$repo/build-asan" -DASAN=ON
 
 echo "=== all checks passed (plain + sanitized) ==="

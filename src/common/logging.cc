@@ -7,8 +7,8 @@ namespace pfits
 
 namespace
 {
-bool quietFlag = false;
-uint64_t warnsPrinted = 0;
+std::atomic<bool> quietFlag{false};
+std::atomic<uint64_t> warnsPrinted{0};
 } // namespace
 
 namespace detail

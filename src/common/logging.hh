@@ -13,6 +13,7 @@
 #ifndef POWERFITS_COMMON_LOGGING_HH
 #define POWERFITS_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
@@ -84,15 +85,15 @@ uint64_t warnCount();
 /**
  * warn() at most once per call site. Fault sweeps inject thousands of
  * identical events; the first occurrence is informative, the rest are
- * noise. Call-site state is a function-local static, so the limit is
- * per textual occurrence, not per message (single-threaded, like the
- * rest of the simulator).
+ * noise. Call-site state is a function-local atomic, so the limit is
+ * per textual occurrence, not per message, and the macros stay safe
+ * when invoked from the experiment engine's worker threads.
  */
 #define warn_once(...)                                                  \
     do {                                                                \
-        static bool _pfits_warned_once = false;                         \
-        if (!_pfits_warned_once) {                                      \
-            _pfits_warned_once = true;                                  \
+        static std::atomic<bool> _pfits_warned_once{false};             \
+        if (!_pfits_warned_once.exchange(true,                          \
+                                         std::memory_order_relaxed)) {  \
             ::pfits::warn(__VA_ARGS__);                                 \
         }                                                               \
     } while (0)
@@ -100,8 +101,9 @@ uint64_t warnCount();
 /** warn() on the 1st, (n+1)th, (2n+1)th, ... execution of this site. */
 #define warn_every_n(n, ...)                                            \
     do {                                                                \
-        static uint64_t _pfits_warn_tick = 0;                           \
-        if (_pfits_warn_tick++ % static_cast<uint64_t>(n) == 0)         \
+        static std::atomic<uint64_t> _pfits_warn_tick{0};               \
+        if (_pfits_warn_tick.fetch_add(1, std::memory_order_relaxed)    \
+                % static_cast<uint64_t>(n) == 0)                        \
             ::pfits::warn(__VA_ARGS__);                                 \
     } while (0)
 

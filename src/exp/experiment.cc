@@ -1,7 +1,9 @@
 #include "exp/experiment.hh"
 
+#include <array>
+
 #include "common/logging.hh"
-#include "fits/fits_frontend.hh"
+#include "exp/simcache.hh"
 #include "fits/profile.hh"
 #include "fits/serialize.hh"
 #include "mibench/mibench.hh"
@@ -21,7 +23,17 @@ configName(ConfigId id)
     }
 }
 
-Runner::Runner(ExperimentParams params) : params_(std::move(params)) {}
+Runner::Runner(ExperimentParams params) : params_(std::move(params))
+{
+    if (params_.jobs != 0)
+        ownPool_ = std::make_unique<ThreadPool>(params_.jobs);
+}
+
+ThreadPool &
+Runner::pool()
+{
+    return ownPool_ ? *ownPool_ : ThreadPool::shared();
+}
 
 CoreConfig
 Runner::coreConfig(ConfigId id) const
@@ -38,12 +50,27 @@ Runner::coreConfig(ConfigId id) const
 const BenchResult &
 Runner::get(const std::string &bench_name)
 {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(bench_name);
+        if (it != cache_.end())
+            return *it->second;
+    }
+
+    // Compute outside the lock: the front-end work runs inline, the
+    // four configuration simulations go through the engine (every one
+    // memoized process-wide in SimCache).
+    Prepared prep = prepare(bench_name);
+    auto cfgs = parallelMap<ConfigResult>(pool(), 4, [&](size_t i) {
+        return simulateConfig(prep, static_cast<ConfigId>(i));
+    });
+    for (size_t i = 0; i < 4; ++i)
+        prep.result->configs[i] = std::move(cfgs[i]);
+
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(bench_name);
     if (it == cache_.end()) {
-        it = cache_
-                 .emplace(bench_name, std::make_unique<BenchResult>(
-                                          compute(bench_name)))
-                 .first;
+        it = cache_.emplace(bench_name, std::move(prep.result)).first;
     }
     return *it->second;
 }
@@ -51,99 +78,139 @@ Runner::get(const std::string &bench_name)
 std::vector<const BenchResult *>
 Runner::all()
 {
+    const auto &suite = mibench::suite();
+
+    std::vector<std::string> missing;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &info : suite)
+            if (!cache_.count(info.name))
+                missing.emplace_back(info.name);
+    }
+
+    if (!missing.empty()) {
+        ThreadPool &tp = pool();
+
+        // Phase 1: front-end work, one job per benchmark.
+        auto preps = parallelMap<Prepared>(
+            tp, missing.size(),
+            [&](size_t i) { return prepare(missing[i]); });
+
+        // Phase 2: one job per (benchmark × config) simulation.
+        // Results land in slot [bench * 4 + config] — index-addressed,
+        // so the assembled tables are byte-identical at any job count.
+        auto cfgs = parallelMap<ConfigResult>(
+            tp, missing.size() * 4, [&](size_t j) {
+                return simulateConfig(preps[j / 4],
+                                      static_cast<ConfigId>(j % 4));
+            });
+
+        std::lock_guard<std::mutex> lock(mu_);
+        for (size_t i = 0; i < missing.size(); ++i) {
+            if (cache_.count(missing[i]))
+                continue; // a concurrent get() beat us to it
+            for (size_t c = 0; c < 4; ++c)
+                preps[i].result->configs[c] =
+                    std::move(cfgs[i * 4 + c]);
+            cache_.emplace(missing[i], std::move(preps[i].result));
+        }
+    }
+
     std::vector<const BenchResult *> out;
-    for (const auto &info : mibench::suite())
-        out.push_back(&get(info.name));
+    out.reserve(suite.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &info : suite)
+        out.push_back(cache_.at(info.name).get());
     return out;
 }
 
-BenchResult
-Runner::compute(const std::string &bench_name)
+Runner::Prepared
+Runner::prepare(const std::string &bench_name) const
 {
     const mibench::BenchInfo &info = mibench::findBench(bench_name);
     mibench::Workload workload = info.build();
 
-    BenchResult result;
-    result.name = bench_name;
-    result.armBytes = workload.program.codeBytes();
-    result.thumbBytes = thumbEstimate(workload.program).codeBytes();
+    Prepared prep;
+    prep.result = std::make_unique<BenchResult>();
+    prep.result->name = bench_name;
+    prep.expected = workload.expected;
+    prep.result->armBytes = workload.program.codeBytes();
+    prep.result->thumbBytes =
+        thumbEstimate(workload.program).codeBytes();
 
     ProfileInfo profile = profileProgram(workload.program);
     FitsIsa isa = synthesize(profile, params_.synth, bench_name);
     FitsProgram fits_prog =
         translateProgram(workload.program, isa, profile);
-    result.fitsBytes = fits_prog.codeBytes();
-    result.mapping = fits_prog.mapping;
-    result.isaSlots = isa.slots.size();
-    result.regBits = isa.regBits;
+    prep.result->fitsBytes = fits_prog.codeBytes();
+    prep.result->mapping = fits_prog.mapping;
+    prep.result->isaSlots = isa.slots.size();
+    prep.result->regBits = isa.regBits;
 
-    ArmFrontEnd arm_fe(workload.program);
-    FitsFrontEnd fits_fe(std::move(fits_prog));
-    ChipPowerModel chip_model(params_.chip);
+    prep.armFe =
+        std::make_unique<ArmFrontEnd>(std::move(workload.program));
+    prep.fitsFe = std::make_unique<FitsFrontEnd>(std::move(fits_prog));
+    return prep;
+}
 
-    for (ConfigId id : kAllConfigs) {
-        bool is_fits = id == ConfigId::FITS16 || id == ConfigId::FITS8;
-        const FrontEnd &fe =
-            is_fits ? static_cast<const FrontEnd &>(fits_fe)
-                    : static_cast<const FrontEnd &>(arm_fe);
-        CoreConfig core = coreConfig(id);
-        ConfigResult &cfg = result.configs[static_cast<size_t>(id)];
+ConfigResult
+Runner::simulateConfig(const Prepared &prep, ConfigId id) const
+{
+    const std::string &bench_name = prep.result->name;
+    bool is_fits = id == ConfigId::FITS16 || id == ConfigId::FITS8;
+    const FrontEnd &fe =
+        is_fits ? static_cast<const FrontEnd &>(*prep.fitsFe)
+                : static_cast<const FrontEnd &>(*prep.armFe);
+    CoreConfig core = coreConfig(id);
+    ConfigResult cfg;
 
-        const bool faulty = params_.faults.enabled();
-        std::unique_ptr<FaultPlan> plan;
-        if (faulty) {
-            // Derive a per-(benchmark, config) seed so every run in a
-            // sweep sees an independent but reproducible schedule.
-            FaultParams fp = params_.faults;
-            fp.seed = fp.seed ^ configChecksum(bench_name) ^
-                      (static_cast<uint64_t>(id) << 56);
-            plan = std::make_unique<FaultPlan>(fp);
-        }
-
-        // Retry-with-reload: a parity machine-check means the stored
-        // program image is still good — a fresh Machine reloads it and
-        // the run is retried a bounded number of times.
-        cfg.run = Machine(fe, core).run(plan.get());
-        while (cfg.run.outcome == RunOutcome::FaultDetected &&
-               cfg.faultRetries < params_.faultRetries) {
-            ++cfg.faultRetries;
-            warn_every_n(64, "%s/%s: parity machine-check, reloading "
-                         "(retry %u)", bench_name.c_str(),
-                         configName(id), cfg.faultRetries);
-            cfg.run = Machine(fe, core).run(plan.get());
-        }
-
-        if (cfg.run.outcome != RunOutcome::Completed && !faulty) {
-            // Without injected faults these outcomes are toolchain or
-            // kernel bugs and must keep failing loudly.
-            fatal("%s/%s: run ended %s: %s", bench_name.c_str(),
-                  configName(id), runOutcomeName(cfg.run.outcome),
-                  cfg.run.trapReason.c_str());
-        }
-
-        cfg.checksumOk = cfg.run.outcome == RunOutcome::Completed &&
-                         !cfg.run.io.emitted.empty() &&
-                         cfg.run.io.emitted[0] == workload.expected;
-        if (!cfg.run.io.emitted.empty() &&
-            cfg.run.io.emitted[0] != workload.expected) {
-            if (!faulty) {
-                fatal("%s/%s: checksum mismatch (got 0x%08x, want "
-                      "0x%08x)", bench_name.c_str(), configName(id),
-                      cfg.run.io.emitted[0], workload.expected);
-            }
-            warn_every_n(64, "%s/%s: silent data corruption (got "
-                         "0x%08x, want 0x%08x)", bench_name.c_str(),
-                         configName(id), cfg.run.io.emitted[0],
-                         workload.expected);
-        }
-
-        TechParams tech = params_.tech;
-        tech.clockHz = core.clockHz;
-        CachePowerModel power(core.icache, tech);
-        cfg.icache = power.evaluate(cfg.run);
-        cfg.chip = chip_model.evaluate(cfg.run, cfg.icache);
+    const bool faulty = params_.faults.enabled();
+    FaultParams fp = params_.faults;
+    if (faulty) {
+        // Derive a per-(benchmark, config) seed so every run in a
+        // sweep sees an independent but reproducible schedule.
+        fp.seed = fp.seed ^ configChecksum(bench_name) ^
+                  (static_cast<uint64_t>(id) << 56);
     }
-    return result;
+
+    // The engine's memoized simulate: retry-with-reload under faults
+    // happens inside the cached computation (see exp/simcache.hh).
+    SimResult sim = SimCache::instance().simulate(
+        fe, core, fp, faulty ? params_.faultRetries : 0);
+    cfg.run = std::move(sim.run);
+    cfg.faultRetries = sim.faultRetries;
+
+    if (cfg.run.outcome != RunOutcome::Completed && !faulty) {
+        // Without injected faults these outcomes are toolchain or
+        // kernel bugs and must keep failing loudly.
+        fatal("%s/%s: run ended %s: %s", bench_name.c_str(),
+              configName(id), runOutcomeName(cfg.run.outcome),
+              cfg.run.trapReason.c_str());
+    }
+
+    cfg.checksumOk = cfg.run.outcome == RunOutcome::Completed &&
+                     !cfg.run.io.emitted.empty() &&
+                     cfg.run.io.emitted[0] == prep.expected;
+    if (!cfg.run.io.emitted.empty() &&
+        cfg.run.io.emitted[0] != prep.expected) {
+        if (!faulty) {
+            fatal("%s/%s: checksum mismatch (got 0x%08x, want "
+                  "0x%08x)", bench_name.c_str(), configName(id),
+                  cfg.run.io.emitted[0], prep.expected);
+        }
+        warn_every_n(64, "%s/%s: silent data corruption (got "
+                     "0x%08x, want 0x%08x)", bench_name.c_str(),
+                     configName(id), cfg.run.io.emitted[0],
+                     prep.expected);
+    }
+
+    TechParams tech = params_.tech;
+    tech.clockHz = core.clockHz;
+    CachePowerModel power(core.icache, tech);
+    cfg.icache = power.evaluate(cfg.run);
+    ChipPowerModel chip_model(params_.chip);
+    cfg.chip = chip_model.evaluate(cfg.run, cfg.icache);
+    return cfg;
 }
 
 } // namespace pfits

@@ -15,10 +15,13 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/fault.hh"
+#include "exp/parallel.hh"
+#include "fits/fits_frontend.hh"
 #include "fits/synth.hh"
 #include "fits/translate.hh"
 #include "power/cache_power.hh"
@@ -112,9 +115,31 @@ struct ExperimentParams
      */
     FaultParams faults;
     unsigned faultRetries = 3;
+
+    /**
+     * Worker threads for the parallel engine: 0 (the default) shares
+     * the process-wide pool sized by --jobs / PFITS_JOBS /
+     * hardware_concurrency; any other value gives this Runner a
+     * private pool of exactly that size (the determinism tests pin 1
+     * vs 4 vs hardware this way). Output is byte-identical at any
+     * value — results are collected by job index, never by completion
+     * order.
+     */
+    unsigned jobs = 0;
 };
 
-/** Lazily computes and memoizes per-benchmark results. */
+/**
+ * Computes and memoizes per-benchmark results through the parallel
+ * experiment engine.
+ *
+ * all() fans the missing benchmarks out over a thread pool in two
+ * deterministic phases — prepare (build/profile/synthesize/translate,
+ * one job per benchmark) then simulate (one job per benchmark ×
+ * config) — and every simulation goes through the process-wide
+ * SimCache, so repeated sweeps in one process re-simulate nothing.
+ * Results are stored by job index, making tables byte-identical
+ * regardless of thread count. The Runner itself is thread-safe.
+ */
 class Runner
 {
   public:
@@ -131,10 +156,26 @@ class Runner
 
     const ExperimentParams &params() const { return params_; }
 
+    /** The pool this Runner schedules on (shared unless params.jobs). */
+    ThreadPool &pool();
+
   private:
-    BenchResult compute(const std::string &bench_name);
+    /** A benchmark after the CPU-bound front-end work, pre-simulation. */
+    struct Prepared
+    {
+        std::unique_ptr<BenchResult> result; //!< static fields filled
+        uint32_t expected = 0;               //!< golden checksum
+        std::unique_ptr<ArmFrontEnd> armFe;
+        std::unique_ptr<FitsFrontEnd> fitsFe;
+    };
+
+    Prepared prepare(const std::string &bench_name) const;
+    ConfigResult simulateConfig(const Prepared &prep, ConfigId id) const;
 
     ExperimentParams params_;
+    std::unique_ptr<ThreadPool> ownPool_; //!< when params_.jobs != 0
+
+    mutable std::mutex mu_; //!< guards cache_
     std::map<std::string, std::unique_ptr<BenchResult>> cache_;
 };
 

@@ -1,0 +1,203 @@
+#include "exp/parallel.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string_view>
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+std::atomic<unsigned> jobsOverride{0};
+
+unsigned
+envJobs()
+{
+    const char *env = std::getenv("PFITS_JOBS");
+    if (!env || !*env)
+        return 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') {
+        warn_once("ignoring malformed PFITS_JOBS='%s'", env);
+        return 0;
+    }
+    return v == 0 ? 1u : static_cast<unsigned>(v);
+}
+
+} // namespace
+
+unsigned
+defaultJobs()
+{
+    if (unsigned forced = jobsOverride.load())
+        return forced;
+    if (unsigned env = envJobs())
+        return env;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+void
+setDefaultJobs(unsigned jobs)
+{
+    jobsOverride.store(jobs);
+}
+
+unsigned
+parseJobsFlag(int argc, char **argv)
+{
+    auto parse = [](std::string_view text) -> unsigned {
+        if (text.empty())
+            return 0;
+        unsigned v = 0;
+        for (char c : text) {
+            if (c < '0' || c > '9')
+                return 0;
+            v = v * 10 + static_cast<unsigned>(c - '0');
+        }
+        return v == 0 ? 1u : v;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        if (arg == "--jobs" && i + 1 < argc)
+            return parse(argv[i + 1]);
+        if (arg.rfind("--jobs=", 0) == 0)
+            return parse(arg.substr(7));
+        if (arg.rfind("-j", 0) == 0 && arg.size() > 2)
+            return parse(arg.substr(2));
+    }
+    return 0;
+}
+
+/**
+ * One run() call's state, shared (via shared_ptr) with every worker
+ * that touches it. A worker waking up late simply finds all indices
+ * claimed and backs off; the shared_ptr keeps the state alive past the
+ * end of run(), so there is no window where a stale worker can touch a
+ * destroyed batch.
+ */
+struct ThreadPool::Batch
+{
+    const std::function<void(size_t)> *fn = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0}; //!< next unclaimed job index
+
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t unfinished = 0;
+    size_t firstErrorIndex = 0;
+    std::exception_ptr firstError;
+
+    /**
+     * Claim and execute jobs until none are left. fn is only invoked
+     * for claimed indices (< n), all of which complete before run()
+     * returns — so fn can never dangle here.
+     */
+    void
+    work()
+    {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            std::exception_ptr error;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            if (error && (!firstError || i < firstErrorIndex)) {
+                firstError = error;
+                firstErrorIndex = i;
+            }
+            if (--unfinished == 0)
+                done_cv.notify_all();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+    // The calling thread is worker 0; spawn the rest.
+    workers_.reserve(jobs_ - 1);
+    for (unsigned i = 1; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                return stopping_ || generation_ != seen;
+            });
+            if (stopping_)
+                return;
+            seen = generation_;
+            batch = current_;
+        }
+        if (batch)
+            batch->work();
+    }
+}
+
+void
+ThreadPool::run(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> batch_lock(run_mu_);
+    auto batch = std::make_shared<Batch>();
+    batch->fn = &fn;
+    batch->n = n;
+    batch->unfinished = n;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        current_ = batch;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    batch->work(); // the caller participates
+    {
+        std::unique_lock<std::mutex> lock(batch->mu);
+        batch->done_cv.wait(lock, [&] { return batch->unfinished == 0; });
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        current_.reset();
+    }
+    if (batch->firstError)
+        std::rethrow_exception(batch->firstError);
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace pfits

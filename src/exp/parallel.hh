@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The parallel experiment engine's scheduling half: a fixed-size
+ * thread pool executing index-addressed jobs with deterministic result
+ * placement.
+ *
+ * Jobs are pure functions of their index; results are written into
+ * index-addressed slots, never appended in completion order, so any
+ * sweep built on the pool produces byte-identical output at any job
+ * count (--jobs 1, --jobs 4 and --jobs $(nproc) all print the same
+ * tables). The worker count comes from, in priority order: an explicit
+ * constructor argument, setDefaultJobs(), the PFITS_JOBS environment
+ * variable, and std::thread::hardware_concurrency().
+ */
+
+#ifndef POWERFITS_EXP_PARALLEL_HH
+#define POWERFITS_EXP_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfits
+{
+
+/**
+ * Worker count for new pools: setDefaultJobs() override if set, else
+ * PFITS_JOBS (clamped to >= 1), else hardware_concurrency (>= 1).
+ */
+unsigned defaultJobs();
+
+/**
+ * Override defaultJobs() process-wide (0 reverts to env/hardware).
+ * Affects pools constructed afterwards, including the shared() pool if
+ * it has not been touched yet.
+ */
+void setDefaultJobs(unsigned jobs);
+
+/**
+ * Scan argv for "--jobs N" / "--jobs=N" / "-jN".
+ * @return the parsed count (>= 1), or 0 when the flag is absent.
+ */
+unsigned parseJobsFlag(int argc, char **argv);
+
+/**
+ * A fixed-size pool running batches of index-addressed jobs.
+ *
+ * run(n, fn) executes fn(0) .. fn(n-1) across the workers plus the
+ * calling thread and blocks until every job finished. Batches are
+ * serialized (one at a time); run() must not be called from inside a
+ * job. A pool of one job runs everything inline on the caller — the
+ * deterministic serial baseline.
+ */
+class ThreadPool
+{
+  public:
+    /** @param jobs worker count; 0 means defaultJobs(). */
+    explicit ThreadPool(unsigned jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total threads working a batch (workers + the caller). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run @p fn for every index in [0, n), blocking until all done.
+     * If jobs threw, the exception of the lowest-index failed job is
+     * rethrown here (the batch still runs to completion first).
+     */
+    void run(size_t n, const std::function<void(size_t)> &fn);
+
+    /** The process-wide pool (sized by defaultJobs() at first use). */
+    static ThreadPool &shared();
+
+  private:
+    struct Batch;
+
+    void workerLoop();
+
+    const unsigned jobs_;
+
+    std::mutex mu_;
+    std::condition_variable work_cv_; //!< workers wait for a batch
+    uint64_t generation_ = 0;         //!< bumped per batch
+    bool stopping_ = false;
+    std::shared_ptr<Batch> current_;  //!< the in-flight batch, if any
+
+    std::mutex run_mu_;               //!< serializes run() callers
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Map [0, n) through @p fn on @p pool, collecting results by index.
+ * The value type must be default-constructible and movable.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(ThreadPool &pool, size_t n, Fn &&fn)
+{
+    std::vector<T> out(n);
+    pool.run(n, [&](size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace pfits
+
+#endif // POWERFITS_EXP_PARALLEL_HH

@@ -1,0 +1,230 @@
+#include "exp/simcache.hh"
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Incremental FNV-1a over explicit field values (padding-free). */
+struct Hasher
+{
+    uint64_t h = kFnvOffset;
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= kFnvPrime;
+        }
+    }
+
+    void
+    bytes(const uint8_t *data, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i) {
+            h ^= data[i];
+            h *= kFnvPrime;
+        }
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+    }
+};
+
+void
+hashUop(Hasher &h, const MicroOp &uop)
+{
+    // Field-by-field: hashing the raw struct would pick up padding.
+    h.u64(static_cast<uint64_t>(uop.op) |
+          (static_cast<uint64_t>(uop.cond) << 8) |
+          (static_cast<uint64_t>(uop.setsFlags) << 16) |
+          (static_cast<uint64_t>(uop.rd) << 24) |
+          (static_cast<uint64_t>(uop.rn) << 32) |
+          (static_cast<uint64_t>(uop.rm) << 40) |
+          (static_cast<uint64_t>(uop.rs) << 48) |
+          (static_cast<uint64_t>(uop.ra) << 56));
+    h.u64(static_cast<uint64_t>(uop.op2Kind) |
+          (static_cast<uint64_t>(uop.shiftType) << 8) |
+          (static_cast<uint64_t>(uop.shiftAmount) << 16) |
+          (static_cast<uint64_t>(uop.memKind) << 24) |
+          (static_cast<uint64_t>(uop.memAdd) << 32) |
+          (static_cast<uint64_t>(uop.ldmIsPop) << 40) |
+          (static_cast<uint64_t>(uop.regList) << 48));
+    h.u64(uop.imm);
+    h.u64(static_cast<uint64_t>(static_cast<uint32_t>(uop.memDisp)));
+    h.u64(static_cast<uint64_t>(
+        static_cast<uint32_t>(uop.branchOffset)));
+}
+
+void
+hashCache(Hasher &h, const CacheConfig &cfg)
+{
+    h.str(cfg.name);
+    h.u64(cfg.sizeBytes);
+    h.u64(cfg.assoc);
+    h.u64(cfg.lineBytes);
+    h.u64(static_cast<uint64_t>(cfg.policy));
+    h.u64((cfg.writeBack ? 1u : 0u) | (cfg.parity ? 2u : 0u));
+}
+
+} // namespace
+
+uint64_t
+hashFrontEnd(const FrontEnd &fe)
+{
+    Hasher h;
+    h.str(fe.name());
+    h.u64(fe.instrBits());
+    h.u64(fe.codec().base);
+    h.u64(fe.codec().shift);
+    h.u64(fe.stackTop());
+    h.u64(fe.codeBytes());
+    const size_t n = fe.numInstructions();
+    h.u64(n);
+    for (size_t i = 0; i < n; ++i) {
+        h.u64(fe.encodingAt(i));
+        // The decoded stream too: a FITS encoding means nothing
+        // without its decoder configuration, and the uops are what the
+        // Machine actually executes.
+        hashUop(h, fe.uopAt(i));
+    }
+    h.u64(fe.dataSegments().size());
+    for (const DataSegment &seg : fe.dataSegments()) {
+        h.u64(seg.base);
+        h.u64(seg.bytes.size());
+        h.bytes(seg.bytes.data(), seg.bytes.size());
+    }
+    return h.h;
+}
+
+uint64_t
+hashCoreConfig(const CoreConfig &core)
+{
+    Hasher h;
+    h.str(core.name);
+    h.u64(core.issueWidth);
+    h.u64(core.branchPenalty);
+    h.u64(core.icacheMissPenalty);
+    h.u64(core.dcacheMissPenalty);
+    hashCache(h, core.icache);
+    hashCache(h, core.dcache);
+    h.u64(core.maxInstructions);
+    h.u64(static_cast<uint64_t>(core.clockHz * 1e3));
+    h.u64(core.packedFetch ? 1 : 0);
+    return h.h;
+}
+
+uint64_t
+hashFaultParams(const FaultParams &faults, unsigned max_retries)
+{
+    if (!faults.enabled())
+        return 0;
+    Hasher h;
+    h.u64(faults.seed);
+    h.u64(faults.icacheMeanInterval);
+    h.u64(faults.memoryMeanInterval);
+    h.u64(max_retries);
+    return h.h;
+}
+
+size_t
+SimCache::KeyHash::operator()(const Key &k) const
+{
+    Hasher h;
+    h.u64(k.program);
+    h.u64(k.config);
+    h.u64(k.faults);
+    return static_cast<size_t>(h.h);
+}
+
+SimCache &
+SimCache::instance()
+{
+    static SimCache cache;
+    return cache;
+}
+
+size_t
+SimCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+void
+SimCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_.store(0);
+    misses_.store(0);
+}
+
+SimResult
+SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
+                        const CoreConfig &core,
+                        const FaultParams &faults,
+                        unsigned max_retries)
+{
+    bool computed = false;
+    std::call_once(slot.once, [&] {
+        computed = true;
+        misses_.fetch_add(1);
+
+        std::unique_ptr<FaultPlan> plan;
+        if (faults.enabled())
+            plan = std::make_unique<FaultPlan>(faults);
+
+        SimResult out;
+        // Retry-with-reload: a parity machine-check means the stored
+        // program image is still good — a fresh Machine reloads it
+        // and the run is retried a bounded number of times.
+        out.run = Machine(fe, core).run(plan.get());
+        while (out.run.outcome == RunOutcome::FaultDetected &&
+               out.faultRetries < max_retries) {
+            ++out.faultRetries;
+            warn_every_n(64, "%s/%s: parity machine-check, reloading "
+                         "(retry %u)", out.run.benchmark.c_str(),
+                         out.run.config.c_str(), out.faultRetries);
+            out.run = Machine(fe, core).run(plan.get());
+        }
+        slot.value = std::move(out);
+    });
+    if (!computed)
+        hits_.fetch_add(1);
+    return slot.value;
+}
+
+SimResult
+SimCache::simulate(const FrontEnd &fe, const CoreConfig &core,
+                   const FaultParams &faults, unsigned max_retries)
+{
+    Key key{hashFrontEnd(fe), hashCoreConfig(core),
+            hashFaultParams(faults, max_retries)};
+
+    std::shared_ptr<Slot> slot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end())
+            it = map_.emplace(key, std::make_shared<Slot>()).first;
+        slot = it->second;
+    }
+    // Compute outside the map lock so unrelated keys never serialize;
+    // call_once makes concurrent requests for *this* key simulate once
+    // and share the result.
+    return computeLocked(*slot, fe, core, faults, max_retries);
+}
+
+} // namespace pfits

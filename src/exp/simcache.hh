@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The parallel experiment engine's memoization half: a process-wide,
+ * thread-safe cache of simulation results.
+ *
+ * Every figure bench and the test suite simulate the same 21 MiBench
+ * kernels under the same handful of configurations; simulation is a
+ * pure function of (instruction stream, core configuration, fault
+ * schedule), so the second request for any triple is a lookup, not a
+ * re-run. The key is content-based — a hash of the program's decoded
+ * stream, encodings, and data image; a hash of every timing-relevant
+ * CoreConfig/CacheConfig field; and a hash of the fault plan's seed
+ * and schedule parameters — so two FrontEnds with identical contents
+ * hit the same entry regardless of identity.
+ *
+ * Fault-injected runs are memoized as the outcome of the whole
+ * reload-and-retry loop (a FaultPlan is deterministic from its seed,
+ * so the retry sequence is too).
+ */
+
+#ifndef POWERFITS_EXP_SIMCACHE_HH
+#define POWERFITS_EXP_SIMCACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/fault.hh"
+#include "sim/frontend.hh"
+#include "sim/machine.hh"
+
+namespace pfits
+{
+
+/** Content hash of @p fe: name, stream, encodings, data image. */
+uint64_t hashFrontEnd(const FrontEnd &fe);
+
+/** Hash of every timing-relevant field of @p core (and its caches). */
+uint64_t hashCoreConfig(const CoreConfig &core);
+
+/** Hash of a fault schedule (0 when @p faults is disabled). */
+uint64_t hashFaultParams(const FaultParams &faults,
+                         unsigned max_retries);
+
+/** A memoized simulation: the final run plus retry bookkeeping. */
+struct SimResult
+{
+    RunResult run;
+    unsigned faultRetries = 0; //!< reload-and-retry attempts consumed
+};
+
+/** Process-wide memoization cache over Machine::run. */
+class SimCache
+{
+  public:
+    /** The process-wide instance every Runner shares. */
+    static SimCache &instance();
+
+    /**
+     * Simulate @p fe on @p core, memoized. When @p faults is armed the
+     * whole reload-and-retry loop (up to @p max_retries reloads after
+     * a parity machine-check) runs inside the cached computation.
+     * Thread-safe; two threads asking for the same key simulate once.
+     */
+    SimResult simulate(const FrontEnd &fe, const CoreConfig &core,
+                       const FaultParams &faults = {},
+                       unsigned max_retries = 0);
+
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+    size_t entries() const;
+
+    /** Drop all entries and zero the hit/miss counters. */
+    void clear();
+
+  private:
+    struct Key
+    {
+        uint64_t program;
+        uint64_t config;
+        uint64_t faults;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return program == o.program && config == o.config &&
+                   faults == o.faults;
+        }
+    };
+
+    struct KeyHash
+    {
+        size_t operator()(const Key &k) const;
+    };
+
+    struct Slot
+    {
+        std::once_flag once;
+        SimResult value;
+    };
+
+    SimResult computeLocked(Slot &slot, const FrontEnd &fe,
+                            const CoreConfig &core,
+                            const FaultParams &faults,
+                            unsigned max_retries);
+
+    mutable std::mutex mu_;
+    std::unordered_map<Key, std::shared_ptr<Slot>, KeyHash> map_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_EXP_SIMCACHE_HH

@@ -232,6 +232,122 @@ MicroOp::readsReg(uint8_t reg) const
 }
 
 bool
+MicroOp::readsFlags() const
+{
+    if (cond != Cond::AL)
+        return true;
+    // Carry consumers read C even when unconditional.
+    return op == Op::ADC || op == Op::SBC || op == Op::RSC;
+}
+
+uint32_t
+MicroOp::readRegMask() const
+{
+    auto bit = [](uint8_t reg) { return 1u << reg; };
+
+    // Operand2 register sources.
+    uint32_t op2 = 0;
+    if (isAluLikeOp(op) && op2Kind != Operand2Kind::IMM) {
+        op2 = bit(rm);
+        if (op2Kind == Operand2Kind::REG_SHIFT_REG)
+            op2 |= bit(rs);
+    }
+
+    uint32_t mask = 0;
+    switch (op) {
+      case Op::MOV: case Op::MVN:
+        mask = op2;
+        break;
+      case Op::AND: case Op::EOR: case Op::SUB: case Op::RSB:
+      case Op::ADD: case Op::ADC: case Op::SBC: case Op::RSC:
+      case Op::TST: case Op::TEQ: case Op::CMP: case Op::CMN:
+      case Op::ORR: case Op::BIC:
+        mask = bit(rn) | op2;
+        break;
+      case Op::MUL:
+        mask = bit(rm) | bit(rs);
+        break;
+      case Op::MLA:
+        mask = bit(rm) | bit(rs) | bit(ra);
+        break;
+      case Op::UMULL: case Op::SMULL:
+        mask = bit(rm) | bit(rs);
+        break;
+      case Op::CLZ:
+        mask = bit(rm);
+        break;
+      case Op::SDIV: case Op::UDIV: case Op::QADD: case Op::QSUB:
+        mask = bit(rn) | bit(rm);
+        break;
+      case Op::MOVW:
+        break;
+      case Op::MOVT:
+        mask = bit(rd); // inserts the high half, keeps the low half
+        break;
+      case Op::LDR: case Op::LDRB: case Op::LDRH:
+      case Op::LDRSB: case Op::LDRSH:
+        mask = bit(rn);
+        if (memKind != MemOffsetKind::IMM)
+            mask |= bit(rm);
+        break;
+      case Op::STR: case Op::STRB: case Op::STRH:
+        mask = bit(rd) | bit(rn);
+        if (memKind != MemOffsetKind::IMM)
+            mask |= bit(rm);
+        break;
+      case Op::LDM:
+        mask = bit(rn);
+        break;
+      case Op::STM:
+        mask = bit(rn) | regList;
+        break;
+      case Op::RET:
+        mask = bit(LR);
+        break;
+      case Op::SWI:
+        mask = bit(R0);
+        break;
+      default:
+        break;
+    }
+    if (readsFlags())
+        mask |= kFlagsMask;
+    return mask;
+}
+
+uint32_t
+MicroOp::writeRegMask() const
+{
+    auto bit = [](uint8_t reg) { return 1u << reg; };
+
+    uint32_t mask = 0;
+    switch (op) {
+      case Op::TST: case Op::TEQ: case Op::CMP: case Op::CMN:
+      case Op::STR: case Op::STRB: case Op::STRH:
+      case Op::B: case Op::RET: case Op::SWI: case Op::NOP:
+        break;
+      case Op::BL:
+        mask = bit(LR);
+        break;
+      case Op::LDM:
+        mask = regList | bit(rn);
+        break;
+      case Op::STM:
+        mask = bit(rn);
+        break;
+      case Op::UMULL: case Op::SMULL:
+        mask = bit(rd) | bit(ra);
+        break;
+      default:
+        mask = bit(rd);
+        break;
+    }
+    if (setsFlags)
+        mask |= kFlagsMask;
+    return mask;
+}
+
+bool
 condPasses(Cond cond, const Flags &f)
 {
     switch (cond) {

@@ -187,7 +187,30 @@ struct MicroOp
     bool writesReg(uint8_t reg) const;
     /** @return true when this op reads @p reg. */
     bool readsReg(uint8_t reg) const;
+
+    /**
+     * @return true when issue must wait for the NZCV flags: any
+     * conditional op, plus the carry consumers (ADC/SBC/RSC) even when
+     * unconditional.
+     */
+    bool readsFlags() const;
+
+    /**
+     * Source-operand bitmask: bit r (r < NUM_REGS) set when this op
+     * reads register r, bit kFlagsBit set when readsFlags(). The
+     * scoreboard consumes this instead of probing readsReg() for all
+     * 16 registers per retired instruction.
+     */
+    uint32_t readRegMask() const;
+
+    /** Destination bitmask, same layout; kFlagsBit set for S-forms. */
+    uint32_t writeRegMask() const;
 };
+
+/** Bit index of the NZCV flags in read/writeRegMask (one past r15). */
+inline constexpr unsigned kFlagsBit = NUM_REGS;
+/** Mask with only the flags bit set. */
+inline constexpr uint32_t kFlagsMask = 1u << kFlagsBit;
 
 /** Condition evaluation against the NZCV flags. */
 struct Flags

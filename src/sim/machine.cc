@@ -1,6 +1,8 @@
 #include "sim/machine.hh"
 
 #include <algorithm>
+#include <bit>
+#include <vector>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
@@ -106,9 +108,18 @@ Machine::run(FaultPlan *faults)
     uint64_t last_issue = 0;
 
     uint32_t prev_fetch_word = 0;
-    uint64_t prev_word_addr = 0xffffffffu; // packed-fetch buffer tag
+    constexpr uint64_t no_fetch_word = ~0ull; // empty packed-fetch buffer
+    uint64_t prev_word_addr = no_fetch_word;  // packed-fetch buffer tag
     uint64_t index = 0;
     const size_t num_insns = fe_.numInstructions();
+
+    // Precompute per-static-instruction source masks (bit r = reads
+    // register r, bit kFlagsBit = waits on NZCV). One pass over the
+    // static code replaces a 16-wide readsReg() probe per *dynamic*
+    // instruction in the issue loop below.
+    std::vector<uint32_t> read_masks(num_insns);
+    for (size_t i = 0; i < num_insns; ++i)
+        read_masks[i] = fe_.uopAt(i).readRegMask();
 
     ExecInfo info;
     result.outcome = RunOutcome::Completed;
@@ -135,6 +146,11 @@ Machine::run(FaultPlan *faults)
             if (faults->due(FaultTarget::ICACHE, result.instructions) &&
                 icache.injectBitFlip(faults->rng())) {
                 faults->recordInjected(FaultTarget::ICACHE);
+                // The fetch buffer may hold a word of the line that was
+                // just struck; drop it so the next fetch goes back to
+                // the array, where parity can see the corruption
+                // (packed-fetch buffer contract, sim/machine.hh).
+                prev_word_addr = no_fetch_word;
             }
             if (faults->due(FaultTarget::MEMORY, result.instructions) &&
                 mem_.injectBitFlip(faults->rng())) {
@@ -157,6 +173,11 @@ Machine::run(FaultPlan *faults)
                 // point; the harness reloads and retries.
                 if (faults)
                     faults->recordDetected(FaultTarget::ICACHE);
+                // Machine-check invalidates the fetch path: empty the
+                // packed-fetch buffer explicitly so no stale word (or
+                // toggle baseline) survives past the detection point.
+                prev_word_addr = no_fetch_word;
+                prev_fetch_word = 0;
                 result.outcome = RunOutcome::FaultDetected;
                 result.trapReason = detail::format(
                     "%s/%s: I-cache parity error at 0x%08x",
@@ -190,16 +211,14 @@ Machine::run(FaultPlan *faults)
         // --- issue timing ------------------------------------------------
         uint64_t earliest = std::max(front_ready, last_issue);
 
-        // Source operands (conservatively via readsReg over all regs a
-        // micro-op might read; cheap because reads are register-indexed).
-        for (unsigned reg = 0; reg < NUM_REGS; ++reg) {
-            if (reg_ready[reg] > earliest && uop.readsReg(
-                    static_cast<uint8_t>(reg))) {
-                earliest = std::max(earliest, reg_ready[reg]);
-            }
+        // Source operands: iterate the precomputed mask's set bits
+        // only (typically 2-3 per op). Bit kFlagsBit covers the NZCV
+        // scoreboard entry, which conditional *and* carry-consuming
+        // unconditional ops (ADC/SBC/RSC) must wait on.
+        for (uint32_t m = read_masks[index]; m != 0; m &= m - 1) {
+            unsigned reg = static_cast<unsigned>(std::countr_zero(m));
+            earliest = std::max(earliest, reg_ready[reg]);
         }
-        if (uop.cond != Cond::AL)
-            earliest = std::max(earliest, reg_ready[NUM_REGS]);
 
         // Structural constraints within an issue group.
         bool wants_mem = info.executed && (info.isLoad || info.isStore);
@@ -242,9 +261,8 @@ Machine::run(FaultPlan *faults)
         // --- writeback scoreboard ---------------------------------------
         if (info.executed) {
             if (uop.op == Op::LDM) {
-                for (unsigned reg = 0; reg < NUM_REGS; ++reg)
-                    if ((uop.regList >> reg) & 1u)
-                        reg_ready[reg] = result_ready;
+                for (uint32_t m = uop.regList; m != 0; m &= m - 1)
+                    reg_ready[std::countr_zero(m)] = result_ready;
                 reg_ready[uop.rn] =
                     std::max(reg_ready[uop.rn], issue_cycle + 1);
             } else if (uop.op == Op::UMULL || uop.op == Op::SMULL) {

@@ -70,6 +70,15 @@ struct CoreConfig
      * average-power model charges one access per instruction, which its
      * Figure 8 (FITS16 internal ~ ARM16) pins down; this switch exists
      * for the fetch-packing ablation (bench/ext_fetch_packing).
+     *
+     * Packed-fetch buffer contract: the buffer caches exactly one
+     * 32-bit word, tagged by word address; it starts a run empty, and
+     * it is invalidated whenever the fetch path can no longer vouch
+     * for the word — a soft error landing in the I-cache (the struck
+     * line may be the buffered one, and the next fetch must go back to
+     * the array so parity can see the corruption) and a parity
+     * machine-check ending the run. It is never serviced across those
+     * events with stale contents.
      */
     bool packedFetch = false;
 };

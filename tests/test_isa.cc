@@ -375,5 +375,47 @@ TEST(Isa, DecodeEncodeFuzzRoundTrip)
     EXPECT_GT(decoded, 1000);
 }
 
+TEST(Isa, RegMasksAgreeWithPredicates)
+{
+    // The scoreboard consumes readRegMask()/writeRegMask(); they must
+    // stay bit-for-bit consistent with the per-register predicates
+    // across every decodable encoding.
+    Rng rng(0x5c07eb0ull);
+    int decoded = 0;
+    for (int i = 0; i < 200000 && decoded < 5000; ++i) {
+        uint32_t word = rng.next();
+        MicroOp uop;
+        if (!decodeArm(word, uop))
+            continue;
+        ++decoded;
+        uint32_t reads = uop.readRegMask();
+        uint32_t writes = uop.writeRegMask();
+        for (uint8_t reg = 0; reg < NUM_REGS; ++reg) {
+            ASSERT_EQ(((reads >> reg) & 1u) != 0, uop.readsReg(reg))
+                << std::hex << word << " reg " << unsigned(reg);
+            ASSERT_EQ(((writes >> reg) & 1u) != 0, uop.writesReg(reg))
+                << std::hex << word << " reg " << unsigned(reg);
+        }
+        EXPECT_EQ((reads & kFlagsMask) != 0, uop.readsFlags());
+        EXPECT_EQ((writes & kFlagsMask) != 0, uop.setsFlags);
+    }
+    EXPECT_GE(decoded, 5000);
+}
+
+TEST(Isa, ReadsFlagsPredicate)
+{
+    MicroOp uop;
+    uop.op = Op::ADC;
+    EXPECT_TRUE(uop.readsFlags()); // carry consumer, even when AL
+    uop.op = Op::SBC;
+    EXPECT_TRUE(uop.readsFlags());
+    uop.op = Op::RSC;
+    EXPECT_TRUE(uop.readsFlags());
+    uop.op = Op::ADD;
+    EXPECT_FALSE(uop.readsFlags());
+    uop.cond = Cond::EQ; // any conditional op waits on NZCV
+    EXPECT_TRUE(uop.readsFlags());
+}
+
 } // namespace
 } // namespace pfits

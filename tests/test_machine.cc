@@ -44,6 +44,50 @@ TEST(Machine, RunsToCompletion)
     EXPECT_GT(rr.cycles, rr.instructions / 2); // IPC <= issue width
 }
 
+TEST(Machine, AdcWaitsForFlagsEvenWhenUnconditional)
+{
+    // ADDS writes NZCV one cycle after issue; an unconditional ADC
+    // reads C and must not co-issue with it. The control program is
+    // identical except a plain ADD replaces the ADC, and a dependent
+    // chain on the result carries the one-cycle stall (if any) to the
+    // end of the run, where dual-issue slack cannot re-hide it.
+    auto build = [](AluOp second_op) {
+        ProgramBuilder b(second_op == AluOp::ADC ? "adc" : "add");
+        b.addi(R1, R0, 1, Cond::AL, true);      // ADDS r1, r0, #1
+        b.alui(second_op, R2, R0, 0);           // ADC/ADD r2, r0, #0
+        for (int i = 0; i < 8; ++i)
+            b.addi(R2, R2, 1);                  // serial chain on r2
+        b.exit();
+        return b.finish();
+    };
+    ArmFrontEnd adc_fe(build(AluOp::ADC));
+    ArmFrontEnd add_fe(build(AluOp::ADD));
+    RunResult adc = Machine(adc_fe, CoreConfig{}).run();
+    RunResult add = Machine(add_fe, CoreConfig{}).run();
+    EXPECT_EQ(adc.cycles, add.cycles + 1)
+        << "ADDS;ADC must issue in separate cycles";
+}
+
+TEST(Machine, ConditionalOpStillWaitsForFlags)
+{
+    // The mask-based stall must keep the pre-existing behaviour for
+    // conditional ops: ADDEQ reads the flags ADDS just produced.
+    auto build = [](Cond cond) {
+        ProgramBuilder b("cond");
+        b.addi(R1, R0, 1, Cond::AL, true);
+        b.addi(R2, R0, 1, cond);
+        for (int i = 0; i < 8; ++i)
+            b.addi(R2, R2, 1);
+        b.exit();
+        return b.finish();
+    };
+    ArmFrontEnd cond_fe(build(Cond::NE)); // r0+1 != 0: executes
+    ArmFrontEnd plain_fe(build(Cond::AL));
+    RunResult conditional = Machine(cond_fe, CoreConfig{}).run();
+    RunResult plain = Machine(plain_fe, CoreConfig{}).run();
+    EXPECT_EQ(conditional.cycles, plain.cycles + 1);
+}
+
 TEST(Machine, IpcNeverExceedsIssueWidth)
 {
     ArmFrontEnd fe(countdownProgram(5000));

@@ -1,0 +1,213 @@
+/** @file The parallel experiment engine: thread-pool semantics,
+ *  memoized simulation, and the headline guarantee — a sweep's table
+ *  output is byte-identical at --jobs 1, --jobs 4 and --jobs
+ *  hardware_concurrency, and an identical second sweep performs zero
+ *  fresh simulations. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/experiment.hh"
+#include "exp/figures.hh"
+#include "exp/parallel.hh"
+#include "exp/simcache.hh"
+#include "mibench/mibench.hh"
+
+namespace pfits
+{
+namespace
+{
+
+// --- thread pool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce)
+{
+    for (unsigned jobs : {1u, 2u, 4u, 7u}) {
+        ThreadPool pool(jobs);
+        EXPECT_EQ(pool.jobs(), jobs);
+        std::vector<std::atomic<int>> hits(257);
+        pool.run(hits.size(),
+                 [&](size_t i) { hits[i].fetch_add(1); });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, CollectsResultsByIndexNotCompletionOrder)
+{
+    ThreadPool pool(4);
+    auto out = parallelMap<size_t>(pool, 100, [](size_t i) {
+        // Stagger job durations so completion order scrambles.
+        volatile size_t sink = 0;
+        for (size_t k = 0; k < (i % 7) * 10000; ++k)
+            sink = sink + k;
+        return i * i;
+    });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, RethrowsLowestIndexException)
+{
+    ThreadPool pool(4);
+    try {
+        pool.run(64, [](size_t i) {
+            if (i == 7 || i == 23)
+                throw std::runtime_error("job " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 7");
+    }
+    // The pool survives a failed batch.
+    std::atomic<int> ran{0};
+    pool.run(8, [&](size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    uint64_t total = 0;
+    for (int batch = 0; batch < 10; ++batch) {
+        std::vector<uint64_t> vals(50);
+        pool.run(vals.size(), [&](size_t i) { vals[i] = i + 1; });
+        total += std::accumulate(vals.begin(), vals.end(), 0ull);
+    }
+    EXPECT_EQ(total, 10u * (50u * 51u / 2u));
+}
+
+TEST(ThreadPool, ParseJobsFlagForms)
+{
+    const char *a1[] = {"prog", "--jobs", "6"};
+    EXPECT_EQ(parseJobsFlag(3, const_cast<char **>(a1)), 6u);
+    const char *a2[] = {"prog", "--jobs=12"};
+    EXPECT_EQ(parseJobsFlag(2, const_cast<char **>(a2)), 12u);
+    const char *a3[] = {"prog", "-j3"};
+    EXPECT_EQ(parseJobsFlag(2, const_cast<char **>(a3)), 3u);
+    const char *a4[] = {"prog", "--csv"};
+    EXPECT_EQ(parseJobsFlag(2, const_cast<char **>(a4)), 0u);
+    const char *a5[] = {"prog", "--jobs", "0"};
+    EXPECT_EQ(parseJobsFlag(3, const_cast<char **>(a5)), 1u);
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+// --- memoization cache -----------------------------------------------------
+
+TEST(SimCache, KeyCoversProgramConfigAndFaultSeed)
+{
+    SimCache &cache = SimCache::instance();
+    cache.clear();
+
+    mibench::Workload wl = mibench::buildCrc32();
+    ArmFrontEnd fe(std::move(wl.program));
+    CoreConfig core;
+
+    SimResult first = cache.simulate(fe, core);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    // Identical request: a hit, and the identical result.
+    SimResult again = cache.simulate(fe, core);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(again.run.cycles, first.run.cycles);
+    EXPECT_EQ(again.run.instructions, first.run.instructions);
+
+    // A timing-relevant config change is a different key.
+    CoreConfig small = core;
+    small.icache.sizeBytes = 8 * 1024;
+    cache.simulate(fe, small);
+    EXPECT_EQ(cache.misses(), 2u);
+
+    // Arming a fault plan (seed is part of the key) is a fresh key.
+    FaultParams faults;
+    faults.icacheMeanInterval = 50'000;
+    cache.simulate(fe, core, faults, 3);
+    EXPECT_EQ(cache.misses(), 3u);
+    cache.simulate(fe, core, faults, 3);
+    EXPECT_EQ(cache.misses(), 3u); // same seed: memoized
+
+    faults.seed ^= 0xdecafull;
+    cache.simulate(fe, core, faults, 3);
+    EXPECT_EQ(cache.misses(), 4u);
+
+    EXPECT_EQ(cache.entries(), 4u);
+    cache.clear();
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+// --- the engine end to end -------------------------------------------------
+
+/** One sweep's CSV fingerprint: two figure tables over the suite. */
+std::string
+sweepCsv(unsigned jobs)
+{
+    ExperimentParams params;
+    params.jobs = jobs;
+    Runner runner(params);
+    std::ostringstream os;
+    fig13MissRate(runner).printCsv(os);
+    fig14Ipc(runner).printCsv(os);
+    return os.str();
+}
+
+TEST(ParallelExp, SweepOutputByteIdenticalAcrossJobCounts)
+{
+    SimCache::instance().clear();
+    std::string serial = sweepCsv(1);
+
+    SimCache::instance().clear();
+    std::string four = sweepCsv(4);
+
+    SimCache::instance().clear();
+    std::string hardware = sweepCsv(0); // shared pool: defaultJobs()
+
+    EXPECT_EQ(serial, four);
+    EXPECT_EQ(serial, hardware);
+    EXPECT_FALSE(serial.empty());
+}
+
+TEST(ParallelExp, SecondSweepPerformsZeroFreshSimulations)
+{
+    SimCache &cache = SimCache::instance();
+    cache.clear();
+
+    ExperimentParams params;
+    params.jobs = 4;
+    Runner first(params);
+    first.all();
+    const uint64_t misses_after_first = cache.misses();
+    // 21 benchmarks × 4 configurations, every one a fresh simulation.
+    EXPECT_EQ(misses_after_first, 21u * 4u);
+
+    Runner second(params);
+    second.all();
+    EXPECT_EQ(cache.misses(), misses_after_first)
+        << "an identical sweep must be served entirely from the cache";
+    EXPECT_GE(cache.hits(), 21u * 4u);
+}
+
+TEST(ParallelExp, RunnerIsThreadSafeForConcurrentGets)
+{
+    SimCache::instance().clear();
+    ExperimentParams params;
+    params.jobs = 1; // sims serial; outer threads race get()
+    Runner runner(params);
+    const char *names[] = {"crc32", "sha", "crc32", "sha"};
+    std::vector<const BenchResult *> seen(4);
+    ThreadPool outer(4);
+    outer.run(4, [&](size_t i) { seen[i] = &runner.get(names[i]); });
+    EXPECT_EQ(seen[0], seen[2]) << "same bench must memoize";
+    EXPECT_EQ(seen[1], seen[3]);
+    EXPECT_EQ(seen[0]->name, "crc32");
+    EXPECT_EQ(seen[1]->name, "sha");
+}
+
+} // namespace
+} // namespace pfits

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "assembler/assembler.hh"
 #include "cache/cache.hh"
 #include "common/rng.hh"
+#include "exp/parallel.hh"
 #include "sim/executor.hh"
 
 namespace pfits
@@ -216,37 +220,72 @@ INSTANTIATE_TEST_SUITE_P(
 
 // --- assemble/disassemble fuzz -------------------------------------------------
 
+/** One shard's tally. Failures travel back as data because gtest
+ *  assertion macros are not safe from pool worker threads. */
+struct ShardReport
+{
+    int checked = 0;
+    std::vector<std::string> failures;
+};
+
 TEST(AsmRoundTrip, DisassemblyReassemblesToTheSameWord)
 {
-    Rng rng(0xd15a55ull);
+    // Sharded through the experiment engine's pool: each shard owns a
+    // deterministic Rng, so coverage is identical at any job count.
+    constexpr size_t kShards = 8;
+    constexpr int kItersPerShard = 100000 / kShards;
+    constexpr int kTargetPerShard = 4000 / kShards;
+    ThreadPool pool; // defaultJobs(): exercises the engine under test
+    auto reports = parallelMap<ShardReport>(pool, kShards, [&](size_t s) {
+        ShardReport rep;
+        Rng rng(0xd15a55ull + s * 0x9e3779b97f4a7c15ull);
+        for (int i = 0;
+             i < kItersPerShard && rep.checked < kTargetPerShard; ++i) {
+            uint32_t word = rng.next();
+            MicroOp uop;
+            if (!decodeArm(word, uop))
+                continue;
+            // Branch text uses relative "+n" which the assembler
+            // expresses with labels; system/wide-move forms round-trip
+            // elsewhere.
+            if (isBranchOp(uop.op) || uop.op == Op::SWI ||
+                uop.op == Op::NOP) {
+                continue;
+            }
+            uint32_t canonical;
+            if (!encodeArm(uop, canonical))
+                continue;
+            std::string text = disassemble(uop);
+            Program prog;
+            try {
+                prog = assemble("fuzz", text + "\n");
+            } catch (const FatalError &) {
+                rep.failures.push_back("could not reassemble '" + text +
+                                       "'");
+                continue;
+            }
+            if (prog.code.size() != 1u) {
+                rep.failures.push_back("'" + text +
+                                       "' assembled to " +
+                                       std::to_string(prog.code.size()) +
+                                       " words");
+                continue;
+            }
+            // Raw words may differ in semantically dead fields (e.g.
+            // the unused rn of MVN); printed semantics must round-trip.
+            std::string back = disassembleArm(prog.code[0]);
+            if (back != text)
+                rep.failures.push_back("'" + text + "' came back as '" +
+                                       back + "'");
+            ++rep.checked;
+        }
+        return rep;
+    });
     int checked = 0;
-    for (int i = 0; i < 100000 && checked < 4000; ++i) {
-        uint32_t word = rng.next();
-        MicroOp uop;
-        if (!decodeArm(word, uop))
-            continue;
-        // Branch text uses relative "+n" which the assembler expresses
-        // with labels; system/wide-move forms round-trip elsewhere.
-        if (isBranchOp(uop.op) || uop.op == Op::SWI ||
-            uop.op == Op::NOP) {
-            continue;
-        }
-        uint32_t canonical;
-        if (!encodeArm(uop, canonical))
-            continue;
-        std::string text = disassemble(uop);
-        Program prog;
-        try {
-            prog = assemble("fuzz", text + "\n");
-        } catch (const FatalError &) {
-            ADD_FAILURE() << "could not reassemble '" << text << "'";
-            continue;
-        }
-        ASSERT_EQ(prog.code.size(), 1u) << text;
-        // Raw words may differ in semantically dead fields (e.g. the
-        // unused rn of MVN); the printed semantics must round-trip.
-        EXPECT_EQ(disassembleArm(prog.code[0]), text);
-        ++checked;
+    for (const ShardReport &rep : reports) {
+        checked += rep.checked;
+        for (const std::string &f : rep.failures)
+            ADD_FAILURE() << f;
     }
     EXPECT_GE(checked, 4000);
 }
