@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/table.hh"
 #include "exp/experiment.hh"
@@ -32,11 +34,33 @@ main()
         table.setHeader({"assoc/line", "ARM16 int pJ/acc",
                          "FITS8 total saving %", "ARM8 mpmi",
                          "FITS8 mpmi"});
-        for (uint32_t assoc : {2u, 8u, 32u}) {
-            for (uint32_t line : {16u, 32u, 64u}) {
+        std::vector<std::string> skipped;
+        // The sweep includes deliberately impossible points (a 4096-way
+        // cache that cannot fit one set, a non-power-of-two line):
+        // CacheConfig::validateError() skips them as rows instead of
+        // the first bad geometry aborting the whole sweep.
+        for (uint32_t assoc : {2u, 8u, 32u, 4096u}) {
+            for (uint32_t line : {16u, 32u, 48u, 64u}) {
                 ExperimentParams params;
                 params.core.icache.assoc = assoc;
                 params.core.icache.lineBytes = line;
+
+                char label[32];
+                std::snprintf(label, sizeof(label), "%uw/%uB", assoc,
+                              line);
+                // The 8 KiB ARM8/FITS8 caches are the tightest
+                // geometry a sweep point must satisfy.
+                CacheConfig small = params.core.icache;
+                small.sizeBytes = params.smallCacheBytes;
+                std::string err = params.core.icache.validateError();
+                if (err.empty())
+                    err = small.validateError();
+                if (!err.empty()) {
+                    table.addRow(
+                        {label, "skipped", "-", "-", "-"});
+                    skipped.push_back(std::string(label) + ": " + err);
+                    continue;
+                }
                 Runner runner(params);
 
                 CacheConfig arm16 =
@@ -55,9 +79,6 @@ main()
                                       .run.icache.missesPerMillion();
                 }
                 double n = static_cast<double>(std::size(kBenches));
-                char label[32];
-                std::snprintf(label, sizeof(label), "%uw/%uB", assoc,
-                              line);
                 table.addRow(label,
                              {model.internalEnergyPerAccess() * 1e12,
                               100 * saving / n, arm8_mpmi / n,
@@ -66,6 +87,11 @@ main()
             }
         }
         table.print(std::cout);
+        if (!skipped.empty()) {
+            std::cout << "\nskipped design points:\n";
+            for (const std::string &s : skipped)
+                std::cout << "  " << s << "\n";
+        }
         std::cout << "\nexpected shape: FITS8's total-power advantage "
                      "holds across geometries; internal energy grows "
                      "with associativity x line (column count)\n";

@@ -18,6 +18,10 @@
  *     checksum must catch.
  *
  * Everything is seeded; two invocations print byte-identical reports.
+ * "--trace-on-trap" arms a bounded flight recorder on every simulated
+ * run: each parity machine-check appends its last 64 events as JSONL
+ * to <kernel>_<ARM16|FITS8>.trace.jsonl in the working directory (the
+ * report itself is unchanged — observers never alter results).
  */
 
 #include <cstdio>
@@ -39,11 +43,14 @@
 #include "mibench/mibench.hh"
 #include "sim/frontend.hh"
 #include "sim/machine.hh"
+#include "sim/probe.hh"
 
 using namespace pfits;
 
 namespace
 {
+
+bool g_trace_on_trap = false;
 
 /** Base mean instructions between upsets for the 16 KiB cache. */
 constexpr uint64_t kBaseInterval = 5000;
@@ -118,12 +125,26 @@ faultyRun(const BenchSetup &setup, bool is_fits, bool parity,
     if (fp.enabled())
         plan = std::make_unique<FaultPlan>(fp);
 
+    // The flight recorder persists across the retry loop: every parity
+    // machine-check appends one bounded dump, so a multi-retry run
+    // leaves one trace per attempt that died.
+    std::unique_ptr<TraceObserver> tracer;
+    ObserverList observers;
+    if (g_trace_on_trap) {
+        tracer = std::make_unique<TraceObserver>(64);
+        tracer->setPath(setup.name + "_" +
+                        (is_fits ? "FITS8" : "ARM16") +
+                        ".trace.jsonl");
+        observers.add(tracer.get());
+    }
+    ObserverList *obs = tracer ? &observers : nullptr;
+
     FaultyRunStats out;
-    RunResult rr = Machine(fe, core).run(plan.get());
+    RunResult rr = Machine(fe, core).run(plan.get(), obs);
     while (rr.outcome == RunOutcome::FaultDetected &&
            out.retries < kMaxRetries) {
         ++out.retries;
-        rr = Machine(fe, core).run(plan.get());
+        rr = Machine(fe, core).run(plan.get(), obs);
     }
 
     out.outcome = rr.outcome;
@@ -157,9 +178,12 @@ int
 main(int argc, char **argv)
 {
     bool csv = false;
-    for (int i = 1; i < argc; ++i)
+    for (int i = 1; i < argc; ++i) {
         if (std::string_view(argv[i]) == "--csv")
             csv = true;
+        else if (std::string_view(argv[i]) == "--trace-on-trap")
+            g_trace_on_trap = true;
+    }
     setQuiet(true);
 
     try {

@@ -25,6 +25,9 @@ namespace pfits::benchutil
  * With "--csv" the table is emitted as CSV (for plotting scripts) and
  * the note is suppressed. "--jobs N" (or PFITS_JOBS) sets the engine's
  * worker count; the table is byte-identical at any value.
+ * "--trace-on-trap" arms a bounded flight recorder on every run: when
+ * a run ends Trapped or FaultDetected, its last 64 events are appended
+ * as JSONL to <bench>_<core>.trace.jsonl in the working directory.
  */
 inline int
 runFigure(Table (*builder)(Runner &), const char *paper_note, int argc,
@@ -32,11 +35,20 @@ runFigure(Table (*builder)(Runner &), const char *paper_note, int argc,
 {
     try {
         bool csv = false;
-        for (int i = 1; i < argc; ++i)
+        bool trace_on_trap = false;
+        for (int i = 1; i < argc; ++i) {
             if (std::string_view(argv[i]) == "--csv")
                 csv = true;
+            else if (std::string_view(argv[i]) == "--trace-on-trap")
+                trace_on_trap = true;
+        }
         ExperimentParams params;
         params.jobs = parseJobsFlag(argc, argv);
+        if (trace_on_trap) {
+            params.observers.traceOnTrap = true;
+            params.observers.traceDepth = 64;
+            params.observers.traceDir = ".";
+        }
         Runner runner(params);
         Table table = builder(runner);
         if (csv) {

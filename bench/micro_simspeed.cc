@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "cache/cache.hh"
 #include "common/rng.hh"
 #include "exp/figures.hh"
@@ -18,6 +20,7 @@
 #include "fits/translate.hh"
 #include "mibench/mibench.hh"
 #include "sim/machine.hh"
+#include "sim/probe.hh"
 
 using namespace pfits;
 
@@ -68,6 +71,47 @@ BM_FitsSimulate(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FitsSimulate)->Unit(benchmark::kMillisecond);
+
+/**
+ * Observer-layer overhead: the same FITS simulation with Arg(n) no-op
+ * external observers attached. Arg(0) passes no ObserverList at all —
+ * the zero-observer fast path whose cost the probe refactor promises
+ * is unmeasurable (compare against BM_FitsSimulate; numbers recorded
+ * in docs/OBSERVABILITY.md).
+ */
+void
+BM_FitsSimulateObservers(benchmark::State &state)
+{
+    ProfileInfo profile = profileProgram(crcProgram());
+    FitsIsa isa = synthesize(profile, SynthParams{}, "crc32");
+    FitsFrontEnd fe(translateProgram(crcProgram(), isa, profile));
+
+    struct NoopObserver final : SimObserver
+    {
+    };
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::vector<NoopObserver> noops(n);
+    ObserverList list;
+    for (NoopObserver &o : noops)
+        list.add(&o);
+
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        Machine machine(fe, CoreConfig{});
+        RunResult rr =
+            machine.run(nullptr, n ? &list : nullptr);
+        instructions += rr.instructions;
+        benchmark::DoNotOptimize(rr.cycles);
+    }
+    state.counters["Minstr/s"] = benchmark::Counter(
+        static_cast<double>(instructions) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FitsSimulateObservers)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * End-to-end figure sweep through the parallel experiment engine: all

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Pre-merge gate: build and run the full test suite twice —
-# once plain, once under AddressSanitizer + UBSan.
+# Pre-merge gate: build and run the full test suite three times —
+# plain, AddressSanitizer + UBSan, and UBSan alone (non-recovering) —
+# then diff every figure binary against its committed golden snapshot.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,9 +18,18 @@ run_suite() {
 }
 
 run_suite "$repo/build" -DASAN=OFF
+
+# The figure binaries must print byte-identical tables to their
+# committed snapshots (tests/golden/): measurements are observers now,
+# and this gate catches any instrumentation change leaking into
+# results. Regenerate deliberately with golden_check.sh --update.
+echo "=== golden snapshots ==="
+"$repo/scripts/golden_check.sh" "$repo/build"
+
 # The sanitized pass pins PFITS_JOBS=4 so the experiment engine's
 # thread pool, SimCache and Runner run genuinely concurrent even on
 # small CI hosts — races surface under TSan-less ASan as heap errors.
 PFITS_JOBS=4 run_suite "$repo/build-asan" -DASAN=ON
+PFITS_JOBS=4 run_suite "$repo/build-ubsan" -DUBSAN=ON
 
-echo "=== all checks passed (plain + sanitized) ==="
+echo "=== all checks passed (plain + sanitized + golden) ==="

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Golden-snapshot gate: every figure/ablation/extension binary must
+# print byte-identical output to its committed snapshot in
+# tests/golden/. This guards the probe refactor's promise that
+# instrumentation seams never change measured results.
+#
+# Usage: golden_check.sh <build-dir> [--update]
+#   --update  regenerate the snapshots from the current binaries
+#             (review the diff before committing).
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: $0 <build-dir> [--update]" >&2
+    exit 2
+fi
+
+build="$1"
+update="${2:-}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+golden="$repo/tests/golden"
+
+benches=(
+    fig03_static_mapping
+    fig04_dynamic_mapping
+    fig05_code_size
+    fig06_power_breakdown
+    fig07_switching_power
+    fig08_internal_power
+    fig09_leakage_power
+    fig10_peak_power
+    fig11_total_cache_power
+    fig12_chip_power
+    fig13_miss_rate
+    fig14_ipc
+    abl_dictionary_sweep
+    abl_register_sweep
+    abl_cache_geometry
+    abl_synthesis_features
+    ext_code_compression
+    ext_fetch_packing
+    ext_issue_width
+    ext_dcache_power
+    ext_profile_fidelity
+    ext_fault_resilience
+    ext_phase_behavior
+)
+
+mkdir -p "$golden"
+status=0
+for bench in "${benches[@]}"; do
+    bin="$build/bench/$bench"
+    if [[ ! -x "$bin" ]]; then
+        echo "golden: MISSING BINARY $bench" >&2
+        status=1
+        continue
+    fi
+    snapshot="$golden/$bench.txt"
+    if [[ "$update" == "--update" ]]; then
+        "$bin" 2>/dev/null > "$snapshot"
+        echo "golden: updated $bench"
+        continue
+    fi
+    if [[ ! -f "$snapshot" ]]; then
+        echo "golden: MISSING SNAPSHOT $bench (run with --update)" >&2
+        status=1
+        continue
+    fi
+    if ! "$bin" 2>/dev/null | diff -u "$snapshot" - > /tmp/golden_diff_$$; then
+        echo "golden: MISMATCH $bench" >&2
+        head -40 /tmp/golden_diff_$$ >&2
+        status=1
+    else
+        echo "golden: ok $bench"
+    fi
+    rm -f /tmp/golden_diff_$$
+done
+
+if [[ "$update" == "--update" ]]; then
+    exit 0
+fi
+if [[ $status -ne 0 ]]; then
+    echo "golden: FAILED — bench output drifted from tests/golden/" >&2
+fi
+exit $status

@@ -18,22 +18,35 @@ replPolicyName(ReplPolicy policy)
     }
 }
 
-void
-CacheConfig::validate() const
+std::string
+CacheConfig::validateError() const
 {
     // Zero checks come first: numLines()/numSets() divide by these, so
     // a zero must be rejected before any geometry query runs.
     if (sizeBytes == 0 || lineBytes == 0 || assoc == 0)
-        fatal("cache '%s': size, line size and associativity must be "
-              "non-zero", name.c_str());
+        return detail::format(
+            "cache '%s': size, line size and associativity must be "
+            "non-zero", name.c_str());
     if (!isPow2(sizeBytes) || !isPow2(lineBytes) || !isPow2(assoc))
-        fatal("cache '%s': size, line size and associativity must be "
-              "powers of two", name.c_str());
+        return detail::format(
+            "cache '%s': size, line size and associativity must be "
+            "powers of two", name.c_str());
     if (lineBytes < 4)
-        fatal("cache '%s': line size below 4 bytes", name.c_str());
+        return detail::format("cache '%s': line size below 4 bytes",
+                              name.c_str());
     if (sizeBytes < lineBytes * assoc)
-        fatal("cache '%s': size %u too small for %u ways of %u-byte "
-              "lines", name.c_str(), sizeBytes, assoc, lineBytes);
+        return detail::format(
+            "cache '%s': size %u too small for %u ways of %u-byte "
+            "lines", name.c_str(), sizeBytes, assoc, lineBytes);
+    return "";
+}
+
+void
+CacheConfig::validate() const
+{
+    std::string err = validateError();
+    if (!err.empty())
+        fatal("%s", err.c_str());
 }
 
 Cache::Cache(const CacheConfig &config)

@@ -49,7 +49,15 @@ struct CacheConfig
     uint32_t numLines() const { return sizeBytes / lineBytes; }
     uint32_t numSets() const { return numLines() / assoc; }
 
-    /** fatal() unless sizes are powers of two and consistent. */
+    /**
+     * @return a descriptive error when the geometry is inconsistent
+     * (non-power-of-two sizes, line below 4 bytes, fewer bytes than
+     * one set of ways), or "" when it is valid. Sweeps use this to
+     * skip impossible design points instead of aborting.
+     */
+    std::string validateError() const;
+
+    /** fatal() unless validateError() returns "". */
     void validate() const;
 };
 

@@ -176,9 +176,12 @@ Runner::simulateConfig(const Prepared &prep, ConfigId id) const
     // The engine's memoized simulate: retry-with-reload under faults
     // happens inside the cached computation (see exp/simcache.hh).
     SimResult sim = SimCache::instance().simulate(
-        fe, core, fp, faulty ? params_.faultRetries : 0);
+        fe, core, fp, faulty ? params_.faultRetries : 0,
+        params_.observers);
     cfg.run = std::move(sim.run);
     cfg.faultRetries = sim.faultRetries;
+    cfg.intervals = std::move(sim.intervals);
+    cfg.tracePath = std::move(sim.tracePath);
 
     if (cfg.run.outcome != RunOutcome::Completed && !faulty) {
         // Without injected faults these outcomes are toolchain or

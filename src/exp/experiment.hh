@@ -27,6 +27,7 @@
 #include "power/cache_power.hh"
 #include "power/chip_power.hh"
 #include "sim/machine.hh"
+#include "sim/probe.hh"
 #include "thumb/thumb.hh"
 
 namespace pfits
@@ -50,6 +51,12 @@ struct ConfigResult
     ChipPowerBreakdown chip;
     bool checksumOk = true;  //!< golden output matched (SDC when false)
     unsigned faultRetries = 0; //!< reload-and-retry attempts consumed
+
+    //! Phase series when params.observers armed interval stats.
+    std::vector<IntervalSample> intervals;
+
+    //! JSONL file trap traces were appended to ("" unless armed).
+    std::string tracePath;
 };
 
 /** Everything measured for one benchmark. */
@@ -115,6 +122,15 @@ struct ExperimentParams
      */
     FaultParams faults;
     unsigned faultRetries = 3;
+
+    /**
+     * Instruments attached to every simulation (sim/probe.hh):
+     * per-N-instruction interval series and/or a bounded JSONL trace
+     * dumped when a run ends Trapped or FaultDetected (the bench
+     * harness arms the latter via --trace-on-trap). Joins the SimCache
+     * memo key.
+     */
+    ObserverSpec observers;
 
     /**
      * Worker threads for the parallel engine: 0 (the default) shares

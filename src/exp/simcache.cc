@@ -138,6 +138,21 @@ hashFaultParams(const FaultParams &faults, unsigned max_retries)
     return h.h;
 }
 
+uint64_t
+hashObserverSpec(const ObserverSpec &spec)
+{
+    // Instrument-free requests hash to 0 so they share entries with
+    // pre-instrumentation callers (and with each other).
+    if (!spec.any())
+        return 0;
+    Hasher h;
+    h.u64(spec.intervalInstructions);
+    h.u64(spec.traceArmed() ? spec.traceDepth : 0);
+    if (spec.traceArmed())
+        h.str(spec.traceDir);
+    return h.h;
+}
+
 size_t
 SimCache::KeyHash::operator()(const Key &k) const
 {
@@ -145,6 +160,7 @@ SimCache::KeyHash::operator()(const Key &k) const
     h.u64(k.program);
     h.u64(k.config);
     h.u64(k.faults);
+    h.u64(k.observers);
     return static_cast<size_t>(h.h);
 }
 
@@ -175,7 +191,8 @@ SimResult
 SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
                         const CoreConfig &core,
                         const FaultParams &faults,
-                        unsigned max_retries)
+                        unsigned max_retries,
+                        const ObserverSpec &spec)
 {
     bool computed = false;
     std::call_once(slot.once, [&] {
@@ -186,19 +203,54 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
         if (faults.enabled())
             plan = std::make_unique<FaultPlan>(faults);
 
+        // The trap tracer persists across retries: it clears its ring
+        // after every run and appends one bounded dump per qualifying
+        // attempt, so the file ends up with one record per
+        // machine-check.
+        std::unique_ptr<TraceObserver> tracer;
+        if (spec.traceArmed()) {
+            tracer = std::make_unique<TraceObserver>(spec.traceDepth);
+            const std::string dir =
+                spec.traceDir.empty() ? "." : spec.traceDir;
+            tracer->setPath(dir + "/" + fe.name() + "_" + core.name +
+                            ".trace.jsonl");
+        }
+
         SimResult out;
+        auto attempt = [&]() -> RunResult {
+            // The interval instrument is rebuilt per attempt: a
+            // machine-checked run's partial series must not leak into
+            // the retry. Only the final attempt's series is reported.
+            std::unique_ptr<IntervalStatsObserver> interval;
+            if (spec.intervalInstructions)
+                interval = std::make_unique<IntervalStatsObserver>(
+                    spec.intervalInstructions);
+            ObserverList list;
+            if (interval)
+                list.add(interval.get());
+            if (tracer)
+                list.add(tracer.get());
+            RunResult rr = Machine(fe, core).run(
+                plan.get(), list.empty() ? nullptr : &list);
+            if (interval)
+                out.intervals = interval->take();
+            return rr;
+        };
+
         // Retry-with-reload: a parity machine-check means the stored
         // program image is still good — a fresh Machine reloads it
         // and the run is retried a bounded number of times.
-        out.run = Machine(fe, core).run(plan.get());
+        out.run = attempt();
         while (out.run.outcome == RunOutcome::FaultDetected &&
                out.faultRetries < max_retries) {
             ++out.faultRetries;
             warn_every_n(64, "%s/%s: parity machine-check, reloading "
                          "(retry %u)", out.run.benchmark.c_str(),
                          out.run.config.c_str(), out.faultRetries);
-            out.run = Machine(fe, core).run(plan.get());
+            out.run = attempt();
         }
+        if (tracer)
+            out.tracePath = tracer->path();
         slot.value = std::move(out);
     });
     if (!computed)
@@ -208,10 +260,12 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
 
 SimResult
 SimCache::simulate(const FrontEnd &fe, const CoreConfig &core,
-                   const FaultParams &faults, unsigned max_retries)
+                   const FaultParams &faults, unsigned max_retries,
+                   const ObserverSpec &spec)
 {
     Key key{hashFrontEnd(fe), hashCoreConfig(core),
-            hashFaultParams(faults, max_retries)};
+            hashFaultParams(faults, max_retries),
+            hashObserverSpec(spec)};
 
     std::shared_ptr<Slot> slot;
     {
@@ -224,7 +278,7 @@ SimCache::simulate(const FrontEnd &fe, const CoreConfig &core,
     // Compute outside the map lock so unrelated keys never serialize;
     // call_once makes concurrent requests for *this* key simulate once
     // and share the result.
-    return computeLocked(*slot, fe, core, faults, max_retries);
+    return computeLocked(*slot, fe, core, faults, max_retries, spec);
 }
 
 } // namespace pfits

@@ -30,6 +30,7 @@
 #include "common/fault.hh"
 #include "sim/frontend.hh"
 #include "sim/machine.hh"
+#include "sim/probe.hh"
 
 namespace pfits
 {
@@ -44,11 +45,20 @@ uint64_t hashCoreConfig(const CoreConfig &core);
 uint64_t hashFaultParams(const FaultParams &faults,
                          unsigned max_retries);
 
-/** A memoized simulation: the final run plus retry bookkeeping. */
+/** Hash of an instrumentation request (0 when nothing is armed). */
+uint64_t hashObserverSpec(const ObserverSpec &spec);
+
+/** A memoized simulation: the final run plus instrument products. */
 struct SimResult
 {
     RunResult run;
     unsigned faultRetries = 0; //!< reload-and-retry attempts consumed
+
+    //! Phase series of the final attempt (ObserverSpec intervals).
+    std::vector<IntervalSample> intervals;
+
+    //! JSONL file trace dumps were appended to ("" unless armed).
+    std::string tracePath;
 };
 
 /** Process-wide memoization cache over Machine::run. */
@@ -62,11 +72,15 @@ class SimCache
      * Simulate @p fe on @p core, memoized. When @p faults is armed the
      * whole reload-and-retry loop (up to @p max_retries reloads after
      * a parity machine-check) runs inside the cached computation.
+     * @p spec attaches instruments (interval series, trap tracing) to
+     * the run; it joins the memo key, since the instruments' products
+     * only exist for runs that executed with them attached.
      * Thread-safe; two threads asking for the same key simulate once.
      */
     SimResult simulate(const FrontEnd &fe, const CoreConfig &core,
                        const FaultParams &faults = {},
-                       unsigned max_retries = 0);
+                       unsigned max_retries = 0,
+                       const ObserverSpec &spec = {});
 
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }
@@ -81,12 +95,13 @@ class SimCache
         uint64_t program;
         uint64_t config;
         uint64_t faults;
+        uint64_t observers;
 
         bool
         operator==(const Key &o) const
         {
             return program == o.program && config == o.config &&
-                   faults == o.faults;
+                   faults == o.faults && observers == o.observers;
         }
     };
 
@@ -104,7 +119,8 @@ class SimCache
     SimResult computeLocked(Slot &slot, const FrontEnd &fe,
                             const CoreConfig &core,
                             const FaultParams &faults,
-                            unsigned max_retries);
+                            unsigned max_retries,
+                            const ObserverSpec &spec);
 
     mutable std::mutex mu_;
     std::unordered_map<Key, std::shared_ptr<Slot>, KeyHash> map_;

@@ -135,4 +135,29 @@ CachePowerModel::evaluate(const RunResult &run) const
     return out;
 }
 
+double
+CachePowerModel::intervalEnergyJ(const IntervalSample &s) const
+{
+    // Mirrors evaluate(): refill words = misses x line words, and the
+    // fill bus carries a quarter of the per-bit output energy.
+    double refill_bits = static_cast<double>(s.icacheMisses) *
+                         (config_.lineBytes * 8.0) *
+                         tech_.activityFactor * 0.25;
+    double switching;
+    if (tech_.useHammingSwitching) {
+        switching = (static_cast<double>(s.toggleBits) + refill_bits) *
+                    tech_.eOutPerToggledBit;
+    } else {
+        switching = (static_cast<double>(s.fetchBits) *
+                         tech_.activityFactor +
+                     refill_bits) *
+                    tech_.eOutPerToggledBit;
+    }
+    double internal =
+        static_cast<double>(s.icacheAccesses) *
+            internalEnergyPerAccess() +
+        static_cast<double>(s.icacheMisses) * refillInternalEnergy();
+    return switching + internal;
+}
+
 } // namespace pfits

@@ -30,6 +30,7 @@
 #include "cache/cache.hh"
 #include "power/tech.hh"
 #include "sim/machine.hh"
+#include "sim/probe.hh"
 
 namespace pfits
 {
@@ -126,6 +127,16 @@ class CachePowerModel
 
     /** Fold one run's activity counts into component energies. */
     CachePowerBreakdown evaluate(const RunResult &run) const;
+
+    /**
+     * Dynamic (switching + internal) energy of one interval of a run's
+     * phase series (J). The same per-event energies as evaluate(), so
+     * the samples of a full-run series sum to its dynamic energy;
+     * leakage is omitted because the interval boundary cycles — and
+     * hence interval wall-clock time — belong to the timing model, not
+     * the activity counts.
+     */
+    double intervalEnergyJ(const IntervalSample &s) const;
 
     const CacheConfig &config() const { return config_; }
     const TechParams &tech() const { return tech_; }

@@ -35,13 +35,23 @@ struct AddrCodec
     uint32_t base = 0;
     uint32_t shift = 2; //!< log2(bytes per instruction): 2=ARM, 1=FITS
 
+    /** indexOf() result for an address below the code base. */
+    static constexpr uint64_t kBadIndex = ~0ull;
+
     uint32_t addrOf(uint64_t index) const
     {
         return base + (static_cast<uint32_t>(index) << shift);
     }
 
+    /**
+     * @return the instruction index at @p addr, or kBadIndex when the
+     * address sits below the code base — `addr - base` would otherwise
+     * wrap to a huge offset and masquerade as an in-range index.
+     */
     uint64_t indexOf(uint32_t addr) const
     {
+        if (addr < base)
+            return kBadIndex;
         return static_cast<uint64_t>(addr - base) >> shift;
     }
 };

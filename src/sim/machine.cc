@@ -6,6 +6,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "sim/probe.hh"
 
 namespace pfits
 {
@@ -79,7 +80,20 @@ Machine::Machine(const FrontEnd &fe, const CoreConfig &config)
 }
 
 RunResult
-Machine::run(FaultPlan *faults)
+Machine::run(FaultPlan *faults, ObserverList *observers)
+{
+    // Stamp the loop out per observer mode: the HasExtra=false body has
+    // no list fan-out, so no event aggregate escapes and the optimizer
+    // reduces the built-in observers to the bare scalar updates.
+    if (observers && !observers->empty())
+        return runLoop<true>(faults, observers);
+    return runLoop<false>(faults, nullptr);
+}
+
+template <bool HasExtra>
+RunResult
+Machine::runLoop(FaultPlan *faults,
+                 [[maybe_unused]] const ObserverList *extra)
 {
     RunResult result;
     result.benchmark = fe_.name();
@@ -94,9 +108,15 @@ Machine::run(FaultPlan *faults)
 
     const AddrCodec codec = fe_.codec();
     const unsigned fetch_bits = fe_.instrBits();
-    const uint32_t fetch_mask =
-        fetch_bits >= 32 ? 0xffffffffu : ((1u << fetch_bits) - 1u);
     const uint32_t line_words = config_.icache.lineBytes / 4;
+
+    // Built-in observers: concrete final types called directly, so the
+    // compiler inlines them — they are the measurements the Machine
+    // used to hand-weave into this loop. External observers fan out
+    // through the list behind a single empty-check per event site.
+    CounterObserver counters;
+    ActivityObserver activity;
+    FaultAccountingObserver fault_acct(faults);
 
     // Scoreboard state. Index 16 tracks the NZCV flags.
     uint64_t reg_ready[NUM_REGS + 1] = {};
@@ -107,10 +127,10 @@ Machine::run(FaultPlan *faults)
     uint64_t front_ready = 0;      // earliest issue for the next instr
     uint64_t last_issue = 0;
 
-    uint32_t prev_fetch_word = 0;
     constexpr uint64_t no_fetch_word = ~0ull; // empty packed-fetch buffer
     uint64_t prev_word_addr = no_fetch_word;  // packed-fetch buffer tag
     uint64_t index = 0;
+    uint64_t retired = 0; // watchdog / fault-schedule clock
     const size_t num_insns = fe_.numInstructions();
 
     // Precompute per-static-instruction source masks (bit r = reads
@@ -125,11 +145,14 @@ Machine::run(FaultPlan *faults)
     result.outcome = RunOutcome::Completed;
     try {
     while (!state.halted) {
+        if (index == AddrCodec::kBadIndex)
+            trap("%s/%s: control transfer below the code base",
+                 result.benchmark.c_str(), result.config.c_str());
         if (index >= num_insns)
             trap("%s/%s: fell off the end of the program at index %llu",
                  result.benchmark.c_str(), result.config.c_str(),
                  static_cast<unsigned long long>(index));
-        if (result.instructions >= config_.maxInstructions) {
+        if (retired >= config_.maxInstructions) {
             // Runaway guard: report the expiry with partial statistics
             // instead of tearing the whole sweep down.
             result.outcome = RunOutcome::WatchdogExpired;
@@ -143,18 +166,26 @@ Machine::run(FaultPlan *faults)
 
         // --- soft-error injection -------------------------------------
         if (faults) {
-            if (faults->due(FaultTarget::ICACHE, result.instructions) &&
+            if (faults->due(FaultTarget::ICACHE, retired) &&
                 icache.injectBitFlip(faults->rng())) {
-                faults->recordInjected(FaultTarget::ICACHE);
+                FaultEvent ev{FaultTarget::ICACHE,
+                              FaultEvent::Kind::Injected, retired, 0};
+                fault_acct.onFault(ev);
+                if constexpr (HasExtra)
+                    extra->fault(ev);
                 // The fetch buffer may hold a word of the line that was
                 // just struck; drop it so the next fetch goes back to
                 // the array, where parity can see the corruption
                 // (packed-fetch buffer contract, sim/machine.hh).
                 prev_word_addr = no_fetch_word;
             }
-            if (faults->due(FaultTarget::MEMORY, result.instructions) &&
+            if (faults->due(FaultTarget::MEMORY, retired) &&
                 mem_.injectBitFlip(faults->rng())) {
-                faults->recordInjected(FaultTarget::MEMORY);
+                FaultEvent ev{FaultTarget::MEMORY,
+                              FaultEvent::Kind::Injected, retired, 0};
+                fault_acct.onFault(ev);
+                if constexpr (HasExtra)
+                    extra->fault(ev);
             }
         }
 
@@ -165,19 +196,23 @@ Machine::run(FaultPlan *faults)
         bool new_word = !config_.packedFetch ||
                         (addr >> 2) != prev_word_addr;
         prev_word_addr = addr >> 2;
+        CacheAccessResult fetch;
         if (new_word) {
-            CacheAccessResult fetch = icache.access(addr, false);
+            fetch = icache.access(addr, false);
             if (fetch.parityError) {
                 // Machine-check: parity caught a corrupt line on
                 // consumption. The run is not trustworthy past this
-                // point; the harness reloads and retries.
-                if (faults)
-                    faults->recordDetected(FaultTarget::ICACHE);
-                // Machine-check invalidates the fetch path: empty the
-                // packed-fetch buffer explicitly so no stale word (or
-                // toggle baseline) survives past the detection point.
+                // point; the harness reloads and retries. The fetch
+                // path is invalidated: no FetchEvent is emitted for
+                // the poisoned word, and the packed-fetch buffer is
+                // emptied so no stale word survives the detection.
+                FaultEvent ev{FaultTarget::ICACHE,
+                              FaultEvent::Kind::Detected, retired,
+                              addr};
+                fault_acct.onFault(ev);
+                if constexpr (HasExtra)
+                    extra->fault(ev);
                 prev_word_addr = no_fetch_word;
-                prev_fetch_word = 0;
                 result.outcome = RunOutcome::FaultDetected;
                 result.trapReason = detail::format(
                     "%s/%s: I-cache parity error at 0x%08x",
@@ -190,26 +225,34 @@ Machine::run(FaultPlan *faults)
                 // tag-only cache model cannot alter the functional
                 // stream, so the escape is counted rather than acted
                 // out (see docs/RESILIENCE.md).
-                faults->recordEscaped(FaultTarget::ICACHE);
+                FaultEvent ev{FaultTarget::ICACHE,
+                              FaultEvent::Kind::Escaped, retired, addr};
+                fault_acct.onFault(ev);
+                if constexpr (HasExtra)
+                    extra->fault(ev);
             }
             if (!fetch.hit) {
                 front_ready =
                     std::max(front_ready, last_issue) +
                     config_.icacheMissPenalty;
-                result.icacheRefillWords += line_words;
             }
         }
-        const uint32_t word = fe_.encodingAt(static_cast<size_t>(index));
-        result.fetchToggleBits +=
-            popcount32((word ^ prev_fetch_word) & fetch_mask);
-        prev_fetch_word = word;
-        result.fetchBitsTotal += fetch_bits;
+        const FetchEvent fetch_ev{index, addr,
+                                  fe_.encodingAt(
+                                      static_cast<size_t>(index)),
+                                  fetch_bits, new_word, fetch,
+                                  line_words};
+        activity.onFetch(fetch_ev);
+        if constexpr (HasExtra)
+            extra->fetch(fetch_ev);
 
         // --- execute (functional) -------------------------------------
         execute(uop, index, codec, state, mem_, result.io, info);
 
         // --- issue timing ------------------------------------------------
-        uint64_t earliest = std::max(front_ready, last_issue);
+        const uint64_t prev_issue = last_issue;
+        const uint64_t base_ready = std::max(front_ready, last_issue);
+        uint64_t earliest = base_ready;
 
         // Source operands: iterate the precomputed mask's set bits
         // only (typically 2-3 per op). Bit kFlagsBit covers the NZCV
@@ -219,15 +262,18 @@ Machine::run(FaultPlan *faults)
             unsigned reg = static_cast<unsigned>(std::countr_zero(m));
             earliest = std::max(earliest, reg_ready[reg]);
         }
+        const bool operand_stall = earliest > base_ready;
 
         // Structural constraints within an issue group.
         bool wants_mem = info.executed && (info.isLoad || info.isStore);
         bool wants_mul = info.executed && info.isMulDiv;
+        bool structural_stall = false;
         if (earliest == issue_cycle) {
             if (slots_used >= config_.issueWidth ||
                 (wants_mem && mem_port_used) ||
                 (wants_mul && mul_unit_used)) {
                 earliest += 1;
+                structural_stall = true;
             }
         }
         if (earliest != issue_cycle) {
@@ -241,12 +287,30 @@ Machine::run(FaultPlan *faults)
         mul_unit_used = mul_unit_used || wants_mul;
         last_issue = issue_cycle;
 
+        if constexpr (HasExtra) {
+            StallReason reason = StallReason::None;
+            if (issue_cycle != prev_issue) {
+                // Priority mirrors the computation above: a structural
+                // bump is applied last, operand readiness can only
+                // raise a front-end-ready baseline.
+                reason = structural_stall ? StallReason::Structural
+                         : operand_stall ? StallReason::Operands
+                                         : StallReason::FrontEnd;
+            }
+            extra->issue(IssueEvent{index, issue_cycle, slots_used - 1,
+                                    issue_cycle - prev_issue, reason});
+        }
+
         // --- data memory timing ---------------------------------------
         uint64_t result_ready = issue_cycle + 1 + info.extraLatency;
         for (unsigned m = 0; m < info.numMem; ++m) {
-            ++result.dmemAccesses;
             CacheAccessResult dres =
                 dcache.access(info.mem[m].addr, info.mem[m].write);
+            const DataAccessEvent data_ev{index, info.mem[m].addr,
+                                          info.mem[m].write, dres};
+            counters.onDataAccess(data_ev);
+            if constexpr (HasExtra)
+                extra->dataAccess(data_ev);
             if (!dres.hit) {
                 // Blocking cache: the whole pipeline waits.
                 result_ready += config_.dcacheMissPenalty;
@@ -278,12 +342,13 @@ Machine::run(FaultPlan *faults)
                 reg_ready[NUM_REGS] = issue_cycle + 1;
         }
 
-        // --- control flow ------------------------------------------------
-        ++result.instructions;
-        if (!info.executed && uop.cond != Cond::AL)
-            ++result.annulled;
+        // --- commit / control flow ---------------------------------------
+        const CommitEvent commit_ev{index, &uop, &info, issue_cycle};
+        counters.onCommit(commit_ev);
+        if constexpr (HasExtra)
+            extra->commit(commit_ev);
+        ++retired;
         if (info.executed && info.branchTaken) {
-            ++result.takenBranches;
             front_ready = std::max(front_ready,
                                    issue_cycle + 1 +
                                        config_.branchPenalty);
@@ -299,12 +364,18 @@ Machine::run(FaultPlan *faults)
 
     // Drain the pipeline (fetch/decode/execute/mem/writeback). All
     // outcomes finalize: a trapped or watchdog-expired run still
-    // reports the activity it accumulated.
+    // reports the activity it accumulated. The observers publish
+    // their totals into the result, built-ins first so external
+    // observers see the finished counters.
     result.cycles = last_issue + 4;
     result.icache = icache.stats();
     result.dcache = dcache.stats();
     result.finalState = state;
-    result.exitedCleanly = result.outcome == RunOutcome::Completed;
+    counters.onRunEnd(result);
+    activity.onRunEnd(result);
+    fault_acct.onRunEnd(result);
+    if constexpr (HasExtra)
+        extra->runEnd(result);
     return result;
 }
 

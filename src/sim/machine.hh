@@ -9,11 +9,13 @@
  * depends on: dual-issue pairing rules, load-use and multiply latencies,
  * taken-branch bubbles, and blocking I/D-cache misses.
  *
- * Alongside timing, the Machine gathers the *activity counts* the power
- * models consume: I-cache accesses/misses/refill words, fetch-bus toggle
- * bits (true Hamming distance between successively fetched encodings —
- * this is where a 16-bit FITS stream halves switching activity), and
- * D-cache traffic.
+ * The Machine itself models only timing and architectural execution.
+ * Every measurement — the RunResult counters, the activity counts the
+ * power models consume (fetch-bus Hamming toggles, refill words), and
+ * the fault accounting — is an observer over the typed event stream
+ * the run emits (sim/probe.hh). External instruments (interval stats,
+ * trace rings, anything new) register through an ObserverList without
+ * touching this hot loop.
  */
 
 #ifndef POWERFITS_SIM_MACHINE_HH
@@ -31,6 +33,8 @@
 
 namespace pfits
 {
+
+class ObserverList; // sim/probe.hh
 
 /**
  * How a simulated run ended. Everything except Completed used to abort
@@ -107,7 +111,6 @@ struct RunResult
     CpuState finalState;
     RunOutcome outcome = RunOutcome::Trapped;
     std::string trapReason;    //!< diagnostic for non-Completed outcomes
-    bool exitedCleanly = false; //!< outcome == Completed (legacy alias)
 
     double
     ipc() const
@@ -140,15 +143,29 @@ class Machine
      * parity machine-check, or the instruction cap — all reported as
      * the RunResult's outcome (with partial statistics), never by
      * aborting. An optional @p faults plan injects scheduled soft
-     * errors into the I-cache and data memory while running.
+     * errors into the I-cache and data memory while running; optional
+     * @p observers receive the run's typed event stream (sim/probe.hh)
+     * and must be registered before the call — an empty or absent list
+     * costs nothing measurable.
      */
-    RunResult run(FaultPlan *faults = nullptr);
+    RunResult run(FaultPlan *faults = nullptr,
+                  ObserverList *observers = nullptr);
 
     Memory &mem() { return mem_; }
     const Memory &mem() const { return mem_; }
     const CoreConfig &config() const { return config_; }
 
   private:
+    /**
+     * The run loop, stamped out once per external-observer mode. The
+     * HasExtra=false instantiation contains no ObserverList fan-out at
+     * all, so the event aggregates never escape and the optimizer
+     * dissolves them into the same scalar updates the pre-probe loop
+     * hand-wove — the zero-observer fast path costs nothing.
+     */
+    template <bool HasExtra>
+    RunResult runLoop(FaultPlan *faults, const ObserverList *extra);
+
     const FrontEnd &fe_;
     CoreConfig config_;
     Memory mem_;

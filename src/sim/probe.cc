@@ -1,0 +1,173 @@
+#include "sim/probe.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "sim/machine.hh"
+
+namespace pfits
+{
+
+const char *
+stallReasonName(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::None: return "none";
+      case StallReason::FrontEnd: return "frontend";
+      case StallReason::Operands: return "operands";
+      case StallReason::Structural: return "structural";
+      default: panic("bad StallReason");
+    }
+}
+
+const char *
+faultEventKindName(FaultEvent::Kind kind)
+{
+    switch (kind) {
+      case FaultEvent::Kind::Injected: return "injected";
+      case FaultEvent::Kind::Detected: return "detected";
+      case FaultEvent::Kind::Escaped: return "escaped";
+      default: panic("bad FaultEvent::Kind");
+    }
+}
+
+void
+CounterObserver::onRunEnd(RunResult &result)
+{
+    result.instructions = instructions_;
+    result.annulled = annulled_;
+    result.takenBranches = takenBranches_;
+    result.dmemAccesses = dmemAccesses_;
+}
+
+void
+ActivityObserver::onRunEnd(RunResult &result)
+{
+    result.fetchToggleBits = toggleBits_;
+    result.fetchBitsTotal = bitsTotal_;
+    result.icacheRefillWords = refillWords_;
+}
+
+void
+IntervalStatsObserver::onRunEnd(RunResult &result)
+{
+    // The final sample absorbs the partial instruction tail and the
+    // pipeline-drain cycles, so the series partitions the whole run.
+    if (current_.instructions != 0 || result.cycles > startCycle_)
+        close(result.cycles);
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes and backslashes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+TraceObserver::writeEntry(std::ostream &os, const Entry &e) const
+{
+    char buf[160];
+    switch (e.type) {
+      case Entry::Type::Fetch:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"event\":\"fetch\",\"index\":%llu,"
+                      "\"addr\":\"0x%08x\",\"encoding\":\"0x%08x\","
+                      "\"newWord\":%s,\"hit\":%s}",
+                      static_cast<unsigned long long>(e.index), e.addr,
+                      e.a, (e.b & 1u) ? "true" : "false",
+                      (e.b & 2u) ? "true" : "false");
+        break;
+      case Entry::Type::Issue:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"event\":\"issue\",\"index\":%llu,"
+                      "\"cycle\":%llu,\"slot\":%u,\"stall\":\"%s\"}",
+                      static_cast<unsigned long long>(e.index),
+                      static_cast<unsigned long long>(e.cycle), e.a,
+                      stallReasonName(static_cast<StallReason>(e.b)));
+        break;
+      case Entry::Type::Commit:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"event\":\"commit\",\"index\":%llu,"
+                      "\"cycle\":%llu,\"executed\":%s,"
+                      "\"branchTaken\":%s}",
+                      static_cast<unsigned long long>(e.index),
+                      static_cast<unsigned long long>(e.cycle),
+                      (e.a & 1u) ? "true" : "false",
+                      (e.a & 2u) ? "true" : "false");
+        break;
+      case Entry::Type::DataAccess:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"event\":\"dmem\",\"index\":%llu,"
+                      "\"addr\":\"0x%08x\",\"write\":%s,\"hit\":%s}",
+                      static_cast<unsigned long long>(e.index), e.addr,
+                      e.a ? "true" : "false", e.b ? "true" : "false");
+        break;
+      case Entry::Type::Fault:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"event\":\"fault\",\"target\":\"%s\","
+                      "\"kind\":\"%s\",\"instr\":%llu,"
+                      "\"addr\":\"0x%08x\"}",
+                      faultTargetName(static_cast<FaultTarget>(e.a)),
+                      faultEventKindName(
+                          static_cast<FaultEvent::Kind>(e.b)),
+                      static_cast<unsigned long long>(e.index), e.addr);
+        break;
+      default:
+        panic("bad TraceObserver entry type");
+    }
+    os << buf << '\n';
+}
+
+void
+TraceObserver::dump(std::ostream &os, const RunResult *result) const
+{
+    if (result) {
+        os << "{\"event\":\"run\",\"benchmark\":\""
+           << jsonEscape(result->benchmark) << "\",\"config\":\""
+           << jsonEscape(result->config) << "\",\"outcome\":\""
+           << runOutcomeName(result->outcome) << "\",\"reason\":\""
+           << jsonEscape(result->trapReason) << "\"}\n";
+    }
+    // Oldest first: once the ring wrapped, next_ points at the oldest.
+    const size_t n = ring_.size();
+    const size_t start = n == capacity_ ? next_ : 0;
+    for (size_t i = 0; i < n; ++i)
+        writeEntry(os, ring_[(start + i) % n]);
+}
+
+void
+TraceObserver::onRunEnd(RunResult &result)
+{
+    const bool qualifying = result.outcome == RunOutcome::Trapped ||
+                            result.outcome == RunOutcome::FaultDetected;
+    if (qualifying) {
+        if (sink_) {
+            dump(*sink_, &result);
+        } else if (!path_.empty()) {
+            std::ofstream os(path_, std::ios::app);
+            if (os) {
+                dump(os, &result);
+            } else {
+                warn_once("trace: cannot open '%s' for append",
+                          path_.c_str());
+            }
+        }
+    }
+    clear();
+}
+
+} // namespace pfits

@@ -38,6 +38,34 @@ TEST(CacheConfig, GeometryAndValidation)
     EXPECT_THROW(cfg.validate(), FatalError);
 }
 
+TEST(CacheConfig, ValidateErrorDescribesWithoutAborting)
+{
+    // Sweeps probe design points with validateError(): "" when the
+    // geometry is fine, a descriptive message (naming the cache and
+    // the constraint) when it is not — and never an abort.
+    CacheConfig cfg = smallCache();
+    EXPECT_EQ(cfg.validateError(), "");
+
+    cfg.sizeBytes = 0;
+    EXPECT_NE(cfg.validateError().find("non-zero"), std::string::npos);
+
+    cfg = smallCache();
+    cfg.lineBytes = 48;
+    EXPECT_NE(cfg.validateError().find("powers of two"),
+              std::string::npos);
+
+    cfg = smallCache();
+    cfg.lineBytes = 2;
+    EXPECT_NE(cfg.validateError().find("below 4 bytes"),
+              std::string::npos);
+
+    cfg = smallCache();
+    cfg.assoc = 64;
+    std::string err = cfg.validateError();
+    EXPECT_NE(err.find("too small"), std::string::npos);
+    EXPECT_NE(err.find(cfg.name), std::string::npos);
+}
+
 TEST(Cache, ColdMissThenHit)
 {
     Cache cache(smallCache());

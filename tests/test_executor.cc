@@ -443,5 +443,29 @@ TEST_F(ExecFixture, MemoryPagesAreZeroInitialized)
     EXPECT_EQ(mem.read8(0x4001), 0xabu);
 }
 
+TEST(AddrCodec, IndexOfGuardsUnderflow)
+{
+    AddrCodec codec{0x8000, 2};
+    EXPECT_EQ(codec.indexOf(0x8000), 0u);
+    EXPECT_EQ(codec.indexOf(0x8008), 2u);
+    // An address below the code base must come back as the sentinel,
+    // not wrap to a huge index that masquerades as in-range.
+    EXPECT_EQ(codec.indexOf(0x7ffc), AddrCodec::kBadIndex);
+    EXPECT_EQ(codec.indexOf(0), AddrCodec::kBadIndex);
+
+    AddrCodec fits{0x100, 1};
+    EXPECT_EQ(fits.indexOf(0x102), 1u);
+    EXPECT_EQ(fits.indexOf(0xff), AddrCodec::kBadIndex);
+}
+
+TEST_F(ExecFixture, RetBelowCodeBaseTraps)
+{
+    MicroOp uop;
+    uop.op = Op::RET;
+    uop.cond = Cond::AL;
+    state.regs[LR] = codec.base - 4;
+    EXPECT_THROW(run(uop), TrapError);
+}
+
 } // namespace
 } // namespace pfits

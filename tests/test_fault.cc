@@ -200,7 +200,7 @@ TEST(Machine, ParityTurnsConsumedFlipsIntoDetections)
     // A consumed corrupt line under parity ends the run as a detected
     // fault — never as silent corruption.
     ASSERT_EQ(rr.outcome, RunOutcome::FaultDetected);
-    EXPECT_FALSE(rr.exitedCleanly);
+    EXPECT_NE(rr.outcome, RunOutcome::Completed);
     EXPECT_NE(rr.trapReason.find("parity"), std::string::npos);
     EXPECT_GE(plan.detected(FaultTarget::ICACHE), 1u);
     EXPECT_EQ(plan.escaped(FaultTarget::ICACHE), 0u);

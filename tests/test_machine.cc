@@ -36,7 +36,7 @@ TEST(Machine, RunsToCompletion)
     ArmFrontEnd fe(countdownProgram(100));
     Machine m(fe, CoreConfig{});
     RunResult rr = m.run();
-    EXPECT_TRUE(rr.exitedCleanly);
+    EXPECT_EQ(rr.outcome, RunOutcome::Completed);
     ASSERT_EQ(rr.io.emitted.size(), 1u);
     EXPECT_EQ(rr.io.emitted[0], 0xabcdu);
     EXPECT_EQ(m.mem().read32(kDefaultDataBase), 0xabcdu);
@@ -234,7 +234,7 @@ TEST(Machine, RunawayProgramReportsWatchdogExpired)
     Machine m(fe, cfg);
     RunResult rr = m.run();
     EXPECT_EQ(rr.outcome, RunOutcome::WatchdogExpired);
-    EXPECT_FALSE(rr.exitedCleanly);
+    EXPECT_NE(rr.outcome, RunOutcome::Completed);
     EXPECT_EQ(rr.instructions, 1000u);          // partial stats kept
     EXPECT_GT(rr.cycles, rr.instructions / 2);  // timing too
     EXPECT_GT(rr.icache.accesses(), 0u);
@@ -250,7 +250,7 @@ TEST(Machine, FallingOffTheEndTraps)
     Machine m(fe, CoreConfig{});
     RunResult rr = m.run();
     EXPECT_EQ(rr.outcome, RunOutcome::Trapped);
-    EXPECT_FALSE(rr.exitedCleanly);
+    EXPECT_NE(rr.outcome, RunOutcome::Completed);
     EXPECT_NE(rr.trapReason.find("fell off the end"),
               std::string::npos);
 }
@@ -277,7 +277,7 @@ TEST(Machine, CompletedRunReportsOutcome)
     Machine m(fe, CoreConfig{});
     RunResult rr = m.run();
     EXPECT_EQ(rr.outcome, RunOutcome::Completed);
-    EXPECT_TRUE(rr.exitedCleanly);
+    EXPECT_EQ(rr.outcome, RunOutcome::Completed);
     EXPECT_TRUE(rr.trapReason.empty());
     EXPECT_STREQ(runOutcomeName(rr.outcome), "completed");
 }
