@@ -15,6 +15,7 @@
 
 #include "common/table.hh"
 #include "exp/experiment.hh"
+#include "fig_util.hh"
 #include "power/cache_power.hh"
 
 using namespace pfits;
@@ -27,9 +28,13 @@ const char *kBenches[] = {"sha", "jpeg.encode", "crc32", "fft"};
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
     try {
+        benchutil::BenchHarness harness(tool, opts);
         Table table("Ablation A3: cache geometry sweep (suite subset)");
         table.setHeader({"assoc/line", "ARM16 int pJ/acc",
                          "FITS8 total saving %", "ARM8 mpmi",
@@ -44,6 +49,7 @@ main()
                 ExperimentParams params;
                 params.core.icache.assoc = assoc;
                 params.core.icache.lineBytes = line;
+                harness.applyTo(params);
 
                 char label[32];
                 std::snprintf(label, sizeof(label), "%uw/%uB", assoc,
@@ -86,16 +92,22 @@ main()
                              1);
             }
         }
-        table.print(std::cout);
-        if (!skipped.empty()) {
-            std::cout << "\nskipped design points:\n";
-            for (const std::string &s : skipped)
-                std::cout << "  " << s << "\n";
+        if (opts.csv) {
+            table.printCsv(std::cout);
+        } else {
+            table.print(std::cout);
+            if (!skipped.empty()) {
+                std::cout << "\nskipped design points:\n";
+                for (const std::string &s : skipped)
+                    std::cout << "  " << s << "\n";
+            }
+            std::cout << "\nexpected shape: FITS8's total-power "
+                         "advantage holds across geometries; internal "
+                         "energy grows with associativity x line "
+                         "(column count)\n";
         }
-        std::cout << "\nexpected shape: FITS8's total-power advantage "
-                     "holds across geometries; internal energy grows "
-                     "with associativity x line (column count)\n";
-        return 0;
+        harness.addTable(table);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -12,6 +12,7 @@
 
 #include "common/table.hh"
 #include "exp/experiment.hh"
+#include "fig_util.hh"
 
 using namespace pfits;
 
@@ -28,9 +29,13 @@ const char *kBenches[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
     try {
+        benchutil::BenchHarness harness(tool, opts);
         Table table("Ablation A1: operate-dictionary capacity sweep "
                     "(suite subset)");
         table.setHeader({"capacity", "static map %", "dyn map %",
@@ -38,6 +43,7 @@ main()
         for (unsigned capacity : {1u, 4u, 8u, 16u, 32u, 64u, 128u}) {
             ExperimentParams params;
             params.synth.opDictCapacity = capacity;
+            harness.applyTo(params);
             Runner runner(params);
             double smap = 0, dmap = 0, code = 0, slots = 0;
             for (const char *name : kBenches) {
@@ -53,10 +59,16 @@ main()
                           100 * code / n, slots / n},
                          1);
         }
-        table.print(std::cout);
-        std::cout << "\nexpected shape: mapping and code size saturate "
-                     "once the dictionary holds the hot constants\n";
-        return 0;
+        if (opts.csv)
+            table.printCsv(std::cout);
+        else {
+            table.print(std::cout);
+            std::cout << "\nexpected shape: mapping and code size "
+                         "saturate once the dictionary holds the hot "
+                         "constants\n";
+        }
+        harness.addTable(table);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

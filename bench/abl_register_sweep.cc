@@ -12,6 +12,7 @@
 
 #include "common/table.hh"
 #include "exp/experiment.hh"
+#include "fig_util.hh"
 
 using namespace pfits;
 
@@ -22,8 +23,8 @@ const char *kBenches[] = {
     "crc32", "gsm", "sha", "dijkstra", "qsort", "fft",
 };
 
-void
-sweepRegFields(std::ostream &os)
+Table
+sweepRegFields(benchutil::BenchHarness &harness)
 {
     Table table("Ablation A2a: register-field width");
     table.setHeader({"benchmark", "natural bits", "nat map %",
@@ -31,6 +32,8 @@ sweepRegFields(std::ostream &os)
     ExperimentParams natural;
     ExperimentParams forced;
     forced.synth.forceWideRegFields = true;
+    harness.applyTo(natural);
+    harness.applyTo(forced);
     Runner nat_runner(natural), wide_runner(forced);
     for (const char *name : kBenches) {
         const BenchResult &n = nat_runner.get(name);
@@ -43,11 +46,11 @@ sweepRegFields(std::ostream &os)
                       100.0 * w.fitsBytes / w.armBytes},
                      1);
     }
-    table.print(os);
+    return table;
 }
 
-void
-sweepSlotBudget(std::ostream &os)
+Table
+sweepSlotBudget(benchutil::BenchHarness &harness)
 {
     Table table("Ablation A2b: decoder slot budget (suite subset)");
     table.setHeader({"max slots", "static map %", "dyn map %",
@@ -55,6 +58,7 @@ sweepSlotBudget(std::ostream &os)
     for (unsigned slots : {4u, 8u, 16u, 32u, 64u, 128u}) {
         ExperimentParams params;
         params.synth.maxSlots = slots;
+        harness.applyTo(params);
         Runner runner(params);
         double smap = 0, dmap = 0, code = 0;
         for (const char *name : kBenches) {
@@ -68,23 +72,37 @@ sweepSlotBudget(std::ostream &os)
                      {100 * smap / n, 100 * dmap / n, 100 * code / n},
                      1);
     }
-    table.print(os);
+    return table;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
     try {
-        sweepRegFields(std::cout);
-        std::cout << "\n";
-        sweepSlotBudget(std::cout);
-        std::cout << "\nexpected shape: forcing 4-bit fields on small "
-                     "register sets wastes opcode space and lowers the "
-                     "mapping rate; coverage saturates with the slot "
-                     "budget\n";
-        return 0;
+        benchutil::BenchHarness harness(tool, opts);
+        Table reg_fields = sweepRegFields(harness);
+        Table slot_budget = sweepSlotBudget(harness);
+        if (opts.csv) {
+            reg_fields.printCsv(std::cout);
+            std::cout << "\n";
+            slot_budget.printCsv(std::cout);
+        } else {
+            reg_fields.print(std::cout);
+            std::cout << "\n";
+            slot_budget.print(std::cout);
+            std::cout << "\nexpected shape: forcing 4-bit fields on "
+                         "small register sets wastes opcode space and "
+                         "lowers the mapping rate; coverage saturates "
+                         "with the slot budget\n";
+        }
+        harness.addTable(reg_fields);
+        harness.addTable(slot_budget);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -11,6 +11,7 @@
 
 #include "common/table.hh"
 #include "exp/experiment.hh"
+#include "fig_util.hh"
 
 using namespace pfits;
 
@@ -22,10 +23,12 @@ const char *kBenches[] = {
 };
 
 void
-row(Table &table, const char *label, const SynthParams &sp)
+row(benchutil::BenchHarness &harness, Table &table, const char *label,
+    const SynthParams &sp)
 {
     ExperimentParams params;
     params.synth = sp;
+    harness.applyTo(params);
     Runner runner(params);
     double smap = 0, dmap = 0, code = 0;
     for (const char *name : kBenches) {
@@ -42,39 +45,48 @@ row(Table &table, const char *label, const SynthParams &sp)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
     try {
+        benchutil::BenchHarness harness(tool, opts);
         Table table("Ablation A5: synthesis feature knockout "
                     "(suite subset)");
         table.setHeader({"configuration", "static map %", "dyn map %",
                          "code vs ARM %"});
 
         SynthParams full;
-        row(table, "full synthesis", full);
+        row(harness, table, "full synthesis", full);
 
         SynthParams no_fuse = full;
         no_fuse.enableFusedShifts = false;
-        row(table, "- fused shifts", no_fuse);
+        row(harness, table, "- fused shifts", no_fuse);
 
         SynthParams no_twoop = full;
         no_twoop.enableTwoOperand = false;
-        row(table, "- two-operand forms", no_twoop);
+        row(harness, table, "- two-operand forms", no_twoop);
 
         SynthParams bare = full;
         bare.enableFusedShifts = false;
         bare.enableTwoOperand = false;
-        row(table, "- both", bare);
+        row(harness, table, "- both", bare);
 
         SynthParams wide = full;
         wide.forceWideRegFields = true;
-        row(table, "forced 4-bit registers", wide);
+        row(harness, table, "forced 4-bit registers", wide);
 
-        table.print(std::cout);
-        std::cout << "\nexpected shape: each heuristic contributes "
-                     "coverage; removing both visibly expands the "
-                     "translated code.\n";
-        return 0;
+        if (opts.csv) {
+            table.printCsv(std::cout);
+        } else {
+            table.print(std::cout);
+            std::cout << "\nexpected shape: each heuristic contributes "
+                         "coverage; removing both visibly expands the "
+                         "translated code.\n";
+        }
+        harness.addTable(table);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -15,16 +15,21 @@
 
 #include "common/table.hh"
 #include "exp/experiment.hh"
+#include "fig_util.hh"
 #include "mibench/mibench.hh"
 #include "thumb/codepack.hh"
 
 using namespace pfits;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
     try {
-        Runner runner;
+        benchutil::BenchHarness harness(tool, opts);
+        Runner runner(harness.makeParams());
         Table table("Extension E1: code size vs a CodePack-like "
                     "compressor (% of ARM)");
         table.setHeader({"benchmark", "THUMB", "FITS", "CodePack",
@@ -52,11 +57,17 @@ main()
         }
         table.addRow("average",
                      {t / n, f / n, c / n, cd / n}, 1);
-        table.print(std::cout);
-        std::cout << "\nnote: compressed code is decompressed on the "
-                     "fetch path, so unlike FITS it does not halve "
-                     "I-cache output switching (paper Section 2).\n";
-        return 0;
+        if (opts.csv) {
+            table.printCsv(std::cout);
+        } else {
+            table.print(std::cout);
+            std::cout << "\nnote: compressed code is decompressed on "
+                         "the fetch path, so unlike FITS it does not "
+                         "halve I-cache output switching (paper "
+                         "Section 2).\n";
+        }
+        harness.addTable(table);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

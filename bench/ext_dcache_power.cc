@@ -14,6 +14,7 @@
 
 #include "common/table.hh"
 #include "exp/experiment.hh"
+#include "fig_util.hh"
 #include "power/cache_power.hh"
 
 using namespace pfits;
@@ -41,10 +42,14 @@ dcacheEnergy(const RunResult &run, const CacheConfig &dcache)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
     try {
-        Runner runner;
+        benchutil::BenchHarness harness(tool, opts);
+        Runner runner(harness.makeParams());
         CacheConfig dcache = runner.coreConfig(ConfigId::ARM16).dcache;
 
         Table table("Extension E4: D-cache energy (negative control)");
@@ -65,11 +70,17 @@ main()
         }
         table.addRow("average", {0, 0, sum / static_cast<double>(n)},
                      2);
-        table.print(std::cout);
-        std::cout << "\nreading: FITS changes D-cache energy by only a "
-                     "few percent (expansion spills), so the I-cache "
-                     "savings are a real fetch-path effect.\n";
-        return 0;
+        if (opts.csv) {
+            table.printCsv(std::cout);
+        } else {
+            table.print(std::cout);
+            std::cout << "\nreading: FITS changes D-cache energy by "
+                         "only a few percent (expansion spills), so "
+                         "the I-cache savings are a real fetch-path "
+                         "effect.\n";
+        }
+        harness.addTable(table);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -35,6 +35,7 @@
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "fig_util.hh"
 #include "fits/fits_frontend.hh"
 #include "fits/profile.hh"
 #include "fits/serialize.hh"
@@ -51,6 +52,7 @@ namespace
 {
 
 bool g_trace_on_trap = false;
+std::string g_trace_dir = ".";
 
 /** Base mean instructions between upsets for the 16 KiB cache. */
 constexpr uint64_t kBaseInterval = 5000;
@@ -132,7 +134,7 @@ faultyRun(const BenchSetup &setup, bool is_fits, bool parity,
     ObserverList observers;
     if (g_trace_on_trap) {
         tracer = std::make_unique<TraceObserver>(64);
-        tracer->setPath(setup.name + "_" +
+        tracer->setPath(g_trace_dir + "/" + setup.name + "_" +
                         (is_fits ? "FITS8" : "ARM16") +
                         ".trace.jsonl");
         observers.add(tracer.get());
@@ -177,16 +179,16 @@ upsetsPerGibCycle(const FaultyRunStats &s, uint32_t cache_bytes)
 int
 main(int argc, char **argv)
 {
-    bool csv = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::string_view(argv[i]) == "--csv")
-            csv = true;
-        else if (std::string_view(argv[i]) == "--trace-on-trap")
-            g_trace_on_trap = true;
-    }
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
+    const bool csv = opts.csv;
+    g_trace_on_trap = opts.traceOnTrap;
+    g_trace_dir = opts.traceDir;
     setQuiet(true);
 
     try {
+        benchutil::BenchHarness harness(tool, opts);
         std::vector<BenchSetup> setups;
         for (const auto &info : mibench::suite())
             setups.push_back(buildBench(info));
@@ -317,7 +319,10 @@ main(int argc, char **argv)
                    "the config checksum catches every single-bit flip "
                    "of the stored decoder state.\n";
         }
-        return 0;
+        harness.addTable(sweep);
+        harness.addTable(coverage);
+        harness.addTable(config);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -16,6 +16,7 @@
 #include "common/table.hh"
 #include "exp/experiment.hh"
 #include "exp/parallel.hh"
+#include "fig_util.hh"
 #include "power/cache_power.hh"
 
 using namespace pfits;
@@ -23,12 +24,16 @@ using namespace pfits;
 int
 main(int argc, char **argv)
 {
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
     try {
+        benchutil::BenchHarness harness(tool, opts);
         ExperimentParams plain_params;
         ExperimentParams packed_params;
-        plain_params.jobs = parseJobsFlag(argc, argv);
-        packed_params.jobs = plain_params.jobs;
         packed_params.core.packedFetch = true;
+        harness.applyTo(plain_params);
+        harness.applyTo(packed_params);
         Runner plain(plain_params);
         Runner packed(packed_params);
 
@@ -65,12 +70,17 @@ main(int argc, char **argv)
             ++n;
         }
         table.addRow("average", {1.0, s1 / n, 0.5, s2 / n}, 2);
-        table.print(std::cout);
-        std::cout << "\nreading: with a fetch buffer, the 16-bit "
-                     "stream's internal power saving jumps from ~0% to "
-                     "~50% at equal cache size — headroom beyond the "
-                     "paper's model.\n";
-        return 0;
+        if (opts.csv) {
+            table.printCsv(std::cout);
+        } else {
+            table.print(std::cout);
+            std::cout << "\nreading: with a fetch buffer, the 16-bit "
+                         "stream's internal power saving jumps from "
+                         "~0% to ~50% at equal cache size — headroom "
+                         "beyond the paper's model.\n";
+        }
+        harness.addTable(table);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

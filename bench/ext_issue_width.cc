@@ -14,6 +14,7 @@
 #include "common/table.hh"
 #include "exp/experiment.hh"
 #include "exp/parallel.hh"
+#include "fig_util.hh"
 #include "power/cache_power.hh"
 
 using namespace pfits;
@@ -21,15 +22,18 @@ using namespace pfits;
 int
 main(int argc, char **argv)
 {
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
     try {
-        const unsigned jobs = parseJobsFlag(argc, argv);
+        benchutil::BenchHarness harness(tool, opts);
         Table table("Extension E3: issue-width sweep (suite averages)");
         table.setHeader({"issue width", "ARM16 IPC", "FITS8 IPC",
                          "FITS8 total saving %", "ARM8 total saving %"});
         for (unsigned width : {1u, 2u, 4u}) {
             ExperimentParams params;
-            params.jobs = jobs;
             params.core.issueWidth = width;
+            harness.applyTo(params);
             Runner runner(params);
             double a16 = 0, f8 = 0, fs = 0, as = 0;
             size_t n = 0;
@@ -48,10 +52,16 @@ main(int argc, char **argv)
                           100 * as / dn},
                          2);
         }
-        table.print(std::cout);
-        std::cout << "\nexpected shape: FITS8's saving and its "
-                     "ARM16-class IPC persist across issue widths.\n";
-        return 0;
+        if (opts.csv) {
+            table.printCsv(std::cout);
+        } else {
+            table.print(std::cout);
+            std::cout << "\nexpected shape: FITS8's saving and its "
+                         "ARM16-class IPC persist across issue "
+                         "widths.\n";
+        }
+        harness.addTable(table);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

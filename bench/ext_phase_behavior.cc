@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "fig_util.hh"
 #include "fits/fits_frontend.hh"
 #include "fits/profile.hh"
 #include "fits/synth.hh"
@@ -103,12 +104,13 @@ measure(const FrontEnd &fe)
 int
 main(int argc, char **argv)
 {
-    bool csv = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::string_view(argv[i]) == "--csv")
-            csv = true;
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
+    const bool csv = opts.csv;
 
     try {
+        benchutil::BenchHarness harness(tool, opts);
         std::vector<Table> tables;
         for (const char *name : kKernels) {
             BenchSetup setup = buildBench(mibench::findBench(name));
@@ -185,7 +187,9 @@ main(int argc, char **argv)
                    "(setup) and last (result-check) phases, where "
                    "each kernel's working set is installed.\n";
         }
-        return 0;
+        for (const Table &t : tables)
+            harness.addTable(t);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

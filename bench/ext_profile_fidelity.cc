@@ -14,6 +14,7 @@
 
 #include "common/table.hh"
 #include "exp/experiment.hh"
+#include "fig_util.hh"
 #include "fits/fits_frontend.hh"
 #include "fits/profile.hh"
 #include "fits/synth.hh"
@@ -62,9 +63,13 @@ evaluate(const mibench::Workload &w, const char *name, bool dynamic)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string tool = benchutil::toolName(argv[0]);
+    benchutil::BenchOptions opts =
+        benchutil::parseArgs(argc, argv, tool.c_str());
     try {
+        benchutil::BenchHarness harness(tool, opts);
         Table table("Extension E5: static-only vs dynamic profiling");
         table.setHeader({"benchmark", "dyn map (static prof) %",
                          "dyn map (dyn prof) %",
@@ -90,13 +95,18 @@ main()
         table.addRow("average", {100 * s1 / dn, 100 * s2 / dn,
                                  100 * p1 / dn, 100 * p2 / dn},
                      1);
-        table.print(std::cout);
-        std::cout << "\nreading: execution profiles buy a few points of "
-                     "dynamic coverage where static weights mis-rank "
-                     "hot slots; the power conclusion is robust to "
-                     "profile fidelity (the paper's future-work "
-                     "question).\n";
-        return 0;
+        if (opts.csv) {
+            table.printCsv(std::cout);
+        } else {
+            table.print(std::cout);
+            std::cout << "\nreading: execution profiles buy a few "
+                         "points of dynamic coverage where static "
+                         "weights mis-rank hot slots; the power "
+                         "conclusion is robust to profile fidelity "
+                         "(the paper's future-work question).\n";
+        }
+        harness.addTable(table);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

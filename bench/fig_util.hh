@@ -4,60 +4,307 @@
  * prints the same rows/series the paper's figure plots, followed by the
  * paper's reported values for comparison (EXPERIMENTS.md records the
  * measured-vs-paper history).
+ *
+ * Every bench accepts the same flag set (parseArgs rejects anything
+ * else — a typo like "--cvs" is a usage error, not a silent no-op):
+ *
+ *   --csv             emit tables as CSV, suppress the paper note
+ *   --jobs N          engine worker count (also --jobs=N, -jN,
+ *                     PFITS_JOBS); output is byte-identical at any N
+ *   --trace-on-trap   arm the bounded flight recorder on every run
+ *   --trace-dir DIR   directory trace JSONL files are written to
+ *                     (default "."); give concurrent runs distinct
+ *                     directories so dumps never interleave
+ *   --json PATH       write a pfits-manifest-v1 run manifest: build
+ *                     provenance, params, simulated content hashes,
+ *                     result tables, engine self-metrics, wall/CPU
+ *                     time (docs/OBSERVABILITY.md)
  */
 
 #ifndef POWERFITS_BENCH_FIG_UTIL_HH
 #define POWERFITS_BENCH_FIG_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
-#include <string_view>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/table.hh"
 #include "exp/figures.hh"
+#include "exp/simcache.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
 
 namespace pfits::benchutil
 {
 
+/** The flag set shared by every bench binary. */
+struct BenchOptions
+{
+    bool csv = false;
+    unsigned jobs = 0; //!< 0 = process default pool
+    bool traceOnTrap = false;
+    std::string traceDir = ".";
+    std::string jsonPath; //!< empty = no manifest
+};
+
+inline void
+printUsage(const char *tool, std::ostream &os)
+{
+    os << "usage: " << tool
+       << " [--csv] [--jobs N] [--trace-on-trap] [--trace-dir DIR]"
+          " [--json PATH]\n"
+          "  --csv            print tables as CSV\n"
+          "  --jobs N         engine worker count (PFITS_JOBS also "
+          "works)\n"
+          "  --trace-on-trap  dump a bounded event trace on "
+          "trap/machine-check\n"
+          "  --trace-dir DIR  directory for trace JSONL files "
+          "(default .)\n"
+          "  --json PATH      write a run manifest "
+          "(pfits-manifest-v1)\n";
+}
+
+/**
+ * Parse the shared flag set. Unknown flags (and malformed values) are
+ * usage errors: print the usage text and exit 2. "--help" prints it
+ * and exits 0.
+ */
+inline BenchOptions
+parseArgs(int argc, char **argv, const char *tool)
+{
+    auto reject = [&](const std::string &why) {
+        std::cerr << tool << ": " << why << "\n";
+        printUsage(tool, std::cerr);
+        std::exit(2);
+    };
+    auto parseCount = [&](std::string_view text) -> unsigned {
+        if (text.empty())
+            reject("--jobs wants a number");
+        unsigned v = 0;
+        for (char c : text) {
+            if (c < '0' || c > '9')
+                reject("malformed job count '" + std::string(text) +
+                       "'");
+            v = v * 10 + static_cast<unsigned>(c - '0');
+        }
+        return v == 0 ? 1u : v;
+    };
+    auto wantValue = [&](int &i, std::string_view flag) -> const char * {
+        if (i + 1 >= argc)
+            reject(std::string(flag) + " wants an argument");
+        return argv[++i];
+    };
+
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg == "--trace-on-trap") {
+            opts.traceOnTrap = true;
+        } else if (arg == "--trace-dir") {
+            opts.traceDir = wantValue(i, arg);
+        } else if (arg.rfind("--trace-dir=", 0) == 0) {
+            opts.traceDir = std::string(arg.substr(12));
+        } else if (arg == "--json") {
+            opts.jsonPath = wantValue(i, arg);
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opts.jsonPath = std::string(arg.substr(7));
+        } else if (arg == "--jobs") {
+            opts.jobs = parseCount(wantValue(i, arg));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs = parseCount(arg.substr(7));
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            opts.jobs = parseCount(arg.substr(2));
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(tool, std::cout);
+            std::exit(0);
+        } else {
+            reject("unknown flag '" + std::string(arg) + "'");
+        }
+    }
+    return opts;
+}
+
+/** Bench binary name from argv[0] (basename, for the manifest). */
+inline std::string
+toolName(const char *argv0)
+{
+    std::string_view path(argv0 ? argv0 : "bench");
+    size_t slash = path.find_last_of('/');
+    if (slash != std::string_view::npos)
+        path = path.substr(slash + 1);
+    return std::string(path.empty() ? "bench" : path);
+}
+
+/**
+ * Per-invocation observability scaffolding. When --json was given it
+ * installs a MetricRegistry for the engine's instrumentation sites at
+ * construction and, in finish(), uninstalls it and writes the run
+ * manifest; without --json it does nothing at all (the engine's
+ * metric sites see no registry — the zero-overhead default).
+ *
+ * A custom-main bench keeps its own printing and adds:
+ *
+ *     auto opts = benchutil::parseArgs(argc, argv, "my_bench");
+ *     benchutil::BenchHarness harness("my_bench", opts, note);
+ *     Runner runner(harness.makeParams());
+ *     ... build and print tables ...
+ *     harness.addTable(table);
+ *     return harness.finish();
+ */
+class BenchHarness
+{
+  public:
+    BenchHarness(std::string tool, BenchOptions opts,
+                 const char *note = nullptr)
+        : tool_(std::move(tool)), opts_(std::move(opts)),
+          note_(note ? note : ""), startNs_(monotonicNs()),
+          startCpuMs_(processCpuMs())
+    {
+        if (wantManifest())
+            previous_ = MetricRegistry::install(&registry_);
+    }
+
+    ~BenchHarness()
+    {
+        // finish() normally restores this; cover early-exit paths.
+        if (wantManifest() && !finished_)
+            MetricRegistry::install(previous_);
+    }
+
+    BenchHarness(const BenchHarness &) = delete;
+    BenchHarness &operator=(const BenchHarness &) = delete;
+
+    const BenchOptions &options() const { return opts_; }
+    bool wantManifest() const { return !opts_.jsonPath.empty(); }
+
+    /** Fold the shared flags into @p params and record them. */
+    void
+    applyTo(ExperimentParams &params)
+    {
+        params.jobs = opts_.jobs;
+        if (opts_.traceOnTrap) {
+            params.observers.traceOnTrap = true;
+            params.observers.traceDepth = 64;
+            params.observers.traceDir = opts_.traceDir;
+        }
+        noteParams(params);
+    }
+
+    /** Default ExperimentParams with the shared flags applied. */
+    ExperimentParams
+    makeParams()
+    {
+        ExperimentParams params;
+        applyTo(params);
+        return params;
+    }
+
+    /** Record @p params in the manifest (applyTo does this for you). */
+    void
+    noteParams(const ExperimentParams &params)
+    {
+        manifestParams_.recorded = true;
+        manifestParams_.jobs = params.jobs;
+        manifestParams_.faultSeed =
+            params.faults.enabled() ? params.faults.seed : 0;
+        manifestParams_.faultRetries = params.faultRetries;
+        manifestParams_.intervalInstructions =
+            params.observers.intervalInstructions;
+        manifestParams_.traceDepth = params.observers.traceDepth;
+        manifestParams_.traceOnTrap = params.observers.traceOnTrap;
+        manifestParams_.traceDir = params.observers.traceDir;
+    }
+
+    /** Register a result table for the manifest (copied). */
+    void
+    addTable(const Table &table)
+    {
+        tables_.push_back(std::make_unique<Table>(table));
+    }
+
+    /**
+     * Write the manifest (when --json) and restore the previous metric
+     * registry. @return the bench's exit code (nonzero = I/O failure).
+     */
+    int
+    finish()
+    {
+        finished_ = true;
+        if (!wantManifest())
+            return 0;
+        MetricRegistry::install(previous_);
+
+        RunManifest manifest;
+        manifest.tool = tool_;
+        manifest.note = note_;
+        manifest.params = manifestParams_;
+        for (const SimCacheKey &k : SimCache::instance().keys())
+            manifest.sims.push_back(
+                {k.program, k.config, k.faults, k.observers});
+        for (const auto &t : tables_)
+            manifest.tables.push_back(t.get());
+        manifest.metrics = &registry_;
+        manifest.wallMs =
+            static_cast<double>(monotonicNs() - startNs_) / 1e6;
+        manifest.cpuMs = processCpuMs() - startCpuMs_;
+
+        std::ofstream os(opts_.jsonPath);
+        if (!os) {
+            std::fprintf(stderr, "%s: cannot write manifest '%s'\n",
+                         tool_.c_str(), opts_.jsonPath.c_str());
+            return 1;
+        }
+        manifest.write(os);
+        os << "\n";
+        os.flush();
+        return os ? 0 : 1;
+    }
+
+  private:
+    std::string tool_;
+    BenchOptions opts_;
+    std::string note_;
+    uint64_t startNs_;
+    double startCpuMs_;
+    MetricRegistry registry_;
+    MetricRegistry *previous_ = nullptr;
+    ManifestParams manifestParams_;
+    std::vector<std::unique_ptr<Table>> tables_;
+    bool finished_ = false;
+};
+
 /**
  * Run one figure builder and print its table plus the paper note.
  * With "--csv" the table is emitted as CSV (for plotting scripts) and
- * the note is suppressed. "--jobs N" (or PFITS_JOBS) sets the engine's
- * worker count; the table is byte-identical at any value.
- * "--trace-on-trap" arms a bounded flight recorder on every run: when
- * a run ends Trapped or FaultDetected, its last 64 events are appended
- * as JSONL to <bench>_<core>.trace.jsonl in the working directory.
+ * the note is suppressed. See the file comment for the full flag set;
+ * the printed table is byte-identical whatever the flags.
  */
 inline int
 runFigure(Table (*builder)(Runner &), const char *paper_note, int argc,
           char **argv)
 {
+    const std::string tool = toolName(argc > 0 ? argv[0] : nullptr);
+    BenchOptions opts = parseArgs(argc, argv, tool.c_str());
     try {
-        bool csv = false;
-        bool trace_on_trap = false;
-        for (int i = 1; i < argc; ++i) {
-            if (std::string_view(argv[i]) == "--csv")
-                csv = true;
-            else if (std::string_view(argv[i]) == "--trace-on-trap")
-                trace_on_trap = true;
-        }
-        ExperimentParams params;
-        params.jobs = parseJobsFlag(argc, argv);
-        if (trace_on_trap) {
-            params.observers.traceOnTrap = true;
-            params.observers.traceDepth = 64;
-            params.observers.traceDir = ".";
-        }
-        Runner runner(params);
+        BenchHarness harness(tool, opts, paper_note);
+        Runner runner(harness.makeParams());
         Table table = builder(runner);
-        if (csv) {
+        if (opts.csv) {
             table.printCsv(std::cout);
         } else {
             table.print(std::cout);
             std::cout << "\npaper reports: " << paper_note << "\n";
         }
-        return 0;
+        harness.addTable(table);
+        return harness.finish();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

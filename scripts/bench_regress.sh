@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Suite-level regression gate over run manifests: run every bench with
+# --json, aggregate the manifests into one BENCH_suite.json via
+# pfits_report, and diff it against the checked-in baseline
+# (tests/baseline/BENCH_baseline.json).
+#
+# Numeric table drift beyond the tolerance fails the gate. Wall times
+# are machine-specific, so the diff against the checked-in baseline
+# runs with --ignore-time; the 15% wall-time policy is exercised by the
+# unit tests (Report.DiffFlagsWallTimeRegressionBeyondThreshold) and is
+# available for same-machine comparisons via pfits_report diff.
+#
+# Usage: bench_regress.sh <build-dir> [--update]
+#   --update  regenerate tests/baseline/BENCH_baseline.json from the
+#             current binaries (review the diff before committing).
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: $0 <build-dir> [--update]" >&2
+    exit 2
+fi
+
+build="$1"
+update="${2:-}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="$repo/tests/baseline/BENCH_baseline.json"
+report="$build/src/obs/pfits_report"
+
+if [[ ! -x "$report" ]]; then
+    echo "bench_regress: missing $report (build first)" >&2
+    exit 2
+fi
+
+benches=(
+    fig03_static_mapping
+    fig04_dynamic_mapping
+    fig05_code_size
+    fig06_power_breakdown
+    fig07_switching_power
+    fig08_internal_power
+    fig09_leakage_power
+    fig10_peak_power
+    fig11_total_cache_power
+    fig12_chip_power
+    fig13_miss_rate
+    fig14_ipc
+    abl_dictionary_sweep
+    abl_register_sweep
+    abl_cache_geometry
+    abl_synthesis_features
+    ext_code_compression
+    ext_fetch_packing
+    ext_issue_width
+    ext_dcache_power
+    ext_profile_fidelity
+    ext_fault_resilience
+    ext_phase_behavior
+)
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+status=0
+for bench in "${benches[@]}"; do
+    bin="$build/bench/$bench"
+    if [[ ! -x "$bin" ]]; then
+        echo "bench_regress: MISSING BINARY $bench" >&2
+        status=1
+        continue
+    fi
+    if ! "$bin" --json "$workdir/$bench.json" > /dev/null 2>&1; then
+        echo "bench_regress: $bench FAILED" >&2
+        status=1
+        continue
+    fi
+    if ! "$report" validate "$workdir/$bench.json" > /dev/null; then
+        echo "bench_regress: $bench wrote an invalid manifest" >&2
+        status=1
+    fi
+done
+if [[ $status -ne 0 ]]; then
+    echo "bench_regress: FAILED before aggregation" >&2
+    exit $status
+fi
+
+suite="$build/BENCH_suite.json"
+"$report" aggregate "$workdir" -o "$suite"
+
+if [[ "$update" == "--update" ]]; then
+    mkdir -p "$(dirname "$baseline")"
+    cp "$suite" "$baseline"
+    echo "bench_regress: baseline updated ($baseline)"
+    exit 0
+fi
+
+if [[ ! -f "$baseline" ]]; then
+    echo "bench_regress: MISSING BASELINE $baseline (run with --update)" >&2
+    exit 1
+fi
+
+# --ignore-time: the baseline's wall times were measured on whatever
+# machine last ran --update; only table values gate here.
+if "$report" diff "$baseline" "$suite" --ignore-time; then
+    echo "bench_regress: ok (suite matches $baseline)"
+else
+    echo "bench_regress: FAILED — table values drifted from the baseline" >&2
+    exit 1
+fi

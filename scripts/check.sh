@@ -26,6 +26,15 @@ run_suite "$repo/build" -DASAN=OFF
 echo "=== golden snapshots ==="
 "$repo/scripts/golden_check.sh" "$repo/build"
 
+# Manifest-based regression tracking: every bench re-runs with --json,
+# the manifests aggregate into BENCH_suite.json, and table values are
+# diffed against tests/baseline/BENCH_baseline.json (value drift gates;
+# wall times are machine-specific and ignored here — see
+# docs/OBSERVABILITY.md "Regression tracking"). Regenerate deliberately
+# with bench_regress.sh <build> --update.
+echo "=== bench regression (manifests) ==="
+"$repo/scripts/bench_regress.sh" "$repo/build"
+
 # The sanitized pass pins PFITS_JOBS=4 so the experiment engine's
 # thread pool, SimCache and Runner run genuinely concurrent even on
 # small CI hosts — races surface under TSan-less ASan as heap errors.

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# ctest smoke test: one bench binary's --json manifest must validate
+# against the documented schema, aggregate into a suite document, and
+# self-diff clean (exit 0); an injected drift must make the diff exit
+# nonzero. Registered in tests/CMakeLists.txt as "manifest_smoke".
+#
+# Usage: manifest_smoke.sh <bench-binary> <pfits_report-binary>
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+    echo "usage: $0 <bench-binary> <pfits_report-binary>" >&2
+    exit 2
+fi
+
+bench="$1"
+report="$2"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "smoke: running $(basename "$bench") --json"
+"$bench" --json "$workdir/run.json" > /dev/null
+
+echo "smoke: validate manifest"
+"$report" validate "$workdir/run.json"
+
+echo "smoke: aggregate into suite"
+"$report" aggregate "$workdir" -o "$workdir/suite.json"
+"$report" validate "$workdir/suite.json"
+
+echo "smoke: self-diff must be clean"
+"$report" diff "$workdir/suite.json" "$workdir/suite.json"
+
+echo "smoke: injected drift must gate"
+# Perturb the first numeric table cell (manifest tables store cells as
+# strings like "47.1"); the diff must exit nonzero.
+python3 - "$workdir/suite.json" "$workdir/drifted.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for bench in doc["benches"]:
+    for table in bench["tables"]:
+        for row in table["rows"]:
+            for i, cell in enumerate(row[1:], start=1):
+                try:
+                    v = float(cell.rstrip("%"))
+                except ValueError:
+                    continue
+                row[i] = str(v * 2 + 1)
+                json.dump(doc, open(sys.argv[2], "w"))
+                sys.exit(0)
+print("no numeric cell found to perturb", file=sys.stderr)
+sys.exit(1)
+EOF
+if "$report" diff "$workdir/suite.json" "$workdir/drifted.json"; then
+    echo "smoke: FAILED — drifted suite diffed clean" >&2
+    exit 1
+fi
+
+echo "smoke: unknown bench flag must be rejected"
+if "$bench" --cvs > /dev/null 2>&1; then
+    echo "smoke: FAILED — unknown flag was accepted" >&2
+    exit 1
+fi
+
+echo "smoke: ok"

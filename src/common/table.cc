@@ -89,14 +89,24 @@ Table::print(std::ostream &os) const
 void
 Table::printCsv(std::ostream &os) const
 {
+    // RFC 4180: quote cells containing separators, quotes or line
+    // breaks; embedded quotes are doubled.
     auto emit = [&](const std::vector<std::string> &row) {
         for (size_t c = 0; c < row.size(); ++c) {
             if (c)
                 os << ',';
-            if (row[c].find(',') != std::string::npos)
-                os << '"' << row[c] << '"';
-            else
-                os << row[c];
+            const std::string &cell = row[c];
+            if (cell.find_first_of(",\"\n\r") != std::string::npos) {
+                os << '"';
+                for (char ch : cell) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << cell;
+            }
         }
         os << '\n';
     };

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "exp/simcache.hh"
+#include "obs/metrics.hh"
 #include "fits/profile.hh"
 #include "fits/serialize.hh"
 #include "mibench/mibench.hh"
@@ -127,6 +128,11 @@ Runner::all()
 Runner::Prepared
 Runner::prepare(const std::string &bench_name) const
 {
+    // Front-end phase: workload build + profile + ISA synthesis +
+    // translation, timed per benchmark.
+    ScopedTimerMs prepare_hist("runner.prepare_ms", 0.0, 500.0, 20);
+    ScopedTimerMs prepare_total("runner.phase.prepare_ms");
+
     const mibench::BenchInfo &info = mibench::findBench(bench_name);
     mibench::Workload workload = info.build();
 
@@ -156,6 +162,9 @@ Runner::prepare(const std::string &bench_name) const
 ConfigResult
 Runner::simulateConfig(const Prepared &prep, ConfigId id) const
 {
+    // Simulation phase: memo lookup or fresh sim plus power modelling.
+    ScopedTimerMs simulate_total("runner.phase.simulate_ms");
+
     const std::string &bench_name = prep.result->name;
     bool is_fits = id == ConfigId::FITS16 || id == ConfigId::FITS8;
     const FrontEnd &fe =

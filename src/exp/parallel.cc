@@ -1,11 +1,13 @@
 #include "exp/parallel.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string_view>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace pfits
 {
@@ -98,20 +100,39 @@ struct ThreadPool::Batch
      * Claim and execute jobs until none are left. fn is only invoked
      * for claimed indices (< n), all of which complete before run()
      * returns — so fn can never dangle here.
+     *
+     * @param worker stable worker identity for the pool.worker.N.*
+     *        self-metrics (0 is the run() caller).
      */
     void
-    work()
+    work(unsigned worker)
     {
+        MetricRegistry *metrics = MetricRegistry::current();
+        MetricCounter *busy = nullptr;
+        MetricGauge *depth = nullptr;
+        if (metrics) {
+            busy = &metrics->counter("pool.worker." +
+                                     std::to_string(worker) +
+                                     ".busy_us");
+            depth = &metrics->gauge("pool.queue_depth");
+        }
         for (;;) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
+            if (depth) {
+                size_t claimed = std::min(i + 1, n);
+                depth->set(static_cast<int64_t>(n - claimed));
+            }
+            uint64_t t0 = busy ? monotonicNs() : 0;
             std::exception_ptr error;
             try {
                 (*fn)(i);
             } catch (...) {
                 error = std::current_exception();
             }
+            if (busy)
+                busy->add((monotonicNs() - t0) / 1000);
             std::lock_guard<std::mutex> lock(mu);
             if (error && (!firstError || i < firstErrorIndex)) {
                 firstError = error;
@@ -129,7 +150,7 @@ ThreadPool::ThreadPool(unsigned jobs)
     // The calling thread is worker 0; spawn the rest.
     workers_.reserve(jobs_ - 1);
     for (unsigned i = 1; i < jobs_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -144,7 +165,7 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned worker)
 {
     uint64_t seen = 0;
     for (;;) {
@@ -160,7 +181,7 @@ ThreadPool::workerLoop()
             batch = current_;
         }
         if (batch)
-            batch->work();
+            batch->work(worker);
     }
 }
 
@@ -170,6 +191,11 @@ ThreadPool::run(size_t n, const std::function<void(size_t)> &fn)
     if (n == 0)
         return;
     std::lock_guard<std::mutex> batch_lock(run_mu_);
+    if (MetricRegistry *metrics = MetricRegistry::current()) {
+        metrics->counter("pool.batches").add();
+        metrics->counter("pool.jobs").add(n);
+        metrics->gauge("pool.queue_depth").set(static_cast<int64_t>(n));
+    }
     auto batch = std::make_shared<Batch>();
     batch->fn = &fn;
     batch->n = n;
@@ -180,7 +206,7 @@ ThreadPool::run(size_t n, const std::function<void(size_t)> &fn)
         ++generation_;
     }
     work_cv_.notify_all();
-    batch->work(); // the caller participates
+    batch->work(0); // the caller participates as worker 0
     {
         std::unique_lock<std::mutex> lock(batch->mu);
         batch->done_cv.wait(lock, [&] { return batch->unfinished == 0; });

@@ -82,7 +82,7 @@ class ThreadPool
   private:
     struct Batch;
 
-    void workerLoop();
+    void workerLoop(unsigned worker);
 
     const unsigned jobs_;
 

@@ -1,6 +1,9 @@
 #include "exp/simcache.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace pfits
 {
@@ -178,6 +181,30 @@ SimCache::entries() const
     return map_.size();
 }
 
+std::vector<SimCacheKey>
+SimCache::keys() const
+{
+    std::vector<SimCacheKey> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out.reserve(map_.size());
+        for (const auto &[key, slot] : map_)
+            out.push_back({key.program, key.config, key.faults,
+                           key.observers});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SimCacheKey &a, const SimCacheKey &b) {
+                  if (a.program != b.program)
+                      return a.program < b.program;
+                  if (a.config != b.config)
+                      return a.config < b.config;
+                  if (a.faults != b.faults)
+                      return a.faults < b.faults;
+                  return a.observers < b.observers;
+              });
+    return out;
+}
+
 void
 SimCache::clear()
 {
@@ -198,6 +225,9 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
     std::call_once(slot.once, [&] {
         computed = true;
         misses_.fetch_add(1);
+
+        MetricRegistry *metrics = MetricRegistry::current();
+        uint64_t t0 = metrics ? monotonicNs() : 0;
 
         std::unique_ptr<FaultPlan> plan;
         if (faults.enabled())
@@ -252,9 +282,23 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
         if (tracer)
             out.tracePath = tracer->path();
         slot.value = std::move(out);
+
+        if (metrics) {
+            metrics->counter("simcache.misses").add();
+            // Per-fresh-sim wall time, retries included — the cost a
+            // memo hit saves.
+            metrics
+                ->histogram("simcache.sim_ms", 0.0, 1000.0, 20)
+                .sample(static_cast<double>(monotonicNs() - t0) / 1e6);
+            metrics->gauge("simcache.entries")
+                .set(static_cast<int64_t>(entries()));
+        }
     });
-    if (!computed)
+    if (!computed) {
         hits_.fetch_add(1);
+        if (MetricRegistry *metrics = MetricRegistry::current())
+            metrics->counter("simcache.hits").add();
+    }
     return slot.value;
 }
 

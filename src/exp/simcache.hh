@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/fault.hh"
 #include "sim/frontend.hh"
@@ -61,6 +62,15 @@ struct SimResult
     std::string tracePath;
 };
 
+/** One memo entry's content hashes, for run-manifest provenance. */
+struct SimCacheKey
+{
+    uint64_t program;   //!< hashFrontEnd of the simulated program
+    uint64_t config;    //!< hashCoreConfig of the core it ran on
+    uint64_t faults;    //!< hashFaultParams (0 = no faults)
+    uint64_t observers; //!< hashObserverSpec (0 = no instruments)
+};
+
 /** Process-wide memoization cache over Machine::run. */
 class SimCache
 {
@@ -85,6 +95,13 @@ class SimCache
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }
     size_t entries() const;
+
+    /**
+     * Content hashes of every memoized simulation, sorted — the
+     * manifest's "sims" provenance section. Benches that drive
+     * Machine::run directly (bypassing the cache) do not appear.
+     */
+    std::vector<SimCacheKey> keys() const;
 
     /** Drop all entries and zero the hit/miss counters. */
     void clear();

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Run manifests: full provenance for one bench binary invocation.
+ *
+ * A manifest records everything needed to trust (or re-create) a
+ * figure run — the git state and build flavour of the binary, the
+ * experiment parameters, the content hashes of every (program, config)
+ * pair the engine simulated, the complete result tables, the engine's
+ * own metrics, and wall/CPU time. Every bench binary writes one with
+ * `--json <path>`; `pfits_report` aggregates a directory of manifests
+ * into a suite file and diffs two suite files for regression tracking
+ * (docs/OBSERVABILITY.md documents the schema and tolerance policy).
+ */
+
+#ifndef POWERFITS_OBS_MANIFEST_HH
+#define POWERFITS_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+
+namespace pfits
+{
+
+class MetricRegistry;
+
+/** Manifest schema identifiers (bumped on incompatible change). */
+inline constexpr const char *kManifestSchema = "pfits-manifest-v1";
+inline constexpr const char *kSuiteSchema = "pfits-suite-v1";
+
+/** Git description of the built tree ("v1.2-3-gabc123" or a hash). */
+const char *buildGitDescribe();
+
+/** True when the tree had uncommitted changes at configure time. */
+bool buildGitDirty();
+
+/** CMAKE_BUILD_TYPE the binary was built with. */
+const char *buildType();
+
+/** Sanitizer flavour: "none", "asan+ubsan" or "ubsan". */
+const char *buildSanitizers();
+
+/** The SimCache memo key of one simulation the run performed. */
+struct SimKey
+{
+    uint64_t program = 0;   //!< content hash of the instruction stream
+    uint64_t config = 0;    //!< hash of the timing-relevant CoreConfig
+    uint64_t faults = 0;    //!< fault-schedule hash (0 = no faults)
+    uint64_t observers = 0; //!< instrumentation hash (0 = none)
+};
+
+/**
+ * The experiment knobs worth recording. Mirrors the fields of
+ * ExperimentParams the provenance story needs (the full struct lives
+ * above this layer); `recorded` distinguishes "params unknown" from
+ * all-defaults.
+ */
+struct ManifestParams
+{
+    bool recorded = false;
+    unsigned jobs = 0;          //!< 0 = process default pool
+    uint64_t faultSeed = 0;     //!< 0 unless fault injection was armed
+    unsigned faultRetries = 0;
+    uint64_t intervalInstructions = 0; //!< ObserverSpec mirror
+    uint64_t traceDepth = 0;
+    bool traceOnTrap = false;
+    std::string traceDir;
+};
+
+/** Everything one manifest serializes; fill and call write(). */
+struct RunManifest
+{
+    std::string tool;  //!< bench binary name, e.g. "fig05_code_size"
+    std::string note;  //!< the paper-comparison note, when one exists
+    ManifestParams params;
+    std::vector<SimKey> sims;       //!< sorted for determinism
+    std::vector<const Table *> tables; //!< borrowed; must outlive write()
+    const MetricRegistry *metrics = nullptr; //!< optional
+    double wallMs = 0;
+    double cpuMs = 0;
+
+    /** Serialize as pretty-printed JSON (schema pfits-manifest-v1). */
+    void write(std::ostream &os) const;
+};
+
+/** Process CPU time (all threads, user+system) in milliseconds. */
+double processCpuMs();
+
+} // namespace pfits
+
+#endif // POWERFITS_OBS_MANIFEST_HH

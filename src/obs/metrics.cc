@@ -1,0 +1,261 @@
+#include "obs/metrics.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace pfits
+{
+
+std::atomic<MetricRegistry *> MetricRegistry::current_{nullptr};
+
+uint64_t
+monotonicNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+// --- MetricHistogram -----------------------------------------------------
+
+MetricHistogram::MetricHistogram(double lo, double hi, size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets ? buckets : 1))
+{
+    if (hi <= lo)
+        fatal("metrics: histogram range [%g, %g) is empty", lo, hi);
+    if (buckets == 0)
+        fatal("metrics: histogram needs at least one bucket");
+    counts_.assign(buckets, 0);
+}
+
+void
+MetricHistogram::sample(double v)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+    if (v < lo_) {
+        ++underflow_;
+    } else {
+        size_t idx = static_cast<size_t>((v - lo_) / width_);
+        if (idx >= counts_.size())
+            ++overflow_;
+        else
+            ++counts_[idx];
+    }
+}
+
+uint64_t
+MetricHistogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+}
+
+double
+MetricHistogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+}
+
+double
+MetricHistogram::minSample() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return min_;
+}
+
+double
+MetricHistogram::maxSample() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+}
+
+double
+MetricHistogram::mean() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::vector<uint64_t>
+MetricHistogram::bucketSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+}
+
+uint64_t
+MetricHistogram::underflow() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return underflow_;
+}
+
+uint64_t
+MetricHistogram::overflow() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return overflow_;
+}
+
+void
+MetricHistogram::writeJson(JsonWriter &w) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    w.beginObject();
+    w.field("count", count_);
+    w.field("sum", sum_);
+    w.field("min", count_ ? min_ : 0.0);
+    w.field("max", count_ ? max_ : 0.0);
+    w.field("mean", count_ ? sum_ / static_cast<double>(count_) : 0.0);
+    w.field("bucket_lo", lo_);
+    w.field("bucket_width", width_);
+    w.field("underflow", underflow_);
+    w.field("overflow", overflow_);
+    w.key("buckets");
+    w.beginArray();
+    for (uint64_t c : counts_)
+        w.value(c);
+    w.endArray();
+    w.endObject();
+}
+
+// --- MetricRegistry ------------------------------------------------------
+
+MetricCounter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (gauges_.count(name) || histograms_.count(name))
+        fatal("metrics: '%s' already registered as another kind",
+              name.c_str());
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<MetricCounter>();
+    return *slot;
+}
+
+MetricGauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (counters_.count(name) || histograms_.count(name))
+        fatal("metrics: '%s' already registered as another kind",
+              name.c_str());
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<MetricGauge>();
+    return *slot;
+}
+
+MetricHistogram &
+MetricRegistry::histogram(const std::string &name, double lo, double hi,
+                          size_t buckets)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (counters_.count(name) || gauges_.count(name))
+        fatal("metrics: '%s' already registered as another kind",
+              name.c_str());
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<MetricHistogram>(lo, hi, buckets);
+    return *slot;
+}
+
+size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void
+MetricRegistry::writeJson(JsonWriter &w) const
+{
+    // One flat, name-sorted object: the three kind maps are merged so
+    // a manifest diff sees stable lines regardless of instrument kind.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto ci = counters_.begin();
+    auto gi = gauges_.begin();
+    auto hi = histograms_.begin();
+    w.beginObject();
+    while (ci != counters_.end() || gi != gauges_.end() ||
+           hi != histograms_.end()) {
+        const std::string *next = nullptr;
+        if (ci != counters_.end())
+            next = &ci->first;
+        if (gi != gauges_.end() && (!next || gi->first < *next))
+            next = &gi->first;
+        if (hi != histograms_.end() && (!next || hi->first < *next))
+            next = &hi->first;
+        if (ci != counters_.end() && &ci->first == next) {
+            w.field(ci->first, ci->second->value());
+            ++ci;
+        } else if (gi != gauges_.end() && &gi->first == next) {
+            w.key(gi->first);
+            w.beginObject();
+            w.field("value", gi->second->value());
+            w.field("max", gi->second->maxValue());
+            w.endObject();
+            ++gi;
+        } else {
+            w.key(hi->first);
+            hi->second->writeJson(w);
+            ++hi;
+        }
+    }
+    w.endObject();
+}
+
+MetricRegistry *
+MetricRegistry::install(MetricRegistry *registry)
+{
+    return current_.exchange(registry, std::memory_order_acq_rel);
+}
+
+// --- ScopedTimerMs -------------------------------------------------------
+
+ScopedTimerMs::ScopedTimerMs(const std::string &name, double lo,
+                             double hi, size_t buckets)
+    : registry_(MetricRegistry::current()), name_(name),
+      kind_(Kind::Histogram), lo_(lo), hi_(hi), buckets_(buckets)
+{
+    if (registry_)
+        startNs_ = monotonicNs();
+}
+
+ScopedTimerMs::ScopedTimerMs(const std::string &name)
+    : registry_(MetricRegistry::current()), name_(name),
+      kind_(Kind::Counter)
+{
+    if (registry_)
+        startNs_ = monotonicNs();
+}
+
+ScopedTimerMs::~ScopedTimerMs()
+{
+    if (!registry_)
+        return;
+    double ms =
+        static_cast<double>(monotonicNs() - startNs_) / 1e6;
+    if (kind_ == Kind::Histogram)
+        registry_->histogram(name_, lo_, hi_, buckets_).sample(ms);
+    else
+        registry_->counter(name_).add(static_cast<uint64_t>(ms));
+}
+
+} // namespace pfits

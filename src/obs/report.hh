@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Regression tracking over run manifests: aggregate a directory of
+ * per-bench manifests into one suite document, validate documents
+ * against the schema, and diff two suite files — flagging numeric
+ * drift in table values beyond a tolerance and wall-time regressions
+ * beyond a threshold. `pfits_report` (report_main.cc) is the CLI;
+ * scripts/bench_regress.sh wires it into the pre-merge gate.
+ */
+
+#ifndef POWERFITS_OBS_REPORT_HH
+#define POWERFITS_OBS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace pfits
+{
+
+/**
+ * Combine per-bench manifests into one pfits-suite-v1 document.
+ * Benches are sorted by tool name; git/build/provenance is taken from
+ * the first manifest (mixed-provenance input is legal but noted in the
+ * suite's "mixed_provenance" flag). Totals sum wall/CPU time and the
+ * engine's fresh-sim/memo-hit counters across benches.
+ */
+JsonValue aggregateManifests(const std::vector<JsonValue> &manifests);
+
+/** Serialize a document the way the repo writes JSON (deterministic). */
+void writeJsonDocument(std::ostream &os, const JsonValue &doc);
+
+/**
+ * Schema check for a manifest or suite document.
+ * @return "" when valid, else a description of the first problem.
+ */
+std::string validateDocument(const JsonValue &doc);
+
+/** Knobs for diffSuites (defaults are the documented policy). */
+struct DiffOptions
+{
+    /**
+     * Relative tolerance for numeric table cells. Identical runs
+     * produce identical formatted strings, so the tolerance only
+     * absorbs deliberate reformatting; drift beyond it is a finding.
+     */
+    double valueTol = 1e-6;
+
+    /**
+     * Wall-time regression threshold: a bench (or the suite total) is
+     * flagged when new > old * (1 + timeTol) and the absolute growth
+     * exceeds timeFloorMs (which keeps micro-benches from flagging on
+     * scheduler noise).
+     */
+    double timeTol = 0.15;
+    double timeFloorMs = 10.0;
+
+    /** Skip wall-time comparison entirely (cross-machine baselines). */
+    bool ignoreTime = false;
+};
+
+/** One discrepancy found by diffSuites. */
+struct DiffFinding
+{
+    enum class Kind : uint8_t
+    {
+        ValueDrift,     //!< numeric cell moved beyond tolerance
+        CellChanged,    //!< non-numeric cell differs
+        ShapeChanged,   //!< table/row/column added or removed
+        BenchMissing,   //!< bench present in baseline only
+        BenchAdded,     //!< bench present in the new run only
+        TimeRegression, //!< wall time grew beyond the threshold
+    };
+
+    Kind kind;
+    std::string where;  //!< "bench/table[row,col]" style locator
+    std::string detail; //!< human-readable description
+};
+
+/** @return "value-drift"/"cell-changed"/... for a finding kind. */
+const char *diffFindingKindName(DiffFinding::Kind kind);
+
+/** diffSuites output: findings plus the gating verdict. */
+struct DiffResult
+{
+    std::vector<DiffFinding> findings;
+    unsigned benchesCompared = 0;
+    unsigned tablesCompared = 0;
+    unsigned cellsCompared = 0;
+
+    /** True when any finding should fail a CI gate. */
+    bool
+    regression() const
+    {
+        for (const DiffFinding &f : findings)
+            if (f.kind != DiffFinding::Kind::BenchAdded)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Compare two pfits-suite-v1 documents. Benches match by tool name,
+ * tables by title, rows by their label cell, columns by header name —
+ * so appending a new bench or a new table is reported as BenchAdded /
+ * ShapeChanged rather than misaligning everything after it.
+ */
+DiffResult diffSuites(const JsonValue &baseline, const JsonValue &fresh,
+                      const DiffOptions &options = {});
+
+/** Print the findings and a one-line verdict (CLI output). */
+void printDiffReport(std::ostream &os, const DiffResult &result,
+                     const DiffOptions &options);
+
+} // namespace pfits
+
+#endif // POWERFITS_OBS_REPORT_HH

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * pfits_report — aggregate per-bench run manifests into a suite file,
+ * validate documents against the schema, and diff two suites for CI
+ * regression gating. See docs/OBSERVABILITY.md ("Regression tracking").
+ *
+ * Exit codes: 0 clean, 1 regression found / document invalid,
+ * 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/manifest.hh"
+#include "obs/report.hh"
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+int
+usage(std::ostream &os)
+{
+    os << "usage: pfits_report <command> [args]\n"
+          "\n"
+          "commands:\n"
+          "  aggregate <dir> [-o <out.json>]\n"
+          "      read every *.json manifest under <dir> and write one\n"
+          "      pfits-suite-v1 document (stdout unless -o is given)\n"
+          "  validate <file.json>\n"
+          "      schema-check a manifest or suite document\n"
+          "  diff <baseline.json> <new.json> [--tol X] [--time-tol X]\n"
+          "       [--time-floor-ms X] [--ignore-time]\n"
+          "      compare two suite files; exit 1 on value drift,\n"
+          "      shape changes, or wall-time regressions\n";
+    return 2;
+}
+
+int
+cmdAggregate(const std::vector<std::string> &args)
+{
+    std::string dir, out;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "-o" || args[i] == "--output") {
+            if (++i >= args.size())
+                return usage(std::cerr);
+            out = args[i];
+        } else if (dir.empty()) {
+            dir = args[i];
+        } else {
+            return usage(std::cerr);
+        }
+    }
+    if (dir.empty())
+        return usage(std::cerr);
+
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json")
+            paths.push_back(entry.path().string());
+    }
+    if (ec) {
+        std::cerr << "pfits_report: cannot read directory '" << dir
+                  << "': " << ec.message() << "\n";
+        return 2;
+    }
+    // Deterministic input order regardless of readdir order.
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<pfits::JsonValue> manifests;
+    for (const std::string &path : paths) {
+        pfits::JsonValue doc;
+        try {
+            doc = pfits::JsonValue::parseFile(path);
+        } catch (const pfits::FatalError &err) {
+            std::cerr << "pfits_report: " << path << ": " << err.what()
+                      << "\n";
+            return 2;
+        }
+        const pfits::JsonValue &schema = doc.get("schema");
+        if (!schema.isString() ||
+            schema.asString() != pfits::kManifestSchema) {
+            // Skip suite files and unrelated JSON living in the same
+            // directory (e.g. a previous aggregate output).
+            continue;
+        }
+        std::string err = pfits::validateDocument(doc);
+        if (!err.empty()) {
+            std::cerr << "pfits_report: " << path << ": invalid manifest: "
+                      << err << "\n";
+            return 1;
+        }
+        manifests.push_back(std::move(doc));
+    }
+    if (manifests.empty()) {
+        std::cerr << "pfits_report: no manifests found under '" << dir
+                  << "'\n";
+        return 2;
+    }
+
+    pfits::JsonValue suite = pfits::aggregateManifests(manifests);
+    if (out.empty()) {
+        pfits::writeJsonDocument(std::cout, suite);
+        std::cout << "\n";
+    } else {
+        std::ofstream os(out);
+        if (!os) {
+            std::cerr << "pfits_report: cannot write '" << out << "'\n";
+            return 2;
+        }
+        pfits::writeJsonDocument(os, suite);
+        os << "\n";
+        std::cerr << "pfits_report: aggregated " << manifests.size()
+                  << " manifest(s) into " << out << "\n";
+    }
+    return 0;
+}
+
+int
+cmdValidate(const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage(std::cerr);
+    pfits::JsonValue doc;
+    try {
+        doc = pfits::JsonValue::parseFile(args[0]);
+    } catch (const pfits::FatalError &err) {
+        std::cerr << "pfits_report: " << args[0] << ": " << err.what()
+                  << "\n";
+        return 2;
+    }
+    std::string err = pfits::validateDocument(doc);
+    if (!err.empty()) {
+        std::cerr << args[0] << ": INVALID: " << err << "\n";
+        return 1;
+    }
+    std::cout << args[0] << ": OK ("
+              << doc.get("schema").asString() << ")\n";
+    return 0;
+}
+
+int
+cmdDiff(const std::vector<std::string> &args)
+{
+    pfits::DiffOptions options;
+    std::vector<std::string> files;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--tol" || a == "--time-tol" || a == "--time-floor-ms") {
+            if (++i >= args.size())
+                return usage(std::cerr);
+            double v = std::atof(args[i].c_str());
+            if (a == "--tol")
+                options.valueTol = v;
+            else if (a == "--time-tol")
+                options.timeTol = v;
+            else
+                options.timeFloorMs = v;
+        } else if (a == "--ignore-time") {
+            options.ignoreTime = true;
+        } else if (!a.empty() && a[0] == '-') {
+            std::cerr << "pfits_report: unknown flag '" << a << "'\n";
+            return usage(std::cerr);
+        } else {
+            files.push_back(a);
+        }
+    }
+    if (files.size() != 2)
+        return usage(std::cerr);
+
+    pfits::JsonValue base, fresh;
+    try {
+        base = pfits::JsonValue::parseFile(files[0]);
+        fresh = pfits::JsonValue::parseFile(files[1]);
+    } catch (const pfits::FatalError &err) {
+        std::cerr << "pfits_report: " << err.what() << "\n";
+        return 2;
+    }
+    for (const auto *doc : {&base, &fresh}) {
+        std::string err = pfits::validateDocument(*doc);
+        if (!err.empty()) {
+            std::cerr << "pfits_report: invalid suite document: " << err
+                      << "\n";
+            return 2;
+        }
+        if (doc->get("schema").asString() != pfits::kSuiteSchema) {
+            std::cerr << "pfits_report: diff wants " << pfits::kSuiteSchema
+                      << " documents (aggregate first)\n";
+            return 2;
+        }
+    }
+
+    pfits::DiffResult result = pfits::diffSuites(base, fresh, options);
+    std::cout << "diff " << files[0] << " -> " << files[1] << "\n";
+    pfits::printDiffReport(std::cout, result, options);
+    return result.regression() ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr);
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "aggregate")
+        return cmdAggregate(args);
+    if (cmd == "validate")
+        return cmdValidate(args);
+    if (cmd == "diff")
+        return cmdDiff(args);
+    if (cmd == "-h" || cmd == "--help" || cmd == "help")
+        return usage(std::cout), 0;
+    std::cerr << "pfits_report: unknown command '" << cmd << "'\n";
+    return usage(std::cerr);
+}

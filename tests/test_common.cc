@@ -198,6 +198,31 @@ TEST(Table, PrintAlignsAndCsvEscapes)
     EXPECT_NE(csv.str().find("\"a,b\""), std::string::npos);
 }
 
+TEST(Table, CsvEscapesQuotesAndNewlines)
+{
+    Table table("rfc4180");
+    table.setHeader({"name", "v"});
+    table.addRow({"say \"hi\"", "1"});
+    table.addRow({"two\nlines", "2"});
+    table.addRow({"cr\rhere", "3"});
+    table.addRow({"comma,and\"quote", "4"});
+    table.addRow({"plain", "5"});
+
+    std::ostringstream csv;
+    table.printCsv(csv);
+    const std::string out = csv.str();
+    // Embedded quotes are doubled and the cell is quoted.
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\",1"), std::string::npos);
+    // Line breaks force quoting (without doubling anything).
+    EXPECT_NE(out.find("\"two\nlines\",2"), std::string::npos);
+    EXPECT_NE(out.find("\"cr\rhere\",3"), std::string::npos);
+    // Both triggers at once: quoted, with the quote doubled.
+    EXPECT_NE(out.find("\"comma,and\"\"quote\",4"), std::string::npos);
+    // Unremarkable cells stay unquoted.
+    EXPECT_NE(out.find("plain,5"), std::string::npos);
+    EXPECT_EQ(out.find("\"plain\""), std::string::npos);
+}
+
 TEST(Table, RowWidthChecked)
 {
     Table table("demo");
