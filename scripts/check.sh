@@ -19,6 +19,15 @@ run_suite() {
 
 run_suite "$repo/build" -DASAN=OFF
 
+# Differential fuzz: every MiBench kernel plus 500 seeded random
+# programs cross-executed on golden/arm32/packed/fits16, and the
+# timing-invariant sweep over the paper's four configurations (see
+# docs/VERIFICATION.md). Override the shard with PFITS_VERIFY_SEED to
+# rotate coverage; a failure prints the seed and disassembly needed to
+# replay it.
+echo "=== differential verification (pfits_verify) ==="
+"$repo/build/src/verify/pfits_verify" --count 500 --jobs "$jobs"
+
 # The figure binaries must print byte-identical tables to their
 # committed snapshots (tests/golden/): measurements are observers now,
 # and this gate catches any instrumentation change leaking into
@@ -39,6 +48,12 @@ echo "=== bench regression (manifests) ==="
 # thread pool, SimCache and Runner run genuinely concurrent even on
 # small CI hosts — races surface under TSan-less ASan as heap errors.
 PFITS_JOBS=4 run_suite "$repo/build-asan" -DASAN=ON
+
+# A smaller differential shard under ASan: the golden interpreter and
+# the differential runner themselves get leak/overflow coverage.
+echo "=== differential verification (ASan shard) ==="
+PFITS_JOBS=4 "$repo/build-asan/src/verify/pfits_verify" --count 50
+
 PFITS_JOBS=4 run_suite "$repo/build-ubsan" -DUBSAN=ON
 
 echo "=== all checks passed (plain + sanitized + golden) ==="

@@ -525,6 +525,12 @@ assemble(const std::string &name, const std::string &source)
             cur.expect(',');
             uop.regList = parseRegList(cur);
             uop.ldmIsPop = uop.op == Op::LDM;
+            if ((uop.regList >> uop.rn) & 1u)
+                warn("%s with base r%u in the register list: writeback "
+                     "is suppressed and %s",
+                     base.c_str(), uop.rn,
+                     uop.op == Op::STM ? "the original base is stored"
+                                       : "the loaded value wins");
         } else if (base == "b" || base == "bl") {
             uop.op = base == "b" ? Op::B : Op::BL;
             st.branchTarget = cur.ident();
@@ -553,6 +559,8 @@ assemble(const std::string &name, const std::string &source)
             uop.rm = parseReg(cur);
             cur.expect(',');
             uop.rs = parseReg(cur);
+            if (uop.rd == uop.ra)
+                cur.error(base + " with rdLo == rdHi is unpredictable");
         } else if (base == "clz") {
             uop.op = Op::CLZ;
             uop.rd = parseReg(cur);

@@ -105,6 +105,15 @@ ProgramBuilder::zeros(const std::string &sym, uint32_t size)
 void
 ProgramBuilder::emit(const MicroOp &uop)
 {
+    if ((uop.op == Op::UMULL || uop.op == Op::SMULL) &&
+        uop.rd == uop.ra)
+        fatal("program '%s': %s with rdLo == rdHi (r%u) at index %zu "
+              "is unpredictable",
+              prog_.name.c_str(), opName(uop.op), uop.rd, code_.size());
+    if (uop.op == Op::STM && ((uop.regList >> uop.rn) & 1u) != 0)
+        warn("program '%s': stm with base r%u in the register list at "
+             "index %zu stores the original base and skips writeback",
+             prog_.name.c_str(), uop.rn, code_.size());
     uint32_t word;
     if (!encodeArm(uop, word))
         fatal("program '%s': cannot encode '%s' at index %zu",
@@ -395,11 +404,13 @@ ProgramBuilder::teq(uint8_t rn, uint8_t rm, Cond cond)
 // --- multiply / divide -------------------------------------------------
 
 void
-ProgramBuilder::mul(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond)
+ProgramBuilder::mul(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond,
+                    bool s)
 {
     MicroOp uop;
     uop.op = Op::MUL;
     uop.cond = cond;
+    uop.setsFlags = s;
     uop.rd = rd;
     uop.rm = rm;
     uop.rs = rs;
@@ -408,11 +419,12 @@ ProgramBuilder::mul(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond)
 
 void
 ProgramBuilder::mla(uint8_t rd, uint8_t rm, uint8_t rs, uint8_t ra,
-                    Cond cond)
+                    Cond cond, bool s)
 {
     MicroOp uop;
     uop.op = Op::MLA;
     uop.cond = cond;
+    uop.setsFlags = s;
     uop.rd = rd;
     uop.rm = rm;
     uop.rs = rs;

@@ -140,9 +140,11 @@ class ProgramBuilder
     void teq(uint8_t rn, uint8_t rm, Cond cond = Cond::AL);
 
     // --- multiply / divide / misc arithmetic --------------------------------
-    void mul(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond = Cond::AL);
+    void mul(uint8_t rd, uint8_t rm, uint8_t rs, Cond cond = Cond::AL,
+             bool s = false);
     void mla(uint8_t rd, uint8_t rm, uint8_t rs, uint8_t ra,
-             Cond cond = Cond::AL);
+             Cond cond = Cond::AL, bool s = false);
+    /** Long multiplies; rd_lo == rd_hi is UNPREDICTABLE and fatal()s. */
     void umull(uint8_t rd_lo, uint8_t rd_hi, uint8_t rm, uint8_t rs,
                Cond cond = Cond::AL);
     void smull(uint8_t rd_lo, uint8_t rd_hi, uint8_t rm, uint8_t rs,

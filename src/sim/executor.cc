@@ -193,6 +193,9 @@ execute(const MicroOp &uop, uint64_t index, const AddrCodec &codec,
         break;
       }
       case Op::UMULL: {
+        if (uop.rd == uop.ra)
+            trap("umull with rdLo == rdHi (r%u) is unpredictable",
+                 uop.rd);
         uint64_t wide = static_cast<uint64_t>(state.regs[uop.rm]) *
                         state.regs[uop.rs];
         state.regs[uop.ra] = static_cast<uint32_t>(wide);
@@ -202,6 +205,9 @@ execute(const MicroOp &uop, uint64_t index, const AddrCodec &codec,
         break;
       }
       case Op::SMULL: {
+        if (uop.rd == uop.ra)
+            trap("smull with rdLo == rdHi (r%u) is unpredictable",
+                 uop.rd);
         int64_t wide =
             static_cast<int64_t>(
                 static_cast<int32_t>(state.regs[uop.rm])) *
@@ -320,6 +326,7 @@ execute(const MicroOp &uop, uint64_t index, const AddrCodec &codec,
         }
         if (!base_in_list)
             state.regs[uop.rn] = addr; // writeback
+        info.baseWriteback = !base_in_list;
         info.extraLatency = count; // one word per cycle
         break;
       }
@@ -328,6 +335,10 @@ execute(const MicroOp &uop, uint64_t index, const AddrCodec &codec,
         unsigned count = popcount32(uop.regList);
         uint32_t addr = state.regs[uop.rn] - 4u * count;
         uint32_t new_base = addr;
+        // Base-in-list stores the *original* base value (the register
+        // file is read before writeback) and, mirroring LDM, suppresses
+        // the writeback instead of clobbering the base.
+        bool base_in_list = ((uop.regList >> uop.rn) & 1u) != 0;
         for (unsigned reg = 0; reg < NUM_REGS; ++reg) {
             if (!((uop.regList >> reg) & 1u))
                 continue;
@@ -335,7 +346,9 @@ execute(const MicroOp &uop, uint64_t index, const AddrCodec &codec,
             info.mem[info.numMem++] = ExecInfo::MemAccess{addr, true};
             addr += 4;
         }
-        state.regs[uop.rn] = new_base;
+        if (!base_in_list)
+            state.regs[uop.rn] = new_base;
+        info.baseWriteback = !base_in_list;
         info.extraLatency = count;
         break;
       }

@@ -77,6 +77,9 @@ struct ExecInfo
     bool isLoad = false;
     bool isStore = false;
     bool isMulDiv = false;
+    //! LDM/STM wrote the base register back (false when rn is in the
+    //! register list — base-in-list forms suppress writeback).
+    bool baseWriteback = false;
     uint8_t destReg = 0xff;    //!< 0xff when no register result
     uint32_t extraLatency = 0; //!< functional-unit latency beyond 1 cycle
 };

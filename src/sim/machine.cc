@@ -327,19 +327,24 @@ Machine::runLoop(FaultPlan *faults,
             if (uop.op == Op::LDM) {
                 for (uint32_t m = uop.regList; m != 0; m &= m - 1)
                     reg_ready[std::countr_zero(m)] = result_ready;
-                reg_ready[uop.rn] =
-                    std::max(reg_ready[uop.rn], issue_cycle + 1);
+                if (info.baseWriteback)
+                    reg_ready[uop.rn] =
+                        std::max(reg_ready[uop.rn], issue_cycle + 1);
             } else if (uop.op == Op::UMULL || uop.op == Op::SMULL) {
                 reg_ready[uop.rd] = result_ready;
                 reg_ready[uop.ra] = result_ready;
             } else if (info.destReg != 0xff) {
                 reg_ready[info.destReg] = result_ready;
             }
-            if (uop.op == Op::STM)
+            if (uop.op == Op::STM && info.baseWriteback)
                 reg_ready[uop.rn] =
                     std::max(reg_ready[uop.rn], issue_cycle + 1);
+            // Flags are produced by the same functional unit as the
+            // result: a multi-cycle S-form (MULS/MLAS) delivers NZCV at
+            // result_ready, not one cycle after issue — a dependent
+            // conditional or ADC must not issue early.
             if (uop.setsFlags)
-                reg_ready[NUM_REGS] = issue_cycle + 1;
+                reg_ready[NUM_REGS] = result_ready;
         }
 
         // --- commit / control flow ---------------------------------------

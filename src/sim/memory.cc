@@ -103,6 +103,35 @@ Memory::writeBytes(uint32_t addr, const std::vector<uint8_t> &bytes)
 }
 
 std::optional<uint32_t>
+Memory::firstDifference(const Memory &other) const
+{
+    static const Page zero_page(kPageSize, 0);
+
+    std::vector<uint32_t> keys;
+    keys.reserve(pages_.size() + other.pages_.size());
+    for (const auto &[key, page] : pages_)
+        keys.push_back(key);
+    for (const auto &[key, page] : other.pages_)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    for (uint32_t key : keys) {
+        auto a_it = pages_.find(key);
+        auto b_it = other.pages_.find(key);
+        const Page &a = a_it == pages_.end() ? zero_page : a_it->second;
+        const Page &b =
+            b_it == other.pages_.end() ? zero_page : b_it->second;
+        if (a == b)
+            continue;
+        for (uint32_t off = 0; off < kPageSize; ++off)
+            if (a[off] != b[off])
+                return (key << kPageShift) | off;
+    }
+    return std::nullopt;
+}
+
+std::optional<uint32_t>
 Memory::injectBitFlip(Rng &rng)
 {
     if (pages_.empty())

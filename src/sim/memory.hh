@@ -63,6 +63,15 @@ class Memory
      */
     std::optional<uint32_t> injectBitFlip(Rng &rng);
 
+    /**
+     * Compare contents against @p other, treating absent pages as
+     * all-zero (so a page touched by only one side but still zero does
+     * not count as a difference).
+     * @return the lowest differing byte address, or nullopt when the
+     * two memories are content-identical.
+     */
+    std::optional<uint32_t> firstDifference(const Memory &other) const;
+
     /** Drop all pages. */
     void clear() { pages_.clear(); }
 

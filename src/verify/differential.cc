@@ -1,0 +1,371 @@
+#include "verify/differential.hh"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+
+#include "common/logging.hh"
+#include "exp/experiment.hh"
+#include "exp/parallel.hh"
+#include "fits/fits_frontend.hh"
+#include "fits/profile.hh"
+#include "fits/synth.hh"
+#include "fits/translate.hh"
+#include "mibench/mibench.hh"
+#include "sim/machine.hh"
+#include "sim/probe.hh"
+#include "verify/golden.hh"
+#include "verify/randprog.hh"
+#include "verify/timing.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+/** The paper's core for @p id (mirrors Runner::coreConfig). */
+CoreConfig
+paperCoreConfig(ConfigId id)
+{
+    CoreConfig core;
+    core.name = configName(id);
+    core.icache.sizeBytes =
+        (id == ConfigId::ARM8 || id == ConfigId::FITS8) ? 8 * 1024
+                                                        : 16 * 1024;
+    return core;
+}
+
+/** Compare register files; bits set in @p skip_mask are excluded. */
+void
+compareRegs(const std::string &what, const CpuState &a,
+            const CpuState &b, uint32_t skip_mask,
+            std::vector<std::string> &out)
+{
+    for (unsigned r = 0; r < NUM_REGS; ++r) {
+        if ((skip_mask >> r) & 1u)
+            continue;
+        if (a.regs[r] != b.regs[r])
+            out.push_back(detail::format(
+                "%s: r%u 0x%08x vs 0x%08x", what.c_str(), r,
+                a.regs[r], b.regs[r]));
+    }
+    if (a.flags.n != b.flags.n || a.flags.z != b.flags.z ||
+        a.flags.c != b.flags.c || a.flags.v != b.flags.v)
+        out.push_back(detail::format(
+            "%s: NZCV %d%d%d%d vs %d%d%d%d", what.c_str(), a.flags.n,
+            a.flags.z, a.flags.c, a.flags.v, b.flags.n, b.flags.z,
+            b.flags.c, b.flags.v));
+}
+
+/** Compare the SWI output sinks. */
+void
+compareIo(const std::string &what, const IoSinks &a, const IoSinks &b,
+          std::vector<std::string> &out)
+{
+    if (a.console != b.console)
+        out.push_back(detail::format(
+            "%s: console '%s' vs '%s'", what.c_str(),
+            a.console.c_str(), b.console.c_str()));
+    if (a.emitted != b.emitted) {
+        out.push_back(detail::format(
+            "%s: emitted %zu words vs %zu words", what.c_str(),
+            a.emitted.size(), b.emitted.size()));
+        for (size_t i = 0;
+             i < std::min(a.emitted.size(), b.emitted.size()); ++i) {
+            if (a.emitted[i] != b.emitted[i]) {
+                out.push_back(detail::format(
+                    "%s: emitted[%zu] 0x%08x vs 0x%08x", what.c_str(),
+                    i, a.emitted[i], b.emitted[i]));
+                break;
+            }
+        }
+    }
+}
+
+/** One Machine run with the timing checker attached. */
+RunResult
+checkedRun(Machine &machine, const CoreConfig &core,
+           const std::string &label,
+           std::vector<std::string> &out)
+{
+    TimingInvariantChecker checker(core);
+    ObserverList observers;
+    observers.add(&checker);
+    RunResult result = machine.run(nullptr, &observers);
+    if (!checker.ok())
+        out.push_back(label + " timing: " + checker.summary());
+    return result;
+}
+
+} // namespace
+
+std::string
+DiffReport::describe() const
+{
+    std::string s = detail::format(
+        "%s (seed %llu): %zu mismatch(es)", program.c_str(),
+        static_cast<unsigned long long>(seed), mismatches.size());
+    for (const std::string &m : mismatches) {
+        s += "\n  ";
+        s += m;
+    }
+    return s;
+}
+
+DiffReport
+diffProgram(const Program &prog, uint64_t seed,
+            const uint32_t *expected)
+{
+    DiffReport rep;
+    rep.program = prog.name;
+    rep.seed = seed;
+    auto &out = rep.mismatches;
+
+    ArmFrontEnd arm(prog);
+
+    // 1. The golden reference interpreter.
+    GoldenInterpreter golden(arm);
+    GoldenResult g = golden.run();
+
+    if (expected) {
+        if (g.io.emitted.empty())
+            out.push_back("golden: no emitted checksum word");
+        else if (g.io.emitted.back() != *expected)
+            out.push_back(detail::format(
+                "golden: checksum 0x%08x != C++ reference 0x%08x",
+                g.io.emitted.back(), *expected));
+    }
+
+    // 2. The timing Machine on the fixed ARM decoder.
+    CoreConfig arm_core;
+    Machine arm_machine(arm, arm_core);
+    RunResult ra = checkedRun(arm_machine, arm_core, "arm32", out);
+    rep.armInstructions = ra.instructions;
+
+    if (g.outcome != ra.outcome)
+        out.push_back(detail::format(
+            "golden vs arm32: outcome %s vs %s (%s)",
+            runOutcomeName(g.outcome), runOutcomeName(ra.outcome),
+            (g.trapReason + " / " + ra.trapReason).c_str()));
+    compareRegs("golden vs arm32", g.finalState, ra.finalState, 0,
+                out);
+    compareIo("golden vs arm32", g.io, ra.io, out);
+    if (g.retired != ra.instructions)
+        out.push_back(detail::format(
+            "golden vs arm32: retired %llu vs %llu",
+            static_cast<unsigned long long>(g.retired),
+            static_cast<unsigned long long>(ra.instructions)));
+    if (g.annulled != ra.annulled)
+        out.push_back(detail::format(
+            "golden vs arm32: annulled %llu vs %llu",
+            static_cast<unsigned long long>(g.annulled),
+            static_cast<unsigned long long>(ra.annulled)));
+    if (auto addr = golden.mem().firstDifference(arm_machine.mem()))
+        out.push_back(detail::format(
+            "golden vs arm32: memory differs at 0x%08x", *addr));
+
+    // 3. The same decoder with the packed-fetch buffer: a pure
+    // fetch-path variation that must be architecturally invisible.
+    CoreConfig packed_core;
+    packed_core.name = "packed";
+    packed_core.packedFetch = true;
+    Machine packed_machine(arm, packed_core);
+    RunResult rp =
+        checkedRun(packed_machine, packed_core, "packed", out);
+
+    if (ra.outcome != rp.outcome)
+        out.push_back(detail::format(
+            "arm32 vs packed: outcome %s vs %s",
+            runOutcomeName(ra.outcome), runOutcomeName(rp.outcome)));
+    compareRegs("arm32 vs packed", ra.finalState, rp.finalState, 0,
+                out);
+    compareIo("arm32 vs packed", ra.io, rp.io, out);
+    if (ra.instructions != rp.instructions ||
+        ra.annulled != rp.annulled)
+        out.push_back(detail::format(
+            "arm32 vs packed: retired %llu/%llu vs %llu/%llu",
+            static_cast<unsigned long long>(ra.instructions),
+            static_cast<unsigned long long>(ra.annulled),
+            static_cast<unsigned long long>(rp.instructions),
+            static_cast<unsigned long long>(rp.annulled)));
+    if (auto addr =
+            arm_machine.mem().firstDifference(packed_machine.mem()))
+        out.push_back(detail::format(
+            "arm32 vs packed: memory differs at 0x%08x", *addr));
+
+    // 4. The synthesized 16-bit ISA on the programmable decoder.
+    try {
+        ProfileInfo profile = profileProgram(prog);
+        FitsIsa isa = synthesize(profile, SynthParams{}, prog.name);
+        FitsProgram fits_prog = translateProgram(prog, isa, profile);
+        FitsFrontEnd fits(std::move(fits_prog));
+
+        CoreConfig fits_core;
+        fits_core.name = "fits16";
+        Machine fits_machine(fits, fits_core);
+        RunResult rf =
+            checkedRun(fits_machine, fits_core, "fits16", out);
+        rep.fitsInstructions = rf.instructions;
+
+        if (ra.outcome != rf.outcome) {
+            out.push_back(detail::format(
+                "arm32 vs fits16: outcome %s vs %s (%s)",
+                runOutcomeName(ra.outcome),
+                runOutcomeName(rf.outcome), rf.trapReason.c_str()));
+        } else if (ra.outcome == RunOutcome::Completed) {
+            // r12 is the synthesis scratch; lr holds stream-specific
+            // return addresses. Everything else must agree.
+            compareRegs("arm32 vs fits16", ra.finalState,
+                        rf.finalState, (1u << R12) | (1u << LR), out);
+            compareIo("arm32 vs fits16", ra.io, rf.io, out);
+            // The stack holds pushed code addresses, which
+            // legitimately differ; the declared data segments must
+            // not.
+            for (const DataSegment &seg : prog.data) {
+                bool differed = false;
+                for (uint32_t i = 0;
+                     i < static_cast<uint32_t>(seg.bytes.size());
+                     ++i) {
+                    uint32_t addr = seg.base + i;
+                    uint8_t va = arm_machine.mem().read8(addr);
+                    uint8_t vf = fits_machine.mem().read8(addr);
+                    if (va != vf) {
+                        out.push_back(detail::format(
+                            "arm32 vs fits16: data segment '%s' "
+                            "differs at 0x%08x (0x%02x vs 0x%02x)",
+                            seg.name.c_str(), addr, va, vf));
+                        differed = true;
+                        break;
+                    }
+                }
+                if (differed)
+                    break;
+            }
+            // Translation expands 1-to-n and merges MOVW/MOVT pairs;
+            // the dynamic count can move either way but only within
+            // the translator's bounded expansion factor.
+            if (rf.instructions == 0 ||
+                rf.instructions < ra.instructions / 4 ||
+                rf.instructions > ra.instructions * 8)
+                out.push_back(detail::format(
+                    "arm32 vs fits16: implausible retired count %llu "
+                    "vs %llu",
+                    static_cast<unsigned long long>(ra.instructions),
+                    static_cast<unsigned long long>(
+                        rf.instructions)));
+        }
+    } catch (const FatalError &e) {
+        out.push_back(std::string("fits16: pipeline failed: ") +
+                      e.what());
+    }
+
+    return rep;
+}
+
+DiffSummary
+runDifferentialSuite(const DiffOptions &opts, std::ostream *progress)
+{
+    const auto &kernels = mibench::suite();
+    const size_t num_kernels = opts.kernels ? kernels.size() : 0;
+    const size_t total = num_kernels + opts.count;
+
+    std::unique_ptr<ThreadPool> own;
+    if (opts.jobs)
+        own = std::make_unique<ThreadPool>(opts.jobs);
+    ThreadPool &pool = own ? *own : ThreadPool::shared();
+
+    std::vector<DiffReport> reports =
+        parallelMap<DiffReport>(pool, total, [&](size_t i) {
+            if (i < num_kernels) {
+                mibench::Workload wl = kernels[i].build();
+                return diffProgram(wl.program, 0, &wl.expected);
+            }
+            uint64_t seed =
+                opts.seed + static_cast<uint64_t>(i - num_kernels);
+            return diffProgram(randomVerifyProgram(seed), seed);
+        });
+
+    DiffSummary summary;
+    summary.programsRun = static_cast<unsigned>(total);
+    for (DiffReport &rep : reports)
+        if (!rep.ok())
+            summary.failed.push_back(std::move(rep));
+
+    if (progress) {
+        for (const DiffReport &rep : summary.failed)
+            *progress << "FAIL " << rep.describe() << "\n";
+        *progress << "differential: " << summary.programsRun
+                  << " programs (" << num_kernels << " kernels, "
+                  << opts.count << " random, base seed " << opts.seed
+                  << "), " << summary.failed.size() << " failure(s)\n";
+    }
+    return summary;
+}
+
+std::vector<std::string>
+runTimingInvariantSweep(unsigned jobs, std::ostream *progress)
+{
+    const auto &kernels = mibench::suite();
+
+    std::unique_ptr<ThreadPool> own;
+    if (jobs)
+        own = std::make_unique<ThreadPool>(jobs);
+    ThreadPool &pool = own ? *own : ThreadPool::shared();
+
+    auto per_bench = parallelMap<std::vector<std::string>>(
+        pool, kernels.size(), [&](size_t i) {
+            std::vector<std::string> fails;
+            mibench::Workload wl = kernels[i].build();
+
+            ArmFrontEnd arm(wl.program);
+            ProfileInfo profile = profileProgram(wl.program);
+            FitsIsa isa =
+                synthesize(profile, SynthParams{}, wl.program.name);
+            FitsProgram fits_prog =
+                translateProgram(wl.program, isa, profile);
+            FitsFrontEnd fits(std::move(fits_prog));
+
+            for (ConfigId id : kAllConfigs) {
+                CoreConfig core = paperCoreConfig(id);
+                const bool is_fits = id == ConfigId::FITS16 ||
+                                     id == ConfigId::FITS8;
+                const FrontEnd &fe =
+                    is_fits ? static_cast<const FrontEnd &>(fits)
+                            : static_cast<const FrontEnd &>(arm);
+                Machine machine(fe, core);
+                TimingInvariantChecker checker(core);
+                ObserverList observers;
+                observers.add(&checker);
+                RunResult rr = machine.run(nullptr, &observers);
+                if (rr.outcome != RunOutcome::Completed)
+                    fails.push_back(detail::format(
+                        "%s/%s: run ended %s (%s)",
+                        wl.program.name.c_str(), configName(id),
+                        runOutcomeName(rr.outcome),
+                        rr.trapReason.c_str()));
+                if (!checker.ok())
+                    fails.push_back(detail::format(
+                        "%s/%s: %s", wl.program.name.c_str(),
+                        configName(id), checker.summary().c_str()));
+            }
+            return fails;
+        });
+
+    std::vector<std::string> failures;
+    for (auto &fails : per_bench)
+        failures.insert(failures.end(),
+                        std::make_move_iterator(fails.begin()),
+                        std::make_move_iterator(fails.end()));
+
+    if (progress) {
+        for (const std::string &f : failures)
+            *progress << "FAIL " << f << "\n";
+        *progress << "timing invariants: " << kernels.size()
+                  << " benchmarks x 4 configs, " << failures.size()
+                  << " failure(s)\n";
+    }
+    return failures;
+}
+
+} // namespace pfits

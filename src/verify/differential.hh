@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The differential runner: execute one uARM program on every backend
+ * and cross-check the architectural results.
+ *
+ * Backends compared per program:
+ *
+ *  1. golden  — the naive reference interpreter (verify/golden.hh);
+ *  2. arm32   — the fixed ARM decoder on the timing Machine;
+ *  3. packed  — the same Machine with the packed-fetch buffer on
+ *               (fetch-path variation must never change architecture);
+ *  4. fits16  — the program profiled, synthesized (default
+ *               SynthParams) and translated to its per-application
+ *               16-bit ISA, run on the programmable decoder.
+ *
+ * Checked: final register/flag state, full memory image (data-segment
+ * ranges for fits16 — code addresses pushed on the stack legitimately
+ * differ between a 4-byte and a 2-byte stream), console and emitted
+ * I/O, retired-instruction counts (exact across golden/arm32/packed),
+ * and run outcome. Every Machine run additionally carries the
+ * timing-invariant checker (verify/timing.hh).
+ */
+
+#ifndef POWERFITS_VERIFY_DIFFERENTIAL_HH
+#define POWERFITS_VERIFY_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+
+namespace pfits
+{
+
+/** Outcome of differentially executing one program. */
+struct DiffReport
+{
+    std::string program;
+    uint64_t seed = 0; //!< generator seed; 0 for named kernels
+    std::vector<std::string> mismatches;
+
+    uint64_t armInstructions = 0;
+    uint64_t fitsInstructions = 0;
+
+    bool ok() const { return mismatches.empty(); }
+
+    /** Multi-line description of every mismatch. */
+    std::string describe() const;
+};
+
+/**
+ * Run @p prog on all four backends and cross-check.
+ * @param seed     recorded in the report for reproduction (0 = kernel)
+ * @param expected when non-null, the independently computed golden
+ *                 checksum (MiBench's C++ reference) the golden
+ *                 model's last emitted word must equal — anchoring
+ *                 the whole differential chain to a third
+ *                 implementation.
+ */
+DiffReport diffProgram(const Program &prog, uint64_t seed = 0,
+                       const uint32_t *expected = nullptr);
+
+/** Differential-suite parameters. */
+struct DiffOptions
+{
+    uint64_t seed = 1;    //!< base seed of the random shard
+    unsigned count = 500; //!< random programs to generate
+    unsigned jobs = 0;    //!< worker threads; 0 = shared pool default
+    bool kernels = true;  //!< also run the 21 MiBench kernels
+};
+
+/** Aggregate outcome of one differential sweep. */
+struct DiffSummary
+{
+    unsigned programsRun = 0;
+    std::vector<DiffReport> failed;
+
+    bool ok() const { return failed.empty(); }
+};
+
+/**
+ * Run the differential suite: the MiBench kernels (when enabled) plus
+ * @p opts.count seeded random programs, fanned out over the thread
+ * pool with deterministic result order. @p progress, when given,
+ * receives one line per failure as jobs complete plus a final tally.
+ */
+DiffSummary runDifferentialSuite(const DiffOptions &opts,
+                                 std::ostream *progress = nullptr);
+
+/**
+ * Run the timing-invariant checker over every MiBench benchmark on
+ * the paper's four configurations (ARM16/ARM8/FITS16/FITS8).
+ * @return violation descriptions, one entry per failing
+ * (benchmark, config) run — empty when every schedule is legal.
+ */
+std::vector<std::string> runTimingInvariantSweep(
+    unsigned jobs = 0, std::ostream *progress = nullptr);
+
+} // namespace pfits
+
+#endif // POWERFITS_VERIFY_DIFFERENTIAL_HH

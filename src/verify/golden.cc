@@ -1,0 +1,481 @@
+#include "verify/golden.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+/** Logical ops: N/Z from the result, C/V untouched (uARM deviation —
+ *  there is no shifter carry-out in this ISA). */
+void
+setLogicalFlags(Flags &fl, uint32_t result)
+{
+    fl.n = (result & 0x80000000u) != 0;
+    fl.z = result == 0;
+}
+
+/** a + b + cin with the full ARM NZCV contract. */
+uint32_t
+adc32(Flags &fl, bool set, uint32_t a, uint32_t b, bool cin)
+{
+    uint32_t result = a + b + (cin ? 1u : 0u);
+    if (set) {
+        fl.n = (result & 0x80000000u) != 0;
+        fl.z = result == 0;
+        // Unsigned carry out of bit 31.
+        fl.c = cin ? result <= a : result < a;
+        // Signed overflow: like-signed operands, unlike-signed result.
+        bool sa = (a & 0x80000000u) != 0;
+        bool sb = (b & 0x80000000u) != 0;
+        bool sr = (result & 0x80000000u) != 0;
+        fl.v = sa == sb && sr != sa;
+    }
+    return result;
+}
+
+/** The barrel shifter, immediate-amount form. Amount 0 is identity for
+ *  every shift type (uARM deviation: no LSR/ASR #32 special case). */
+uint32_t
+shiftImm(uint32_t v, ShiftType type, unsigned amount)
+{
+    if (amount == 0)
+        return v;
+    switch (type) {
+      case ShiftType::LSL:
+        return v << amount;
+      case ShiftType::LSR:
+        return v >> amount;
+      case ShiftType::ASR:
+        return static_cast<uint32_t>(static_cast<int32_t>(v) >>
+                                     amount);
+      case ShiftType::ROR:
+        amount &= 31u;
+        return amount ? (v >> amount) | (v << (32 - amount)) : v;
+      default:
+        panic("golden: bad shift type");
+    }
+}
+
+/** Register-amount form: the low byte of rs, ARM-style saturation. */
+uint32_t
+shiftReg(uint32_t v, ShiftType type, uint32_t rs_value)
+{
+    unsigned amount = rs_value & 0xffu;
+    if (amount == 0)
+        return v;
+    switch (type) {
+      case ShiftType::LSL:
+        return amount >= 32 ? 0u : v << amount;
+      case ShiftType::LSR:
+        return amount >= 32 ? 0u : v >> amount;
+      case ShiftType::ASR:
+        return static_cast<uint32_t>(
+            static_cast<int32_t>(v) >> (amount >= 32 ? 31 : amount));
+      case ShiftType::ROR: {
+        amount &= 31u;
+        return amount ? (v >> amount) | (v << (32 - amount)) : v;
+      }
+      default:
+        panic("golden: bad shift type");
+    }
+}
+
+/** The flexible second operand of a data-processing instruction. */
+uint32_t
+operand2(const MicroOp &uop, const uint32_t *regs)
+{
+    switch (uop.op2Kind) {
+      case Operand2Kind::IMM:
+        return uop.imm;
+      case Operand2Kind::REG:
+        return regs[uop.rm];
+      case Operand2Kind::REG_SHIFT_IMM:
+        return shiftImm(regs[uop.rm], uop.shiftType, uop.shiftAmount);
+      case Operand2Kind::REG_SHIFT_REG:
+        return shiftReg(regs[uop.rm], uop.shiftType, regs[uop.rs]);
+      default:
+        panic("golden: bad operand2 kind");
+    }
+}
+
+} // namespace
+
+GoldenInterpreter::GoldenInterpreter(const FrontEnd &fe) : fe_(fe)
+{
+    for (const DataSegment &seg : fe_.dataSegments())
+        mem_.writeBytes(seg.base, seg.bytes);
+}
+
+GoldenResult
+GoldenInterpreter::run(uint64_t max_instructions)
+{
+    GoldenResult res;
+
+    uint32_t regs[NUM_REGS] = {};
+    regs[SP] = fe_.stackTop();
+    Flags fl;
+
+    const AddrCodec codec = fe_.codec();
+    const size_t num_insns = fe_.numInstructions();
+    uint64_t index = 0;
+    bool halted = false;
+
+    try {
+        while (!halted) {
+            if (index == AddrCodec::kBadIndex)
+                trap("golden '%s': control transfer below the code "
+                     "base", fe_.name().c_str());
+            if (index >= num_insns)
+                trap("golden '%s': fell off the end of the program at "
+                     "index %llu", fe_.name().c_str(),
+                     static_cast<unsigned long long>(index));
+            if (res.retired >= max_instructions) {
+                res.outcome = RunOutcome::WatchdogExpired;
+                res.trapReason = detail::format(
+                    "golden '%s': exceeded the %llu-instruction cap",
+                    fe_.name().c_str(),
+                    static_cast<unsigned long long>(max_instructions));
+                break;
+            }
+
+            const MicroOp &uop = fe_.uopAt(static_cast<size_t>(index));
+            uint64_t next = index + 1;
+            ++res.retired;
+
+            if (!condPasses(uop.cond, fl)) {
+                ++res.annulled;
+                index = next;
+                continue;
+            }
+
+            switch (uop.op) {
+              // --- data processing ----------------------------------
+              case Op::AND: {
+                uint32_t r = regs[uop.rn] & operand2(uop, regs);
+                if (uop.setsFlags)
+                    setLogicalFlags(fl, r);
+                regs[uop.rd] = r;
+                break;
+              }
+              case Op::EOR: {
+                uint32_t r = regs[uop.rn] ^ operand2(uop, regs);
+                if (uop.setsFlags)
+                    setLogicalFlags(fl, r);
+                regs[uop.rd] = r;
+                break;
+              }
+              case Op::ORR: {
+                uint32_t r = regs[uop.rn] | operand2(uop, regs);
+                if (uop.setsFlags)
+                    setLogicalFlags(fl, r);
+                regs[uop.rd] = r;
+                break;
+              }
+              case Op::BIC: {
+                uint32_t r = regs[uop.rn] & ~operand2(uop, regs);
+                if (uop.setsFlags)
+                    setLogicalFlags(fl, r);
+                regs[uop.rd] = r;
+                break;
+              }
+              case Op::MOV: {
+                uint32_t r = operand2(uop, regs);
+                if (uop.setsFlags)
+                    setLogicalFlags(fl, r);
+                regs[uop.rd] = r;
+                break;
+              }
+              case Op::MVN: {
+                uint32_t r = ~operand2(uop, regs);
+                if (uop.setsFlags)
+                    setLogicalFlags(fl, r);
+                regs[uop.rd] = r;
+                break;
+              }
+              case Op::TST:
+                setLogicalFlags(fl, regs[uop.rn] & operand2(uop, regs));
+                break;
+              case Op::TEQ:
+                setLogicalFlags(fl, regs[uop.rn] ^ operand2(uop, regs));
+                break;
+              case Op::ADD:
+                regs[uop.rd] = adc32(fl, uop.setsFlags, regs[uop.rn],
+                                     operand2(uop, regs), false);
+                break;
+              case Op::ADC:
+                regs[uop.rd] = adc32(fl, uop.setsFlags, regs[uop.rn],
+                                     operand2(uop, regs), fl.c);
+                break;
+              case Op::SUB:
+                regs[uop.rd] = adc32(fl, uop.setsFlags, regs[uop.rn],
+                                     ~operand2(uop, regs), true);
+                break;
+              case Op::SBC:
+                regs[uop.rd] = adc32(fl, uop.setsFlags, regs[uop.rn],
+                                     ~operand2(uop, regs), fl.c);
+                break;
+              case Op::RSB:
+                regs[uop.rd] = adc32(fl, uop.setsFlags,
+                                     operand2(uop, regs),
+                                     ~regs[uop.rn], true);
+                break;
+              case Op::RSC:
+                regs[uop.rd] = adc32(fl, uop.setsFlags,
+                                     operand2(uop, regs),
+                                     ~regs[uop.rn], fl.c);
+                break;
+              case Op::CMP:
+                adc32(fl, true, regs[uop.rn], ~operand2(uop, regs),
+                      true);
+                break;
+              case Op::CMN:
+                adc32(fl, true, regs[uop.rn], operand2(uop, regs),
+                      false);
+                break;
+
+              // --- wide moves ---------------------------------------
+              case Op::MOVW:
+                regs[uop.rd] = uop.imm & 0xffffu;
+                break;
+              case Op::MOVT:
+                regs[uop.rd] = (regs[uop.rd] & 0xffffu) |
+                               ((uop.imm & 0xffffu) << 16);
+                break;
+
+              // --- multiply / divide --------------------------------
+              case Op::MUL: {
+                uint32_t r = regs[uop.rm] * regs[uop.rs];
+                if (uop.setsFlags)
+                    setLogicalFlags(fl, r);
+                regs[uop.rd] = r;
+                break;
+              }
+              case Op::MLA: {
+                uint32_t r =
+                    regs[uop.rm] * regs[uop.rs] + regs[uop.ra];
+                if (uop.setsFlags)
+                    setLogicalFlags(fl, r);
+                regs[uop.rd] = r;
+                break;
+              }
+              case Op::UMULL: {
+                if (uop.rd == uop.ra)
+                    trap("golden: umull with rdLo == rdHi (r%u) is "
+                         "unpredictable", uop.rd);
+                uint64_t wide = static_cast<uint64_t>(regs[uop.rm]) *
+                                static_cast<uint64_t>(regs[uop.rs]);
+                regs[uop.ra] = static_cast<uint32_t>(wide);
+                regs[uop.rd] = static_cast<uint32_t>(wide >> 32);
+                break;
+              }
+              case Op::SMULL: {
+                if (uop.rd == uop.ra)
+                    trap("golden: smull with rdLo == rdHi (r%u) is "
+                         "unpredictable", uop.rd);
+                int64_t wide = static_cast<int64_t>(
+                                   static_cast<int32_t>(regs[uop.rm])) *
+                               static_cast<int64_t>(
+                                   static_cast<int32_t>(regs[uop.rs]));
+                uint64_t bits = static_cast<uint64_t>(wide);
+                regs[uop.ra] = static_cast<uint32_t>(bits);
+                regs[uop.rd] = static_cast<uint32_t>(bits >> 32);
+                break;
+              }
+              case Op::CLZ: {
+                uint32_t v = regs[uop.rm];
+                uint32_t n = 0;
+                for (uint32_t bit = 0x80000000u; bit && !(v & bit);
+                     bit >>= 1)
+                    ++n;
+                regs[uop.rd] = n;
+                break;
+              }
+              case Op::SDIV: {
+                int32_t num = static_cast<int32_t>(regs[uop.rn]);
+                int32_t den = static_cast<int32_t>(regs[uop.rm]);
+                int32_t q;
+                if (den == 0)
+                    q = 0; // uARM: division by zero yields zero
+                else if (num == std::numeric_limits<int32_t>::min() &&
+                         den == -1)
+                    q = num; // the one overflowing quotient
+                else
+                    q = num / den;
+                regs[uop.rd] = static_cast<uint32_t>(q);
+                break;
+              }
+              case Op::UDIV:
+                regs[uop.rd] = regs[uop.rm]
+                                   ? regs[uop.rn] / regs[uop.rm]
+                                   : 0u;
+                break;
+              case Op::QADD: {
+                int64_t sum = static_cast<int64_t>(static_cast<int32_t>(
+                                  regs[uop.rn])) +
+                              static_cast<int32_t>(regs[uop.rm]);
+                if (sum > std::numeric_limits<int32_t>::max())
+                    sum = std::numeric_limits<int32_t>::max();
+                if (sum < std::numeric_limits<int32_t>::min())
+                    sum = std::numeric_limits<int32_t>::min();
+                regs[uop.rd] =
+                    static_cast<uint32_t>(static_cast<int32_t>(sum));
+                break;
+              }
+              case Op::QSUB: {
+                int64_t diff =
+                    static_cast<int64_t>(
+                        static_cast<int32_t>(regs[uop.rn])) -
+                    static_cast<int32_t>(regs[uop.rm]);
+                if (diff > std::numeric_limits<int32_t>::max())
+                    diff = std::numeric_limits<int32_t>::max();
+                if (diff < std::numeric_limits<int32_t>::min())
+                    diff = std::numeric_limits<int32_t>::min();
+                regs[uop.rd] =
+                    static_cast<uint32_t>(static_cast<int32_t>(diff));
+                break;
+              }
+
+              // --- memory -------------------------------------------
+              case Op::LDR: case Op::LDRB: case Op::LDRH:
+              case Op::LDRSB: case Op::LDRSH:
+              case Op::STR: case Op::STRB: case Op::STRH: {
+                uint32_t offset;
+                if (uop.memKind == MemOffsetKind::IMM) {
+                    offset = static_cast<uint32_t>(uop.memDisp);
+                } else {
+                    uint32_t v = regs[uop.rm];
+                    if (uop.memKind == MemOffsetKind::REG_SHIFT_IMM)
+                        v <<= uop.shiftAmount;
+                    offset = uop.memAdd ? v : 0u - v;
+                }
+                uint32_t addr = regs[uop.rn] + offset;
+                switch (uop.op) {
+                  case Op::LDR:
+                    regs[uop.rd] = mem_.read32(addr);
+                    break;
+                  case Op::LDRB:
+                    regs[uop.rd] = mem_.read8(addr);
+                    break;
+                  case Op::LDRH:
+                    regs[uop.rd] = mem_.read16(addr);
+                    break;
+                  case Op::LDRSB:
+                    regs[uop.rd] = static_cast<uint32_t>(
+                        static_cast<int32_t>(static_cast<int8_t>(
+                            mem_.read8(addr))));
+                    break;
+                  case Op::LDRSH:
+                    regs[uop.rd] = static_cast<uint32_t>(
+                        static_cast<int32_t>(static_cast<int16_t>(
+                            mem_.read16(addr))));
+                    break;
+                  case Op::STR:
+                    mem_.write32(addr, regs[uop.rd]);
+                    break;
+                  case Op::STRB:
+                    mem_.write8(addr,
+                                static_cast<uint8_t>(regs[uop.rd]));
+                    break;
+                  default: // STRH
+                    mem_.write16(addr,
+                                 static_cast<uint16_t>(regs[uop.rd]));
+                    break;
+                }
+                break;
+              }
+              case Op::LDM: {
+                // LDMIA rn!, {list}: ascending registers from the
+                // base; writeback is suppressed when rn is in the list
+                // (the loaded value wins).
+                uint32_t addr = regs[uop.rn];
+                bool base_loaded = false;
+                for (unsigned r = 0; r < NUM_REGS; ++r) {
+                    if (!((uop.regList >> r) & 1u))
+                        continue;
+                    regs[r] = mem_.read32(addr);
+                    addr += 4;
+                    if (r == uop.rn)
+                        base_loaded = true;
+                }
+                if (!base_loaded)
+                    regs[uop.rn] = addr;
+                break;
+              }
+              case Op::STM: {
+                // STMDB rn!, {list}: the block sits below the base,
+                // registers stored ascending. A base in the list
+                // stores its *original* value and suppresses the
+                // writeback.
+                unsigned count = 0;
+                for (unsigned r = 0; r < NUM_REGS; ++r)
+                    if ((uop.regList >> r) & 1u)
+                        ++count;
+                uint32_t lowest = regs[uop.rn] - 4u * count;
+                uint32_t addr = lowest;
+                for (unsigned r = 0; r < NUM_REGS; ++r) {
+                    if (!((uop.regList >> r) & 1u))
+                        continue;
+                    mem_.write32(addr, regs[r]);
+                    addr += 4;
+                }
+                if (!((uop.regList >> uop.rn) & 1u))
+                    regs[uop.rn] = lowest;
+                break;
+              }
+
+              // --- control ------------------------------------------
+              case Op::B:
+                next = index + uop.branchOffset;
+                break;
+              case Op::BL:
+                regs[LR] = codec.addrOf(index + 1);
+                next = index + uop.branchOffset;
+                break;
+              case Op::RET: {
+                uint32_t target = regs[LR];
+                uint32_t align = (1u << codec.shift) - 1u;
+                if (target < codec.base ||
+                    ((target - codec.base) & align) != 0)
+                    trap("golden: ret to unaligned or out-of-range "
+                         "address 0x%08x", target);
+                next = codec.indexOf(target);
+                break;
+              }
+              case Op::SWI:
+                if (uop.imm == SWI_EXIT)
+                    halted = true;
+                else if (uop.imm == SWI_PUTC)
+                    res.io.console.push_back(
+                        static_cast<char>(regs[R0] & 0xffu));
+                else if (uop.imm == SWI_EMIT_WORD)
+                    res.io.emitted.push_back(regs[R0]);
+                else
+                    trap("golden: unknown swi #%u", uop.imm);
+                break;
+              case Op::NOP:
+                break;
+
+              default:
+                panic("golden: unexecutable op %s", opName(uop.op));
+            }
+
+            index = next;
+        }
+    } catch (const TrapError &e) {
+        res.outcome = RunOutcome::Trapped;
+        res.trapReason = e.what();
+    }
+
+    for (unsigned r = 0; r < NUM_REGS; ++r)
+        res.finalState.regs[r] = regs[r];
+    res.finalState.flags = fl;
+    res.finalState.halted = halted;
+    return res;
+}
+
+} // namespace pfits

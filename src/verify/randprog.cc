@@ -1,0 +1,176 @@
+#include "verify/randprog.hh"
+
+#include <string>
+
+#include "assembler/builder.hh"
+#include "common/rng.hh"
+
+namespace pfits
+{
+
+Program
+randomVerifyProgram(uint64_t seed)
+{
+    Rng rng(seed ^ 0x7601f17500000000ull);
+    ProgramBuilder b("rv" + std::to_string(seed));
+    b.zeros("buf", 256);
+    b.zeros("result", 4);
+
+    // r0-r7 are the random operand pool; r8 doubles as a bounded
+    // index (masked before every register-offset access), r9 holds
+    // the buffer base, r10 the loop counter, r11 the final fold.
+    auto reg = [&]() { return static_cast<uint8_t>(rng.below(8)); };
+    auto cond = [&]() {
+        return rng.below(4) == 0 ? static_cast<Cond>(rng.below(14))
+                                 : Cond::AL;
+    };
+
+    b.lea(R9, "buf");
+    for (uint8_t r = R0; r <= R8; ++r)
+        b.movi(r, rng.next());
+    b.movi(R10, 30 + rng.below(50));
+
+    Label loop = b.here();
+    unsigned body = 8 + rng.below(24);
+    for (unsigned i = 0; i < body; ++i) {
+        // Conditional forms are restricted to ops that cannot disturb
+        // the loop counter (r10) or the buffer base (r9).
+        uint8_t rd = reg();
+        uint8_t rn = reg();
+        uint8_t rm = reg();
+        switch (rng.below(16)) {
+          case 0:
+            b.alu(rng.below(2) ? AluOp::ADD : AluOp::SUB, rd, rn, rm,
+                  cond(), rng.below(2));
+            break;
+          case 1:
+            b.alu(static_cast<AluOp>(rng.below(2) ? AluOp::EOR
+                                                  : AluOp::ORR),
+                  rd, rn, rm, cond(), rng.below(2));
+            break;
+          case 2:
+            b.aluShift(AluOp::ADD, rd, rn, rm,
+                       static_cast<ShiftType>(rng.below(4)),
+                       static_cast<uint8_t>(rng.below(31)), cond());
+            break;
+          case 3:
+            b.alui(rng.below(2) ? AluOp::ADD : AluOp::BIC, rd, rn,
+                   rng.below(256), cond());
+            break;
+          case 4: {
+            // Carry chain: a compare establishes C, then ADC/SBC
+            // consumes it — the flags scoreboard path.
+            b.cmp(rn, rm);
+            b.alu(rng.below(2) ? AluOp::ADC : AluOp::SBC, rd, rn, rm,
+                  Cond::AL, rng.below(2));
+            break;
+          }
+          case 5: {
+            // Flag-setting multiply feeding a dependent conditional:
+            // the MULS NZCV-latency regression shape.
+            b.mul(rd, rn, rm, Cond::AL, /*s=*/true);
+            b.alui(AluOp::ADD, reg(), reg(), 1,
+                   rng.below(2) ? Cond::MI : Cond::NE);
+            break;
+          }
+          case 6:
+            b.mla(rd, rn, rm, reg(), cond(), rng.below(2));
+            break;
+          case 7: {
+            // Long multiply with guaranteed-distinct hi/lo.
+            uint8_t lo = rd;
+            uint8_t hi = static_cast<uint8_t>((rd + 1) % 8);
+            if (rng.below(2))
+                b.umull(lo, hi, rn, rm);
+            else
+                b.smull(lo, hi, rn, rm);
+            break;
+          }
+          case 8: {
+            // Word store + load through the scratch buffer.
+            int32_t disp = static_cast<int32_t>(rng.below(32)) * 4;
+            Cond c = cond();
+            b.str(reg(), R9, disp, c);
+            b.ldr(rd, R9, disp, c);
+            break;
+          }
+          case 9: {
+            // Byte traffic (any alignment inside the buffer).
+            int32_t disp = static_cast<int32_t>(rng.below(128));
+            b.strb(reg(), R9, disp);
+            b.ldrb(rd, R9, disp);
+            if (rng.below(2))
+                b.ldrsb(rm, R9, disp);
+            break;
+          }
+          case 10: {
+            // Halfword traffic (2-aligned).
+            int32_t disp = static_cast<int32_t>(rng.below(64)) * 2;
+            b.strh(reg(), R9, disp);
+            if (rng.below(2))
+                b.ldrh(rd, R9, disp);
+            else
+                b.ldrsh(rd, R9, disp);
+            break;
+          }
+          case 11:
+            // Register-offset addressing; r8 is masked to keep the
+            // address inside the buffer.
+            b.andi(R8, R8, 0x1f);
+            b.strr(reg(), R9, R8, 2);
+            b.ldrr(rd, R9, R8, 2);
+            break;
+          case 12: {
+            // Balanced push/pop pair (STMDB/LDMIA on sp).
+            uint8_t a = rd;
+            uint8_t c = static_cast<uint8_t>((rd + 3) % 8);
+            b.push({a, c});
+            b.alui(AluOp::ADD, a, c, 7, cond());
+            b.pop({a, c});
+            break;
+          }
+          case 13: {
+            // Short forward conditional skip.
+            b.cmpi(rn, rng.below(64));
+            Label skip = b.label();
+            b.b(skip, static_cast<Cond>(rng.below(14)));
+            b.alui(AluOp::EOR, rd, rd, 0x55);
+            b.alu(AluOp::ADD, rm, rm, rd);
+            b.bind(skip);
+            break;
+          }
+          case 14:
+            switch (rng.below(4)) {
+              case 0: b.clz(rd, rn, cond()); break;
+              case 1: b.sdiv(rd, rn, rm, cond()); break;
+              case 2: b.udiv(rd, rn, rm, cond()); break;
+              default: b.qadd(rd, rn, rm, cond()); break;
+            }
+            break;
+          default:
+            b.aluShiftReg(AluOp::EOR, rd, rn, rm,
+                          static_cast<ShiftType>(rng.below(4)),
+                          /*rs=*/reg(), cond());
+            break;
+        }
+    }
+    b.subi(R10, R10, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+
+    // Fold every pool register into one observable word; exercise all
+    // three I/O channels so console and emitted streams get compared.
+    b.movi(R11, 0);
+    for (uint8_t r = R0; r <= R8; ++r)
+        b.eor(R11, R11, r);
+    b.mov(R0, R11);
+    b.lea(R1, "result");
+    b.str(R0, R1, 0);
+    b.swi(SWI_EMIT_WORD);
+    b.andi(R0, R11, 0x7f);
+    b.orri(R0, R0, 0x20);
+    b.swi(SWI_PUTC);
+    b.exit();
+    return b.finish();
+}
+
+} // namespace pfits

@@ -1,0 +1,209 @@
+#include "verify/timing.hh"
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+void
+TimingInvariantChecker::violate(std::string msg)
+{
+    ++numViolations_;
+    if (violations_.size() < kMaxRecorded)
+        violations_.push_back(std::move(msg));
+}
+
+void
+TimingInvariantChecker::onIssue(const IssueEvent &e)
+{
+    if (pending_)
+        violate(detail::format(
+            "instr %llu issued while instr %llu never committed",
+            static_cast<unsigned long long>(e.index),
+            static_cast<unsigned long long>(issue_.index)));
+
+    // In-order issue: cycles never move backwards.
+    if (e.cycle < lastIssueCycle_)
+        violate(detail::format(
+            "instr %llu issue cycle %llu < previous issue %llu",
+            static_cast<unsigned long long>(e.index),
+            static_cast<unsigned long long>(e.cycle),
+            static_cast<unsigned long long>(lastIssueCycle_)));
+
+    if (e.stallCycles != e.cycle - lastIssueCycle_)
+        violate(detail::format(
+            "instr %llu stallCycles %llu != cycle delta %llu",
+            static_cast<unsigned long long>(e.index),
+            static_cast<unsigned long long>(e.stallCycles),
+            static_cast<unsigned long long>(e.cycle -
+                                            lastIssueCycle_)));
+
+    // Issue-group accounting: a new cycle opens a new group; within a
+    // group, slots number up contiguously and never exceed the width.
+    if (e.cycle != groupCycle_ || committed_ == 0) {
+        groupCycle_ = e.cycle;
+        slotsUsed_ = 0;
+        memUsed_ = false;
+        mulUsed_ = false;
+    }
+    if (e.slot != slotsUsed_)
+        violate(detail::format(
+            "instr %llu slot %u != expected slot %u in cycle %llu",
+            static_cast<unsigned long long>(e.index), e.slot,
+            slotsUsed_, static_cast<unsigned long long>(e.cycle)));
+    ++slotsUsed_;
+    if (slotsUsed_ > issueWidth_)
+        violate(detail::format(
+            "cycle %llu issued %u instructions (width %u)",
+            static_cast<unsigned long long>(e.cycle), slotsUsed_,
+            issueWidth_));
+
+    pending_ = true;
+    issue_ = e;
+    pendingMisses_ = 0;
+    lastIssueCycle_ = e.cycle;
+}
+
+void
+TimingInvariantChecker::onDataAccess(const DataAccessEvent &e)
+{
+    if (pending_ && e.index == issue_.index && !e.cache.hit)
+        ++pendingMisses_;
+}
+
+void
+TimingInvariantChecker::onCommit(const CommitEvent &e)
+{
+    if (!pending_ || e.index != issue_.index) {
+        violate(detail::format(
+            "instr %llu committed without a matching issue",
+            static_cast<unsigned long long>(e.index)));
+        return;
+    }
+    pending_ = false;
+    ++committed_;
+
+    const uint64_t cycle = e.cycle;
+    if (cycle != issue_.cycle)
+        violate(detail::format(
+            "instr %llu commit cycle %llu != issue cycle %llu",
+            static_cast<unsigned long long>(e.index),
+            static_cast<unsigned long long>(cycle),
+            static_cast<unsigned long long>(issue_.cycle)));
+
+    // No result consumed before its producer made it ready. The source
+    // mask covers the registers and — for conditional and
+    // carry-consuming ops — the NZCV flags.
+    for (uint32_t m = e.uop->readRegMask(); m != 0; m &= m - 1) {
+        unsigned reg = 0;
+        while (!((m >> reg) & 1u))
+            ++reg;
+        if (cycle < regReady_[reg])
+            violate(detail::format(
+                "instr %llu (%s) issued at cycle %llu but %s is not "
+                "ready until cycle %llu",
+                static_cast<unsigned long long>(e.index),
+                disassemble(*e.uop).c_str(),
+                static_cast<unsigned long long>(cycle),
+                reg == kFlagsBit
+                    ? "NZCV"
+                    : detail::format("r%u", reg).c_str(),
+                static_cast<unsigned long long>(regReady_[reg])));
+    }
+
+    const ExecInfo &info = *e.info;
+
+    // Structural ports: one memory op and one multiply/divide per
+    // issue group (annulled instructions claim neither).
+    if (info.executed && (info.isLoad || info.isStore)) {
+        if (memUsed_)
+            violate(detail::format(
+                "cycle %llu issued two memory ops",
+                static_cast<unsigned long long>(cycle)));
+        memUsed_ = true;
+    }
+    if (info.executed && info.isMulDiv) {
+        if (mulUsed_)
+            violate(detail::format(
+                "cycle %llu issued two multiply/divide ops",
+                static_cast<unsigned long long>(cycle)));
+        mulUsed_ = true;
+    }
+
+    // Producer model: the functional unit delivers at issue + 1 +
+    // extraLatency, every blocking D-cache miss adds its penalty, and
+    // loads add the load-use bubble. S-forms deliver the flags with
+    // the result — not a cycle after issue.
+    uint64_t result_ready = cycle + 1 + info.extraLatency +
+                            static_cast<uint64_t>(pendingMisses_) *
+                                missPenalty_ +
+                            (info.isLoad ? 1 : 0);
+    if (info.executed) {
+        const MicroOp &uop = *e.uop;
+        if (uop.op == Op::LDM) {
+            for (unsigned r = 0; r < NUM_REGS; ++r)
+                if ((uop.regList >> r) & 1u)
+                    regReady_[r] = result_ready;
+            if (info.baseWriteback &&
+                regReady_[uop.rn] < cycle + 1)
+                regReady_[uop.rn] = cycle + 1;
+        } else if (uop.op == Op::UMULL || uop.op == Op::SMULL) {
+            regReady_[uop.rd] = result_ready;
+            regReady_[uop.ra] = result_ready;
+        } else if (info.destReg != 0xff) {
+            regReady_[info.destReg] = result_ready;
+        }
+        if (uop.op == Op::STM && info.baseWriteback &&
+            regReady_[uop.rn] < cycle + 1)
+            regReady_[uop.rn] = cycle + 1;
+        if (uop.setsFlags)
+            regReady_[kFlagsBit] = result_ready;
+    }
+}
+
+void
+TimingInvariantChecker::onRunEnd(RunResult &result)
+{
+    if (pending_)
+        violate(detail::format(
+            "run ended with instr %llu issued but never committed",
+            static_cast<unsigned long long>(issue_.index)));
+
+    if (result.instructions != committed_)
+        violate(detail::format(
+            "run retired %llu instructions but %llu committed",
+            static_cast<unsigned long long>(result.instructions),
+            static_cast<unsigned long long>(committed_)));
+
+    // The final cycle count must cover the schedule (last issue plus
+    // the pipeline drain), which also bounds IPC by the issue width.
+    if (result.cycles != lastIssueCycle_ + 4)
+        violate(detail::format(
+            "run reported %llu cycles; schedule ends at %llu",
+            static_cast<unsigned long long>(result.cycles),
+            static_cast<unsigned long long>(lastIssueCycle_ + 4)));
+    if (result.instructions >
+        result.cycles * static_cast<uint64_t>(issueWidth_))
+        violate(detail::format(
+            "IPC %.3f exceeds the issue width %u", result.ipc(),
+            issueWidth_));
+}
+
+std::string
+TimingInvariantChecker::summary() const
+{
+    if (ok())
+        return detail::format(
+            "%llu instructions checked, no violations",
+            static_cast<unsigned long long>(committed_));
+    std::string s = detail::format(
+        "%llu timing-invariant violations:",
+        static_cast<unsigned long long>(numViolations_));
+    for (const std::string &v : violations_) {
+        s += "\n  ";
+        s += v;
+    }
+    return s;
+}
+
+} // namespace pfits

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The timing-invariant checker: a SimObserver that replays the
+ * Machine's scoreboard contract from the event stream and flags any
+ * cycle assignment that violates it.
+ *
+ * The Machine computes timing analytically (earliest-issue per
+ * instruction, src/sim/machine.cc); this checker re-derives what a
+ * legal in-order schedule must look like from first principles and
+ * verifies every IssueEvent/CommitEvent against it:
+ *
+ *  - issue cycles never decrease (in-order issue);
+ *  - no instruction issues before every source register — and the
+ *    NZCV flags, for conditional and carry-consuming ops — is ready;
+ *    a producer's result becomes ready at
+ *    issue + 1 + extraLatency + missPenalty·(D-cache misses) [+1
+ *    load-use], with S-forms delivering the flags at that same cycle
+ *    (the MULS contract the scoreboard once got wrong);
+ *  - at most issueWidth instructions, one memory op and one
+ *    multiply/divide issue per cycle;
+ *  - IssueEvent bookkeeping is self-consistent (slot numbering,
+ *    stallCycles) and the final cycle count covers the schedule, so
+ *    IPC can never exceed issueWidth.
+ *
+ * Violations are recorded as human-readable strings (bounded; the
+ * total count keeps incrementing) so a failing run can name the exact
+ * instruction and cycle.
+ */
+
+#ifndef POWERFITS_VERIFY_TIMING_HH
+#define POWERFITS_VERIFY_TIMING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "sim/probe.hh"
+
+namespace pfits
+{
+
+/** Scoreboard-replay invariant checker over one Machine::run. */
+class TimingInvariantChecker final : public SimObserver
+{
+  public:
+    /** @param config the core the observed run executes on. */
+    explicit TimingInvariantChecker(const CoreConfig &config)
+        : issueWidth_(config.issueWidth),
+          missPenalty_(config.dcacheMissPenalty)
+    {
+    }
+
+    void onIssue(const IssueEvent &e) override;
+    void onDataAccess(const DataAccessEvent &e) override;
+    void onCommit(const CommitEvent &e) override;
+    void onRunEnd(RunResult &result) override;
+
+    bool ok() const { return numViolations_ == 0; }
+    uint64_t numViolations() const { return numViolations_; }
+
+    /** The first violations, formatted (bounded at kMaxRecorded). */
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+
+    /** One line summarizing the check for a test failure message. */
+    std::string summary() const;
+
+  private:
+    static constexpr size_t kMaxRecorded = 16;
+
+    void violate(std::string msg);
+
+    unsigned issueWidth_;
+    unsigned missPenalty_;
+
+    // Shadow scoreboard: cycle each register (index kFlagsBit = NZCV)
+    // becomes readable.
+    uint64_t regReady_[NUM_REGS + 1] = {};
+
+    // The in-flight instruction between its IssueEvent and its
+    // CommitEvent (the Machine emits them strictly paired).
+    bool pending_ = false;
+    IssueEvent issue_{};
+    unsigned pendingMisses_ = 0;
+
+    // Per-cycle structural usage.
+    uint64_t groupCycle_ = 0;
+    unsigned slotsUsed_ = 0;
+    bool memUsed_ = false;
+    bool mulUsed_ = false;
+
+    uint64_t lastIssueCycle_ = 0;
+    uint64_t committed_ = 0;
+    uint64_t numViolations_ = 0;
+    std::vector<std::string> violations_;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_VERIFY_TIMING_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * pfits_verify — the differential verification driver check.sh runs.
+ *
+ *   pfits_verify [--seed N] [--count N] [--jobs N]
+ *                [--no-kernels] [--no-timing] [--no-random]
+ *
+ * Runs the differential suite (21 MiBench kernels + N seeded random
+ * programs across golden/arm32/packed/fits16) and the
+ * timing-invariant sweep (21 benchmarks x the paper's 4 configs).
+ * The base seed also comes from PFITS_VERIFY_SEED, the worker count
+ * from --jobs / PFITS_JOBS. On a mismatch the failing program's seed
+ * and disassembly are printed so the case replays with
+ * `pfits_verify --seed <seed> --count 1 --no-kernels --no-timing`.
+ * Exit status: 0 all checks passed, 1 otherwise.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "exp/parallel.hh"
+#include "verify/differential.hh"
+#include "verify/randprog.hh"
+
+namespace
+{
+
+uint64_t
+parseU64(const char *text, const char *flag)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (!end || *end != '\0') {
+        std::cerr << "pfits_verify: bad value for " << flag << ": '"
+                  << text << "'\n";
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfits;
+
+    DiffOptions opts;
+    bool run_random = true;
+    bool run_timing = true;
+
+    if (const char *env = std::getenv("PFITS_VERIFY_SEED"))
+        opts.seed = parseU64(env, "PFITS_VERIFY_SEED");
+    opts.jobs = parseJobsFlag(argc, argv);
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "pfits_verify: " << arg
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(arg, "--seed")) {
+            opts.seed = parseU64(value(), "--seed");
+        } else if (!std::strcmp(arg, "--count")) {
+            opts.count =
+                static_cast<unsigned>(parseU64(value(), "--count"));
+        } else if (!std::strcmp(arg, "--jobs")) {
+            ++i; // consumed by parseJobsFlag
+        } else if (!std::strncmp(arg, "--jobs=", 7) ||
+                   !std::strncmp(arg, "-j", 2)) {
+            // consumed by parseJobsFlag
+        } else if (!std::strcmp(arg, "--no-kernels")) {
+            opts.kernels = false;
+        } else if (!std::strcmp(arg, "--no-random")) {
+            run_random = false;
+        } else if (!std::strcmp(arg, "--no-timing")) {
+            run_timing = false;
+        } else if (!std::strcmp(arg, "--help")) {
+            std::cout
+                << "usage: pfits_verify [--seed N] [--count N] "
+                   "[--jobs N] [--no-kernels] [--no-random] "
+                   "[--no-timing]\n";
+            return 0;
+        } else {
+            std::cerr << "pfits_verify: unknown flag '" << arg
+                      << "'\n";
+            return 2;
+        }
+    }
+    if (!run_random)
+        opts.count = 0;
+
+    int rc = 0;
+    try {
+        DiffSummary diff = runDifferentialSuite(opts, &std::cout);
+        if (!diff.ok()) {
+            rc = 1;
+            // Replay aid: the full listing of every failing random
+            // program (kernel listings run to pages; the name is
+            // enough to rebuild those).
+            for (const DiffReport &rep : diff.failed) {
+                if (rep.seed == 0)
+                    continue;
+                std::cout << "--- disassembly of " << rep.program
+                          << " (seed " << rep.seed << ") ---\n"
+                          << randomVerifyProgram(rep.seed).listing();
+            }
+        }
+
+        if (run_timing) {
+            auto fails =
+                runTimingInvariantSweep(opts.jobs, &std::cout);
+            if (!fails.empty())
+                rc = 1;
+        }
+    } catch (const FatalError &e) {
+        std::cerr << "pfits_verify: fatal: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::cout << (rc == 0 ? "pfits_verify: OK\n"
+                          : "pfits_verify: FAILED\n");
+    return rc;
+}

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "assembler/assembler.hh"
 #include "assembler/builder.hh"
 #include "common/logging.hh"
 #include "exp/figures.hh"
@@ -11,7 +15,11 @@
 #include "fits/profile.hh"
 #include "fits/synth.hh"
 #include "fits/translate.hh"
+#include "sim/executor.hh"
 #include "sim/machine.hh"
+#include "sim/probe.hh"
+#include "verify/golden.hh"
+#include "verify/timing.hh"
 
 namespace pfits
 {
@@ -196,6 +204,160 @@ TEST(FigureConsistency, SavingsAreEnergyRatios)
     double manual = 1.0 - bench.of(ConfigId::FITS8).icache.totalJ() /
                               bench.of(ConfigId::ARM16).icache.totalJ();
     EXPECT_DOUBLE_EQ(bench.saving(ConfigId::FITS8, C::TOTAL), manual);
+}
+
+// --- directed regressions for the verification-harness bugfixes ----------
+
+/** Records every IssueEvent of one run. */
+struct IssueCollector final : public SimObserver
+{
+    std::vector<IssueEvent> issues;
+    void onIssue(const IssueEvent &e) override { issues.push_back(e); }
+
+    uint64_t
+    cycleOf(uint64_t index) const
+    {
+        for (const IssueEvent &e : issues)
+            if (e.index == index)
+                return e.cycle;
+        ADD_FAILURE() << "no issue event for index " << index;
+        return 0;
+    }
+};
+
+TEST(ScoreboardRegression, MulsDeliversFlagsWithResult)
+{
+    // MULS has extraLatency 2, so its result — and, for an S-form, the
+    // NZCV flags — is ready at issue + 3. The scoreboard used to mark
+    // the flags ready at issue + 1, letting a dependent conditional
+    // issue two cycles early.
+    ProgramBuilder b("mulsflags");
+    b.movi(R1, 7);
+    b.movi(R2, 9);
+    size_t muls_index = b.size();
+    b.mul(R3, R1, R2, Cond::AL, /*s=*/true);
+    size_t cond_index = b.size();
+    b.addi(R4, R4, 1, Cond::NE); // consumes only the MULS flags
+    b.exit();
+    Program prog = b.finish();
+
+    ArmFrontEnd arm(prog);
+    CoreConfig core;
+    Machine machine(arm, core);
+    IssueCollector collector;
+    TimingInvariantChecker checker(core);
+    ObserverList observers;
+    observers.add(&collector);
+    observers.add(&checker);
+    RunResult rr = machine.run(nullptr, &observers);
+
+    ASSERT_EQ(rr.outcome, RunOutcome::Completed);
+    EXPECT_EQ(rr.finalState.regs[R3], 63u);
+    EXPECT_EQ(rr.finalState.regs[R4], 1u); // 63 != 0 → NE executes
+    EXPECT_TRUE(checker.ok()) << checker.summary();
+
+    uint64_t muls_cycle = collector.cycleOf(muls_index);
+    uint64_t cond_cycle = collector.cycleOf(cond_index);
+    EXPECT_GE(cond_cycle, muls_cycle + 3)
+        << "conditional consumed NZCV before the MULS produced it";
+}
+
+TEST(ExecutorRegression, StmBaseInListStoresOriginalBase)
+{
+    // STMDB with the base register in the register list must store the
+    // *original* base value and suppress writeback. The executor used
+    // to write the decremented base back unconditionally.
+    ProgramBuilder b("stmbase");
+    b.zeros("buf", 64);
+    b.lea(R1, "buf");
+    b.addi(R1, R1, 32);
+    b.movi(R0, 0x11111111u);
+    b.movi(R2, 0x22222222u);
+    MicroOp stm;
+    stm.op = Op::STM;
+    stm.rn = R1;
+    stm.regList = regMask({R0, R1, R2});
+    stm.ldmIsPop = false;
+    setQuiet(true); // the builder warns about base-in-list STM
+    b.emit(stm);
+    setQuiet(false);
+    b.exit();
+    Program prog = b.finish();
+    uint32_t base = prog.symbol("buf") + 32;
+
+    ArmFrontEnd arm(prog);
+    Machine machine(arm, CoreConfig{});
+    RunResult rr = machine.run();
+    ASSERT_EQ(rr.outcome, RunOutcome::Completed);
+
+    // Decrement-before block {r0, r1, r2}: ascending at base-12..base-4.
+    EXPECT_EQ(machine.mem().read32(base - 12), 0x11111111u);
+    EXPECT_EQ(machine.mem().read32(base - 8), base); // original base
+    EXPECT_EQ(machine.mem().read32(base - 4), 0x22222222u);
+    EXPECT_EQ(rr.finalState.regs[R1], base); // writeback suppressed
+
+    // The golden model implements the same contract independently.
+    GoldenInterpreter golden(arm);
+    GoldenResult g = golden.run();
+    ASSERT_EQ(g.outcome, RunOutcome::Completed);
+    EXPECT_EQ(g.finalState.regs[R1], base);
+    EXPECT_EQ(golden.mem().read32(base - 8), base);
+}
+
+TEST(ExecutorRegression, LdmBaseInListLoadedValueWins)
+{
+    ProgramBuilder b("ldmbase");
+    b.words("buf", {10, 20, 30});
+    b.lea(R1, "buf");
+    MicroOp ldm;
+    ldm.op = Op::LDM;
+    ldm.rn = R1;
+    ldm.regList = regMask({R0, R1, R2});
+    ldm.ldmIsPop = false;
+    b.emit(ldm);
+    b.exit();
+    Program prog = b.finish();
+
+    ArmFrontEnd arm(prog);
+    RunResult rr = Machine(arm, CoreConfig{}).run();
+    ASSERT_EQ(rr.outcome, RunOutcome::Completed);
+    EXPECT_EQ(rr.finalState.regs[R0], 10u);
+    EXPECT_EQ(rr.finalState.regs[R1], 20u); // loaded value, not base+12
+    EXPECT_EQ(rr.finalState.regs[R2], 30u);
+
+    GoldenResult g = GoldenInterpreter(arm).run();
+    ASSERT_EQ(g.outcome, RunOutcome::Completed);
+    EXPECT_EQ(g.finalState.regs[R1], 20u);
+}
+
+TEST(UnpredictableRegression, LongMulEqualDestsRejectedEverywhere)
+{
+    // UMULL/SMULL with rdLo == rdHi is UNPREDICTABLE: the builder and
+    // the assembler reject it statically, and the executor traps when
+    // a hand-built stream smuggles one through anyway.
+    ProgramBuilder b("badumull");
+    EXPECT_THROW(b.umull(R3, R3, R1, R2), FatalError);
+    ProgramBuilder b2("badsmull");
+    EXPECT_THROW(b2.smull(R5, R5, R1, R2), FatalError);
+
+    EXPECT_THROW(assemble("badsrc", "umull r3, r3, r1, r2\n"),
+                 FatalError);
+    EXPECT_THROW(assemble("badsrc2", "smull r6, r6, r0, r2\n"),
+                 FatalError);
+
+    MicroOp uop;
+    uop.op = Op::UMULL;
+    uop.rd = R3; // rdHi
+    uop.ra = R3; // rdLo
+    uop.rm = R1;
+    uop.rs = R2;
+    CpuState state;
+    Memory mem;
+    IoSinks io;
+    ExecInfo info;
+    AddrCodec codec;
+    EXPECT_THROW(execute(uop, 0, codec, state, mem, io, info),
+                 TrapError);
 }
 
 } // namespace
