@@ -19,6 +19,14 @@
  *                     provenance, params, simulated content hashes,
  *                     result tables, engine self-metrics, wall/CPU
  *                     time (docs/OBSERVABILITY.md)
+ *   --daemon[=SOCK]   resolve simulations through a pfitsd daemon
+ *                     (docs/SERVICE.md); bare --daemon uses
+ *                     $PFITS_DAEMON or "pfitsd.sock". Setting
+ *                     PFITS_DAEMON alone also enables it. The daemon
+ *                     is an accelerator only: if it is unreachable or
+ *                     misbehaves the bench silently simulates locally
+ *                     (svc.fallbacks counts this) and output is
+ *                     byte-identical either way.
  */
 
 #ifndef POWERFITS_BENCH_FIG_UTIL_HH
@@ -27,18 +35,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
-#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/fileio.hh"
 #include "common/table.hh"
 #include "exp/figures.hh"
 #include "exp/simcache.hh"
+#include "exp/simservice.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
+#include "svc/client.hh"
 
 namespace pfits::benchutil
 {
@@ -51,6 +62,9 @@ struct BenchOptions
     bool traceOnTrap = false;
     std::string traceDir = ".";
     std::string jsonPath; //!< empty = no manifest
+
+    //!< pfitsd socket to resolve simulations through; empty = local
+    std::string daemonSocket;
 };
 
 inline void
@@ -67,7 +81,11 @@ printUsage(const char *tool, std::ostream &os)
           "  --trace-dir DIR  directory for trace JSONL files "
           "(default .)\n"
           "  --json PATH      write a run manifest "
-          "(pfits-manifest-v1)\n";
+          "(pfits-manifest-v1)\n"
+          "  --daemon[=SOCK]  resolve simulations through a pfitsd "
+          "daemon\n"
+          "                   (default $PFITS_DAEMON or "
+          "pfitsd.sock)\n";
 }
 
 /**
@@ -116,6 +134,14 @@ parseArgs(int argc, char **argv, const char *tool)
             opts.jsonPath = wantValue(i, arg);
         } else if (arg.rfind("--json=", 0) == 0) {
             opts.jsonPath = std::string(arg.substr(7));
+        } else if (arg == "--daemon") {
+            const char *env = std::getenv("PFITS_DAEMON");
+            opts.daemonSocket =
+                env && *env ? env : "pfitsd.sock";
+        } else if (arg.rfind("--daemon=", 0) == 0) {
+            opts.daemonSocket = std::string(arg.substr(9));
+            if (opts.daemonSocket.empty())
+                reject("--daemon= wants a socket path");
         } else if (arg == "--jobs") {
             opts.jobs = parseCount(wantValue(i, arg));
         } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -128,6 +154,14 @@ parseArgs(int argc, char **argv, const char *tool)
         } else {
             reject("unknown flag '" + std::string(arg) + "'");
         }
+    }
+    if (opts.daemonSocket.empty()) {
+        // PFITS_DAEMON alone opts in, so a whole ctest/CI invocation
+        // can be pointed at one daemon without touching any command
+        // line.
+        const char *env = std::getenv("PFITS_DAEMON");
+        if (env && *env)
+            opts.daemonSocket = env;
     }
     return opts;
 }
@@ -170,11 +204,21 @@ class BenchHarness
     {
         if (wantManifest())
             previous_ = MetricRegistry::install(&registry_);
+        if (!opts_.daemonSocket.empty()) {
+            SvcClientConfig cfg = SvcClientConfig::fromEnv();
+            cfg.socketPath = opts_.daemonSocket;
+            svcClient_ = std::make_unique<SvcClient>(cfg);
+            prevService_ = installSimService(svcClient_.get());
+        }
     }
 
     ~BenchHarness()
     {
-        // finish() normally restores this; cover early-exit paths.
+        // finish() normally restores these; cover early-exit paths.
+        if (svcClient_) {
+            installSimService(prevService_);
+            svcClient_.reset();
+        }
         if (wantManifest() && !finished_)
             MetricRegistry::install(previous_);
     }
@@ -238,6 +282,14 @@ class BenchHarness
     finish()
     {
         finished_ = true;
+        if (svcClient_) {
+            // Snapshot the daemon's store gauges while our registry
+            // is still installed, then detach the service.
+            if (wantManifest())
+                svcClient_->recordServerStats();
+            installSimService(prevService_);
+            svcClient_.reset();
+        }
         if (!wantManifest())
             return 0;
         MetricRegistry::install(previous_);
@@ -256,16 +308,20 @@ class BenchHarness
             static_cast<double>(monotonicNs() - startNs_) / 1e6;
         manifest.cpuMs = processCpuMs() - startCpuMs_;
 
-        std::ofstream os(opts_.jsonPath);
-        if (!os) {
-            std::fprintf(stderr, "%s: cannot write manifest '%s'\n",
-                         tool_.c_str(), opts_.jsonPath.c_str());
-            return 1;
-        }
+        // Atomic publish: a reader (or a crash mid-write) never sees
+        // a truncated manifest, only the old file or the new one.
+        std::ostringstream os;
         manifest.write(os);
         os << "\n";
-        os.flush();
-        return os ? 0 : 1;
+        std::string err;
+        if (!writeFileAtomic(opts_.jsonPath, os.str(), &err)) {
+            std::fprintf(stderr,
+                         "%s: cannot write manifest '%s': %s\n",
+                         tool_.c_str(), opts_.jsonPath.c_str(),
+                         err.c_str());
+            return 1;
+        }
+        return 0;
     }
 
   private:
@@ -276,6 +332,8 @@ class BenchHarness
     double startCpuMs_;
     MetricRegistry registry_;
     MetricRegistry *previous_ = nullptr;
+    std::unique_ptr<SvcClient> svcClient_;
+    SimService *prevService_ = nullptr;
     ManifestParams manifestParams_;
     std::vector<std::unique_ptr<Table>> tables_;
     bool finished_ = false;

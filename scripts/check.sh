@@ -44,6 +44,12 @@ echo "=== golden snapshots ==="
 echo "=== bench regression (manifests) ==="
 "$repo/scripts/bench_regress.sh" "$repo/build"
 
+# pfitsd crash/corruption fuzz: SIGKILL the daemon mid-write, truncate
+# and bit-flip store entries, restart, and require quarantine plus
+# results byte-identical to daemon-less runs (see docs/SERVICE.md).
+echo "=== pfitsd crash fuzz ==="
+"$repo/scripts/svc_crash_fuzz.sh" "$repo/build"
+
 # The sanitized pass pins PFITS_JOBS=4 so the experiment engine's
 # thread pool, SimCache and Runner run genuinely concurrent even on
 # small CI hosts — races surface under TSan-less ASan as heap errors.
@@ -53,6 +59,11 @@ PFITS_JOBS=4 run_suite "$repo/build-asan" -DASAN=ON
 # the differential runner themselves get leak/overflow coverage.
 echo "=== differential verification (ASan shard) ==="
 PFITS_JOBS=4 "$repo/build-asan/src/verify/pfits_verify" --count 50
+
+# One crash-fuzz pass with the daemon and clients under ASan: the
+# kill/restart/quarantine paths get leak and overflow coverage.
+echo "=== pfitsd crash fuzz (ASan) ==="
+PFITS_JOBS=4 "$repo/scripts/svc_crash_fuzz.sh" "$repo/build-asan"
 
 PFITS_JOBS=4 run_suite "$repo/build-ubsan" -DUBSAN=ON
 

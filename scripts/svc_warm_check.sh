@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# ctest gate for the pfitsd warm-store contract (docs/SERVICE.md):
+#  1. a bench sweep through a fresh daemon produces the same tables as
+#     a daemon-less run (pfits_report diff --ignore-time),
+#  2. a second identical sweep performs ZERO fresh simulations — every
+#     request is answered from the daemon's store (svc.store.hits ==
+#     svc.requests, simcache.misses == 0 in the manifest),
+#  3. with the daemon stopped, --daemon runs still exit 0 and count
+#     their degradation (svc.fallbacks > 0).
+# Registered in tests/CMakeLists.txt as "svc_warm_check".
+#
+# Usage: svc_warm_check.sh <pfitsd> <bench-binary> <pfits_report>
+set -euo pipefail
+
+if [[ $# -ne 3 ]]; then
+    echo "usage: $0 <pfitsd> <bench-binary> <pfits_report>" >&2
+    exit 2
+fi
+
+pfitsd="$1"
+bench="$2"
+report="$3"
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null || true
+    [[ -n "$daemon_pid" ]] && wait "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+sock="$workdir/pfitsd.sock"
+store="$workdir/store"
+
+# A bench process must not pick up an ambient daemon configuration.
+unset PFITS_DAEMON PFITS_DAEMON_TIMEOUT_MS PFITS_DAEMON_RETRIES
+
+echo "warm: daemon-less reference run"
+mkdir -p "$workdir/local"
+"$bench" --json "$workdir/local/run.json" > /dev/null
+
+echo "warm: starting pfitsd"
+"$pfitsd" --socket "$sock" --store "$store" > "$workdir/pfitsd.log" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [[ -S "$sock" ]] && break
+    kill -0 "$daemon_pid" 2>/dev/null || {
+        echo "warm: FAILED — pfitsd died during startup" >&2
+        cat "$workdir/pfitsd.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[[ -S "$sock" ]] || { echo "warm: FAILED — no socket" >&2; exit 1; }
+
+echo "warm: first sweep (populates the store)"
+mkdir -p "$workdir/first"
+"$bench" --daemon="$sock" --json "$workdir/first/run.json" > /dev/null
+
+echo "warm: second sweep (must be served entirely from the store)"
+mkdir -p "$workdir/second"
+"$bench" --daemon="$sock" --json "$workdir/second/run.json" > /dev/null
+
+python3 - "$workdir/second/run.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))["metrics"]
+requests = m.get("svc.requests", 0)
+hits = m.get("svc.store.hits", 0)
+misses = m.get("simcache.misses", 0)
+fallbacks = m.get("svc.fallbacks", 0)
+print(f"warm: second sweep: requests={requests} store.hits={hits} "
+      f"simcache.misses={misses} fallbacks={fallbacks}")
+assert requests > 0, "second sweep made no daemon requests"
+assert hits == requests, "a warm store must answer every request"
+assert misses == 0, "a warm store must avoid local simulation"
+assert fallbacks == 0, "no degradation expected with a live daemon"
+EOF
+
+echo "warm: daemon results must equal daemon-less results"
+for d in local second; do
+    "$report" aggregate "$workdir/$d" -o "$workdir/$d-suite.json"
+done
+"$report" diff --ignore-time \
+    "$workdir/local-suite.json" "$workdir/second-suite.json"
+
+echo "warm: stopping pfitsd; --daemon must degrade, not fail"
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+mkdir -p "$workdir/down"
+PFITS_DAEMON_TIMEOUT_MS=2000 PFITS_DAEMON_RETRIES=1 \
+    "$bench" --daemon="$sock" --json "$workdir/down/run.json" \
+    > /dev/null
+
+python3 - "$workdir/down/run.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))["metrics"]
+fallbacks = m.get("svc.fallbacks", 0)
+print(f"warm: dead daemon: fallbacks={fallbacks}")
+assert fallbacks > 0, "a dead daemon must be counted as fallbacks"
+EOF
+
+echo "warm: dead-daemon results must also match"
+"$report" aggregate "$workdir/down" -o "$workdir/down-suite.json"
+"$report" diff --ignore-time \
+    "$workdir/local-suite.json" "$workdir/down-suite.json"
+
+echo "warm: ok"

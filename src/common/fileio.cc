@@ -1,0 +1,136 @@
+#include "common/fileio.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+void
+setErr(std::string *err, const char *what, const std::string &path)
+{
+    if (err)
+        *err = detail::format("%s '%s': %s", what, path.c_str(),
+                              std::strerror(errno));
+}
+
+/** Directory part of @p path ("." when it has none). */
+std::string
+dirOf(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+bool
+writeAll(int fd, const char *data, size_t n, std::string *err,
+         const std::string &path)
+{
+    size_t done = 0;
+    while (done < n) {
+        ssize_t w = ::write(fd, data + done, n - done);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            setErr(err, "cannot write", path);
+            return false;
+        }
+        done += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents,
+                std::string *err)
+{
+    // A per-process sequence number keeps concurrent writers in one
+    // process from colliding on the temp name; the pid separates
+    // processes sharing a directory (several clients PUTting into one
+    // store through their own daemons, say).
+    static std::atomic<uint64_t> seq{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) {
+        setErr(err, "cannot create", tmp);
+        return false;
+    }
+    if (!writeAll(fd, contents.data(), contents.size(), err, tmp) ||
+        ::fsync(fd) != 0) {
+        if (err && err->empty())
+            setErr(err, "cannot fsync", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        setErr(err, "cannot close", tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setErr(err, "cannot rename into", path);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // Persist the rename itself: fsync the directory entry. Failure
+    // here is reported but the new contents are already visible.
+    const std::string dir = dirOf(path);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+        if (::fsync(dfd) != 0)
+            setErr(err, "cannot fsync directory", dir);
+        ::close(dfd);
+    }
+    return true;
+}
+
+bool
+readFileToString(const std::string &path, std::string *out,
+                 std::string *err)
+{
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        setErr(err, "cannot open", path);
+        return false;
+    }
+    out->clear();
+    char buf[1 << 16];
+    for (;;) {
+        ssize_t r = ::read(fd, buf, sizeof(buf));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            setErr(err, "cannot read", path);
+            ::close(fd);
+            return false;
+        }
+        if (r == 0)
+            break;
+        out->append(buf, static_cast<size_t>(r));
+    }
+    ::close(fd);
+    return true;
+}
+
+} // namespace pfits

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Crash-safe file helpers shared by the manifest writers and the
+ * pfitsd result store.
+ *
+ * writeFileAtomic() gives the repo one durable-publish primitive:
+ * readers of a path either see the complete old contents or the
+ * complete new contents, never a torn intermediate — even across
+ * SIGKILL or power loss mid-write. The implementation is the classic
+ * temp file + fsync + rename + directory fsync sequence; the temp file
+ * lives next to the target so the rename never crosses filesystems.
+ */
+
+#ifndef POWERFITS_COMMON_FILEIO_HH
+#define POWERFITS_COMMON_FILEIO_HH
+
+#include <string>
+
+namespace pfits
+{
+
+/**
+ * Atomically replace the contents of @p path with @p contents.
+ *
+ * Writes to a uniquely named sibling temp file ("<path>.tmp.<pid>.<n>"),
+ * fsyncs it, renames it over @p path, and fsyncs the containing
+ * directory so the rename itself survives a crash. On any failure the
+ * temp file is unlinked and @p path is left untouched.
+ *
+ * @param err when non-null, receives a description of the failure.
+ * @return true on success.
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &contents,
+                     std::string *err = nullptr);
+
+/**
+ * Read the whole of @p path into @p out.
+ * @return true on success; on failure @p err (when non-null) says why.
+ */
+bool readFileToString(const std::string &path, std::string *out,
+                      std::string *err = nullptr);
+
+} // namespace pfits
+
+#endif // POWERFITS_COMMON_FILEIO_HH

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "exp/simcache.hh"
+#include "exp/simservice.hh"
 #include "obs/metrics.hh"
 #include "fits/profile.hh"
 #include "fits/serialize.hh"
@@ -125,8 +126,9 @@ Runner::all()
     return out;
 }
 
-Runner::Prepared
-Runner::prepare(const std::string &bench_name) const
+PreparedBench
+prepareBenchmark(const std::string &bench_name,
+                 const ExperimentParams &params)
 {
     // Front-end phase: workload build + profile + ISA synthesis +
     // translation, timed per benchmark.
@@ -136,7 +138,7 @@ Runner::prepare(const std::string &bench_name) const
     const mibench::BenchInfo &info = mibench::findBench(bench_name);
     mibench::Workload workload = info.build();
 
-    Prepared prep;
+    PreparedBench prep;
     prep.result = std::make_unique<BenchResult>();
     prep.result->name = bench_name;
     prep.expected = workload.expected;
@@ -145,7 +147,7 @@ Runner::prepare(const std::string &bench_name) const
         thumbEstimate(workload.program).codeBytes();
 
     ProfileInfo profile = profileProgram(workload.program);
-    FitsIsa isa = synthesize(profile, params_.synth, bench_name);
+    FitsIsa isa = synthesize(profile, params.synth, bench_name);
     FitsProgram fits_prog =
         translateProgram(workload.program, isa, profile);
     prep.result->fitsBytes = fits_prog.codeBytes();
@@ -157,6 +159,12 @@ Runner::prepare(const std::string &bench_name) const
         std::make_unique<ArmFrontEnd>(std::move(workload.program));
     prep.fitsFe = std::make_unique<FitsFrontEnd>(std::move(fits_prog));
     return prep;
+}
+
+Runner::Prepared
+Runner::prepare(const std::string &bench_name) const
+{
+    return prepareBenchmark(bench_name, params_);
 }
 
 ConfigResult
@@ -182,11 +190,19 @@ Runner::simulateConfig(const Prepared &prep, ConfigId id) const
                   (static_cast<uint64_t>(id) << 56);
     }
 
-    // The engine's memoized simulate: retry-with-reload under faults
-    // happens inside the cached computation (see exp/simcache.hh).
-    SimResult sim = SimCache::instance().simulate(
-        fe, core, fp, faulty ? params_.faultRetries : 0,
-        params_.observers);
+    // Through the installed simulation service: the SimCache-backed
+    // local default, or the pfitsd client when a daemon is wired in
+    // (exp/simservice.hh). Retry-with-reload under faults happens
+    // inside the cached computation either way (see exp/simcache.hh).
+    SimRequest sreq;
+    sreq.fe = &fe;
+    sreq.core = &core;
+    sreq.faults = fp;
+    sreq.maxRetries = faulty ? params_.faultRetries : 0;
+    sreq.spec = params_.observers;
+    sreq.bench = bench_name;
+    sreq.isFits = is_fits;
+    SimResult sim = currentSimService()->simulate(sreq);
     cfg.run = std::move(sim.run);
     cfg.faultRetries = sim.faultRetries;
     cfg.intervals = std::move(sim.intervals);

@@ -145,6 +145,25 @@ struct ExperimentParams
 };
 
 /**
+ * A suite benchmark after the CPU-bound front-end work (workload
+ * build, profile, ISA synthesis, translation), ready to simulate.
+ * Produced by prepareBenchmark(); the Runner consumes these per sweep,
+ * and pfitsd rebuilds request programs through the same function so a
+ * daemon-side simulation is content-identical to a client-side one.
+ */
+struct PreparedBench
+{
+    std::unique_ptr<BenchResult> result; //!< static fields filled
+    uint32_t expected = 0;               //!< golden output checksum
+    std::unique_ptr<ArmFrontEnd> armFe;
+    std::unique_ptr<FitsFrontEnd> fitsFe;
+};
+
+/** Build/profile/synthesize/translate @p bench_name under @p params. */
+PreparedBench prepareBenchmark(const std::string &bench_name,
+                               const ExperimentParams &params);
+
+/**
  * Computes and memoizes per-benchmark results through the parallel
  * experiment engine.
  *
@@ -176,14 +195,7 @@ class Runner
     ThreadPool &pool();
 
   private:
-    /** A benchmark after the CPU-bound front-end work, pre-simulation. */
-    struct Prepared
-    {
-        std::unique_ptr<BenchResult> result; //!< static fields filled
-        uint32_t expected = 0;               //!< golden checksum
-        std::unique_ptr<ArmFrontEnd> armFe;
-        std::unique_ptr<FitsFrontEnd> fitsFe;
-    };
+    using Prepared = PreparedBench;
 
     Prepared prepare(const std::string &bench_name) const;
     ConfigResult simulateConfig(const Prepared &prep, ConfigId id) const;

@@ -95,6 +95,7 @@ struct ThreadPool::Batch
     size_t unfinished = 0;
     size_t firstErrorIndex = 0;
     std::exception_ptr firstError;
+    std::vector<JobFailure> failures; //!< every throwing job, unsorted
 
     /**
      * Claim and execute jobs until none are left. fn is only invoked
@@ -126,17 +127,25 @@ struct ThreadPool::Batch
             }
             uint64_t t0 = busy ? monotonicNs() : 0;
             std::exception_ptr error;
+            std::string message;
             try {
                 (*fn)(i);
+            } catch (const std::exception &e) {
+                error = std::current_exception();
+                message = e.what();
             } catch (...) {
                 error = std::current_exception();
+                message = "unknown exception";
             }
             if (busy)
                 busy->add((monotonicNs() - t0) / 1000);
             std::lock_guard<std::mutex> lock(mu);
-            if (error && (!firstError || i < firstErrorIndex)) {
-                firstError = error;
-                firstErrorIndex = i;
+            if (error) {
+                if (!firstError || i < firstErrorIndex) {
+                    firstError = error;
+                    firstErrorIndex = i;
+                }
+                failures.push_back({i, std::move(message)});
             }
             if (--unfinished == 0)
                 done_cv.notify_all();
@@ -188,8 +197,30 @@ ThreadPool::workerLoop(unsigned worker)
 void
 ThreadPool::run(size_t n, const std::function<void(size_t)> &fn)
 {
+    std::shared_ptr<Batch> batch = runBatch(n, fn);
+    if (batch && batch->firstError)
+        std::rethrow_exception(batch->firstError);
+}
+
+std::vector<JobFailure>
+ThreadPool::runCollect(size_t n, const std::function<void(size_t)> &fn)
+{
+    std::shared_ptr<Batch> batch = runBatch(n, fn);
+    if (!batch)
+        return {};
+    std::vector<JobFailure> failures = std::move(batch->failures);
+    std::sort(failures.begin(), failures.end(),
+              [](const JobFailure &a, const JobFailure &b) {
+                  return a.index < b.index;
+              });
+    return failures;
+}
+
+std::shared_ptr<ThreadPool::Batch>
+ThreadPool::runBatch(size_t n, const std::function<void(size_t)> &fn)
+{
     if (n == 0)
-        return;
+        return nullptr;
     std::lock_guard<std::mutex> batch_lock(run_mu_);
     if (MetricRegistry *metrics = MetricRegistry::current()) {
         metrics->counter("pool.batches").add();
@@ -215,8 +246,7 @@ ThreadPool::run(size_t n, const std::function<void(size_t)> &fn)
         std::lock_guard<std::mutex> lock(mu_);
         current_.reset();
     }
-    if (batch->firstError)
-        std::rethrow_exception(batch->firstError);
+    return batch;
 }
 
 ThreadPool &

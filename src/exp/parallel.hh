@@ -48,6 +48,18 @@ void setDefaultJobs(unsigned jobs);
 unsigned parseJobsFlag(int argc, char **argv);
 
 /**
+ * One job that threw, reported to the submitter: the job's index plus
+ * the exception's message. A worker that catches a throwing job keeps
+ * draining the batch — a failure never takes down the worker thread or
+ * the process, and the pool stays usable for the next batch.
+ */
+struct JobFailure
+{
+    size_t index = 0;
+    std::string message; //!< what() for std::exception, else a stand-in
+};
+
+/**
  * A fixed-size pool running batches of index-addressed jobs.
  *
  * run(n, fn) executes fn(0) .. fn(n-1) across the workers plus the
@@ -76,11 +88,24 @@ class ThreadPool
      */
     void run(size_t n, const std::function<void(size_t)> &fn);
 
+    /**
+     * Like run(), but instead of rethrowing, every job that threw is
+     * reported as a structured JobFailure (sorted by index). The batch
+     * always runs to completion; an empty vector means every job
+     * succeeded. This is the submitter-facing failure surface for
+     * callers that must outlive bad jobs (pfitsd request handling).
+     */
+    std::vector<JobFailure>
+    runCollect(size_t n, const std::function<void(size_t)> &fn);
+
     /** The process-wide pool (sized by defaultJobs() at first use). */
     static ThreadPool &shared();
 
   private:
     struct Batch;
+
+    std::shared_ptr<Batch> runBatch(size_t n,
+                                    const std::function<void(size_t)> &fn);
 
     void workerLoop(unsigned worker);
 

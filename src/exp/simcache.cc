@@ -1,6 +1,7 @@
 #include "exp/simcache.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
@@ -157,7 +158,7 @@ hashObserverSpec(const ObserverSpec &spec)
 }
 
 size_t
-SimCache::KeyHash::operator()(const Key &k) const
+SimCache::KeyHash::operator()(const SimCacheKey &k) const
 {
     Hasher h;
     h.u64(k.program);
@@ -167,11 +168,35 @@ SimCache::KeyHash::operator()(const Key &k) const
     return static_cast<size_t>(h.h);
 }
 
+SimCache::SimCache()
+{
+    // A long-lived daemon must not grow without bound; short-lived
+    // bench processes default to unbounded (every entry is provenance
+    // for the manifest they are about to write).
+    if (const char *env = std::getenv("PFITS_SIMCACHE_MAX");
+        env && *env) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end == env || *end != '\0')
+            warn_once("ignoring malformed PFITS_SIMCACHE_MAX='%s'", env);
+        else
+            maxEntries_.store(static_cast<size_t>(v));
+    }
+}
+
 SimCache &
 SimCache::instance()
 {
     static SimCache cache;
     return cache;
+}
+
+void
+SimCache::setMaxEntries(size_t max_entries)
+{
+    maxEntries_.store(max_entries);
+    std::lock_guard<std::mutex> lock(mu_);
+    enforceBudgetLocked();
 }
 
 size_t
@@ -188,9 +213,8 @@ SimCache::keys() const
     {
         std::lock_guard<std::mutex> lock(mu_);
         out.reserve(map_.size());
-        for (const auto &[key, slot] : map_)
-            out.push_back({key.program, key.config, key.faults,
-                           key.observers});
+        for (const auto &[key, entry] : map_)
+            out.push_back(key);
     }
     std::sort(out.begin(), out.end(),
               [](const SimCacheKey &a, const SimCacheKey &b) {
@@ -210,8 +234,82 @@ SimCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
+    lru_.clear();
     hits_.store(0);
     misses_.store(0);
+    evictions_.store(0);
+}
+
+void
+SimCache::enforceBudgetLocked()
+{
+    const size_t budget = maxEntries_.load();
+    if (budget == 0)
+        return;
+    // Walk from the cold end, evicting only completed entries: a slot
+    // still being computed is owned by a call_once in flight and its
+    // result must stay publishable to the threads waiting on it.
+    auto it = lru_.end();
+    while (map_.size() > budget && it != lru_.begin()) {
+        --it;
+        auto mit = map_.find(*it);
+        if (mit == map_.end() || !mit->second.slot->done.load()) {
+            continue;
+        }
+        map_.erase(mit);
+        it = lru_.erase(it);
+        evictions_.fetch_add(1);
+        if (MetricRegistry *metrics = MetricRegistry::current()) {
+            metrics->counter("simcache.evictions").add();
+            metrics->gauge("simcache.entries")
+                .set(static_cast<int64_t>(map_.size()));
+        }
+    }
+}
+
+std::shared_ptr<SimCache::Slot>
+SimCache::acquireSlot(const SimCacheKey &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        lru_.push_front(key);
+        Entry entry{std::make_shared<Slot>(), lru_.begin()};
+        it = map_.emplace(key, std::move(entry)).first;
+        enforceBudgetLocked();
+    } else {
+        lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+        it->second.lruPos = lru_.begin();
+    }
+    return it->second.slot;
+}
+
+std::optional<SimResult>
+SimCache::tryGet(const SimCacheKey &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end() || !it->second.slot->done.load())
+        return std::nullopt;
+    lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+    it->second.lruPos = lru_.begin();
+    return it->second.slot->value;
+}
+
+bool
+SimCache::seed(const SimCacheKey &key, SimResult result)
+{
+    std::shared_ptr<Slot> slot = acquireSlot(key);
+    bool inserted = false;
+    std::call_once(slot->once, [&] {
+        slot->value = std::move(result);
+        slot->done.store(true);
+        inserted = true;
+        if (MetricRegistry *metrics = MetricRegistry::current())
+            metrics->gauge("simcache.entries")
+                .set(static_cast<int64_t>(entries()));
+    });
+    return inserted;
 }
 
 SimResult
@@ -282,6 +380,7 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
         if (tracer)
             out.tracePath = tracer->path();
         slot.value = std::move(out);
+        slot.done.store(true);
 
         if (metrics) {
             metrics->counter("simcache.misses").add();
@@ -307,18 +406,11 @@ SimCache::simulate(const FrontEnd &fe, const CoreConfig &core,
                    const FaultParams &faults, unsigned max_retries,
                    const ObserverSpec &spec)
 {
-    Key key{hashFrontEnd(fe), hashCoreConfig(core),
-            hashFaultParams(faults, max_retries),
-            hashObserverSpec(spec)};
+    SimCacheKey key{hashFrontEnd(fe), hashCoreConfig(core),
+                    hashFaultParams(faults, max_retries),
+                    hashObserverSpec(spec)};
 
-    std::shared_ptr<Slot> slot;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = map_.find(key);
-        if (it == map_.end())
-            it = map_.emplace(key, std::make_shared<Slot>()).first;
-        slot = it->second;
-    }
+    std::shared_ptr<Slot> slot = acquireSlot(key);
     // Compute outside the map lock so unrelated keys never serialize;
     // call_once makes concurrent requests for *this* key simulate once
     // and share the result.

@@ -23,8 +23,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +71,13 @@ struct SimCacheKey
     uint64_t config;    //!< hashCoreConfig of the core it ran on
     uint64_t faults;    //!< hashFaultParams (0 = no faults)
     uint64_t observers; //!< hashObserverSpec (0 = no instruments)
+
+    bool
+    operator==(const SimCacheKey &o) const
+    {
+        return program == o.program && config == o.config &&
+               faults == o.faults && observers == o.observers;
+    }
 };
 
 /** Process-wide memoization cache over Machine::run. */
@@ -92,8 +101,36 @@ class SimCache
                        unsigned max_retries = 0,
                        const ObserverSpec &spec = {});
 
+    /**
+     * The completed entry under @p key, if one is resident. Never
+     * computes, never blocks on an in-flight computation, and does not
+     * count as a hit or a miss — this is the probe the daemon client
+     * uses to decide whether a socket round trip is needed at all.
+     */
+    std::optional<SimResult> tryGet(const SimCacheKey &key);
+
+    /**
+     * Insert a result computed elsewhere (a pfitsd store hit) under
+     * @p key, so later simulate()/tryGet() calls — and the manifest's
+     * "sims" provenance section — see it exactly as if it had been
+     * simulated here. A no-op when the key is already resident or
+     * being computed. @return true when the entry was inserted.
+     */
+    bool seed(const SimCacheKey &key, SimResult result);
+
+    /**
+     * Bound the cache to @p max_entries completed entries (0 — the
+     * default — is unbounded), evicting least-recently-used completed
+     * entries on overflow. The PFITS_SIMCACHE_MAX environment variable
+     * sets the initial bound; this setter overrides it. Entries still
+     * being computed are never evicted.
+     */
+    void setMaxEntries(size_t max_entries);
+    size_t maxEntries() const { return maxEntries_.load(); }
+
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }
+    uint64_t evictions() const { return evictions_.load(); }
     size_t entries() const;
 
     /**
@@ -107,31 +144,25 @@ class SimCache
     void clear();
 
   private:
-    struct Key
-    {
-        uint64_t program;
-        uint64_t config;
-        uint64_t faults;
-        uint64_t observers;
-
-        bool
-        operator==(const Key &o) const
-        {
-            return program == o.program && config == o.config &&
-                   faults == o.faults && observers == o.observers;
-        }
-    };
-
     struct KeyHash
     {
-        size_t operator()(const Key &k) const;
+        size_t operator()(const SimCacheKey &k) const;
     };
 
     struct Slot
     {
         std::once_flag once;
         SimResult value;
+        std::atomic<bool> done{false}; //!< value is valid (eviction-safe)
     };
+
+    struct Entry
+    {
+        std::shared_ptr<Slot> slot;
+        std::list<SimCacheKey>::iterator lruPos;
+    };
+
+    SimCache();
 
     SimResult computeLocked(Slot &slot, const FrontEnd &fe,
                             const CoreConfig &core,
@@ -139,10 +170,19 @@ class SimCache
                             unsigned max_retries,
                             const ObserverSpec &spec);
 
+    /** Find-or-create the slot for @p key and touch its recency. */
+    std::shared_ptr<Slot> acquireSlot(const SimCacheKey &key);
+
+    /** Drop LRU completed entries until within budget. Caller holds mu_. */
+    void enforceBudgetLocked();
+
     mutable std::mutex mu_;
-    std::unordered_map<Key, std::shared_ptr<Slot>, KeyHash> map_;
+    std::unordered_map<SimCacheKey, Entry, KeyHash> map_;
+    std::list<SimCacheKey> lru_; //!< front = most recently used
+    std::atomic<size_t> maxEntries_{0};
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
 };
 
 } // namespace pfits

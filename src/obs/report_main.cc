@@ -13,9 +13,11 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/fileio.hh"
 #include "common/logging.hh"
 #include "obs/manifest.hh"
 #include "obs/report.hh"
@@ -112,13 +114,17 @@ cmdAggregate(const std::vector<std::string> &args)
         pfits::writeJsonDocument(std::cout, suite);
         std::cout << "\n";
     } else {
-        std::ofstream os(out);
-        if (!os) {
-            std::cerr << "pfits_report: cannot write '" << out << "'\n";
-            return 2;
-        }
+        // Atomic publish so a concurrent reader (or a crash) never
+        // sees a half-written suite file.
+        std::ostringstream os;
         pfits::writeJsonDocument(os, suite);
         os << "\n";
+        std::string err;
+        if (!pfits::writeFileAtomic(out, os.str(), &err)) {
+            std::cerr << "pfits_report: cannot write '" << out
+                      << "': " << err << "\n";
+            return 2;
+        }
         std::cerr << "pfits_report: aggregated " << manifests.size()
                   << " manifest(s) into " << out << "\n";
     }

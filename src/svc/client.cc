@@ -1,0 +1,349 @@
+#include "svc/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "svc/proto.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+void
+bumpCounter(const char *name, uint64_t n = 1)
+{
+    if (MetricRegistry *reg = MetricRegistry::current())
+        reg->counter(name).add(n);
+}
+
+void
+setGauge(const char *name, int64_t v)
+{
+    if (MetricRegistry *reg = MetricRegistry::current())
+        reg->gauge(name).set(v);
+}
+
+/** Connect to @p path with a poll()-bounded timeout. @return fd or -1. */
+int
+connectUnix(const std::string &path, int timeout_ms, std::string *err)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "socket path too long";
+        ::close(fd);
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    // AF_UNIX connect() either succeeds immediately or fails with the
+    // listener's backlog full; a short poll retry loop covers the
+    // latter without a hand-rolled non-blocking connect dance.
+    (void)timeout_ms;
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err)
+            *err = std::string("connect ") + path + ": " +
+                   std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+SvcClientConfig
+SvcClientConfig::fromEnv()
+{
+    SvcClientConfig cfg;
+    if (const char *path = std::getenv("PFITS_DAEMON"))
+        cfg.socketPath = path;
+    if (const char *t = std::getenv("PFITS_DAEMON_TIMEOUT_MS")) {
+        int v = std::atoi(t);
+        if (v > 0)
+            cfg.requestTimeoutMs = v;
+    }
+    if (const char *r = std::getenv("PFITS_DAEMON_RETRIES")) {
+        int v = std::atoi(r);
+        if (v >= 0)
+            cfg.maxRetries = static_cast<unsigned>(v);
+    }
+    return cfg;
+}
+
+SvcClient::SvcClient(SvcClientConfig config)
+    : config_(std::move(config)), rng_(config_.jitterSeed)
+{
+}
+
+int
+SvcClient::backoffDelayMs(unsigned attempt)
+{
+    int64_t base = config_.backoffBaseMs;
+    for (unsigned i = 0; i < attempt && base < config_.backoffMaxMs;
+         ++i)
+        base *= 2;
+    if (base > config_.backoffMaxMs)
+        base = config_.backoffMaxMs;
+    std::lock_guard<std::mutex> lock(rngMu_);
+    // Full jitter: uniform in [1, base] decorrelates clients that all
+    // lost the same daemon at the same moment.
+    return 1 + static_cast<int>(
+                   rng_.below(static_cast<uint32_t>(base)));
+}
+
+bool
+SvcClient::attempt(const std::string &request, std::string *response,
+                   std::string *err)
+{
+    int fd = connectUnix(config_.socketPath, config_.connectTimeoutMs,
+                         err);
+    if (fd < 0)
+        return false;
+    // The receive leg outlives the deadline_ms sent to the server by a
+    // grace period: the server enforces deadlines in coarse wait
+    // slices, so its structured "timeout" (watchdog-expired) response
+    // lands shortly *after* the deadline — with equal timeouts the
+    // client would always hang up first and misread an orderly
+    // server-side expiry as a dead transport.
+    constexpr int kDeadlineGraceMs = 500;
+    bool ok = sendFrame(fd, request, config_.requestTimeoutMs, err) &&
+              recvFrame(fd, response,
+                        config_.requestTimeoutMs + kDeadlineGraceMs,
+                        err);
+    ::close(fd);
+    return ok;
+}
+
+bool
+SvcClient::roundTrip(const std::string &request, std::string *response)
+{
+    std::string err;
+    for (unsigned attempt_no = 0;; ++attempt_no) {
+        if (attempt(request, response, &err))
+            return true;
+        if (attempt_no >= config_.maxRetries)
+            break;
+        bumpCounter("svc.retries");
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoffDelayMs(attempt_no)));
+    }
+    warn_once("pfitsd unreachable at %s (%s); running locally",
+              config_.socketPath.c_str(), err.c_str());
+    return false;
+}
+
+bool
+SvcClient::ping()
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.field("schema", kSvcSchema);
+    w.field("op", "hello");
+    w.endObject();
+
+    std::string response, err;
+    if (!attempt(os.str(), &response, &err))
+        return false;
+    try {
+        JsonValue v = JsonValue::parse(response);
+        return v.isObject() && v.get("ok").isBool() &&
+               v.get("ok").asBool() &&
+               v.get("schema").isString() &&
+               v.get("schema").asString() == kSvcSchema;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+void
+SvcClient::recordServerStats()
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.field("schema", kSvcSchema);
+    w.field("op", "stats");
+    w.endObject();
+
+    std::string response, err;
+    if (!attempt(os.str(), &response, &err))
+        return;
+    try {
+        JsonValue v = JsonValue::parse(response);
+        if (!v.isObject() || !v.get("store").isObject())
+            return;
+        const JsonValue &store = v.get("store");
+        if (store.get("evictions").isNumber())
+            setGauge("svc.store.evictions",
+                     static_cast<int64_t>(
+                         store.get("evictions").asNumber()));
+        if (store.get("quarantined").isNumber())
+            setGauge("svc.store.quarantined",
+                     static_cast<int64_t>(
+                         store.get("quarantined").asNumber()));
+    } catch (const FatalError &) {
+    }
+}
+
+void
+SvcClient::tryPut(const SimCacheKey &key, const SimResult &result)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.field("schema", kSvcSchema);
+    w.field("op", "put");
+    w.field("entry", encodeResultEntry(key, result));
+    w.endObject();
+
+    std::string response, err;
+    // One attempt, no retries: populating the shared store is a
+    // favor to future runs, never worth stalling this one.
+    (void)attempt(os.str(), &response, &err);
+}
+
+SimResult
+SvcClient::fallback(const SimRequest &request, bool try_put)
+{
+    bumpCounter("svc.fallbacks");
+    SimResult result = localSimService().simulate(request);
+    if (try_put)
+        tryPut(request.key(), result);
+    return result;
+}
+
+SimResult
+SvcClient::simulate(const SimRequest &request)
+{
+    // Trace-armed runs write JSONL files as a side effect; those are
+    // local products a remote daemon cannot produce on this
+    // filesystem, so they bypass the daemon entirely.
+    if (!config_.enabled() || request.spec.traceArmed())
+        return localSimService().simulate(request);
+
+    SimCacheKey key = request.key();
+    if (auto cached = SimCache::instance().tryGet(key))
+        return *cached;
+
+    bumpCounter("svc.requests");
+
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.field("schema", kSvcSchema);
+    if (request.bench.empty()) {
+        // Not suite-addressable: the daemon can only answer from its
+        // store, so ask for the entry and a lease to fill it.
+        w.field("op", "get");
+        w.key("key");
+        writeKeyJson(w, key);
+        w.field("wait", true);
+        w.field("lease", true);
+    } else {
+        w.field("op", "sim");
+        w.field("bench", request.bench);
+        w.field("isa", request.isFits ? "fits" : "arm");
+        w.key("core");
+        writeCoreConfigJson(w, *request.core);
+        w.key("faults");
+        writeFaultParamsJson(w, request.faults);
+        w.field("max_retries",
+                static_cast<uint64_t>(request.maxRetries));
+        w.key("observers");
+        w.beginObject();
+        w.field("interval_instructions",
+                request.spec.intervalInstructions);
+        w.endObject();
+        w.key("key");
+        writeKeyJson(w, key);
+    }
+    w.field("deadline_ms",
+            static_cast<int64_t>(config_.requestTimeoutMs));
+    w.endObject();
+
+    std::string response;
+    if (!roundTrip(os.str(), &response))
+        return fallback(request, /*try_put=*/false);
+
+    JsonValue v;
+    try {
+        v = JsonValue::parse(response);
+    } catch (const FatalError &) {
+        warn_once("pfitsd: unparseable response; running locally");
+        return fallback(request, /*try_put=*/true);
+    }
+    if (!v.isObject() || !v.get("ok").isBool()) {
+        warn_once("pfitsd: malformed response; running locally");
+        return fallback(request, /*try_put=*/true);
+    }
+    if (!v.get("ok").asBool()) {
+        warn_once("pfitsd error: %s",
+                  v.get("error").isString()
+                      ? v.get("error").asString().c_str()
+                      : "unknown");
+        return fallback(request, /*try_put=*/true);
+    }
+
+    const std::string status = v.get("status").isString()
+                                   ? v.get("status").asString()
+                                   : "";
+    if (status == "hit" && v.get("entry").isString()) {
+        SimCacheKey got;
+        SimResult result;
+        std::string err;
+        if (!decodeResultEntry(v.get("entry").asString(), &got,
+                               &result, &err) ||
+            !(got == key)) {
+            // A corrupt or mis-keyed entry survived the daemon's own
+            // verification — treat the daemon as untrusted for this
+            // request and recompute; local results are authoritative.
+            warn_once("pfitsd: bad store entry (%s); running locally",
+                      err.empty() ? "key mismatch" : err.c_str());
+            return fallback(request, /*try_put=*/true);
+        }
+        bumpCounter("svc.store.hits");
+        SimCache::instance().seed(key, result);
+        return result;
+    }
+    if (status == "timeout") {
+        // The daemon answered "watchdog-expired": the deadline passed
+        // with the simulation still running. It will finish and land
+        // in the store; meanwhile this run computes locally.
+        bumpCounter("svc.timeouts");
+        return fallback(request, /*try_put=*/false);
+    }
+
+    // "miss" / "unsupported": the daemon has nothing for us and
+    // cannot compute it; simulate here and publish the result.
+    bumpCounter("svc.store.misses");
+    return fallback(request, /*try_put=*/true);
+}
+
+} // namespace pfits

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The pfitsd client: a SimService that consults a daemon's shared
+ * result store before simulating, and *never* makes a run fail that
+ * would have succeeded without a daemon.
+ *
+ * Degradation ladder for one request:
+ *  1. local SimCache probe (free; no socket round trip on a warm key),
+ *  2. daemon round trip — "sim" for suite benchmarks the daemon can
+ *     rebuild by name, "get" for anything else — with bounded retries
+ *     and jittered exponential backoff on transport failures,
+ *  3. local simulation, on daemon-unavailable, protocol error,
+ *     checksum mismatch, or request deadline expiry ("timeout"
+ *     responses carry outcome "watchdog-expired").
+ *
+ * Every hop is observable: svc.requests, svc.retries, svc.timeouts,
+ * svc.fallbacks, svc.store.{hits,misses} count this client's view;
+ * recordServerStats() snapshots the daemon's
+ * svc.store.{evictions,quarantined} gauges into the manifest. Results
+ * fetched from the store are checksum-verified and then seeded into
+ * the local SimCache, so manifests keep their "sims" provenance and
+ * repeated keys stay in-process.
+ */
+
+#ifndef POWERFITS_SVC_CLIENT_HH
+#define POWERFITS_SVC_CLIENT_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.hh"
+#include "exp/simservice.hh"
+
+namespace pfits
+{
+
+/** Client-side knobs (fromEnv() reads the PFITS_DAEMON* variables). */
+struct SvcClientConfig
+{
+    std::string socketPath;     //!< empty = daemon disabled
+    int connectTimeoutMs = 2'000;
+    int requestTimeoutMs = 60'000; //!< also sent as the deadline_ms
+    unsigned maxRetries = 2;       //!< transport retries per request
+    int backoffBaseMs = 25;
+    int backoffMaxMs = 1'000;
+    uint64_t jitterSeed = 0x5fc1e9u; //!< deterministic backoff jitter
+
+    /**
+     * Populate from the environment: PFITS_DAEMON (socket path),
+     * PFITS_DAEMON_TIMEOUT_MS, PFITS_DAEMON_RETRIES. @return a config
+     * whose enabled() reflects whether PFITS_DAEMON was set.
+     */
+    static SvcClientConfig fromEnv();
+
+    bool enabled() const { return !socketPath.empty(); }
+};
+
+/**
+ * The daemon-backed SimService. Thread-safe: each request opens its
+ * own connection (the Runner fans requests out over worker threads).
+ */
+class SvcClient final : public SimService
+{
+  public:
+    explicit SvcClient(SvcClientConfig config);
+
+    /** SimService: resolve via daemon, falling back to local. */
+    SimResult simulate(const SimRequest &request) override;
+
+    /**
+     * Probe the daemon with a "hello" round trip. @return true when a
+     * compatible daemon answered.
+     */
+    bool ping();
+
+    /**
+     * Fetch daemon store statistics and publish them as the
+     * svc.store.evictions / svc.store.quarantined gauges (best
+     * effort; a dead daemon leaves the gauges untouched).
+     */
+    void recordServerStats();
+
+    const SvcClientConfig &config() const { return config_; }
+
+  private:
+    /**
+     * One request/response round trip with retry and backoff.
+     * @return false when every transport attempt failed.
+     */
+    bool roundTrip(const std::string &request, std::string *response);
+
+    /** Single connect/send/recv attempt. */
+    bool attempt(const std::string &request, std::string *response,
+                 std::string *err);
+
+    /** Best-effort publish of a locally computed result. */
+    void tryPut(const SimCacheKey &key, const SimResult &result);
+
+    /** Compute locally, count a fallback, and best-effort put. */
+    SimResult fallback(const SimRequest &request, bool try_put);
+
+    int backoffDelayMs(unsigned attempt);
+
+    SvcClientConfig config_;
+
+    std::mutex rngMu_;
+    Rng rng_; //!< backoff jitter; deterministic per config seed
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_SVC_CLIENT_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * pfitsd — the PowerFITS simulation daemon.
+ *
+ * Serves content-addressed simulation results over a Unix-domain
+ * socket, backed by a crash-safe on-disk store, so a fleet of bench
+ * processes (or repeated sweeps) share one simulation of each
+ * (program, config, faults, observers) point. See docs/SERVICE.md.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+#include "exp/simcache.hh"
+#include "svc/server.hh"
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop = true;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --socket PATH           listen socket "
+        "(default pfitsd.sock)\n"
+        "  --store DIR             result store directory "
+        "(default pfitsd-store)\n"
+        "  --max-store-bytes N     LRU eviction budget "
+        "(default 0 = unbounded)\n"
+        "  --jobs N                compute worker threads "
+        "(default 2)\n"
+        "  --simcache-max N        in-memory memo entry bound "
+        "(default 0 = unbounded)\n"
+        "  --lease-ttl-ms N        client compute-lease TTL "
+        "(default 30000)\n"
+        "  --default-deadline-ms N per-request deadline when the "
+        "client sends none (default 60000)\n"
+        "  --test-compute-delay-ms N  stall every computation "
+        "(deadline tests only)\n",
+        argv0);
+}
+
+bool
+parseU64(const char *s, uint64_t *out)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    pfits::SvcServerConfig cfg;
+    uint64_t simcache_max = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        uint64_t v = 0;
+        if (arg == "--socket") {
+            cfg.socketPath = next("--socket");
+        } else if (arg == "--store") {
+            cfg.storeDir = next("--store");
+        } else if (arg == "--max-store-bytes") {
+            if (!parseU64(next("--max-store-bytes"), &v)) {
+                usage(argv[0]);
+                return 2;
+            }
+            cfg.storeMaxBytes = v;
+        } else if (arg == "--jobs") {
+            if (!parseU64(next("--jobs"), &v) || v == 0) {
+                usage(argv[0]);
+                return 2;
+            }
+            cfg.computeThreads = static_cast<unsigned>(v);
+        } else if (arg == "--simcache-max") {
+            if (!parseU64(next("--simcache-max"), &v)) {
+                usage(argv[0]);
+                return 2;
+            }
+            simcache_max = v;
+        } else if (arg == "--lease-ttl-ms") {
+            if (!parseU64(next("--lease-ttl-ms"), &v) || v == 0) {
+                usage(argv[0]);
+                return 2;
+            }
+            cfg.leaseTtlMs = static_cast<int>(v);
+        } else if (arg == "--default-deadline-ms") {
+            if (!parseU64(next("--default-deadline-ms"), &v) ||
+                v == 0) {
+                usage(argv[0]);
+                return 2;
+            }
+            cfg.defaultDeadlineMs = static_cast<int>(v);
+        } else if (arg == "--test-compute-delay-ms") {
+            if (!parseU64(next("--test-compute-delay-ms"), &v)) {
+                usage(argv[0]);
+                return 2;
+            }
+            cfg.testComputeDelayMs = static_cast<int>(v);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (simcache_max)
+        pfits::SimCache::instance().setMaxEntries(simcache_max);
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    pfits::SvcServer server(cfg);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "pfitsd: %s\n", err.c_str());
+        return 1;
+    }
+
+    // The readiness line scripts wait for before launching clients.
+    std::printf("pfitsd: listening on %s (store %s)\n",
+                cfg.socketPath.c_str(), cfg.storeDir.c_str());
+    std::fflush(stdout);
+
+    while (!g_stop)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    server.stop();
+    std::printf("pfitsd: stopped\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The pfitsd wire protocol and store-entry format.
+ *
+ * Transport framing is a 4-byte big-endian length prefix followed by
+ * one compact JSON document ("pfits-svc-v1"), exchanged over an
+ * AF_UNIX stream socket. Every frame read or write takes an absolute
+ * deadline so a hung peer costs a bounded wait, never a wedged thread.
+ *
+ * A *store entry* ("pfits-store-v1") is the unit of persistence and of
+ * end-to-end integrity: one compact JSON line carrying the
+ * content-addressed key and the full SimResult, terminated by a
+ * "checksum 0x<fnv64>" trailer over the line — the same FNV-1a
+ * checksum (fits/serialize.hh) that guards decoder configurations.
+ * Whoever simulates encodes the entry once; the daemon stores and
+ * serves the text verbatim, and every consumer re-verifies the trailer
+ * before trusting a byte, so disk corruption and wire truncation are
+ * indistinguishable from — and handled exactly like — a miss.
+ */
+
+#ifndef POWERFITS_SVC_PROTO_HH
+#define POWERFITS_SVC_PROTO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/fault.hh"
+#include "exp/simcache.hh"
+#include "obs/json.hh"
+#include "sim/machine.hh"
+#include "sim/probe.hh"
+
+namespace pfits
+{
+
+/** Wire-protocol schema tag carried in every request. */
+inline constexpr const char *kSvcSchema = "pfits-svc-v1";
+
+/** Store-entry schema tag carried in every persisted entry. */
+inline constexpr const char *kStoreSchema = "pfits-store-v1";
+
+/** Frames larger than this are rejected as malformed (64 MiB). */
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// --- framing -------------------------------------------------------------
+
+/**
+ * Write one length-prefixed frame to @p fd, finishing before
+ * @p deadline_ms milliseconds elapse (0 = no deadline).
+ * @return false (with @p err set) on error, timeout or closed peer.
+ */
+bool sendFrame(int fd, const std::string &payload, int deadline_ms,
+               std::string *err);
+
+/**
+ * Read one length-prefixed frame from @p fd into @p payload under the
+ * same deadline contract. A clean EOF before any byte sets @p err to
+ * "eof".
+ */
+bool recvFrame(int fd, std::string *payload, int deadline_ms,
+               std::string *err);
+
+// --- key and config serialization ----------------------------------------
+
+/** "0x<hex>" for a 64-bit hash (JSON numbers stop being exact at 2^53). */
+std::string hexString(uint64_t v);
+
+/** Parse a "0x<hex>" string. @return false on malformed input. */
+bool parseHexU64(const std::string &s, uint64_t *out);
+
+/** Emit @p key as {"program":"0x..","config":..,"faults":..,"observers":..}. */
+void writeKeyJson(JsonWriter &w, const SimCacheKey &key);
+
+/** Parse writeKeyJson output. @return false when fields are missing. */
+bool parseKeyJson(const JsonValue &v, SimCacheKey *key);
+
+/** The store-relative filename an entry for @p key lives under. */
+std::string keyFileName(const SimCacheKey &key);
+
+void writeCoreConfigJson(JsonWriter &w, const CoreConfig &core);
+bool parseCoreConfigJson(const JsonValue &v, CoreConfig *core);
+
+void writeFaultParamsJson(JsonWriter &w, const FaultParams &faults);
+bool parseFaultParamsJson(const JsonValue &v, FaultParams *faults);
+
+// --- result serialization ------------------------------------------------
+
+/** Emit @p result (run counters, retries, intervals, trace path). */
+void writeSimResultJson(JsonWriter &w, const SimResult &result);
+
+/** Parse writeSimResultJson output. @return false on shape errors. */
+bool parseSimResultJson(const JsonValue &v, SimResult *result);
+
+// --- store entries -------------------------------------------------------
+
+/**
+ * Encode a complete store entry: one compact JSON line
+ * {"schema","key","result"} followed by "\nchecksum 0x<fnv64>\n" over
+ * that line. This text is the canonical persisted and wire form.
+ */
+std::string encodeResultEntry(const SimCacheKey &key,
+                              const SimResult &result);
+
+/**
+ * Decode and fully verify a store entry: checksum trailer, schema tag,
+ * JSON shape. @return false with a diagnostic in @p err on any defect;
+ * on success fills @p key and @p result.
+ */
+bool decodeResultEntry(const std::string &text, SimCacheKey *key,
+                       SimResult *result, std::string *err);
+
+/**
+ * Verify the checksum trailer and extract the embedded key without
+ * parsing the result body — the store's cheap integrity scan.
+ */
+bool verifyResultEntry(const std::string &text, SimCacheKey *key,
+                       std::string *err);
+
+} // namespace pfits
+
+#endif // POWERFITS_SVC_PROTO_HH

@@ -69,6 +69,33 @@ TEST(ThreadPool, RethrowsLowestIndexException)
     EXPECT_EQ(ran.load(), 8);
 }
 
+TEST(ThreadPool, RunCollectReportsEveryFailureAsStructuredData)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    auto failures = pool.runCollect(64, [&](size_t i) {
+        ran.fetch_add(1);
+        if (i == 3)
+            throw std::runtime_error("boom 3");
+        if (i == 41)
+            throw 17; // non-std::exception payloads are captured too
+    });
+
+    // Every job ran despite the failures — no early abandonment.
+    EXPECT_EQ(ran.load(), 64);
+
+    ASSERT_EQ(failures.size(), 2u);
+    // Sorted by job index, with the thrown message preserved.
+    EXPECT_EQ(failures[0].index, 3u);
+    EXPECT_EQ(failures[0].message, "boom 3");
+    EXPECT_EQ(failures[1].index, 41u);
+    EXPECT_EQ(failures[1].message, "unknown exception");
+
+    // A clean batch reports nothing, and the pool is reusable.
+    auto clean = pool.runCollect(8, [](size_t) {});
+    EXPECT_TRUE(clean.empty());
+}
+
 TEST(ThreadPool, ReusableAcrossBatches)
 {
     ThreadPool pool(3);
@@ -140,6 +167,80 @@ TEST(SimCache, KeyCoversProgramConfigAndFaultSeed)
     cache.clear();
     EXPECT_EQ(cache.entries(), 0u);
     EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(SimCache, LruBoundEvictsColdEntriesAndCountsThem)
+{
+    SimCache &cache = SimCache::instance();
+    cache.clear();
+    cache.setMaxEntries(2);
+
+    mibench::Workload wl = mibench::buildCrc32();
+    ArmFrontEnd fe(std::move(wl.program));
+
+    CoreConfig a, b, c;
+    a.icache.sizeBytes = 16 * 1024;
+    b.icache.sizeBytes = 8 * 1024;
+    c.icache.sizeBytes = 4 * 1024;
+
+    cache.simulate(fe, a);
+    cache.simulate(fe, b);
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    // Touch A so B is the LRU victim when C overflows the budget.
+    cache.simulate(fe, a);
+    cache.simulate(fe, c);
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // A stayed resident (hit); B was evicted (fresh miss re-simulates).
+    uint64_t misses = cache.misses();
+    cache.simulate(fe, a);
+    EXPECT_EQ(cache.misses(), misses);
+    cache.simulate(fe, b);
+    EXPECT_EQ(cache.misses(), misses + 1);
+
+    cache.setMaxEntries(0); // unbounded again for the other tests
+    cache.clear();
+}
+
+TEST(SimCache, TryGetAndSeedRoundTrip)
+{
+    SimCache &cache = SimCache::instance();
+    cache.clear();
+
+    mibench::Workload wl = mibench::buildCrc32();
+    ArmFrontEnd fe(std::move(wl.program));
+    CoreConfig core;
+    SimCacheKey key{hashFrontEnd(fe), hashCoreConfig(core),
+                    hashFaultParams({}, 0), hashObserverSpec({})};
+
+    // Absent: tryGet must not compute, count, or block.
+    EXPECT_FALSE(cache.tryGet(key).has_value());
+    EXPECT_EQ(cache.misses(), 0u);
+
+    SimResult real = cache.simulate(fe, core);
+    auto probed = cache.tryGet(key);
+    ASSERT_TRUE(probed.has_value());
+    EXPECT_EQ(probed->run.cycles, real.run.cycles);
+
+    // Seeding an occupied key is a no-op…
+    SimResult bogus;
+    bogus.run.cycles = 1;
+    EXPECT_FALSE(cache.seed(key, bogus));
+    EXPECT_EQ(cache.tryGet(key)->run.cycles, real.run.cycles);
+
+    // …and seeding a fresh key makes the result resident, exactly as
+    // if it had been simulated here (the pfitsd-hit path).
+    cache.clear();
+    EXPECT_TRUE(cache.seed(key, real));
+    EXPECT_EQ(cache.entries(), 1u);
+    uint64_t misses = cache.misses();
+    SimResult served = cache.simulate(fe, core);
+    EXPECT_EQ(cache.misses(), misses) << "seeded key must hit";
+    EXPECT_EQ(served.run.cycles, real.run.cycles);
+    cache.clear();
 }
 
 // --- the engine end to end -------------------------------------------------

@@ -1,0 +1,797 @@
+/** @file The pfitsd service stack: wire framing and entry integrity,
+ *  the crash-safe result store (recovery, quarantine, eviction), the
+ *  embedded server end to end, and the client's degradation ladder —
+ *  deadline timeouts answering "watchdog-expired", retry-then-fallback
+ *  against a hung daemon, and clean local fallback when no daemon
+ *  exists. Results through the daemon must be identical to local ones;
+ *  a broken daemon must never break a run. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/fileio.hh"
+#include "exp/experiment.hh"
+#include "exp/simcache.hh"
+#include "exp/simservice.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "svc/client.hh"
+#include "svc/proto.hh"
+#include "svc/server.hh"
+#include "svc/store.hh"
+
+namespace pfits
+{
+namespace
+{
+
+/** A fresh subdirectory under gtest's temp dir. */
+std::string
+freshDir(const std::string &name)
+{
+    static int seq = 0;
+    std::string dir = testing::TempDir() + "pfits_svc_" + name + "_" +
+                      std::to_string(::getpid()) + "_" +
+                      std::to_string(seq++);
+    ::mkdir(dir.c_str(), 0777);
+    return dir;
+}
+
+/** A made-up but fully populated result, for store/proto tests. */
+SimResult
+sampleResult()
+{
+    SimResult r;
+    r.run.benchmark = "crc32";
+    r.run.config = "ARM16";
+    r.run.instructions = 123456;
+    r.run.annulled = 789;
+    r.run.cycles = 98765;
+    r.run.clockHz = 2e8;
+    r.run.icache = {100, 0, 7, 0, 0, 2, 1, 1};
+    r.run.dcache = {50, 25, 3, 2, 4, 0, 0, 0};
+    r.run.fetchToggleBits = 4242;
+    r.run.fetchBitsTotal = 999999;
+    r.run.icacheRefillWords = 56;
+    r.run.dmemAccesses = 75;
+    r.run.takenBranches = 1200;
+    r.run.io.console = "hello\n";
+    r.run.io.emitted = {0xdeadbeefu, 7u};
+    for (int i = 0; i < 16; ++i)
+        r.run.finalState.regs[i] = 0x1000u + i;
+    r.run.finalState.flags.z = true;
+    r.run.finalState.flags.c = true;
+    r.run.finalState.halted = true;
+    r.run.outcome = RunOutcome::Completed;
+    r.run.trapReason = "";
+    r.faultRetries = 2;
+    r.intervals.push_back({0, 1000, 900, 800, 5, 321, 32000});
+    r.intervals.push_back({1000, 1000, 950, 810, 2, 345, 32000});
+    r.tracePath = "";
+    return r;
+}
+
+SimCacheKey
+sampleKey()
+{
+    return {0x1111222233334444ull, 0x5555666677778888ull,
+            0x9999aaaabbbbccccull, 0xddddeeeeffff0001ull};
+}
+
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.run.benchmark, b.run.benchmark);
+    EXPECT_EQ(a.run.config, b.run.config);
+    EXPECT_EQ(a.run.instructions, b.run.instructions);
+    EXPECT_EQ(a.run.annulled, b.run.annulled);
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_EQ(a.run.clockHz, b.run.clockHz);
+    EXPECT_EQ(a.run.icache.reads, b.run.icache.reads);
+    EXPECT_EQ(a.run.icache.readMisses, b.run.icache.readMisses);
+    EXPECT_EQ(a.run.icache.parityDetections,
+              b.run.icache.parityDetections);
+    EXPECT_EQ(a.run.dcache.writes, b.run.dcache.writes);
+    EXPECT_EQ(a.run.dcache.writebacks, b.run.dcache.writebacks);
+    EXPECT_EQ(a.run.fetchToggleBits, b.run.fetchToggleBits);
+    EXPECT_EQ(a.run.fetchBitsTotal, b.run.fetchBitsTotal);
+    EXPECT_EQ(a.run.icacheRefillWords, b.run.icacheRefillWords);
+    EXPECT_EQ(a.run.dmemAccesses, b.run.dmemAccesses);
+    EXPECT_EQ(a.run.takenBranches, b.run.takenBranches);
+    EXPECT_EQ(a.run.io.console, b.run.io.console);
+    EXPECT_EQ(a.run.io.emitted, b.run.io.emitted);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.run.finalState.regs[i], b.run.finalState.regs[i]);
+    EXPECT_EQ(a.run.finalState.flags.z, b.run.finalState.flags.z);
+    EXPECT_EQ(a.run.finalState.halted, b.run.finalState.halted);
+    EXPECT_EQ(a.run.outcome, b.run.outcome);
+    EXPECT_EQ(a.run.trapReason, b.run.trapReason);
+    EXPECT_EQ(a.faultRetries, b.faultRetries);
+    ASSERT_EQ(a.intervals.size(), b.intervals.size());
+    for (size_t i = 0; i < a.intervals.size(); ++i) {
+        EXPECT_EQ(a.intervals[i].firstInstruction,
+                  b.intervals[i].firstInstruction);
+        EXPECT_EQ(a.intervals[i].cycles, b.intervals[i].cycles);
+        EXPECT_EQ(a.intervals[i].toggleBits,
+                  b.intervals[i].toggleBits);
+    }
+    EXPECT_EQ(a.tracePath, b.tracePath);
+}
+
+/** Connect to @p path; gtest-asserts on failure. */
+int
+connectTo(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(::connect(fd,
+                        reinterpret_cast<struct sockaddr *>(&addr),
+                        sizeof(addr)),
+              0)
+        << path;
+    return fd;
+}
+
+/** One raw request/response round trip against a live server. */
+std::string
+rawRequest(const std::string &socket_path, const std::string &payload,
+           int timeout_ms = 10'000)
+{
+    int fd = connectTo(socket_path);
+    std::string response, err;
+    EXPECT_TRUE(sendFrame(fd, payload, timeout_ms, &err)) << err;
+    EXPECT_TRUE(recvFrame(fd, &response, timeout_ms, &err)) << err;
+    ::close(fd);
+    return response;
+}
+
+// --- proto: hex, keys, entries -------------------------------------------
+
+TEST(SvcProto, HexRoundTripAndRejection)
+{
+    for (uint64_t v : {0ull, 1ull, 0xdeadbeefull,
+                       0xffffffffffffffffull, 0x0123456789abcdefull}) {
+        uint64_t back = 1;
+        ASSERT_TRUE(parseHexU64(hexString(v), &back));
+        EXPECT_EQ(back, v);
+    }
+    uint64_t out;
+    EXPECT_FALSE(parseHexU64("", &out));
+    EXPECT_FALSE(parseHexU64("12345", &out));
+    EXPECT_FALSE(parseHexU64("0x", &out));
+    EXPECT_FALSE(parseHexU64("0xg", &out));
+    EXPECT_FALSE(parseHexU64("0x00000000000000001", &out));
+}
+
+TEST(SvcProto, KeyJsonRoundTrip)
+{
+    SimCacheKey key = sampleKey();
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    writeKeyJson(w, key);
+    SimCacheKey back{};
+    ASSERT_TRUE(parseKeyJson(JsonValue::parse(os.str()), &back));
+    EXPECT_TRUE(back == key);
+    EXPECT_EQ(keyFileName(key),
+              "1111222233334444-5555666677778888-"
+              "9999aaaabbbbcccc-ddddeeeeffff0001.json");
+}
+
+TEST(SvcProto, CoreConfigJsonRoundTripPreservesHash)
+{
+    CoreConfig core;
+    core.name = "FITS8";
+    core.issueWidth = 1;
+    core.icache.sizeBytes = 8 * 1024;
+    core.icache.parity = true;
+    core.dcache.policy = ReplPolicy::ROUND_ROBIN;
+    core.packedFetch = true;
+    core.maxInstructions = 123'456'789;
+
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    writeCoreConfigJson(w, core);
+    CoreConfig back;
+    ASSERT_TRUE(parseCoreConfigJson(JsonValue::parse(os.str()), &back));
+    EXPECT_EQ(back.name, core.name);
+    EXPECT_EQ(back.dcache.policy, ReplPolicy::ROUND_ROBIN);
+    // The content hash is the contract the daemon checks against.
+    EXPECT_EQ(hashCoreConfig(back), hashCoreConfig(core));
+}
+
+TEST(SvcProto, FaultParamsJsonRoundTripPreservesHash)
+{
+    FaultParams fp;
+    fp.seed = 0xfeedfacecafebeefull;
+    fp.icacheMeanInterval = 50'000;
+    fp.memoryMeanInterval = 70'000;
+
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    writeFaultParamsJson(w, fp);
+    FaultParams back;
+    ASSERT_TRUE(
+        parseFaultParamsJson(JsonValue::parse(os.str()), &back));
+    EXPECT_EQ(back.seed, fp.seed);
+    EXPECT_EQ(hashFaultParams(back, 3), hashFaultParams(fp, 3));
+}
+
+TEST(SvcProto, EntryRoundTripIsLossless)
+{
+    SimCacheKey key = sampleKey();
+    SimResult result = sampleResult();
+    std::string entry = encodeResultEntry(key, result);
+
+    SimCacheKey back_key{};
+    SimResult back;
+    std::string err;
+    ASSERT_TRUE(decodeResultEntry(entry, &back_key, &back, &err))
+        << err;
+    EXPECT_TRUE(back_key == key);
+    expectSameResult(result, back);
+}
+
+TEST(SvcProto, EntryCorruptionIsAlwaysDetected)
+{
+    std::string entry = encodeResultEntry(sampleKey(), sampleResult());
+    SimCacheKey k;
+    SimResult r;
+    std::string err;
+
+    // Pristine text verifies.
+    ASSERT_TRUE(decodeResultEntry(entry, &k, &r, &err)) << err;
+
+    // Any single flipped bit in the JSON line must fail the checksum.
+    for (size_t pos : {size_t(10), entry.size() / 2,
+                       entry.find('\n') - 2}) {
+        std::string bad = entry;
+        bad[pos] = static_cast<char>(bad[pos] ^ 0x04);
+        EXPECT_FALSE(decodeResultEntry(bad, &k, &r, &err))
+            << "flip at " << pos << " accepted";
+    }
+
+    // Truncation (a torn write on a non-atomic filesystem).
+    EXPECT_FALSE(decodeResultEntry(entry.substr(0, entry.size() / 2),
+                                   &k, &r, &err));
+    EXPECT_FALSE(decodeResultEntry("", &k, &r, &err));
+
+    // A forged trailer over modified content.
+    std::string forged = entry;
+    forged.replace(forged.find("123456"), 6, "654321");
+    EXPECT_FALSE(decodeResultEntry(forged, &k, &r, &err));
+}
+
+// --- framing over a socketpair -------------------------------------------
+
+TEST(SvcProto, FrameRoundTripOverSocketpair)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    std::string big(100'000, 'x');
+    big += "end";
+    std::string err;
+    std::thread sender([&] {
+        ASSERT_TRUE(sendFrame(fds[0], "first", 5'000, &err)) << err;
+        ASSERT_TRUE(sendFrame(fds[0], big, 5'000, &err)) << err;
+    });
+    std::string got;
+    ASSERT_TRUE(recvFrame(fds[1], &got, 5'000, &err)) << err;
+    EXPECT_EQ(got, "first");
+    ASSERT_TRUE(recvFrame(fds[1], &got, 5'000, &err)) << err;
+    EXPECT_EQ(got, big);
+    sender.join();
+
+    // Deadline: nothing arriving must time out, not hang.
+    EXPECT_FALSE(recvFrame(fds[1], &got, 100, &err));
+    EXPECT_EQ(err, "timeout");
+
+    // A closed peer is a clean EOF.
+    ::close(fds[0]);
+    EXPECT_FALSE(recvFrame(fds[1], &got, 1'000, &err));
+    EXPECT_EQ(err, "eof");
+    ::close(fds[1]);
+}
+
+// --- the result store ----------------------------------------------------
+
+TEST(SvcStore, PutGetRoundTripAndStats)
+{
+    ResultStore store(freshDir("putget"));
+    ASSERT_TRUE(store.open());
+
+    SimCacheKey key = sampleKey();
+    std::string entry = encodeResultEntry(key, sampleResult());
+    std::string err;
+    ASSERT_TRUE(store.put(key, entry, &err)) << err;
+    EXPECT_TRUE(store.contains(key));
+
+    std::string got;
+    ASSERT_TRUE(store.get(key, &got));
+    EXPECT_EQ(got, entry) << "stored text must be served verbatim";
+
+    SimCacheKey other = key;
+    other.program ^= 1;
+    EXPECT_FALSE(store.get(other, &got));
+
+    StoreStats s = store.stats();
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.bytes, entry.size());
+}
+
+TEST(SvcStore, PutRejectsCorruptOrMisKeyedEntries)
+{
+    ResultStore store(freshDir("putbad"));
+    ASSERT_TRUE(store.open());
+
+    SimCacheKey key = sampleKey();
+    std::string entry = encodeResultEntry(key, sampleResult());
+
+    std::string bad = entry;
+    bad[20] ^= 0x10;
+    std::string err;
+    EXPECT_FALSE(store.put(key, bad, &err));
+
+    SimCacheKey wrong = key;
+    wrong.config ^= 0xff;
+    EXPECT_FALSE(store.put(wrong, entry, &err));
+    EXPECT_EQ(store.stats().entries, 0u);
+}
+
+TEST(SvcStore, RecoveryScanQuarantinesTornAndCorruptEntries)
+{
+    std::string dir = freshDir("recover");
+    SimCacheKey good_key = sampleKey();
+    std::string good = encodeResultEntry(good_key, sampleResult());
+    {
+        ResultStore store(dir);
+        ASSERT_TRUE(store.open());
+        ASSERT_TRUE(store.put(good_key, good));
+    }
+
+    // A second valid entry, then corrupt it on disk (bit rot).
+    SimCacheKey rot_key = good_key;
+    rot_key.faults ^= 0x42;
+    SimResult rot_result = sampleResult();
+    rot_result.run.cycles += 1;
+    std::string rot = encodeResultEntry(rot_key, rot_result);
+    rot[rot.size() / 3] ^= 0x01;
+    ASSERT_TRUE(writeFileAtomic(dir + "/" + keyFileName(rot_key), rot));
+
+    // A truncated entry (torn write on a weak filesystem).
+    SimCacheKey torn_key = good_key;
+    torn_key.observers ^= 0x99;
+    std::string torn = encodeResultEntry(torn_key, sampleResult());
+    ASSERT_TRUE(writeFileAtomic(dir + "/" + keyFileName(torn_key),
+                                torn.substr(0, torn.size() / 2)));
+
+    // A stale temp file from an interrupted atomic write.
+    std::string stale = dir + "/" + keyFileName(good_key) +
+                        ".tmp.999.0";
+    ASSERT_TRUE(writeFileAtomic(stale, "garbage"));
+
+    // An entry whose filename does not match its embedded key.
+    std::string misnamed = dir + "/" +
+                           keyFileName({1, 2, 3, 4});
+    ASSERT_TRUE(writeFileAtomic(misnamed, good));
+
+    ResultStore store(dir);
+    ASSERT_TRUE(store.open());
+    StoreStats s = store.stats();
+    EXPECT_EQ(s.entries, 1u) << "only the pristine entry survives";
+    EXPECT_EQ(s.quarantined, 3u);
+
+    std::string got;
+    EXPECT_TRUE(store.get(good_key, &got));
+    EXPECT_EQ(got, good);
+    EXPECT_FALSE(store.get(rot_key, &got));
+    EXPECT_FALSE(store.get(torn_key, &got));
+
+    // Quarantined entries were moved aside, not destroyed.
+    std::ifstream qf(store.quarantineDir() + "/" +
+                     keyFileName(rot_key));
+    EXPECT_TRUE(qf.good());
+    // The stale temp was deleted outright.
+    struct stat st;
+    EXPECT_NE(::stat(stale.c_str(), &st), 0);
+}
+
+TEST(SvcStore, CorruptionUnderneathALiveStoreIsQuarantinedOnGet)
+{
+    std::string dir = freshDir("liverot");
+    ResultStore store(dir);
+    ASSERT_TRUE(store.open());
+
+    SimCacheKey key = sampleKey();
+    std::string entry = encodeResultEntry(key, sampleResult());
+    ASSERT_TRUE(store.put(key, entry));
+
+    // Rot the file behind the store's back.
+    std::string rotten = entry;
+    rotten[30] ^= 0x08;
+    std::ofstream(dir + "/" + keyFileName(key)) << rotten;
+
+    std::string got;
+    EXPECT_FALSE(store.get(key, &got)) << "rot must not be served";
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    EXPECT_FALSE(store.contains(key));
+}
+
+TEST(SvcStore, ByteBudgetEvictsLeastRecentlyUsed)
+{
+    SimCacheKey k1 = sampleKey();
+    SimCacheKey k2 = k1, k3 = k1;
+    k2.program ^= 2;
+    k3.program ^= 3;
+    std::string e1 = encodeResultEntry(k1, sampleResult());
+    std::string e2 = encodeResultEntry(k2, sampleResult());
+    std::string e3 = encodeResultEntry(k3, sampleResult());
+
+    // Budget fits two entries but not three.
+    ResultStore store(freshDir("evict"), 2 * e1.size() + e1.size() / 2);
+    ASSERT_TRUE(store.open());
+    ASSERT_TRUE(store.put(k1, e1));
+    ASSERT_TRUE(store.put(k2, e2));
+    EXPECT_EQ(store.stats().entries, 2u);
+
+    // Touch k1 so k2 is cold, then overflow with k3.
+    std::string got;
+    ASSERT_TRUE(store.get(k1, &got));
+    ASSERT_TRUE(store.put(k3, e3));
+
+    StoreStats s = store.stats();
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_TRUE(store.contains(k1));
+    EXPECT_FALSE(store.contains(k2)) << "LRU victim must be k2";
+    EXPECT_TRUE(store.contains(k3));
+}
+
+// --- server + client end to end ------------------------------------------
+
+/** Spin up an embedded server in a fresh dir. */
+struct TestServer
+{
+    explicit TestServer(SvcServerConfig cfg = {})
+    {
+        std::string dir = freshDir("srv");
+        cfg.socketPath = dir + "/d.sock";
+        cfg.storeDir = dir + "/store";
+        config = cfg;
+        server = std::make_unique<SvcServer>(cfg);
+        std::string err;
+        EXPECT_TRUE(server->start(&err)) << err;
+    }
+
+    SvcServerConfig config;
+    std::unique_ptr<SvcServer> server;
+};
+
+SvcClientConfig
+clientConfigFor(const TestServer &ts)
+{
+    SvcClientConfig cfg;
+    cfg.socketPath = ts.config.socketPath;
+    cfg.requestTimeoutMs = 60'000;
+    cfg.maxRetries = 1;
+    cfg.backoffBaseMs = 5;
+    cfg.backoffMaxMs = 20;
+    return cfg;
+}
+
+/** Build the Runner-shaped request for a suite benchmark. */
+struct SuiteRequest
+{
+    explicit SuiteRequest(const std::string &bench)
+        : prep(prepareBenchmark(bench, ExperimentParams{}))
+    {
+        req.fe = prep.armFe.get();
+        req.core = &core;
+        req.bench = bench;
+        req.isFits = false;
+    }
+
+    PreparedBench prep;
+    CoreConfig core;
+    SimRequest req;
+};
+
+TEST(SvcService, DaemonComputesSuiteBenchmarkIdenticallyToLocal)
+{
+    TestServer ts;
+    SuiteRequest sr("crc32");
+
+    // The reference: a purely local simulation of the same request.
+    SimCache::instance().clear();
+    SimResult local = localSimService().simulate(sr.req);
+
+    MetricRegistry reg;
+    MetricRegistry *prev = MetricRegistry::install(&reg);
+    SvcClient client(clientConfigFor(ts));
+    EXPECT_TRUE(client.ping());
+
+    // Cold local cache: the client must take the socket path, have
+    // the daemon simulate, and return a byte-equal result.
+    SimCache::instance().clear();
+    SimResult remote = client.simulate(sr.req);
+    expectSameResult(local, remote);
+    EXPECT_EQ(reg.counter("svc.requests").value(), 1u);
+    EXPECT_EQ(reg.counter("svc.store.hits").value(), 1u);
+    EXPECT_EQ(reg.counter("svc.fallbacks").value(), 0u);
+
+    // The hit was seeded into the local SimCache: a repeat is free
+    // (no new request), and the manifest provenance sees the key.
+    SimResult repeat = client.simulate(sr.req);
+    expectSameResult(local, repeat);
+    EXPECT_EQ(reg.counter("svc.requests").value(), 1u);
+
+    // Warm store, cold caches: served from disk without simulating.
+    SimCache::instance().clear();
+    uint64_t store_hits_before = ts.server->store().stats().hits;
+    SimResult warmed = client.simulate(sr.req);
+    expectSameResult(local, warmed);
+    EXPECT_GT(ts.server->store().stats().hits, store_hits_before);
+    EXPECT_EQ(reg.counter("svc.store.hits").value(), 2u);
+
+    client.recordServerStats();
+    EXPECT_EQ(reg.gauge("svc.store.quarantined").value(), 0);
+
+    MetricRegistry::install(prev);
+    SimCache::instance().clear();
+}
+
+TEST(SvcService, WarmStoreSurvivesDaemonRestart)
+{
+    std::string dir = freshDir("restart");
+    SvcServerConfig cfg;
+    cfg.socketPath = dir + "/d.sock";
+    cfg.storeDir = dir + "/store";
+
+    SuiteRequest sr("sha");
+    {
+        SvcServer first(cfg);
+        std::string err;
+        ASSERT_TRUE(first.start(&err)) << err;
+        SvcClientConfig ccfg;
+        ccfg.socketPath = cfg.socketPath;
+        SvcClient client(ccfg);
+        SimCache::instance().clear();
+        client.simulate(sr.req);
+        first.stop();
+    }
+
+    // A new daemon over the same store dir recovers the entry and
+    // serves it without a single fresh simulation.
+    SvcServer second(cfg);
+    std::string err;
+    ASSERT_TRUE(second.start(&err)) << err;
+    EXPECT_EQ(second.store().stats().entries, 1u);
+
+    SimCache::instance().clear();
+    SvcClientConfig ccfg;
+    ccfg.socketPath = cfg.socketPath;
+    SvcClient client(ccfg);
+    SimResult served = client.simulate(sr.req);
+    EXPECT_EQ(SimCache::instance().misses(), 0u)
+        << "a warm store must avoid local simulation entirely";
+    EXPECT_EQ(served.run.outcome, RunOutcome::Completed);
+    EXPECT_EQ(second.store().stats().hits, 1u);
+    second.stop();
+    SimCache::instance().clear();
+}
+
+TEST(SvcService, DeadlineExpiryAnswersWatchdogExpiredAndClientFallsBack)
+{
+    SvcServerConfig cfg;
+    cfg.testComputeDelayMs = 2'000; // every compute stalls 2 s
+    TestServer ts(cfg);
+    SuiteRequest sr("crc32");
+
+    // Raw protocol check: a sim request with a short deadline gets a
+    // structured timeout carrying the WatchdogExpired vocabulary.
+    {
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        w.beginObject();
+        w.field("schema", kSvcSchema);
+        w.field("op", "sim");
+        w.field("bench", "crc32");
+        w.field("isa", "arm");
+        w.key("core");
+        writeCoreConfigJson(w, sr.core);
+        w.key("faults");
+        writeFaultParamsJson(w, FaultParams{});
+        w.field("max_retries", static_cast<uint64_t>(0));
+        w.key("observers");
+        w.beginObject();
+        w.field("interval_instructions", static_cast<uint64_t>(0));
+        w.endObject();
+        w.key("key");
+        writeKeyJson(w, sr.req.key());
+        w.field("deadline_ms", static_cast<int64_t>(200));
+        w.endObject();
+
+        JsonValue resp =
+            JsonValue::parse(rawRequest(ts.config.socketPath, os.str()));
+        ASSERT_TRUE(resp.get("ok").asBool());
+        EXPECT_EQ(resp.get("status").asString(), "timeout");
+        EXPECT_EQ(resp.get("outcome").asString(),
+                  runOutcomeName(RunOutcome::WatchdogExpired));
+        EXPECT_EQ(resp.get("outcome").asString(), "watchdog-expired");
+    }
+
+    // Client check: the same expiry degrades to local simulation —
+    // the run still completes, and the hop is counted.
+    MetricRegistry reg;
+    MetricRegistry *prev = MetricRegistry::install(&reg);
+    SvcClientConfig ccfg = clientConfigFor(ts);
+    ccfg.requestTimeoutMs = 300;
+    SvcClient client(ccfg);
+
+    SimCache::instance().clear();
+    SimResult result = client.simulate(sr.req);
+    EXPECT_EQ(result.run.outcome, RunOutcome::Completed);
+    EXPECT_EQ(reg.counter("svc.timeouts").value(), 1u);
+    EXPECT_EQ(reg.counter("svc.fallbacks").value(), 1u);
+
+    MetricRegistry::install(prev);
+    ts.server->stop();
+    SimCache::instance().clear();
+}
+
+TEST(SvcService, HungServerRetriesWithBackoffThenFallsBack)
+{
+    // A listener that accepts nothing: connects land in the backlog,
+    // the request is written into the socket buffer, and no response
+    // ever comes — the worst kind of peer.
+    std::string dir = freshDir("hung");
+    std::string sock = dir + "/hung.sock";
+    int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, sock.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<struct sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(lfd, 8), 0);
+
+    MetricRegistry reg;
+    MetricRegistry *prev = MetricRegistry::install(&reg);
+    SvcClientConfig ccfg;
+    ccfg.socketPath = sock;
+    ccfg.requestTimeoutMs = 100;
+    ccfg.maxRetries = 2;
+    ccfg.backoffBaseMs = 5;
+    ccfg.backoffMaxMs = 20;
+    SvcClient client(ccfg);
+
+    SuiteRequest sr("crc32");
+    SimCache::instance().clear();
+    SimResult result = client.simulate(sr.req);
+    EXPECT_EQ(result.run.outcome, RunOutcome::Completed)
+        << "a hung daemon must never fail the run";
+    EXPECT_EQ(reg.counter("svc.retries").value(), 2u);
+    EXPECT_EQ(reg.counter("svc.fallbacks").value(), 1u);
+    EXPECT_EQ(reg.counter("svc.store.hits").value(), 0u);
+
+    MetricRegistry::install(prev);
+    ::close(lfd);
+    SimCache::instance().clear();
+}
+
+TEST(SvcService, AbsentDaemonFallsBackCleanly)
+{
+    MetricRegistry reg;
+    MetricRegistry *prev = MetricRegistry::install(&reg);
+    SvcClientConfig ccfg;
+    ccfg.socketPath = freshDir("absent") + "/never-created.sock";
+    ccfg.maxRetries = 2;
+    ccfg.backoffBaseMs = 1;
+    ccfg.backoffMaxMs = 5;
+    SvcClient client(ccfg);
+    EXPECT_FALSE(client.ping());
+
+    SuiteRequest sr("crc32");
+    SimCache::instance().clear();
+    SimResult result = client.simulate(sr.req);
+    EXPECT_EQ(result.run.outcome, RunOutcome::Completed);
+    EXPECT_GT(reg.counter("svc.fallbacks").value(), 0u);
+
+    MetricRegistry::install(prev);
+    SimCache::instance().clear();
+}
+
+TEST(SvcService, GetPutLeaseProtocolForNonSuitePrograms)
+{
+    TestServer ts;
+    SimCacheKey key = sampleKey();
+    std::string entry = encodeResultEntry(key, sampleResult());
+
+    auto getReq = [&](bool lease) {
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        w.beginObject();
+        w.field("schema", kSvcSchema);
+        w.field("op", "get");
+        w.key("key");
+        writeKeyJson(w, key);
+        w.field("wait", false);
+        w.field("lease", lease);
+        w.field("deadline_ms", static_cast<int64_t>(2'000));
+        w.endObject();
+        return os.str();
+    };
+
+    // Miss, with a compute lease granted to us.
+    JsonValue r1 =
+        JsonValue::parse(rawRequest(ts.config.socketPath, getReq(true)));
+    ASSERT_TRUE(r1.get("ok").asBool());
+    EXPECT_EQ(r1.get("status").asString(), "miss");
+    EXPECT_TRUE(r1.get("lease").asBool());
+
+    // We "computed"; publish the entry.
+    std::ostringstream put;
+    JsonWriter w(put, 0);
+    w.beginObject();
+    w.field("schema", kSvcSchema);
+    w.field("op", "put");
+    w.field("entry", entry);
+    w.endObject();
+    JsonValue r2 =
+        JsonValue::parse(rawRequest(ts.config.socketPath, put.str()));
+    ASSERT_TRUE(r2.get("ok").asBool());
+    EXPECT_EQ(r2.get("status").asString(), "stored");
+
+    // Everyone now hits, byte-for-byte.
+    JsonValue r3 = JsonValue::parse(
+        rawRequest(ts.config.socketPath, getReq(false)));
+    ASSERT_TRUE(r3.get("ok").asBool());
+    EXPECT_EQ(r3.get("status").asString(), "hit");
+    EXPECT_EQ(r3.get("entry").asString(), entry);
+}
+
+TEST(SvcService, MalformedRequestsGetStructuredErrorsNotCrashes)
+{
+    TestServer ts;
+    for (const std::string &bad :
+         {std::string("not json at all"), std::string("{}"),
+          std::string("{\"op\":\"frobnicate\"}"),
+          std::string("{\"op\":\"sim\"}"),
+          std::string("{\"op\":\"put\",\"entry\":\"garbage\"}"),
+          std::string("{\"op\":\"get\",\"key\":{\"program\":17}}")}) {
+        JsonValue resp =
+            JsonValue::parse(rawRequest(ts.config.socketPath, bad));
+        ASSERT_TRUE(resp.isObject()) << bad;
+        EXPECT_FALSE(resp.get("ok").asBool()) << bad;
+        EXPECT_TRUE(resp.get("error").isString()) << bad;
+    }
+    // The server is still healthy afterwards.
+    SvcClientConfig ccfg;
+    ccfg.socketPath = ts.config.socketPath;
+    SvcClient client(ccfg);
+    EXPECT_TRUE(client.ping());
+}
+
+} // namespace
+} // namespace pfits
