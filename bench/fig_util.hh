@@ -59,6 +59,12 @@ struct BenchOptions
 {
     bool csv = false;
     unsigned jobs = 0; //!< 0 = process default pool
+
+    //!< Machine execution loop; the backends are result-equivalent
+    //!< (differentially verified), so tables are byte-identical —
+    //!< "fast" just gets there quicker.
+    SimBackend backend = SimBackend::Interp;
+
     bool traceOnTrap = false;
     std::string traceDir = ".";
     std::string jsonPath; //!< empty = no manifest
@@ -71,11 +77,16 @@ inline void
 printUsage(const char *tool, std::ostream &os)
 {
     os << "usage: " << tool
-       << " [--csv] [--jobs N] [--trace-on-trap] [--trace-dir DIR]"
+       << " [--csv] [--jobs N] [--backend interp|fast]"
+          " [--trace-on-trap] [--trace-dir DIR]"
           " [--json PATH]\n"
           "  --csv            print tables as CSV\n"
           "  --jobs N         engine worker count (PFITS_JOBS also "
           "works)\n"
+          "  --backend B      simulator loop: interp (default) or "
+          "fast\n"
+          "                   (verified result-equivalent; tables are "
+          "byte-identical)\n"
           "  --trace-on-trap  dump a bounded event trace on "
           "trap/machine-check\n"
           "  --trace-dir DIR  directory for trace JSONL files "
@@ -142,6 +153,13 @@ parseArgs(int argc, char **argv, const char *tool)
             opts.daemonSocket = std::string(arg.substr(9));
             if (opts.daemonSocket.empty())
                 reject("--daemon= wants a socket path");
+        } else if (arg == "--backend") {
+            if (!parseSimBackend(wantValue(i, arg), &opts.backend))
+                reject("bad --backend value (interp|fast)");
+        } else if (arg.rfind("--backend=", 0) == 0) {
+            if (!parseSimBackend(std::string(arg.substr(10)),
+                                 &opts.backend))
+                reject("bad --backend value (interp|fast)");
         } else if (arg == "--jobs") {
             opts.jobs = parseCount(wantValue(i, arg));
         } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -202,6 +220,11 @@ class BenchHarness
           note_(note ? note : ""), startNs_(monotonicNs()),
           startCpuMs_(processCpuMs())
     {
+        // Distinct manifest identity per backend: aggregation and the
+        // regression gate key benches by tool name, and an interp and
+        // a fast run of the same binary are separate tracked series.
+        if (opts_.backend != SimBackend::Interp)
+            tool_ += std::string("+") + simBackendName(opts_.backend);
         if (wantManifest())
             previous_ = MetricRegistry::install(&registry_);
         if (!opts_.daemonSocket.empty()) {
@@ -234,6 +257,7 @@ class BenchHarness
     applyTo(ExperimentParams &params)
     {
         params.jobs = opts_.jobs;
+        params.core.backend = opts_.backend;
         if (opts_.traceOnTrap) {
             params.observers.traceOnTrap = true;
             params.observers.traceDepth = 64;
@@ -257,6 +281,12 @@ class BenchHarness
     {
         manifestParams_.recorded = true;
         manifestParams_.jobs = params.jobs;
+        // Recorded only when non-default so pre-backend manifests
+        // keep their exact bytes.
+        manifestParams_.backend =
+            params.core.backend == SimBackend::Interp
+                ? ""
+                : simBackendName(params.core.backend);
         manifestParams_.faultSeed =
             params.faults.enabled() ? params.faults.seed : 0;
         manifestParams_.faultRetries = params.faultRetries;

@@ -34,13 +34,26 @@ crcProgram()
     return prog;
 }
 
+/** Arg(0) = interp, Arg(1) = fast — the backends run side by side so
+ * one invocation reports the speedup ratio in instructions/second. */
+CoreConfig
+coreForArg(benchmark::State &state)
+{
+    CoreConfig core;
+    core.backend =
+        state.range(0) ? SimBackend::Fast : SimBackend::Interp;
+    state.SetLabel(simBackendName(core.backend));
+    return core;
+}
+
 void
 BM_ArmSimulate(benchmark::State &state)
 {
     ArmFrontEnd fe(crcProgram());
+    const CoreConfig core = coreForArg(state);
     uint64_t instructions = 0;
     for (auto _ : state) {
-        Machine machine(fe, CoreConfig{});
+        Machine machine(fe, core);
         RunResult rr = machine.run();
         instructions += rr.instructions;
         benchmark::DoNotOptimize(rr.cycles);
@@ -49,7 +62,10 @@ BM_ArmSimulate(benchmark::State &state)
         static_cast<double>(instructions) / 1e6,
         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_ArmSimulate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ArmSimulate)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_FitsSimulate(benchmark::State &state)
@@ -57,9 +73,10 @@ BM_FitsSimulate(benchmark::State &state)
     ProfileInfo profile = profileProgram(crcProgram());
     FitsIsa isa = synthesize(profile, SynthParams{}, "crc32");
     FitsFrontEnd fe(translateProgram(crcProgram(), isa, profile));
+    const CoreConfig core = coreForArg(state);
     uint64_t instructions = 0;
     for (auto _ : state) {
-        Machine machine(fe, CoreConfig{});
+        Machine machine(fe, core);
         RunResult rr = machine.run();
         instructions += rr.instructions;
         // Matches BM_ArmSimulate: without this the compiler may elide
@@ -70,7 +87,10 @@ BM_FitsSimulate(benchmark::State &state)
         static_cast<double>(instructions) / 1e6,
         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FitsSimulate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FitsSimulate)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * Observer-layer overhead: the same FITS simulation with Arg(n) no-op

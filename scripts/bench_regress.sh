@@ -60,6 +60,10 @@ benches=(
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
+# Each bench runs once per backend; the fast run writes a manifest
+# under the distinct tool identity "<bench>+fast", so the suite file
+# tracks the interp and fast series separately (and a table divergence
+# between them trips the same gate as any other drift).
 status=0
 for bench in "${benches[@]}"; do
     bin="$build/bench/$bench"
@@ -68,15 +72,23 @@ for bench in "${benches[@]}"; do
         status=1
         continue
     fi
-    if ! "$bin" --json "$workdir/$bench.json" > /dev/null 2>&1; then
-        echo "bench_regress: $bench FAILED" >&2
-        status=1
-        continue
-    fi
-    if ! "$report" validate "$workdir/$bench.json" > /dev/null; then
-        echo "bench_regress: $bench wrote an invalid manifest" >&2
-        status=1
-    fi
+    for backend in interp fast; do
+        out="$workdir/$bench.json"
+        flags=()
+        if [[ "$backend" == "fast" ]]; then
+            out="$workdir/$bench+fast.json"
+            flags=(--backend=fast)
+        fi
+        if ! "$bin" "${flags[@]}" --json "$out" > /dev/null 2>&1; then
+            echo "bench_regress: $bench ($backend) FAILED" >&2
+            status=1
+            continue
+        fi
+        if ! "$report" validate "$out" > /dev/null; then
+            echo "bench_regress: $bench ($backend) wrote an invalid manifest" >&2
+            status=1
+        fi
+    done
 done
 if [[ $status -ne 0 ]]; then
     echo "bench_regress: FAILED before aggregation" >&2

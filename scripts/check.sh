@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Pre-merge gate: build and run the full test suite three times —
 # plain, AddressSanitizer + UBSan, and UBSan alone (non-recovering) —
-# then diff every figure binary against its committed golden snapshot.
+# then diff every figure binary against its committed golden snapshot
+# on both simulator backends, with fast-backend differential shards
+# under every build flavour.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,12 +30,25 @@ run_suite "$repo/build" -DASAN=OFF
 echo "=== differential verification (pfits_verify) ==="
 "$repo/build/src/verify/pfits_verify" --count 500 --jobs "$jobs"
 
+# A fast-backend-only shard on top of the interp+fast cross-execution
+# above: diffProgram still compares against the golden interpreter, so
+# this pins the fast loop in isolation (a divergence here bisects to
+# one backend in a single run).
+echo "=== differential verification (fast backend shard) ==="
+"$repo/build/src/verify/pfits_verify" --count 200 --jobs "$jobs" \
+    --backend fast
+
 # The figure binaries must print byte-identical tables to their
 # committed snapshots (tests/golden/): measurements are observers now,
 # and this gate catches any instrumentation change leaking into
 # results. Regenerate deliberately with golden_check.sh --update.
+# The second sweep reruns every binary with --backend=fast against the
+# SAME snapshots — the fast loop must reproduce the interpreter's
+# tables byte for byte.
 echo "=== golden snapshots ==="
 "$repo/scripts/golden_check.sh" "$repo/build"
+echo "=== golden snapshots (fast backend) ==="
+"$repo/scripts/golden_check.sh" "$repo/build" --backend=fast
 
 # Manifest-based regression tracking: every bench re-runs with --json,
 # the manifests aggregate into BENCH_suite.json, and table values are
@@ -56,9 +71,17 @@ echo "=== pfitsd crash fuzz ==="
 PFITS_JOBS=4 run_suite "$repo/build-asan" -DASAN=ON
 
 # A smaller differential shard under ASan: the golden interpreter and
-# the differential runner themselves get leak/overflow coverage.
+# the differential runner themselves get leak/overflow coverage. The
+# fast-backend shard and golden sweep run sanitized too — the batched
+# dispatch loop does its own pointer arithmetic over the predecoded
+# trace and earns the same scrutiny as the interpreter.
 echo "=== differential verification (ASan shard) ==="
 PFITS_JOBS=4 "$repo/build-asan/src/verify/pfits_verify" --count 50
+echo "=== differential verification (ASan fast backend shard) ==="
+PFITS_JOBS=4 "$repo/build-asan/src/verify/pfits_verify" --count 50 \
+    --backend fast
+echo "=== golden snapshots (ASan, fast backend) ==="
+"$repo/scripts/golden_check.sh" "$repo/build-asan" --backend=fast
 
 # One crash-fuzz pass with the daemon and clients under ASan: the
 # kill/restart/quarantine paths get leak and overflow coverage.
@@ -66,5 +89,11 @@ echo "=== pfitsd crash fuzz (ASan) ==="
 PFITS_JOBS=4 "$repo/scripts/svc_crash_fuzz.sh" "$repo/build-asan"
 
 PFITS_JOBS=4 run_suite "$repo/build-ubsan" -DUBSAN=ON
+
+echo "=== differential verification (UBSan fast backend shard) ==="
+PFITS_JOBS=4 "$repo/build-ubsan/src/verify/pfits_verify" --count 50 \
+    --backend fast
+echo "=== golden snapshots (UBSan, fast backend) ==="
+"$repo/scripts/golden_check.sh" "$repo/build-ubsan" --backend=fast
 
 echo "=== all checks passed (plain + sanitized + golden) ==="

@@ -4,18 +4,43 @@
 # tests/golden/. This guards the probe refactor's promise that
 # instrumentation seams never change measured results.
 #
-# Usage: golden_check.sh <build-dir> [--update]
-#   --update  regenerate the snapshots from the current binaries
-#             (review the diff before committing).
+# Usage: golden_check.sh <build-dir> [--update] [--backend=fast]
+#   --update        regenerate the snapshots from the current binaries
+#                   (review the diff before committing).
+#   --backend=fast  run every binary on the fast simulator backend but
+#                   diff against the SAME snapshots: the backends are
+#                   result-equivalent by contract, so the committed
+#                   interp tables are the fast backend's golden too.
 set -euo pipefail
 
 if [[ $# -lt 1 ]]; then
-    echo "usage: $0 <build-dir> [--update]" >&2
+    echo "usage: $0 <build-dir> [--update] [--backend=fast]" >&2
     exit 2
 fi
 
 build="$1"
-update="${2:-}"
+shift
+update=""
+backend_flags=()
+tag=""
+for arg in "$@"; do
+    case "$arg" in
+    --update) update="--update" ;;
+    --backend=*)
+        backend_flags=("$arg")
+        tag=" (${arg#--backend=})"
+        ;;
+    *)
+        echo "golden: unknown argument '$arg'" >&2
+        exit 2
+        ;;
+    esac
+done
+if [[ "$update" == "--update" && ${#backend_flags[@]} -gt 0 ]]; then
+    echo "golden: snapshots are regenerated on the default backend" \
+         "only; drop --backend to --update" >&2
+    exit 2
+fi
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 golden="$repo/tests/golden"
 
@@ -65,12 +90,13 @@ for bench in "${benches[@]}"; do
         status=1
         continue
     fi
-    if ! "$bin" 2>/dev/null | diff -u "$snapshot" - > /tmp/golden_diff_$$; then
-        echo "golden: MISMATCH $bench" >&2
+    if ! "$bin" "${backend_flags[@]}" 2>/dev/null |
+            diff -u "$snapshot" - > /tmp/golden_diff_$$; then
+        echo "golden: MISMATCH $bench$tag" >&2
         head -40 /tmp/golden_diff_$$ >&2
         status=1
     else
-        echo "golden: ok $bench"
+        echo "golden: ok $bench$tag"
     fi
     rm -f /tmp/golden_diff_$$
 done

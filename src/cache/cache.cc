@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include <bit>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -56,6 +58,12 @@ Cache::Cache(const CacheConfig &config)
     lines_.assign(static_cast<size_t>(config_.numSets()) * config_.assoc,
                   Line{});
     nextWay_.assign(config_.numSets(), 0);
+    // validate() guarantees lineBytes and numSets are powers of two.
+    lineShift_ = static_cast<unsigned>(std::countr_zero(config_.lineBytes));
+    setShift_ = static_cast<unsigned>(std::countr_zero(config_.numSets()));
+    setMask_ = config_.numSets() - 1;
+    hintSlots_.assign(static_cast<size_t>(config_.numSets()) * kHintWays,
+                      ~0ull);
 }
 
 uint32_t
@@ -122,6 +130,7 @@ Cache::access(uint32_t addr, bool write)
         Line &line = lines_[base + way];
         if (line.valid && line.tag == tag) {
             if (line.corrupt) {
+                lastLineAddr_ = kNoLine;
                 if (config_.parity) {
                     // Parity catches the flip on consumption: invalidate
                     // the line and fall through to the miss (refetch)
@@ -151,6 +160,8 @@ Cache::access(uint32_t addr, bool write)
                 // Write-through caches propagate immediately; the power
                 // model charges the bus write from the access counters.
             }
+            lastLineAddr_ = addr / config_.lineBytes;
+            lastHitIdx_ = base + way;
             return CacheAccessResult{true, false, 0, false, false};
         }
     }
@@ -172,8 +183,10 @@ Cache::handleMiss(uint32_t addr, bool write)
     else
         ++stats_.readMisses;
 
-    if (write && !config_.writeBack)
+    if (write && !config_.writeBack) {
+        lastLineAddr_ = kNoLine;
         return result; // write-around: no allocation
+    }
 
     uint32_t way = victimWay(set);
     Line &line = lines_[base + way];
@@ -188,6 +201,10 @@ Cache::handleMiss(uint32_t addr, bool write)
     line.corrupt = false;
     line.tag = tag;
     line.stamp = tick_;
+    // The refilled line is resident and clean: repeat accesses may take
+    // the touchRepeat() fast path until something disturbs the array.
+    lastLineAddr_ = addr / config_.lineBytes;
+    lastHitIdx_ = base + way;
     return result;
 }
 
@@ -204,6 +221,9 @@ Cache::injectBitFlip(Rng &rng)
         if (pick == 0) {
             line.corrupt = true;
             ++stats_.faultsInjected;
+            // The struck line may be the repeat-hint one; the next
+            // access must take the full path so parity can see it.
+            lastLineAddr_ = kNoLine;
             return true;
         }
         --pick;
@@ -241,6 +261,7 @@ Cache::flush()
         line = Line{};
     for (uint32_t &way : nextWay_)
         way = 0;
+    lastLineAddr_ = kNoLine;
 }
 
 void

@@ -110,6 +110,128 @@ class Cache
     /** Simulate one access; updates tags, counters and replacement. */
     CacheAccessResult access(uint32_t addr, bool write);
 
+    /**
+     * Same-line repeat fast path (used by the SimBackend::Fast loop).
+     *
+     * lastLineAddr() identifies the line the most recent access left
+     * resident and clean (addr / lineBytes), or kNoLine after a
+     * write-around miss, a parity or corrupt-delivery outcome, an
+     * injectBitFlip() or a flush(). While it matches the line of the
+     * next access — and nothing can touch the array in between — that
+     * access is guaranteed to be another clean hit, and touchRepeat()
+     * applies exactly the state updates a full access() would (access
+     * counter, LRU stamp, dirty bit for write-back writes) without the
+     * tag scan. The access result is CacheAccessResult{hit=true} with
+     * every other field false.
+     */
+    static constexpr uint64_t kNoLine = ~0ull;
+
+    uint64_t lastLineAddr() const { return lastLineAddr_; }
+
+    /** lines_ index behind lastLineAddr(); meaningful only while
+     * lastLineAddr() != kNoLine. Callers batching repeat hits stash it
+     * for applyRepeatsAt(). */
+    size_t lastHitIdx() const { return lastHitIdx_; }
+
+    void
+    touchRepeat(bool write)
+    {
+        applyRepeats(write ? 0u : 1u, write ? 1u : 0u);
+    }
+
+    /**
+     * Batched form of touchRepeat: apply @p reads + @p writes repeat
+     * hits of the hint line in one step. The final cache state is
+     * identical to that many sequential touchRepeat calls — the tick
+     * advances by the access count, the counters absorb the split,
+     * the LRU stamp lands on the last tick, and any write dirties a
+     * write-back line; the intermediate stamps are unobservable. The
+     * fast backend accumulates same-line streaks in registers and
+     * flushes them here only when the streak breaks.
+     */
+    void
+    applyRepeats(uint32_t reads, uint32_t writes)
+    {
+        applyRepeatsAt(lastHitIdx_, reads, writes);
+    }
+
+    /**
+     * applyRepeats against an explicit line (a lastHitIdx() the caller
+     * captured while that line was the hint). Sound whenever nothing
+     * else touched the cache between the captured hit and this call —
+     * the line is then still resident and clean, exactly as the
+     * repeat-hint contract above requires. The fast backend uses this
+     * to batch two interleaved line streaks: flushing them in
+     * last-touch order reproduces the relative LRU stamp order a
+     * per-access interpreter would leave (absolute stamp values differ
+     * but only their in-set ordering is observable, through victim
+     * choice).
+     */
+    void
+    applyRepeatsAt(size_t idx, uint32_t reads, uint32_t writes)
+    {
+        tick_ += reads + writes;
+        stats_.reads += reads;
+        stats_.writes += writes;
+        Line &line = lines_[idx];
+        if (config_.policy == ReplPolicy::LRU)
+            line.stamp = tick_;
+        if (writes != 0 && config_.writeBack)
+            line.dirty = true;
+    }
+
+    /**
+     * access() with an O(1) clean-hit path (used by SimBackend::Fast).
+     *
+     * A per-set way-hint table — a direct-mapped cache of the cache —
+     * remembers which way a tag was last found in. A hinted hit is
+     * validated against the authoritative line (valid, tag match, not
+     * corrupt) before the usual hit updates are applied, so stale
+     * entries are harmless: any eviction, flush or injected fault
+     * makes the validation fail and the access falls back to the full
+     * access() scan, which then refreshes the hint. State updates and
+     * the returned result are bit-identical to access(); only the tag
+     * scan is skipped. The reference interpreter keeps calling
+     * access() so the backends share one source of truth for misses,
+     * replacement and faults.
+     */
+    CacheAccessResult
+    accessFast(uint32_t addr, bool write)
+    {
+        const uint32_t la = addr >> lineShift_;
+        const uint32_t set = la & setMask_;
+        const uint32_t tag = la >> setShift_;
+        uint64_t &slot =
+            hintSlots_[set * kHintWays + (tag & (kHintWays - 1))];
+        if (static_cast<uint32_t>(slot >> 16) == tag) {
+            const size_t idx = static_cast<size_t>(set) * config_.assoc +
+                               (slot & 0xffffu);
+            Line &line = lines_[idx];
+            if (line.valid && line.tag == tag && !line.corrupt) {
+                ++tick_;
+                if (write) {
+                    ++stats_.writes;
+                    if (config_.writeBack)
+                        line.dirty = true;
+                } else {
+                    ++stats_.reads;
+                }
+                if (config_.policy == ReplPolicy::LRU)
+                    line.stamp = tick_;
+                lastLineAddr_ = la;
+                lastHitIdx_ = idx;
+                return CacheAccessResult{true, false, 0, false, false};
+            }
+        }
+        CacheAccessResult result = access(addr, write);
+        if (lastLineAddr_ == la)
+            slot = (static_cast<uint64_t>(tag) << 16) |
+                   static_cast<uint64_t>(
+                       lastHitIdx_ -
+                       static_cast<size_t>(set) * config_.assoc);
+        return result;
+    }
+
     /** Probe without updating any state. */
     bool contains(uint32_t addr) const;
 
@@ -154,6 +276,21 @@ class Cache
     uint64_t tick_ = 0;
     Rng rng_;
     CacheStats stats_;
+    uint64_t lastLineAddr_ = kNoLine;  //!< repeat-hint line (see above)
+    size_t lastHitIdx_ = 0;            //!< lines_ index behind the hint
+
+    /**
+     * Way-hint table for accessFast(): kHintWays slots per set, each
+     * packing (tag << 16 | way), keyed by the tag's low bits. Entries
+     * are advisory — never invalidated, always validated against
+     * lines_ before use. ~0 is an unmatchable sentinel (tags fit in
+     * 30 bits: line addresses are at most 30 bits wide).
+     */
+    static constexpr uint32_t kHintWays = 16;
+    std::vector<uint64_t> hintSlots_;
+    unsigned lineShift_ = 0; //!< log2(lineBytes), for accessFast()
+    unsigned setShift_ = 0;  //!< log2(numSets)
+    uint32_t setMask_ = 0;   //!< numSets - 1
 };
 
 } // namespace pfits

@@ -126,6 +126,11 @@ hashCoreConfig(const CoreConfig &core)
     h.u64(core.maxInstructions);
     h.u64(static_cast<uint64_t>(core.clockHz * 1e3));
     h.u64(core.packedFetch ? 1 : 0);
+    // Hashed only when non-default: the backends are result-equivalent,
+    // but cached artifacts must say which loop actually produced them —
+    // and every pre-existing interp memo key must keep its value.
+    if (core.backend != SimBackend::Interp)
+        h.u64(static_cast<uint64_t>(core.backend) + 1);
     return h.h;
 }
 

@@ -124,6 +124,8 @@ RunManifest::write(std::ostream &os) const
     w.beginObject();
     w.field("recorded", params.recorded);
     w.field("jobs", params.jobs);
+    if (!params.backend.empty())
+        w.field("backend", params.backend);
     w.key("fault_seed");
     w.hexValue(params.faultSeed);
     w.field("fault_retries", params.faultRetries);

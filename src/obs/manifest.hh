@@ -68,6 +68,7 @@ struct ManifestParams
     uint64_t traceDepth = 0;
     bool traceOnTrap = false;
     std::string traceDir;
+    std::string backend; //!< Machine execution loop ("interp"/"fast")
 };
 
 /** Everything one manifest serializes; fill and call write(). */

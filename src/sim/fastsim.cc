@@ -1,0 +1,1645 @@
+/**
+ * @file
+ * The SimBackend::Fast execution loop.
+ *
+ * The reference interpreter (machine.cc runLoop + executor.cc execute)
+ * pays per *dynamic* instruction for work that only depends on the
+ * *static* instruction: two virtual front-end calls, a full ExecInfo
+ * reset, the operand2/offset-kind decode switches, and the tag scan of
+ * a 32-way I-cache set for a fetch that almost always lands in the
+ * line it just hit. This backend hoists all of it out of the loop:
+ *
+ *  - predecode: one pass over the static code builds a flat FastOp
+ *    trace — per instruction a handler function pointer specialized on
+ *    (op, operand kind, S-bit), the byte address, raw encoding,
+ *    read-register mask, immediates, the absolute branch target, and
+ *    every ExecInfo field that is a pure function of the static
+ *    instruction (destination register, extra latency, base-writeback,
+ *    classification bits);
+ *  - dispatch: the loop is condition-check + one indirect call; the
+ *    handler updates the register file and at most two effect scalars
+ *    (branch target index, memory access list) — everything else the
+ *    scoreboard consumes comes straight from the FastOp;
+ *  - timing: the issue/writeback scoreboard from machine.cc is inlined
+ *    verbatim, and fetches/data accesses that stay within the
+ *    most-recently-hit cache line accumulate in plain counters that
+ *    flush through Cache::applyRepeats() only when the streak breaks
+ *    (same final cache state, no per-access tag scan or counter RMW);
+ *  - observers: the built-in counters are plain locals; external
+ *    observers get the same typed event stream via the HasExtra
+ *    template stamp, so TimingInvariantChecker, interval stats and
+ *    traces replay against this backend unchanged. A second HasFaults
+ *    stamp drops the soft-error machinery from fault-free runs.
+ *
+ * CORRECTNESS CONTRACT: every handler and every timing statement here
+ * replicates machine.cc/executor.cc exactly — same operation order,
+ * same partial state on traps, same trap message text. Any semantic
+ * change to either file must be mirrored; the differential harness
+ * (src/verify/differential.cc) cross-executes the two backends over
+ * every kernel and seeded random programs and requires field-for-field
+ * equal RunResults, and tests/test_verify.cc gates it in CI.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "sim/machine.hh"
+#include "sim/probe.hh"
+
+namespace pfits
+{
+
+namespace
+{
+
+struct FastOp;
+struct FastCtx;
+
+using FastExecFn = void (*)(FastCtx &, const FastOp &);
+
+/** Static per-op classification bits, precomputed at predecode. */
+enum : uint16_t
+{
+    kSetsFlags = 1u << 0,
+    kIsLoad = 1u << 1,
+    kIsStore = 1u << 2,
+    kIsMulDiv = 1u << 3,
+    kIsBranch = 1u << 4,
+    kIsLdm = 1u << 5,
+    kIsStm = 1u << 6,
+    kIsLongMul = 1u << 7,
+    kBaseWb = 1u << 8,   //!< LDM/STM with the base not in the list
+    kWideRead = 1u << 9, //!< readMask has > 4 bits (STM lists): the
+                         //!< issue stage walks the mask instead of the
+                         //!< fixed-width readRegs[] operand slots
+    kReadsFlags = 1u << 10, //!< waits on the NZCV scoreboard entry
+    kManyReads = 1u << 11,  //!< more than two register sources
+};
+
+/** One fully-resolved static instruction of the predecoded trace. */
+struct FastOp
+{
+    FastExecFn fn = nullptr;      //!< executed-path handler
+    const MicroOp *uop = nullptr; //!< source micro-op, for events
+    uint64_t branchTarget = 0;    //!< absolute target index (B/BL)
+    uint32_t addr = 0;            //!< byte address of the fetch
+    uint32_t encoding = 0;        //!< raw bits for toggle counting
+    uint32_t readMask = 0;        //!< MicroOp::readRegMask()
+    uint32_t imm = 0;             //!< op2 imm / SWI number / BL link addr
+    int32_t memDisp = 0;
+    uint16_t regList = 0;
+    uint16_t flags = 0;      //!< kSetsFlags | kIsLoad | ...
+    uint8_t rd = 0, rn = 0, rm = 0, rs = 0, ra = 0;
+    uint8_t cond = 0;        //!< static_cast<uint8_t>(Cond)
+    uint8_t shiftType = 0;   //!< static_cast<uint8_t>(ShiftType)
+    uint8_t shiftAmount = 0;
+    uint8_t wbReg = 0xff;    //!< ExecInfo::destReg when executed
+    uint8_t baseLatency = 0; //!< ExecInfo::extraLatency when executed
+
+    /**
+     * readMask unpacked into at most four operand slots, padded with
+     * the always-ready scoreboard scratch index: the issue stage takes
+     * four branch-free maxes instead of a data-dependent bit loop.
+     * Ops with more than four sources (STM lists) set kWideRead and
+     * keep the mask walk.
+     */
+    uint8_t readRegs[4] = {0, 0, 0, 0};
+
+    /**
+     * Fetch-toggle count against the STATIC predecessor op (index - 1,
+     * masked to the fetch width), valid whenever control arrived
+     * sequentially; op 0 is precomputed against an all-zero bus. Only
+     * a taken branch makes the dynamic predecessor differ from the
+     * static one, so only post-branch fetches pay the runtime XOR +
+     * popcount.
+     */
+    uint8_t toggleSeq = 0;
+
+    /** Dense hot-dispatch id consumed by the execute switch; 0 means
+     * "cold: call fn through the pointer table". */
+    uint8_t hot = 0;
+};
+
+/**
+ * Execution context shared by the loop and the handlers: architectural
+ * state plus the only two per-instruction effects that are not a pure
+ * function of the static instruction — the dynamic control-flow target
+ * (written by branch handlers, read only when the op is an executed
+ * branch) and the memory access list (written by memory handlers, read
+ * only when the op is an executed memory op, so stale values from a
+ * previous instruction are never observed and nothing is re-armed
+ * between dispatches).
+ */
+struct FastCtx
+{
+    CpuState state;
+    Memory &mem;
+    IoSinks io;
+    AddrCodec codec{};
+
+    uint64_t nextIndex = 0;
+    unsigned numMem = 0;
+    ExecInfo::MemAccess memAcc[ExecInfo::kMaxMem];
+
+    explicit FastCtx(Memory &m) : mem(m) {}
+};
+
+// --- functional helpers (verbatim executor.cc semantics) -----------------
+
+inline void
+setNZ(CpuState &state, uint32_t result)
+{
+    state.flags.n = (result >> 31) != 0;
+    state.flags.z = result == 0;
+}
+
+/** result = a + b + carry_in, with full NZCV update when SF. */
+template <bool SF>
+inline uint32_t
+addWithCarry(CpuState &state, uint32_t a, uint32_t b, uint32_t carry_in)
+{
+    uint64_t wide = static_cast<uint64_t>(a) + b + carry_in;
+    uint32_t result = static_cast<uint32_t>(wide);
+    if constexpr (SF) {
+        setNZ(state, result);
+        state.flags.c = (wide >> 32) != 0;
+        // Overflow: operands share a sign the result does not.
+        state.flags.v = (~(a ^ b) & (a ^ result) & 0x80000000u) != 0;
+    }
+    return result;
+}
+
+inline int32_t
+saturate64(int64_t v)
+{
+    if (v > std::numeric_limits<int32_t>::max())
+        return std::numeric_limits<int32_t>::max();
+    if (v < std::numeric_limits<int32_t>::min())
+        return std::numeric_limits<int32_t>::min();
+    return static_cast<int32_t>(v);
+}
+
+/** The flexible second operand, specialized on its kind. */
+template <Operand2Kind K>
+inline uint32_t
+evalOp2(const FastCtx &c, const FastOp &o)
+{
+    if constexpr (K == Operand2Kind::IMM) {
+        return o.imm;
+    } else if constexpr (K == Operand2Kind::REG) {
+        return c.state.regs[o.rm];
+    } else if constexpr (K == Operand2Kind::REG_SHIFT_IMM) {
+        uint32_t v = c.state.regs[o.rm];
+        unsigned amount = o.shiftAmount;
+        switch (static_cast<ShiftType>(o.shiftType)) {
+          case ShiftType::LSL: return amount ? v << amount : v;
+          case ShiftType::LSR: return amount ? v >> amount : v;
+          case ShiftType::ASR:
+            return amount ? static_cast<uint32_t>(
+                                static_cast<int32_t>(v) >> amount)
+                          : v;
+          case ShiftType::ROR: return rotr32(v, amount);
+          default: panic("bad shift type");
+        }
+    } else { // REG_SHIFT_REG
+        uint32_t v = c.state.regs[o.rm];
+        unsigned amount = c.state.regs[o.rs] & 0xffu;
+        switch (static_cast<ShiftType>(o.shiftType)) {
+          case ShiftType::LSL:
+            return amount >= 32 ? 0u : (amount ? v << amount : v);
+          case ShiftType::LSR:
+            return amount >= 32 ? 0u : (amount ? v >> amount : v);
+          case ShiftType::ASR:
+            if (amount >= 32)
+                amount = 31;
+            return static_cast<uint32_t>(static_cast<int32_t>(v) >>
+                                         amount);
+          case ShiftType::ROR:
+            return rotr32(v, amount & 31u);
+          default: panic("bad shift type");
+        }
+    }
+}
+
+// --- handlers ------------------------------------------------------------
+
+/** All 16 data-processing ops, specialized on (op, op2 kind, S bit). */
+template <Op OP, Operand2Kind K, bool SF>
+void
+opDp(FastCtx &c, const FastOp &o)
+{
+    const uint32_t a = c.state.regs[o.rn];
+    const uint32_t b = evalOp2<K>(c, o);
+
+    if constexpr (OP == Op::AND || OP == Op::EOR || OP == Op::ORR ||
+                  OP == Op::BIC || OP == Op::MOV || OP == Op::MVN ||
+                  OP == Op::TST || OP == Op::TEQ) {
+        uint32_t result;
+        if constexpr (OP == Op::AND || OP == Op::TST)
+            result = a & b;
+        else if constexpr (OP == Op::EOR || OP == Op::TEQ)
+            result = a ^ b;
+        else if constexpr (OP == Op::ORR)
+            result = a | b;
+        else if constexpr (OP == Op::BIC)
+            result = a & ~b;
+        else if constexpr (OP == Op::MOV)
+            result = b;
+        else
+            result = ~b; // MVN
+        // Logical ops update N and Z; C and V are preserved (uARM
+        // simplification: no shifter carry-out).
+        if constexpr (SF)
+            setNZ(c.state, result);
+        if constexpr (OP != Op::TST && OP != Op::TEQ)
+            c.state.regs[o.rd] = result;
+    } else if constexpr (OP == Op::ADD || OP == Op::ADC ||
+                         OP == Op::CMN) {
+        uint32_t cin =
+            OP == Op::ADC ? (c.state.flags.c ? 1u : 0u) : 0u;
+        uint32_t result = addWithCarry<SF>(c.state, a, b, cin);
+        if constexpr (OP != Op::CMN)
+            c.state.regs[o.rd] = result;
+    } else if constexpr (OP == Op::SUB || OP == Op::SBC ||
+                         OP == Op::CMP) {
+        uint32_t cin =
+            OP == Op::SBC ? (c.state.flags.c ? 1u : 0u) : 1u;
+        uint32_t result = addWithCarry<SF>(c.state, a, ~b, cin);
+        if constexpr (OP != Op::CMP)
+            c.state.regs[o.rd] = result;
+    } else { // RSB / RSC
+        static_assert(OP == Op::RSB || OP == Op::RSC);
+        uint32_t cin =
+            OP == Op::RSC ? (c.state.flags.c ? 1u : 0u) : 1u;
+        c.state.regs[o.rd] = addWithCarry<SF>(c.state, b, ~a, cin);
+    }
+}
+
+void
+opMovw(FastCtx &c, const FastOp &o)
+{
+    c.state.regs[o.rd] = o.imm & 0xffffu;
+}
+
+void
+opMovt(FastCtx &c, const FastOp &o)
+{
+    c.state.regs[o.rd] =
+        (c.state.regs[o.rd] & 0xffffu) | (o.imm << 16);
+}
+
+template <bool SF>
+void
+opMul(FastCtx &c, const FastOp &o)
+{
+    uint32_t result = c.state.regs[o.rm] * c.state.regs[o.rs];
+    if constexpr (SF)
+        setNZ(c.state, result);
+    c.state.regs[o.rd] = result;
+}
+
+template <bool SF>
+void
+opMla(FastCtx &c, const FastOp &o)
+{
+    uint32_t result =
+        c.state.regs[o.rm] * c.state.regs[o.rs] + c.state.regs[o.ra];
+    if constexpr (SF)
+        setNZ(c.state, result);
+    c.state.regs[o.rd] = result;
+}
+
+void
+opUmull(FastCtx &c, const FastOp &o)
+{
+    if (o.rd == o.ra)
+        trap("umull with rdLo == rdHi (r%u) is unpredictable", o.rd);
+    uint64_t wide =
+        static_cast<uint64_t>(c.state.regs[o.rm]) * c.state.regs[o.rs];
+    c.state.regs[o.ra] = static_cast<uint32_t>(wide);
+    c.state.regs[o.rd] = static_cast<uint32_t>(wide >> 32);
+}
+
+void
+opSmull(FastCtx &c, const FastOp &o)
+{
+    if (o.rd == o.ra)
+        trap("smull with rdLo == rdHi (r%u) is unpredictable", o.rd);
+    int64_t wide = static_cast<int64_t>(
+                       static_cast<int32_t>(c.state.regs[o.rm])) *
+                   static_cast<int32_t>(c.state.regs[o.rs]);
+    c.state.regs[o.ra] = static_cast<uint32_t>(wide);
+    c.state.regs[o.rd] =
+        static_cast<uint32_t>(static_cast<uint64_t>(wide) >> 32);
+}
+
+void
+opClz(FastCtx &c, const FastOp &o)
+{
+    // Same result as executor.cc's count loop, including 32 for zero.
+    c.state.regs[o.rd] = static_cast<uint32_t>(
+        std::countl_zero(c.state.regs[o.rm]));
+}
+
+void
+opSdiv(FastCtx &c, const FastOp &o)
+{
+    int32_t num = static_cast<int32_t>(c.state.regs[o.rn]);
+    int32_t den = static_cast<int32_t>(c.state.regs[o.rm]);
+    int32_t q;
+    if (den == 0)
+        q = 0;
+    else if (num == std::numeric_limits<int32_t>::min() && den == -1)
+        q = num;
+    else
+        q = num / den;
+    c.state.regs[o.rd] = static_cast<uint32_t>(q);
+}
+
+void
+opUdiv(FastCtx &c, const FastOp &o)
+{
+    uint32_t den = c.state.regs[o.rm];
+    c.state.regs[o.rd] = den ? c.state.regs[o.rn] / den : 0u;
+}
+
+void
+opQadd(FastCtx &c, const FastOp &o)
+{
+    int64_t sum = static_cast<int64_t>(
+                      static_cast<int32_t>(c.state.regs[o.rn])) +
+                  static_cast<int32_t>(c.state.regs[o.rm]);
+    c.state.regs[o.rd] = static_cast<uint32_t>(saturate64(sum));
+}
+
+void
+opQsub(FastCtx &c, const FastOp &o)
+{
+    int64_t diff = static_cast<int64_t>(
+                       static_cast<int32_t>(c.state.regs[o.rn])) -
+                   static_cast<int32_t>(c.state.regs[o.rm]);
+    c.state.regs[o.rd] = static_cast<uint32_t>(saturate64(diff));
+}
+
+/** Single-transfer loads/stores, specialized on (op, offset, U bit). */
+template <Op OP, MemOffsetKind K, bool ADD>
+void
+opMem(FastCtx &c, const FastOp &o)
+{
+    uint32_t offset;
+    if constexpr (K == MemOffsetKind::IMM) {
+        offset = static_cast<uint32_t>(o.memDisp);
+    } else {
+        uint32_t rm_val = c.state.regs[o.rm];
+        if constexpr (K == MemOffsetKind::REG_SHIFT_IMM)
+            rm_val <<= o.shiftAmount;
+        offset = ADD ? rm_val : 0u - rm_val;
+    }
+    const uint32_t addr = c.state.regs[o.rn] + offset;
+    constexpr bool kStore =
+        OP == Op::STR || OP == Op::STRB || OP == Op::STRH;
+    c.memAcc[0] = ExecInfo::MemAccess{addr, kStore};
+    c.numMem = 1;
+
+    if constexpr (OP == Op::LDR) {
+        c.state.regs[o.rd] = c.mem.read32(addr);
+    } else if constexpr (OP == Op::LDRB) {
+        c.state.regs[o.rd] = c.mem.read8(addr);
+    } else if constexpr (OP == Op::LDRH) {
+        c.state.regs[o.rd] = c.mem.read16(addr);
+    } else if constexpr (OP == Op::LDRSB) {
+        c.state.regs[o.rd] = static_cast<uint32_t>(static_cast<int32_t>(
+            static_cast<int8_t>(c.mem.read8(addr))));
+    } else if constexpr (OP == Op::LDRSH) {
+        c.state.regs[o.rd] = static_cast<uint32_t>(static_cast<int32_t>(
+            static_cast<int16_t>(c.mem.read16(addr))));
+    } else if constexpr (OP == Op::STR) {
+        c.mem.write32(addr, c.state.regs[o.rd]);
+    } else if constexpr (OP == Op::STRB) {
+        c.mem.write8(addr, static_cast<uint8_t>(c.state.regs[o.rd]));
+    } else {
+        static_assert(OP == Op::STRH);
+        c.mem.write16(addr, static_cast<uint16_t>(c.state.regs[o.rd]));
+    }
+}
+
+void
+opLdm(FastCtx &c, const FastOp &o)
+{
+    // Pop style: LDMIA rn!, {list}
+    uint32_t addr = c.state.regs[o.rn];
+    unsigned n = 0;
+    const bool base_in_list = ((o.regList >> o.rn) & 1u) != 0;
+    for (uint32_t m = o.regList; m != 0; m &= m - 1) {
+        const unsigned reg =
+            static_cast<unsigned>(std::countr_zero(m));
+        c.state.regs[reg] = c.mem.read32(addr);
+        c.memAcc[n++] = ExecInfo::MemAccess{addr, false};
+        addr += 4;
+    }
+    c.numMem = n;
+    if (!base_in_list)
+        c.state.regs[o.rn] = addr; // writeback
+}
+
+void
+opStm(FastCtx &c, const FastOp &o)
+{
+    // Push style: STMDB rn!, {list}
+    const unsigned count = popcount32(o.regList);
+    uint32_t addr = c.state.regs[o.rn] - 4u * count;
+    const uint32_t new_base = addr;
+    // Base-in-list stores the *original* base value (the register
+    // file is read before writeback) and, mirroring LDM, suppresses
+    // the writeback instead of clobbering the base.
+    const bool base_in_list = ((o.regList >> o.rn) & 1u) != 0;
+    unsigned n = 0;
+    for (uint32_t m = o.regList; m != 0; m &= m - 1) {
+        const unsigned reg =
+            static_cast<unsigned>(std::countr_zero(m));
+        c.mem.write32(addr, c.state.regs[reg]);
+        c.memAcc[n++] = ExecInfo::MemAccess{addr, true};
+        addr += 4;
+    }
+    c.numMem = n;
+    if (!base_in_list)
+        c.state.regs[o.rn] = new_base;
+}
+
+void
+opB(FastCtx &c, const FastOp &o)
+{
+    c.nextIndex = o.branchTarget;
+}
+
+void
+opBl(FastCtx &c, const FastOp &o)
+{
+    c.state.regs[LR] = o.imm; // precomputed codec.addrOf(index + 1)
+    c.nextIndex = o.branchTarget;
+}
+
+void
+opRet(FastCtx &c, const FastOp &)
+{
+    const uint32_t target = c.state.regs[LR];
+    if (target < c.codec.base ||
+        ((target - c.codec.base) & ((1u << c.codec.shift) - 1u)) != 0) {
+        trap("ret to unaligned or out-of-range address 0x%08x",
+             target);
+    }
+    c.nextIndex = c.codec.indexOf(target);
+}
+
+void
+opSwi(FastCtx &c, const FastOp &o)
+{
+    switch (o.imm) {
+      case SWI_EXIT:
+        c.state.halted = true;
+        break;
+      case SWI_PUTC:
+        c.io.console.push_back(
+            static_cast<char>(c.state.regs[R0] & 0xffu));
+        break;
+      case SWI_EMIT_WORD:
+        c.io.emitted.push_back(c.state.regs[R0]);
+        break;
+      default:
+        trap("unknown swi #%u", o.imm);
+    }
+}
+
+void
+opNop(FastCtx &, const FastOp &)
+{
+}
+
+// --- predecode -----------------------------------------------------------
+
+template <Op OP, Operand2Kind K>
+FastExecFn
+pickDpSf(const MicroOp &u)
+{
+    return u.setsFlags ? &opDp<OP, K, true> : &opDp<OP, K, false>;
+}
+
+template <Op OP>
+FastExecFn
+pickDp(const MicroOp &u)
+{
+    switch (u.op2Kind) {
+      case Operand2Kind::IMM:
+        return pickDpSf<OP, Operand2Kind::IMM>(u);
+      case Operand2Kind::REG:
+        return pickDpSf<OP, Operand2Kind::REG>(u);
+      case Operand2Kind::REG_SHIFT_IMM:
+        return pickDpSf<OP, Operand2Kind::REG_SHIFT_IMM>(u);
+      case Operand2Kind::REG_SHIFT_REG:
+        return pickDpSf<OP, Operand2Kind::REG_SHIFT_REG>(u);
+      default: panic("bad operand2 kind");
+    }
+}
+
+template <Op OP>
+FastExecFn
+pickMem(const MicroOp &u)
+{
+    switch (u.memKind) {
+      case MemOffsetKind::IMM:
+        return &opMem<OP, MemOffsetKind::IMM, true>;
+      case MemOffsetKind::REG:
+        return u.memAdd ? &opMem<OP, MemOffsetKind::REG, true>
+                        : &opMem<OP, MemOffsetKind::REG, false>;
+      case MemOffsetKind::REG_SHIFT_IMM:
+        return u.memAdd
+                   ? &opMem<OP, MemOffsetKind::REG_SHIFT_IMM, true>
+                   : &opMem<OP, MemOffsetKind::REG_SHIFT_IMM, false>;
+      default: panic("bad memory offset kind");
+    }
+}
+
+FastExecFn
+pickHandler(const MicroOp &u)
+{
+    switch (u.op) {
+      case Op::AND: return pickDp<Op::AND>(u);
+      case Op::EOR: return pickDp<Op::EOR>(u);
+      case Op::SUB: return pickDp<Op::SUB>(u);
+      case Op::RSB: return pickDp<Op::RSB>(u);
+      case Op::ADD: return pickDp<Op::ADD>(u);
+      case Op::ADC: return pickDp<Op::ADC>(u);
+      case Op::SBC: return pickDp<Op::SBC>(u);
+      case Op::RSC: return pickDp<Op::RSC>(u);
+      case Op::TST: return pickDp<Op::TST>(u);
+      case Op::TEQ: return pickDp<Op::TEQ>(u);
+      case Op::CMP: return pickDp<Op::CMP>(u);
+      case Op::CMN: return pickDp<Op::CMN>(u);
+      case Op::ORR: return pickDp<Op::ORR>(u);
+      case Op::MOV: return pickDp<Op::MOV>(u);
+      case Op::BIC: return pickDp<Op::BIC>(u);
+      case Op::MVN: return pickDp<Op::MVN>(u);
+      case Op::MUL: return u.setsFlags ? &opMul<true> : &opMul<false>;
+      case Op::MLA: return u.setsFlags ? &opMla<true> : &opMla<false>;
+      case Op::UMULL: return &opUmull;
+      case Op::SMULL: return &opSmull;
+      case Op::CLZ: return &opClz;
+      case Op::SDIV: return &opSdiv;
+      case Op::UDIV: return &opUdiv;
+      case Op::QADD: return &opQadd;
+      case Op::QSUB: return &opQsub;
+      case Op::MOVW: return &opMovw;
+      case Op::MOVT: return &opMovt;
+      case Op::LDR: return pickMem<Op::LDR>(u);
+      case Op::STR: return pickMem<Op::STR>(u);
+      case Op::LDRB: return pickMem<Op::LDRB>(u);
+      case Op::STRB: return pickMem<Op::STRB>(u);
+      case Op::LDRH: return pickMem<Op::LDRH>(u);
+      case Op::STRH: return pickMem<Op::STRH>(u);
+      case Op::LDRSB: return pickMem<Op::LDRSB>(u);
+      case Op::LDRSH: return pickMem<Op::LDRSH>(u);
+      case Op::LDM: return &opLdm;
+      case Op::STM: return &opStm;
+      case Op::B: return &opB;
+      case Op::BL: return &opBl;
+      case Op::RET: return &opRet;
+      case Op::SWI: return &opSwi;
+      case Op::NOP: return &opNop;
+      default: panic("unexecutable op %s", opName(u.op));
+    }
+}
+
+/** ExecInfo::extraLatency is a pure function of the static op (the
+ * LDM/STM word count is the register-list popcount). */
+uint8_t
+staticLatency(const MicroOp &u)
+{
+    switch (u.op) {
+      case Op::MUL: case Op::MLA: return 2;
+      case Op::UMULL: case Op::SMULL: return 3;
+      case Op::SDIV: case Op::UDIV: return 11;
+      case Op::LDM: case Op::STM:
+        return static_cast<uint8_t>(popcount32(u.regList));
+      default: return 0;
+    }
+}
+
+/** ExecInfo::destReg is a pure function of the static op: every op
+ * that writes a destination writes its static rd (executor.cc's
+ * writeRd), except BL which links into LR; the rest leave 0xff. */
+uint8_t
+staticDest(const MicroOp &u)
+{
+    switch (u.op) {
+      case Op::TST: case Op::TEQ: case Op::CMP: case Op::CMN:
+      case Op::STR: case Op::STRB: case Op::STRH:
+      case Op::LDM: case Op::STM:
+      case Op::B: case Op::RET: case Op::SWI: case Op::NOP:
+        return 0xff;
+      case Op::BL:
+        return static_cast<uint8_t>(LR);
+      default:
+        return u.rd;
+    }
+}
+
+uint16_t
+staticFlags(const MicroOp &u)
+{
+    uint16_t flags = 0;
+    if (u.setsFlags)
+        flags |= kSetsFlags;
+    if (isLoad(u.op))
+        flags |= kIsLoad;
+    if (isStore(u.op))
+        flags |= kIsStore;
+    if (isMulDivOp(u.op))
+        flags |= kIsMulDiv;
+    if (isBranchOp(u.op))
+        flags |= kIsBranch;
+    if (u.op == Op::LDM || u.op == Op::STM) {
+        flags |= u.op == Op::LDM ? kIsLdm : kIsStm;
+        if (((u.regList >> u.rn) & 1u) == 0)
+            flags |= kBaseWb;
+    }
+    if (u.op == Op::UMULL || u.op == Op::SMULL)
+        flags |= kIsLongMul;
+    return flags;
+}
+
+/** Always-ready scoreboard pad index used by FastOp::readRegs (the
+ * reg_ready array has one extra never-written slot past the NZCV
+ * entry, so padded operand reads always see cycle 0). */
+constexpr unsigned kReadPad = NUM_REGS + 1;
+
+/**
+ * Writeback scratch slot: ops with no destination register predecode
+ * their wbReg to this never-read scoreboard entry, so the hot
+ * writeback path is one unconditional store instead of a branch.
+ */
+constexpr unsigned kWritePad = NUM_REGS + 2;
+
+/**
+ * One register-resident line streak: repeat hits of @p line accumulate
+ * in @p reads / @p writes and are applied in one applyRepeatsAt()
+ * batch when the streak flushes. @p idx is the lines_ slot captured
+ * from Cache::lastHitIdx() when the streak opened; it stays valid for
+ * the streak's whole life because, by construction, every access in
+ * between lands on a tracked line and touches nothing in the array.
+ *
+ * The loop keeps TWO streaks per cache and flushes them in last-touch
+ * order, which preserves the relative in-set LRU stamp order of a
+ * per-access run (see Cache::applyRepeatsAt). Two entries make the
+ * common alternating patterns — a loop body spanning a line boundary,
+ * a kernel walking one buffer against a table — run entirely in
+ * registers.
+ */
+struct Streak
+{
+    uint64_t line = Cache::kNoLine;
+    size_t idx = 0;
+    uint32_t reads = 0;
+    uint32_t writes = 0;
+};
+
+inline void
+flushStreak(Cache &cache, Streak &s)
+{
+    if ((s.reads | s.writes) != 0) {
+        cache.applyRepeatsAt(s.idx, s.reads, s.writes);
+        s.reads = 0;
+        s.writes = 0;
+    }
+}
+
+/** Flush both streaks' pending hits, older-touched first, so their
+ * batched LRU stamps land in the same relative order as the accesses
+ * they stand for. Must run before ANY full cache access (or fault
+ * injection) so no later tick can slip under a pending one. */
+inline void
+flushStreakPair(Cache &cache, Streak &a, Streak &b, bool last_is_b)
+{
+    if (last_is_b) {
+        flushStreak(cache, a);
+        flushStreak(cache, b);
+    } else {
+        flushStreak(cache, b);
+        flushStreak(cache, a);
+    }
+}
+
+/**
+ * Dense id for the execute switch: every data-processing shape short
+ * of REG_SHIFT_REG, the add-direction single-register loads/stores,
+ * and the unconditional control ops get an inlined case; everything
+ * else returns 0 and dispatches through the handler pointer.
+ */
+uint8_t
+hotId(const MicroOp &u)
+{
+    const unsigned opi = static_cast<unsigned>(u.op);
+    const unsigned ki = static_cast<unsigned>(u.op2Kind);
+    const unsigned mki = static_cast<unsigned>(u.memKind);
+    if (opi < 16 && ki < 3)
+        return static_cast<uint8_t>(1 + opi * 6 + ki * 2 +
+                                    (u.setsFlags ? 1 : 0));
+    if ((u.op == Op::LDR || u.op == Op::STR || u.op == Op::LDRB ||
+         u.op == Op::STRB) &&
+        u.memAdd && mki < 3)
+        return static_cast<uint8_t>(97 + (opi - 27) * 3 + mki);
+    if (u.op == Op::B)
+        return 109;
+    if (u.op == Op::BL)
+        return 110;
+    if (u.op == Op::RET)
+        return 111;
+    return 0;
+}
+
+std::vector<FastOp>
+predecode(const FrontEnd &fe)
+{
+    const AddrCodec codec = fe.codec();
+    const size_t n = fe.numInstructions();
+    const uint32_t enc_mask = detail::encodingMask(fe.instrBits());
+    std::vector<FastOp> ops(n);
+    for (size_t i = 0; i < n; ++i) {
+        const MicroOp &u = fe.uopAt(i);
+        FastOp &o = ops[i];
+        o.fn = pickHandler(u);
+        o.hot = hotId(u);
+        o.uop = &u;
+        o.addr = codec.addrOf(i);
+        o.encoding = fe.encodingAt(i);
+        o.readMask = u.readRegMask();
+        o.imm = u.imm;
+        o.memDisp = u.memDisp;
+        o.regList = u.regList;
+        o.rd = u.rd;
+        o.rn = u.rn;
+        o.rm = u.rm;
+        o.rs = u.rs;
+        o.ra = u.ra;
+        o.cond = static_cast<uint8_t>(u.cond);
+        o.shiftType = static_cast<uint8_t>(u.shiftType);
+        o.shiftAmount = u.shiftAmount;
+        o.flags = staticFlags(u);
+        o.wbReg = staticDest(u);
+        if (o.wbReg == 0xff)
+            o.wbReg = static_cast<uint8_t>(kWritePad);
+        o.baseLatency = staticLatency(u);
+        o.toggleSeq = static_cast<uint8_t>(popcount32(
+            (o.encoding ^ (i ? ops[i - 1].encoding : 0u)) & enc_mask));
+        if (o.readMask & (1u << NUM_REGS))
+            o.flags |= kReadsFlags;
+        if (popcount32(o.readMask & 0xffffu) > 2)
+            o.flags |= kManyReads;
+        unsigned nread = 0;
+        for (uint32_t m = o.readMask & 0xffffu; m != 0; m &= m - 1) {
+            if (nread == 4) {
+                o.flags |= kWideRead;
+                break;
+            }
+            o.readRegs[nread++] = static_cast<uint8_t>(
+                std::countr_zero(m));
+        }
+        while (nread < 4)
+            o.readRegs[nread++] = static_cast<uint8_t>(kReadPad);
+        if (u.op == Op::B || u.op == Op::BL) {
+            // Same uint64 wrap as the interpreter's index+branchOffset:
+            // a transfer below index 0 lands on AddrCodec::kBadIndex or
+            // an out-of-range index and traps identically in the loop.
+            o.branchTarget =
+                i + static_cast<uint64_t>(
+                        static_cast<int64_t>(u.branchOffset));
+            if (u.op == Op::BL)
+                o.imm = codec.addrOf(i + 1); // precomputed link address
+        }
+    }
+    return ops;
+}
+
+} // namespace
+
+// --- the loop ------------------------------------------------------------
+
+/**
+ * The dispatch loop, stamped out per static shape so the hot path
+ * carries no dead branches: HasExtra (external observers attached),
+ * HasFaults (a fault plan is active) and Packed (16-bit packed fetch,
+ * which needs the same-word filter) are all template parameters. The
+ * zero-observer, zero-fault instantiation is the one the experiment
+ * engine runs; everything it skips is code that never executes rather
+ * than predicated-off work.
+ */
+template <bool HasExtra, bool HasFaults, bool Packed>
+static RunResult
+fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
+             [[maybe_unused]] FaultPlan *faults,
+             [[maybe_unused]] const ObserverList *extra)
+{
+    RunResult result;
+    result.benchmark = fe.name();
+    result.config = config.name;
+    result.clockHz = config.clockHz;
+
+    Cache icache(config.icache);
+    Cache dcache(config.dcache);
+
+    const std::vector<FastOp> ops = predecode(fe);
+    const FastOp *const code = ops.data();
+    const size_t num_insns = ops.size();
+
+    FastCtx ctx(mem);
+    ctx.state.regs[SP] = fe.stackTop();
+    ctx.codec = fe.codec();
+
+    const unsigned fetch_bits = fe.instrBits();
+    const uint32_t enc_mask = detail::encodingMask(fetch_bits);
+    const uint32_t line_words = config.icache.lineBytes / 4;
+    // Line sizes are validated powers of two: shifts replace divisions
+    // in the per-fetch repeat-hint comparison.
+    const unsigned iline_shift = static_cast<unsigned>(
+        std::countr_zero(config.icache.lineBytes));
+    const unsigned dline_shift = static_cast<unsigned>(
+        std::countr_zero(config.dcache.lineBytes));
+
+    // Inlined built-in observers (CounterObserver / ActivityObserver).
+    uint64_t instructions = 0;
+    uint64_t annulled = 0;
+    uint64_t taken_branches = 0;
+    uint64_t dmem_accesses = 0;
+    uint64_t toggle_bits = 0;
+    uint64_t bits_total = 0;
+    uint64_t refill_words = 0;
+
+    // Sequential-fetch toggle fast path: while control flow arrives
+    // sequentially the per-op toggle count is the predecoded
+    // toggleSeq; only the first fetch after a taken branch runs the
+    // XOR + popcount against the branch site's encoding.
+    bool seq_fetch = true;
+    uint32_t dyn_enc = 0;
+
+    // Two-line streak accumulators per cache: repeat hits of a
+    // tracked line are counted in registers and flushed through
+    // applyRepeatsAt() when a full access is needed, before a fault
+    // strikes the array, and at finalization.
+    Streak istreak_a, istreak_b;
+    Streak dstreak_a, dstreak_b;
+    bool ilast_b = false;
+    bool dlast_b = false;
+
+    // Scoreboard state, identical to machine.cc's model. The NZCV
+    // ready cycle lives in a register-resident local (flags_ready);
+    // index 16 is the retired NZCV slot kept for layout, index 17
+    // (kReadPad) is never written and pads readRegs slots, index 18
+    // (kWritePad) absorbs writebacks of ops with no destination.
+    uint64_t reg_ready[NUM_REGS + 3] = {};
+    uint64_t flags_ready = 0;
+    uint64_t issue_cycle = 0;
+    unsigned slots_used = 0;
+    bool mem_port_used = false;
+    bool mul_unit_used = false;
+    uint64_t front_ready = 0;
+    uint64_t last_issue = 0;
+
+    constexpr uint64_t no_fetch_word = ~0ull;
+    uint64_t prev_word_addr = no_fetch_word;
+    uint64_t index = 0;
+    uint64_t retired = 0;
+
+    // Hot config fields and cache repeat hints mirrored into locals:
+    // the indirect handler call makes every member reload non-hoistable
+    // for the compiler, so the loop keeps its own copies. The mirrors
+    // stay valid across op.fn and observer calls because neither can
+    // touch the caches; they resync after every full cache access and
+    // after fault injection.
+    const uint64_t max_instructions = config.maxInstructions;
+    const unsigned issue_width = config.issueWidth;
+    const uint32_t icache_miss_penalty = config.icacheMissPenalty;
+    const uint32_t dcache_miss_penalty = config.dcacheMissPenalty;
+    const uint32_t branch_penalty = config.branchPenalty;
+
+    // Superblock dispatch (the zero-observer, zero-fault
+    // instantiations only): ops are retired a run at a time. A run is
+    // a maximal straight-line span — it ends at the first op that can
+    // redirect control or halt (branches, cold shapes, the program's
+    // last op) — so the bounds/watchdog checks and the fetch-side
+    // accounting hoist from op to run granularity. run_len[i] is the
+    // run length starting at i (valid from ANY entry index, so branch
+    // targets need no leader bookkeeping), seg_ops[i] the length of
+    // the sequential same-I-line stretch from i, word_pre/seq_pre
+    // prefix sums of fetched words and sequential toggle bits for
+    // range queries and trap-site reconciliation.
+    constexpr bool RunBatch = !HasExtra && !HasFaults;
+    std::vector<uint32_t> run_len_v, seg_ops_v, word_pre_v;
+    std::vector<uint64_t> seq_pre_v;
+    if constexpr (RunBatch) {
+        const size_t n = num_insns;
+        run_len_v.resize(n);
+        seg_ops_v.resize(n);
+        word_pre_v.resize(n + 1);
+        seq_pre_v.resize(n + 1);
+        for (size_t i = 0; i < n; ++i) {
+            // Mirrors the per-op path's new_word rule: without the
+            // packed-fetch buffer EVERY fetch accesses the cache, even
+            // when consecutive 2-byte encodings share a 32-bit word.
+            // Word-transition counting here is only correct under
+            // Packed (where mid-run static predecessors equal dynamic
+            // ones); applying it unpacked undercounts I-cache reads
+            // on sub-word streams.
+            const bool new_w =
+                !Packed || i == 0 ||
+                (code[i].addr >> 2) != (code[i - 1].addr >> 2);
+            word_pre_v[i + 1] = word_pre_v[i] + (new_w ? 1u : 0u);
+            seq_pre_v[i + 1] = seq_pre_v[i] + code[i].toggleSeq;
+        }
+        for (size_t i = n; i-- > 0;) {
+            const bool term = (code[i].flags & kIsBranch) != 0 ||
+                              code[i].hot == 0 || i == n - 1;
+            run_len_v[i] = term ? 1u : run_len_v[i + 1] + 1u;
+            const bool same_line =
+                i + 1 < n && (code[i].addr >> iline_shift) ==
+                                 (code[i + 1].addr >> iline_shift);
+            seg_ops_v[i] = same_line ? seg_ops_v[i + 1] + 1u : 1u;
+        }
+    }
+    [[maybe_unused]] const uint32_t *const run_len = run_len_v.data();
+    [[maybe_unused]] const uint32_t *const seg_ops = seg_ops_v.data();
+    [[maybe_unused]] const uint32_t *const word_pre = word_pre_v.data();
+    [[maybe_unused]] const uint64_t *const seq_pre = seq_pre_v.data();
+
+    // One instruction through execute, issue timing, data-memory
+    // timing, writeback and commit. Shared by the per-op entry path
+    // and the superblock batch path below; fetch and the fetch-side
+    // counters stay with the caller, which knows whether they are
+    // accounted per op or per run. Must inline: the loop's state
+    // lives in the caller's registers.
+    // InRun = a mid-run op on the superblock path: it cannot branch,
+    // halt or be observed, so commit collapses to the annulled check —
+    // the run-level counters land in bulk at the end of the batch.
+    auto step = [&]<bool InRun>(const FastOp &op,
+                                const uint64_t op_index)
+        __attribute__((always_inline))
+    {
+        // --- execute (functional) ------------------------------------
+        const Cond cond = static_cast<Cond>(op.cond);
+        const bool executed =
+            cond == Cond::AL || condPasses(cond, ctx.state.flags);
+        if (executed) {
+            // Hot shapes dispatch through an inlined switch (the
+            // compiler keeps the loop's state in registers across the
+            // case bodies); cold ones go through the pointer table.
+            // Both call the SAME handler instantiations — hotId() only
+            // picks the route, never the semantics.
+            switch (op.hot) {
+              case 1: opDp<Op::AND, Operand2Kind::IMM, false>(ctx, op); break;
+              case 2: opDp<Op::AND, Operand2Kind::IMM, true>(ctx, op); break;
+              case 3: opDp<Op::AND, Operand2Kind::REG, false>(ctx, op); break;
+              case 4: opDp<Op::AND, Operand2Kind::REG, true>(ctx, op); break;
+              case 5: opDp<Op::AND, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 6: opDp<Op::AND, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 7: opDp<Op::EOR, Operand2Kind::IMM, false>(ctx, op); break;
+              case 8: opDp<Op::EOR, Operand2Kind::IMM, true>(ctx, op); break;
+              case 9: opDp<Op::EOR, Operand2Kind::REG, false>(ctx, op); break;
+              case 10: opDp<Op::EOR, Operand2Kind::REG, true>(ctx, op); break;
+              case 11: opDp<Op::EOR, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 12: opDp<Op::EOR, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 13: opDp<Op::SUB, Operand2Kind::IMM, false>(ctx, op); break;
+              case 14: opDp<Op::SUB, Operand2Kind::IMM, true>(ctx, op); break;
+              case 15: opDp<Op::SUB, Operand2Kind::REG, false>(ctx, op); break;
+              case 16: opDp<Op::SUB, Operand2Kind::REG, true>(ctx, op); break;
+              case 17: opDp<Op::SUB, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 18: opDp<Op::SUB, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 19: opDp<Op::RSB, Operand2Kind::IMM, false>(ctx, op); break;
+              case 20: opDp<Op::RSB, Operand2Kind::IMM, true>(ctx, op); break;
+              case 21: opDp<Op::RSB, Operand2Kind::REG, false>(ctx, op); break;
+              case 22: opDp<Op::RSB, Operand2Kind::REG, true>(ctx, op); break;
+              case 23: opDp<Op::RSB, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 24: opDp<Op::RSB, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 25: opDp<Op::ADD, Operand2Kind::IMM, false>(ctx, op); break;
+              case 26: opDp<Op::ADD, Operand2Kind::IMM, true>(ctx, op); break;
+              case 27: opDp<Op::ADD, Operand2Kind::REG, false>(ctx, op); break;
+              case 28: opDp<Op::ADD, Operand2Kind::REG, true>(ctx, op); break;
+              case 29: opDp<Op::ADD, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 30: opDp<Op::ADD, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 31: opDp<Op::ADC, Operand2Kind::IMM, false>(ctx, op); break;
+              case 32: opDp<Op::ADC, Operand2Kind::IMM, true>(ctx, op); break;
+              case 33: opDp<Op::ADC, Operand2Kind::REG, false>(ctx, op); break;
+              case 34: opDp<Op::ADC, Operand2Kind::REG, true>(ctx, op); break;
+              case 35: opDp<Op::ADC, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 36: opDp<Op::ADC, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 37: opDp<Op::SBC, Operand2Kind::IMM, false>(ctx, op); break;
+              case 38: opDp<Op::SBC, Operand2Kind::IMM, true>(ctx, op); break;
+              case 39: opDp<Op::SBC, Operand2Kind::REG, false>(ctx, op); break;
+              case 40: opDp<Op::SBC, Operand2Kind::REG, true>(ctx, op); break;
+              case 41: opDp<Op::SBC, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 42: opDp<Op::SBC, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 43: opDp<Op::RSC, Operand2Kind::IMM, false>(ctx, op); break;
+              case 44: opDp<Op::RSC, Operand2Kind::IMM, true>(ctx, op); break;
+              case 45: opDp<Op::RSC, Operand2Kind::REG, false>(ctx, op); break;
+              case 46: opDp<Op::RSC, Operand2Kind::REG, true>(ctx, op); break;
+              case 47: opDp<Op::RSC, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 48: opDp<Op::RSC, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 49: opDp<Op::TST, Operand2Kind::IMM, false>(ctx, op); break;
+              case 50: opDp<Op::TST, Operand2Kind::IMM, true>(ctx, op); break;
+              case 51: opDp<Op::TST, Operand2Kind::REG, false>(ctx, op); break;
+              case 52: opDp<Op::TST, Operand2Kind::REG, true>(ctx, op); break;
+              case 53: opDp<Op::TST, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 54: opDp<Op::TST, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 55: opDp<Op::TEQ, Operand2Kind::IMM, false>(ctx, op); break;
+              case 56: opDp<Op::TEQ, Operand2Kind::IMM, true>(ctx, op); break;
+              case 57: opDp<Op::TEQ, Operand2Kind::REG, false>(ctx, op); break;
+              case 58: opDp<Op::TEQ, Operand2Kind::REG, true>(ctx, op); break;
+              case 59: opDp<Op::TEQ, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 60: opDp<Op::TEQ, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 61: opDp<Op::CMP, Operand2Kind::IMM, false>(ctx, op); break;
+              case 62: opDp<Op::CMP, Operand2Kind::IMM, true>(ctx, op); break;
+              case 63: opDp<Op::CMP, Operand2Kind::REG, false>(ctx, op); break;
+              case 64: opDp<Op::CMP, Operand2Kind::REG, true>(ctx, op); break;
+              case 65: opDp<Op::CMP, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 66: opDp<Op::CMP, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 67: opDp<Op::CMN, Operand2Kind::IMM, false>(ctx, op); break;
+              case 68: opDp<Op::CMN, Operand2Kind::IMM, true>(ctx, op); break;
+              case 69: opDp<Op::CMN, Operand2Kind::REG, false>(ctx, op); break;
+              case 70: opDp<Op::CMN, Operand2Kind::REG, true>(ctx, op); break;
+              case 71: opDp<Op::CMN, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 72: opDp<Op::CMN, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 73: opDp<Op::ORR, Operand2Kind::IMM, false>(ctx, op); break;
+              case 74: opDp<Op::ORR, Operand2Kind::IMM, true>(ctx, op); break;
+              case 75: opDp<Op::ORR, Operand2Kind::REG, false>(ctx, op); break;
+              case 76: opDp<Op::ORR, Operand2Kind::REG, true>(ctx, op); break;
+              case 77: opDp<Op::ORR, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 78: opDp<Op::ORR, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 79: opDp<Op::MOV, Operand2Kind::IMM, false>(ctx, op); break;
+              case 80: opDp<Op::MOV, Operand2Kind::IMM, true>(ctx, op); break;
+              case 81: opDp<Op::MOV, Operand2Kind::REG, false>(ctx, op); break;
+              case 82: opDp<Op::MOV, Operand2Kind::REG, true>(ctx, op); break;
+              case 83: opDp<Op::MOV, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 84: opDp<Op::MOV, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 85: opDp<Op::BIC, Operand2Kind::IMM, false>(ctx, op); break;
+              case 86: opDp<Op::BIC, Operand2Kind::IMM, true>(ctx, op); break;
+              case 87: opDp<Op::BIC, Operand2Kind::REG, false>(ctx, op); break;
+              case 88: opDp<Op::BIC, Operand2Kind::REG, true>(ctx, op); break;
+              case 89: opDp<Op::BIC, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 90: opDp<Op::BIC, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 91: opDp<Op::MVN, Operand2Kind::IMM, false>(ctx, op); break;
+              case 92: opDp<Op::MVN, Operand2Kind::IMM, true>(ctx, op); break;
+              case 93: opDp<Op::MVN, Operand2Kind::REG, false>(ctx, op); break;
+              case 94: opDp<Op::MVN, Operand2Kind::REG, true>(ctx, op); break;
+              case 95: opDp<Op::MVN, Operand2Kind::REG_SHIFT_IMM, false>(ctx, op); break;
+              case 96: opDp<Op::MVN, Operand2Kind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 97: opMem<Op::LDR, MemOffsetKind::IMM, true>(ctx, op); break;
+              case 98: opMem<Op::LDR, MemOffsetKind::REG, true>(ctx, op); break;
+              case 99: opMem<Op::LDR, MemOffsetKind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 100: opMem<Op::STR, MemOffsetKind::IMM, true>(ctx, op); break;
+              case 101: opMem<Op::STR, MemOffsetKind::REG, true>(ctx, op); break;
+              case 102: opMem<Op::STR, MemOffsetKind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 103: opMem<Op::LDRB, MemOffsetKind::IMM, true>(ctx, op); break;
+              case 104: opMem<Op::LDRB, MemOffsetKind::REG, true>(ctx, op); break;
+              case 105: opMem<Op::LDRB, MemOffsetKind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 106: opMem<Op::STRB, MemOffsetKind::IMM, true>(ctx, op); break;
+              case 107: opMem<Op::STRB, MemOffsetKind::REG, true>(ctx, op); break;
+              case 108: opMem<Op::STRB, MemOffsetKind::REG_SHIFT_IMM, true>(ctx, op); break;
+              case 109: opB(ctx, op); break;
+              case 110: opBl(ctx, op); break;
+              case 111: opRet(ctx, op); break;
+              default: op.fn(ctx, op); break;
+            }
+        }
+
+        // --- issue timing --------------------------------------------
+        const uint64_t prev_issue = last_issue;
+        const uint64_t base_ready = std::max(front_ready, last_issue);
+        uint64_t earliest = base_ready;
+        if (op.flags & kReadsFlags)
+            earliest = std::max(earliest, flags_ready);
+        // Fixed-width operand probe, sized for the common case: at
+        // most two register sources (pad slots read the never-written
+        // kReadPad entry, always cycle 0). Three- and four-source
+        // shapes take the kManyReads branch; STM lists wider than the
+        // slots walk the full mask (max is idempotent, so re-probing
+        // slots 0-1 is harmless).
+        earliest = std::max(earliest, reg_ready[op.readRegs[0]]);
+        earliest = std::max(earliest, reg_ready[op.readRegs[1]]);
+        if (op.flags & kManyReads) {
+            if (op.flags & kWideRead) {
+                for (uint32_t m = op.readMask & 0xffffu; m != 0;
+                     m &= m - 1) {
+                    const unsigned reg =
+                        static_cast<unsigned>(std::countr_zero(m));
+                    earliest = std::max(earliest, reg_ready[reg]);
+                }
+            } else {
+                earliest =
+                    std::max(earliest, reg_ready[op.readRegs[2]]);
+                earliest =
+                    std::max(earliest, reg_ready[op.readRegs[3]]);
+            }
+        }
+        const bool operand_stall = earliest > base_ready;
+
+        const bool wants_mem =
+            executed && (op.flags & (kIsLoad | kIsStore)) != 0;
+        const bool wants_mul =
+            executed && (op.flags & kIsMulDiv) != 0;
+        bool structural_stall = false;
+        if (earliest == issue_cycle) {
+            if (slots_used >= issue_width ||
+                (wants_mem && mem_port_used) ||
+                (wants_mul && mul_unit_used)) {
+                earliest += 1;
+                structural_stall = true;
+            }
+        }
+        if (earliest != issue_cycle) {
+            issue_cycle = earliest;
+            slots_used = 0;
+            mem_port_used = false;
+            mul_unit_used = false;
+        }
+        ++slots_used;
+        mem_port_used = mem_port_used || wants_mem;
+        mul_unit_used = mul_unit_used || wants_mul;
+        last_issue = issue_cycle;
+
+        if constexpr (HasExtra) {
+            StallReason reason = StallReason::None;
+            if (issue_cycle != prev_issue) {
+                reason = structural_stall ? StallReason::Structural
+                         : operand_stall ? StallReason::Operands
+                                         : StallReason::FrontEnd;
+            }
+            extra->issue(IssueEvent{op_index, issue_cycle, slots_used - 1,
+                                    issue_cycle - prev_issue, reason});
+        }
+
+        // --- data memory timing --------------------------------------
+        const uint32_t extra_latency = executed ? op.baseLatency : 0u;
+        uint64_t result_ready = issue_cycle + 1 + extra_latency;
+        // The memory list is only meaningful when an executed memory
+        // op wrote it this dispatch; stale entries are never read.
+        const unsigned num_mem = wants_mem ? ctx.numMem : 0u;
+        for (unsigned m = 0; m < num_mem; ++m) {
+            const uint32_t daddr = ctx.memAcc[m].addr;
+            const bool dwrite = ctx.memAcc[m].write;
+            const uint64_t dline = daddr >> dline_shift;
+            CacheAccessResult dres;
+            if (dline == dstreak_a.line) {
+                if (dwrite)
+                    ++dstreak_a.writes;
+                else
+                    ++dstreak_a.reads;
+                dlast_b = false;
+                dres.hit = true;
+            } else if (dline == dstreak_b.line) {
+                if (dwrite)
+                    ++dstreak_b.writes;
+                else
+                    ++dstreak_b.reads;
+                dlast_b = true;
+                dres.hit = true;
+            } else {
+                flushStreakPair(dcache, dstreak_a, dstreak_b, dlast_b);
+                dres = dcache.accessFast(daddr, dwrite);
+                if (!dres.hit) {
+                    // A refill may have evicted a tracked line.
+                    dstreak_a.line = Cache::kNoLine;
+                    dstreak_b.line = Cache::kNoLine;
+                }
+                if (dcache.lastLineAddr() == dline) {
+                    Streak &victim = dlast_b ? dstreak_a : dstreak_b;
+                    victim.line = dline;
+                    victim.idx = dcache.lastHitIdx();
+                    victim.reads = 0;
+                    victim.writes = 0;
+                    dlast_b = !dlast_b;
+                }
+            }
+            ++dmem_accesses;
+            if constexpr (HasExtra)
+                extra->dataAccess(
+                    DataAccessEvent{op_index, daddr, dwrite, dres});
+            if (!dres.hit) {
+                // Blocking cache: the whole pipeline waits.
+                result_ready += dcache_miss_penalty;
+                front_ready = std::max(
+                    front_ready,
+                    issue_cycle + dcache_miss_penalty);
+            }
+        }
+        if (executed && (op.flags & kIsLoad))
+            result_ready += 1; // load-use bubble
+
+        // --- writeback scoreboard ------------------------------------
+        if (executed) {
+            if (op.flags & (kIsLdm | kIsStm | kIsLongMul)) {
+                if (op.flags & kIsLdm) {
+                    for (uint32_t m = op.regList; m != 0; m &= m - 1)
+                        reg_ready[std::countr_zero(m)] = result_ready;
+                    if (op.flags & kBaseWb)
+                        reg_ready[op.rn] =
+                            std::max(reg_ready[op.rn], issue_cycle + 1);
+                } else if (op.flags & kIsLongMul) {
+                    reg_ready[op.rd] = result_ready;
+                    reg_ready[op.ra] = result_ready;
+                }
+                if ((op.flags & kIsStm) && (op.flags & kBaseWb))
+                    reg_ready[op.rn] =
+                        std::max(reg_ready[op.rn], issue_cycle + 1);
+                if (op.flags & kSetsFlags)
+                    flags_ready = result_ready;
+            } else {
+                // Common shapes: one unconditional store (destination
+                // or the kWritePad scratch slot) and a flag-select.
+                // S-forms deliver NZCV with the result (machine.cc).
+                reg_ready[op.wbReg] = result_ready;
+                flags_ready = (op.flags & kSetsFlags) ? result_ready
+                                                      : flags_ready;
+            }
+        }
+
+        // --- commit / control flow -----------------------------------
+        if (!executed)
+            ++annulled; // a failed condition implies cond != AL
+        if constexpr (InRun)
+            return;
+        ++instructions;
+        const bool branch_taken =
+            executed && (op.flags & kIsBranch) != 0;
+        const uint64_t next_index =
+            branch_taken ? ctx.nextIndex : op_index + 1;
+        if constexpr (HasExtra) {
+            ExecInfo info{};
+            info.executed = executed;
+            info.branch = (op.flags & kIsBranch) != 0;
+            info.branchTaken = branch_taken;
+            info.nextIndex = next_index;
+            info.numMem = num_mem;
+            for (unsigned m = 0; m < num_mem; ++m)
+                info.mem[m] = ctx.memAcc[m];
+            info.isLoad = executed && (op.flags & kIsLoad) != 0;
+            info.isStore = executed && (op.flags & kIsStore) != 0;
+            info.isMulDiv = executed && (op.flags & kIsMulDiv) != 0;
+            info.baseWriteback =
+                executed && (op.flags & kBaseWb) != 0;
+            info.destReg = (executed && op.wbReg != kWritePad)
+                               ? op.wbReg : 0xff;
+            info.extraLatency = extra_latency;
+            extra->commit(CommitEvent{op_index, op.uop, &info,
+                                      issue_cycle});
+        }
+        ++retired;
+        if (branch_taken) {
+            ++taken_branches;
+            front_ready = std::max(front_ready,
+                                   issue_cycle + 1 + branch_penalty);
+            // The next fetch's toggle predecessor is this branch, not
+            // the static index - 1 op: take the dynamic toggle path.
+            seq_fetch = false;
+            dyn_enc = op.encoding;
+        }
+        index = next_index;
+    };
+
+    result.outcome = RunOutcome::Completed;
+    try {
+    while (!ctx.state.halted) {
+        if (index >= num_insns) {
+            if (index == AddrCodec::kBadIndex)
+                trap("%s/%s: control transfer below the code base",
+                     result.benchmark.c_str(), result.config.c_str());
+            trap("%s/%s: fell off the end of the program at index %llu",
+                 result.benchmark.c_str(), result.config.c_str(),
+                 static_cast<unsigned long long>(index));
+        }
+        if (retired >= max_instructions) {
+            result.outcome = RunOutcome::WatchdogExpired;
+            result.trapReason = detail::format(
+                "%s/%s: exceeded the %llu-instruction cap",
+                result.benchmark.c_str(), result.config.c_str(),
+                static_cast<unsigned long long>(
+                    config.maxInstructions));
+            break;
+        }
+
+        // --- soft-error injection ------------------------------------
+        if constexpr (HasFaults) {
+            if (faults->due(FaultTarget::ICACHE, retired)) {
+                flushStreakPair(icache, istreak_a, istreak_b, ilast_b);
+                if (icache.injectBitFlip(faults->rng())) {
+                    // The struck line may be a tracked streak line and
+                    // is now corrupt: drop both so its next touch goes
+                    // through the parity-checking full access.
+                    istreak_a.line = Cache::kNoLine;
+                    istreak_b.line = Cache::kNoLine;
+                    faults->recordInjected(FaultTarget::ICACHE);
+                    if constexpr (HasExtra)
+                        extra->fault(
+                            FaultEvent{FaultTarget::ICACHE,
+                                       FaultEvent::Kind::Injected,
+                                       retired, 0});
+                    // Packed-fetch buffer contract (sim/machine.hh):
+                    // drop the buffered word so parity can see the
+                    // corruption.
+                    prev_word_addr = no_fetch_word;
+                }
+            }
+            if (faults->due(FaultTarget::MEMORY, retired) &&
+                mem.injectBitFlip(faults->rng())) {
+                faults->recordInjected(FaultTarget::MEMORY);
+                if constexpr (HasExtra)
+                    extra->fault(FaultEvent{FaultTarget::MEMORY,
+                                            FaultEvent::Kind::Injected,
+                                            retired, 0});
+            }
+        }
+
+        [[maybe_unused]] const uint64_t run_base = index;
+        uint64_t span = 1;
+        if constexpr (RunBatch) {
+            // Clamp to the watchdog budget so the cap expires at
+            // exactly the same op as the per-op path.
+            span = run_len[index];
+            const uint64_t room = max_instructions - retired;
+            if (span > room)
+                span = room;
+        }
+
+        const FastOp &op = code[index];
+        const uint32_t addr = op.addr;
+
+        // --- fetch ---------------------------------------------------
+        bool new_word = true;
+        if constexpr (Packed) {
+            new_word = (addr >> 2) != prev_word_addr;
+            prev_word_addr = addr >> 2;
+        }
+        CacheAccessResult fetch;
+        if (new_word) {
+            const uint64_t iline = addr >> iline_shift;
+            if (iline == istreak_a.line) {
+                // Guaranteed clean re-hit of a tracked line.
+                ++istreak_a.reads;
+                ilast_b = false;
+                fetch.hit = true;
+            } else if (iline == istreak_b.line) {
+                ++istreak_b.reads;
+                ilast_b = true;
+                fetch.hit = true;
+            } else {
+                flushStreakPair(icache, istreak_a, istreak_b, ilast_b);
+                fetch = icache.accessFast(addr, false);
+                if (fetch.parityError) {
+                    // Machine-check: see machine.cc for the contract.
+                    if constexpr (HasFaults)
+                        faults->recordDetected(FaultTarget::ICACHE);
+                    if constexpr (HasExtra)
+                        extra->fault(
+                            FaultEvent{FaultTarget::ICACHE,
+                                       FaultEvent::Kind::Detected,
+                                       retired, addr});
+                    prev_word_addr = no_fetch_word;
+                    result.outcome = RunOutcome::FaultDetected;
+                    result.trapReason = detail::format(
+                        "%s/%s: I-cache parity error at 0x%08x",
+                        result.benchmark.c_str(),
+                        result.config.c_str(), addr);
+                    break;
+                }
+                if constexpr (HasFaults) {
+                    if (fetch.corruptDelivered) {
+                        faults->recordEscaped(FaultTarget::ICACHE);
+                        if constexpr (HasExtra)
+                            extra->fault(
+                                FaultEvent{FaultTarget::ICACHE,
+                                           FaultEvent::Kind::Escaped,
+                                           retired, addr});
+                    }
+                }
+                if (!fetch.hit) {
+                    front_ready = std::max(front_ready, last_issue) +
+                                  icache_miss_penalty;
+                    // The refill may have evicted a tracked line from
+                    // its set: residency is no longer guaranteed, so
+                    // drop both (their pendings are already flushed).
+                    istreak_a.line = Cache::kNoLine;
+                    istreak_b.line = Cache::kNoLine;
+                }
+                // Track the line if it is resident and clean (the
+                // repeat-hint contract): replace the older streak so
+                // an alternating pair converges to both being tracked.
+                if (icache.lastLineAddr() == iline) {
+                    Streak &victim = ilast_b ? istreak_a : istreak_b;
+                    victim.line = iline;
+                    victim.idx = icache.lastHitIdx();
+                    victim.reads = 0;
+                    victim.writes = 0;
+                    ilast_b = !ilast_b;
+                }
+            }
+        }
+        if (seq_fetch) {
+            toggle_bits += op.toggleSeq;
+        } else {
+            toggle_bits += popcount32((op.encoding ^ dyn_enc) &
+                                      enc_mask);
+            seq_fetch = true;
+        }
+        bits_total += fetch_bits;
+        if (new_word && !fetch.hit)
+            refill_words += line_words;
+        if constexpr (HasExtra)
+            extra->fetch(FetchEvent{index, addr, op.encoding,
+                                    fetch_bits, new_word, fetch,
+                                    line_words});
+        step.template operator()<false>(op, index);
+
+        // --- superblock batch --------------------------------------
+        // The remaining ops of the run (none unless RunBatch): fetch
+        // advances a same-line segment at a time, the per-op checks
+        // and fetch-side counters are hoisted to run granularity, and
+        // the shared step() does the rest. Exactness argument: only a
+        // segment's first word can miss, and it is accessed at the
+        // same point in the issue stream as the per-op path would;
+        // repeat hits only touch streak counters, which flush
+        // identically; mid-run ops cannot branch, trap-site
+        // reconciliation restores the per-op counter semantics, and
+        // runs end at every op that can redirect control or halt.
+        if constexpr (RunBatch) {
+          if (span > 1) {
+            const uint64_t run_end = run_base + span;
+            uint64_t k = run_base + 1;
+            uint64_t fetched_to = k;
+            Streak *seg_streak = nullptr;
+            // Fetch the same-I-line segment [k, j) when the op stream
+            // reaches its first op.
+            auto fetchSeg = [&](uint64_t k)
+                __attribute__((always_inline))
+            {
+
+                        // Fetch the same-I-line segment [k, j).
+                        const uint64_t j =
+                            k + std::min<uint64_t>(seg_ops[k],
+                                                   run_end - k);
+                        const uint32_t words =
+                            word_pre[j] - word_pre[k];
+                        seg_streak = nullptr;
+                        if (words != 0) {
+                            const uint64_t iline =
+                                code[k].addr >> iline_shift;
+                            if (iline == istreak_a.line) {
+                                istreak_a.reads += words;
+                                ilast_b = false;
+                                seg_streak = &istreak_a;
+                            } else if (iline == istreak_b.line) {
+                                istreak_b.reads += words;
+                                ilast_b = true;
+                                seg_streak = &istreak_b;
+                            } else {
+                                flushStreakPair(icache, istreak_a,
+                                                istreak_b, ilast_b);
+                                const CacheAccessResult f =
+                                    icache.accessFast(code[k].addr,
+                                                      false);
+                                // No fault plan is active (RunBatch),
+                                // so parity errors and corrupt
+                                // deliveries cannot occur here.
+                                if (!f.hit) {
+                                    front_ready =
+                                        std::max(front_ready,
+                                                 last_issue) +
+                                        icache_miss_penalty;
+                                    istreak_a.line = Cache::kNoLine;
+                                    istreak_b.line = Cache::kNoLine;
+                                    refill_words += line_words;
+                                }
+                                if (icache.lastLineAddr() == iline) {
+                                    Streak &victim = ilast_b
+                                                         ? istreak_a
+                                                         : istreak_b;
+                                    victim.line = iline;
+                                    victim.idx = icache.lastHitIdx();
+                                    victim.reads = words - 1;
+                                    victim.writes = 0;
+                                    ilast_b = !ilast_b;
+                                    seg_streak = &victim;
+                                } else {
+                                    // Unreachable without fault
+                                    // injection — a read always
+                                    // leaves its line resident — but
+                                    // stay exact: access the rest of
+                                    // the segment's words in full.
+                                    for (uint64_t w = k + 1; w < j;
+                                         ++w)
+                                        if (word_pre[w + 1] !=
+                                            word_pre[w])
+                                            icache.accessFast(
+                                                code[w].addr, false);
+                                }
+                            }
+                        }
+                        fetched_to = j;
+            };
+            const uint64_t last = run_end - 1;
+            try {
+                while (k < last) {
+                    if (k == fetched_to)
+                        fetchSeg(k);
+                    step.template operator()<true>(code[k], k);
+                    ++k;
+                }
+                if (k == fetched_to)
+                    fetchSeg(k);
+                step.template operator()<false>(code[last], last);
+                instructions += span - 2;
+                retired += span - 2;
+            } catch (const TrapError &) {
+                // Op k trapped during execute: the per-op path counts
+                // its fetch but nothing behind it. The batch counters
+                // have not landed yet (they follow the loop), so add
+                // the partial run; the segment's eagerly-counted
+                // repeat hits beyond op k are backed out of the
+                // streak counter that took them.
+                toggle_bits += seq_pre[k + 1] - seq_pre[run_base + 1];
+                bits_total += (k - run_base) * fetch_bits;
+                instructions += k - (run_base + 1);
+                retired += k - (run_base + 1);
+                if (seg_streak != nullptr)
+                    seg_streak->reads -=
+                        word_pre[fetched_to] - word_pre[k + 1];
+                throw;
+            }
+            toggle_bits += seq_pre[run_end] - seq_pre[run_base + 1];
+            bits_total += (run_end - (run_base + 1)) * fetch_bits;
+            if constexpr (Packed)
+                prev_word_addr = code[run_end - 1].addr >> 2;
+          }
+        }
+    }
+    } catch (const TrapError &e) {
+        result.outcome = RunOutcome::Trapped;
+        result.trapReason = e.what();
+    }
+
+    // Flush any open line streaks so the stats below match a
+    // per-access interpreter run exactly.
+    flushStreakPair(icache, istreak_a, istreak_b, ilast_b);
+    flushStreakPair(dcache, dstreak_a, dstreak_b, dlast_b);
+
+    // Finalization order mirrors machine.cc: built-in totals publish
+    // before the external observers' onRunEnd fan-out.
+    result.cycles = last_issue + 4;
+    result.icache = icache.stats();
+    result.dcache = dcache.stats();
+    result.finalState = ctx.state;
+    result.io = std::move(ctx.io);
+    result.instructions = instructions;
+    result.annulled = annulled;
+    result.takenBranches = taken_branches;
+    result.dmemAccesses = dmem_accesses;
+    result.fetchToggleBits = toggle_bits;
+    result.fetchBitsTotal = bits_total;
+    result.icacheRefillWords = refill_words;
+    if constexpr (HasExtra)
+        extra->runEnd(result);
+    return result;
+}
+
+RunResult
+Machine::fastRun(FaultPlan *faults, ObserverList *observers)
+{
+    const bool has_extra = observers && !observers->empty();
+    if (config_.packedFetch) {
+        if (has_extra) {
+            if (faults)
+                return fastLoopImpl<true, true, true>(
+                    fe_, config_, mem_, faults, observers);
+            return fastLoopImpl<true, false, true>(
+                fe_, config_, mem_, nullptr, observers);
+        }
+        if (faults)
+            return fastLoopImpl<false, true, true>(fe_, config_, mem_,
+                                                   faults, nullptr);
+        return fastLoopImpl<false, false, true>(fe_, config_, mem_,
+                                                nullptr, nullptr);
+    }
+    if (has_extra) {
+        if (faults)
+            return fastLoopImpl<true, true, false>(fe_, config_, mem_,
+                                                   faults, observers);
+        return fastLoopImpl<true, false, false>(fe_, config_, mem_,
+                                                nullptr, observers);
+    }
+    if (faults)
+        return fastLoopImpl<false, true, false>(fe_, config_, mem_,
+                                                faults, nullptr);
+    return fastLoopImpl<false, false, false>(fe_, config_, mem_,
+                                             nullptr, nullptr);
+}
+
+} // namespace pfits

@@ -23,6 +23,30 @@ runOutcomeName(RunOutcome outcome)
     }
 }
 
+const char *
+simBackendName(SimBackend backend)
+{
+    switch (backend) {
+      case SimBackend::Interp: return "interp";
+      case SimBackend::Fast: return "fast";
+      default: panic("bad SimBackend");
+    }
+}
+
+bool
+parseSimBackend(const std::string &text, SimBackend *backend)
+{
+    if (text == "interp") {
+        *backend = SimBackend::Interp;
+        return true;
+    }
+    if (text == "fast") {
+        *backend = SimBackend::Fast;
+        return true;
+    }
+    return false;
+}
+
 void
 RunResult::addStats(StatGroup &group) const
 {
@@ -82,6 +106,9 @@ Machine::Machine(const FrontEnd &fe, const CoreConfig &config)
 RunResult
 Machine::run(FaultPlan *faults, ObserverList *observers)
 {
+    if (config_.backend == SimBackend::Fast)
+        return fastRun(faults, observers);
+
     // Stamp the loop out per observer mode: the HasExtra=false body has
     // no list fan-out, so no event aggregate escapes and the optimizer
     // reduces the built-in observers to the bare scalar updates.

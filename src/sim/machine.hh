@@ -52,6 +52,34 @@ enum class RunOutcome : uint8_t
 /** @return "completed"/"trapped"/"watchdog-expired"/"fault-detected". */
 const char *runOutcomeName(RunOutcome outcome);
 
+/**
+ * Which execution loop a Machine runs.
+ *
+ * Interp is the reference: the runLoop interpreter in machine.cc over
+ * execute() in executor.cc. Fast predecodes the program once into a
+ * flat trace of fully-resolved micro-ops (precomputed addresses,
+ * encodings, read-register masks, immediates and branch targets) and
+ * dispatches through a per-instruction function pointer with the
+ * timing scoreboard inlined (sim/fastsim.cc). The two backends are
+ * result-equivalent down to every RunResult counter and cache stat —
+ * the differential harness (src/verify/) cross-executes them as a
+ * merge gate — so the backend is a pure speed/reference trade-off.
+ */
+enum class SimBackend : uint8_t
+{
+    Interp, //!< reference interpreter (machine.cc runLoop)
+    Fast,   //!< predecoded trace + function-pointer dispatch
+};
+
+/** @return "interp" or "fast". */
+const char *simBackendName(SimBackend backend);
+
+/**
+ * Parse "interp"/"fast" into @p backend.
+ * @return false (leaving @p backend untouched) on any other text.
+ */
+bool parseSimBackend(const std::string &text, SimBackend *backend);
+
 /** Core configuration (defaults model the Intel SA-1100). */
 struct CoreConfig
 {
@@ -85,6 +113,12 @@ struct CoreConfig
      * events with stale contents.
      */
     bool packedFetch = false;
+
+    /**
+     * Execution backend (see SimBackend). Joins the SimCache memo key
+     * only when non-default so existing interp keys stay stable.
+     */
+    SimBackend backend = SimBackend::Interp;
 };
 
 /** Everything a run produces, for the metrics and power layers. */
@@ -165,6 +199,14 @@ class Machine
      */
     template <bool HasExtra>
     RunResult runLoop(FaultPlan *faults, const ObserverList *extra);
+
+    /**
+     * The SimBackend::Fast loop (sim/fastsim.cc): predecode fe_ into a
+     * flat FastOp trace, then dispatch via per-op function pointers
+     * with the scoreboard inlined. Produces a RunResult equal to
+     * runLoop's field for field, including cache stats and outcome.
+     */
+    RunResult fastRun(FaultPlan *faults, ObserverList *observers);
 
     const FrontEnd &fe_;
     CoreConfig config_;

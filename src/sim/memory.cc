@@ -18,81 +18,15 @@ trap(const char *fmt, ...)
 }
 
 Memory::Page &
-Memory::page(uint32_t addr)
+Memory::pageSlow(uint32_t addr)
 {
     uint32_t key = addr >> kPageShift;
     auto it = pages_.find(key);
     if (it == pages_.end())
         it = pages_.emplace(key, Page(kPageSize, 0)).first;
+    lastKey_ = key;
+    lastPage_ = &it->second;
     return it->second;
-}
-
-const Memory::Page *
-Memory::pageIfPresent(uint32_t addr) const
-{
-    auto it = pages_.find(addr >> kPageShift);
-    return it == pages_.end() ? nullptr : &it->second;
-}
-
-uint8_t
-Memory::read8(uint32_t addr) const
-{
-    const Page *p = pageIfPresent(addr);
-    return p ? (*p)[addr & (kPageSize - 1)] : 0;
-}
-
-uint16_t
-Memory::read16(uint32_t addr) const
-{
-    if (addr & 1u)
-        trap("misaligned halfword read at 0x%08x", addr);
-    return static_cast<uint16_t>(read8(addr) |
-                                 (read8(addr + 1) << 8));
-}
-
-uint32_t
-Memory::read32(uint32_t addr) const
-{
-    if (addr & 3u)
-        trap("misaligned word read at 0x%08x", addr);
-    const Page *p = pageIfPresent(addr);
-    if (!p)
-        return 0;
-    uint32_t off = addr & (kPageSize - 1);
-    return static_cast<uint32_t>((*p)[off]) |
-           (static_cast<uint32_t>((*p)[off + 1]) << 8) |
-           (static_cast<uint32_t>((*p)[off + 2]) << 16) |
-           (static_cast<uint32_t>((*p)[off + 3]) << 24);
-}
-
-void
-Memory::write8(uint32_t addr, uint8_t value)
-{
-    page(addr)[addr & (kPageSize - 1)] = value;
-}
-
-void
-Memory::write16(uint32_t addr, uint16_t value)
-{
-    if (addr & 1u)
-        trap("misaligned halfword write at 0x%08x", addr);
-    Page &p = page(addr);
-    uint32_t off = addr & (kPageSize - 1);
-    p[off] = static_cast<uint8_t>(value);
-    p[off + 1] = static_cast<uint8_t>(value >> 8);
-}
-
-void
-Memory::write32(uint32_t addr, uint32_t value)
-{
-    if (addr & 3u)
-        trap("misaligned word write at 0x%08x", addr);
-    Page &p = page(addr);
-    uint32_t off = addr & (kPageSize - 1);
-    p[off] = static_cast<uint8_t>(value);
-    p[off + 1] = static_cast<uint8_t>(value >> 8);
-    p[off + 2] = static_cast<uint8_t>(value >> 16);
-    p[off + 3] = static_cast<uint8_t>(value >> 24);
 }
 
 void

@@ -40,17 +40,99 @@ class TrapError : public FatalError
 [[noreturn]] void trap(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Sparse byte-addressable memory. */
+/**
+ * Sparse byte-addressable memory.
+ *
+ * The accessors are inline and remember the last page they touched:
+ * nearly every access lands on the same 64 KiB page as its
+ * predecessor, so the common path is one compare instead of a hash
+ * lookup. The cached pointer stays valid across inserts (node-based
+ * map) and is reset on clear() and on copy/move, where it would
+ * otherwise dangle into the source object's map.
+ */
 class Memory
 {
   public:
-    uint8_t read8(uint32_t addr) const;
-    uint16_t read16(uint32_t addr) const;
-    uint32_t read32(uint32_t addr) const;
+    Memory() = default;
+    Memory(const Memory &other) : pages_(other.pages_) {}
+    Memory(Memory &&other) noexcept : pages_(std::move(other.pages_)) {}
+    Memory &
+    operator=(const Memory &other)
+    {
+        pages_ = other.pages_;
+        lastKey_ = kNoPage;
+        lastPage_ = nullptr;
+        return *this;
+    }
+    Memory &
+    operator=(Memory &&other) noexcept
+    {
+        pages_ = std::move(other.pages_);
+        lastKey_ = kNoPage;
+        lastPage_ = nullptr;
+        return *this;
+    }
 
-    void write8(uint32_t addr, uint8_t value);
-    void write16(uint32_t addr, uint16_t value);
-    void write32(uint32_t addr, uint32_t value);
+    uint8_t
+    read8(uint32_t addr) const
+    {
+        const Page *p = lookup(addr);
+        return p ? (*p)[addr & (kPageSize - 1)] : 0;
+    }
+
+    uint16_t
+    read16(uint32_t addr) const
+    {
+        if (addr & 1u)
+            trap("misaligned halfword read at 0x%08x", addr);
+        return static_cast<uint16_t>(read8(addr) |
+                                     (read8(addr + 1) << 8));
+    }
+
+    uint32_t
+    read32(uint32_t addr) const
+    {
+        if (addr & 3u)
+            trap("misaligned word read at 0x%08x", addr);
+        const Page *p = lookup(addr);
+        if (!p)
+            return 0;
+        const uint32_t off = addr & (kPageSize - 1);
+        return static_cast<uint32_t>((*p)[off]) |
+               (static_cast<uint32_t>((*p)[off + 1]) << 8) |
+               (static_cast<uint32_t>((*p)[off + 2]) << 16) |
+               (static_cast<uint32_t>((*p)[off + 3]) << 24);
+    }
+
+    void
+    write8(uint32_t addr, uint8_t value)
+    {
+        page(addr)[addr & (kPageSize - 1)] = value;
+    }
+
+    void
+    write16(uint32_t addr, uint16_t value)
+    {
+        if (addr & 1u)
+            trap("misaligned halfword write at 0x%08x", addr);
+        Page &p = page(addr);
+        const uint32_t off = addr & (kPageSize - 1);
+        p[off] = static_cast<uint8_t>(value);
+        p[off + 1] = static_cast<uint8_t>(value >> 8);
+    }
+
+    void
+    write32(uint32_t addr, uint32_t value)
+    {
+        if (addr & 3u)
+            trap("misaligned word write at 0x%08x", addr);
+        Page &p = page(addr);
+        const uint32_t off = addr & (kPageSize - 1);
+        p[off] = static_cast<uint8_t>(value);
+        p[off + 1] = static_cast<uint8_t>(value >> 8);
+        p[off + 2] = static_cast<uint8_t>(value >> 16);
+        p[off + 3] = static_cast<uint8_t>(value >> 24);
+    }
 
     /** Bulk initialization used by the loader. */
     void writeBytes(uint32_t addr, const std::vector<uint8_t> &bytes);
@@ -73,18 +155,52 @@ class Memory
     std::optional<uint32_t> firstDifference(const Memory &other) const;
 
     /** Drop all pages. */
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        lastKey_ = kNoPage;
+        lastPage_ = nullptr;
+    }
 
   private:
     static constexpr uint32_t kPageShift = 16;
     static constexpr uint32_t kPageSize = 1u << kPageShift;
+    static constexpr uint32_t kNoPage = ~0u; //!< keys are addr >> 16
 
     using Page = std::vector<uint8_t>;
 
-    Page &page(uint32_t addr);
-    const Page *pageIfPresent(uint32_t addr) const;
+    /** The allocating slow path behind page(). */
+    Page &pageSlow(uint32_t addr);
+
+    Page &
+    page(uint32_t addr)
+    {
+        const uint32_t key = addr >> kPageShift;
+        if (key == lastKey_)
+            return *lastPage_;
+        return pageSlow(addr);
+    }
+
+    /** @return the page holding @p addr, or nullptr (reads of absent
+     * pages see zeroes and must not allocate). */
+    const Page *
+    lookup(uint32_t addr) const
+    {
+        const uint32_t key = addr >> kPageShift;
+        if (key == lastKey_)
+            return lastPage_;
+        auto it = pages_.find(key);
+        if (it == pages_.end())
+            return nullptr;
+        lastKey_ = key;
+        lastPage_ = const_cast<Page *>(&it->second);
+        return lastPage_;
+    }
 
     std::unordered_map<uint32_t, Page> pages_;
+    mutable uint32_t lastKey_ = kNoPage; //!< last-touched page cache
+    mutable Page *lastPage_ = nullptr;
 };
 
 } // namespace pfits

@@ -54,8 +54,20 @@ IntervalStatsObserver::onRunEnd(RunResult &result)
 {
     // The final sample absorbs the partial instruction tail and the
     // pipeline-drain cycles, so the series partitions the whole run.
-    if (current_.instructions != 0 || result.cycles > startCycle_)
+    // The tail is non-empty when instructions committed past the last
+    // boundary, when a trapped op fetched without committing, or when
+    // the run produced no samples at all; only then does it become a
+    // sample of its own. When the retired count is an exact multiple
+    // of the interval the drain cycles fold into the last sample —
+    // an empty trailing sample would break the fixed-width shape of
+    // the series (and read as a zero-IPC phase in the curves).
+    if (current_.instructions != 0 || current_.fetchBits != 0 ||
+        intervals_.empty()) {
         close(result.cycles);
+    } else if (result.cycles > startCycle_) {
+        intervals_.back().cycles += result.cycles - startCycle_;
+        startCycle_ = result.cycles;
+    }
 }
 
 namespace

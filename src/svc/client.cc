@@ -75,6 +75,34 @@ connectUnix(const std::string &path, int timeout_ms, std::string *err)
     return fd;
 }
 
+/**
+ * Owns a connection fd and closes it on every exit path — including
+ * the exceptions recvFrame can raise while growing the payload buffer
+ * (a bare ::close after the send/recv pair leaks the descriptor the
+ * moment either leg throws, and the Runner fans thousands of requests
+ * over one process).
+ */
+struct ScopedFd
+{
+    int fd;
+    explicit ScopedFd(int f) : fd(f) {}
+    ~ScopedFd()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+    ScopedFd(const ScopedFd &) = delete;
+    ScopedFd &operator=(const ScopedFd &) = delete;
+};
+
+int64_t
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
 } // namespace
 
 SvcClientConfig
@@ -119,39 +147,72 @@ SvcClient::backoffDelayMs(unsigned attempt)
 
 bool
 SvcClient::attempt(const std::string &request, std::string *response,
-                   std::string *err)
+                   int budget_ms, std::string *err)
 {
-    int fd = connectUnix(config_.socketPath, config_.connectTimeoutMs,
-                         err);
-    if (fd < 0)
+    const auto start = std::chrono::steady_clock::now();
+    ScopedFd fd(connectUnix(config_.socketPath,
+                            std::min(config_.connectTimeoutMs,
+                                     budget_ms),
+                            err));
+    if (fd.fd < 0)
         return false;
-    // The receive leg outlives the deadline_ms sent to the server by a
-    // grace period: the server enforces deadlines in coarse wait
-    // slices, so its structured "timeout" (watchdog-expired) response
-    // lands shortly *after* the deadline — with equal timeouts the
-    // client would always hang up first and misread an orderly
-    // server-side expiry as a dead transport.
+    // Connect time comes out of this attempt's budget; an armed
+    // attempt always keeps at least a one-millisecond slice so a
+    // response already sitting in the socket buffer is still read.
+    int left = budget_ms - static_cast<int>(elapsedMs(start));
+    if (left < 1)
+        left = 1;
+    if (!sendFrame(fd.fd, request, left, err))
+        return false;
+    // The receive leg outlives the budget by a grace period: the
+    // server enforces deadlines in coarse wait slices, so its
+    // structured "timeout" (watchdog-expired) response lands shortly
+    // *after* the deadline — with equal timeouts the client would
+    // always hang up first and misread an orderly server-side expiry
+    // as a dead transport.
     constexpr int kDeadlineGraceMs = 500;
-    bool ok = sendFrame(fd, request, config_.requestTimeoutMs, err) &&
-              recvFrame(fd, response,
-                        config_.requestTimeoutMs + kDeadlineGraceMs,
-                        err);
-    ::close(fd);
-    return ok;
+    left = budget_ms - static_cast<int>(elapsedMs(start));
+    if (left < 1)
+        left = 1;
+    return recvFrame(fd.fd, response, left + kDeadlineGraceMs, err);
 }
 
 bool
 SvcClient::roundTrip(const std::string &request, std::string *response)
 {
+    // requestTimeoutMs is the caller's budget for the WHOLE round
+    // trip, retries and backoff sleeps included — each attempt runs
+    // against the budget's remainder, a backoff sleep never crosses
+    // the deadline, and an exhausted budget ends the loop even with
+    // retries left. Total wall time is bounded by the budget plus the
+    // receive grace of the last armed attempt; without the accounting
+    // a slow-failing transport costs (retries + 1) full timeouts plus
+    // the full backoff ladder before the local fallback starts.
+    const auto start = std::chrono::steady_clock::now();
+    const int64_t budget = config_.requestTimeoutMs;
     std::string err;
     for (unsigned attempt_no = 0;; ++attempt_no) {
-        if (attempt(request, response, &err))
+        // The first attempt always runs with the full budget; only
+        // retries are clipped to what the earlier attempts left over.
+        int64_t remaining =
+            attempt_no == 0 ? budget : budget - elapsedMs(start);
+        if (remaining < 1)
+            break;
+        if (attempt(request, response,
+                    static_cast<int>(std::min<int64_t>(
+                        remaining, config_.requestTimeoutMs)),
+                    &err))
             return true;
         if (attempt_no >= config_.maxRetries)
             break;
+        remaining = budget - elapsedMs(start);
+        if (remaining <= 1)
+            break;
+        int delay = backoffDelayMs(attempt_no);
+        if (delay >= remaining)
+            delay = static_cast<int>(remaining - 1);
         bumpCounter("svc.retries");
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(backoffDelayMs(attempt_no)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
     }
     warn_once("pfitsd unreachable at %s (%s); running locally",
               config_.socketPath.c_str(), err.c_str());
@@ -169,7 +230,8 @@ SvcClient::ping()
     w.endObject();
 
     std::string response, err;
-    if (!attempt(os.str(), &response, &err))
+    if (!attempt(os.str(), &response, config_.requestTimeoutMs,
+                 &err))
         return false;
     try {
         JsonValue v = JsonValue::parse(response);
@@ -193,7 +255,8 @@ SvcClient::recordServerStats()
     w.endObject();
 
     std::string response, err;
-    if (!attempt(os.str(), &response, &err))
+    if (!attempt(os.str(), &response, config_.requestTimeoutMs,
+                 &err))
         return;
     try {
         JsonValue v = JsonValue::parse(response);
@@ -226,7 +289,8 @@ SvcClient::tryPut(const SimCacheKey &key, const SimResult &result)
     std::string response, err;
     // One attempt, no retries: populating the shared store is a
     // favor to future runs, never worth stalling this one.
-    (void)attempt(os.str(), &response, &err);
+    (void)attempt(os.str(), &response, config_.requestTimeoutMs,
+                  &err);
 }
 
 SimResult

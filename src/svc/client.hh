@@ -40,7 +40,11 @@ struct SvcClientConfig
 {
     std::string socketPath;     //!< empty = daemon disabled
     int connectTimeoutMs = 2'000;
-    int requestTimeoutMs = 60'000; //!< also sent as the deadline_ms
+    /**
+     * Total transport budget for one request — retries and backoff
+     * sleeps included — and the deadline_ms the server is told.
+     */
+    int requestTimeoutMs = 60'000;
     unsigned maxRetries = 2;       //!< transport retries per request
     int backoffBaseMs = 25;
     int backoffMaxMs = 1'000;
@@ -90,9 +94,13 @@ class SvcClient final : public SimService
      */
     bool roundTrip(const std::string &request, std::string *response);
 
-    /** Single connect/send/recv attempt. */
+    /**
+     * Single connect/send/recv attempt bounded by @p budget_ms (the
+     * receive leg adds a fixed grace so an orderly server-side
+     * deadline expiry is still read as a structured response).
+     */
     bool attempt(const std::string &request, std::string *response,
-                 std::string *err);
+                 int budget_ms, std::string *err);
 
     /** Best-effort publish of a locally computed result. */
     void tryPut(const SimCacheKey &key, const SimResult &result);

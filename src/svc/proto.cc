@@ -296,6 +296,10 @@ writeCoreConfigJson(JsonWriter &w, const CoreConfig &core)
     w.field("max_instructions", core.maxInstructions);
     w.field("clock_hz", core.clockHz);
     w.field("packed_fetch", core.packedFetch);
+    // Written only when non-default so pre-backend servers (and logged
+    // requests) keep parsing; the parser mirrors the default.
+    if (core.backend != SimBackend::Interp)
+        w.field("backend", std::string(simBackendName(core.backend)));
     w.endObject();
 }
 
@@ -326,6 +330,10 @@ parseCoreConfigJson(const JsonValue &v, CoreConfig *core)
         static_cast<uint64_t>(v.get("max_instructions").asNumber());
     core->clockHz = v.get("clock_hz").asNumber();
     core->packedFetch = v.get("packed_fetch").asBool();
+    core->backend = SimBackend::Interp;
+    if (v.get("backend").isString() &&
+        !parseSimBackend(v.get("backend").asString(), &core->backend))
+        return false;
     return parseCacheConfigJson(v.get("icache"), &core->icache) &&
            parseCacheConfigJson(v.get("dcache"), &core->dcache);
 }

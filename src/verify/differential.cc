@@ -98,6 +98,129 @@ checkedRun(Machine &machine, const CoreConfig &core,
     return result;
 }
 
+/** Field-for-field comparison of one cache's counters. */
+void
+compareCacheStats(const std::string &what, const char *cache_name,
+                  const CacheStats &a, const CacheStats &b,
+                  std::vector<std::string> &out)
+{
+    auto check = [&](const char *field, uint64_t va, uint64_t vb) {
+        if (va != vb)
+            out.push_back(detail::format(
+                "%s: %s.%s %llu vs %llu", what.c_str(), cache_name,
+                field, static_cast<unsigned long long>(va),
+                static_cast<unsigned long long>(vb)));
+    };
+    check("reads", a.reads, b.reads);
+    check("writes", a.writes, b.writes);
+    check("read_misses", a.readMisses, b.readMisses);
+    check("write_misses", a.writeMisses, b.writeMisses);
+    check("writebacks", a.writebacks, b.writebacks);
+    check("faults_injected", a.faultsInjected, b.faultsInjected);
+    check("parity_detections", a.parityDetections,
+          b.parityDetections);
+    check("corrupt_deliveries", a.corruptDeliveries,
+          b.corruptDeliveries);
+}
+
+/**
+ * The interp-vs-fast contract: every RunResult field equal. Nothing
+ * is excluded — the fast backend claims bit-exactness, so cycles,
+ * toggle counts and even the trap message text must match.
+ */
+void
+compareBackendResults(const std::string &what, const RunResult &a,
+                      const RunResult &b,
+                      std::vector<std::string> &out)
+{
+    if (a.outcome != b.outcome)
+        out.push_back(detail::format(
+            "%s: outcome %s vs %s", what.c_str(),
+            runOutcomeName(a.outcome), runOutcomeName(b.outcome)));
+    if (a.trapReason != b.trapReason)
+        out.push_back(detail::format(
+            "%s: trap reason '%s' vs '%s'", what.c_str(),
+            a.trapReason.c_str(), b.trapReason.c_str()));
+    auto check = [&](const char *field, uint64_t va, uint64_t vb) {
+        if (va != vb)
+            out.push_back(detail::format(
+                "%s: %s %llu vs %llu", what.c_str(), field,
+                static_cast<unsigned long long>(va),
+                static_cast<unsigned long long>(vb)));
+    };
+    check("instructions", a.instructions, b.instructions);
+    check("annulled", a.annulled, b.annulled);
+    check("cycles", a.cycles, b.cycles);
+    check("taken_branches", a.takenBranches, b.takenBranches);
+    check("dmem_accesses", a.dmemAccesses, b.dmemAccesses);
+    check("fetch_toggle_bits", a.fetchToggleBits, b.fetchToggleBits);
+    check("fetch_bits_total", a.fetchBitsTotal, b.fetchBitsTotal);
+    check("icache_refill_words", a.icacheRefillWords,
+          b.icacheRefillWords);
+    compareCacheStats(what, "icache", a.icache, b.icache, out);
+    compareCacheStats(what, "dcache", a.dcache, b.dcache, out);
+    compareRegs(what, a.finalState, b.finalState, 0, out);
+    compareIo(what, a.io, b.io, out);
+}
+
+/** One config's Machine kept alive for memory-image comparison. */
+struct BackendRun
+{
+    std::unique_ptr<Machine> machine;
+    RunResult result;
+};
+
+/**
+ * Run @p fe on @p core under @p mode. Both runs interp as the primary
+ * result, then the fast backend on an identical config, and requires
+ * the two runs to agree on every RunResult field and the full memory
+ * image; Interp/Fast run only that loop (the primary).
+ */
+BackendRun
+runConfig(const FrontEnd &fe, CoreConfig core, const std::string &label,
+          DiffBackend mode, std::vector<std::string> &out)
+{
+    if (mode == DiffBackend::Fast)
+        core.backend = SimBackend::Fast;
+    BackendRun primary;
+    primary.machine = std::make_unique<Machine>(fe, core);
+    primary.result =
+        checkedRun(*primary.machine, core,
+                   mode == DiffBackend::Fast ? label + "[fast]" : label,
+                   out);
+
+    if (mode == DiffBackend::Both) {
+        CoreConfig fast_core = core;
+        fast_core.backend = SimBackend::Fast;
+        Machine fast_machine(fe, fast_core);
+        RunResult rf = checkedRun(fast_machine, fast_core,
+                                  label + "[fast]", out);
+        compareBackendResults(label + " interp vs fast",
+                              primary.result, rf, out);
+        if (auto addr = primary.machine->mem().firstDifference(
+                fast_machine.mem()))
+            out.push_back(detail::format(
+                "%s interp vs fast: memory differs at 0x%08x",
+                label.c_str(), *addr));
+
+        // Again with ZERO observers: attaching the checker forces the
+        // fast loop onto its exact per-op path, so only a bare run
+        // exercises the batched dispatch the production sweeps use.
+        // (This split once hid an I-cache access undercount on
+        // unpacked sub-word streams.)
+        Machine bare_machine(fe, fast_core);
+        RunResult rb = bare_machine.run();
+        compareBackendResults(label + " interp vs fast[bare]",
+                              primary.result, rb, out);
+        if (auto addr = primary.machine->mem().firstDifference(
+                bare_machine.mem()))
+            out.push_back(detail::format(
+                "%s interp vs fast[bare]: memory differs at 0x%08x",
+                label.c_str(), *addr));
+    }
+    return primary;
+}
+
 } // namespace
 
 std::string
@@ -115,7 +238,7 @@ DiffReport::describe() const
 
 DiffReport
 diffProgram(const Program &prog, uint64_t seed,
-            const uint32_t *expected)
+            const uint32_t *expected, DiffBackend backend)
 {
     DiffReport rep;
     rep.program = prog.name;
@@ -137,10 +260,13 @@ diffProgram(const Program &prog, uint64_t seed,
                 g.io.emitted.back(), *expected));
     }
 
-    // 2. The timing Machine on the fixed ARM decoder.
+    // 2. The timing Machine on the fixed ARM decoder (under Both,
+    // every Machine config here also cross-executes the fast backend
+    // against interp inside runConfig).
     CoreConfig arm_core;
-    Machine arm_machine(arm, arm_core);
-    RunResult ra = checkedRun(arm_machine, arm_core, "arm32", out);
+    BackendRun arm_run = runConfig(arm, arm_core, "arm32", backend, out);
+    Machine &arm_machine = *arm_run.machine;
+    RunResult &ra = arm_run.result;
     rep.armInstructions = ra.instructions;
 
     if (g.outcome != ra.outcome)
@@ -170,9 +296,10 @@ diffProgram(const Program &prog, uint64_t seed,
     CoreConfig packed_core;
     packed_core.name = "packed";
     packed_core.packedFetch = true;
-    Machine packed_machine(arm, packed_core);
-    RunResult rp =
-        checkedRun(packed_machine, packed_core, "packed", out);
+    BackendRun packed_run =
+        runConfig(arm, packed_core, "packed", backend, out);
+    Machine &packed_machine = *packed_run.machine;
+    RunResult &rp = packed_run.result;
 
     if (ra.outcome != rp.outcome)
         out.push_back(detail::format(
@@ -203,9 +330,10 @@ diffProgram(const Program &prog, uint64_t seed,
 
         CoreConfig fits_core;
         fits_core.name = "fits16";
-        Machine fits_machine(fits, fits_core);
-        RunResult rf =
-            checkedRun(fits_machine, fits_core, "fits16", out);
+        BackendRun fits_run =
+            runConfig(fits, fits_core, "fits16", backend, out);
+        Machine &fits_machine = *fits_run.machine;
+        RunResult &rf = fits_run.result;
         rep.fitsInstructions = rf.instructions;
 
         if (ra.outcome != rf.outcome) {
@@ -279,11 +407,13 @@ runDifferentialSuite(const DiffOptions &opts, std::ostream *progress)
         parallelMap<DiffReport>(pool, total, [&](size_t i) {
             if (i < num_kernels) {
                 mibench::Workload wl = kernels[i].build();
-                return diffProgram(wl.program, 0, &wl.expected);
+                return diffProgram(wl.program, 0, &wl.expected,
+                                   opts.backend);
             }
             uint64_t seed =
                 opts.seed + static_cast<uint64_t>(i - num_kernels);
-            return diffProgram(randomVerifyProgram(seed), seed);
+            return diffProgram(randomVerifyProgram(seed), seed,
+                               nullptr, opts.backend);
         });
 
     DiffSummary summary;
@@ -295,18 +425,31 @@ runDifferentialSuite(const DiffOptions &opts, std::ostream *progress)
     if (progress) {
         for (const DiffReport &rep : summary.failed)
             *progress << "FAIL " << rep.describe() << "\n";
+        const char *mode =
+            opts.backend == DiffBackend::Both
+                ? "interp+fast"
+                : opts.backend == DiffBackend::Fast ? "fast"
+                                                    : "interp";
         *progress << "differential: " << summary.programsRun
                   << " programs (" << num_kernels << " kernels, "
                   << opts.count << " random, base seed " << opts.seed
-                  << "), " << summary.failed.size() << " failure(s)\n";
+                  << ", backend " << mode << "), "
+                  << summary.failed.size() << " failure(s)\n";
     }
     return summary;
 }
 
 std::vector<std::string>
-runTimingInvariantSweep(unsigned jobs, std::ostream *progress)
+runTimingInvariantSweep(unsigned jobs, std::ostream *progress,
+                        DiffBackend backend)
 {
     const auto &kernels = mibench::suite();
+
+    std::vector<SimBackend> loops;
+    if (backend != DiffBackend::Fast)
+        loops.push_back(SimBackend::Interp);
+    if (backend != DiffBackend::Interp)
+        loops.push_back(SimBackend::Fast);
 
     std::unique_ptr<ThreadPool> own;
     if (jobs)
@@ -327,27 +470,32 @@ runTimingInvariantSweep(unsigned jobs, std::ostream *progress)
             FitsFrontEnd fits(std::move(fits_prog));
 
             for (ConfigId id : kAllConfigs) {
-                CoreConfig core = paperCoreConfig(id);
-                const bool is_fits = id == ConfigId::FITS16 ||
-                                     id == ConfigId::FITS8;
-                const FrontEnd &fe =
-                    is_fits ? static_cast<const FrontEnd &>(fits)
-                            : static_cast<const FrontEnd &>(arm);
-                Machine machine(fe, core);
-                TimingInvariantChecker checker(core);
-                ObserverList observers;
-                observers.add(&checker);
-                RunResult rr = machine.run(nullptr, &observers);
-                if (rr.outcome != RunOutcome::Completed)
-                    fails.push_back(detail::format(
-                        "%s/%s: run ended %s (%s)",
-                        wl.program.name.c_str(), configName(id),
-                        runOutcomeName(rr.outcome),
-                        rr.trapReason.c_str()));
-                if (!checker.ok())
-                    fails.push_back(detail::format(
-                        "%s/%s: %s", wl.program.name.c_str(),
-                        configName(id), checker.summary().c_str()));
+                for (SimBackend loop : loops) {
+                    CoreConfig core = paperCoreConfig(id);
+                    core.backend = loop;
+                    const bool is_fits = id == ConfigId::FITS16 ||
+                                         id == ConfigId::FITS8;
+                    const FrontEnd &fe =
+                        is_fits ? static_cast<const FrontEnd &>(fits)
+                                : static_cast<const FrontEnd &>(arm);
+                    Machine machine(fe, core);
+                    TimingInvariantChecker checker(core);
+                    ObserverList observers;
+                    observers.add(&checker);
+                    RunResult rr = machine.run(nullptr, &observers);
+                    if (rr.outcome != RunOutcome::Completed)
+                        fails.push_back(detail::format(
+                            "%s/%s[%s]: run ended %s (%s)",
+                            wl.program.name.c_str(), configName(id),
+                            simBackendName(loop),
+                            runOutcomeName(rr.outcome),
+                            rr.trapReason.c_str()));
+                    if (!checker.ok())
+                        fails.push_back(detail::format(
+                            "%s/%s[%s]: %s", wl.program.name.c_str(),
+                            configName(id), simBackendName(loop),
+                            checker.summary().c_str()));
+                }
             }
             return fails;
         });
@@ -362,7 +510,8 @@ runTimingInvariantSweep(unsigned jobs, std::ostream *progress)
         for (const std::string &f : failures)
             *progress << "FAIL " << f << "\n";
         *progress << "timing invariants: " << kernels.size()
-                  << " benchmarks x 4 configs, " << failures.size()
+                  << " benchmarks x 4 configs x " << loops.size()
+                  << " backend(s), " << failures.size()
                   << " failure(s)\n";
     }
     return failures;

@@ -34,6 +34,22 @@
 namespace pfits
 {
 
+/**
+ * Which Machine execution backend(s) a differential run exercises.
+ * Both is the default and the strongest check: every Machine config
+ * runs twice — SimBackend::Interp and SimBackend::Fast — and the two
+ * RunResults must agree on every field (counters, cache stats, toggle
+ * activity, outcome, trap text, final state, I/O) plus the full
+ * memory image. Interp/Fast run just that backend, for bisecting
+ * which side of a divergence is wrong.
+ */
+enum class DiffBackend : uint8_t
+{
+    Interp,
+    Fast,
+    Both,
+};
+
 /** Outcome of differentially executing one program. */
 struct DiffReport
 {
@@ -60,7 +76,8 @@ struct DiffReport
  *                 implementation.
  */
 DiffReport diffProgram(const Program &prog, uint64_t seed = 0,
-                       const uint32_t *expected = nullptr);
+                       const uint32_t *expected = nullptr,
+                       DiffBackend backend = DiffBackend::Both);
 
 /** Differential-suite parameters. */
 struct DiffOptions
@@ -69,6 +86,7 @@ struct DiffOptions
     unsigned count = 500; //!< random programs to generate
     unsigned jobs = 0;    //!< worker threads; 0 = shared pool default
     bool kernels = true;  //!< also run the 21 MiBench kernels
+    DiffBackend backend = DiffBackend::Both; //!< loops to exercise
 };
 
 /** Aggregate outcome of one differential sweep. */
@@ -96,7 +114,8 @@ DiffSummary runDifferentialSuite(const DiffOptions &opts,
  * (benchmark, config) run — empty when every schedule is legal.
  */
 std::vector<std::string> runTimingInvariantSweep(
-    unsigned jobs = 0, std::ostream *progress = nullptr);
+    unsigned jobs = 0, std::ostream *progress = nullptr,
+    DiffBackend backend = DiffBackend::Both);
 
 } // namespace pfits
 

@@ -3,11 +3,16 @@
  * pfits_verify — the differential verification driver check.sh runs.
  *
  *   pfits_verify [--seed N] [--count N] [--jobs N]
+ *                [--backend interp|fast|both]
  *                [--no-kernels] [--no-timing] [--no-random]
  *
  * Runs the differential suite (21 MiBench kernels + N seeded random
  * programs across golden/arm32/packed/fits16) and the
  * timing-invariant sweep (21 benchmarks x the paper's 4 configs).
+ * --backend picks the Machine execution loop(s): "both" (default)
+ * runs every config on the interpreter *and* the fast backend and
+ * requires field-for-field identical RunResults, "interp"/"fast"
+ * run one loop for bisecting a divergence.
  * The base seed also comes from PFITS_VERIFY_SEED, the worker count
  * from --jobs / PFITS_JOBS. On a mismatch the failing program's seed
  * and disassembly are printed so the case replays with
@@ -77,6 +82,19 @@ main(int argc, char **argv)
         } else if (!std::strncmp(arg, "--jobs=", 7) ||
                    !std::strncmp(arg, "-j", 2)) {
             // consumed by parseJobsFlag
+        } else if (!std::strcmp(arg, "--backend")) {
+            const char *text = value();
+            if (!std::strcmp(text, "both")) {
+                opts.backend = DiffBackend::Both;
+            } else if (!std::strcmp(text, "interp")) {
+                opts.backend = DiffBackend::Interp;
+            } else if (!std::strcmp(text, "fast")) {
+                opts.backend = DiffBackend::Fast;
+            } else {
+                std::cerr << "pfits_verify: bad value for --backend: '"
+                          << text << "' (interp|fast|both)\n";
+                return 2;
+            }
         } else if (!std::strcmp(arg, "--no-kernels")) {
             opts.kernels = false;
         } else if (!std::strcmp(arg, "--no-random")) {
@@ -86,8 +104,8 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--help")) {
             std::cout
                 << "usage: pfits_verify [--seed N] [--count N] "
-                   "[--jobs N] [--no-kernels] [--no-random] "
-                   "[--no-timing]\n";
+                   "[--jobs N] [--backend interp|fast|both] "
+                   "[--no-kernels] [--no-random] [--no-timing]\n";
             return 0;
         } else {
             std::cerr << "pfits_verify: unknown flag '" << arg
@@ -116,8 +134,8 @@ main(int argc, char **argv)
         }
 
         if (run_timing) {
-            auto fails =
-                runTimingInvariantSweep(opts.jobs, &std::cout);
+            auto fails = runTimingInvariantSweep(opts.jobs, &std::cout,
+                                                 opts.backend);
             if (!fails.empty())
                 rc = 1;
         }

@@ -9,6 +9,7 @@
 
 #include "assembler/assembler.hh"
 #include "assembler/builder.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "exp/figures.hh"
 #include "fits/fits_frontend.hh"
@@ -328,6 +329,162 @@ TEST(ExecutorRegression, LdmBaseInListLoadedValueWins)
     GoldenResult g = GoldenInterpreter(arm).run();
     ASSERT_EQ(g.outcome, RunOutcome::Completed);
     EXPECT_EQ(g.finalState.regs[R1], 20u);
+}
+
+/**
+ * Run @p prog under both backends on @p core and require the complete
+ * observable surface to match — architectural state, every counter,
+ * cache statistics, outcome and trap text. Directed regressions for
+ * divergences the differential harness caught while the fast backend
+ * grew its batched dispatch paths.
+ */
+void
+expectFastMatchesInterp(const Program &prog, CoreConfig core,
+                        const FaultParams *faults = nullptr)
+{
+    RunResult res[2];
+    for (int i = 0; i < 2; ++i) {
+        core.backend = i == 0 ? SimBackend::Interp : SimBackend::Fast;
+        ArmFrontEnd fe(prog);
+        Machine m(fe, core);
+        if (faults != nullptr) {
+            FaultPlan plan(*faults);
+            res[i] = m.run(&plan);
+        } else {
+            res[i] = m.run();
+        }
+    }
+    const RunResult &a = res[0], &b = res[1];
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.trapReason, b.trapReason);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.annulled, b.annulled);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.takenBranches, b.takenBranches);
+    EXPECT_EQ(a.dmemAccesses, b.dmemAccesses);
+    EXPECT_EQ(a.fetchToggleBits, b.fetchToggleBits);
+    EXPECT_EQ(a.fetchBitsTotal, b.fetchBitsTotal);
+    EXPECT_EQ(a.icacheRefillWords, b.icacheRefillWords);
+    EXPECT_EQ(a.icache.reads, b.icache.reads);
+    EXPECT_EQ(a.icache.readMisses, b.icache.readMisses);
+    EXPECT_EQ(a.icache.faultsInjected, b.icache.faultsInjected);
+    EXPECT_EQ(a.icache.parityDetections, b.icache.parityDetections);
+    EXPECT_EQ(a.icache.corruptDeliveries, b.icache.corruptDeliveries);
+    EXPECT_EQ(a.dcache.reads, b.dcache.reads);
+    EXPECT_EQ(a.dcache.writes, b.dcache.writes);
+    EXPECT_EQ(a.dcache.readMisses, b.dcache.readMisses);
+    EXPECT_EQ(a.dcache.writeMisses, b.dcache.writeMisses);
+    EXPECT_EQ(a.dcache.writebacks, b.dcache.writebacks);
+    for (int r = 0; r < 16; ++r)
+        EXPECT_EQ(a.finalState.regs[r], b.finalState.regs[r]) << r;
+    EXPECT_EQ(a.finalState.halted, b.finalState.halted);
+    EXPECT_EQ(a.io.console, b.io.console);
+    EXPECT_EQ(a.io.emitted, b.io.emitted);
+}
+
+TEST(FastBackendRegression, TrapInsideStraightLineRunMatchesInterp)
+{
+    // A misaligned load buried in the middle of a straight-line block:
+    // memory ops do not terminate a dispatch run, so the trap unwinds
+    // out of a batch whose counters were accounted ahead of time. The
+    // reconciliation must charge the trapping op's fetch but not its
+    // instruction, and ops behind it fully — exactly as the
+    // interpreter does.
+    ProgramBuilder b("midruntrap");
+    b.movi(R1, 0x101); // non-word-aligned address
+    for (int i = 0; i < 6; ++i)
+        b.addi(R2, R2, 1);
+    b.ldr(R0, R1, 0); // traps mid-run
+    for (int i = 0; i < 6; ++i)
+        b.addi(R3, R3, 1); // never reached
+    b.exit();
+    expectFastMatchesInterp(b.finish(), CoreConfig{});
+}
+
+TEST(FastBackendRegression, WatchdogExpiryMidRunMatchesInterp)
+{
+    // The instruction cap lands in the middle of a straight-line
+    // block: the batch span must clamp so the watchdog expires at
+    // exactly the same dynamic instruction as the interpreter's
+    // per-op check, with identical partial statistics.
+    ProgramBuilder b("midrunwatchdog");
+    for (int i = 0; i < 40; ++i)
+        b.addi(R2, R2, 1);
+    b.exit();
+    Program prog = b.finish();
+    CoreConfig core;
+    core.maxInstructions = 17;
+    expectFastMatchesInterp(prog, core);
+}
+
+TEST(FastBackendRegression, ParityFaultAccountingMatchesInterp)
+{
+    // I-cache fault injection with parity: every injection, detection
+    // and refetch must land on the same dynamic instruction in both
+    // backends (the fast loop once ran its fault accounting behind a
+    // different null-plan guard than the interpreter's
+    // FaultAccountingObserver route).
+    ProgramBuilder b("parityfault");
+    b.movi(R0, 200);
+    Label loop = b.here();
+    for (int i = 0; i < 8; ++i)
+        b.addi(R2, R2, 3);
+    b.subi(R0, R0, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+    b.exit();
+    Program prog = b.finish();
+
+    CoreConfig core;
+    core.icache.parity = true;
+    FaultParams fp;
+    fp.seed = 0xc0ffee;
+    fp.icacheMeanInterval = 40;
+    expectFastMatchesInterp(prog, core, &fp);
+
+    core.icache.parity = false;
+    fp.memoryMeanInterval = 90;
+    expectFastMatchesInterp(prog, core, &fp);
+}
+
+TEST(FastBackendRegression, UnpackedSubWordStreamCountsEveryFetch)
+{
+    // A 16-bit FITS stream WITHOUT the packed-fetch buffer: every
+    // fetch touches the I-cache even when consecutive 2-byte
+    // encodings share a 32-bit word. The fast loop's batched
+    // precompute once counted word transitions unconditionally and so
+    // undercounted reads on exactly this configuration — and only on
+    // the observer-free path, which is why it must run bare here.
+    ProgramBuilder b("unpackedfits");
+    b.movi(R0, 50);
+    Label loop = b.here();
+    for (int i = 0; i < 12; ++i)
+        b.addi(R2, R2, 1);
+    b.subi(R0, R0, 1, Cond::AL, true);
+    b.b(loop, Cond::NE);
+    b.exit();
+    Program prog = b.finish();
+
+    ProfileInfo profile = profileProgram(prog);
+    FitsIsa isa = synthesize(profile, SynthParams{}, prog.name);
+    FitsProgram fits = translateProgram(prog, isa, profile);
+
+    RunResult res[2];
+    for (int i = 0; i < 2; ++i) {
+        CoreConfig core; // packedFetch stays false
+        core.backend = i == 0 ? SimBackend::Interp : SimBackend::Fast;
+        FitsFrontEnd fe(fits);
+        res[i] = Machine(fe, core).run();
+        ASSERT_EQ(res[i].outcome, RunOutcome::Completed);
+    }
+    EXPECT_EQ(res[0].icache.reads, res[1].icache.reads);
+    EXPECT_EQ(res[0].icache.readMisses, res[1].icache.readMisses);
+    EXPECT_EQ(res[0].fetchToggleBits, res[1].fetchToggleBits);
+    EXPECT_EQ(res[0].fetchBitsTotal, res[1].fetchBitsTotal);
+    EXPECT_EQ(res[0].cycles, res[1].cycles);
+    EXPECT_EQ(res[0].instructions, res[1].instructions);
+    // Without the buffer the read count is the fetch count: far more
+    // reads than 32-bit words in the stream.
+    EXPECT_EQ(res[0].icache.reads, res[0].instructions);
 }
 
 TEST(UnpredictableRegression, LongMulEqualDestsRejectedEverywhere)

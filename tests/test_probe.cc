@@ -239,6 +239,41 @@ TEST(Probe, IntervalSeriesCoversShortRuns)
     EXPECT_EQ(intervals.intervals()[0].cycles, rr.cycles);
 }
 
+TEST(Probe, IntervalExactMultipleFoldsDrainIntoLastSample)
+{
+    // When the retired count is an exact multiple of the interval the
+    // pipeline-drain cycles fold into the last sample instead of
+    // spawning an empty trailing one: every sample keeps the fixed
+    // interval width and the cycle sum still matches the run total.
+    ArmFrontEnd probe_fe(countdownProgram(64));
+    RunResult probe = Machine(probe_fe, CoreConfig{}).run();
+    ASSERT_EQ(probe.outcome, RunOutcome::Completed);
+    ASSERT_GT(probe.instructions, 4u);
+    ASSERT_EQ(probe.instructions % 2, 0u)
+        << "pick a count giving an even total";
+
+    for (SimBackend backend : {SimBackend::Interp, SimBackend::Fast}) {
+        CoreConfig core;
+        core.backend = backend;
+        ArmFrontEnd fe(countdownProgram(64));
+        IntervalStatsObserver intervals(probe.instructions / 2);
+        ObserverList list;
+        list.add(&intervals);
+        RunResult rr = Machine(fe, core).run(nullptr, &list);
+        ASSERT_EQ(rr.outcome, RunOutcome::Completed);
+        ASSERT_EQ(rr.instructions, probe.instructions);
+
+        const auto &samples = intervals.intervals();
+        ASSERT_EQ(samples.size(), 2u);
+        uint64_t cycles = 0;
+        for (const IntervalSample &s : samples) {
+            EXPECT_EQ(s.instructions, probe.instructions / 2);
+            cycles += s.cycles;
+        }
+        EXPECT_EQ(cycles, rr.cycles);
+    }
+}
+
 TEST(Probe, StallReasonsAreClassified)
 {
     // countdown's SUBS->B(cond) chain stalls on flags (operands), the

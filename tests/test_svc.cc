@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <dirent.h>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -688,16 +690,92 @@ TEST(SvcService, HungServerRetriesWithBackoffThenFallsBack)
 
     SuiteRequest sr("crc32");
     SimCache::instance().clear();
+    const auto start = std::chrono::steady_clock::now();
     SimResult result = client.simulate(sr.req);
+    const auto transport_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
     EXPECT_EQ(result.run.outcome, RunOutcome::Completed)
         << "a hung daemon must never fail the run";
-    EXPECT_EQ(reg.counter("svc.retries").value(), 2u);
+    // requestTimeoutMs bounds the WHOLE retry loop: the hung receive
+    // eats the 100 ms budget (plus the fixed 500 ms deadline grace)
+    // once, leaving nothing for the retry ladder — not once per
+    // configured attempt with full backoffs in between. The bound
+    // includes the local crc32 fallback simulation; generous slack for
+    // a loaded host.
+    EXPECT_LT(transport_ms, 1'500)
+        << "retry loop must respect the total transport budget";
+    EXPECT_LE(reg.counter("svc.retries").value(), 2u);
     EXPECT_EQ(reg.counter("svc.fallbacks").value(), 1u);
     EXPECT_EQ(reg.counter("svc.store.hits").value(), 0u);
 
     MetricRegistry::install(prev);
     ::close(lfd);
     SimCache::instance().clear();
+}
+
+TEST(SvcService, BackoffSleepsAreClampedToTheRemainingBudget)
+{
+    // Connects to a never-created socket fail instantly, so the whole
+    // budget is available for backoff sleeps — which must still be
+    // clipped to it. With a 10 s backoff base and five retries the
+    // un-clamped ladder would sleep the better part of a minute.
+    MetricRegistry reg;
+    MetricRegistry *prev = MetricRegistry::install(&reg);
+    SvcClientConfig ccfg;
+    ccfg.socketPath = freshDir("clamp") + "/never-created.sock";
+    ccfg.requestTimeoutMs = 200;
+    ccfg.maxRetries = 5;
+    ccfg.backoffBaseMs = 10'000;
+    ccfg.backoffMaxMs = 60'000;
+    SvcClient client(ccfg);
+
+    SuiteRequest sr("crc32");
+    SimCache::instance().clear();
+    const auto start = std::chrono::steady_clock::now();
+    SimResult result = client.simulate(sr.req);
+    const auto transport_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_EQ(result.run.outcome, RunOutcome::Completed);
+    EXPECT_LT(transport_ms, 2'000)
+        << "backoff sleeps must not cross the caller's deadline";
+    // The first backoff is clamped to the remaining budget, so at
+    // least one retry fires before the budget runs out.
+    EXPECT_GE(reg.counter("svc.retries").value(), 1u);
+    EXPECT_EQ(reg.counter("svc.fallbacks").value(), 1u);
+
+    MetricRegistry::install(prev);
+    SimCache::instance().clear();
+}
+
+TEST(SvcService, FailedAttemptsDoNotLeakDescriptors)
+{
+    // Every attempt opens its own connection; repeated failures must
+    // return each fd on every exit path.
+    SvcClientConfig ccfg;
+    ccfg.socketPath = freshDir("fds") + "/never-created.sock";
+    ccfg.requestTimeoutMs = 50;
+    ccfg.maxRetries = 0;
+    SvcClient client(ccfg);
+    ASSERT_FALSE(client.ping()); // warm up lazy fds (logging, etc.)
+
+    const auto countFds = [] {
+        size_t n = 0;
+        DIR *d = ::opendir("/proc/self/fd");
+        if (d == nullptr)
+            return n;
+        while (::readdir(d) != nullptr)
+            ++n;
+        ::closedir(d);
+        return n;
+    };
+    const size_t before = countFds();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_FALSE(client.ping());
+    EXPECT_EQ(countFds(), before);
 }
 
 TEST(SvcService, AbsentDaemonFallsBackCleanly)

@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "assembler/builder.hh"
+#include "exp/experiment.hh"
+#include "exp/figures.hh"
+#include "exp/simcache.hh"
 #include "mibench/mibench.hh"
 #include "sim/machine.hh"
 #include "sim/probe.hh"
@@ -124,6 +128,26 @@ INSTANTIATE_TEST_SUITE_P(Kernels, DifferentialKernel,
                                            "stringsearch",
                                            "adpcm.encode"));
 
+class FastBackendShard : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FastBackendShard, RandomProgramAgreesOnFastLoopAlone)
+{
+    // The Both shards above already cross-check fast against interp;
+    // these pin the fast loop in isolation so a divergence bisects in
+    // one run. A disjoint seed range from the Both shards widens the
+    // sampled program space.
+    uint64_t seed = GetParam();
+    Program prog = randomVerifyProgram(seed);
+    DiffReport rep = diffProgram(prog, seed, nullptr,
+                                 DiffBackend::Fast);
+    EXPECT_TRUE(rep.ok()) << rep.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastBackendShard,
+                         ::testing::Range<uint64_t>(101, 117));
+
 TEST(DifferentialSuite, SmallSweepIsClean)
 {
     DiffOptions opts;
@@ -133,6 +157,37 @@ TEST(DifferentialSuite, SmallSweepIsClean)
     DiffSummary sum = runDifferentialSuite(opts);
     EXPECT_EQ(sum.programsRun, 8u);
     EXPECT_TRUE(sum.ok());
+}
+
+// --- engine determinism across backends and job counts -------------------
+
+/** Two figure tables over the whole suite, as one CSV fingerprint. */
+std::string
+suiteCsv(SimBackend backend, unsigned jobs)
+{
+    SimCache::instance().clear(); // force fresh simulations
+    ExperimentParams params;
+    params.core.backend = backend;
+    params.jobs = jobs;
+    Runner runner(params);
+    std::ostringstream os;
+    fig13MissRate(runner).printCsv(os);
+    fig14Ipc(runner).printCsv(os);
+    return os.str();
+}
+
+TEST(BackendDeterminism, TablesByteIdenticalAcrossBackendsAndJobs)
+{
+    // The merge gate for the fast backend: experiment tables must be
+    // byte-identical to the interpreter's, at any worker count (1,
+    // 4, and the hardware-sized shared pool). A single divergent
+    // counter anywhere in the suite shows up here.
+    const std::string interp = suiteCsv(SimBackend::Interp, 4);
+    ASSERT_FALSE(interp.empty());
+    EXPECT_EQ(interp, suiteCsv(SimBackend::Fast, 1));
+    EXPECT_EQ(interp, suiteCsv(SimBackend::Fast, 4));
+    EXPECT_EQ(interp, suiteCsv(SimBackend::Fast, 0));
+    SimCache::instance().clear();
 }
 
 // --- timing invariants ---------------------------------------------------
