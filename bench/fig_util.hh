@@ -11,6 +11,11 @@
  *   --csv             emit tables as CSV, suppress the paper note
  *   --jobs N          engine worker count (also --jobs=N, -jN,
  *                     PFITS_JOBS); output is byte-identical at any N
+ *   --tiles N         run every simulation as an N-tile chip (round-
+ *                     robin over a shared coherent L2, sim/chip.hh);
+ *                     1..64, also --tiles=N and PFITS_TILES. The
+ *                     default 1 is the plain single-core Machine and
+ *                     reproduces every pre-chip table byte-identically
  *   --trace-on-trap   arm the bounded flight recorder on every run
  *   --trace-dir DIR   directory trace JSONL files are written to
  *                     (default "."); give concurrent runs distinct
@@ -60,6 +65,10 @@ struct BenchOptions
     bool csv = false;
     unsigned jobs = 0; //!< 0 = process default pool
 
+    //!< Chip tile count; >1 simulates homogeneous N-tile chips with a
+    //!< shared coherent L2 (ExperimentParams::chipSim).
+    unsigned tiles = 1;
+
     //!< Machine execution loop; the backends are result-equivalent
     //!< (differentially verified), so tables are byte-identical —
     //!< "fast" just gets there quicker.
@@ -77,12 +86,16 @@ inline void
 printUsage(const char *tool, std::ostream &os)
 {
     os << "usage: " << tool
-       << " [--csv] [--jobs N] [--backend interp|fast]"
+       << " [--csv] [--jobs N] [--tiles N] [--backend interp|fast]"
           " [--trace-on-trap] [--trace-dir DIR]"
-          " [--json PATH]\n"
+          " [--json PATH] [--daemon[=SOCK]]\n"
           "  --csv            print tables as CSV\n"
           "  --jobs N         engine worker count (PFITS_JOBS also "
           "works)\n"
+          "  --tiles N        simulate N-tile chips over a shared "
+          "coherent L2\n"
+          "                   (1..64; PFITS_TILES also works; default "
+          "1 = single-core)\n"
           "  --backend B      simulator loop: interp (default) or "
           "fast\n"
           "                   (verified result-equivalent; tables are "
@@ -129,6 +142,24 @@ parseArgs(int argc, char **argv, const char *tool)
             reject(std::string(flag) + " wants an argument");
         return argv[++i];
     };
+    // Strict on purpose: a tile count is a simulation parameter, and
+    // "--tiles 0"/"--tiles 4x" silently meaning something else would
+    // poison a sweep. Digits only, 1..64 (the sharer-vector width).
+    auto parseTiles = [&](std::string_view text) -> unsigned {
+        if (text.empty())
+            reject("--tiles wants a number");
+        unsigned v = 0;
+        for (char c : text) {
+            if (c < '0' || c > '9' || v > 64)
+                reject("malformed tile count '" + std::string(text) +
+                       "' (want 1..64)");
+            v = v * 10 + static_cast<unsigned>(c - '0');
+        }
+        if (v < 1 || v > 64)
+            reject("tile count " + std::string(text) +
+                   " outside 1..64");
+        return v;
+    };
 
     BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
@@ -166,11 +197,21 @@ parseArgs(int argc, char **argv, const char *tool)
             opts.jobs = parseCount(arg.substr(7));
         } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
             opts.jobs = parseCount(arg.substr(2));
+        } else if (arg == "--tiles") {
+            opts.tiles = parseTiles(wantValue(i, arg));
+        } else if (arg.rfind("--tiles=", 0) == 0) {
+            opts.tiles = parseTiles(arg.substr(8));
         } else if (arg == "--help" || arg == "-h") {
             printUsage(tool, std::cout);
             std::exit(0);
         } else {
-            reject("unknown flag '" + std::string(arg) + "'");
+            // Name every accepted flag right in the error: the usage
+            // block follows, but the one-line message is what scripts
+            // capture and what a user pasting an error sees first.
+            reject("unknown flag '" + std::string(arg) +
+                   "' (accepted: --csv --jobs --tiles --backend "
+                   "--trace-on-trap --trace-dir --json --daemon "
+                   "--help)");
         }
     }
     if (opts.daemonSocket.empty()) {
@@ -181,6 +222,16 @@ parseArgs(int argc, char **argv, const char *tool)
         if (env && *env)
             opts.daemonSocket = env;
     }
+    if (opts.tiles == 1) {
+        // Same idea as PFITS_JOBS: the environment can re-shape a
+        // whole sweep without editing command lines. The flag wins.
+        const char *env = std::getenv("PFITS_TILES");
+        if (env && *env)
+            opts.tiles = parseTiles(env);
+    }
+    if (opts.tiles != 1 && opts.backend != SimBackend::Interp)
+        reject("--tiles runs the interpreter tile loop; it cannot be "
+               "combined with --backend fast");
     return opts;
 }
 
@@ -225,6 +276,10 @@ class BenchHarness
         // a fast run of the same binary are separate tracked series.
         if (opts_.backend != SimBackend::Interp)
             tool_ += std::string("+") + simBackendName(opts_.backend);
+        // Same for the chip shape: a 4-tile run of a bench is a
+        // different tracked series than its single-core run.
+        if (opts_.tiles != 1)
+            tool_ += "+tiles" + std::to_string(opts_.tiles);
         if (wantManifest())
             previous_ = MetricRegistry::install(&registry_);
         if (!opts_.daemonSocket.empty()) {
@@ -258,6 +313,13 @@ class BenchHarness
     {
         params.jobs = opts_.jobs;
         params.core.backend = opts_.backend;
+        if (opts_.tiles != 1) {
+            // Multi-tile means the full chip story: N tiles behind a
+            // shared, MSI-coherent L2 (with one tile the chip config
+            // stays default and the run is the plain Machine).
+            params.chipSim.tiles = opts_.tiles;
+            params.chipSim.sharedL2 = true;
+        }
         if (opts_.traceOnTrap) {
             params.observers.traceOnTrap = true;
             params.observers.traceDepth = 64;
@@ -287,6 +349,7 @@ class BenchHarness
             params.core.backend == SimBackend::Interp
                 ? ""
                 : simBackendName(params.core.backend);
+        manifestParams_.tiles = params.chipSim.tiles;
         manifestParams_.faultSeed =
             params.faults.enabled() ? params.faults.seed : 0;
         manifestParams_.faultRetries = params.faultRetries;

@@ -48,6 +48,7 @@ benches=(
     abl_register_sweep
     abl_cache_geometry
     abl_synthesis_features
+    ext_chip_power
     ext_code_compression
     ext_fetch_packing
     ext_issue_width

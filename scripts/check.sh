@@ -30,6 +30,15 @@ run_suite "$repo/build" -DASAN=OFF
 echo "=== differential verification (pfits_verify) ==="
 "$repo/build/src/verify/pfits_verify" --count 500 --jobs "$jobs"
 
+# The multi-tile chip shard: every kernel plus 500 random programs run
+# as all four tiles of a chip over a small shared MSI L2 (forcing
+# capacity back-invalidations), checked architecturally against
+# independent single-core runs plus the coherence invariants. The
+# one-tile chip cross-execution rides inside the default sweep above.
+echo "=== differential verification (multi-tile chip shard) ==="
+"$repo/build/src/verify/pfits_verify" --no-random --no-timing \
+    --chip-count 500 --chip-tiles 4 --jobs "$jobs"
+
 # A fast-backend-only shard on top of the interp+fast cross-execution
 # above: diffProgram still compares against the golden interpreter, so
 # this pins the fast loop in isolation (a divergence here bisects to
@@ -80,6 +89,14 @@ PFITS_JOBS=4 "$repo/build-asan/src/verify/pfits_verify" --count 50
 echo "=== differential verification (ASan fast backend shard) ==="
 PFITS_JOBS=4 "$repo/build-asan/src/verify/pfits_verify" --count 50 \
     --backend fast
+
+# Multi-tile chip shard under ASan: the round-robin quantum loop, the
+# directory's recall paths and the per-tile memories all do pointer
+# work worth sanitizing. (The directed MSI table and protocol fuzz in
+# tests/test_coherence.cc already ran sanitized inside ctest above.)
+echo "=== differential verification (ASan multi-tile chip shard) ==="
+PFITS_JOBS=4 "$repo/build-asan/src/verify/pfits_verify" --no-random \
+    --no-timing --chip-count 50 --chip-tiles 4
 echo "=== golden snapshots (ASan, fast backend) ==="
 "$repo/scripts/golden_check.sh" "$repo/build-asan" --backend=fast
 
@@ -93,6 +110,9 @@ PFITS_JOBS=4 run_suite "$repo/build-ubsan" -DUBSAN=ON
 echo "=== differential verification (UBSan fast backend shard) ==="
 PFITS_JOBS=4 "$repo/build-ubsan/src/verify/pfits_verify" --count 50 \
     --backend fast
+echo "=== differential verification (UBSan multi-tile chip shard) ==="
+PFITS_JOBS=4 "$repo/build-ubsan/src/verify/pfits_verify" --no-random \
+    --no-timing --chip-count 50 --chip-tiles 4
 echo "=== golden snapshots (UBSan, fast backend) ==="
 "$repo/scripts/golden_check.sh" "$repo/build-ubsan" --backend=fast
 

@@ -36,7 +36,19 @@ CacheConfig::validateError() const
     if (lineBytes < 4)
         return detail::format("cache '%s': line size below 4 bytes",
                               name.c_str());
-    if (sizeBytes < lineBytes * assoc)
+    // The way-hint table packs a way index into 16 bits (see
+    // Cache::accessFast); the constructor relies on this bound, so the
+    // validator must enforce it rather than let an L2-scale geometry
+    // construct an array the fast path cannot address.
+    if (assoc > kMaxAssoc)
+        return detail::format(
+            "cache '%s': associativity %u above the supported maximum "
+            "%u", name.c_str(), assoc, kMaxAssoc);
+    // 64-bit product: lineBytes * assoc can reach 2^32 for large
+    // geometries, and a wrapped product used to slip through here and
+    // hand the constructor a zero-set array (UB on first access).
+    if (static_cast<uint64_t>(sizeBytes) <
+        static_cast<uint64_t>(lineBytes) * assoc)
         return detail::format(
             "cache '%s': size %u too small for %u ways of %u-byte "
             "lines", name.c_str(), sizeBytes, assoc, lineBytes);
@@ -148,21 +160,26 @@ Cache::access(uint32_t addr, bool write)
                 res.corruptDelivered = true;
                 if (config_.policy == ReplPolicy::LRU)
                     line.stamp = tick_;
-                if (write && config_.writeBack)
+                if (write && config_.writeBack) {
+                    res.writeUpgrade = !line.dirty;
                     line.dirty = true;
+                }
                 return res;
             }
             if (config_.policy == ReplPolicy::LRU)
                 line.stamp = tick_;
+            CacheAccessResult res{true, false, 0, false, false};
             if (write) {
-                if (config_.writeBack)
+                if (config_.writeBack) {
+                    res.writeUpgrade = !line.dirty;
                     line.dirty = true;
+                }
                 // Write-through caches propagate immediately; the power
                 // model charges the bus write from the access counters.
             }
             lastLineAddr_ = addr / config_.lineBytes;
             lastHitIdx_ = base + way;
-            return CacheAccessResult{true, false, 0, false, false};
+            return res;
         }
     }
     return handleMiss(addr, write);
@@ -190,11 +207,15 @@ Cache::handleMiss(uint32_t addr, bool write)
 
     uint32_t way = victimWay(set);
     Line &line = lines_[base + way];
-    if (line.valid && line.dirty) {
-        result.writeback = true;
-        result.victimAddr =
+    if (line.valid) {
+        result.evicted = true;
+        result.evictedAddr =
             (line.tag * config_.numSets() + set) * config_.lineBytes;
-        ++stats_.writebacks;
+        if (line.dirty) {
+            result.writeback = true;
+            result.victimAddr = result.evictedAddr;
+            ++stats_.writebacks;
+        }
     }
     line.valid = true;
     line.dirty = write && config_.writeBack;
@@ -238,6 +259,78 @@ Cache::residentLines() const
     for (const Line &line : lines_)
         valid += line.valid ? 1 : 0;
     return valid;
+}
+
+Cache::LineProbe
+Cache::invalidateLine(uint32_t addr)
+{
+    const uint32_t set = setIndex(addr);
+    const uint32_t tag = tagOf(addr);
+    const uint32_t base = set * config_.assoc;
+    for (uint32_t way = 0; way < config_.assoc; ++way) {
+        Line &line = lines_[base + way];
+        if (line.valid && line.tag == tag) {
+            LineProbe probe{true, line.dirty};
+            line = Line{};
+            // The repeat hint must not outlive the line it vouches
+            // for: a touchRepeat after this would dirty a dead slot.
+            if (lastLineAddr_ == addr / config_.lineBytes)
+                lastLineAddr_ = kNoLine;
+            return probe;
+        }
+    }
+    return LineProbe{};
+}
+
+Cache::LineProbe
+Cache::cleanLine(uint32_t addr)
+{
+    const uint32_t set = setIndex(addr);
+    const uint32_t tag = tagOf(addr);
+    const uint32_t base = set * config_.assoc;
+    for (uint32_t way = 0; way < config_.assoc; ++way) {
+        Line &line = lines_[base + way];
+        if (line.valid && line.tag == tag) {
+            LineProbe probe{true, line.dirty};
+            line.dirty = false;
+            return probe;
+        }
+    }
+    return LineProbe{};
+}
+
+bool
+Cache::markLineDirty(uint32_t addr)
+{
+    if (!config_.writeBack)
+        return false;
+    const uint32_t set = setIndex(addr);
+    const uint32_t tag = tagOf(addr);
+    const uint32_t base = set * config_.assoc;
+    for (uint32_t way = 0; way < config_.assoc; ++way) {
+        Line &line = lines_[base + way];
+        if (line.valid && line.tag == tag) {
+            line.dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::forEachValidLine(
+    const std::function<void(uint32_t, bool)> &fn) const
+{
+    const uint32_t sets = config_.numSets();
+    for (uint32_t set = 0; set < sets; ++set) {
+        const uint32_t base = set * config_.assoc;
+        for (uint32_t way = 0; way < config_.assoc; ++way) {
+            const Line &line = lines_[base + way];
+            if (line.valid)
+                fn((line.tag * sets + set) * config_.lineBytes,
+                   line.dirty);
+        }
+    }
 }
 
 bool

@@ -14,6 +14,7 @@
 #define POWERFITS_CACHE_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,14 @@ struct CacheConfig
      */
     bool parity = false;
 
+    /**
+     * Largest supported associativity: way indices must fit the 16-bit
+     * field of the way-hint slots (Cache::accessFast packs
+     * tag << 16 | way), so the validator and the constructor agree on
+     * the same bound instead of the constructor discovering it later.
+     */
+    static constexpr uint32_t kMaxAssoc = 1u << 16;
+
     uint32_t numLines() const { return sizeBytes / lineBytes; }
     uint32_t numSets() const { return numLines() / assoc; }
 
@@ -69,6 +78,26 @@ struct CacheAccessResult
     uint32_t victimAddr = 0;   //!< line address of the victim (if any)
     bool parityError = false;  //!< corrupt line caught by parity check
     bool corruptDelivered = false; //!< corrupt data consumed unchecked
+
+    // Fields below are appended so the pre-existing five-initializer
+    // aggregate expressions keep meaning exactly what they meant.
+
+    /**
+     * A valid line (clean or dirty) was replaced by this fill.
+     * victimAddr is only set for *dirty* victims; evictedAddr names the
+     * victim either way — an inclusive outer level uses it to recall
+     * inner copies of the departing line.
+     */
+    bool evicted = false;
+    uint32_t evictedAddr = 0; //!< byte base address of the evicted line
+
+    /**
+     * Write hit that turned a clean write-back line dirty. In a
+     * coherent hierarchy this is the S->M transition point: the line
+     * was readable before, and this access claims write ownership, so
+     * the directory must invalidate remote copies (coherence.hh).
+     */
+    bool writeUpgrade = false;
 };
 
 /** Aggregate activity counters for one cache. */
@@ -209,10 +238,13 @@ class Cache
             Line &line = lines_[idx];
             if (line.valid && line.tag == tag && !line.corrupt) {
                 ++tick_;
+                CacheAccessResult res{true, false, 0, false, false};
                 if (write) {
                     ++stats_.writes;
-                    if (config_.writeBack)
+                    if (config_.writeBack) {
+                        res.writeUpgrade = !line.dirty;
                         line.dirty = true;
+                    }
                 } else {
                     ++stats_.reads;
                 }
@@ -220,7 +252,7 @@ class Cache
                     line.stamp = tick_;
                 lastLineAddr_ = la;
                 lastHitIdx_ = idx;
-                return CacheAccessResult{true, false, 0, false, false};
+                return res;
             }
         }
         CacheAccessResult result = access(addr, write);
@@ -234,6 +266,45 @@ class Cache
 
     /** Probe without updating any state. */
     bool contains(uint32_t addr) const;
+
+    /** Outcome of a coherence line operation (probe-and-act). */
+    struct LineProbe
+    {
+        bool present = false; //!< a valid line for the address existed
+        bool dirty = false;   //!< ... and it carried unwritten data
+    };
+
+    /**
+     * Coherence ops, used when this cache sits under a directory
+     * (cache/coherence.hh). None of them counts as an access: the
+     * stats and replacement state describe what the local core did,
+     * while these model the *protocol* acting on the array.
+     */
+
+    /**
+     * Drop the line holding @p addr, if any. The repeat hint is
+     * cleared when it pointed at the dropped line, so a stale
+     * touchRepeat can never resurrect it.
+     * @return whether a line existed and whether it was dirty (the
+     * caller owns the recalled data's fate).
+     */
+    LineProbe invalidateLine(uint32_t addr);
+
+    /** Clear the dirty bit of the line holding @p addr (M -> S
+     * downgrade), leaving it resident. */
+    LineProbe cleanLine(uint32_t addr);
+
+    /**
+     * Force the line holding @p addr dirty (write-back caches only) —
+     * an inclusive L2 uses this when recalled dirty data merges into a
+     * resident line without a core-side write access.
+     * @return false when no line holds the address.
+     */
+    bool markLineDirty(uint32_t addr);
+
+    /** Visit every valid line as (lineBaseAddr, dirty). */
+    void forEachValidLine(
+        const std::function<void(uint32_t, bool)> &fn) const;
 
     /**
      * Soft error: mark one uniformly chosen resident line corrupt

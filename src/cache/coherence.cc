@@ -1,0 +1,326 @@
+#include "cache/coherence.hh"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+const char *
+msiStateName(MsiState state)
+{
+    switch (state) {
+      case MsiState::Invalid: return "invalid";
+      case MsiState::Shared: return "shared";
+      case MsiState::Modified: return "modified";
+      default: panic("bad MsiState");
+    }
+}
+
+const char *
+coherenceEventKindName(CoherenceEvent::Kind kind)
+{
+    switch (kind) {
+      case CoherenceEvent::Kind::ReadFill: return "read-fill";
+      case CoherenceEvent::Kind::WriteFill: return "write-fill";
+      case CoherenceEvent::Kind::Upgrade: return "upgrade";
+      case CoherenceEvent::Kind::Invalidate: return "invalidate";
+      case CoherenceEvent::Kind::Downgrade: return "downgrade";
+      case CoherenceEvent::Kind::BackInvalidate:
+        return "back-invalidate";
+      case CoherenceEvent::Kind::L1Writeback: return "l1-writeback";
+      case CoherenceEvent::Kind::L2Writeback: return "l2-writeback";
+      default: panic("bad CoherenceEvent::Kind");
+    }
+}
+
+CoherentL2::CoherentL2(const Params &params, unsigned numTiles)
+    : params_(params), l2_(params.cache), ports_(numTiles, nullptr)
+{
+    if (numTiles == 0 || numTiles > 64)
+        fatal("coherent L2: %u tiles outside the supported 1..64 "
+              "(sharer vectors are 64 bits wide)", numTiles);
+    if (!params_.cache.writeBack)
+        fatal("coherent L2 '%s': must be write-back (the directory "
+              "owns dirty data)", params_.cache.name.c_str());
+}
+
+void
+CoherentL2::attachPort(unsigned tile, CoherencePort *port)
+{
+    if (tile >= ports_.size())
+        fatal("coherent L2: port index %u out of range", tile);
+    ports_[tile] = port;
+}
+
+void
+CoherentL2::setListener(CoherenceListener *listener)
+{
+    listener_ = listener;
+}
+
+uint32_t
+CoherentL2::lineBase(uint32_t addr) const
+{
+    return addr & ~(l2_.config().lineBytes - 1);
+}
+
+void
+CoherentL2::emit(CoherenceEvent::Kind kind, unsigned tile,
+                 uint32_t lineAddr, bool l2_hit, bool dirty)
+{
+    if (listener_)
+        listener_->onCoherence(
+            CoherenceEvent{kind, tile, lineAddr, l2_hit, dirty});
+}
+
+void
+CoherentL2::backInvalidate(uint32_t victimAddr)
+{
+    const uint32_t la = lineBase(victimAddr);
+    auto it = dir_.find(la);
+    if (it != dir_.end()) {
+        for (uint64_t m = it->second.sharers; m != 0; m &= m - 1) {
+            const unsigned s =
+                static_cast<unsigned>(std::countr_zero(m));
+            bool dirty = false;
+            if (ports_[s])
+                dirty = ports_[s]->coherenceInvalidate(la);
+            ++stats_.backInvalidations;
+            if (dirty) {
+                // The L2 copy is gone, so the recalled data goes
+                // straight to memory.
+                ++stats_.recallWritebacks;
+                ++stats_.l2Writebacks;
+            }
+            emit(CoherenceEvent::Kind::BackInvalidate, s, la, false,
+                 dirty);
+        }
+        dir_.erase(it);
+    }
+}
+
+unsigned
+CoherentL2::accessFill(unsigned tile, uint32_t addr, bool write)
+{
+    const uint32_t la = lineBase(addr);
+    const uint64_t self = 1ull << tile;
+    bool recalled_dirty = false;
+
+    // Protocol pre-actions against the *remote* holders. The requester
+    // may appear in the sharer vector from a silently dropped clean
+    // copy; its own L1 already installed the new line and must not be
+    // touched.
+    if (auto it = dir_.find(la); it != dir_.end()) {
+        if (write) {
+            for (uint64_t m = it->second.sharers & ~self; m != 0;
+                 m &= m - 1) {
+                const unsigned s =
+                    static_cast<unsigned>(std::countr_zero(m));
+                bool dirty = false;
+                if (ports_[s])
+                    dirty = ports_[s]->coherenceInvalidate(la);
+                ++stats_.invalidations;
+                if (dirty) {
+                    ++stats_.recallWritebacks;
+                    recalled_dirty = true;
+                }
+                emit(CoherenceEvent::Kind::Invalidate, s, la, true,
+                     dirty);
+            }
+            it->second.sharers &= self;
+        } else if (it->second.state == MsiState::Modified &&
+                   (it->second.sharers & ~self) != 0) {
+            // Exactly one remote owner by the single-writer invariant.
+            const unsigned owner = static_cast<unsigned>(
+                std::countr_zero(it->second.sharers & ~self));
+            bool dirty = false;
+            if (ports_[owner])
+                dirty = ports_[owner]->coherenceDowngrade(la);
+            ++stats_.downgrades;
+            if (dirty) {
+                ++stats_.recallWritebacks;
+                recalled_dirty = true;
+            }
+            emit(CoherenceEvent::Kind::Downgrade, owner, la, true,
+                 dirty);
+            it->second.state = MsiState::Shared;
+        }
+    }
+
+    // The L2 array: fills are reads of the array for both load and
+    // store misses — a store's dirty data lives in the requesting L1
+    // (it now owns the line); the L2 copy dirties only through
+    // writebacks and recalls.
+    CacheAccessResult res = l2_.access(addr, false);
+    if (res.writeback)
+        ++stats_.l2Writebacks;
+    if (res.evicted)
+        backInvalidate(res.evictedAddr);
+    if (recalled_dirty) {
+        // Recalled data merges into the (just-filled) L2 copy; it must
+        // survive a later eviction.
+        l2_.markLineDirty(addr);
+    }
+
+    DirEntry &e = dir_[la];
+    if (write) {
+        e.state = MsiState::Modified;
+        e.sharers = self;
+        ++stats_.writeFills;
+        emit(CoherenceEvent::Kind::WriteFill, tile, la, res.hit,
+             recalled_dirty);
+    } else {
+        e.sharers |= self;
+        if (e.state == MsiState::Invalid)
+            e.state = MsiState::Shared;
+        // A Modified entry whose sole sharer is the requester stays
+        // Modified: the owner merely refetched its own line.
+        else if (e.state == MsiState::Modified && e.sharers != self)
+            e.state = MsiState::Shared;
+        ++stats_.readFills;
+        emit(CoherenceEvent::Kind::ReadFill, tile, la, res.hit,
+             recalled_dirty);
+    }
+
+    return params_.hitPenalty + (res.hit ? 0 : params_.missPenalty);
+}
+
+unsigned
+CoherentL2::upgradeForWrite(unsigned tile, uint32_t addr)
+{
+    const uint32_t la = lineBase(addr);
+    const uint64_t self = 1ull << tile;
+    unsigned penalty = 0;
+
+    DirEntry &e = dir_[la];
+    for (uint64_t m = e.sharers & ~self; m != 0; m &= m - 1) {
+        const unsigned s = static_cast<unsigned>(std::countr_zero(m));
+        bool dirty = false;
+        if (ports_[s])
+            dirty = ports_[s]->coherenceInvalidate(la);
+        ++stats_.invalidations;
+        if (dirty) {
+            // A remote dirty copy alongside our clean one would mean
+            // the single-writer invariant was already broken; merge
+            // the data defensively so nothing is lost.
+            ++stats_.recallWritebacks;
+            l2_.markLineDirty(addr);
+        }
+        emit(CoherenceEvent::Kind::Invalidate, s, la, true, dirty);
+        penalty = params_.upgradePenalty;
+    }
+    e.state = MsiState::Modified;
+    e.sharers = self;
+    ++stats_.upgrades;
+    emit(CoherenceEvent::Kind::Upgrade, tile, la, true, penalty != 0);
+    return penalty;
+}
+
+void
+CoherentL2::l1Writeback(unsigned tile, uint32_t addr)
+{
+    const uint32_t la = lineBase(addr);
+    ++stats_.l1Writebacks;
+    emit(CoherenceEvent::Kind::L1Writeback, tile, la, true, true);
+
+    // Inclusion makes this an L2 hit in the common case; a miss can
+    // only mean the line raced out through a back-invalidation the
+    // victim's writeback crossed, and write-allocate re-admits it.
+    CacheAccessResult res = l2_.access(addr, true);
+    if (res.writeback)
+        ++stats_.l2Writebacks;
+    if (res.evicted)
+        backInvalidate(res.evictedAddr);
+
+    if (auto it = dir_.find(la); it != dir_.end()) {
+        it->second.sharers &= ~(1ull << tile);
+        if (it->second.sharers == 0)
+            it->second.state = MsiState::Invalid;
+        else if (it->second.state == MsiState::Modified)
+            it->second.state = MsiState::Shared;
+    }
+}
+
+std::optional<CoherentL2::DirSnapshot>
+CoherentL2::dirEntry(uint32_t addr) const
+{
+    auto it = dir_.find(lineBase(addr));
+    if (it == dir_.end())
+        return std::nullopt;
+    return DirSnapshot{it->second.state, it->second.sharers};
+}
+
+std::string
+CoherentL2::checkInvariants() const
+{
+    // Deterministic walk: collect every privately held line, sorted.
+    std::map<uint32_t, std::vector<std::pair<unsigned, bool>>> held;
+    for (unsigned t = 0; t < ports_.size(); ++t) {
+        if (!ports_[t])
+            continue;
+        ports_[t]->enumerateLines([&](uint32_t la, bool dirty) {
+            held[la].emplace_back(t, dirty);
+        });
+    }
+
+    for (const auto &[la, holders] : held) {
+        auto it = dir_.find(la);
+        unsigned dirty_holders = 0;
+        for (const auto &[t, dirty] : holders) {
+            if (it == dir_.end())
+                return detail::format(
+                    "line 0x%08x held by tile %u has no directory "
+                    "entry", la, t);
+            if ((it->second.sharers & (1ull << t)) == 0)
+                return detail::format(
+                    "line 0x%08x held by tile %u but its sharer bit "
+                    "is clear (sharers=0x%llx)", la, t,
+                    static_cast<unsigned long long>(
+                        it->second.sharers));
+            if (dirty) {
+                ++dirty_holders;
+                if (it->second.state != MsiState::Modified)
+                    return detail::format(
+                        "line 0x%08x dirty in tile %u but directory "
+                        "state is %s", la, t,
+                        msiStateName(it->second.state));
+                if (it->second.sharers != (1ull << t))
+                    return detail::format(
+                        "line 0x%08x dirty in tile %u but sharers="
+                        "0x%llx is not that tile alone", la, t,
+                        static_cast<unsigned long long>(
+                            it->second.sharers));
+            }
+        }
+        if (dirty_holders > 1)
+            return detail::format(
+                "line 0x%08x dirty in %u tiles (single-writer "
+                "violated)", la, dirty_holders);
+        if (!l2_.contains(la))
+            return detail::format(
+                "line 0x%08x held privately but absent from the L2 "
+                "(inclusion violated)", la);
+    }
+
+    // Every Modified directory entry has exactly one sharer.
+    std::vector<std::pair<uint32_t, DirEntry>> entries(dir_.begin(),
+                                                       dir_.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[la, e] : entries) {
+        if (e.state == MsiState::Modified &&
+            std::popcount(e.sharers) != 1)
+            return detail::format(
+                "directory entry 0x%08x is modified with %d sharers",
+                la, std::popcount(e.sharers));
+    }
+    return "";
+}
+
+} // namespace pfits

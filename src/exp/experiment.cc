@@ -200,6 +200,7 @@ Runner::simulateConfig(const Prepared &prep, ConfigId id) const
     sreq.faults = fp;
     sreq.maxRetries = faulty ? params_.faultRetries : 0;
     sreq.spec = params_.observers;
+    sreq.chip = params_.chipSim;
     sreq.bench = bench_name;
     sreq.isFits = is_fits;
     SimResult sim = currentSimService()->simulate(sreq);
@@ -207,6 +208,7 @@ Runner::simulateConfig(const Prepared &prep, ConfigId id) const
     cfg.faultRetries = sim.faultRetries;
     cfg.intervals = std::move(sim.intervals);
     cfg.tracePath = std::move(sim.tracePath);
+    cfg.chipRun = std::move(sim.chip);
 
     if (cfg.run.outcome != RunOutcome::Completed && !faulty) {
         // Without injected faults these outcomes are toolchain or

@@ -21,6 +21,7 @@
 
 #include "common/fault.hh"
 #include "exp/parallel.hh"
+#include "exp/simcache.hh"
 #include "fits/fits_frontend.hh"
 #include "fits/synth.hh"
 #include "fits/translate.hh"
@@ -51,6 +52,10 @@ struct ConfigResult
     ChipPowerBreakdown chip;
     bool checksumOk = true;  //!< golden output matched (SDC when false)
     unsigned faultRetries = 0; //!< reload-and-retry attempts consumed
+
+    //! Chip-level extras when params.chipSim is non-default: run is
+    //! then tile 0 of a homogeneous multi-tile chip (exp/simcache.hh).
+    ChipRunStats chipRun;
 
     //! Phase series when params.observers armed interval stats.
     std::vector<IntervalSample> intervals;
@@ -109,9 +114,22 @@ struct ExperimentParams
     SynthParams synth;
     TechParams tech;
     ChipEnergyParams chip;
+    UncoreEnergyParams uncore; //!< shared-L2/coherence energy (chip runs)
     CoreConfig core; //!< base core; I-cache size is overridden per config
     uint32_t smallCacheBytes = 8 * 1024;
     uint32_t largeCacheBytes = 16 * 1024;
+
+    /**
+     * Chip-level run shape (sim/chip.hh). The default — one tile, no
+     * shared L2 — simulates every (benchmark, config) pair as the
+     * plain single-core Machine, byte-identical to every pre-chip
+     * table. A non-default config runs each pair as a homogeneous
+     * chipSim.tiles-tile Chip; ConfigResult::run is then tile 0's
+     * result and ConfigResult::chipRun carries the chip-level stats.
+     * Joins the SimCache memo key (exp/simcache.hh), so chip and
+     * single-core results never share a memo entry.
+     */
+    ChipConfig chipSim;
 
     /**
      * Soft-error injection (disabled by default). When armed, each

@@ -135,6 +135,39 @@ hashCoreConfig(const CoreConfig &core)
 }
 
 uint64_t
+hashChipConfig(const ChipConfig &chip)
+{
+    // The default chip (one tile, no shared L2) is a Machine, so it
+    // hashes to 0 and the fold below leaves the core hash untouched —
+    // every pre-chip memo key keeps its exact value.
+    if (chip.isDefault())
+        return 0;
+    Hasher h;
+    h.u64(chip.tiles);
+    h.u64(chip.quantum);
+    h.u64(chip.sharedL2 ? 1 : 0);
+    hashCache(h, chip.l2);
+    h.u64(chip.l2HitPenalty);
+    h.u64(chip.l2MissPenalty);
+    h.u64(chip.upgradePenalty);
+    h.u64(chip.tileShift);
+    return h.h;
+}
+
+uint64_t
+hashConfigKey(const CoreConfig &core, const ChipConfig &chip)
+{
+    const uint64_t core_hash = hashCoreConfig(core);
+    const uint64_t chip_hash = hashChipConfig(chip);
+    if (chip_hash == 0)
+        return core_hash;
+    Hasher h;
+    h.u64(core_hash);
+    h.u64(chip_hash);
+    return h.h;
+}
+
+uint64_t
 hashFaultParams(const FaultParams &faults, unsigned max_retries)
 {
     if (!faults.enabled())
@@ -322,7 +355,8 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
                         const CoreConfig &core,
                         const FaultParams &faults,
                         unsigned max_retries,
-                        const ObserverSpec &spec)
+                        const ObserverSpec &spec,
+                        const ChipConfig &chip)
 {
     bool computed = false;
     std::call_once(slot.once, [&] {
@@ -335,6 +369,9 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
         std::unique_ptr<FaultPlan> plan;
         if (faults.enabled())
             plan = std::make_unique<FaultPlan>(faults);
+        if (!chip.isDefault() && faults.enabled())
+            fatal("simcache: fault injection is single-core only — "
+                  "disable faults or drop the chip config");
 
         // The trap tracer persists across retries: it clears its ring
         // after every run and appends one bounded dump per qualifying
@@ -350,6 +387,66 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
         }
 
         SimResult out;
+        if (!chip.isDefault()) {
+            // A homogeneous chip: chip.tiles copies of this program,
+            // round-robin over the shared L2. The reported run is tile
+            // 0's — this benchmark as one tile of an N-tile chip under
+            // L2 contention — with the chip-level products (aggregate
+            // cycles, L2/coherence activity) riding along in out.chip.
+            // Instruments attach to tile 0 so interval series and trap
+            // traces mean the same thing they mean single-core.
+            std::unique_ptr<IntervalStatsObserver> interval;
+            if (spec.intervalInstructions)
+                interval = std::make_unique<IntervalStatsObserver>(
+                    spec.intervalInstructions);
+            ObserverList list;
+            if (interval)
+                list.add(interval.get());
+            if (tracer)
+                list.add(tracer.get());
+            std::vector<Chip::TileSpec> tile_specs(
+                chip.tiles, Chip::TileSpec{&fe, core});
+            Chip chip_sim(tile_specs, chip);
+            if (!list.empty())
+                chip_sim.setObservers(0, &list);
+            ChipResult cres = chip_sim.run();
+            out.run = cres.tiles.front();
+            out.chip.chipCycles = cres.chipCycles;
+            out.chip.l2 = cres.l2;
+            out.chip.coherence = cres.coherence;
+            out.chip.tileCycles.reserve(cres.tiles.size());
+            out.chip.tileInstructions.reserve(cres.tiles.size());
+            for (const RunResult &rr : cres.tiles) {
+                out.chip.tileCycles.push_back(rr.cycles);
+                out.chip.tileInstructions.push_back(rr.instructions);
+            }
+            if (interval)
+                out.intervals = interval->take();
+            if (metrics) {
+                const CoherenceStats &coh = cres.coherence;
+                metrics->counter("chip.invalidations")
+                    .add(coh.invalidations + coh.backInvalidations);
+                metrics->counter("chip.writebacks")
+                    .add(coh.recallWritebacks + coh.l1Writebacks);
+                metrics->counter("l2.accesses").add(cres.l2.accesses());
+                metrics->counter("l2.misses").add(cres.l2.misses());
+                metrics->counter("l2.writebacks").add(coh.l2Writebacks);
+            }
+            if (tracer)
+                out.tracePath = tracer->path();
+            slot.value = std::move(out);
+            slot.done.store(true);
+            if (metrics) {
+                metrics->counter("simcache.misses").add();
+                metrics
+                    ->histogram("simcache.sim_ms", 0.0, 1000.0, 20)
+                    .sample(static_cast<double>(monotonicNs() - t0) /
+                            1e6);
+                metrics->gauge("simcache.entries")
+                    .set(static_cast<int64_t>(entries()));
+            }
+            return;
+        }
         auto attempt = [&]() -> RunResult {
             // The interval instrument is rebuilt per attempt: a
             // machine-checked run's partial series must not leak into
@@ -409,9 +506,9 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
 SimResult
 SimCache::simulate(const FrontEnd &fe, const CoreConfig &core,
                    const FaultParams &faults, unsigned max_retries,
-                   const ObserverSpec &spec)
+                   const ObserverSpec &spec, const ChipConfig &chip)
 {
-    SimCacheKey key{hashFrontEnd(fe), hashCoreConfig(core),
+    SimCacheKey key{hashFrontEnd(fe), hashConfigKey(core, chip),
                     hashFaultParams(faults, max_retries),
                     hashObserverSpec(spec)};
 
@@ -419,7 +516,8 @@ SimCache::simulate(const FrontEnd &fe, const CoreConfig &core,
     // Compute outside the map lock so unrelated keys never serialize;
     // call_once makes concurrent requests for *this* key simulate once
     // and share the result.
-    return computeLocked(*slot, fe, core, faults, max_retries, spec);
+    return computeLocked(*slot, fe, core, faults, max_retries, spec,
+                         chip);
 }
 
 } // namespace pfits

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/fault.hh"
+#include "sim/chip.hh"
 #include "sim/frontend.hh"
 #include "sim/machine.hh"
 #include "sim/probe.hh"
@@ -44,12 +45,45 @@ uint64_t hashFrontEnd(const FrontEnd &fe);
 /** Hash of every timing-relevant field of @p core (and its caches). */
 uint64_t hashCoreConfig(const CoreConfig &core);
 
+/**
+ * Hash of a chip configuration. Returns 0 for the default (one tile,
+ * no shared L2): a default chip run *is* a Machine run, so it must
+ * share the Machine run's memo entry — and every pre-chip key must
+ * keep its exact value.
+ */
+uint64_t hashChipConfig(const ChipConfig &chip);
+
+/**
+ * The memo key's "config" component: hashCoreConfig alone for a
+ * default chip, the (core, chip) pair folded together otherwise. This
+ * is the wall between cached single-core results and multi-tile
+ * requests — a chip run under L2 contention must never be answered
+ * from a Machine entry, or vice versa.
+ */
+uint64_t hashConfigKey(const CoreConfig &core, const ChipConfig &chip);
+
 /** Hash of a fault schedule (0 when @p faults is disabled). */
 uint64_t hashFaultParams(const FaultParams &faults,
                          unsigned max_retries);
 
 /** Hash of an instrumentation request (0 when nothing is armed). */
 uint64_t hashObserverSpec(const ObserverSpec &spec);
+
+/**
+ * Chip-level products of a multi-tile run: what the aggregate power
+ * and IPC analyses need beyond one tile's RunResult. Empty (no
+ * tileCycles) for single-core runs.
+ */
+struct ChipRunStats
+{
+    uint64_t chipCycles = 0; //!< slowest tile's cycle count
+    std::vector<uint64_t> tileCycles;       //!< index = tileId
+    std::vector<uint64_t> tileInstructions; //!< index = tileId
+    CacheStats l2;            //!< shared-L2 array activity
+    CoherenceStats coherence; //!< directory/protocol activity
+
+    bool ranAsChip() const { return !tileCycles.empty(); }
+};
 
 /** A memoized simulation: the final run plus instrument products. */
 struct SimResult
@@ -62,6 +96,9 @@ struct SimResult
 
     //! JSONL file trace dumps were appended to ("" unless armed).
     std::string tracePath;
+
+    //! Chip-run extras; run is tile 0's result in that case.
+    ChipRunStats chip;
 };
 
 /** One memo entry's content hashes, for run-manifest provenance. */
@@ -95,11 +132,20 @@ class SimCache
      * the run; it joins the memo key, since the instruments' products
      * only exist for runs that executed with them attached.
      * Thread-safe; two threads asking for the same key simulate once.
+     *
+     * A non-default @p chip runs the program as a homogeneous Chip —
+     * chip.tiles copies of (fe, core), round-robin over the shared L2
+     * — and reports tile 0's RunResult plus the chip-level extras in
+     * SimResult::chip. The chip configuration joins the memo key
+     * (hashConfigKey), so a cached single-core result never answers a
+     * multi-tile request. Fault injection is single-core only: armed
+     * faults with a non-default chip are a fatal usage error.
      */
     SimResult simulate(const FrontEnd &fe, const CoreConfig &core,
                        const FaultParams &faults = {},
                        unsigned max_retries = 0,
-                       const ObserverSpec &spec = {});
+                       const ObserverSpec &spec = {},
+                       const ChipConfig &chip = {});
 
     /**
      * The completed entry under @p key, if one is resident. Never
@@ -168,7 +214,8 @@ class SimCache
                             const CoreConfig &core,
                             const FaultParams &faults,
                             unsigned max_retries,
-                            const ObserverSpec &spec);
+                            const ObserverSpec &spec,
+                            const ChipConfig &chip);
 
     /** Find-or-create the slot for @p key and touch its recency. */
     std::shared_ptr<Slot> acquireSlot(const SimCacheKey &key);

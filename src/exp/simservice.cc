@@ -17,7 +17,7 @@ class LocalSimService final : public SimService
     {
         return SimCache::instance().simulate(
             *request.fe, *request.core, request.faults,
-            request.maxRetries, request.spec);
+            request.maxRetries, request.spec, request.chip);
     }
 };
 

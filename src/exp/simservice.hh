@@ -42,6 +42,16 @@ struct SimRequest
     ObserverSpec spec;
 
     /**
+     * Chip-level shape of the run. Default = one tile, no shared L2 —
+     * a plain Machine run. Non-default requests run a homogeneous
+     * chip.tiles-tile Chip and are resolved locally (the daemon
+     * protocol is single-core); the chip joins the content-addressed
+     * key via hashConfigKey, so a cached single-core result never
+     * answers a multi-tile request.
+     */
+    ChipConfig chip;
+
+    /**
      * MiBench suite benchmark this program was built from, "" when the
      * request is not suite-addressable (hand-built programs in tests).
      */
@@ -52,7 +62,7 @@ struct SimRequest
     SimCacheKey
     key() const
     {
-        return {hashFrontEnd(*fe), hashCoreConfig(*core),
+        return {hashFrontEnd(*fe), hashConfigKey(*core, chip),
                 hashFaultParams(faults, maxRetries),
                 hashObserverSpec(spec)};
     }

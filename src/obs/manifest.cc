@@ -126,6 +126,8 @@ RunManifest::write(std::ostream &os) const
     w.field("jobs", params.jobs);
     if (!params.backend.empty())
         w.field("backend", params.backend);
+    if (params.tiles != 1)
+        w.field("tiles", params.tiles);
     w.key("fault_seed");
     w.hexValue(params.faultSeed);
     w.field("fault_retries", params.faultRetries);

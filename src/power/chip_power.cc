@@ -32,4 +32,36 @@ ChipPowerModel::evaluate(const RunResult &run,
     return out;
 }
 
+UncorePowerBreakdown
+UncorePowerModel::evaluate(const CacheStats &l2,
+                           const CoherenceStats &coherence,
+                           double seconds) const
+{
+    UncorePowerBreakdown out;
+    out.seconds = seconds;
+    out.l2ArrayJ =
+        static_cast<double>(l2.accesses()) * params_.eL2PerAccess;
+
+    // Every protocol action is a directory lookup (fills and upgrades
+    // consult the sharer vector; invalidations, downgrades, and
+    // back-invalidations update it).
+    const uint64_t dir_events =
+        coherence.readFills + coherence.writeFills +
+        coherence.upgrades + coherence.invalidations +
+        coherence.downgrades + coherence.backInvalidations;
+    out.directoryJ =
+        static_cast<double>(dir_events) * params_.eDirPerEvent;
+
+    // Line transfers on the interconnect: fills down to a tile, L1
+    // writebacks and dirty recalls up to the L2, and L2 victim
+    // writebacks out to memory.
+    const uint64_t lines =
+        coherence.readFills + coherence.writeFills +
+        coherence.l1Writebacks + coherence.recallWritebacks +
+        coherence.l2Writebacks;
+    out.interconnectJ =
+        static_cast<double>(lines) * params_.eInterconnectPerLine;
+    return out;
+}
+
 } // namespace pfits

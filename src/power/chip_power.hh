@@ -14,6 +14,7 @@
 #ifndef POWERFITS_POWER_CHIP_POWER_HH
 #define POWERFITS_POWER_CHIP_POWER_HH
 
+#include "cache/coherence.hh"
 #include "power/cache_power.hh"
 #include "sim/machine.hh"
 
@@ -63,6 +64,71 @@ struct ChipEnergyParams
      * study system-level energy in the ablation benches.
      */
     double eBusPerMissByte = 0;
+};
+
+/**
+ * Shared-L2 + coherence ("uncore") energy of one multi-tile chip run.
+ * Charged on top of the per-tile ChipPowerBreakdowns: the tiles pay
+ * for their cores and private L1s, the uncore pays for the shared L2
+ * array, the MSI directory, and the tile<->L2 line transfers that
+ * invalidations and writebacks put on the interconnect.
+ */
+struct UncorePowerBreakdown
+{
+    double l2ArrayJ = 0;       //!< shared-L2 data/tag array accesses
+    double directoryJ = 0;     //!< MSI directory lookups/updates
+    double interconnectJ = 0;  //!< line transfers between tiles and L2
+    double seconds = 0;        //!< chip wall-clock (slowest tile)
+
+    double
+    totalJ() const
+    {
+        return l2ArrayJ + directoryJ + interconnectJ;
+    }
+
+    double totalW() const { return seconds ? totalJ() / seconds : 0; }
+};
+
+/** Per-event energies for the shared L2 and coherence machinery. */
+struct UncoreEnergyParams
+{
+    /**
+     * One shared-L2 array access. Scaled from the calibrated D-cache
+     * access energy (703 pJ for the 8 KiB L1, tech.hh) by the ~sqrt
+     * capacity growth of bitline/wordline energy to the 256 KiB L2.
+     */
+    double eL2PerAccess = 2.1e-9;
+
+    //! One directory lookup or state/sharer-vector update.
+    double eDirPerEvent = 90e-12;
+
+    //! One 32-byte line moved between a tile and the L2 (fill,
+    //! writeback, or recall) over the on-chip interconnect.
+    double eInterconnectPerLine = 640e-12;
+};
+
+/** Maps a chip run's L2/coherence activity to uncore energy. */
+class UncorePowerModel
+{
+  public:
+    explicit UncorePowerModel(const UncoreEnergyParams &params = {})
+        : params_(params)
+    {
+    }
+
+    /**
+     * @param l2       shared-L2 array activity
+     * @param coherence directory/protocol activity
+     * @param seconds  chip wall-clock, for the power (W) view
+     */
+    UncorePowerBreakdown evaluate(const CacheStats &l2,
+                                  const CoherenceStats &coherence,
+                                  double seconds) const;
+
+    const UncoreEnergyParams &params() const { return params_; }
+
+  private:
+    UncoreEnergyParams params_;
 };
 
 /** Maps one run + its detailed I-cache energy to chip energy. */

@@ -7,6 +7,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "sim/probe.hh"
+#include "sim/tile.hh"
 
 namespace pfits
 {
@@ -109,306 +110,15 @@ Machine::run(FaultPlan *faults, ObserverList *observers)
     if (config_.backend == SimBackend::Fast)
         return fastRun(faults, observers);
 
-    // Stamp the loop out per observer mode: the HasExtra=false body has
-    // no list fan-out, so no event aggregate escapes and the optimizer
-    // reduces the built-in observers to the bare scalar updates.
-    if (observers && !observers->empty())
-        return runLoop<true>(faults, observers);
-    return runLoop<false>(faults, nullptr);
-}
-
-template <bool HasExtra>
-RunResult
-Machine::runLoop(FaultPlan *faults,
-                 [[maybe_unused]] const ObserverList *extra)
-{
-    RunResult result;
-    result.benchmark = fe_.name();
-    result.config = config_.name;
-    result.clockHz = config_.clockHz;
-
-    Cache icache(config_.icache);
-    Cache dcache(config_.dcache);
-
-    CpuState state;
-    state.regs[SP] = fe_.stackTop();
-
-    const AddrCodec codec = fe_.codec();
-    const unsigned fetch_bits = fe_.instrBits();
-    const uint32_t line_words = config_.icache.lineBytes / 4;
-
-    // Built-in observers: concrete final types called directly, so the
-    // compiler inlines them — they are the measurements the Machine
-    // used to hand-weave into this loop. External observers fan out
-    // through the list behind a single empty-check per event site.
-    CounterObserver counters;
-    ActivityObserver activity;
-    FaultAccountingObserver fault_acct(faults);
-
-    // Scoreboard state. Index 16 tracks the NZCV flags.
-    uint64_t reg_ready[NUM_REGS + 1] = {};
-    uint64_t issue_cycle = 0;      // cycle of the most recent issue group
-    unsigned slots_used = 0;       // instructions issued in that cycle
-    bool mem_port_used = false;
-    bool mul_unit_used = false;
-    uint64_t front_ready = 0;      // earliest issue for the next instr
-    uint64_t last_issue = 0;
-
-    constexpr uint64_t no_fetch_word = ~0ull; // empty packed-fetch buffer
-    uint64_t prev_word_addr = no_fetch_word;  // packed-fetch buffer tag
-    uint64_t index = 0;
-    uint64_t retired = 0; // watchdog / fault-schedule clock
-    const size_t num_insns = fe_.numInstructions();
-
-    // Precompute per-static-instruction source masks (bit r = reads
-    // register r, bit kFlagsBit = waits on NZCV). One pass over the
-    // static code replaces a 16-wide readsReg() probe per *dynamic*
-    // instruction in the issue loop below.
-    std::vector<uint32_t> read_masks(num_insns);
-    for (size_t i = 0; i < num_insns; ++i)
-        read_masks[i] = fe_.uopAt(i).readRegMask();
-
-    ExecInfo info;
-    result.outcome = RunOutcome::Completed;
-    try {
-    while (!state.halted) {
-        if (index == AddrCodec::kBadIndex)
-            trap("%s/%s: control transfer below the code base",
-                 result.benchmark.c_str(), result.config.c_str());
-        if (index >= num_insns)
-            trap("%s/%s: fell off the end of the program at index %llu",
-                 result.benchmark.c_str(), result.config.c_str(),
-                 static_cast<unsigned long long>(index));
-        if (retired >= config_.maxInstructions) {
-            // Runaway guard: report the expiry with partial statistics
-            // instead of tearing the whole sweep down.
-            result.outcome = RunOutcome::WatchdogExpired;
-            result.trapReason = detail::format(
-                "%s/%s: exceeded the %llu-instruction cap",
-                result.benchmark.c_str(), result.config.c_str(),
-                static_cast<unsigned long long>(
-                    config_.maxInstructions));
-            break;
-        }
-
-        // --- soft-error injection -------------------------------------
-        if (faults) {
-            if (faults->due(FaultTarget::ICACHE, retired) &&
-                icache.injectBitFlip(faults->rng())) {
-                FaultEvent ev{FaultTarget::ICACHE,
-                              FaultEvent::Kind::Injected, retired, 0};
-                fault_acct.onFault(ev);
-                if constexpr (HasExtra)
-                    extra->fault(ev);
-                // The fetch buffer may hold a word of the line that was
-                // just struck; drop it so the next fetch goes back to
-                // the array, where parity can see the corruption
-                // (packed-fetch buffer contract, sim/machine.hh).
-                prev_word_addr = no_fetch_word;
-            }
-            if (faults->due(FaultTarget::MEMORY, retired) &&
-                mem_.injectBitFlip(faults->rng())) {
-                FaultEvent ev{FaultTarget::MEMORY,
-                              FaultEvent::Kind::Injected, retired, 0};
-                fault_acct.onFault(ev);
-                if constexpr (HasExtra)
-                    extra->fault(ev);
-            }
-        }
-
-        const MicroOp &uop = fe_.uopAt(static_cast<size_t>(index));
-        const uint32_t addr = codec.addrOf(index);
-
-        // --- fetch ---------------------------------------------------
-        bool new_word = !config_.packedFetch ||
-                        (addr >> 2) != prev_word_addr;
-        prev_word_addr = addr >> 2;
-        CacheAccessResult fetch;
-        if (new_word) {
-            fetch = icache.access(addr, false);
-            if (fetch.parityError) {
-                // Machine-check: parity caught a corrupt line on
-                // consumption. The run is not trustworthy past this
-                // point; the harness reloads and retries. The fetch
-                // path is invalidated: no FetchEvent is emitted for
-                // the poisoned word, and the packed-fetch buffer is
-                // emptied so no stale word survives the detection.
-                FaultEvent ev{FaultTarget::ICACHE,
-                              FaultEvent::Kind::Detected, retired,
-                              addr};
-                fault_acct.onFault(ev);
-                if constexpr (HasExtra)
-                    extra->fault(ev);
-                prev_word_addr = no_fetch_word;
-                result.outcome = RunOutcome::FaultDetected;
-                result.trapReason = detail::format(
-                    "%s/%s: I-cache parity error at 0x%08x",
-                    result.benchmark.c_str(), result.config.c_str(),
-                    addr);
-                break;
-            }
-            if (fetch.corruptDelivered && faults) {
-                // No checker: the flipped bits reach the decoder. The
-                // tag-only cache model cannot alter the functional
-                // stream, so the escape is counted rather than acted
-                // out (see docs/RESILIENCE.md).
-                FaultEvent ev{FaultTarget::ICACHE,
-                              FaultEvent::Kind::Escaped, retired, addr};
-                fault_acct.onFault(ev);
-                if constexpr (HasExtra)
-                    extra->fault(ev);
-            }
-            if (!fetch.hit) {
-                front_ready =
-                    std::max(front_ready, last_issue) +
-                    config_.icacheMissPenalty;
-            }
-        }
-        const FetchEvent fetch_ev{index, addr,
-                                  fe_.encodingAt(
-                                      static_cast<size_t>(index)),
-                                  fetch_bits, new_word, fetch,
-                                  line_words};
-        activity.onFetch(fetch_ev);
-        if constexpr (HasExtra)
-            extra->fetch(fetch_ev);
-
-        // --- execute (functional) -------------------------------------
-        execute(uop, index, codec, state, mem_, result.io, info);
-
-        // --- issue timing ------------------------------------------------
-        const uint64_t prev_issue = last_issue;
-        const uint64_t base_ready = std::max(front_ready, last_issue);
-        uint64_t earliest = base_ready;
-
-        // Source operands: iterate the precomputed mask's set bits
-        // only (typically 2-3 per op). Bit kFlagsBit covers the NZCV
-        // scoreboard entry, which conditional *and* carry-consuming
-        // unconditional ops (ADC/SBC/RSC) must wait on.
-        for (uint32_t m = read_masks[index]; m != 0; m &= m - 1) {
-            unsigned reg = static_cast<unsigned>(std::countr_zero(m));
-            earliest = std::max(earliest, reg_ready[reg]);
-        }
-        const bool operand_stall = earliest > base_ready;
-
-        // Structural constraints within an issue group.
-        bool wants_mem = info.executed && (info.isLoad || info.isStore);
-        bool wants_mul = info.executed && info.isMulDiv;
-        bool structural_stall = false;
-        if (earliest == issue_cycle) {
-            if (slots_used >= config_.issueWidth ||
-                (wants_mem && mem_port_used) ||
-                (wants_mul && mul_unit_used)) {
-                earliest += 1;
-                structural_stall = true;
-            }
-        }
-        if (earliest != issue_cycle) {
-            issue_cycle = earliest;
-            slots_used = 0;
-            mem_port_used = false;
-            mul_unit_used = false;
-        }
-        ++slots_used;
-        mem_port_used = mem_port_used || wants_mem;
-        mul_unit_used = mul_unit_used || wants_mul;
-        last_issue = issue_cycle;
-
-        if constexpr (HasExtra) {
-            StallReason reason = StallReason::None;
-            if (issue_cycle != prev_issue) {
-                // Priority mirrors the computation above: a structural
-                // bump is applied last, operand readiness can only
-                // raise a front-end-ready baseline.
-                reason = structural_stall ? StallReason::Structural
-                         : operand_stall ? StallReason::Operands
-                                         : StallReason::FrontEnd;
-            }
-            extra->issue(IssueEvent{index, issue_cycle, slots_used - 1,
-                                    issue_cycle - prev_issue, reason});
-        }
-
-        // --- data memory timing ---------------------------------------
-        uint64_t result_ready = issue_cycle + 1 + info.extraLatency;
-        for (unsigned m = 0; m < info.numMem; ++m) {
-            CacheAccessResult dres =
-                dcache.access(info.mem[m].addr, info.mem[m].write);
-            const DataAccessEvent data_ev{index, info.mem[m].addr,
-                                          info.mem[m].write, dres};
-            counters.onDataAccess(data_ev);
-            if constexpr (HasExtra)
-                extra->dataAccess(data_ev);
-            if (!dres.hit) {
-                // Blocking cache: the whole pipeline waits.
-                result_ready += config_.dcacheMissPenalty;
-                front_ready = std::max(
-                    front_ready,
-                    issue_cycle + config_.dcacheMissPenalty);
-            }
-        }
-        if (info.isLoad)
-            result_ready += 1; // load-use bubble
-
-        // --- writeback scoreboard ---------------------------------------
-        if (info.executed) {
-            if (uop.op == Op::LDM) {
-                for (uint32_t m = uop.regList; m != 0; m &= m - 1)
-                    reg_ready[std::countr_zero(m)] = result_ready;
-                if (info.baseWriteback)
-                    reg_ready[uop.rn] =
-                        std::max(reg_ready[uop.rn], issue_cycle + 1);
-            } else if (uop.op == Op::UMULL || uop.op == Op::SMULL) {
-                reg_ready[uop.rd] = result_ready;
-                reg_ready[uop.ra] = result_ready;
-            } else if (info.destReg != 0xff) {
-                reg_ready[info.destReg] = result_ready;
-            }
-            if (uop.op == Op::STM && info.baseWriteback)
-                reg_ready[uop.rn] =
-                    std::max(reg_ready[uop.rn], issue_cycle + 1);
-            // Flags are produced by the same functional unit as the
-            // result: a multi-cycle S-form (MULS/MLAS) delivers NZCV at
-            // result_ready, not one cycle after issue — a dependent
-            // conditional or ADC must not issue early.
-            if (uop.setsFlags)
-                reg_ready[NUM_REGS] = result_ready;
-        }
-
-        // --- commit / control flow ---------------------------------------
-        const CommitEvent commit_ev{index, &uop, &info, issue_cycle};
-        counters.onCommit(commit_ev);
-        if constexpr (HasExtra)
-            extra->commit(commit_ev);
-        ++retired;
-        if (info.executed && info.branchTaken) {
-            front_ready = std::max(front_ready,
-                                   issue_cycle + 1 +
-                                       config_.branchPenalty);
-        }
-        index = info.nextIndex;
-    }
-    } catch (const TrapError &e) {
-        // Architectural trap raised by the executor or memory system:
-        // a measured outcome with partial statistics, not an abort.
-        result.outcome = RunOutcome::Trapped;
-        result.trapReason = e.what();
-    }
-
-    // Drain the pipeline (fetch/decode/execute/mem/writeback). All
-    // outcomes finalize: a trapped or watchdog-expired run still
-    // reports the activity it accumulated. The observers publish
-    // their totals into the result, built-ins first so external
-    // observers see the finished counters.
-    result.cycles = last_issue + 4;
-    result.icache = icache.stats();
-    result.dcache = dcache.stats();
-    result.finalState = state;
-    counters.onRunEnd(result);
-    activity.onRunEnd(result);
-    fault_acct.onRunEnd(result);
-    if constexpr (HasExtra)
-        extra->runEnd(result);
-    return result;
+    // The interpreter is one Tile run to completion (sim/tile.hh):
+    // the Tile owns the loop that used to live here, with its locals
+    // promoted to members so a Chip can step it in quanta. Running a
+    // single tile with an unbounded budget and no L2 reproduces the
+    // historical Machine::run bit for bit — the single-core contract
+    // is structural.
+    Tile tile(fe_, config_, mem_);
+    tile.step(~0ull, faults, observers);
+    return tile.finish(observers);
 }
 
 } // namespace pfits

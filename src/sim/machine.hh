@@ -16,6 +16,13 @@
  * the run emits (sim/probe.hh). External instruments (interval stats,
  * trace rings, anything new) register through an ObserverList without
  * touching this hot loop.
+ *
+ * Since the Tile/Chip refactor the interpreter loop itself lives in
+ * sim/tile.hh: Machine::run with the interp backend constructs one
+ * Tile and steps it to completion, and a Chip (sim/chip.hh) runs N
+ * such Tiles round-robin against a shared coherent L2. The Machine
+ * remains the single-core entry point the experiment engine and
+ * differential harness build on.
  */
 
 #ifndef POWERFITS_SIM_MACHINE_HH
@@ -190,16 +197,6 @@ class Machine
     const CoreConfig &config() const { return config_; }
 
   private:
-    /**
-     * The run loop, stamped out once per external-observer mode. The
-     * HasExtra=false instantiation contains no ObserverList fan-out at
-     * all, so the event aggregates never escape and the optimizer
-     * dissolves them into the same scalar updates the pre-probe loop
-     * hand-wove — the zero-observer fast path costs nothing.
-     */
-    template <bool HasExtra>
-    RunResult runLoop(FaultPlan *faults, const ObserverList *extra);
-
     /**
      * The SimBackend::Fast loop (sim/fastsim.cc): predecode fe_ into a
      * flat FastOp trace, then dispatch via per-op function pointers

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "cache/coherence.hh"
 #include "common/bitops.hh"
 #include "common/fault.hh"
 #include "sim/executor.hh"
@@ -124,6 +125,14 @@ class SimObserver
     virtual void onCommit(const CommitEvent &) {}
     virtual void onDataAccess(const DataAccessEvent &) {}
     virtual void onFault(const FaultEvent &) {}
+
+    /**
+     * One MSI protocol action at the shared L2 (cache/coherence.hh).
+     * Emitted only by Chip runs — a single-core Machine has no L2, so
+     * existing observers never see these.
+     */
+    virtual void onCoherence(const CoherenceEvent &) {}
+
     virtual void onRunEnd(RunResult &) {}
 };
 
@@ -180,6 +189,13 @@ class ObserverList
     {
         for (SimObserver *o : observers_)
             o->onFault(e);
+    }
+
+    void
+    coherence(const CoherenceEvent &e) const
+    {
+        for (SimObserver *o : observers_)
+            o->onCoherence(e);
     }
 
     void

@@ -1,0 +1,426 @@
+#include "sim/tile.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pfits
+{
+
+Tile::Tile(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
+           unsigned tileId)
+    : fe_(fe), config_(config), mem_(mem), tileId_(tileId),
+      icache_(config_.icache), dcache_(config_.dcache),
+      codec_(fe.codec()), fetchBits_(fe.instrBits()),
+      lineWords_(config_.icache.lineBytes / 4),
+      numInsns_(fe.numInstructions()), readMasks_(numInsns_)
+{
+    state_.regs[SP] = fe_.stackTop();
+
+    // Precompute per-static-instruction source masks (bit r = reads
+    // register r, bit kFlagsBit = waits on NZCV). One pass over the
+    // static code replaces a 16-wide readsReg() probe per *dynamic*
+    // instruction in the issue loop.
+    for (size_t i = 0; i < numInsns_; ++i)
+        readMasks_[i] = fe_.uopAt(i).readRegMask();
+
+    result_.benchmark = fe_.name();
+    result_.config = config_.name;
+    result_.clockHz = config_.clockHz;
+    result_.outcome = RunOutcome::Completed;
+}
+
+void
+Tile::attachL2(CoherentL2 *l2, uint32_t addrBase)
+{
+    l2_ = l2;
+    addrBase_ = addrBase;
+}
+
+void
+Tile::step(uint64_t budget, FaultPlan *faults,
+           const ObserverList *observers)
+{
+    if (done_ || budget == 0)
+        return;
+    // Stamp the loop out per observer mode: the HasExtra=false body
+    // has no list fan-out, so no event aggregate escapes and the
+    // optimizer reduces the built-in observers to bare scalar updates.
+    if (observers && !observers->empty())
+        stepLoop<true>(budget, faults, observers);
+    else
+        stepLoop<false>(budget, faults, nullptr);
+}
+
+template <bool HasExtra>
+void
+Tile::stepLoop(uint64_t budget, FaultPlan *faults,
+               [[maybe_unused]] const ObserverList *extra)
+{
+    FaultAccountingObserver fault_acct(faults);
+
+    // Hot scalars live in locals for the duration of the quantum and
+    // are stored back on every exit path, so a step boundary is
+    // unobservable in the results.
+    uint64_t reg_ready[NUM_REGS + 1];
+    std::copy(std::begin(regReady_), std::end(regReady_),
+              std::begin(reg_ready));
+    uint64_t issue_cycle = issueCycle_;
+    unsigned slots_used = slotsUsed_;
+    bool mem_port_used = memPortUsed_;
+    bool mul_unit_used = mulUnitUsed_;
+    uint64_t front_ready = frontReady_;
+    uint64_t last_issue = lastIssue_;
+    uint64_t prev_word_addr = prevWordAddr_;
+    uint64_t index = index_;
+    uint64_t retired = retired_;
+
+    // A remote tile may have invalidated the buffered I-line between
+    // our quanta.
+    if (fetchPoisoned_) {
+        prev_word_addr = kNoFetchWord;
+        fetchPoisoned_ = false;
+    }
+
+    uint64_t executed = 0;
+    ExecInfo info;
+    try {
+    while (!state_.halted && executed < budget) {
+        if (index == AddrCodec::kBadIndex)
+            trap("%s/%s: control transfer below the code base",
+                 result_.benchmark.c_str(), result_.config.c_str());
+        if (index >= numInsns_)
+            trap("%s/%s: fell off the end of the program at index %llu",
+                 result_.benchmark.c_str(), result_.config.c_str(),
+                 static_cast<unsigned long long>(index));
+        if (retired >= config_.maxInstructions) {
+            // Runaway guard: report the expiry with partial statistics
+            // instead of tearing the whole sweep down.
+            result_.outcome = RunOutcome::WatchdogExpired;
+            result_.trapReason = detail::format(
+                "%s/%s: exceeded the %llu-instruction cap",
+                result_.benchmark.c_str(), result_.config.c_str(),
+                static_cast<unsigned long long>(
+                    config_.maxInstructions));
+            done_ = true;
+            break;
+        }
+
+        // --- soft-error injection -------------------------------------
+        if (faults) {
+            if (faults->due(FaultTarget::ICACHE, retired) &&
+                icache_.injectBitFlip(faults->rng())) {
+                FaultEvent ev{FaultTarget::ICACHE,
+                              FaultEvent::Kind::Injected, retired, 0};
+                fault_acct.onFault(ev);
+                if constexpr (HasExtra)
+                    extra->fault(ev);
+                // The fetch buffer may hold a word of the line that was
+                // just struck; drop it so the next fetch goes back to
+                // the array, where parity can see the corruption
+                // (packed-fetch buffer contract, sim/machine.hh).
+                prev_word_addr = kNoFetchWord;
+            }
+            if (faults->due(FaultTarget::MEMORY, retired) &&
+                mem_.injectBitFlip(faults->rng())) {
+                FaultEvent ev{FaultTarget::MEMORY,
+                              FaultEvent::Kind::Injected, retired, 0};
+                fault_acct.onFault(ev);
+                if constexpr (HasExtra)
+                    extra->fault(ev);
+            }
+        }
+
+        const MicroOp &uop = fe_.uopAt(static_cast<size_t>(index));
+        const uint32_t addr = codec_.addrOf(index);
+
+        // --- fetch ---------------------------------------------------
+        bool new_word = !config_.packedFetch ||
+                        (addr >> 2) != prev_word_addr;
+        prev_word_addr = addr >> 2;
+        CacheAccessResult fetch;
+        if (new_word) {
+            fetch = icache_.access(addr, false);
+            if (fetch.parityError) {
+                // Machine-check: parity caught a corrupt line on
+                // consumption. The run is not trustworthy past this
+                // point; the harness reloads and retries. The fetch
+                // path is invalidated: no FetchEvent is emitted for
+                // the poisoned word, and the packed-fetch buffer is
+                // emptied so no stale word survives the detection.
+                FaultEvent ev{FaultTarget::ICACHE,
+                              FaultEvent::Kind::Detected, retired,
+                              addr};
+                fault_acct.onFault(ev);
+                if constexpr (HasExtra)
+                    extra->fault(ev);
+                prev_word_addr = kNoFetchWord;
+                result_.outcome = RunOutcome::FaultDetected;
+                result_.trapReason = detail::format(
+                    "%s/%s: I-cache parity error at 0x%08x",
+                    result_.benchmark.c_str(), result_.config.c_str(),
+                    addr);
+                done_ = true;
+                break;
+            }
+            if (fetch.corruptDelivered && faults) {
+                // No checker: the flipped bits reach the decoder. The
+                // tag-only cache model cannot alter the functional
+                // stream, so the escape is counted rather than acted
+                // out (see docs/RESILIENCE.md).
+                FaultEvent ev{FaultTarget::ICACHE,
+                              FaultEvent::Kind::Escaped, retired, addr};
+                fault_acct.onFault(ev);
+                if constexpr (HasExtra)
+                    extra->fault(ev);
+            }
+            if (!fetch.hit) {
+                unsigned penalty = config_.icacheMissPenalty;
+                if (l2_) {
+                    penalty = l2_->accessFill(tileId_, addrBase_ + addr,
+                                              false);
+                    // The fill's L2 victim may have recalled our own
+                    // buffered I-line.
+                    if (fetchPoisoned_) {
+                        prev_word_addr = kNoFetchWord;
+                        fetchPoisoned_ = false;
+                    }
+                }
+                front_ready =
+                    std::max(front_ready, last_issue) + penalty;
+            }
+        }
+        const FetchEvent fetch_ev{index, addr,
+                                  fe_.encodingAt(
+                                      static_cast<size_t>(index)),
+                                  fetchBits_, new_word, fetch,
+                                  lineWords_};
+        activity_.onFetch(fetch_ev);
+        if constexpr (HasExtra)
+            extra->fetch(fetch_ev);
+
+        // --- execute (functional) -------------------------------------
+        execute(uop, index, codec_, state_, mem_, result_.io, info);
+
+        // --- issue timing ------------------------------------------------
+        const uint64_t prev_issue = last_issue;
+        const uint64_t base_ready = std::max(front_ready, last_issue);
+        uint64_t earliest = base_ready;
+
+        // Source operands: iterate the precomputed mask's set bits
+        // only (typically 2-3 per op). Bit kFlagsBit covers the NZCV
+        // scoreboard entry, which conditional *and* carry-consuming
+        // unconditional ops (ADC/SBC/RSC) must wait on.
+        for (uint32_t m = readMasks_[index]; m != 0; m &= m - 1) {
+            unsigned reg = static_cast<unsigned>(std::countr_zero(m));
+            earliest = std::max(earliest, reg_ready[reg]);
+        }
+        const bool operand_stall = earliest > base_ready;
+
+        // Structural constraints within an issue group.
+        bool wants_mem = info.executed && (info.isLoad || info.isStore);
+        bool wants_mul = info.executed && info.isMulDiv;
+        bool structural_stall = false;
+        if (earliest == issue_cycle) {
+            if (slots_used >= config_.issueWidth ||
+                (wants_mem && mem_port_used) ||
+                (wants_mul && mul_unit_used)) {
+                earliest += 1;
+                structural_stall = true;
+            }
+        }
+        if (earliest != issue_cycle) {
+            issue_cycle = earliest;
+            slots_used = 0;
+            mem_port_used = false;
+            mul_unit_used = false;
+        }
+        ++slots_used;
+        mem_port_used = mem_port_used || wants_mem;
+        mul_unit_used = mul_unit_used || wants_mul;
+        last_issue = issue_cycle;
+
+        if constexpr (HasExtra) {
+            StallReason reason = StallReason::None;
+            if (issue_cycle != prev_issue) {
+                // Priority mirrors the computation above: a structural
+                // bump is applied last, operand readiness can only
+                // raise a front-end-ready baseline.
+                reason = structural_stall ? StallReason::Structural
+                         : operand_stall ? StallReason::Operands
+                                         : StallReason::FrontEnd;
+            }
+            extra->issue(IssueEvent{index, issue_cycle, slots_used - 1,
+                                    issue_cycle - prev_issue, reason});
+        }
+
+        // --- data memory timing ---------------------------------------
+        uint64_t result_ready = issue_cycle + 1 + info.extraLatency;
+        for (unsigned m = 0; m < info.numMem; ++m) {
+            CacheAccessResult dres =
+                dcache_.access(info.mem[m].addr, info.mem[m].write);
+            const DataAccessEvent data_ev{index, info.mem[m].addr,
+                                          info.mem[m].write, dres};
+            counters_.onDataAccess(data_ev);
+            if constexpr (HasExtra)
+                extra->dataAccess(data_ev);
+            if (!dres.hit) {
+                unsigned penalty = config_.dcacheMissPenalty;
+                if (l2_) {
+                    // Drain the dirty victim before the fill so its
+                    // data is in the L2 when the fill's own victim
+                    // selection runs.
+                    if (dres.writeback)
+                        l2_->l1Writeback(
+                            tileId_, addrBase_ + dres.victimAddr);
+                    penalty = l2_->accessFill(
+                        tileId_, addrBase_ + info.mem[m].addr,
+                        info.mem[m].write);
+                    if (fetchPoisoned_) {
+                        prev_word_addr = kNoFetchWord;
+                        fetchPoisoned_ = false;
+                    }
+                }
+                // Blocking cache: the whole pipeline waits.
+                result_ready += penalty;
+                front_ready = std::max(front_ready,
+                                       issue_cycle + penalty);
+            } else if (dres.writeUpgrade && l2_) {
+                // Write hit on a clean line: the S->M edge. Remote
+                // copies are invalidated; only then may this store's
+                // data land.
+                unsigned penalty = l2_->upgradeForWrite(
+                    tileId_, addrBase_ + info.mem[m].addr);
+                if (penalty != 0) {
+                    result_ready += penalty;
+                    front_ready = std::max(front_ready,
+                                           issue_cycle + penalty);
+                }
+                if (fetchPoisoned_) {
+                    prev_word_addr = kNoFetchWord;
+                    fetchPoisoned_ = false;
+                }
+            }
+        }
+        if (info.isLoad)
+            result_ready += 1; // load-use bubble
+
+        // --- writeback scoreboard ---------------------------------------
+        if (info.executed) {
+            if (uop.op == Op::LDM) {
+                for (uint32_t m = uop.regList; m != 0; m &= m - 1)
+                    reg_ready[std::countr_zero(m)] = result_ready;
+                if (info.baseWriteback)
+                    reg_ready[uop.rn] =
+                        std::max(reg_ready[uop.rn], issue_cycle + 1);
+            } else if (uop.op == Op::UMULL || uop.op == Op::SMULL) {
+                reg_ready[uop.rd] = result_ready;
+                reg_ready[uop.ra] = result_ready;
+            } else if (info.destReg != 0xff) {
+                reg_ready[info.destReg] = result_ready;
+            }
+            if (uop.op == Op::STM && info.baseWriteback)
+                reg_ready[uop.rn] =
+                    std::max(reg_ready[uop.rn], issue_cycle + 1);
+            // Flags are produced by the same functional unit as the
+            // result: a multi-cycle S-form (MULS/MLAS) delivers NZCV at
+            // result_ready, not one cycle after issue — a dependent
+            // conditional or ADC must not issue early.
+            if (uop.setsFlags)
+                reg_ready[NUM_REGS] = result_ready;
+        }
+
+        // --- commit / control flow ---------------------------------------
+        const CommitEvent commit_ev{index, &uop, &info, issue_cycle};
+        counters_.onCommit(commit_ev);
+        if constexpr (HasExtra)
+            extra->commit(commit_ev);
+        ++retired;
+        ++executed;
+        if (info.executed && info.branchTaken) {
+            front_ready = std::max(front_ready,
+                                   issue_cycle + 1 +
+                                       config_.branchPenalty);
+        }
+        index = info.nextIndex;
+    }
+    } catch (const TrapError &e) {
+        // Architectural trap raised by the executor or memory system:
+        // a measured outcome with partial statistics, not an abort.
+        result_.outcome = RunOutcome::Trapped;
+        result_.trapReason = e.what();
+        done_ = true;
+    }
+    if (state_.halted)
+        done_ = true;
+
+    std::copy(std::begin(reg_ready), std::end(reg_ready),
+              std::begin(regReady_));
+    issueCycle_ = issue_cycle;
+    slotsUsed_ = slots_used;
+    memPortUsed_ = mem_port_used;
+    mulUnitUsed_ = mul_unit_used;
+    frontReady_ = front_ready;
+    lastIssue_ = last_issue;
+    prevWordAddr_ = prev_word_addr;
+    index_ = index;
+    retired_ = retired;
+}
+
+RunResult
+Tile::finish(const ObserverList *observers)
+{
+    if (finished_)
+        return result_;
+    finished_ = true;
+
+    // Drain the pipeline (fetch/decode/execute/mem/writeback). All
+    // outcomes finalize: a trapped or watchdog-expired run still
+    // reports the activity it accumulated. The observers publish
+    // their totals into the result, built-ins first so external
+    // observers see the finished counters.
+    result_.cycles = lastIssue_ + 4;
+    result_.icache = icache_.stats();
+    result_.dcache = dcache_.stats();
+    result_.finalState = state_;
+    counters_.onRunEnd(result_);
+    activity_.onRunEnd(result_);
+    if (observers && !observers->empty())
+        observers->runEnd(result_);
+    return result_;
+}
+
+bool
+Tile::coherenceInvalidate(uint32_t lineAddr)
+{
+    const uint32_t virt = lineAddr - addrBase_;
+    if (icache_.invalidateLine(virt).present) {
+        // The packed-fetch buffer may hold a word of the dropped line.
+        fetchPoisoned_ = true;
+    }
+    return dcache_.invalidateLine(virt).dirty;
+}
+
+bool
+Tile::coherenceDowngrade(uint32_t lineAddr)
+{
+    const uint32_t virt = lineAddr - addrBase_;
+    // I-side lines are never dirty; a downgrade leaves them resident.
+    return dcache_.cleanLine(virt).dirty;
+}
+
+void
+Tile::enumerateLines(
+    const std::function<void(uint32_t, bool)> &fn) const
+{
+    icache_.forEachValidLine([&](uint32_t la, bool dirty) {
+        fn(addrBase_ + la, dirty);
+    });
+    dcache_.forEachValidLine([&](uint32_t la, bool dirty) {
+        fn(addrBase_ + la, dirty);
+    });
+}
+
+} // namespace pfits

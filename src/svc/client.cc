@@ -308,8 +308,12 @@ SvcClient::simulate(const SimRequest &request)
 {
     // Trace-armed runs write JSONL files as a side effect; those are
     // local products a remote daemon cannot produce on this
-    // filesystem, so they bypass the daemon entirely.
-    if (!config_.enabled() || request.spec.traceArmed())
+    // filesystem, so they bypass the daemon entirely. Chip runs bypass
+    // it too: the wire protocol (ops and result entries alike) is
+    // single-core and would silently drop the ChipRunStats half of the
+    // result, so multi-tile requests always simulate locally.
+    if (!config_.enabled() || request.spec.traceArmed() ||
+        !request.chip.isDefault())
         return localSimService().simulate(request);
 
     SimCacheKey key = request.key();

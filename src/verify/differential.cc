@@ -12,6 +12,7 @@
 #include "fits/synth.hh"
 #include "fits/translate.hh"
 #include "mibench/mibench.hh"
+#include "sim/chip.hh"
 #include "sim/machine.hh"
 #include "sim/probe.hh"
 #include "verify/golden.hh"
@@ -216,6 +217,26 @@ runConfig(const FrontEnd &fe, CoreConfig core, const std::string &label,
                 bare_machine.mem()))
             out.push_back(detail::format(
                 "%s interp vs fast[bare]: memory differs at 0x%08x",
+                label.c_str(), *addr));
+
+        // And the one-tile Chip: the round-robin loop stepping this
+        // same core in (deliberately odd) quanta must reproduce the
+        // unbounded interp run bit for bit — for a single tile the
+        // quantum is unobservable and ChipConfig{tiles = 1} is
+        // contractually a Machine (sim/chip.hh). Machine::run's own
+        // delegation uses ONE unbounded Tile::step call, so this is
+        // the only place quantum re-entry itself gets cross-checked.
+        ChipConfig chip_cfg;
+        chip_cfg.quantum = 4099;
+        std::vector<Chip::TileSpec> specs(1, Chip::TileSpec{&fe, core});
+        Chip chip(specs, chip_cfg);
+        ChipResult cres = chip.run();
+        compareBackendResults(label + " interp vs chip1",
+                              primary.result, cres.tiles.front(), out);
+        if (auto addr = primary.machine->mem().firstDifference(
+                chip.tileMem(0)))
+            out.push_back(detail::format(
+                "%s interp vs chip1: memory differs at 0x%08x",
                 label.c_str(), *addr));
     }
     return primary;
@@ -434,6 +455,131 @@ runDifferentialSuite(const DiffOptions &opts, std::ostream *progress)
                   << " programs (" << num_kernels << " kernels, "
                   << opts.count << " random, base seed " << opts.seed
                   << ", backend " << mode << "), "
+                  << summary.failed.size() << " failure(s)\n";
+    }
+    return summary;
+}
+
+namespace
+{
+
+/**
+ * Run @p prog as every tile of an N-tile chip and as one independent
+ * single-core Machine, and cross-check (see runChipDifferentialSuite).
+ */
+DiffReport
+chipDiffProgram(const Program &prog, uint64_t seed, unsigned tiles)
+{
+    DiffReport rep;
+    rep.program = prog.name;
+    rep.seed = seed;
+    auto &out = rep.mismatches;
+
+    ArmFrontEnd arm(prog);
+    CoreConfig core;
+
+    // The reference: one independent single-core run. N independent
+    // runs of the same deterministic Machine are all equal to this
+    // one, so every tile compares against it.
+    Machine solo(arm, core);
+    RunResult rs = solo.run();
+    rep.armInstructions = rs.instructions;
+
+    ChipConfig cfg;
+    cfg.tiles = tiles;
+    cfg.sharedL2 = true;
+    // Small L2 and odd quantum on purpose: capacity back-invalidation
+    // (an L2 victim recalling tiles' L1 lines, including the running
+    // tile's own I-lines) and misaligned quantum boundaries are
+    // exactly the paths under test.
+    cfg.l2.sizeBytes = 32 * 1024;
+    cfg.quantum = 1009;
+    std::vector<Chip::TileSpec> specs(tiles,
+                                      Chip::TileSpec{&arm, core});
+    Chip chip(specs, cfg);
+    ChipResult cres = chip.run();
+
+    for (unsigned t = 0; t < tiles; ++t) {
+        const RunResult &rt = cres.tiles[t];
+        const std::string what = detail::format("solo vs tile%u", t);
+        // Architectural equality only: shared-L2 penalties change the
+        // timing and back-invalidations change the L1 miss counts, so
+        // cycles and cache stats legitimately differ from solo.
+        if (rs.outcome != rt.outcome)
+            out.push_back(detail::format(
+                "%s: outcome %s vs %s (%s)", what.c_str(),
+                runOutcomeName(rs.outcome), runOutcomeName(rt.outcome),
+                rt.trapReason.c_str()));
+        if (rs.trapReason != rt.trapReason)
+            out.push_back(detail::format(
+                "%s: trap reason '%s' vs '%s'", what.c_str(),
+                rs.trapReason.c_str(), rt.trapReason.c_str()));
+        if (rs.instructions != rt.instructions ||
+            rs.annulled != rt.annulled)
+            out.push_back(detail::format(
+                "%s: retired %llu/%llu vs %llu/%llu", what.c_str(),
+                static_cast<unsigned long long>(rs.instructions),
+                static_cast<unsigned long long>(rs.annulled),
+                static_cast<unsigned long long>(rt.instructions),
+                static_cast<unsigned long long>(rt.annulled)));
+        if (rs.takenBranches != rt.takenBranches)
+            out.push_back(detail::format(
+                "%s: taken branches %llu vs %llu", what.c_str(),
+                static_cast<unsigned long long>(rs.takenBranches),
+                static_cast<unsigned long long>(rt.takenBranches)));
+        compareRegs(what, rs.finalState, rt.finalState, 0, out);
+        compareIo(what, rs.io, rt.io, out);
+        if (auto addr = solo.mem().firstDifference(chip.tileMem(t)))
+            out.push_back(detail::format(
+                "%s: memory differs at 0x%08x", what.c_str(), *addr));
+    }
+
+    const std::string inv = chip.checkCoherence();
+    if (!inv.empty())
+        out.push_back("coherence invariants: " + inv);
+    return rep;
+}
+
+} // namespace
+
+DiffSummary
+runChipDifferentialSuite(const ChipDiffOptions &opts,
+                         std::ostream *progress)
+{
+    const auto &kernels = mibench::suite();
+    const size_t num_kernels = opts.kernels ? kernels.size() : 0;
+    const size_t total = num_kernels + opts.count;
+
+    std::unique_ptr<ThreadPool> own;
+    if (opts.jobs)
+        own = std::make_unique<ThreadPool>(opts.jobs);
+    ThreadPool &pool = own ? *own : ThreadPool::shared();
+
+    std::vector<DiffReport> reports =
+        parallelMap<DiffReport>(pool, total, [&](size_t i) {
+            if (i < num_kernels) {
+                mibench::Workload wl = kernels[i].build();
+                return chipDiffProgram(wl.program, 0, opts.tiles);
+            }
+            uint64_t seed =
+                opts.seed + static_cast<uint64_t>(i - num_kernels);
+            return chipDiffProgram(randomVerifyProgram(seed), seed,
+                                   opts.tiles);
+        });
+
+    DiffSummary summary;
+    summary.programsRun = static_cast<unsigned>(total);
+    for (DiffReport &rep : reports)
+        if (!rep.ok())
+            summary.failed.push_back(std::move(rep));
+
+    if (progress) {
+        for (const DiffReport &rep : summary.failed)
+            *progress << "FAIL " << rep.describe() << "\n";
+        *progress << "chip differential: " << summary.programsRun
+                  << " programs (" << num_kernels << " kernels, "
+                  << opts.count << " random, base seed " << opts.seed
+                  << ", " << opts.tiles << " tiles), "
                   << summary.failed.size() << " failure(s)\n";
     }
     return summary;

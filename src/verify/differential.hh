@@ -117,6 +117,37 @@ std::vector<std::string> runTimingInvariantSweep(
     unsigned jobs = 0, std::ostream *progress = nullptr,
     DiffBackend backend = DiffBackend::Both);
 
+/** Multi-tile chip equivalence sweep parameters. */
+struct ChipDiffOptions
+{
+    uint64_t seed = 1;    //!< base seed of the random shard
+    unsigned count = 500; //!< random programs to generate
+    unsigned tiles = 4;   //!< tiles per chip (2+ for a real check)
+    unsigned jobs = 0;    //!< worker threads; 0 = shared pool default
+    bool kernels = true;  //!< also run the 21 MiBench kernels
+};
+
+/**
+ * The multi-tile half of the differential story: run each program as
+ * every tile of an N-tile chip over a small shared MSI L2 (sized to
+ * force capacity back-invalidations) with an odd round-robin quantum,
+ * and require
+ *
+ *  - per-tile architectural equality against an independent
+ *    single-core run — outcome, retired counts, registers/flags, I/O,
+ *    and the full memory image (timing and cache stats legitimately
+ *    differ under L2 contention, and are not compared);
+ *  - the coherence invariants (CoherentL2::checkInvariants) to hold
+ *    over the final directory and cache contents: single writer,
+ *    directory-cache agreement, L2 inclusion.
+ *
+ * Programs are the MiBench kernels (when enabled) plus opts.count
+ * seeded random programs, fanned out deterministically like
+ * runDifferentialSuite.
+ */
+DiffSummary runChipDifferentialSuite(const ChipDiffOptions &opts,
+                                     std::ostream *progress = nullptr);
+
 } // namespace pfits
 
 #endif // POWERFITS_VERIFY_DIFFERENTIAL_HH

@@ -4,15 +4,22 @@
  *
  *   pfits_verify [--seed N] [--count N] [--jobs N]
  *                [--backend interp|fast|both]
+ *                [--chip-count N] [--chip-tiles N]
  *                [--no-kernels] [--no-timing] [--no-random]
  *
  * Runs the differential suite (21 MiBench kernels + N seeded random
- * programs across golden/arm32/packed/fits16) and the
+ * programs across golden/arm32/packed/fits16, each Machine config
+ * also cross-executed as a one-tile Chip under "both") and the
  * timing-invariant sweep (21 benchmarks x the paper's 4 configs).
  * --backend picks the Machine execution loop(s): "both" (default)
  * runs every config on the interpreter *and* the fast backend and
  * requires field-for-field identical RunResults, "interp"/"fast"
  * run one loop for bisecting a divergence.
+ * --chip-count N > 0 additionally runs the multi-tile chip sweep
+ * (runChipDifferentialSuite): kernels + N random programs, each run
+ * as every tile of a --chip-tiles-tile chip over a small shared MSI
+ * L2 and checked for per-tile architectural equality against an
+ * independent single-core run plus the coherence invariants.
  * The base seed also comes from PFITS_VERIFY_SEED, the worker count
  * from --jobs / PFITS_JOBS. On a mismatch the failing program's seed
  * and disassembly are printed so the case replays with
@@ -55,6 +62,8 @@ main(int argc, char **argv)
     using namespace pfits;
 
     DiffOptions opts;
+    unsigned chip_count = 0;
+    unsigned chip_tiles = 4;
     bool run_random = true;
     bool run_timing = true;
 
@@ -95,6 +104,17 @@ main(int argc, char **argv)
                           << text << "' (interp|fast|both)\n";
                 return 2;
             }
+        } else if (!std::strcmp(arg, "--chip-count")) {
+            chip_count = static_cast<unsigned>(
+                parseU64(value(), "--chip-count"));
+        } else if (!std::strcmp(arg, "--chip-tiles")) {
+            chip_tiles = static_cast<unsigned>(
+                parseU64(value(), "--chip-tiles"));
+            if (chip_tiles < 2 || chip_tiles > 64) {
+                std::cerr << "pfits_verify: --chip-tiles wants "
+                             "2..64\n";
+                return 2;
+            }
         } else if (!std::strcmp(arg, "--no-kernels")) {
             opts.kernels = false;
         } else if (!std::strcmp(arg, "--no-random")) {
@@ -105,6 +125,7 @@ main(int argc, char **argv)
             std::cout
                 << "usage: pfits_verify [--seed N] [--count N] "
                    "[--jobs N] [--backend interp|fast|both] "
+                   "[--chip-count N] [--chip-tiles N] "
                    "[--no-kernels] [--no-random] [--no-timing]\n";
             return 0;
         } else {
@@ -138,6 +159,28 @@ main(int argc, char **argv)
                                                  opts.backend);
             if (!fails.empty())
                 rc = 1;
+        }
+
+        if (chip_count > 0) {
+            ChipDiffOptions chip_opts;
+            chip_opts.seed = opts.seed;
+            chip_opts.count = chip_count;
+            chip_opts.tiles = chip_tiles;
+            chip_opts.jobs = opts.jobs;
+            chip_opts.kernels = opts.kernels;
+            DiffSummary chip =
+                runChipDifferentialSuite(chip_opts, &std::cout);
+            if (!chip.ok()) {
+                rc = 1;
+                for (const DiffReport &rep : chip.failed) {
+                    if (rep.seed == 0)
+                        continue;
+                    std::cout
+                        << "--- disassembly of " << rep.program
+                        << " (seed " << rep.seed << ") ---\n"
+                        << randomVerifyProgram(rep.seed).listing();
+                }
+            }
         }
     } catch (const FatalError &e) {
         std::cerr << "pfits_verify: fatal: " << e.what() << "\n";

@@ -296,6 +296,43 @@ TEST(Cache, ParityDetectsInjectedFaultAndRefetches)
     EXPECT_FALSE(res.parityError);
 }
 
+TEST(CacheConfig, AssociativityCapAndWideGeometryProduct)
+{
+    // The way-hint slots pack a way index into 16 bits, so the
+    // validator rejects anything above kMaxAssoc instead of letting
+    // the constructor build an array the fast path cannot address.
+    CacheConfig cfg{"wide", 1u << 31, CacheConfig::kMaxAssoc * 2, 16,
+                    ReplPolicy::LRU, true};
+    std::string err = cfg.validateError();
+    EXPECT_NE(err.find("associativity"), std::string::npos);
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    // lineBytes * assoc == 2^32 wraps a 32-bit product to zero, which
+    // once slipped past the size check and handed the constructor a
+    // zero-set geometry. The 64-bit comparison must reject it.
+    CacheConfig wrap{"wrap", 1u << 31, CacheConfig::kMaxAssoc,
+                     1u << 16, ReplPolicy::LRU, true};
+    err = wrap.validateError();
+    EXPECT_NE(err.find("too small"), std::string::npos);
+    EXPECT_THROW(wrap.validate(), FatalError);
+
+    // Legal L2-scale geometries still pass and agree with the
+    // constructor about their shape.
+    CacheConfig l2{"l2", 4 * 1024 * 1024, 16, 64, ReplPolicy::LRU,
+                   true};
+    EXPECT_EQ(l2.validateError(), "");
+    EXPECT_EQ(l2.numLines(), 65536u);
+    EXPECT_EQ(l2.numSets(), 4096u);
+    Cache built(l2);
+    EXPECT_EQ(built.residentLines(), 0u);
+
+    // The boundary itself is legal: kMaxAssoc ways of small lines in
+    // a size that holds them.
+    CacheConfig edge{"edge", 1u << 20, CacheConfig::kMaxAssoc, 16,
+                     ReplPolicy::LRU, true};
+    EXPECT_EQ(edge.validateError(), "");
+}
+
 TEST(Cache, InjectIntoEmptyCacheDoesNothing)
 {
     Cache cache(smallCache());

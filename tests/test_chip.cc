@@ -1,0 +1,300 @@
+/** @file The Chip's structural contracts: a one-tile default chip IS
+ *  a Machine (every RunResult field and the memory image), the
+ *  round-robin quantum is architecturally unobservable, multi-tile
+ *  runs under shared-L2 contention keep per-tile architecture equal
+ *  to independent single-core runs, chip runs are deterministic, and
+ *  the SimCache memo key walls multi-tile requests off from cached
+ *  single-core entries. */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "exp/simcache.hh"
+#include "sim/chip.hh"
+#include "sim/frontend.hh"
+#include "sim/machine.hh"
+#include "verify/randprog.hh"
+
+namespace pfits
+{
+namespace
+{
+
+void
+expectSameCache(const char *what, const CacheStats &a,
+                const CacheStats &b)
+{
+    EXPECT_EQ(a.reads, b.reads) << what;
+    EXPECT_EQ(a.writes, b.writes) << what;
+    EXPECT_EQ(a.readMisses, b.readMisses) << what;
+    EXPECT_EQ(a.writeMisses, b.writeMisses) << what;
+    EXPECT_EQ(a.writebacks, b.writebacks) << what;
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected) << what;
+    EXPECT_EQ(a.parityDetections, b.parityDetections) << what;
+    EXPECT_EQ(a.corruptDeliveries, b.corruptDeliveries) << what;
+}
+
+/** Architectural equality: what contention may never change. */
+void
+expectSameArch(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.trapReason, b.trapReason);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.annulled, b.annulled);
+    EXPECT_EQ(a.takenBranches, b.takenBranches);
+    for (unsigned r = 0; r < NUM_REGS; ++r)
+        EXPECT_EQ(a.finalState.regs[r], b.finalState.regs[r])
+            << "r" << r;
+    EXPECT_EQ(a.finalState.flags.n, b.finalState.flags.n);
+    EXPECT_EQ(a.finalState.flags.z, b.finalState.flags.z);
+    EXPECT_EQ(a.finalState.flags.c, b.finalState.flags.c);
+    EXPECT_EQ(a.finalState.flags.v, b.finalState.flags.v);
+    EXPECT_EQ(a.io.console, b.io.console);
+    EXPECT_EQ(a.io.emitted, b.io.emitted);
+}
+
+/** Full equality: architecture plus timing, caches and activity. */
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    expectSameArch(a, b);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fetchToggleBits, b.fetchToggleBits);
+    EXPECT_EQ(a.fetchBitsTotal, b.fetchBitsTotal);
+    EXPECT_EQ(a.icacheRefillWords, b.icacheRefillWords);
+    EXPECT_EQ(a.dmemAccesses, b.dmemAccesses);
+    expectSameCache("icache", a.icache, b.icache);
+    expectSameCache("dcache", a.dcache, b.dcache);
+}
+
+TEST(Chip, OneTileDefaultChipIsAMachine)
+{
+    for (uint64_t seed : {3ull, 17ull}) {
+        Program prog = randomVerifyProgram(seed);
+        ArmFrontEnd arm(prog);
+        CoreConfig core;
+
+        Machine machine(arm, core);
+        RunResult solo = machine.run();
+
+        Chip chip(std::vector<Chip::TileSpec>{{&arm, core}},
+                  ChipConfig{});
+        ChipResult cres = chip.run();
+
+        ASSERT_EQ(cres.tiles.size(), 1u);
+        expectSameRun(solo, cres.tiles.front());
+        EXPECT_EQ(cres.chipCycles, solo.cycles);
+        EXPECT_EQ(machine.mem().firstDifference(chip.tileMem(0)),
+                  std::nullopt);
+    }
+}
+
+TEST(Chip, QuantumIsArchitecturallyUnobservable)
+{
+    Program prog = randomVerifyProgram(29);
+    ArmFrontEnd arm(prog);
+    CoreConfig core;
+    Machine machine(arm, core);
+    RunResult solo = machine.run();
+
+    for (uint64_t quantum : {1ull, 7ull, 4099ull}) {
+        ChipConfig cfg;
+        cfg.quantum = quantum;
+        Chip chip(std::vector<Chip::TileSpec>{{&arm, core}}, cfg);
+        ChipResult cres = chip.run();
+        expectSameRun(solo, cres.tiles.front());
+        EXPECT_EQ(machine.mem().firstDifference(chip.tileMem(0)),
+                  std::nullopt)
+            << "quantum " << quantum;
+    }
+}
+
+TEST(Chip, SharedL2ChangesTimingNeverArchitecture)
+{
+    Program prog = randomVerifyProgram(31);
+    ArmFrontEnd arm(prog);
+    CoreConfig core;
+    Machine machine(arm, core);
+    RunResult solo = machine.run();
+
+    ChipConfig cfg;
+    cfg.sharedL2 = true;
+    Chip chip(std::vector<Chip::TileSpec>{{&arm, core}}, cfg);
+    ChipResult cres = chip.run();
+
+    expectSameArch(solo, cres.tiles.front());
+    EXPECT_EQ(machine.mem().firstDifference(chip.tileMem(0)),
+              std::nullopt);
+    EXPECT_EQ(chip.checkCoherence(), "");
+    EXPECT_GT(cres.coherence.readFills, 0u);
+}
+
+TEST(Chip, MultiTileMatchesIndependentRunsAndIsDeterministic)
+{
+    Program prog = randomVerifyProgram(37);
+    ArmFrontEnd arm(prog);
+    CoreConfig core;
+    Machine machine(arm, core);
+    RunResult solo = machine.run();
+
+    ChipConfig cfg;
+    cfg.tiles = 3;
+    cfg.sharedL2 = true;
+    cfg.l2.sizeBytes = 16 * 1024; // small: force L2 contention
+    cfg.quantum = 1009;
+
+    std::vector<Chip::TileSpec> specs(cfg.tiles,
+                                      Chip::TileSpec{&arm, core});
+    Chip chip(specs, cfg);
+    ChipResult first = chip.run();
+
+    ASSERT_EQ(first.tiles.size(), cfg.tiles);
+    for (unsigned t = 0; t < cfg.tiles; ++t) {
+        SCOPED_TRACE("tile " + std::to_string(t));
+        expectSameArch(solo, first.tiles[t]);
+        EXPECT_EQ(machine.mem().firstDifference(chip.tileMem(t)),
+                  std::nullopt);
+    }
+    EXPECT_EQ(chip.checkCoherence(), "");
+
+    // Byte-identical on a repeat: same per-tile results, same L2 and
+    // protocol activity, same chip cycle count.
+    Chip again(specs, cfg);
+    ChipResult second = again.run();
+    EXPECT_EQ(first.chipCycles, second.chipCycles);
+    for (unsigned t = 0; t < cfg.tiles; ++t) {
+        SCOPED_TRACE("tile " + std::to_string(t));
+        expectSameRun(first.tiles[t], second.tiles[t]);
+    }
+    EXPECT_EQ(first.l2.accesses(), second.l2.accesses());
+    EXPECT_EQ(first.l2.misses(), second.l2.misses());
+    EXPECT_EQ(first.l2.writebacks, second.l2.writebacks);
+    EXPECT_EQ(first.coherence.readFills, second.coherence.readFills);
+    EXPECT_EQ(first.coherence.backInvalidations,
+              second.coherence.backInvalidations);
+}
+
+TEST(ChipConfig, ValidationRejectsInconsistentShapes)
+{
+    EXPECT_EQ(ChipConfig{}.validateError(), "");
+
+    ChipConfig cfg;
+    cfg.tiles = 0;
+    EXPECT_NE(cfg.validateError().find("1..64"), std::string::npos);
+    cfg.tiles = 65;
+    EXPECT_NE(cfg.validateError().find("1..64"), std::string::npos);
+
+    cfg = ChipConfig{};
+    cfg.quantum = 0;
+    EXPECT_NE(cfg.validateError().find("quantum"), std::string::npos);
+
+    cfg = ChipConfig{};
+    cfg.tileShift = 21;
+    EXPECT_NE(cfg.validateError().find("22..31"), std::string::npos);
+    cfg.tileShift = 32;
+    EXPECT_NE(cfg.validateError().find("22..31"), std::string::npos);
+
+    // Coloring windows must tile the 32-bit space: 64 windows of
+    // 2^27 bytes do not fit.
+    cfg = ChipConfig{};
+    cfg.tiles = 64;
+    cfg.tileShift = 27;
+    EXPECT_NE(cfg.validateError().find("do not fit"),
+              std::string::npos);
+
+    // The shared L2 must be write-back (the directory owns dirty
+    // data) and geometrically sound.
+    cfg = ChipConfig{};
+    cfg.sharedL2 = true;
+    cfg.l2.writeBack = false;
+    EXPECT_NE(cfg.validateError().find("write-back"),
+              std::string::npos);
+    cfg.l2.writeBack = true;
+    cfg.l2.lineBytes = 3;
+    EXPECT_NE(cfg.validateError(), "");
+
+    cfg = ChipConfig{};
+    cfg.tiles = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SimCacheChip, DefaultChipKeepsLegacyMemoKeys)
+{
+    CoreConfig core;
+    // A default chip run IS a Machine run: the config key must be the
+    // bare core hash, bit for bit, so every pre-chip memo entry,
+    // manifest and golden snapshot keeps its exact identity.
+    EXPECT_EQ(hashChipConfig(ChipConfig{}), 0u);
+    EXPECT_EQ(hashConfigKey(core, ChipConfig{}), hashCoreConfig(core));
+
+    ChipConfig two;
+    two.tiles = 2;
+    two.sharedL2 = true;
+    EXPECT_NE(hashChipConfig(two), 0u);
+    EXPECT_NE(hashConfigKey(core, two), hashCoreConfig(core));
+
+    // Every chip knob is key material.
+    ChipConfig other = two;
+    other.quantum = two.quantum + 1;
+    EXPECT_NE(hashChipConfig(other), hashChipConfig(two));
+    other = two;
+    other.l2.sizeBytes *= 2;
+    EXPECT_NE(hashChipConfig(other), hashChipConfig(two));
+    other = two;
+    other.tileShift = 27;
+    EXPECT_NE(hashChipConfig(other), hashChipConfig(two));
+
+    // A shared L2 is non-default even for one tile.
+    ChipConfig one_shared;
+    one_shared.sharedL2 = true;
+    EXPECT_FALSE(one_shared.isDefault());
+    EXPECT_NE(hashChipConfig(one_shared), 0u);
+}
+
+TEST(SimCacheChip, MultiTileRequestNeverHitsSingleCoreEntry)
+{
+    Program prog = randomVerifyProgram(90001);
+    ArmFrontEnd arm(prog);
+    CoreConfig core;
+    SimCache &cache = SimCache::instance();
+
+    const uint64_t misses0 = cache.misses();
+    SimResult solo = cache.simulate(arm, core);
+    EXPECT_EQ(cache.misses(), misses0 + 1);
+    EXPECT_FALSE(solo.chip.ranAsChip());
+
+    // Same key again: a hit.
+    const uint64_t hits0 = cache.hits();
+    (void)cache.simulate(arm, core);
+    EXPECT_EQ(cache.hits(), hits0 + 1);
+    EXPECT_EQ(cache.misses(), misses0 + 1);
+
+    // The multi-tile request must be a fresh computation, not an
+    // answer from the cached single-core entry.
+    ChipConfig chip;
+    chip.tiles = 2;
+    chip.sharedL2 = true;
+    SimResult cres = cache.simulate(arm, core, {}, 0, {}, chip);
+    EXPECT_EQ(cache.misses(), misses0 + 2);
+    ASSERT_TRUE(cres.chip.ranAsChip());
+    EXPECT_EQ(cres.chip.tileCycles.size(), 2u);
+    EXPECT_EQ(cres.chip.tileInstructions.size(), 2u);
+    EXPECT_GT(cres.chip.chipCycles, 0u);
+
+    // The reported run is tile 0 of the chip: architecturally equal
+    // to the single-core run (timing differs under the shared L2).
+    expectSameArch(solo.run, cres.run);
+
+    // And the chip entry itself memoizes.
+    const uint64_t hits1 = cache.hits();
+    (void)cache.simulate(arm, core, {}, 0, {}, chip);
+    EXPECT_EQ(cache.hits(), hits1 + 1);
+    EXPECT_EQ(cache.misses(), misses0 + 2);
+}
+
+} // namespace
+} // namespace pfits

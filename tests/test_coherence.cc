@@ -1,0 +1,523 @@
+/** @file Directed MSI protocol tests over CoherentL2 with fake tile
+ *  ports, plus a fixed-seed multi-tile fuzz. The directed half walks
+ *  the full transition table — {Modified, Shared, Invalid} crossed
+ *  with {local read, local write, remote read, remote write,
+ *  eviction} — asserting directory snapshots, protocol counters and
+ *  the event stream. The fuzz drives four tiles over deliberately
+ *  overlapping addresses (the Chip's coloring never does this, so the
+ *  sharing edges only get exercised here) and checks the single-writer
+ *  invariant plus final-memory agreement with a coherence-free
+ *  sequential reference. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cache/coherence.hh"
+#include "common/rng.hh"
+
+namespace pfits
+{
+namespace
+{
+
+/**
+ * A fake tile: mirrors what a private L1 would hold, line by line,
+ * with the dirty value carried alongside (nullopt = clean copy). Dirty
+ * data recalled by the directory lands in *backing — the flat "L2 +
+ * memory" image the fuzz compares against its reference model.
+ */
+class MirrorPort final : public CoherencePort
+{
+  public:
+    std::map<uint32_t, std::optional<uint32_t>> lines;
+    std::map<uint32_t, uint32_t> *backing = nullptr;
+    unsigned invalidates = 0;
+    unsigned downgrades = 0;
+
+    bool holds(uint32_t la) const { return lines.count(la) != 0; }
+
+    bool
+    dirty(uint32_t la) const
+    {
+        auto it = lines.find(la);
+        return it != lines.end() && it->second.has_value();
+    }
+
+    bool
+    coherenceInvalidate(uint32_t la) override
+    {
+        ++invalidates;
+        auto it = lines.find(la);
+        if (it == lines.end())
+            return false;
+        const bool was_dirty = it->second.has_value();
+        if (was_dirty && backing)
+            (*backing)[la] = *it->second;
+        lines.erase(it);
+        return was_dirty;
+    }
+
+    bool
+    coherenceDowngrade(uint32_t la) override
+    {
+        ++downgrades;
+        auto it = lines.find(la);
+        if (it == lines.end())
+            return false;
+        const bool was_dirty = it->second.has_value();
+        if (was_dirty && backing)
+            (*backing)[la] = *it->second;
+        it->second = std::nullopt;
+        return was_dirty;
+    }
+
+    void
+    enumerateLines(
+        const std::function<void(uint32_t, bool)> &fn) const override
+    {
+        for (const auto &[la, v] : lines)
+            fn(la, v.has_value());
+    }
+};
+
+/** Records the event stream for cross-checking against the stats. */
+class EventLog final : public CoherenceListener
+{
+  public:
+    std::vector<CoherenceEvent> events;
+
+    void
+    onCoherence(const CoherenceEvent &event) override
+    {
+        events.push_back(event);
+    }
+
+    unsigned
+    count(CoherenceEvent::Kind kind) const
+    {
+        unsigned n = 0;
+        for (const CoherenceEvent &e : events)
+            if (e.kind == kind)
+                ++n;
+        return n;
+    }
+};
+
+constexpr uint32_t kLine = 32;
+
+/**
+ * Two fake tiles on one CoherentL2, with the L1-side protocol calls a
+ * real Tile would make reproduced over the mirrors: an access that
+ * hits a held line never reaches the L2, a write to a held clean line
+ * is the S->M upgrade, a miss is a fill, and an eviction either drops
+ * a clean copy silently or pushes a dirty one via l1Writeback.
+ */
+struct Duo
+{
+    CoherentL2 l2;
+    MirrorPort port[2];
+    EventLog log;
+
+    explicit Duo(const CoherentL2::Params &params = bigParams())
+        : l2(params, 2)
+    {
+        l2.attachPort(0, &port[0]);
+        l2.attachPort(1, &port[1]);
+        l2.setListener(&log);
+    }
+
+    /** Roomy default: no capacity back-invalidations unless asked. */
+    static CoherentL2::Params
+    bigParams()
+    {
+        CoherentL2::Params p;
+        p.cache = CacheConfig{"l2", 4096, 2, kLine, ReplPolicy::LRU,
+                              true};
+        return p;
+    }
+
+    void
+    read(unsigned t, uint32_t la)
+    {
+        if (port[t].holds(la))
+            return; // L1 hit: no protocol action
+        l2.accessFill(t, la, false);
+        port[t].lines[la] = std::nullopt;
+    }
+
+    unsigned
+    write(unsigned t, uint32_t la, uint32_t value)
+    {
+        unsigned penalty = 0;
+        if (port[t].dirty(la)) {
+            // L1 write hit on an owned line: no protocol action.
+        } else if (port[t].holds(la)) {
+            penalty = l2.upgradeForWrite(t, la);
+        } else {
+            penalty = l2.accessFill(t, la, true);
+        }
+        port[t].lines[la] = value;
+        return penalty;
+    }
+
+    void
+    evict(unsigned t, uint32_t la)
+    {
+        if (!port[t].holds(la))
+            return; // evicting a line the L1 does not hold is vacuous
+        if (port[t].dirty(la))
+            l2.l1Writeback(t, la);
+        // A clean victim drops silently: the directory keeps the stale
+        // sharer bit as a conservative superset.
+        port[t].lines.erase(la);
+    }
+};
+
+TEST(MsiDirectory, TransitionsFromInvalid)
+{
+    Duo duo;
+    const uint32_t a = 0x100, b = 0x200, c = 0x300, d = 0x400;
+
+    // I + local read -> Shared{0}.
+    duo.read(0, a);
+    auto snap = duo.l2.dirEntry(a);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, MsiState::Shared);
+    EXPECT_EQ(snap->sharers, 0b01u);
+
+    // I + local write -> Modified{0}.
+    duo.write(0, b, 7);
+    snap = duo.l2.dirEntry(b);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, MsiState::Modified);
+    EXPECT_EQ(snap->sharers, 0b01u);
+
+    // I + remote read / remote write: same edges from the other tile.
+    duo.read(1, c);
+    snap = duo.l2.dirEntry(c);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, MsiState::Shared);
+    EXPECT_EQ(snap->sharers, 0b10u);
+
+    duo.write(1, d, 9);
+    snap = duo.l2.dirEntry(d);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, MsiState::Modified);
+    EXPECT_EQ(snap->sharers, 0b10u);
+
+    // I + eviction: the L1 holds nothing, so nothing happens.
+    const CoherenceStats before = duo.l2.stats();
+    duo.evict(0, 0x500);
+    EXPECT_EQ(duo.l2.stats().l1Writebacks, before.l1Writebacks);
+    EXPECT_EQ(duo.l2.stats().invalidations, before.invalidations);
+
+    EXPECT_EQ(duo.l2.stats().readFills, 2u);
+    EXPECT_EQ(duo.l2.stats().writeFills, 2u);
+    EXPECT_EQ(duo.l2.checkInvariants(), "");
+}
+
+TEST(MsiDirectory, TransitionsFromShared)
+{
+    Duo duo;
+    const uint32_t a = 0x100, b = 0x200, c = 0x300;
+    duo.read(0, a); // -> Shared{0}
+
+    // S + local read: an L1 hit, no directory interaction.
+    const CoherenceStats quiet = duo.l2.stats();
+    duo.read(0, a);
+    EXPECT_EQ(duo.l2.stats().readFills, quiet.readFills);
+    EXPECT_EQ(duo.l2.dirEntry(a)->sharers, 0b01u);
+
+    // S + remote read: the reader joins the sharer vector, nobody is
+    // invalidated or downgraded.
+    duo.read(1, a);
+    auto snap = duo.l2.dirEntry(a);
+    EXPECT_EQ(snap->state, MsiState::Shared);
+    EXPECT_EQ(snap->sharers, 0b11u);
+    EXPECT_EQ(duo.l2.stats().invalidations, 0u);
+    EXPECT_EQ(duo.l2.stats().downgrades, 0u);
+
+    // S + local write with a remote sharer: the S->M upgrade kills the
+    // remote clean copy and costs the upgrade penalty.
+    unsigned penalty = duo.write(0, a, 5);
+    EXPECT_EQ(penalty, Duo::bigParams().upgradePenalty);
+    snap = duo.l2.dirEntry(a);
+    EXPECT_EQ(snap->state, MsiState::Modified);
+    EXPECT_EQ(snap->sharers, 0b01u);
+    EXPECT_FALSE(duo.port[1].holds(a));
+    EXPECT_EQ(duo.l2.stats().upgrades, 1u);
+    EXPECT_EQ(duo.l2.stats().invalidations, 1u);
+    EXPECT_EQ(duo.l2.stats().recallWritebacks, 0u); // clean recall
+
+    // S + local write with no remote copy: a free upgrade.
+    duo.read(0, b);
+    penalty = duo.write(0, b, 6);
+    EXPECT_EQ(penalty, 0u);
+    EXPECT_EQ(duo.l2.stats().invalidations, 1u);
+    EXPECT_EQ(duo.l2.dirEntry(b)->state, MsiState::Modified);
+
+    // S + remote write: the writer's fill invalidates the clean local
+    // copy (nothing dirty to recall).
+    duo.read(0, c);
+    duo.write(1, c, 8);
+    snap = duo.l2.dirEntry(c);
+    EXPECT_EQ(snap->state, MsiState::Modified);
+    EXPECT_EQ(snap->sharers, 0b10u);
+    EXPECT_FALSE(duo.port[0].holds(c));
+    EXPECT_EQ(duo.l2.stats().recallWritebacks, 0u);
+
+    // S + eviction: a clean victim drops silently; the stale sharer
+    // bit is legal (the directory is a conservative superset) and the
+    // invariants still hold.
+    duo.read(1, b); // b: Modified{0} -> downgrade -> Shared{0,1}
+    duo.evict(1, b);
+    EXPECT_EQ(duo.l2.dirEntry(b)->sharers, 0b11u);
+    EXPECT_EQ(duo.l2.checkInvariants(), "");
+}
+
+TEST(MsiDirectory, TransitionsFromModified)
+{
+    Duo duo;
+    const uint32_t a = 0x100, b = 0x200, c = 0x300;
+    std::map<uint32_t, uint32_t> mem;
+    duo.port[0].backing = &mem;
+    duo.port[1].backing = &mem;
+
+    duo.write(0, a, 41); // -> Modified{0}
+
+    // M + local read / local write: owner hits, no protocol action.
+    const CoherenceStats quiet = duo.l2.stats();
+    duo.read(0, a);
+    duo.write(0, a, 42);
+    EXPECT_EQ(duo.l2.stats().readFills, quiet.readFills);
+    EXPECT_EQ(duo.l2.stats().upgrades, quiet.upgrades);
+    EXPECT_EQ(duo.l2.dirEntry(a)->state, MsiState::Modified);
+
+    // M + remote read: the owner is downgraded, its dirty data
+    // recalled, and both tiles end up sharing.
+    duo.read(1, a);
+    auto snap = duo.l2.dirEntry(a);
+    EXPECT_EQ(snap->state, MsiState::Shared);
+    EXPECT_EQ(snap->sharers, 0b11u);
+    EXPECT_TRUE(duo.port[0].holds(a));
+    EXPECT_FALSE(duo.port[0].dirty(a));
+    EXPECT_EQ(duo.l2.stats().downgrades, 1u);
+    EXPECT_EQ(duo.l2.stats().recallWritebacks, 1u);
+    EXPECT_EQ(mem[a], 42u); // the recall carried the dirty value
+
+    // M + remote write: the owner is invalidated with a dirty recall,
+    // the writer becomes the sole owner.
+    duo.write(0, b, 51);
+    duo.write(1, b, 52);
+    snap = duo.l2.dirEntry(b);
+    EXPECT_EQ(snap->state, MsiState::Modified);
+    EXPECT_EQ(snap->sharers, 0b10u);
+    EXPECT_FALSE(duo.port[0].holds(b));
+    EXPECT_EQ(duo.l2.stats().invalidations, 1u);
+    EXPECT_EQ(duo.l2.stats().recallWritebacks, 2u);
+    EXPECT_EQ(mem[b], 51u);
+
+    // M + eviction: the dirty victim lands in the L2 via l1Writeback;
+    // the last leaver drops the entry to Invalid.
+    duo.write(0, c, 61);
+    duo.evict(0, c);
+    snap = duo.l2.dirEntry(c);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, MsiState::Invalid);
+    EXPECT_EQ(snap->sharers, 0u);
+    EXPECT_EQ(duo.l2.stats().l1Writebacks, 1u);
+    EXPECT_EQ(duo.l2.checkInvariants(), "");
+}
+
+TEST(MsiDirectory, BackInvalidationRecallsInclusiveCopies)
+{
+    // A one-set L2: any two distinct lines conflict, so the second
+    // fill back-invalidates the first line's L1 copies.
+    CoherentL2::Params params;
+    params.cache =
+        CacheConfig{"l2", kLine, 1, kLine, ReplPolicy::LRU, true};
+    Duo duo(params);
+    std::map<uint32_t, uint32_t> mem;
+    duo.port[0].backing = &mem;
+
+    // Dirty copy recalled straight to memory when its L2 line leaves.
+    duo.write(0, 0x000, 71);
+    duo.read(1, 0x100);
+    EXPECT_FALSE(duo.port[0].holds(0x000));
+    EXPECT_FALSE(duo.l2.dirEntry(0x000).has_value());
+    EXPECT_EQ(duo.l2.stats().backInvalidations, 1u);
+    EXPECT_EQ(duo.l2.stats().recallWritebacks, 1u);
+    EXPECT_EQ(duo.l2.stats().l2Writebacks, 1u);
+    EXPECT_EQ(mem[0x000], 71u);
+
+    // Self back-invalidation: a tile's own fill can evict another of
+    // its lines from the L2, recalling its own clean copy.
+    duo.read(0, 0x200);
+    EXPECT_FALSE(duo.port[1].holds(0x100));
+    duo.read(0, 0x300);
+    EXPECT_FALSE(duo.port[0].holds(0x200));
+    EXPECT_TRUE(duo.port[0].holds(0x300));
+    EXPECT_EQ(duo.l2.checkInvariants(), "");
+}
+
+TEST(MsiDirectory, EventStreamMatchesCounters)
+{
+    Duo duo;
+    std::map<uint32_t, uint32_t> mem;
+    duo.port[0].backing = &mem;
+    duo.port[1].backing = &mem;
+
+    duo.read(0, 0x100);       // read fill
+    duo.write(0, 0x100, 1);   // upgrade (no remote copy)
+    duo.read(1, 0x100);       // downgrade + read fill
+    duo.write(1, 0x100, 2);   // invalidate + upgrade
+    duo.write(0, 0x200, 3);   // write fill
+    duo.evict(1, 0x100);      // l1 writeback
+
+    const CoherenceStats &s = duo.l2.stats();
+    using K = CoherenceEvent::Kind;
+    EXPECT_EQ(duo.log.count(K::ReadFill), s.readFills);
+    EXPECT_EQ(duo.log.count(K::WriteFill), s.writeFills);
+    EXPECT_EQ(duo.log.count(K::Upgrade), s.upgrades);
+    EXPECT_EQ(duo.log.count(K::Invalidate), s.invalidations);
+    EXPECT_EQ(duo.log.count(K::Downgrade), s.downgrades);
+    EXPECT_EQ(duo.log.count(K::BackInvalidate), s.backInvalidations);
+    EXPECT_EQ(duo.log.count(K::L1Writeback), s.l1Writebacks);
+    EXPECT_EQ(s.readFills, 2u);
+    EXPECT_EQ(s.writeFills, 1u);
+    EXPECT_EQ(s.upgrades, 2u);
+    EXPECT_EQ(s.invalidations, 1u);
+    EXPECT_EQ(s.downgrades, 1u);
+    EXPECT_EQ(s.l1Writebacks, 1u);
+}
+
+/**
+ * The fuzz: four mirror tiles issue a fixed-seed random stream of
+ * reads, writes and evictions over 48 overlapping lines against a
+ * 32-line L2, so capacity back-invalidations, upgrades, downgrades
+ * and dirty recalls all fire constantly. Invariants checked:
+ *
+ *  - every read observes the value a sequential coherence-free
+ *    reference model holds for that line (stale data = a protocol
+ *    hole, e.g. a missing downgrade);
+ *  - at most one tile holds any line dirty, and
+ *    CoherentL2::checkInvariants stays clean throughout;
+ *  - after a final flush the backing image equals the reference.
+ */
+TEST(MsiDirectory, FuzzMultiTileAgainstSequentialReference)
+{
+    constexpr unsigned kTiles = 4;
+    constexpr unsigned kPoolLines = 48;
+    constexpr unsigned kOps = 6000;
+
+    CoherentL2::Params params;
+    params.cache =
+        CacheConfig{"l2", 1024, 2, kLine, ReplPolicy::LRU, true};
+    CoherentL2 l2(params, kTiles);
+
+    std::map<uint32_t, uint32_t> mem; // flat "L2 + memory" data image
+    MirrorPort ports[kTiles];
+    for (unsigned t = 0; t < kTiles; ++t) {
+        ports[t].backing = &mem;
+        l2.attachPort(t, &ports[t]);
+    }
+
+    std::map<uint32_t, uint32_t> ref; // coherence-free reference
+    Rng rng(0xc0fe5eed);
+    uint32_t next_value = 1;
+
+    for (unsigned op = 0; op < kOps; ++op) {
+        const unsigned t = rng.below(kTiles);
+        MirrorPort &port = ports[t];
+        const uint32_t la = kLine * rng.below(kPoolLines);
+
+        switch (rng.below(4)) {
+          case 0:
+          case 1: { // read
+            uint32_t seen;
+            if (port.dirty(la)) {
+                seen = *port.lines[la];
+            } else if (port.holds(la)) {
+                seen = mem.count(la) ? mem[la] : 0;
+            } else {
+                l2.accessFill(t, la, false);
+                port.lines[la] = std::nullopt;
+                seen = mem.count(la) ? mem[la] : 0;
+            }
+            ASSERT_EQ(seen, ref.count(la) ? ref[la] : 0)
+                << "op " << op << ": tile " << t
+                << " read stale data from line " << std::hex << la;
+            break;
+          }
+          case 2: { // write
+            const uint32_t v = next_value++;
+            if (!port.dirty(la)) {
+                if (port.holds(la))
+                    l2.upgradeForWrite(t, la);
+                else
+                    l2.accessFill(t, la, true);
+            }
+            port.lines[la] = v;
+            ref[la] = v;
+            break;
+          }
+          case 3: { // evict a random held line
+            if (port.lines.empty())
+                break;
+            auto it = port.lines.begin();
+            std::advance(
+                it,
+                rng.below(static_cast<uint32_t>(port.lines.size())));
+            const uint32_t victim = it->first;
+            if (it->second.has_value()) {
+                mem[victim] = *it->second;
+                l2.l1Writeback(t, victim);
+            }
+            port.lines.erase(it);
+            break;
+          }
+        }
+
+        if (op % 64 == 0) {
+            ASSERT_EQ(l2.checkInvariants(), "") << "op " << op;
+            // Single-writer, counted by hand across the mirrors.
+            std::map<uint32_t, unsigned> dirty_holders;
+            for (const MirrorPort &p : ports)
+                for (const auto &[line, v] : p.lines)
+                    if (v.has_value())
+                        ++dirty_holders[line];
+            for (const auto &[line, n] : dirty_holders)
+                ASSERT_LE(n, 1u)
+                    << "op " << op << ": line " << std::hex << line
+                    << " dirty in " << std::dec << n << " tiles";
+        }
+    }
+
+    ASSERT_EQ(l2.checkInvariants(), "");
+
+    // Flush every surviving dirty copy, then the protocol-maintained
+    // image must equal the sequential reference line for line.
+    for (unsigned t = 0; t < kTiles; ++t) {
+        for (const auto &[la, v] : ports[t].lines)
+            if (v.has_value()) {
+                mem[la] = *v;
+                l2.l1Writeback(t, la);
+            }
+        ports[t].lines.clear();
+    }
+    for (unsigned i = 0; i < kPoolLines; ++i) {
+        const uint32_t la = kLine * i;
+        EXPECT_EQ(mem.count(la) ? mem[la] : 0,
+                  ref.count(la) ? ref[la] : 0)
+            << "final image differs at line " << std::hex << la;
+    }
+    EXPECT_GT(l2.stats().backInvalidations, 0u);
+    EXPECT_GT(l2.stats().downgrades, 0u);
+    EXPECT_GT(l2.stats().upgrades, 0u);
+}
+
+} // namespace
+} // namespace pfits
