@@ -24,6 +24,11 @@
  *                     provenance, params, simulated content hashes,
  *                     result tables, engine self-metrics, wall/CPU
  *                     time (docs/OBSERVABILITY.md)
+ *   --trace-out FILE  write a Chrome trace-event JSON timeline of the
+ *                     run (runner phases, per-worker job lanes,
+ *                     SimCache hits/misses, per-tile chip quanta);
+ *                     load it in Perfetto or chrome://tracing
+ *                     (docs/OBSERVABILITY.md "Tracing")
  *   --daemon[=SOCK]   resolve simulations through a pfitsd daemon
  *                     (docs/SERVICE.md); bare --daemon uses
  *                     $PFITS_DAEMON or "pfitsd.sock". Setting
@@ -48,12 +53,14 @@
 #include <vector>
 
 #include "common/fileio.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "exp/figures.hh"
 #include "exp/simcache.hh"
 #include "exp/simservice.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "svc/client.hh"
 
 namespace pfits::benchutil
@@ -78,6 +85,9 @@ struct BenchOptions
     std::string traceDir = ".";
     std::string jsonPath; //!< empty = no manifest
 
+    //!< Chrome trace-event timeline target; empty = tracing disabled
+    std::string traceOutPath;
+
     //!< pfitsd socket to resolve simulations through; empty = local
     std::string daemonSocket;
 };
@@ -88,7 +98,7 @@ printUsage(const char *tool, std::ostream &os)
     os << "usage: " << tool
        << " [--csv] [--jobs N] [--tiles N] [--backend interp|fast]"
           " [--trace-on-trap] [--trace-dir DIR]"
-          " [--json PATH] [--daemon[=SOCK]]\n"
+          " [--json PATH] [--trace-out FILE] [--daemon[=SOCK]]\n"
           "  --csv            print tables as CSV\n"
           "  --jobs N         engine worker count (PFITS_JOBS also "
           "works)\n"
@@ -106,6 +116,9 @@ printUsage(const char *tool, std::ostream &os)
           "(default .)\n"
           "  --json PATH      write a run manifest "
           "(pfits-manifest-v1)\n"
+          "  --trace-out FILE write a Chrome trace-event JSON "
+          "timeline\n"
+          "                   (Perfetto/chrome://tracing loadable)\n"
           "  --daemon[=SOCK]  resolve simulations through a pfitsd "
           "daemon\n"
           "                   (default $PFITS_DAEMON or "
@@ -176,6 +189,12 @@ parseArgs(int argc, char **argv, const char *tool)
             opts.jsonPath = wantValue(i, arg);
         } else if (arg.rfind("--json=", 0) == 0) {
             opts.jsonPath = std::string(arg.substr(7));
+        } else if (arg == "--trace-out") {
+            opts.traceOutPath = wantValue(i, arg);
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opts.traceOutPath = std::string(arg.substr(12));
+            if (opts.traceOutPath.empty())
+                reject("--trace-out= wants a file path");
         } else if (arg == "--daemon") {
             const char *env = std::getenv("PFITS_DAEMON");
             opts.daemonSocket =
@@ -210,8 +229,8 @@ parseArgs(int argc, char **argv, const char *tool)
             // capture and what a user pasting an error sees first.
             reject("unknown flag '" + std::string(arg) +
                    "' (accepted: --csv --jobs --tiles --backend "
-                   "--trace-on-trap --trace-dir --json --daemon "
-                   "--help)");
+                   "--trace-on-trap --trace-dir --json --trace-out "
+                   "--daemon --help)");
         }
     }
     if (opts.daemonSocket.empty()) {
@@ -282,6 +301,11 @@ class BenchHarness
             tool_ += "+tiles" + std::to_string(opts_.tiles);
         if (wantManifest())
             previous_ = MetricRegistry::install(&registry_);
+        if (wantTrace()) {
+            recorder_ = std::make_unique<TraceRecorder>();
+            prevRecorder_ = TraceRecorder::install(recorder_.get());
+            recorder_->nameThisThread("main");
+        }
         if (!opts_.daemonSocket.empty()) {
             SvcClientConfig cfg = SvcClientConfig::fromEnv();
             cfg.socketPath = opts_.daemonSocket;
@@ -299,6 +323,8 @@ class BenchHarness
         }
         if (wantManifest() && !finished_)
             MetricRegistry::install(previous_);
+        if (recorder_ && !finished_)
+            TraceRecorder::install(prevRecorder_);
     }
 
     BenchHarness(const BenchHarness &) = delete;
@@ -306,6 +332,7 @@ class BenchHarness
 
     const BenchOptions &options() const { return opts_; }
     bool wantManifest() const { return !opts_.jsonPath.empty(); }
+    bool wantTrace() const { return !opts_.traceOutPath.empty(); }
 
     /** Fold the shared flags into @p params and record them. */
     void
@@ -383,8 +410,25 @@ class BenchHarness
             installSimService(prevService_);
             svcClient_.reset();
         }
+        int rc = 0;
+        if (wantTrace()) {
+            // Quiesce-then-flush: detach the recorder before writing
+            // so a straggling pool worker can never append mid-merge.
+            // (By now the Runner is done, so the pool is idle.)
+            TraceRecorder::install(prevRecorder_);
+            std::string terr;
+            if (!recorder_->writeFile(opts_.traceOutPath, &terr)) {
+                // warn_once (not a silent drop): the path and errno
+                // text say exactly which write failed and why, and
+                // the nonzero exit makes CI notice.
+                warn_once("%s: cannot write trace '%s': %s",
+                          tool_.c_str(), opts_.traceOutPath.c_str(),
+                          terr.c_str());
+                rc = 1;
+            }
+        }
         if (!wantManifest())
-            return 0;
+            return rc;
         MetricRegistry::install(previous_);
 
         RunManifest manifest;
@@ -408,13 +452,12 @@ class BenchHarness
         os << "\n";
         std::string err;
         if (!writeFileAtomic(opts_.jsonPath, os.str(), &err)) {
-            std::fprintf(stderr,
-                         "%s: cannot write manifest '%s': %s\n",
-                         tool_.c_str(), opts_.jsonPath.c_str(),
-                         err.c_str());
+            warn_once("%s: cannot write manifest '%s': %s",
+                      tool_.c_str(), opts_.jsonPath.c_str(),
+                      err.c_str());
             return 1;
         }
-        return 0;
+        return rc;
     }
 
   private:
@@ -425,6 +468,8 @@ class BenchHarness
     double startCpuMs_;
     MetricRegistry registry_;
     MetricRegistry *previous_ = nullptr;
+    std::unique_ptr<TraceRecorder> recorder_;
+    TraceRecorder *prevRecorder_ = nullptr;
     std::unique_ptr<SvcClient> svcClient_;
     SimService *prevService_ = nullptr;
     ManifestParams manifestParams_;

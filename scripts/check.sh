@@ -3,7 +3,10 @@
 # plain, AddressSanitizer + UBSan, and UBSan alone (non-recovering) —
 # then diff every figure binary against its committed golden snapshot
 # on both simulator backends, with fast-backend differential shards
-# under every build flavour.
+# under every build flavour. The ctest suites include the trace_smoke
+# gate (scripts/trace_smoke.sh): --trace-out timelines from a bench
+# and from pfitsd must validate via `pfits_report validate-trace`, so
+# the tracing layer gets a sanitized pass too.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"

@@ -6,6 +6,7 @@
 #include "exp/simcache.hh"
 #include "exp/simservice.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "fits/profile.hh"
 #include "fits/serialize.hh"
 #include "mibench/mibench.hh"
@@ -94,18 +95,28 @@ Runner::all()
         ThreadPool &tp = pool();
 
         // Phase 1: front-end work, one job per benchmark.
-        auto preps = parallelMap<Prepared>(
-            tp, missing.size(),
-            [&](size_t i) { return prepare(missing[i]); });
+        std::vector<Prepared> preps;
+        {
+            TraceSpan phase("phase.prepare", "runner",
+                            TraceArgs().add("benches", missing.size()));
+            preps = parallelMap<Prepared>(
+                tp, missing.size(),
+                [&](size_t i) { return prepare(missing[i]); });
+        }
 
         // Phase 2: one job per (benchmark × config) simulation.
         // Results land in slot [bench * 4 + config] — index-addressed,
         // so the assembled tables are byte-identical at any job count.
-        auto cfgs = parallelMap<ConfigResult>(
-            tp, missing.size() * 4, [&](size_t j) {
-                return simulateConfig(preps[j / 4],
-                                      static_cast<ConfigId>(j % 4));
-            });
+        std::vector<ConfigResult> cfgs;
+        {
+            TraceSpan phase("phase.simulate", "runner",
+                            TraceArgs().add("sims", missing.size() * 4));
+            cfgs = parallelMap<ConfigResult>(
+                tp, missing.size() * 4, [&](size_t j) {
+                    return simulateConfig(preps[j / 4],
+                                          static_cast<ConfigId>(j % 4));
+                });
+        }
 
         std::lock_guard<std::mutex> lock(mu_);
         for (size_t i = 0; i < missing.size(); ++i) {
@@ -134,6 +145,8 @@ prepareBenchmark(const std::string &bench_name,
     // translation, timed per benchmark.
     ScopedTimerMs prepare_hist("runner.prepare_ms", 0.0, 500.0, 20);
     ScopedTimerMs prepare_total("runner.phase.prepare_ms");
+    TraceSpan span("prepare", "runner",
+                   TraceArgs().add("bench", bench_name));
 
     const mibench::BenchInfo &info = mibench::findBench(bench_name);
     mibench::Workload workload = info.build();
@@ -172,6 +185,10 @@ Runner::simulateConfig(const Prepared &prep, ConfigId id) const
 {
     // Simulation phase: memo lookup or fresh sim plus power modelling.
     ScopedTimerMs simulate_total("runner.phase.simulate_ms");
+    TraceSpan span("simulate", "runner",
+                   TraceArgs()
+                       .add("bench", prep.result->name)
+                       .add("config", configName(id)));
 
     const std::string &bench_name = prep.result->name;
     bool is_fits = id == ConfigId::FITS16 || id == ConfigId::FITS8;

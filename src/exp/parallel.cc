@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace pfits
 {
@@ -117,6 +118,9 @@ struct ThreadPool::Batch
                                      ".busy_us");
             depth = &metrics->gauge("pool.queue_depth");
         }
+        TraceRecorder *trace = TraceRecorder::current();
+        if (trace)
+            trace->nameThisThread("worker " + std::to_string(worker));
         for (;;) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
@@ -125,6 +129,13 @@ struct ThreadPool::Batch
                 size_t claimed = std::min(i + 1, n);
                 depth->set(static_cast<int64_t>(n - claimed));
             }
+            // One span per claimed job, on this worker's own lane; the
+            // timestamps bracket the whole job (the simulator's inner
+            // loops never see the clock).
+            if (trace)
+                trace->begin("job", "pool",
+                             TraceArgs().add("index", i).add("worker",
+                                                             worker));
             uint64_t t0 = busy ? monotonicNs() : 0;
             std::exception_ptr error;
             std::string message;
@@ -139,6 +150,8 @@ struct ThreadPool::Batch
             }
             if (busy)
                 busy->add((monotonicNs() - t0) / 1000);
+            if (trace)
+                trace->end();
             std::lock_guard<std::mutex> lock(mu);
             if (error) {
                 if (!firstError || i < firstErrorIndex) {

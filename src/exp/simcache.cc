@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace pfits
 {
@@ -346,6 +347,11 @@ SimCache::seed(const SimCacheKey &key, SimResult result)
         if (MetricRegistry *metrics = MetricRegistry::current())
             metrics->gauge("simcache.entries")
                 .set(static_cast<int64_t>(entries()));
+        if (TraceRecorder *trace = TraceRecorder::current())
+            trace->instant("simcache.seed", "simcache",
+                           TraceArgs()
+                               .addHex("program", key.program)
+                               .addHex("config", key.config));
     });
     return inserted;
 }
@@ -365,6 +371,17 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
 
         MetricRegistry *metrics = MetricRegistry::current();
         uint64_t t0 = metrics ? monotonicNs() : 0;
+
+        // One span per fresh simulation (the cost a memo hit saves).
+        // call_once makes the miss/hit split deterministic at any job
+        // count, which is what lets tests pin the span structure.
+        TraceSpan sim_span("sim", "simcache",
+                           TraceArgs()
+                               .add("fe", fe.name())
+                               .add("config", core.name)
+                               .add("tiles", chip.isDefault()
+                                                 ? 1u
+                                                 : chip.tiles));
 
         std::unique_ptr<FaultPlan> plan;
         if (faults.enabled())
@@ -499,6 +516,11 @@ SimCache::computeLocked(Slot &slot, const FrontEnd &fe,
         hits_.fetch_add(1);
         if (MetricRegistry *metrics = MetricRegistry::current())
             metrics->counter("simcache.hits").add();
+        if (TraceRecorder *trace = TraceRecorder::current())
+            trace->instant("simcache.hit", "simcache",
+                           TraceArgs()
+                               .add("fe", fe.name())
+                               .add("config", core.name));
     }
     return slot.value;
 }

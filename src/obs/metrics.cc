@@ -1,5 +1,6 @@
 #include "obs/metrics.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.hh"
@@ -112,6 +113,45 @@ MetricHistogram::overflow() const
     return overflow_;
 }
 
+double
+MetricHistogram::percentile(double p) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return percentileLocked(p);
+}
+
+double
+MetricHistogram::percentileLocked(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return min_;
+    if (p >= 1.0)
+        return max_;
+
+    // Rank of the requested quantile among the count_ samples, then
+    // walk the bins (underflow, buckets, overflow) to the one that
+    // holds it. Underflow samples are only known to be below lo_, so
+    // they answer with the observed min; overflow with the observed
+    // max; a regular bucket interpolates linearly across its width by
+    // the rank's position inside the bucket's population.
+    double rank = p * static_cast<double>(count_);
+    double seen = static_cast<double>(underflow_);
+    if (rank <= seen)
+        return min_;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        double in_bucket = static_cast<double>(counts_[i]);
+        if (rank <= seen + in_bucket) {
+            double frac = in_bucket > 0 ? (rank - seen) / in_bucket : 0;
+            double v = lo_ + (static_cast<double>(i) + frac) * width_;
+            return std::min(std::max(v, min_), max_);
+        }
+        seen += in_bucket;
+    }
+    return max_;
+}
+
 void
 MetricHistogram::writeJson(JsonWriter &w) const
 {
@@ -122,6 +162,9 @@ MetricHistogram::writeJson(JsonWriter &w) const
     w.field("min", count_ ? min_ : 0.0);
     w.field("max", count_ ? max_ : 0.0);
     w.field("mean", count_ ? sum_ / static_cast<double>(count_) : 0.0);
+    w.field("p50", percentileLocked(0.50));
+    w.field("p95", percentileLocked(0.95));
+    w.field("p99", percentileLocked(0.99));
     w.field("bucket_lo", lo_);
     w.field("bucket_width", width_);
     w.field("underflow", underflow_);

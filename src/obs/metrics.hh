@@ -119,10 +119,21 @@ class MetricHistogram
     uint64_t underflow() const;
     uint64_t overflow() const;
 
+    /**
+     * Estimate the @p p quantile (0 <= p <= 1) by linear interpolation
+     * inside the containing bucket. Samples in the underflow bin
+     * resolve to the observed min, overflow to the observed max, and
+     * the result is clamped to [min, max] so a sparse bucket cannot
+     * report a value outside what was actually sampled. 0 when empty.
+     */
+    double percentile(double p) const;
+
     /** {"count":..,"sum":..,"min":..,"max":..,"buckets":[..]} */
     void writeJson(JsonWriter &w) const;
 
   private:
+    double percentileLocked(double p) const;
+
     const double lo_;
     const double width_;
 

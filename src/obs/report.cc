@@ -297,6 +297,10 @@ diffFindingKindName(DiffFinding::Kind kind)
       case DiffFinding::Kind::BenchMissing: return "bench-missing";
       case DiffFinding::Kind::BenchAdded: return "bench-added";
       case DiffFinding::Kind::TimeRegression: return "time-regression";
+      case DiffFinding::Kind::MetricMissing: return "metric-missing";
+      case DiffFinding::Kind::MetricAdded: return "metric-added";
+      case DiffFinding::Kind::MetricKindChanged:
+        return "metric-kind-changed";
       default: panic("bad DiffFinding::Kind");
     }
 }
@@ -418,6 +422,65 @@ diffTime(double base_ms, double fresh_ms, const std::string &where,
     }
 }
 
+/** "counter"/"gauge"/"histogram" from a metric's serialized shape. */
+const char *
+metricKind(const JsonValue &v)
+{
+    if (v.isNumber())
+        return "counter";
+    if (v.isObject())
+        return v.get("buckets").isArray() ? "histogram" : "gauge";
+    return "other";
+}
+
+/**
+ * Compare the two metrics objects by key presence and instrument kind
+ * only — values (counts, timings) legitimately vary run to run. A key
+ * that disappeared, or changed kind, means instrumentation was lost or
+ * repurposed and gates; a new key is fresh instrumentation and is
+ * informational. Per-worker keys ("pool.worker.N.*") are skipped:
+ * their population is shaped by the --jobs setting of the machine that
+ * produced the manifest, not by the code under test.
+ */
+void
+diffMetrics(const JsonValue &base, const JsonValue &fresh,
+            const std::string &where, DiffResult &result)
+{
+    if (!base.isObject() || !fresh.isObject())
+        return;
+    auto machine_shaped = [](const std::string &key) {
+        return key.rfind("pool.worker.", 0) == 0;
+    };
+    for (const auto &[key, bval] : base.members()) {
+        if (machine_shaped(key))
+            continue;
+        const JsonValue &fval = fresh.get(key);
+        if (fval.isNull()) {
+            result.findings.push_back(
+                {DiffFinding::Kind::MetricMissing,
+                 where + "/metrics." + key,
+                 "metric present in baseline only"});
+            continue;
+        }
+        const char *bkind = metricKind(bval);
+        const char *fkind = metricKind(fval);
+        if (std::string(bkind) != fkind)
+            result.findings.push_back(
+                {DiffFinding::Kind::MetricKindChanged,
+                 where + "/metrics." + key,
+                 std::string(bkind) + " -> " + fkind});
+    }
+    for (const auto &[key, fval] : fresh.members()) {
+        (void)fval;
+        if (machine_shaped(key))
+            continue;
+        if (base.get(key).isNull())
+            result.findings.push_back({DiffFinding::Kind::MetricAdded,
+                                       where + "/metrics." + key,
+                                       "metric new in this run"});
+    }
+}
+
 std::map<std::string, const JsonValue *>
 indexBenches(const JsonValue &suite)
 {
@@ -489,6 +552,10 @@ diffSuites(const JsonValue &baseline, const JsonValue &fresh,
                     {DiffFinding::Kind::ShapeChanged,
                      tool + "/" + title, "table added"});
         }
+
+        if (!options.ignoreMetrics)
+            diffMetrics(base_bench->get("metrics"),
+                        fresh_bench.get("metrics"), tool, result);
 
         diffTime(numberOr(base_bench->get("time").get("wall_ms"), 0),
                  numberOr(fresh_bench.get("time").get("wall_ms"), 0),

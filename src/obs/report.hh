@@ -59,6 +59,14 @@ struct DiffOptions
 
     /** Skip wall-time comparison entirely (cross-machine baselines). */
     bool ignoreTime = false;
+
+    /**
+     * Skip metric key-set comparison entirely. For diffs across
+     * deployment modes (daemon-warm vs local sweeps), where the set of
+     * touched instruments legitimately differs while the result
+     * tables must not.
+     */
+    bool ignoreMetrics = false;
 };
 
 /** One discrepancy found by diffSuites. */
@@ -72,6 +80,9 @@ struct DiffFinding
         BenchMissing,   //!< bench present in baseline only
         BenchAdded,     //!< bench present in the new run only
         TimeRegression, //!< wall time grew beyond the threshold
+        MetricMissing,    //!< metric key present in baseline only
+        MetricAdded,      //!< metric key new in this run (informational)
+        MetricKindChanged, //!< counter/gauge/histogram kind flipped
     };
 
     Kind kind;
@@ -90,12 +101,17 @@ struct DiffResult
     unsigned tablesCompared = 0;
     unsigned cellsCompared = 0;
 
-    /** True when any finding should fail a CI gate. */
+    /**
+     * True when any finding should fail a CI gate. Additions —
+     * a new bench, or a new metric key (fresh instrumentation) — are
+     * informational; removals and kind changes still gate.
+     */
     bool
     regression() const
     {
         for (const DiffFinding &f : findings)
-            if (f.kind != DiffFinding::Kind::BenchAdded)
+            if (f.kind != DiffFinding::Kind::BenchAdded &&
+                f.kind != DiffFinding::Kind::MetricAdded)
                 return true;
         return false;
     }

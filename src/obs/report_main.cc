@@ -13,9 +13,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "common/fileio.hh"
 #include "common/logging.hh"
@@ -40,8 +45,16 @@ usage(std::ostream &os)
           "      schema-check a manifest or suite document\n"
           "  diff <baseline.json> <new.json> [--tol X] [--time-tol X]\n"
           "       [--time-floor-ms X] [--ignore-time]\n"
+          "       [--ignore-metrics]\n"
           "      compare two suite files; exit 1 on value drift,\n"
-          "      shape changes, or wall-time regressions\n";
+          "      shape changes, metric-key changes, or wall-time\n"
+          "      regressions\n"
+          "  validate-trace <trace.json>\n"
+          "      structural check of a --trace-out Chrome trace-event\n"
+          "      file: well-formed events, balanced B/E per track\n"
+          "  stats --daemon=SOCK\n"
+          "      query a live pfitsd for its store/metrics snapshot\n"
+          "      and print the response document\n";
     return 2;
 }
 
@@ -173,6 +186,8 @@ cmdDiff(const std::vector<std::string> &args)
                 options.timeFloorMs = v;
         } else if (a == "--ignore-time") {
             options.ignoreTime = true;
+        } else if (a == "--ignore-metrics") {
+            options.ignoreMetrics = true;
         } else if (!a.empty() && a[0] == '-') {
             std::cerr << "pfits_report: unknown flag '" << a << "'\n";
             return usage(std::cerr);
@@ -211,6 +226,213 @@ cmdDiff(const std::vector<std::string> &args)
     return result.regression() ? 1 : 0;
 }
 
+int
+cmdValidateTrace(const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage(std::cerr);
+    const std::string &path = args[0];
+    pfits::JsonValue doc;
+    try {
+        doc = pfits::JsonValue::parseFile(path);
+    } catch (const pfits::FatalError &err) {
+        std::cerr << "pfits_report: " << path << ": " << err.what()
+                  << "\n";
+        return 2;
+    }
+
+    auto invalid = [&](const std::string &why) {
+        std::cerr << path << ": INVALID: " << why << "\n";
+        return 1;
+    };
+
+    if (!doc.isObject() || !doc.get("traceEvents").isArray())
+        return invalid("missing array 'traceEvents'");
+    const auto &events = doc.get("traceEvents").asArray();
+    if (events.empty())
+        return invalid("empty trace (no events recorded)");
+
+    // Per-tid open-span depth: every "E" must close an earlier "B" on
+    // the same track, and every track must end closed. Timestamps must
+    // be non-decreasing — the recorder sorts at flush, so disorder
+    // here means a merge bug, not clock noise.
+    std::map<double, int> depth; // tid -> open spans
+    size_t tracks = 0;
+    double last_ts = -1;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const pfits::JsonValue &e = events[i];
+        std::string where = "traceEvents[" + std::to_string(i) + "]";
+        if (!e.isObject() || !e.get("ph").isString())
+            return invalid(where + ": missing string 'ph'");
+        const std::string &ph = e.get("ph").asString();
+        if (!e.get("pid").isNumber() || !e.get("tid").isNumber())
+            return invalid(where + ": missing numeric pid/tid");
+        double tid = e.get("tid").asNumber();
+        if (ph == "M") {
+            if (!e.get("name").isString() ||
+                e.get("name").asString() != "thread_name" ||
+                !e.get("args").isObject() ||
+                !e.get("args").get("name").isString())
+                return invalid(where + ": malformed thread_name record");
+            ++tracks;
+            continue;
+        }
+        if (ph != "B" && ph != "E" && ph != "i")
+            return invalid(where + ": unexpected phase '" + ph + "'");
+        if (!e.get("ts").isNumber() || e.get("ts").asNumber() < 0)
+            return invalid(where + ": missing non-negative 'ts'");
+        double ts = e.get("ts").asNumber();
+        if (ts < last_ts)
+            return invalid(where + ": timestamps out of order");
+        last_ts = ts;
+        if (ph == "B") {
+            if (!e.get("name").isString())
+                return invalid(where + ": B event without a name");
+            ++depth[tid];
+        } else if (ph == "E") {
+            if (depth[tid] <= 0)
+                return invalid(where + ": E without a matching B on tid " +
+                               std::to_string(static_cast<long>(tid)));
+            --depth[tid];
+        } else {
+            if (!e.get("name").isString())
+                return invalid(where + ": instant without a name");
+            if (!e.get("s").isString())
+                return invalid(where + ": instant without a scope");
+        }
+    }
+    for (const auto &[tid, d] : depth)
+        if (d != 0)
+            return invalid("track " +
+                           std::to_string(static_cast<long>(tid)) +
+                           " ends with " + std::to_string(d) +
+                           " unclosed span(s)");
+
+    std::cout << path << ": OK (" << events.size() << " events, "
+              << tracks << " named tracks)\n";
+    return 0;
+}
+
+/**
+ * Minimal pfits-svc-v1 transport for the `stats` query: a 4-byte
+ * big-endian length prefix framing one JSON document over AF_UNIX.
+ * Re-implemented here (rather than linking pfits_svc) so pfits_report
+ * stays a lean obs-layer tool without dragging in the simulator.
+ */
+bool
+statsRoundTrip(const std::string &socket_path, const std::string &request,
+               std::string *response, std::string *err)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        *err = "socket path too long";
+        return false;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        *err = socket_path + ": " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+
+    auto writeAll = [&](const char *p, size_t n) {
+        while (n > 0) {
+            ssize_t w = ::write(fd, p, n);
+            if (w <= 0)
+                return false;
+            p += w;
+            n -= static_cast<size_t>(w);
+        }
+        return true;
+    };
+    auto readAll = [&](char *p, size_t n) {
+        while (n > 0) {
+            ssize_t r = ::read(fd, p, n);
+            if (r <= 0)
+                return false;
+            p += r;
+            n -= static_cast<size_t>(r);
+        }
+        return true;
+    };
+
+    char hdr[4] = {
+        static_cast<char>((request.size() >> 24) & 0xff),
+        static_cast<char>((request.size() >> 16) & 0xff),
+        static_cast<char>((request.size() >> 8) & 0xff),
+        static_cast<char>(request.size() & 0xff),
+    };
+    bool ok = writeAll(hdr, 4) && writeAll(request.data(), request.size());
+    if (ok)
+        ok = readAll(hdr, 4);
+    if (ok) {
+        uint32_t len = 0;
+        for (char c : hdr)
+            len = (len << 8) | static_cast<uint8_t>(c);
+        if (len == 0 || len > (64u << 20)) {
+            ok = false;
+        } else {
+            response->resize(len);
+            ok = readAll(&(*response)[0], len);
+        }
+    }
+    ::close(fd);
+    if (!ok && err->empty())
+        *err = "daemon closed the connection mid-frame";
+    return ok;
+}
+
+int
+cmdStats(const std::vector<std::string> &args)
+{
+    std::string socket_path;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--daemon") {
+            if (++i >= args.size())
+                return usage(std::cerr);
+            socket_path = args[i];
+        } else if (a.rfind("--daemon=", 0) == 0) {
+            socket_path = a.substr(9);
+        } else {
+            return usage(std::cerr);
+        }
+    }
+    if (socket_path.empty())
+        return usage(std::cerr);
+
+    // The wire schema tag lives in svc/proto.hh, which pfits_report
+    // does not link; the literal is part of the documented protocol.
+    std::string request = "{\"schema\":\"pfits-svc-v1\",\"op\":\"stats\"}";
+
+    std::string response, err;
+    if (!statsRoundTrip(socket_path, request, &response, &err)) {
+        std::cerr << "pfits_report: stats: " << err << "\n";
+        return 2;
+    }
+
+    pfits::JsonValue doc;
+    try {
+        doc = pfits::JsonValue::parse(response);
+    } catch (const pfits::FatalError &e) {
+        std::cerr << "pfits_report: stats: bad response: " << e.what()
+                  << "\n";
+        return 2;
+    }
+    pfits::writeJsonDocument(std::cout, doc);
+    std::cout << "\n";
+    return doc.get("ok").isBool() && doc.get("ok").asBool() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -226,6 +448,10 @@ main(int argc, char **argv)
         return cmdValidate(args);
     if (cmd == "diff")
         return cmdDiff(args);
+    if (cmd == "validate-trace")
+        return cmdValidateTrace(args);
+    if (cmd == "stats")
+        return cmdStats(args);
     if (cmd == "-h" || cmd == "--help" || cmd == "help")
         return usage(std::cout), 0;
     std::cerr << "pfits_report: unknown command '" << cmd << "'\n";

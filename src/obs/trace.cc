@@ -1,0 +1,319 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/fileio.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace pfits
+{
+
+std::atomic<TraceRecorder *> TraceRecorder::current_{nullptr};
+std::atomic<uint64_t> TraceRecorder::nextGen_{0};
+
+// --- TraceArgs -----------------------------------------------------------
+
+std::string &
+TraceArgs::prefix(std::string_view key)
+{
+    if (!json_.empty())
+        json_ += ',';
+    json_ += '"';
+    json_ += jsonEscapeString(std::string(key));
+    json_ += "\":";
+    return json_;
+}
+
+TraceArgs &
+TraceArgs::add(std::string_view key, std::string_view value)
+{
+    std::string &j = prefix(key);
+    j += '"';
+    j += jsonEscapeString(std::string(value));
+    j += '"';
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(std::string_view key, const char *value)
+{
+    return add(key, std::string_view(value ? value : ""));
+}
+
+TraceArgs &
+TraceArgs::add(std::string_view key, uint64_t value)
+{
+    prefix(key) += std::to_string(value);
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(std::string_view key, int64_t value)
+{
+    prefix(key) += std::to_string(value);
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(std::string_view key, int value)
+{
+    return add(key, static_cast<int64_t>(value));
+}
+
+TraceArgs &
+TraceArgs::add(std::string_view key, unsigned value)
+{
+    return add(key, static_cast<uint64_t>(value));
+}
+
+TraceArgs &
+TraceArgs::add(std::string_view key, double value)
+{
+    prefix(key) += jsonFormatDouble(value);
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(std::string_view key, bool value)
+{
+    prefix(key) += value ? "true" : "false";
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::addHex(std::string_view key, uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\"0x%" PRIx64 "\"", value);
+    prefix(key) += buf;
+    return *this;
+}
+
+// --- TraceRecorder -------------------------------------------------------
+
+TraceRecorder::TraceRecorder()
+    : gen_(nextGen_.fetch_add(1, std::memory_order_relaxed) + 1),
+      epochNs_(monotonicNs())
+{
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder *
+TraceRecorder::install(TraceRecorder *recorder)
+{
+    return current_.exchange(recorder, std::memory_order_acq_rel);
+}
+
+namespace
+{
+
+/**
+ * Per-thread cache of "my buffer in that recorder". The generation
+ * pins the cache to one recorder *instance*: a later recorder at the
+ * same address gets a different gen_ and misses the cache, so a stale
+ * ThreadBuf pointer is never dereferenced.
+ */
+struct ThreadBufCache
+{
+    const void *owner = nullptr;
+    uint64_t gen = 0;
+    void *buf = nullptr;
+};
+
+thread_local ThreadBufCache tl_trace_cache;
+
+} // namespace
+
+TraceRecorder::ThreadBuf &
+TraceRecorder::buf()
+{
+    ThreadBufCache &c = tl_trace_cache;
+    if (c.owner == this && c.gen == gen_)
+        return *static_cast<ThreadBuf *>(c.buf);
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs_.push_back(std::make_unique<ThreadBuf>());
+    ThreadBuf &b = *bufs_.back();
+    b.lane = nextLane_.fetch_add(1, std::memory_order_relaxed);
+    c.owner = this;
+    c.gen = gen_;
+    c.buf = &b;
+    return b;
+}
+
+uint32_t
+TraceRecorder::threadLane()
+{
+    return buf().lane;
+}
+
+void
+TraceRecorder::begin(std::string_view name, std::string_view cat,
+                     const TraceArgs &args)
+{
+    ThreadBuf &b = buf();
+    b.events.push_back({Event::Phase::Begin, b.lane, monotonicNs(),
+                        std::string(name), std::string(cat),
+                        args.fragment()});
+}
+
+void
+TraceRecorder::end()
+{
+    ThreadBuf &b = buf();
+    b.events.push_back(
+        {Event::Phase::End, b.lane, monotonicNs(), "", "", ""});
+}
+
+void
+TraceRecorder::instant(std::string_view name, std::string_view cat,
+                       const TraceArgs &args)
+{
+    ThreadBuf &b = buf();
+    b.events.push_back({Event::Phase::Instant, b.lane, monotonicNs(),
+                        std::string(name), std::string(cat),
+                        args.fragment()});
+}
+
+void
+TraceRecorder::beginLane(uint32_t lane, std::string_view name,
+                         std::string_view cat, const TraceArgs &args)
+{
+    buf().events.push_back({Event::Phase::Begin, lane, monotonicNs(),
+                            std::string(name), std::string(cat),
+                            args.fragment()});
+}
+
+void
+TraceRecorder::endLane(uint32_t lane)
+{
+    buf().events.push_back(
+        {Event::Phase::End, lane, monotonicNs(), "", "", ""});
+}
+
+void
+TraceRecorder::instantLane(uint32_t lane, std::string_view name,
+                           std::string_view cat, const TraceArgs &args)
+{
+    buf().events.push_back({Event::Phase::Instant, lane, monotonicNs(),
+                            std::string(name), std::string(cat),
+                            args.fragment()});
+}
+
+void
+TraceRecorder::nameThisThread(std::string_view name)
+{
+    nameLane(threadLane(), name);
+}
+
+void
+TraceRecorder::nameLane(uint32_t lane, std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    laneNames_[lane] = std::string(name);
+}
+
+uint64_t
+TraceRecorder::newTraceId()
+{
+    // Stir the monotonic epoch into a per-process counter so ids from
+    // a client and a daemon started in the same second still differ.
+    uint64_t n = nextTraceId_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t id = (epochNs_ ^ (n * UINT64_C(0x9e3779b97f4a7c15)));
+    return id ? id : 1;
+}
+
+size_t
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto &b : bufs_)
+        n += b->events.size();
+    return n;
+}
+
+void
+TraceRecorder::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    // Merge every thread's buffer, then stable-sort by timestamp:
+    // per-buffer order is chronological for its lanes, and stability
+    // keeps a span's B before its E when they share a timestamp.
+    std::vector<const Event *> merged;
+    size_t total = 0;
+    for (const auto &b : bufs_)
+        total += b->events.size();
+    merged.reserve(total);
+    for (const auto &b : bufs_)
+        for (const Event &e : b->events)
+            merged.push_back(&e);
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Event *a, const Event *b) {
+                         return a->tsNs < b->tsNs;
+                     });
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Track metadata first: Perfetto reads thread_name "M" records to
+    // label each tid's track.
+    for (const auto &[lane, name] : laneNames_) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+              "\"tid\":"
+           << lane << ",\"args\":{\"name\":\""
+           << jsonEscapeString(name) << "\"}}";
+    }
+
+    char ts[32];
+    for (const Event *e : merged) {
+        sep();
+        // Microseconds relative to recorder construction; every event
+        // is recorded after construction so this never goes negative.
+        std::snprintf(ts, sizeof(ts), "%.3f",
+                      static_cast<double>(e->tsNs - epochNs_) / 1e3);
+        switch (e->phase) {
+          case Event::Phase::Begin:
+            os << "{\"ph\":\"B\"";
+            break;
+          case Event::Phase::End:
+            os << "{\"ph\":\"E\"";
+            break;
+          case Event::Phase::Instant:
+            // Thread-scoped instants: a tick on the lane's own track.
+            os << "{\"ph\":\"i\",\"s\":\"t\"";
+            break;
+        }
+        os << ",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << e->lane;
+        if (!e->name.empty())
+            os << ",\"name\":\"" << jsonEscapeString(e->name) << "\"";
+        if (!e->cat.empty())
+            os << ",\"cat\":\"" << jsonEscapeString(e->cat) << "\"";
+        if (!e->args.empty())
+            os << ",\"args\":{" << e->args << "}";
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+bool
+TraceRecorder::writeFile(const std::string &path, std::string *err) const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return writeFileAtomic(path, os.str(), err);
+}
+
+} // namespace pfits

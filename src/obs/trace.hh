@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Timeline tracing: nested duration spans and instant events emitted
+ * as Chrome trace-event JSON, loadable in Perfetto or chrome://tracing
+ * (docs/OBSERVABILITY.md "Tracing").
+ *
+ * The design mirrors MetricRegistry: a process-wide recorder is
+ * install()ed for the duration of a --trace-out run, and every
+ * instrumentation site starts with one acquire load of current().
+ * When no recorder is installed — the default — that load returns
+ * nullptr, every helper is a predictable branch, and nothing else
+ * happens: no clock reads, no allocation, no locks. The Machine::run
+ * and Tile::step hot loops are never instrumented at all; timestamps
+ * are taken only at span boundaries (a Runner phase, a ThreadPool job,
+ * a chip quantum, a daemon request).
+ *
+ * Recording is thread-safe without cross-thread contention: each
+ * thread appends to its own buffer (registered once under a mutex,
+ * then written lock-free by its single owner), and writeJson() merges
+ * the buffers into one time-sorted event stream. The flush contract
+ * is quiesce-then-write: uninstall the recorder (or join the threads
+ * that used it) before calling writeJson()/writeFile().
+ *
+ * Track layout: every thread gets a lane (tid in the trace) named via
+ * nameThisThread(); events default to the calling thread's lane.
+ * Synthetic lanes — per-(worker, tile) quantum tracks, the daemon's
+ * per-request view — are addressed explicitly with the *Lane forms
+ * and named with nameLane(). Begin/end pairs on one lane must come
+ * from one thread (they nest as a stack in the viewer).
+ */
+
+#ifndef POWERFITS_OBS_TRACE_HH
+#define POWERFITS_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfits
+{
+
+/**
+ * Builder for a span's "args" object: a flat set of key/value pairs
+ * shown in the Perfetto detail panel. Accumulates an escaped JSON
+ * fragment so the recorder stores one string per event, not a map.
+ */
+class TraceArgs
+{
+  public:
+    TraceArgs &add(std::string_view key, std::string_view value);
+    TraceArgs &add(std::string_view key, const char *value);
+    TraceArgs &add(std::string_view key, uint64_t value);
+    TraceArgs &add(std::string_view key, int64_t value);
+    TraceArgs &add(std::string_view key, int value);
+    TraceArgs &add(std::string_view key, unsigned value);
+    TraceArgs &add(std::string_view key, double value);
+    TraceArgs &add(std::string_view key, bool value);
+
+    /** uint64 as a 0x-prefixed hex string (lossless in JSON). */
+    TraceArgs &addHex(std::string_view key, uint64_t value);
+
+    /** The accumulated fragment, without the enclosing braces. */
+    const std::string &fragment() const { return json_; }
+    bool empty() const { return json_.empty(); }
+
+  private:
+    std::string &prefix(std::string_view key);
+    std::string json_;
+};
+
+/**
+ * The process-wide span/event recorder. One per --trace-out run;
+ * see the file comment for the threading and flush contract.
+ */
+class TraceRecorder
+{
+  public:
+    TraceRecorder();
+    ~TraceRecorder();
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** The installed recorder, or nullptr (the zero-overhead default). */
+    static TraceRecorder *
+    current()
+    {
+        return current_.load(std::memory_order_acquire);
+    }
+
+    /** Install @p recorder process-wide; @return the previous one. */
+    static TraceRecorder *install(TraceRecorder *recorder);
+
+    // -- recording (call on any thread) -----------------------------------
+
+    /** Open a duration span on the calling thread's lane. */
+    void begin(std::string_view name, std::string_view cat,
+               const TraceArgs &args = {});
+    /** Close the innermost open span on the calling thread's lane. */
+    void end();
+
+    /** An instant event (a zero-width tick) on the calling thread. */
+    void instant(std::string_view name, std::string_view cat,
+                 const TraceArgs &args = {});
+
+    /** Span/instant on an explicit lane (tile tracks, request lanes). */
+    void beginLane(uint32_t lane, std::string_view name,
+                   std::string_view cat, const TraceArgs &args = {});
+    void endLane(uint32_t lane);
+    void instantLane(uint32_t lane, std::string_view name,
+                     std::string_view cat, const TraceArgs &args = {});
+
+    /** The calling thread's lane id (stable for the thread's life). */
+    uint32_t threadLane();
+
+    /** Name the calling thread's track in the viewer ("worker 3"). */
+    void nameThisThread(std::string_view name);
+
+    /** Name an explicit lane's track ("w1 tile 2"). Idempotent. */
+    void nameLane(uint32_t lane, std::string_view name);
+
+    /**
+     * A fresh nonzero trace/span id for cross-process correlation
+     * (the pfits-svc-v1 "trace" field). Unique within this process.
+     */
+    uint64_t newTraceId();
+
+    // -- draining (call after quiescence) ---------------------------------
+
+    /** Total recorded events across all thread buffers. */
+    size_t eventCount() const;
+
+    /**
+     * Emit everything as one Chrome trace-event JSON document:
+     * {"traceEvents":[...]} with "M" thread_name metadata first, then
+     * all events time-sorted, timestamps in microseconds relative to
+     * the recorder's construction.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** writeJson to @p path atomically; false + *err on I/O failure. */
+    bool writeFile(const std::string &path, std::string *err) const;
+
+  private:
+    struct Event
+    {
+        enum class Phase : uint8_t { Begin, End, Instant };
+        Phase phase;
+        uint32_t lane;
+        uint64_t tsNs;     //!< absolute monotonicNs at record time
+        std::string name;  //!< empty for End
+        std::string cat;
+        std::string args;  //!< TraceArgs fragment ("" = no args)
+    };
+
+    struct ThreadBuf
+    {
+        uint32_t lane = 0;
+        std::vector<Event> events;
+    };
+
+    ThreadBuf &buf(); //!< this thread's buffer (registers on first use)
+
+    const uint64_t gen_;     //!< invalidates stale thread_local caches
+    const uint64_t epochNs_; //!< construction time; ts origin at flush
+
+    mutable std::mutex mu_; //!< guards bufs_/laneNames_ registration
+    std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+    std::map<uint32_t, std::string> laneNames_;
+    std::atomic<uint32_t> nextLane_{0};
+    std::atomic<uint64_t> nextTraceId_{1};
+
+    static std::atomic<TraceRecorder *> current_;
+    static std::atomic<uint64_t> nextGen_;
+};
+
+/**
+ * RAII duration span: opens on the current recorder at construction
+ * (no-op when none is installed) and closes on the same recorder at
+ * destruction — balanced even if the recorder is uninstalled while
+ * the span is open, since flush happens after quiescence.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(std::string_view name, std::string_view cat,
+              const TraceArgs &args = {})
+        : rec_(TraceRecorder::current())
+    {
+        if (rec_)
+            rec_->begin(name, cat, args);
+    }
+
+    ~TraceSpan()
+    {
+        if (rec_)
+            rec_->end();
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** The recorder this span opened on (nullptr = tracing disabled). */
+    TraceRecorder *recorder() const { return rec_; }
+
+  private:
+    TraceRecorder *rec_;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_OBS_TRACE_HH

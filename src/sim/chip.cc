@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "sim/probe.hh"
 
 namespace pfits
@@ -102,6 +103,27 @@ Chip::run()
         fatal("chip: run() called twice");
     ran_ = true;
 
+    // Per-tile timeline tracks: quantum slices as duration spans,
+    // coherence events as instants. Lanes are per-(thread, tile) so
+    // concurrent Chip::run calls on different workers never interleave
+    // begin/end pairs on a shared track; the clock is read only at
+    // quantum boundaries (tile.step itself stays untouched — tracing
+    // is a pure function of the observer data, never of the results).
+    TraceRecorder *trace = TraceRecorder::current();
+    uint32_t lane_base = 0;
+    std::vector<CoherenceEvent> coh_events;
+    constexpr size_t kCoherenceCapPerQuantum = 256;
+    if (trace) {
+        lane_base = (trace->threadLane() + 1) * 256;
+        for (unsigned t = 0; t < config_.tiles; ++t)
+            trace->nameLane(lane_base + t,
+                            "w" + std::to_string(trace->threadLane()) +
+                                " tile " + std::to_string(t));
+        coh_events.reserve(kCoherenceCapPerQuantum);
+        bridge_.traceBuf = &coh_events;
+        bridge_.traceCap = kCoherenceCapPerQuantum;
+    }
+
     // The determinism contract (header): tiles execute one quantum at
     // a time in tile order, on this thread, until all are done. Every
     // coherence action is synchronous within the executing tile's L2
@@ -114,10 +136,37 @@ Chip::run()
             Tile &tile = *tiles_[t];
             if (tile.done())
                 continue;
+            if (trace)
+                trace->beginLane(lane_base + t, "quantum", "chip",
+                                 TraceArgs().add("tile", t));
             tile.step(config_.quantum, nullptr, observers_[t]);
+            if (trace) {
+                // Stamp this quantum's buffered coherence events at
+                // the boundary: position over precision, capped so a
+                // pathological sharing storm cannot flood the trace.
+                for (const CoherenceEvent &e : coh_events)
+                    trace->instantLane(
+                        lane_base + t, coherenceEventKindName(e.kind),
+                        "coherence",
+                        TraceArgs()
+                            .add("tile", e.tile)
+                            .addHex("line", e.lineAddr)
+                            .add("l2_hit", e.l2Hit)
+                            .add("dirty", e.dirty));
+                if (bridge_.traceSeen > coh_events.size())
+                    trace->instantLane(
+                        lane_base + t, "coherence.dropped", "coherence",
+                        TraceArgs().add("dropped",
+                                        bridge_.traceSeen -
+                                            coh_events.size()));
+                coh_events.clear();
+                bridge_.traceSeen = 0;
+                trace->endLane(lane_base + t);
+            }
             pending = pending || !tile.done();
         }
     }
+    bridge_.traceBuf = nullptr;
 
     ChipResult out;
     out.tiles.reserve(config_.tiles);

@@ -162,9 +162,19 @@ class Chip
         {
             if (list && !list->empty())
                 list->coherence(event);
+            // Timeline tracing buffers events here and stamps them at
+            // the quantum boundary: no clock reads inside tile.step.
+            if (traceBuf) {
+                ++traceSeen;
+                if (traceBuf->size() < traceCap)
+                    traceBuf->push_back(event);
+            }
         }
 
         ObserverList *list = nullptr;
+        std::vector<CoherenceEvent> *traceBuf = nullptr;
+        size_t traceCap = 0;
+        uint64_t traceSeen = 0;
     };
 
     ChipConfig config_;

@@ -15,6 +15,7 @@
 #include "common/logging.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "svc/proto.hh"
 
 namespace pfits
@@ -322,10 +323,20 @@ SvcClient::simulate(const SimRequest &request)
 
     bumpCounter("svc.requests");
 
+    // A fresh trace id, generated only when a recorder is installed
+    // and propagated as the optional "trace" wire field: the daemon
+    // tags its request-lifecycle spans with the same id, so a client
+    // trace and the daemon's trace join on it after the fact. Servers
+    // ignore unknown request fields, so old daemons are unaffected.
+    TraceRecorder *trace = TraceRecorder::current();
+    const uint64_t trace_id = trace ? trace->newTraceId() : 0;
+
     std::ostringstream os;
     JsonWriter w(os, 0);
     w.beginObject();
     w.field("schema", kSvcSchema);
+    if (trace_id)
+        w.field("trace", hexString(trace_id));
     if (request.bench.empty()) {
         // Not suite-addressable: the daemon can only answer from its
         // store, so ask for the entry and a lease to fill it.
@@ -357,7 +368,20 @@ SvcClient::simulate(const SimRequest &request)
     w.endObject();
 
     std::string response;
-    if (!roundTrip(os.str(), &response))
+    bool round_trip_ok;
+    {
+        // The span brackets the whole wire exchange, retries and
+        // backoff included; its "trace" arg is what joins it to the
+        // daemon-side "svc.request" span carrying the same id.
+        TraceSpan span("svc.request", "svc",
+                       TraceArgs()
+                           .add("op",
+                                request.bench.empty() ? "get" : "sim")
+                           .add("bench", request.bench)
+                           .addHex("trace", trace_id));
+        round_trip_ok = roundTrip(os.str(), &response);
+    }
+    if (!round_trip_ok)
         return fallback(request, /*try_put=*/false);
 
     JsonValue v;

@@ -14,11 +14,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/logging.hh"
 #include "exp/simcache.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "svc/server.hh"
 
 namespace
@@ -53,7 +56,10 @@ usage(const char *argv0)
         "  --default-deadline-ms N per-request deadline when the "
         "client sends none (default 60000)\n"
         "  --test-compute-delay-ms N  stall every computation "
-        "(deadline tests only)\n",
+        "(deadline tests only)\n"
+        "  --trace-out FILE        write a Chrome trace-event JSON "
+        "timeline of the daemon's request/store/compute activity at "
+        "shutdown (Perfetto-loadable; docs/OBSERVABILITY.md)\n",
         argv0);
 }
 
@@ -75,6 +81,7 @@ main(int argc, char **argv)
 {
     pfits::SvcServerConfig cfg;
     uint64_t simcache_max = 0;
+    std::string trace_out;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -127,6 +134,15 @@ main(int argc, char **argv)
                 return 2;
             }
             cfg.testComputeDelayMs = static_cast<int>(v);
+        } else if (arg == "--trace-out") {
+            trace_out = next("--trace-out");
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(12);
+            if (trace_out.empty()) {
+                std::fprintf(stderr,
+                             "--trace-out= wants a file path\n");
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -139,6 +155,18 @@ main(int argc, char **argv)
 
     if (simcache_max)
         pfits::SimCache::instance().setMaxEntries(simcache_max);
+
+    // The daemon always runs with a metric registry so the `stats`
+    // wire op can answer with live engine metrics; the trace recorder
+    // is installed only for --trace-out runs and flushed at shutdown,
+    // after server.stop() has joined every recording thread.
+    pfits::MetricRegistry metrics;
+    pfits::MetricRegistry::install(&metrics);
+    std::unique_ptr<pfits::TraceRecorder> recorder;
+    if (!trace_out.empty()) {
+        recorder = std::make_unique<pfits::TraceRecorder>();
+        pfits::TraceRecorder::install(recorder.get());
+    }
 
     struct sigaction sa;
     std::memset(&sa, 0, sizeof(sa));
@@ -162,6 +190,19 @@ main(int argc, char **argv)
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
     server.stop();
+
+    int rc = 0;
+    if (recorder) {
+        pfits::TraceRecorder::install(nullptr);
+        std::string terr;
+        if (!recorder->writeFile(trace_out, &terr)) {
+            warn_once("pfitsd: cannot write trace '%s': %s",
+                      trace_out.c_str(), terr.c_str());
+            rc = 1;
+        }
+    }
+    pfits::MetricRegistry::install(nullptr);
+
     std::printf("pfitsd: stopped\n");
-    return 0;
+    return rc;
 }

@@ -13,6 +13,8 @@
 #include "common/logging.hh"
 #include "exp/simcache.hh"
 #include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "svc/proto.hh"
 
 namespace pfits
@@ -160,6 +162,7 @@ SvcServer::start(std::string *err)
     }
 
     stop_ = false;
+    startMs_ = nowMs();
     unsigned workers = config_.computeThreads ? config_.computeThreads
                                               : 1;
     for (unsigned i = 0; i < workers; ++i)
@@ -242,6 +245,8 @@ SvcServer::acceptLoop()
 void
 SvcServer::connectionLoop(int fd)
 {
+    if (TraceRecorder *trace = TraceRecorder::current())
+        trace->nameThisThread("svc-conn");
     while (!stop_) {
         std::string payload, err;
         if (!recvFrame(fd, &payload, 0, &err))
@@ -268,6 +273,8 @@ SvcServer::connectionLoop(int fd)
 void
 SvcServer::workerLoop()
 {
+    if (TraceRecorder *trace = TraceRecorder::current())
+        trace->nameThisThread("svc-worker");
     while (true) {
         std::function<void()> job;
         {
@@ -302,6 +309,17 @@ SvcServer::handleRequest(const std::string &payload)
         return errorResponse("unsupported schema");
 
     const std::string &op = req.get("op").asString();
+
+    // Request-lifecycle span, tagged with the client's propagated
+    // trace id (the optional "trace" wire field) so a daemon-side
+    // trace file joins against the client's timeline after the fact.
+    uint64_t trace_id = 0;
+    if (TraceRecorder::current() && req.get("trace").isString())
+        (void)parseHexU64(req.get("trace").asString(), &trace_id);
+    TraceSpan request_span("svc.request", "svc",
+                           TraceArgs().add("op", op).addHex("trace",
+                                                            trace_id));
+
     if (op == "hello") {
         std::ostringstream os;
         JsonWriter w(os, 0);
@@ -339,6 +357,9 @@ SvcServer::Inflight::State
 SvcServer::waitInflight(std::shared_ptr<Inflight> infl,
                         int64_t deadline_at)
 {
+    // The single-flight wait: how long this request parked behind a
+    // computation another request already owns.
+    TraceSpan span("inflight.wait", "svc");
     std::unique_lock<std::mutex> lock(inflightMu_);
     while (infl->state == Inflight::State::Pending) {
         if (stop_ || nowMs() >= deadline_at)
@@ -389,6 +410,9 @@ SvcServer::handleGet(const JsonValue &req)
                 // so one crashed client cannot wedge the key.
                 if (it->second->leased &&
                     nowMs() >= it->second->leaseExpiryMs) {
+                    if (TraceRecorder *trace =
+                            TraceRecorder::current())
+                        trace->instant("lease.reclaim", "svc");
                     it->second->cv.notify_all();
                     inflight_.erase(it);
                 } else {
@@ -400,6 +424,8 @@ SvcServer::handleGet(const JsonValue &req)
                 fresh->leased = true;
                 fresh->leaseExpiryMs = nowMs() + config_.leaseTtlMs;
                 inflight_[key] = fresh;
+                if (TraceRecorder *trace = TraceRecorder::current())
+                    trace->instant("lease.grant", "svc");
                 std::ostringstream os;
                 JsonWriter w(os, 0);
                 w.beginObject();
@@ -490,6 +516,9 @@ SvcServer::handleSim(const JsonValue &req)
             if (it != inflight_.end()) {
                 if (it->second->leased &&
                     nowMs() >= it->second->leaseExpiryMs) {
+                    if (TraceRecorder *trace =
+                            TraceRecorder::current())
+                        trace->instant("lease.reclaim", "svc");
                     it->second->cv.notify_all();
                     inflight_.erase(it);
                 } else {
@@ -502,6 +531,10 @@ SvcServer::handleSim(const JsonValue &req)
                 claimed = true;
             }
         }
+        if (claimed)
+            if (TraceRecorder *trace = TraceRecorder::current())
+                trace->instant("singleflight.claim", "svc",
+                               TraceArgs().add("bench", bench));
         if (claimed) {
             {
                 std::lock_guard<std::mutex> lock(workMu_);
@@ -531,11 +564,18 @@ SvcServer::handleSim(const JsonValue &req)
 std::string
 SvcServer::handleStats()
 {
+    // The live-introspection snapshot behind `pfits_report stats
+    // --daemon=SOCK`: store counters, single-flight occupancy, uptime,
+    // and — when the daemon runs with a MetricRegistry installed
+    // (pfitsd_main always installs one) — the full engine metric
+    // surface, percentiles included.
     StoreStats s = store_->stats();
     std::ostringstream os;
     JsonWriter w(os, 0);
     w.beginObject();
     w.field("ok", true);
+    w.field("schema", kSvcSchema);
+    w.field("uptime_ms", static_cast<int64_t>(nowMs() - startMs_));
     w.key("store");
     w.beginObject();
     w.field("entries", s.entries);
@@ -548,6 +588,10 @@ SvcServer::handleStats()
     {
         std::lock_guard<std::mutex> lock(inflightMu_);
         w.field("inflight", static_cast<uint64_t>(inflight_.size()));
+    }
+    if (MetricRegistry *metrics = MetricRegistry::current()) {
+        w.key("metrics");
+        metrics->writeJson(w);
     }
     w.endObject();
     return os.str();
@@ -574,6 +618,12 @@ SvcServer::computeJob(const SimCacheKey &key, const std::string &bench,
                       const FaultParams &faults, unsigned max_retries,
                       const ObserverSpec &spec)
 {
+    // One span per server-side computation, on the worker's lane.
+    TraceSpan span("compute", "svc",
+                   TraceArgs()
+                       .add("bench", bench)
+                       .add("isa", is_fits ? "fits" : "arm")
+                       .addHex("program", key.program));
     try {
         for (int waited = 0; waited < config_.testComputeDelayMs;
              waited += 50) {

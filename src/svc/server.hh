@@ -151,6 +151,7 @@ class SvcServer
     int listenFd_ = -1;
     std::atomic<bool> stop_{false};
     bool running_ = false;
+    int64_t startMs_ = 0; //!< steady-clock ms at start(); stats uptime
 
     std::thread acceptThread_;
     std::mutex connMu_;

@@ -13,6 +13,7 @@
 
 #include "common/fileio.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "svc/proto.hh"
 
 namespace pfits
@@ -160,6 +161,10 @@ ResultStore::open(std::string *err)
 bool
 ResultStore::get(const SimCacheKey &key, std::string *entry_text)
 {
+    // Store reads span the disk read plus integrity verification —
+    // the I/O cost a warm OS cache hides and a trace makes visible.
+    TraceSpan span("store.get", "store",
+                   TraceArgs().addHex("program", key.program));
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
@@ -204,6 +209,10 @@ ResultStore::put(const SimCacheKey &key, const std::string &entry_text,
         return false;
     }
 
+    TraceSpan span("store.put", "store",
+                   TraceArgs()
+                       .addHex("program", key.program)
+                       .add("bytes", entry_text.size()));
     std::lock_guard<std::mutex> lock(mu_);
     if (!writeFileAtomic(pathFor(key), entry_text, err))
         return false;
@@ -248,6 +257,9 @@ ResultStore::stats() const
 void
 ResultStore::quarantineLocked(const std::string &file_name)
 {
+    if (TraceRecorder *trace = TraceRecorder::current())
+        trace->instant("store.quarantine", "store",
+                       TraceArgs().add("file", file_name));
     std::string src = dir_ + "/" + file_name;
     std::string dst = quarantineDir() + "/" + file_name;
     if (::rename(src.c_str(), dst.c_str()) == 0) {
@@ -279,6 +291,10 @@ ResultStore::enforceBudgetLocked()
         return;
     while (bytes_ > maxBytes_ && !lru_.empty()) {
         SimCacheKey victim = lru_.back();
+        if (TraceRecorder *trace = TraceRecorder::current())
+            trace->instant("store.evict", "store",
+                           TraceArgs().addHex("program",
+                                              victim.program));
         ::unlink(pathFor(victim).c_str());
         dropIndexLocked(victim);
         ++evictions_;

@@ -121,6 +121,56 @@ TEST(Metrics, RegistryBasics)
     EXPECT_THROW(reg.counter("h"), FatalError);
 }
 
+TEST(Metrics, HistogramPercentilesInterpolateWithinBuckets)
+{
+    MetricHistogram h(0.0, 100.0, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0) << "empty histogram";
+
+    // One sample at each integer in [0, 100): the quantile of rank r
+    // lands at the upper edge of its interpolated position.
+    for (int v = 0; v < 100; ++v)
+        h.sample(static_cast<double>(v));
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 99.0) << "p100 is the max";
+
+    // Underflow resolves to the observed min; interpolation above a
+    // sparse bucket clamps to the observed max.
+    MetricHistogram u(0.0, 10.0, 5);
+    u.sample(-5.0);
+    u.sample(-4.0);
+    u.sample(-3.0);
+    u.sample(5.0);
+    EXPECT_DOUBLE_EQ(u.percentile(0.50), -5.0);
+    EXPECT_DOUBLE_EQ(u.percentile(0.99), 5.0);
+
+    // Everything above the range: the overflow bin answers max (all
+    // that is known about those samples is "at least hi").
+    MetricHistogram o(0.0, 1.0, 2);
+    o.sample(40.0);
+    o.sample(60.0);
+    EXPECT_DOUBLE_EQ(o.percentile(0.5), 60.0);
+    EXPECT_DOUBLE_EQ(o.percentile(0.99), 60.0);
+}
+
+TEST(Metrics, HistogramJsonCarriesPercentiles)
+{
+    MetricRegistry reg;
+    MetricHistogram &h = reg.histogram("lat", 0.0, 100.0, 10);
+    for (int v = 0; v < 100; ++v)
+        h.sample(static_cast<double>(v));
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    reg.writeJson(w);
+    JsonValue doc = JsonValue::parse(os.str());
+    EXPECT_DOUBLE_EQ(doc.get("lat").get("p50").asNumber(), 50.0);
+    EXPECT_DOUBLE_EQ(doc.get("lat").get("p95").asNumber(), 95.0);
+    EXPECT_DOUBLE_EQ(doc.get("lat").get("p99").asNumber(), 99.0);
+}
+
 TEST(Metrics, WriteJsonIsSortedAndParseable)
 {
     MetricRegistry reg;
@@ -394,6 +444,81 @@ TEST(Report, DiffBenchPresenceRules)
     EXPECT_EQ(shrunk.findings[0].kind,
               DiffFinding::Kind::BenchMissing);
     EXPECT_TRUE(shrunk.regression());
+}
+
+/** Copy @p suite with every bench's metrics object replaced. */
+JsonValue
+withMetrics(const JsonValue &suite, const std::string &metrics_json)
+{
+    JsonValue out = suite;
+    JsonValue benches = JsonValue::makeArray();
+    for (const JsonValue &b : suite.get("benches").asArray()) {
+        JsonValue nb = b;
+        nb.set("metrics", JsonValue::parse(metrics_json));
+        benches.push(std::move(nb));
+    }
+    out.set("benches", std::move(benches));
+    return out;
+}
+
+TEST(Report, DiffMetricKeyPresenceRules)
+{
+    JsonValue suite = makeSuite("1.5", 100.0);
+    JsonValue base = withMetrics(
+        suite, "{\"simcache.hits\": 5,"
+               " \"pool.queue_depth\": {\"value\": 0, \"max\": 4},"
+               " \"pool.worker.0.busy_us\": 10}");
+
+    // New telemetry (a key the baseline predates) is informational:
+    // bench_regress.sh against an older baseline must stay green.
+    JsonValue added = withMetrics(
+        suite, "{\"simcache.hits\": 7, \"brand.new.counter\": 1,"
+               " \"pool.queue_depth\": {\"value\": 2, \"max\": 9},"
+               " \"pool.worker.0.busy_us\": 99}");
+    DiffResult r = diffSuites(base, added, {});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind, DiffFinding::Kind::MetricAdded);
+    EXPECT_FALSE(r.regression())
+        << "added metric keys must never gate";
+
+    // A key that disappeared is lost instrumentation and gates.
+    JsonValue removed = withMetrics(
+        suite, "{\"pool.queue_depth\": {\"value\": 0, \"max\": 4},"
+               " \"pool.worker.0.busy_us\": 10}");
+    r = diffSuites(base, removed, {});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind, DiffFinding::Kind::MetricMissing);
+    EXPECT_TRUE(r.regression());
+
+    // A kind flip (counter became a histogram) gates too.
+    JsonValue flipped = withMetrics(
+        suite, "{\"simcache.hits\": {\"count\": 1, \"buckets\": [1]},"
+               " \"pool.queue_depth\": {\"value\": 0, \"max\": 4},"
+               " \"pool.worker.0.busy_us\": 10}");
+    r = diffSuites(base, flipped, {});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind,
+              DiffFinding::Kind::MetricKindChanged);
+    EXPECT_TRUE(r.regression());
+
+    // Per-worker keys are shaped by --jobs on the producing machine;
+    // their coming and going is not a finding in either direction.
+    JsonValue more_workers = withMetrics(
+        suite, "{\"simcache.hits\": 5,"
+               " \"pool.queue_depth\": {\"value\": 0, \"max\": 4},"
+               " \"pool.worker.0.busy_us\": 10,"
+               " \"pool.worker.1.busy_us\": 11,"
+               " \"pool.worker.2.busy_us\": 12}");
+    EXPECT_TRUE(diffSuites(base, more_workers, {}).findings.empty());
+    EXPECT_TRUE(diffSuites(more_workers, base, {}).findings.empty());
+
+    // --ignore-metrics turns the whole key-set comparison off: diffs
+    // across deployment modes (svc_warm_check's daemon-warm vs local
+    // runs) compare result tables only.
+    DiffOptions ignore;
+    ignore.ignoreMetrics = true;
+    EXPECT_TRUE(diffSuites(base, removed, ignore).findings.empty());
+    EXPECT_TRUE(diffSuites(base, flipped, ignore).findings.empty());
 }
 
 TEST(Report, PrintDiffReportVerdictLines)

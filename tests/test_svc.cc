@@ -849,6 +849,55 @@ TEST(SvcService, GetPutLeaseProtocolForNonSuitePrograms)
     EXPECT_EQ(r3.get("entry").asString(), entry);
 }
 
+TEST(SvcService, StatsOpReturnsLiveStoreAndMetricSnapshot)
+{
+    TestServer ts;
+    MetricRegistry reg;
+    MetricRegistry *prev = MetricRegistry::install(&reg);
+    reg.counter("unit.test.counter").add(3);
+
+    // Seed one entry so the store section has something to count.
+    SimCacheKey key = sampleKey();
+    std::string entry = encodeResultEntry(key, sampleResult());
+    std::ostringstream put;
+    JsonWriter w(put, 0);
+    w.beginObject();
+    w.field("schema", kSvcSchema);
+    w.field("op", "put");
+    w.field("entry", entry);
+    w.endObject();
+    ASSERT_TRUE(
+        JsonValue::parse(rawRequest(ts.config.socketPath, put.str()))
+            .get("ok")
+            .asBool());
+
+    JsonValue resp = JsonValue::parse(rawRequest(
+        ts.config.socketPath,
+        "{\"schema\":\"pfits-svc-v1\",\"op\":\"stats\"}"));
+    ASSERT_TRUE(resp.get("ok").asBool());
+    EXPECT_EQ(resp.get("schema").asString(), kSvcSchema);
+    EXPECT_TRUE(resp.get("uptime_ms").isNumber());
+    EXPECT_GE(resp.get("uptime_ms").asNumber(), 0.0);
+    EXPECT_TRUE(resp.get("inflight").isNumber());
+
+    const JsonValue &store = resp.get("store");
+    ASSERT_TRUE(store.isObject());
+    EXPECT_DOUBLE_EQ(store.get("entries").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(store.get("bytes").asNumber(),
+                     static_cast<double>(entry.size()));
+    for (const char *field :
+         {"hits", "misses", "evictions", "quarantined"})
+        EXPECT_TRUE(store.get(field).isNumber()) << field;
+
+    // The connection thread serves stats from the process-wide
+    // registry — the same one this test installed.
+    const JsonValue &metrics = resp.get("metrics");
+    ASSERT_TRUE(metrics.isObject());
+    EXPECT_DOUBLE_EQ(metrics.get("unit.test.counter").asNumber(), 3.0);
+
+    MetricRegistry::install(prev);
+}
+
 TEST(SvcService, MalformedRequestsGetStructuredErrorsNotCrashes)
 {
     TestServer ts;
