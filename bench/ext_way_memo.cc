@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Extension E9: way-memoization hit rate and internal-energy effect.
+ *
+ * Ishihara & Fallah-style way memoization: a fetch known to land in the
+ * last-accessed line skips the tag search and reads only the memoized
+ * data way. The simulator counts those fetches (CacheStats::
+ * wayMemoHits) on every run; this bench reports the hit rate per
+ * configuration and the internal-energy saving when the power model
+ * prices them (TechParams::wayMemo). The underlying runs are the
+ * default ones — memoization is a pure power-model re-evaluation.
+ */
+#include "fig_util.hh"
+PFITS_FIG_MAIN(pfits::extWayMemoTable,
+               "extension (no paper counterpart): sequential fetch "
+               "runs make most I-fetches memoizable on every kernel")

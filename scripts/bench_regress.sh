@@ -56,6 +56,9 @@ benches=(
     ext_profile_fidelity
     ext_fault_resilience
     ext_phase_behavior
+    ext_way_memo
+    ext_leakage_policy
+    fig11_total_cache_power+dvs
 )
 
 workdir="$(mktemp -d)"
@@ -67,7 +70,15 @@ trap 'rm -rf "$workdir"' EXIT
 # between them trips the same gate as any other drift).
 status=0
 for bench in "${benches[@]}"; do
-    bin="$build/bench/$bench"
+    # "<bench>+dvs" entries run the base binary with --dvs; the bench
+    # stamps the manifest identity with the matching "+dvs" suffix.
+    extra_flags=()
+    bin_name="$bench"
+    if [[ "$bench" == *"+dvs" ]]; then
+        bin_name="${bench%+dvs}"
+        extra_flags=(--dvs)
+    fi
+    bin="$build/bench/$bin_name"
     if [[ ! -x "$bin" ]]; then
         echo "bench_regress: MISSING BINARY $bench" >&2
         status=1
@@ -75,10 +86,10 @@ for bench in "${benches[@]}"; do
     fi
     for backend in interp fast; do
         out="$workdir/$bench.json"
-        flags=()
+        flags=("${extra_flags[@]}")
         if [[ "$backend" == "fast" ]]; then
             out="$workdir/$bench+fast.json"
-            flags=(--backend=fast)
+            flags+=(--backend=fast)
         fi
         if ! "$bin" "${flags[@]}" --json "$out" > /dev/null 2>&1; then
             echo "bench_regress: $bench ($backend) FAILED" >&2

@@ -69,12 +69,23 @@ benches=(
     ext_profile_fidelity
     ext_fault_resilience
     ext_phase_behavior
+    ext_way_memo
+    ext_leakage_policy
+    fig11_total_cache_power+dvs
 )
 
 mkdir -p "$golden"
 status=0
 for bench in "${benches[@]}"; do
-    bin="$build/bench/$bench"
+    # "<bench>+dvs" entries run the base binary with --dvs and keep
+    # their own snapshot; the base entry's snapshot is untouched.
+    extra_flags=()
+    bin_name="$bench"
+    if [[ "$bench" == *"+dvs" ]]; then
+        bin_name="${bench%+dvs}"
+        extra_flags=(--dvs)
+    fi
+    bin="$build/bench/$bin_name"
     if [[ ! -x "$bin" ]]; then
         echo "golden: MISSING BINARY $bench" >&2
         status=1
@@ -82,7 +93,7 @@ for bench in "${benches[@]}"; do
     fi
     snapshot="$golden/$bench.txt"
     if [[ "$update" == "--update" ]]; then
-        "$bin" 2>/dev/null > "$snapshot"
+        "$bin" "${extra_flags[@]}" 2>/dev/null > "$snapshot"
         echo "golden: updated $bench"
         continue
     fi
@@ -91,7 +102,7 @@ for bench in "${benches[@]}"; do
         status=1
         continue
     fi
-    if ! "$bin" "${backend_flags[@]}" 2>/dev/null |
+    if ! "$bin" "${extra_flags[@]}" "${backend_flags[@]}" 2>/dev/null |
             diff -u "$snapshot" - > /tmp/golden_diff_$$; then
         echo "golden: MISMATCH $bench$tag" >&2
         head -40 /tmp/golden_diff_$$ >&2

@@ -177,6 +177,8 @@ Cache::access(uint32_t addr, bool write)
                 // Write-through caches propagate immediately; the power
                 // model charges the bus write from the access counters.
             }
+            if (lastLineAddr_ == addr / config_.lineBytes)
+                ++stats_.wayMemoHits;
             lastLineAddr_ = addr / config_.lineBytes;
             lastHitIdx_ = base + way;
             return res;
@@ -395,6 +397,11 @@ Cache::addStats(StatGroup &group) const
                              s->corruptDeliveries);
                      },
                      "corrupt lines consumed silently");
+    group.addFormula("way_memo_hits",
+                     [s]() {
+                         return static_cast<double>(s->wayMemoHits);
+                     },
+                     "accesses landing in the previous access's line");
 }
 
 } // namespace pfits

@@ -112,6 +112,17 @@ struct CacheStats
     uint64_t parityDetections = 0;  //!< corrupt lines caught by parity
     uint64_t corruptDeliveries = 0; //!< corrupt lines consumed silently
 
+    /**
+     * Accesses that landed in the line the previous access left
+     * resident and clean (the repeat-hint line): intra-line sequential
+     * fetches a way-memoizing array serves with one data way and no
+     * tag search (Ishihara & Fallah; TechParams::wayMemo). Counted
+     * unconditionally — the power model decides whether to price them.
+     * Always <= accesses(); a miss never memoizes, but its refill arms
+     * the hint, so the next same-line fetch does.
+     */
+    uint64_t wayMemoHits = 0;
+
     uint64_t accesses() const { return reads + writes; }
     uint64_t misses() const { return readMisses + writeMisses; }
 
@@ -199,9 +210,27 @@ class Cache
     void
     applyRepeatsAt(size_t idx, uint32_t reads, uint32_t writes)
     {
+        // Every batched repeat is by definition an access to the line
+        // the previous access left resident — i.e. a way-memo hit.
+        applyRepeatsAt(idx, reads, writes, reads + writes);
+    }
+
+    /**
+     * applyRepeatsAt with an explicit way-memo count, for callers whose
+     * first streak access was *not* against the immediately preceding
+     * line (the fast backend's interleaved A-B-A streaks: the touch
+     * that re-enters streak A after B is a repeat hit of A's captured
+     * index, but the access it follows was to B's line, so it is not a
+     * memo hit). @p memoHits <= reads + writes.
+     */
+    void
+    applyRepeatsAt(size_t idx, uint32_t reads, uint32_t writes,
+                   uint32_t memoHits)
+    {
         tick_ += reads + writes;
         stats_.reads += reads;
         stats_.writes += writes;
+        stats_.wayMemoHits += memoHits;
         Line &line = lines_[idx];
         if (config_.policy == ReplPolicy::LRU)
             line.stamp = tick_;
@@ -250,6 +279,8 @@ class Cache
                 }
                 if (config_.policy == ReplPolicy::LRU)
                     line.stamp = tick_;
+                if (lastLineAddr_ == la)
+                    ++stats_.wayMemoHits;
                 lastLineAddr_ = la;
                 lastHitIdx_ = idx;
                 return res;

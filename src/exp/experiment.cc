@@ -256,7 +256,8 @@ Runner::simulateConfig(const Prepared &prep, ConfigId id) const
     CachePowerModel power(core.icache, tech);
     cfg.icache = power.evaluate(cfg.run);
     ChipPowerModel chip_model(params_.chip);
-    cfg.chip = chip_model.evaluate(cfg.run, cfg.icache);
+    cfg.chip = chip_model.evaluate(cfg.run, cfg.icache,
+                                   core.dcache.lineBytes);
     return cfg;
 }
 

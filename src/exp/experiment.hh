@@ -142,6 +142,15 @@ struct ExperimentParams
     unsigned faultRetries = 3;
 
     /**
+     * Voltage/frequency operating points for DVS sweeps (empty by
+     * default). Purely a post-simulation power-model axis: each point
+     * re-prices an already-simulated run via
+     * TechParams::atOperatingPoint, so it does NOT join the SimCache
+     * memo key and leaves every default table byte-identical.
+     */
+    std::vector<OperatingPoint> dvsLadder;
+
+    /**
      * Instruments attached to every simulation (sim/probe.hh):
      * per-N-instruction interval series and/or a bounded JSONL trace
      * dumped when a run ends Trapped or FaultDetected (the bench

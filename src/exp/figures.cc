@@ -205,6 +205,104 @@ fig13MissRate(Runner &runner)
 }
 
 Table
+extWayMemoTable(Runner &runner)
+{
+    Table table("E9: way memoization "
+                "(memo-hit % of fetches / internal energy saving %)");
+    std::vector<std::string> header = {"benchmark"};
+    for (ConfigId id : kAllConfigs) {
+        header.push_back(std::string(configName(id)) + " memo");
+        header.push_back(std::string(configName(id)) + " int sv");
+    }
+    table.setHeader(header);
+
+    std::vector<std::vector<double>> sums(8);
+    for (const BenchResult *bench : runner.all()) {
+        std::vector<double> cells;
+        for (ConfigId id : kAllConfigs) {
+            const ConfigResult &cfg = bench->of(id);
+            const CacheStats &ic = cfg.run.icache;
+            double accesses = static_cast<double>(ic.accesses());
+            cells.push_back(
+                accesses ? 100.0 * static_cast<double>(ic.wayMemoHits) /
+                               accesses
+                         : 0.0);
+
+            // Re-price the same run with memoization on; the baseline
+            // internal energy is the one every other table reports.
+            TechParams tech = runner.params().tech;
+            CoreConfig core = runner.coreConfig(id);
+            tech.clockHz = core.clockHz;
+            tech.wayMemo = true;
+            CachePowerModel model(core.icache, tech);
+            CachePowerBreakdown with = model.evaluate(cfg.run);
+            double base = cfg.icache.internalJ;
+            cells.push_back(
+                base ? 100.0 * (1.0 - with.internalJ / base) : 0.0);
+        }
+        for (size_t c = 0; c < cells.size(); ++c)
+            sums[c].push_back(cells[c]);
+        table.addRow(bench->name, cells, 1);
+    }
+    std::vector<double> avg;
+    for (auto &col : sums)
+        avg.push_back(columnAverage(col));
+    table.addRow("average", avg, 1);
+    return table;
+}
+
+Table
+fig11DvsTable(Runner &runner)
+{
+    std::vector<OperatingPoint> ladder = runner.params().dvsLadder;
+    if (ladder.empty())
+        ladder = defaultDvsLadder();
+
+    Table table("Figure 11 (DVS axis): suite-total I-cache energy "
+                "(mJ) and EDP (uJ*s) per operating point");
+    std::vector<std::string> header = {"operating point"};
+    for (ConfigId id : kAllConfigs) {
+        header.push_back(std::string(configName(id)) + " mJ");
+        header.push_back(std::string(configName(id)) + " EDP");
+    }
+    header.push_back("FITS8 sv %");
+    table.setHeader(header);
+
+    std::vector<const BenchResult *> benches = runner.all();
+    for (const OperatingPoint &op : ladder) {
+        std::vector<double> cells;
+        double arm16J = 0, fits8J = 0;
+        for (ConfigId id : kAllConfigs) {
+            CoreConfig core = runner.coreConfig(id);
+            TechParams tech = runner.params().tech;
+            tech.clockHz = core.clockHz;
+            CachePowerModel model(core.icache,
+                                  tech.atOperatingPoint(op));
+            double energy = 0, edp = 0;
+            for (const BenchResult *bench : benches) {
+                // Same simulated activity, re-priced: only the power
+                // model and the wall clock move with the ladder.
+                RunResult run = bench->of(id).run;
+                run.clockHz = op.clockHz;
+                CachePowerBreakdown p = model.evaluate(run);
+                energy += p.totalJ();
+                edp += p.totalJ() * run.seconds();
+            }
+            if (id == ConfigId::ARM16)
+                arm16J = energy;
+            if (id == ConfigId::FITS8)
+                fits8J = energy;
+            cells.push_back(1e3 * energy);
+            cells.push_back(1e6 * edp);
+        }
+        cells.push_back(arm16J ? 100.0 * (1.0 - fits8J / arm16J)
+                               : 0.0);
+        table.addRow(op.name, cells, 3);
+    }
+    return table;
+}
+
+Table
 fig14Ipc(Runner &runner)
 {
     return perBench(

@@ -39,6 +39,24 @@ Table fig13MissRate(Runner &runner);
 /** Figure 14: IPC, four configurations (dual-issue, max 2). */
 Table fig14Ipc(Runner &runner);
 
+/**
+ * E9: way-memoization effect per configuration — the fraction of
+ * fetches that hit the memoized line (each one a skipped tag search
+ * and a single-way read) and the internal-energy saving from pricing
+ * them with TechParams::wayMemo enabled. Purely a power-model
+ * re-evaluation of the default runs: the simulated activity counts
+ * are identical to every other table's.
+ */
+Table extWayMemoTable(Runner &runner);
+
+/**
+ * Figure 11, DVS axis: suite-total I-cache energy and energy-delay
+ * product per operating point of the ladder
+ * (ExperimentParams::dvsLadder, or defaultDvsLadder() when unset),
+ * with the FITS8-vs-ARM16 total-energy saving at each point.
+ */
+Table fig11DvsTable(Runner &runner);
+
 /** Mean of a numeric column helper shared by the builders. */
 double columnAverage(const std::vector<double> &values);
 

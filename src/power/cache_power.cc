@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "power/leakage.hh"
 
 namespace pfits
 {
@@ -46,6 +47,24 @@ CachePowerModel::internalEnergyPerAccess() const
 }
 
 double
+CachePowerModel::memoInternalEnergyPerAccess() const
+{
+    // The memoized way's columns only: bitline and wordline/sense
+    // energy divide by the associativity, the row decode still fires,
+    // and the tag search is skipped entirely.
+    double ways = static_cast<double>(config_.assoc);
+    double bitline = static_cast<double>(cellBits() + parityBits()) /
+                     ways * tech_.eBitlinePerCell;
+    double word_sense =
+        (static_cast<double>(cols()) / ways +
+         (config_.parity ? 1.0 : 0.0)) *
+        tech_.eWordSensePerCol;
+    double decode = ceilLog2(rows() ? rows() : 1) *
+                    tech_.eDecodePerRowBit;
+    return bitline + word_sense + decode;
+}
+
+double
 CachePowerModel::refillInternalEnergy() const
 {
     // A line fill writes the full line through the array — charged as
@@ -54,15 +73,56 @@ CachePowerModel::refillInternalEnergy() const
 }
 
 double
+CachePowerModel::cellLeakagePower() const
+{
+    return static_cast<double>(cellBits() + parityBits()) *
+           tech_.pLeakPerBit;
+}
+
+double
+CachePowerModel::peripheryLeakagePower() const
+{
+    return static_cast<double>(cols() +
+                               (config_.parity ? config_.assoc : 0)) *
+           tech_.pLeakPerCol;
+}
+
+double
 CachePowerModel::leakagePower() const
 {
-    double cells = static_cast<double>(cellBits() + parityBits()) *
-                   tech_.pLeakPerBit;
-    double periphery =
-        static_cast<double>(cols() +
-                            (config_.parity ? config_.assoc : 0)) *
-        tech_.pLeakPerCol;
-    return cells + periphery;
+    return cellLeakagePower() + peripheryLeakagePower();
+}
+
+double
+CachePowerModel::leakageEnergyJ(const LeakageActivity &activity) const
+{
+    const LeakageParams &lp = tech_.leakage;
+    const double hz = tech_.clockHz;
+    const double lines = static_cast<double>(config_.numLines());
+    const double cell_per_line_w = cellLeakagePower() / lines;
+
+    // Cell array: every line-cycle is either awake (full leakage) or
+    // asleep (scaled by the policy).
+    double cells_j =
+        (static_cast<double>(activity.awakeLineCycles) +
+         lp.sleepScale() *
+             static_cast<double>(activity.asleepLineCycles)) *
+        cell_per_line_w / hz;
+
+    // Column periphery leaks for the whole operational period.
+    double periphery_j = peripheryLeakagePower() *
+                         (static_cast<double>(activity.endCycle) / hz);
+
+    // Wake penalties stall the core: the operational period grows by
+    // those cycles at full (ungated) leakage, and every wake pays its
+    // bias/precharge restore energy.
+    double penalty_j =
+        leakagePower() *
+        (static_cast<double>(activity.wakePenaltyCycles) / hz);
+    double wake_j =
+        static_cast<double>(activity.wakes) * lp.eWakePerLine;
+
+    return cells_j + periphery_j + penalty_j + wake_j;
 }
 
 double
@@ -106,10 +166,25 @@ CachePowerModel::evaluate(const RunResult &run) const
                          tech_.eOutPerToggledBit;
     }
 
-    out.internalJ =
-        static_cast<double>(run.icache.accesses()) *
-            internalEnergyPerAccess() +
-        static_cast<double>(run.icache.misses()) * refillInternalEnergy();
+    if (tech_.wayMemo) {
+        // Way-memoized fetches read one way and skip the tag search;
+        // the rest pay the full array read. wayMemoHits <= accesses by
+        // construction (every memo hit is an access).
+        double full = static_cast<double>(run.icache.accesses() -
+                                          run.icache.wayMemoHits);
+        out.internalJ =
+            full * internalEnergyPerAccess() +
+            static_cast<double>(run.icache.wayMemoHits) *
+                memoInternalEnergyPerAccess() +
+            static_cast<double>(run.icache.misses()) *
+                refillInternalEnergy();
+    } else {
+        out.internalJ =
+            static_cast<double>(run.icache.accesses()) *
+                internalEnergyPerAccess() +
+            static_cast<double>(run.icache.misses()) *
+                refillInternalEnergy();
+    }
 
     out.leakageJ = leakagePower() * out.seconds;
 

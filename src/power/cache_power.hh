@@ -71,11 +71,34 @@ struct CachePowerBreakdown
     double leakageW() const { return seconds ? leakageJ / seconds : 0; }
     double totalW() const { return seconds ? totalJ() / seconds : 0; }
 
-    /** Component shares of the total (paper Fig. 6). */
-    double switchingShare() const { return switchingJ / totalJ(); }
-    double internalShare() const { return internalJ / totalJ(); }
-    double leakageShare() const { return leakageJ / totalJ(); }
+    /**
+     * Component shares of the total (paper Fig. 6). Guarded like the
+     * *W() accessors: a zero-energy run (skipped sweep point,
+     * 0-instruction program) reports a 0 share, not NaN.
+     */
+    double
+    switchingShare() const
+    {
+        double t = totalJ();
+        return t ? switchingJ / t : 0;
+    }
+
+    double
+    internalShare() const
+    {
+        double t = totalJ();
+        return t ? internalJ / t : 0;
+    }
+
+    double
+    leakageShare() const
+    {
+        double t = totalJ();
+        return t ? leakageJ / t : 0;
+    }
 };
+
+struct LeakageActivity; // power/leakage.hh
 
 /** Analytical power model for one cache configuration. */
 class CachePowerModel
@@ -85,9 +108,15 @@ class CachePowerModel
 
     // --- geometry-derived quantities ------------------------------------
     uint32_t rows() const { return config_.numSets(); }
-    uint32_t cols() const
+    /**
+     * Data columns across all ways. Computed in 64 bits: the widest
+     * valid geometries (L2-scale assoc x line, the same family whose
+     * validateError product PR 8 widened) overflow a uint32_t.
+     */
+    uint64_t cols() const
     {
-        return config_.assoc * config_.lineBytes * 8;
+        return static_cast<uint64_t>(config_.assoc) *
+               config_.lineBytes * 8;
     }
     uint32_t tagBits() const;
     uint64_t cellBits() const
@@ -103,6 +132,13 @@ class CachePowerModel
     // --- per-event energies (J) -----------------------------------------
     /** One array read: decoder + wordline + bitlines + sense + tag. */
     double internalEnergyPerAccess() const;
+    /**
+     * One way-memoized array read (Ishihara & Fallah): the fetch is
+     * known to land in the last-accessed line, so the tag search is
+     * skipped and only the memoized way's columns are read — the
+     * bitline and wordline/sense terms shrink by the associativity.
+     */
+    double memoInternalEnergyPerAccess() const;
     /** Energy of one toggled bit on the output bus. */
     double outputEnergyPerToggledBit() const
     {
@@ -113,6 +149,23 @@ class CachePowerModel
 
     // --- static power (W) ------------------------------------------------
     double leakagePower() const;
+    /** Cell-array component of leakagePower() (scales with size). */
+    double cellLeakagePower() const;
+    /** Column-periphery component of leakagePower() (does not gate). */
+    double peripheryLeakagePower() const;
+
+    /**
+     * Leakage energy (J) of one run under the tech().leakage policy,
+     * from a per-line activity summary (power/leakage.hh). Awake lines
+     * leak at full cell power, asleep lines at the policy's sleep
+     * scale; the column periphery (sense-amp bias) leaks for the whole
+     * period regardless — it is shared across lines and cannot be
+     * gated per line, which bounds what any policy can save. Wake
+     * penalty cycles extend the operational period at full leakage and
+     * each wake is charged its restore energy. With policy off this
+     * equals leakagePower() x seconds.
+     */
+    double leakageEnergyJ(const LeakageActivity &activity) const;
 
     /**
      * Worst-cycle power (W).

@@ -5,7 +5,8 @@ namespace pfits
 
 ChipPowerBreakdown
 ChipPowerModel::evaluate(const RunResult &run,
-                         const CachePowerBreakdown &icache) const
+                         const CachePowerBreakdown &icache,
+                         uint32_t dcacheLineBytes) const
 {
     ChipPowerBreakdown out;
     out.seconds = run.seconds();
@@ -19,7 +20,8 @@ ChipPowerModel::evaluate(const RunResult &run,
     const double cycles = static_cast<double>(run.cycles);
     const double miss_bytes =
         static_cast<double>(run.icacheRefillWords) * 4.0 +
-        static_cast<double>(run.dcache.misses()) * 32.0;
+        static_cast<double>(run.dcache.misses()) *
+            static_cast<double>(dcacheLineBytes);
 
     out.iboxJ = instrs * params_.eIboxPerInstr;
     out.eboxJ = executed * params_.eEboxPerExecuted;

@@ -42,7 +42,13 @@ struct ChipPowerBreakdown
     }
 
     double totalW() const { return seconds ? totalJ() / seconds : 0; }
-    double icacheShare() const { return icacheJ / totalJ(); }
+
+    double
+    icacheShare() const
+    {
+        double t = totalJ();
+        return t ? icacheJ / t : 0;
+    }
 };
 
 /** Per-event energies for the non-I-cache components. */
@@ -140,8 +146,14 @@ class ChipPowerModel
     {
     }
 
+    /**
+     * @param dcacheLineBytes the simulated D-cache's line size — each
+     *        D-miss moves one line over the external bus. Defaults to
+     *        the SA-1100's 32 B line (the pre-parameter behaviour).
+     */
     ChipPowerBreakdown evaluate(const RunResult &run,
-                                const CachePowerBreakdown &icache) const;
+                                const CachePowerBreakdown &icache,
+                                uint32_t dcacheLineBytes = 32) const;
 
     const ChipEnergyParams &params() const { return params_; }
 

@@ -1,0 +1,14 @@
+#include "power/leakage.hh"
+
+#include "sim/machine.hh"
+
+namespace pfits
+{
+
+void
+LeakageObserver::onRunEnd(RunResult &result)
+{
+    activity_ = sim_.finish(result.cycles);
+}
+
+} // namespace pfits

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Per-line leakage-state machine for the drowsy / gated-Vdd policies
+ * (ROADMAP item 3; Flautner et al. drowsy caches, Powell et al.
+ * gated-Vdd). Each line frame is Awake after an access and decays to
+ * Asleep after LeakageParams::decayCycles idle cycles; a fetch that
+ * lands on an asleep line wakes it, paying the policy's wake-penalty
+ * stall and restore energy. The machine only *accounts* line-cycles —
+ * the energy mapping lives in CachePowerModel::leakageEnergyJ, and the
+ * policy=off accounting reproduces the paper's always-on model.
+ *
+ * LeakageObserver replays one Machine run's fetch stream through the
+ * machine (sim/probe.hh), so one simulation can be scored under every
+ * policy without re-running — the policies differ only in how the
+ * same idle intervals are priced.
+ */
+
+#ifndef POWERFITS_POWER_LEAKAGE_HH
+#define POWERFITS_POWER_LEAKAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "power/tech.hh"
+#include "sim/probe.hh"
+
+namespace pfits
+{
+
+/** Line-cycle totals of one run under one leakage policy. */
+struct LeakageActivity
+{
+    uint64_t awakeLineCycles = 0;  //!< line-cycles at full leakage
+    uint64_t asleepLineCycles = 0; //!< line-cycles in the sleep state
+    uint64_t wakes = 0;            //!< asleep-to-awake transitions
+    uint64_t wakePenaltyCycles = 0; //!< stall cycles charged by wakes
+    uint64_t endCycle = 0;          //!< run length (timing model cycles)
+};
+
+/** The per-line state machine; one frame per cache line slot. */
+class LeakageSim
+{
+  public:
+    enum class LineMode : uint8_t { Awake, Asleep };
+
+    LeakageSim(uint32_t num_lines, const LeakageParams &params)
+        : params_(params), frames_(num_lines)
+    {
+    }
+
+    /**
+     * One fetch lands in frame @p frame at cycle @p cycle (cycles must
+     * be non-decreasing per frame). Folds the elapsed idle interval
+     * into awake/asleep line-cycles and wakes the frame if it decayed.
+     */
+    void
+    access(uint32_t frame, uint64_t cycle)
+    {
+        Frame &f = frames_[frame];
+        fold(f, cycle);
+        if (f.asleep) {
+            ++activity_.wakes;
+            activity_.wakePenaltyCycles += params_.wakeCycles();
+            f.asleep = false;
+        }
+        f.lastAccess = cycle;
+    }
+
+    /** The frame's mode as of cycle @p cycle (for tests). */
+    LineMode
+    mode(uint32_t frame, uint64_t cycle) const
+    {
+        const Frame &f = frames_[frame];
+        if (params_.policy == LeakagePolicy::Off)
+            return LineMode::Awake;
+        if (f.asleep)
+            return LineMode::Asleep;
+        return cycle > f.lastAccess + params_.decayCycles
+                   ? LineMode::Asleep
+                   : LineMode::Awake;
+    }
+
+    /** Close every frame at @p end_cycle and return the totals. */
+    LeakageActivity
+    finish(uint64_t end_cycle)
+    {
+        for (Frame &f : frames_)
+            fold(f, end_cycle);
+        activity_.endCycle = end_cycle;
+        return activity_;
+    }
+
+  private:
+    struct Frame
+    {
+        uint64_t lastAccess = 0; //!< cycle of the last fold point
+        bool asleep = false;
+    };
+
+    /** Split [f.lastAccess, cycle) into awake and asleep line-cycles. */
+    void
+    fold(Frame &f, uint64_t cycle)
+    {
+        if (cycle <= f.lastAccess)
+            return;
+        uint64_t elapsed = cycle - f.lastAccess;
+        if (params_.policy == LeakagePolicy::Off || f.asleep) {
+            // Off never sleeps; an already-asleep frame stays asleep
+            // until the next access wakes it.
+            (f.asleep ? activity_.asleepLineCycles
+                      : activity_.awakeLineCycles) += elapsed;
+        } else if (elapsed > params_.decayCycles) {
+            activity_.awakeLineCycles += params_.decayCycles;
+            activity_.asleepLineCycles += elapsed - params_.decayCycles;
+            f.asleep = true;
+        } else {
+            activity_.awakeLineCycles += elapsed;
+        }
+        f.lastAccess = cycle;
+    }
+
+    LeakageParams params_;
+    std::vector<Frame> frames_;
+    LeakageActivity activity_;
+};
+
+/**
+ * Replays a run's I-fetch stream through a LeakageSim. Frames are the
+ * line address modulo the line count — a capacity-faithful stand-in
+ * for physical way placement — and time advances with commit cycles
+ * (the fetch of an instruction is attributed to its predecessor's
+ * issue cycle, a one-instruction skew the interval observers share).
+ */
+class LeakageObserver final : public SimObserver
+{
+  public:
+    LeakageObserver(const CacheConfig &icache,
+                    const LeakageParams &params)
+        : lineBytes_(icache.lineBytes), numLines_(icache.numLines()),
+          sim_(icache.numLines(), params)
+    {
+    }
+
+    void
+    onFetch(const FetchEvent &e) override
+    {
+        if (!e.newWord)
+            return;
+        sim_.access((e.addr / lineBytes_) % numLines_, cycle_);
+    }
+
+    void onCommit(const CommitEvent &e) override { cycle_ = e.cycle; }
+
+    void onRunEnd(RunResult &result) override;
+
+    /** Valid after the run ended. */
+    const LeakageActivity &activity() const { return activity_; }
+
+  private:
+    uint32_t lineBytes_;
+    uint32_t numLines_;
+    uint64_t cycle_ = 0;
+    LeakageSim sim_;
+    LeakageActivity activity_;
+};
+
+} // namespace pfits
+
+#endif // POWERFITS_POWER_LEAKAGE_HH

@@ -22,8 +22,82 @@
 #ifndef POWERFITS_POWER_TECH_HH
 #define POWERFITS_POWER_TECH_HH
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 namespace pfits
 {
+
+/**
+ * Per-line leakage-control policy (ROADMAP item 3). `Off` is the
+ * paper's model — every line leaks at full power for the whole
+ * operational period. `Drowsy` drops idle lines to a state-retaining
+ * low-voltage mode (Flautner et al. style): cell leakage scales by
+ * drowsyScale and a one-cycle wake restores the line. `Gated` cuts
+ * the supply entirely (gated-Vdd): cell leakage scales by gatedScale
+ * but the line's state is lost, so a wake costs more cycles (the
+ * restore is a re-read through the sense amps).
+ */
+enum class LeakagePolicy : uint8_t { Off, Drowsy, Gated };
+
+/** @return "off"/"drowsy"/"gated". */
+inline const char *
+leakagePolicyName(LeakagePolicy p)
+{
+    switch (p) {
+      case LeakagePolicy::Drowsy: return "drowsy";
+      case LeakagePolicy::Gated: return "gated";
+      default: return "off";
+    }
+}
+
+/** Knobs of the per-line leakage-state machine (power/leakage.hh). */
+struct LeakageParams
+{
+    LeakagePolicy policy = LeakagePolicy::Off;
+
+    /** Idle cycles before a line decays into the low-leakage state. */
+    uint64_t decayCycles = 4096;
+
+    /** Cell-leakage multiplier for an asleep line, per policy. */
+    double drowsyScale = 0.25;
+    double gatedScale = 0.0;
+
+    /** Stall cycles charged when a fetch hits an asleep line. */
+    uint32_t drowsyWakeCycles = 1;
+    uint32_t gatedWakeCycles = 3;
+
+    /** Dynamic energy of one line wake (bias/precharge restore, J). */
+    double eWakePerLine = 0.6e-12;
+
+    /** Asleep-state cell-leakage multiplier for the active policy. */
+    double
+    sleepScale() const
+    {
+        return policy == LeakagePolicy::Gated ? gatedScale
+                                              : drowsyScale;
+    }
+
+    /** Wake penalty (cycles) for the active policy; 0 when off. */
+    uint32_t
+    wakeCycles() const
+    {
+        switch (policy) {
+          case LeakagePolicy::Drowsy: return drowsyWakeCycles;
+          case LeakagePolicy::Gated: return gatedWakeCycles;
+          default: return 0;
+        }
+    }
+};
+
+/** One (voltage, frequency) point of a DVS ladder. */
+struct OperatingPoint
+{
+    std::string name;
+    double vdd = 1.5;
+    double clockHz = 200e6;
+};
 
 /** Process/circuit constants consumed by the cache power model. */
 struct TechParams
@@ -58,13 +132,67 @@ struct TechParams
     double pLeakPerBit = 9.2e-9;   //!< SRAM cell leakage
     double pLeakPerCol = 3.42e-7;  //!< column periphery bias/leak
 
+    /**
+     * Way memoization (Ishihara & Fallah): when set, intra-line
+     * sequential fetches — counted by the simulator as
+     * CacheStats::wayMemoHits — skip the tag search and read only the
+     * memoized data way, and evaluate() charges them the reduced
+     * per-access internal energy. Off by default: the paper's model
+     * reads the full array on every access.
+     */
+    bool wayMemo = false;
+
+    /** Per-line leakage-state policy (off = the paper's model). */
+    LeakageParams leakage;
+
     /** Scale every dynamic coefficient for a supply change (~V^2). */
     double
     dynScale(double new_vdd) const
     {
         return (new_vdd * new_vdd) / (vdd * vdd);
     }
+
+    /**
+     * These parameters re-calibrated to operating point @p op: dynamic
+     * energies scale ~V^2, leakage currents ~V (sub-threshold leakage
+     * shrinks roughly linearly with the rail over a DVS ladder's
+     * narrow range), and the clock follows the point's frequency.
+     */
+    TechParams
+    atOperatingPoint(const OperatingPoint &op) const
+    {
+        TechParams out = *this;
+        const double dyn = dynScale(op.vdd);
+        const double leak = op.vdd / vdd;
+        out.eOutPerToggledBit *= dyn;
+        out.eBitlinePerCell *= dyn;
+        out.eWordSensePerCol *= dyn;
+        out.eDecodePerRowBit *= dyn;
+        out.eTagPerLineBit *= dyn;
+        out.eRefillPerCycle *= dyn;
+        out.leakage.eWakePerLine *= dyn;
+        out.pLeakPerBit *= leak;
+        out.pLeakPerCol *= leak;
+        out.vdd = op.vdd;
+        out.clockHz = op.clockHz;
+        return out;
+    }
 };
+
+/**
+ * The default DVS ladder: the SA-1100's nominal point plus three
+ * scaled points. Frequency tracks voltage roughly linearly in this
+ * regime (the alpha-power-law delay model at alpha ~ 1.6 is close to
+ * linear over 0.9-1.5 V at 0.35 µm).
+ */
+inline std::vector<OperatingPoint>
+defaultDvsLadder()
+{
+    return {{"1.5V/200MHz", 1.5, 200e6},
+            {"1.3V/160MHz", 1.3, 160e6},
+            {"1.1V/120MHz", 1.1, 120e6},
+            {"0.9V/80MHz", 0.9, 80e6}};
+}
 
 } // namespace pfits
 

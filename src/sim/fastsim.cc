@@ -704,15 +704,26 @@ struct Streak
     size_t idx = 0;
     uint32_t reads = 0;
     uint32_t writes = 0;
+    /**
+     * How many of the pending touches were way-memo hits — accesses
+     * whose *dynamically previous* access (across both streaks and the
+     * full path) was to this same line. With two interleaved streaks a
+     * touch that re-enters this streak after the other one is a repeat
+     * hit but not a memo hit, so the count is carried explicitly
+     * instead of assuming reads + writes (Cache::applyRepeatsAt).
+     * Always <= reads + writes.
+     */
+    uint32_t memoHits = 0;
 };
 
 inline void
 flushStreak(Cache &cache, Streak &s)
 {
     if ((s.reads | s.writes) != 0) {
-        cache.applyRepeatsAt(s.idx, s.reads, s.writes);
+        cache.applyRepeatsAt(s.idx, s.reads, s.writes, s.memoHits);
         s.reads = 0;
         s.writes = 0;
+        s.memoHits = 0;
     }
 }
 
@@ -892,6 +903,17 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
     Streak dstreak_a, dstreak_b;
     bool ilast_b = false;
     bool dlast_b = false;
+
+    // The line of the dynamically previous access per cache, mirroring
+    // Cache::lastLineAddr() across streak touches (which do not update
+    // the Cache-internal hint): a streak touch is a way-memo hit only
+    // when the access before it was to the same line. Full accesses
+    // count memo hits inside Cache — at a full-access site the hint is
+    // either kNoLine or one of the tracked streak lines, and the new
+    // line is neither, so the internal check agrees with prev_*line —
+    // and resync the mirror afterwards.
+    uint64_t prev_iline = Cache::kNoLine;
+    uint64_t prev_dline = Cache::kNoLine;
 
     // Scoreboard state, identical to machine.cc's model. The NZCV
     // ready cycle lives in a register-resident local (flags_ready);
@@ -1194,6 +1216,8 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
                     ++dstreak_a.writes;
                 else
                     ++dstreak_a.reads;
+                dstreak_a.memoHits += dline == prev_dline ? 1u : 0u;
+                prev_dline = dline;
                 dlast_b = false;
                 dres.hit = true;
             } else if (dline == dstreak_b.line) {
@@ -1201,6 +1225,8 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
                     ++dstreak_b.writes;
                 else
                     ++dstreak_b.reads;
+                dstreak_b.memoHits += dline == prev_dline ? 1u : 0u;
+                prev_dline = dline;
                 dlast_b = true;
                 dres.hit = true;
             } else {
@@ -1217,8 +1243,10 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
                     victim.idx = dcache.lastHitIdx();
                     victim.reads = 0;
                     victim.writes = 0;
+                    victim.memoHits = 0;
                     dlast_b = !dlast_b;
                 }
+                prev_dline = dcache.lastLineAddr();
             }
             ++dmem_accesses;
             if constexpr (HasExtra)
@@ -1337,6 +1365,10 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
                     // through the parity-checking full access.
                     istreak_a.line = Cache::kNoLine;
                     istreak_b.line = Cache::kNoLine;
+                    // injectBitFlip cleared the repeat hint, and the
+                    // interpreter would no longer memo-count the next
+                    // same-line fetch; mirror that.
+                    prev_iline = Cache::kNoLine;
                     faults->recordInjected(FaultTarget::ICACHE);
                     if constexpr (HasExtra)
                         extra->fault(
@@ -1385,10 +1417,14 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
             if (iline == istreak_a.line) {
                 // Guaranteed clean re-hit of a tracked line.
                 ++istreak_a.reads;
+                istreak_a.memoHits += iline == prev_iline ? 1u : 0u;
+                prev_iline = iline;
                 ilast_b = false;
                 fetch.hit = true;
             } else if (iline == istreak_b.line) {
                 ++istreak_b.reads;
+                istreak_b.memoHits += iline == prev_iline ? 1u : 0u;
+                prev_iline = iline;
                 ilast_b = true;
                 fetch.hit = true;
             } else {
@@ -1439,8 +1475,10 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
                     victim.idx = icache.lastHitIdx();
                     victim.reads = 0;
                     victim.writes = 0;
+                    victim.memoHits = 0;
                     ilast_b = !ilast_b;
                 }
+                prev_iline = icache.lastLineAddr();
             }
         }
         if (seq_fetch) {
@@ -1476,6 +1514,11 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
             uint64_t k = run_base + 1;
             uint64_t fetched_to = k;
             Streak *seg_streak = nullptr;
+            // Trap-site memo reconciliation state for the open
+            // segment: the word-prefix index of its first word and
+            // whether that first word was itself a memo hit.
+            uint32_t seg_word_base = 0;
+            bool seg_first_memo = false;
             // Fetch the same-I-line segment [k, j) when the op stream
             // reaches its first op.
             auto fetchSeg = [&](uint64_t k)
@@ -1489,15 +1532,30 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
                         const uint32_t words =
                             word_pre[j] - word_pre[k];
                         seg_streak = nullptr;
+                        seg_word_base = word_pre[k];
                         if (words != 0) {
                             const uint64_t iline =
                                 code[k].addr >> iline_shift;
                             if (iline == istreak_a.line) {
+                                // The segment's first word is a memo
+                                // hit iff the access before it was in
+                                // this line; the words - 1 that follow
+                                // all are.
+                                seg_first_memo = iline == prev_iline;
                                 istreak_a.reads += words;
+                                istreak_a.memoHits +=
+                                    words - 1 +
+                                    (seg_first_memo ? 1u : 0u);
+                                prev_iline = iline;
                                 ilast_b = false;
                                 seg_streak = &istreak_a;
                             } else if (iline == istreak_b.line) {
+                                seg_first_memo = iline == prev_iline;
                                 istreak_b.reads += words;
+                                istreak_b.memoHits +=
+                                    words - 1 +
+                                    (seg_first_memo ? 1u : 0u);
+                                prev_iline = iline;
                                 ilast_b = true;
                                 seg_streak = &istreak_b;
                             } else {
@@ -1524,8 +1582,18 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
                                                          : istreak_b;
                                     victim.line = iline;
                                     victim.idx = icache.lastHitIdx();
+                                    // The first word went through the
+                                    // full access (which memo-counted
+                                    // it inside Cache); the rest are
+                                    // intra-line repeats. kept >= 1
+                                    // always holds at a trap here, so
+                                    // seg_first_memo is moot — keep
+                                    // the reconciliation formula
+                                    // uniform.
                                     victim.reads = words - 1;
                                     victim.writes = 0;
+                                    victim.memoHits = words - 1;
+                                    seg_first_memo = true;
                                     ilast_b = !ilast_b;
                                     seg_streak = &victim;
                                 } else {
@@ -1541,6 +1609,10 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
                                             icache.accessFast(
                                                 code[w].addr, false);
                                 }
+                                // Full accesses memo-count inside the
+                                // Cache; resync the mirror to the line
+                                // they left resident.
+                                prev_iline = icache.lastLineAddr();
                             }
                         }
                         fetched_to = j;
@@ -1569,9 +1641,21 @@ fastLoopImpl(const FrontEnd &fe, const CoreConfig &config, Memory &mem,
                 bits_total += (k - run_base) * fetch_bits;
                 instructions += k - (run_base + 1);
                 retired += k - (run_base + 1);
-                if (seg_streak != nullptr)
-                    seg_streak->reads -=
+                if (seg_streak != nullptr) {
+                    const uint32_t backed =
                         word_pre[fetched_to] - word_pre[k + 1];
+                    const uint32_t kept =
+                        word_pre[k + 1] - seg_word_base;
+                    seg_streak->reads -= backed;
+                    // The memo back-out matches the eager count: every
+                    // backed-out word was counted as a memo hit except,
+                    // when nothing of the segment survives, the first
+                    // word — whose memo credit depended on the line
+                    // the segment entered with (seg_first_memo).
+                    seg_streak->memoHits -=
+                        (kept == 0 && !seg_first_memo) ? backed - 1
+                                                       : backed;
+                }
                 throw;
             }
             toggle_bits += seq_pre[run_end] - seq_pre[run_base + 1];

@@ -380,6 +380,7 @@ writeCacheStatsJson(JsonWriter &w, const CacheStats &s)
     w.field("faults_injected", s.faultsInjected);
     w.field("parity_detections", s.parityDetections);
     w.field("corrupt_deliveries", s.corruptDeliveries);
+    w.field("way_memo_hits", s.wayMemoHits);
     w.endObject();
 }
 
@@ -407,6 +408,11 @@ parseCacheStatsJson(const JsonValue &v, CacheStats *s)
             return false;
         *dst[i] = static_cast<uint64_t>(f.asNumber());
     }
+    // Optional: stores written before the way-memo counter existed
+    // stay loadable (schema string is unchanged).
+    const JsonValue &memo = v.get("way_memo_hits");
+    s->wayMemoHits =
+        memo.isNumber() ? static_cast<uint64_t>(memo.asNumber()) : 0;
     return true;
 }
 

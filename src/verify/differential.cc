@@ -122,6 +122,7 @@ compareCacheStats(const std::string &what, const char *cache_name,
           b.parityDetections);
     check("corrupt_deliveries", a.corruptDeliveries,
           b.corruptDeliveries);
+    check("way_memo_hits", a.wayMemoHits, b.wayMemoHits);
 }
 
 /**

@@ -5,6 +5,7 @@
 #include "cache/cache.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "power/cache_power.hh"
 
 namespace pfits
 {
@@ -331,6 +332,101 @@ TEST(CacheConfig, AssociativityCapAndWideGeometryProduct)
     CacheConfig edge{"edge", 1u << 20, CacheConfig::kMaxAssoc, 16,
                      ReplPolicy::LRU, true};
     EXPECT_EQ(edge.validateError(), "");
+}
+
+TEST(CacheConfig, PowerModelColumnsComputedIn64Bit)
+{
+    // Companion to the validateError widening above: the power model's
+    // column count for the same wide-geometry family (assoc * lineBytes
+    // * 8 == 2^32) used to wrap in uint32 arithmetic, zeroing the
+    // wordline/sense and periphery-leakage terms.
+    CacheConfig wide{"wide", 1u << 29, 1u << 12, 1u << 17,
+                     ReplPolicy::LRU, true};
+    EXPECT_EQ(wide.validateError(), "");
+    CachePowerModel model(wide, TechParams{});
+    EXPECT_EQ(model.cols(), 1ull << 32);
+    EXPECT_GT(model.internalEnergyPerAccess(), 0.0);
+    EXPECT_GT(model.peripheryLeakagePower(), 0.0);
+}
+
+TEST(Cache, WayMemoCountsSameLineRepeats)
+{
+    Cache cache(smallCache());
+    // The cold miss arms the hint but is not itself a memo hit.
+    cache.access(0x100, false);
+    EXPECT_EQ(cache.stats().wayMemoHits, 0u);
+    // Three more accesses in the same 16-byte line: all memo hits.
+    cache.access(0x104, false);
+    cache.access(0x108, true);
+    cache.access(0x10c, false);
+    EXPECT_EQ(cache.stats().wayMemoHits, 3u);
+    // A different line breaks the run, and an A-B-A alternation never
+    // memoizes: each access follows one to the other line.
+    cache.access(0x200, false);
+    cache.access(0x100, false);
+    cache.access(0x200, false);
+    EXPECT_EQ(cache.stats().wayMemoHits, 3u);
+    EXPECT_LE(cache.stats().wayMemoHits, cache.stats().accesses());
+}
+
+TEST(Cache, WayMemoIdenticalAcrossAccessAndAccessFast)
+{
+    // The fast path's hinted hits must count memo hits exactly like
+    // the full scan (the backends compare this field differentially).
+    Cache full(smallCache());
+    Cache fast(smallCache());
+    const uint32_t addrs[] = {0x100, 0x104, 0x200, 0x204,
+                              0x100, 0x108, 0x10c};
+    for (uint32_t addr : addrs) {
+        full.access(addr, false);
+        fast.accessFast(addr, false);
+    }
+    EXPECT_EQ(full.stats().wayMemoHits, 4u);
+    EXPECT_EQ(fast.stats().wayMemoHits, full.stats().wayMemoHits);
+}
+
+TEST(Cache, ApplyRepeatsMemoAccounting)
+{
+    Cache cache(smallCache());
+    cache.access(0x100, false); // arm the hint
+    size_t idx = cache.lastHitIdx();
+
+    // Three-arg form: every batched repeat is a memo hit.
+    cache.applyRepeatsAt(idx, 4, 1);
+    EXPECT_EQ(cache.stats().wayMemoHits, 5u);
+    EXPECT_EQ(cache.stats().reads, 5u);
+    EXPECT_EQ(cache.stats().writes, 1u);
+
+    // Four-arg form: an interleaved streak's re-entry touch follows an
+    // access to the *other* line, so the caller excludes it.
+    cache.applyRepeatsAt(idx, 3, 0, 2);
+    EXPECT_EQ(cache.stats().wayMemoHits, 7u);
+    EXPECT_LE(cache.stats().wayMemoHits, cache.stats().accesses());
+}
+
+TEST(Cache, WayMemoHintClearedByDisturbances)
+{
+    // An injected fault drops the hint: the next access in the same
+    // line takes the full path and is not a memo hit.
+    Cache cache(smallCache());
+    cache.access(0x100, false);
+    Rng rng(1);
+    EXPECT_TRUE(cache.injectBitFlip(rng));
+    cache.access(0x104, false); // corrupt delivery, hint stays down
+    EXPECT_EQ(cache.stats().wayMemoHits, 0u);
+    cache.access(0x108, false); // follows a kNoLine hint: no memo
+    EXPECT_EQ(cache.stats().wayMemoHits, 0u);
+    cache.access(0x10c, false); // hint re-armed: memoizes again
+    EXPECT_EQ(cache.stats().wayMemoHits, 1u);
+
+    // A write-around miss leaves nothing resident to memoize against.
+    CacheConfig wt = smallCache();
+    wt.writeBack = false;
+    Cache around(wt);
+    around.access(0x100, false);
+    around.access(0x304, true); // write miss, no allocation
+    around.access(0x100, false); // hint was kNoLine: no memo
+    EXPECT_EQ(around.stats().wayMemoHits, 0u);
 }
 
 TEST(Cache, InjectIntoEmptyCacheDoesNothing)
